@@ -1,0 +1,124 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §4.
+//!
+//! * **D1** — roundtrip's per-port uploads (the paper's protocol, Dev-W =
+//!   11/32/123) vs deduplicated uploads: how much wall time the paper's
+//!   naive transfer scheme costs.
+//! * **D2** — staged's device-kernel decompose vs fusion's source-level
+//!   component select, measured indirectly as staged-vs-fusion on the
+//!   decompose-heavy Q-criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfg_core::{Engine, EngineOptions, FieldSet, Strategy, Workload};
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::{DeviceProfile, ExecMode};
+
+fn bench_d1_upload_dedup(c: &mut Criterion) {
+    let mesh = RectilinearMesh::unit_cube([32, 32, 32]);
+    let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+    let mut group = c.benchmark_group("ablation_d1_roundtrip_uploads");
+    group.sample_size(10);
+    for workload in [Workload::VelocityMagnitude, Workload::QCriterion] {
+        for (label, dedup) in [("per_port", false), ("dedup", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(workload.table2_name(), label),
+                &dedup,
+                |b, &dedup| {
+                    let mut engine = Engine::with_options(
+                        DeviceProfile::intel_x5660(),
+                        EngineOptions {
+                            mode: ExecMode::Real,
+                            roundtrip_dedup_uploads: dedup,
+                            ..Default::default()
+                        },
+                    );
+                    b.iter(|| {
+                        engine
+                            .derive(workload.source(), &fields, Strategy::Roundtrip)
+                            .expect("real run")
+                            .field
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_d2_decompose_placement(c: &mut Criterion) {
+    let mesh = RectilinearMesh::unit_cube([32, 32, 32]);
+    let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+    let mut group = c.benchmark_group("ablation_d2_decompose");
+    group.sample_size(10);
+    for strategy in [Strategy::Staged, Strategy::Fusion] {
+        group.bench_with_input(
+            BenchmarkId::new("q_crit", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                let mut engine = Engine::new(DeviceProfile::intel_x5660());
+                b.iter(|| {
+                    engine
+                        .derive(Workload::QCriterion.source(), &fields, strategy)
+                        .expect("real run")
+                        .field
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_multi_output_sharing(c: &mut Criterion) {
+    // Extension E3: deriving w_mag AND q_crit in one pass. The combined
+    // program computes vorticity from the *named* gradients du/dv/dw that
+    // the Q-criterion already produces, so derive_many computes three
+    // gradients where two separate derive calls compute six.
+    let mesh = RectilinearMesh::unit_cube([32, 32, 32]);
+    let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+    let source = format!(
+        "{}
+wx = dw[1] - dv[2]
+wy = du[2] - dw[0]
+wz = dv[0] - du[1]
+w_mag = sqrt(wx*wx + wy*wy + wz*wz)
+",
+        Workload::QCriterion.source().trim_end()
+    );
+    let mut group = c.benchmark_group("multi_output_sharing");
+    group.sample_size(10);
+    group.bench_function("two_derives", |b| {
+        let mut engine = Engine::new(DeviceProfile::intel_x5660());
+        b.iter(|| {
+            let a = engine
+                .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+                .expect("q_crit run")
+                .field;
+            let w = engine
+                .derive(
+                    "w_mag = norm(curl(u, v, w, dims, x, y, z))",
+                    &fields,
+                    Strategy::Fusion,
+                )
+                .expect("w_mag run")
+                .field;
+            (a, w)
+        });
+    });
+    group.bench_function("derive_many", |b| {
+        let mut engine = Engine::new(DeviceProfile::intel_x5660());
+        b.iter(|| {
+            engine
+                .derive_many(&source, &["q_crit", "w_mag"], &fields, Strategy::Fusion)
+                .expect("multi run")
+                .0
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_d1_upload_dedup,
+    bench_d2_decompose_placement,
+    bench_multi_output_sharing
+);
+criterion_main!(benches);

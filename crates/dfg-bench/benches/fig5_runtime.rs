@@ -1,0 +1,46 @@
+//! Wall-clock companion to Figure 5: real execution of the three
+//! expressions under each strategy and the reference kernel on a
+//! laptop-scale grid. The modeled-clock version (paper-scale) is
+//! `cargo run -p dfg-bench --bin fig5`; this bench validates that the
+//! *real* single-pass/multi-pass/transfer structure produces the same
+//! ordering in actual wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfg_core::{Engine, FieldSet, Strategy, Workload};
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::DeviceProfile;
+
+fn bench_fig5(c: &mut Criterion) {
+    let dims = [48usize, 48, 48];
+    let mesh = RectilinearMesh::unit_cube(dims);
+    let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+    let ncells = mesh.ncells() as u64;
+    let mut group = c.benchmark_group("fig5_wall");
+    group.throughput(Throughput::Elements(ncells));
+    group.sample_size(10);
+    for workload in Workload::ALL {
+        for strategy in Strategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(workload.table2_name(), strategy.name()),
+                &strategy,
+                |b, &strategy| {
+                    let mut engine = Engine::new(DeviceProfile::intel_x5660());
+                    b.iter(|| {
+                        engine
+                            .derive(workload.source(), &fields, strategy)
+                            .expect("real run")
+                            .field
+                    });
+                },
+            );
+        }
+        group.bench_function(BenchmarkId::new(workload.table2_name(), "reference"), |b| {
+            let mut engine = Engine::new(DeviceProfile::intel_x5660());
+            b.iter(|| engine.run_reference(workload, &fields).expect("reference run").field);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the shared primitive kernels: per-element throughput
+//! of the building blocks every strategy composes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfg_dataflow::example_networks;
+use dfg_kernels::{fuse, BinKind, FusedKernel, Primitive, UnKind};
+use dfg_mesh::RectilinearMesh;
+use dfg_ocl::{Context, DeviceProfile, ExecMode};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mesh = RectilinearMesh::unit_cube([64, 64, 64]);
+    let n = mesh.ncells();
+    let (x, y, z) = mesh.coord_arrays();
+    let f = mesh.sample(|x, y, z| (3.0 * x).sin() + y * z);
+
+    let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+    let fid = ctx.create_buffer(n).unwrap();
+    ctx.enqueue_write(fid, &f).unwrap();
+    let gid = ctx.create_buffer(n).unwrap();
+    ctx.enqueue_write(gid, &x).unwrap();
+    let dimsb = ctx.create_buffer(3).unwrap();
+    ctx.enqueue_write(dimsb, &mesh.dims_buffer()).unwrap();
+    let (xb, yb, zb) = (
+        ctx.create_buffer(n).unwrap(),
+        ctx.create_buffer(n).unwrap(),
+        ctx.create_buffer(n).unwrap(),
+    );
+    ctx.enqueue_write(xb, &x).unwrap();
+    ctx.enqueue_write(yb, &y).unwrap();
+    ctx.enqueue_write(zb, &z).unwrap();
+    let scalar_out = ctx.create_buffer(n).unwrap();
+    let vec_out = ctx.create_buffer(4 * n).unwrap();
+
+    let mut group = c.benchmark_group("primitives");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("kernel", "add"), |b| {
+        b.iter(|| {
+            ctx.launch(&Primitive::Bin(BinKind::Add), &[fid, gid], scalar_out, n)
+                .unwrap()
+        });
+    });
+    group.bench_function(BenchmarkId::new("kernel", "sqrt"), |b| {
+        b.iter(|| {
+            ctx.launch(&Primitive::Un(UnKind::Abs), &[fid], scalar_out, n).unwrap();
+            ctx.launch(&Primitive::Un(UnKind::Sqrt), &[scalar_out], vec_out, n)
+                .unwrap()
+        });
+    });
+    group.bench_function(BenchmarkId::new("kernel", "grad3d"), |b| {
+        b.iter(|| {
+            ctx.launch(&Primitive::Grad3d, &[fid, dimsb, xb, yb, zb], vec_out, n)
+                .unwrap()
+        });
+    });
+
+    // The fused velocity-magnitude program vs its primitive chain.
+    let prog = fuse(&example_networks::velmag_example()).unwrap();
+    let fused = FusedKernel::new(prog, "velmag");
+    group.bench_function(BenchmarkId::new("kernel", "fused_velmag"), |b| {
+        b.iter(|| ctx.launch(&fused, &[fid, xb, yb], scalar_out, n).unwrap());
+    });
+    group.finish();
+
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Data-size scaling of the fused Q-criterion kernel (real execution):
+//! the wall-clock analogue of walking up Figure 5's x-axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dfg_core::{Engine, FieldSet, Strategy, Workload};
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::DeviceProfile;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_fused_qcrit");
+    group.sample_size(10);
+    for n in [16usize, 32, 48, 64] {
+        let mesh = RectilinearMesh::unit_cube([n, n, n]);
+        let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+        group.throughput(Throughput::Elements(mesh.ncells() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut engine = Engine::new(DeviceProfile::intel_x5660());
+            b.iter(|| {
+                engine
+                    .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+                    .expect("real run")
+                    .field
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates Figure 3: the three vortex-detection expressions, with each
+//! program's parse/lowering census (how the framework sees them).
+
+use dfg_core::Workload;
+use dfg_dataflow::FilterOp;
+use dfg_expr::{compile, parse};
+
+fn main() {
+    println!("FIGURE 3 — expressions for the vortex detection workloads");
+    for (tag, workload) in [
+        ("A: Velocity Magnitude", Workload::VelocityMagnitude),
+        ("B: Vorticity Magnitude", Workload::VorticityMagnitude),
+        ("C: Q-criterion", Workload::QCriterion),
+    ] {
+        println!();
+        println!("## {tag}");
+        println!();
+        for line in workload.source().lines() {
+            println!("    {line}");
+        }
+        let program = parse(workload.source()).expect("Figure 3 parses");
+        let spec = compile(workload.source()).expect("Figure 3 lowers");
+        let sources = spec.count_ops(|op| op.is_source());
+        let decomps = spec.count_ops(|op| matches!(op, FilterOp::Decompose(_)));
+        let grads = spec.count_ops(|op| matches!(op, FilterOp::Grad3d));
+        let filters = spec.count_ops(|op| !op.is_source());
+        println!();
+        println!(
+            "    -> {} statements; network: {} nodes ({} sources, {} filters: \
+             {} gradients, {} decompose, {} arithmetic)",
+            program.stmts.len(),
+            spec.len(),
+            sources,
+            filters,
+            grads,
+            decomps,
+            filters - grads - decomps
+        );
+    }
+    println!();
+    println!(
+        "Note: Figure 3C as published truncates `w_3` and omits the final\n\
+         statement; the completions used here (`w_3 = 0.5*(dv[0] - du[1])`,\n\
+         `q_crit = 0.5*(w_norm - s_norm)`) are implied by Equation 2 and\n\
+         confirmed by Table II's kernel counts (57 roundtrip / 67 staged)."
+    );
+}

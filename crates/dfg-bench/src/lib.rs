@@ -1,0 +1,308 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin/` print the artifacts; this library holds the
+//! evaluation matrix they share. See DESIGN.md §5 for the experiment index
+//! and EXPERIMENTS.md for recorded paper-vs-measured results.
+
+use dfg_core::{Engine, EngineOptions, FieldSet, Strategy, Workload};
+use dfg_mesh::{GridSpec, TABLE1_CATALOG};
+use dfg_ocl::{DeviceProfile, ExecMode};
+
+pub mod svg;
+
+/// One plotted series of Figures 5 and 6: the three strategies plus the
+/// hand-written reference kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Series {
+    /// One of the framework's execution strategies.
+    Strategy(Strategy),
+    /// The hand-written reference kernel.
+    Reference,
+}
+
+impl Series {
+    /// The four series, in the paper's legend order.
+    pub const ALL: [Series; 4] = [
+        Series::Strategy(Strategy::Roundtrip),
+        Series::Strategy(Strategy::Staged),
+        Series::Strategy(Strategy::Fusion),
+        Series::Reference,
+    ];
+
+    /// Label used in table output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Series::Strategy(Strategy::Roundtrip) => "roundtrip",
+            Series::Strategy(Strategy::Staged) => "staged",
+            Series::Strategy(Strategy::Fusion) => "fusion",
+            Series::Reference => "reference",
+        }
+    }
+}
+
+/// The two target devices of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Intel Xeon X5660 OpenCL CPU platform.
+    Cpu,
+    /// NVIDIA Tesla M2050.
+    Gpu,
+}
+
+impl Target {
+    /// Both targets.
+    pub const ALL: [Target; 2] = [Target::Cpu, Target::Gpu];
+
+    /// Device profile.
+    pub fn profile(&self) -> DeviceProfile {
+        match self {
+            Target::Cpu => DeviceProfile::intel_x5660(),
+            Target::Gpu => DeviceProfile::nvidia_m2050(),
+        }
+    }
+
+    /// Label used in table output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Target::Cpu => "CPU",
+            Target::Gpu => "GPU",
+        }
+    }
+}
+
+/// Outcome of one evaluation case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Completed: modeled device seconds and the memory high-water mark.
+    Ok {
+        /// Modeled device runtime (transfers + kernels), seconds.
+        seconds: f64,
+        /// Peak device memory, bytes.
+        high_water: u64,
+    },
+    /// Failed with device out-of-memory (the paper's gray series).
+    OutOfMemory,
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Expression under test.
+    pub workload: Workload,
+    /// Strategy or reference kernel.
+    pub series: Series,
+    /// Target device.
+    pub target: Target,
+    /// Grid from the Table I catalog.
+    pub grid: GridSpec,
+    /// Result.
+    pub outcome: Outcome,
+}
+
+/// Run one case in model mode (paper-scale without paper-scale memory).
+pub fn run_case(
+    workload: Workload,
+    series: Series,
+    target: Target,
+    grid: GridSpec,
+) -> Outcome {
+    let mut engine = Engine::with_options(
+        target.profile(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    let fields = FieldSet::virtual_rt(grid.dims());
+    let result = match series {
+        Series::Strategy(strategy) => engine.derive(workload.source(), &fields, strategy),
+        Series::Reference => engine.run_reference(workload, &fields),
+    };
+    match result {
+        Ok(report) => Outcome::Ok {
+            seconds: report.device_seconds(),
+            high_water: report.high_water_bytes(),
+        },
+        Err(e) if e.is_out_of_memory() => Outcome::OutOfMemory,
+        Err(e) => panic!("unexpected failure for {workload}/{}: {e}", series.name()),
+    }
+}
+
+/// Run the full evaluation matrix of Figures 5 and 6: 3 expressions × 4
+/// series × 12 grids × 2 devices (the paper's 144 GPU test cases plus the
+/// always-successful 144 CPU cases).
+pub fn full_matrix() -> Vec<Case> {
+    let mut out = Vec::new();
+    for workload in Workload::ALL {
+        for series in Series::ALL {
+            for target in Target::ALL {
+                for grid in TABLE1_CATALOG {
+                    let outcome = run_case(workload, series, target, grid);
+                    out.push(Case { workload, series, target, grid, outcome });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Format seconds for table output.
+pub fn fmt_secs(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Ok { seconds, .. } => format!("{seconds:9.4}"),
+        Outcome::OutOfMemory => "   FAILED".to_string(),
+    }
+}
+
+/// Format a memory high-water mark in GB for table output.
+pub fn fmt_mem(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Ok { high_water, .. } => {
+            format!("{:8.3}", *high_water as f64 / (1u64 << 30) as f64)
+        }
+        Outcome::OutOfMemory => "  FAILED".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_case_runs() {
+        let grid = TABLE1_CATALOG[0];
+        let o = run_case(
+            Workload::VelocityMagnitude,
+            Series::Strategy(Strategy::Fusion),
+            Target::Gpu,
+            grid,
+        );
+        match o {
+            Outcome::Ok { seconds, high_water } => {
+                assert!(seconds > 0.0);
+                // 4 scalar arrays of 9.4M cells.
+                assert_eq!(high_water, 4 * 4 * grid.ncells());
+            }
+            Outcome::OutOfMemory => panic!("small fusion case must fit"),
+        }
+    }
+
+    #[test]
+    fn gpu_fails_largest_staged_cases() {
+        let grid = *TABLE1_CATALOG.last().unwrap();
+        let o = run_case(
+            Workload::QCriterion,
+            Series::Strategy(Strategy::Staged),
+            Target::Gpu,
+            grid,
+        );
+        assert_eq!(o, Outcome::OutOfMemory);
+        // The CPU always completes.
+        let o = run_case(
+            Workload::QCriterion,
+            Series::Strategy(Strategy::Staged),
+            Target::Cpu,
+            grid,
+        );
+        assert!(matches!(o, Outcome::Ok { .. }));
+    }
+}
+
+/// Colors for the four series (matching a classic matplotlib cycle).
+pub fn series_color(series: Series) -> &'static str {
+    match series {
+        Series::Strategy(Strategy::Roundtrip) => "#1f77b4",
+        Series::Strategy(Strategy::Staged) => "#ff7f0e",
+        Series::Strategy(Strategy::Fusion) => "#d62728",
+        Series::Reference => "#2ca02c",
+    }
+}
+
+/// Build the Figure 5 (runtime) or Figure 6 (memory) SVG charts from the
+/// evaluation matrix: one chart per expression, both devices overlaid
+/// (CPU dashed, GPU solid), failed GPU cases breaking the line — the gray
+/// series of the paper.
+pub fn figure_charts(cases: &[Case], memory: bool) -> Vec<(String, svg::SvgChart)> {
+    let mut charts = Vec::new();
+    for workload in Workload::ALL {
+        let mut series = Vec::new();
+        for target in Target::ALL {
+            for s in Series::ALL {
+                let points: Vec<Option<(f64, f64)>> = TABLE1_CATALOG
+                    .iter()
+                    .map(|grid| {
+                        let case = cases.iter().find(|c| {
+                            c.workload == workload
+                                && c.series == s
+                                && c.target == target
+                                && c.grid == *grid
+                        })?;
+                        match &case.outcome {
+                            Outcome::Ok { seconds, high_water } => Some((
+                                grid.ncells() as f64 / 1e6,
+                                if memory {
+                                    *high_water as f64 / (1u64 << 30) as f64
+                                } else {
+                                    *seconds
+                                },
+                            )),
+                            Outcome::OutOfMemory => None,
+                        }
+                    })
+                    .collect();
+                series.push(svg::SvgSeries {
+                    label: format!("{} ({})", s.name(), target.name()),
+                    color: series_color(s).to_string(),
+                    dashed: target == Target::Cpu,
+                    points,
+                });
+            }
+        }
+        let (what, unit) = if memory {
+            ("device memory", "high-water GB")
+        } else {
+            ("runtime", "modeled seconds")
+        };
+        charts.push((
+            format!(
+                "fig{}_{}",
+                if memory { 6 } else { 5 },
+                workload.table2_name().to_lowercase().replace('-', "")
+            ),
+            svg::SvgChart {
+                title: format!("{} — {what}", workload.table2_name()),
+                x_label: "cells (millions)".into(),
+                y_label: unit.into(),
+                series,
+                h_line: memory.then(|| (3.0, "M2050 3 GB".to_string())),
+            },
+        ));
+    }
+    charts
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn charts_cover_all_expressions_and_break_on_failures() {
+        let cases = full_matrix();
+        let charts = figure_charts(&cases, false);
+        assert_eq!(charts.len(), 3);
+        for (name, chart) in &charts {
+            assert!(name.starts_with("fig5_"));
+            assert_eq!(chart.series.len(), 8, "4 series x 2 devices");
+            let svg = chart.render();
+            assert!(svg.contains("</svg>"));
+        }
+        // Memory variant carries the 3 GB line.
+        let charts = figure_charts(&cases, true);
+        assert!(charts[0].1.h_line.is_some());
+        // Q-Crit GPU staged breaks: it has None points.
+        let qcrit = &charts[2].1;
+        let gpu_staged = qcrit
+            .series
+            .iter()
+            .find(|s| s.label == "staged (GPU)")
+            .expect("series present");
+        assert!(gpu_staged.points.iter().any(Option::is_none), "failures break the line");
+    }
+}

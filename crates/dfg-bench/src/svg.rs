@@ -1,0 +1,279 @@
+//! A minimal SVG line-chart writer, used to render Figures 5 and 6 as
+//! actual plot artifacts (the paper's figures are log-free scatter/line
+//! charts of runtime and memory vs data size).
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct SvgSeries {
+    /// Legend label.
+    pub label: String,
+    /// CSS color.
+    pub color: String,
+    /// Dashed stroke (used for CPU vs solid GPU, as the paper uses color).
+    pub dashed: bool,
+    /// Points in data coordinates. Breaks (failed cases) are separate
+    /// segments: a `None` splits the polyline.
+    pub points: Vec<Option<(f64, f64)>>,
+}
+
+/// Chart description.
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    /// Title above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Series to draw.
+    pub series: Vec<SvgSeries>,
+    /// Optional horizontal reference line (the paper's green 3 GB line).
+    pub h_line: Option<(f64, String)>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 160.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+
+impl SvgChart {
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut min_x = f64::MAX;
+        let mut max_x = f64::MIN;
+        let min_y = 0.0f64;
+        let mut max_y = f64::MIN;
+        for s in &self.series {
+            for p in s.points.iter().flatten() {
+                min_x = min_x.min(p.0);
+                max_x = max_x.max(p.0);
+                max_y = max_y.max(p.1);
+            }
+        }
+        if let Some((y, _)) = &self.h_line {
+            max_y = max_y.max(*y);
+        }
+        if min_x >= max_x {
+            max_x = min_x + 1.0;
+        }
+        if max_y <= min_y {
+            max_y = min_y + 1.0;
+        }
+        (min_x, max_x, min_y, max_y * 1.05)
+    }
+
+    /// Render the chart as an SVG document.
+    pub fn render(&self) -> String {
+        let (min_x, max_x, min_y, max_y) = self.bounds();
+        let px = |x: f64| ML + (x - min_x) / (max_x - min_x) * (W - ML - MR);
+        let py = |y: f64| H - MB - (y - min_y) / (max_y - min_y) * (H - MT - MB);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+             viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+        ));
+        out.push_str(&format!(
+            "<rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\n"
+        ));
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">{}</text>\n",
+            ML + (W - ML - MR) / 2.0,
+            xml_escape(&self.title)
+        ));
+        // Axes.
+        out.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"black\"/>\n",
+            H - MB,
+            W - MR,
+            H - MB
+        ));
+        out.push_str(&format!(
+            "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"black\"/>\n",
+            H - MB
+        ));
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = min_x + (max_x - min_x) * i as f64 / 4.0;
+            let fy = min_y + (max_y - min_y) * i as f64 / 4.0;
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+                px(fx),
+                H - MB + 16.0,
+                fmt_tick(fx)
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+                ML - 6.0,
+                py(fy) + 4.0,
+                fmt_tick(fy)
+            ));
+            out.push_str(&format!(
+                "<line x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" \
+                 stroke=\"#dddddd\"/>\n",
+                py(fy),
+                W - MR
+            ));
+        }
+        // Axis labels.
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            ML + (W - ML - MR) / 2.0,
+            H - 12.0,
+            xml_escape(&self.x_label)
+        ));
+        out.push_str(&format!(
+            "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 16 {})\">{}</text>\n",
+            MT + (H - MT - MB) / 2.0,
+            MT + (H - MT - MB) / 2.0,
+            xml_escape(&self.y_label)
+        ));
+        // Reference line.
+        if let Some((y, label)) = &self.h_line {
+            out.push_str(&format!(
+                "<line x1=\"{ML}\" y1=\"{0:.1}\" x2=\"{1}\" y2=\"{0:.1}\" \
+                 stroke=\"green\" stroke-width=\"1.5\"/>\n",
+                py(*y),
+                W - MR
+            ));
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"green\">{}</text>\n",
+                ML + 4.0,
+                py(*y) - 4.0,
+                xml_escape(label)
+            ));
+        }
+        // Series.
+        for s in &self.series {
+            let dash = if s.dashed { " stroke-dasharray=\"6 3\"" } else { "" };
+            // Split into contiguous segments at None (failed cases).
+            for segment in s.points.split(|p| p.is_none()) {
+                let pts: Vec<String> = segment
+                    .iter()
+                    .flatten()
+                    .map(|p| format!("{:.1},{:.1}", px(p.0), py(p.1)))
+                    .collect();
+                if pts.len() >= 2 {
+                    out.push_str(&format!(
+                        "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" \
+                         stroke-width=\"1.8\"{dash}/>\n",
+                        pts.join(" "),
+                        s.color
+                    ));
+                }
+            }
+            for p in s.points.iter().flatten() {
+                out.push_str(&format!(
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.6\" fill=\"{}\"/>\n",
+                    px(p.0),
+                    py(p.1),
+                    s.color
+                ));
+            }
+        }
+        // Legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let y = MT + 14.0 * i as f64;
+            let dash = if s.dashed { " stroke-dasharray=\"6 3\"" } else { "" };
+            out.push_str(&format!(
+                "<line x1=\"{0}\" y1=\"{y:.1}\" x2=\"{1}\" y2=\"{y:.1}\" \
+                 stroke=\"{2}\" stroke-width=\"2\"{dash}/>\n",
+                W - MR + 10.0,
+                W - MR + 34.0,
+                s.color
+            ));
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{:.1}\">{}</text>\n",
+                W - MR + 40.0,
+                y + 4.0,
+                xml_escape(&s.label)
+            ));
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> SvgChart {
+        SvgChart {
+            title: "Q-Crit runtime".into(),
+            x_label: "cells (millions)".into(),
+            y_label: "seconds".into(),
+            series: vec![SvgSeries {
+                label: "fusion <GPU>".into(),
+                color: "#d62728".into(),
+                dashed: false,
+                points: vec![Some((9.4, 0.06)), Some((18.9, 0.12)), None, Some((100.0, 0.7))],
+            }],
+            h_line: Some((0.5, "capacity".into())),
+        }
+    }
+
+    #[test]
+    fn renders_wellformed_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("fusion &lt;GPU&gt;"), "legend escaped");
+        assert!(svg.contains("stroke=\"green\""), "reference line drawn");
+        // Balanced tags (cheap structural check).
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn failed_points_split_the_polyline() {
+        let svg = chart().render();
+        // Two segments would need two polylines, but the trailing segment
+        // has a single point (drawn as a circle only).
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+
+    #[test]
+    fn degenerate_data_does_not_panic() {
+        let c = SvgChart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![SvgSeries {
+                label: "s".into(),
+                color: "blue".into(),
+                dashed: true,
+                points: vec![Some((1.0, 2.0))],
+            }],
+            h_line: None,
+        };
+        let svg = c.render();
+        assert!(svg.contains("<circle"));
+        let empty = SvgChart {
+            title: "e".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+            h_line: None,
+        };
+        assert!(empty.render().contains("</svg>"));
+    }
+}

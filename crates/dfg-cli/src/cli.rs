@@ -1,0 +1,486 @@
+//! Subcommand dispatch and implementations.
+
+use std::collections::HashMap;
+
+use dfg_cluster::render::render_slice;
+use dfg_core::{plan, Engine, EngineOptions, FieldSet, Strategy};
+use dfg_dataflow::Width;
+use dfg_expr::compile;
+use dfg_kernels_shim::generated_source_of;
+use dfg_mesh::{RectilinearMesh, RtWorkload, TABLE1_CATALOG};
+use dfg_ocl::{DeviceProfile, ExecMode};
+use dfg_vtk::io::{read_vtk, write_vtk};
+use dfg_vtk::{DataArray, RectilinearDataset};
+
+use crate::parse_grid;
+
+/// Format an engine error, rendering parse failures as caret diagnostics.
+fn pretty_engine_err(e: &dfg_core::EngineError, source: &str) -> String {
+    if let dfg_core::EngineError::Frontend(dfg_expr::FrontendError::Parse(p)) = e {
+        format!("\n{}", p.render(source))
+    } else {
+        e.to_string()
+    }
+}
+
+/// Usage text printed on errors.
+pub const USAGE: &str = "\
+usage:
+  dfgc run   --expr <program> [--expr-file <path>]
+             [--grid NXxNYxNZ | --input <in.vtk>]
+             [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
+             [--output <out.vtk>] [--render <slice.ppm>] [--trace <trace.json>]
+  dfgc plan  --expr <program> --grid NXxNYxNZ
+  dfgc parse --expr <program>
+  dfgc kernels
+  dfgc info";
+
+/// Tiny shim so the generated source path stays a single call.
+mod dfg_kernels_shim {
+    use dfg_dataflow::NetworkSpec;
+
+    pub fn generated_source_of(spec: &NetworkSpec) -> Result<String, String> {
+        dfg_kernels::fuse(spec)
+            .map(|p| p.generated_source("dfgc_expr"))
+            .map_err(|e| e.to_string())
+    }
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone();
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn expression(&self) -> Result<String, String> {
+        match (self.get("expr"), self.get("expr-file")) {
+            (Some(e), None) => Ok(format!("{e}\n")),
+            (None, Some(path)) => {
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+            }
+            (Some(_), Some(_)) => Err("give --expr or --expr-file, not both".into()),
+            (None, None) => Err("an expression is required (--expr / --expr-file)".into()),
+        }
+    }
+}
+
+fn device_of(name: Option<&str>) -> Result<DeviceProfile, String> {
+    match name.unwrap_or("gpu") {
+        "cpu" => Ok(DeviceProfile::intel_x5660()),
+        "gpu" => Ok(DeviceProfile::nvidia_m2050()),
+        other => Err(format!("unknown device `{other}` (cpu|gpu)")),
+    }
+}
+
+fn strategy_of(name: Option<&str>) -> Result<Option<Strategy>, String> {
+    match name.unwrap_or("fusion") {
+        "fusion" => Ok(Some(Strategy::Fusion)),
+        "staged" => Ok(Some(Strategy::Staged)),
+        "roundtrip" => Ok(Some(Strategy::Roundtrip)),
+        "streamed" => Ok(None), // handled via derive_streamed
+        other => Err(format!(
+            "unknown strategy `{other}` (fusion|staged|roundtrip|streamed)"
+        )),
+    }
+}
+
+/// Entry point: route to a subcommand.
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&Args::parse(&args[1..])?),
+        Some("plan") => cmd_plan(&Args::parse(&args[1..])?),
+        Some("parse") => cmd_parse(&Args::parse(&args[1..])?),
+        Some("kernels") => {
+            cmd_kernels();
+            Ok(())
+        }
+        Some("info") => {
+            cmd_info();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("a subcommand is required".into()),
+    }
+}
+
+fn load_dataset(args: &Args) -> Result<RectilinearDataset, String> {
+    match (args.get("grid"), args.get("input")) {
+        (Some(g), None) => {
+            let dims = parse_grid(g)?;
+            let mesh = RectilinearMesh::unit_cube(dims);
+            let workload = RtWorkload::paper_default();
+            let (u, v, w) = workload.sample_velocity(&mesh);
+            let mut ds = RectilinearDataset::new(mesh);
+            ds.set_array("u", DataArray::scalar(u)).expect("length");
+            ds.set_array("v", DataArray::scalar(v)).expect("length");
+            ds.set_array("w", DataArray::scalar(w)).expect("length");
+            Ok(ds)
+        }
+        (None, Some(path)) => {
+            read_vtk(std::path::Path::new(path)).map_err(|e| format!("reading {path}: {e}"))
+        }
+        (Some(_), Some(_)) => Err("give --grid or --input, not both".into()),
+        (None, None) => Err("a data source is required (--grid / --input)".into()),
+    }
+}
+
+fn fieldset_of(ds: &RectilinearDataset) -> FieldSet {
+    let mut fields = FieldSet::new(ds.ncells());
+    let (x, y, z) = ds.mesh.coord_arrays();
+    fields.insert_scalar("x", x).expect("mesh length");
+    fields.insert_scalar("y", y).expect("mesh length");
+    fields.insert_scalar("z", z).expect("mesh length");
+    fields.insert_small("dims", ds.mesh.dims_buffer());
+    for name in ds.array_names() {
+        let arr = ds.array(name).expect("listed");
+        if arr.ncomp == 1 {
+            fields
+                .insert_scalar(name, arr.data.clone())
+                .expect("validated by dataset");
+        }
+    }
+    fields
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let expression = args.expression()?;
+    let mut ds = load_dataset(args)?;
+    let fields = fieldset_of(&ds);
+    let profile = device_of(args.get("device"))?;
+    let strategy = strategy_of(args.get("strategy"))?;
+
+    let mut engine = Engine::with_options(profile, EngineOptions::default());
+    let report = match strategy {
+        Some(s) => engine.derive(&expression, &fields, s),
+        None => engine.derive_streamed(&expression, &fields, None),
+    }
+    .map_err(|e| pretty_engine_err(&e, &expression))?;
+
+    let field = report.field.as_ref().expect("real-mode run");
+    let name = compile(&expression)
+        .ok()
+        .and_then(|spec| spec.node(spec.result).name.clone())
+        .unwrap_or_else(|| "derived".to_string());
+    let (w, r, k) = report.table2_row();
+    println!(
+        "derived `{name}` over {} cells: {w} writes, {r} reads, {k} kernels, \
+         {:.3} ms modeled, {:.3} ms wall, peak {:.1} MB",
+        field.ncells,
+        report.device_seconds() * 1e3,
+        report.wall.as_secs_f64() * 1e3,
+        report.high_water_bytes() as f64 / 1e6,
+    );
+
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, report.profile.to_chrome_trace())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = args.get("render") {
+        if field.width != Width::Scalar {
+            return Err("--render needs a scalar result".into());
+        }
+        let dims = ds.mesh.dims();
+        let img = render_slice(&field.data, dims, 2, dims[2] / 2);
+        img.write_ppm(std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("rendering written to {path} ({}x{})", img.width, img.height);
+    }
+    if let Some(path) = args.get("output") {
+        let array = match field.width {
+            Width::Vec4 => {
+                let mut data = Vec::with_capacity(3 * field.ncells);
+                for i in 0..field.ncells {
+                    data.extend_from_slice(&field.data[4 * i..4 * i + 3]);
+                }
+                DataArray::vector3(data)
+            }
+            _ => DataArray::scalar(field.data.clone()),
+        };
+        ds.set_array(&name, array).map_err(|e| e.to_string())?;
+        write_vtk(&ds, "dfgc output", std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("dataset written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let expression = args.expression()?;
+    let dims = parse_grid(args.get("grid").ok_or("--grid is required for `plan`")?)?;
+    let spec = compile(&expression).map_err(|e| e.to_string())?;
+    let ncells = (dims[0] * dims[1] * dims[2]) as u64;
+    let devices = [DeviceProfile::intel_x5660(), DeviceProfile::nvidia_m2050()];
+    let plan = plan(&spec, ncells, &devices).map_err(|e| e.to_string())?;
+    println!("{:<10} {:<34} {:>10} {:>10}", "strategy", "device", "seconds", "peak GB");
+    for opt in &plan.feasible {
+        println!(
+            "{:<10} {:<34} {:>10.4} {:>10.3}",
+            if opt.streamed { "streamed".to_string() } else { opt.strategy.name().to_string() },
+            opt.device_name,
+            opt.seconds,
+            opt.peak_bytes as f64 / 1e9
+        );
+    }
+    for (dev, strategy, bytes) in &plan.rejected {
+        println!(
+            "rejected: {strategy} on {} needs {:.2} GB",
+            devices[*dev].name,
+            *bytes as f64 / 1e9
+        );
+    }
+    match plan.best() {
+        Some(best) => println!(
+            "\nbest: {}{} on {}",
+            best.strategy.name(),
+            if best.streamed { " (streamed)" } else { "" },
+            best.device_name
+        ),
+        None => println!("\nno feasible option on any device"),
+    }
+    Ok(())
+}
+
+fn cmd_parse(args: &Args) -> Result<(), String> {
+    let expression = args.expression()?;
+    let spec = compile(&expression).map_err(|e| match e {
+        dfg_expr::FrontendError::Parse(p) => format!("\n{}", p.render(&expression)),
+        other => other.to_string(),
+    })?;
+    println!("network: {} nodes", spec.len());
+    println!();
+    println!("{}", spec.to_script());
+    match generated_source_of(&spec) {
+        Ok(src) => {
+            println!("generated fused kernel:");
+            println!();
+            println!("{src}");
+        }
+        Err(e) => println!("(not fusible: {e})"),
+    }
+    Ok(())
+}
+
+/// Print the shared building-block library (§III-B.3): every primitive's
+/// OpenCL source, written once and reused by all execution strategies.
+fn cmd_kernels() {
+    use dfg_kernels::{BinKind, Primitive, UnKind};
+    let prims: Vec<Primitive> = vec![
+        Primitive::Bin(BinKind::Add),
+        Primitive::Bin(BinKind::Sub),
+        Primitive::Bin(BinKind::Mul),
+        Primitive::Bin(BinKind::Div),
+        Primitive::Bin(BinKind::Min),
+        Primitive::Bin(BinKind::Max),
+        Primitive::Bin(BinKind::Pow),
+        Primitive::Bin(BinKind::Atan2),
+        Primitive::Bin(BinKind::And),
+        Primitive::Bin(BinKind::Or),
+        Primitive::Un(UnKind::Neg),
+        Primitive::Un(UnKind::Sqrt),
+        Primitive::Un(UnKind::Abs),
+        Primitive::Un(UnKind::Sin),
+        Primitive::Un(UnKind::Cos),
+        Primitive::Un(UnKind::Tan),
+        Primitive::Un(UnKind::Exp),
+        Primitive::Un(UnKind::Log),
+        Primitive::Un(UnKind::Not),
+        Primitive::Select,
+        Primitive::Compose3,
+        Primitive::Decompose(0),
+        Primitive::Norm3,
+        Primitive::Dot3,
+        Primitive::Cross3,
+        Primitive::Grad3d,
+    ];
+    println!("the shared derived-field building-block library ({} primitives):", prims.len());
+    println!();
+    for p in prims {
+        println!("{}", p.opencl_source());
+        println!();
+    }
+}
+
+fn cmd_info() {
+    println!("devices:");
+    for profile in [DeviceProfile::intel_x5660(), DeviceProfile::nvidia_m2050()] {
+        println!(
+            "  {:<34} {:>7.2} GB, {:>6.1} GB/s mem, {:>6.0} GFLOP/s",
+            profile.name,
+            profile.global_mem_bytes as f64 / 1e9,
+            profile.mem_bytes_per_sec / 1e9,
+            profile.flops_per_sec / 1e9
+        );
+    }
+    println!();
+    println!("Table I evaluation grids:");
+    for grid in TABLE1_CATALOG {
+        println!("  {grid}   {:>12} cells  {}", grid.ncells(), grid.data_size_display());
+    }
+    let _ = ExecMode::Real; // re-exported surface sanity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn grid_parsing() {
+        assert_eq!(crate::parse_grid("4x5x6").unwrap(), [4, 5, 6]);
+        assert_eq!(crate::parse_grid("192X192X256").unwrap(), [192, 192, 256]);
+        assert!(crate::parse_grid("4x5").is_err());
+        assert!(crate::parse_grid("0x5x6").is_err());
+        assert!(crate::parse_grid("axbxc").is_err());
+    }
+
+    #[test]
+    fn args_require_values_and_no_duplicates() {
+        assert!(Args::parse(&strs(&["--expr"])).is_err());
+        assert!(Args::parse(&strs(&["--expr", "a", "--expr", "b"])).is_err());
+        assert!(Args::parse(&strs(&["positional"])).is_err());
+        let a = Args::parse(&strs(&["--expr", "r = u"])).unwrap();
+        assert_eq!(a.get("expr"), Some("r = u"));
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_subcommands() {
+        assert!(dispatch(&strs(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn run_on_synthetic_grid() {
+        let dir = std::env::temp_dir().join("dfgc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("out.vtk");
+        let trace = dir.join("trace.json");
+        dispatch(&strs(&[
+            "run",
+            "--expr",
+            "v_mag = sqrt(u*u + v*v + w*w)",
+            "--grid",
+            "8x8x8",
+            "--output",
+            out.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let ds = read_vtk(&out).unwrap();
+        assert!(ds.has_array("v_mag"));
+        assert!(std::fs::read_to_string(&trace).unwrap().starts_with('['));
+    }
+
+    #[test]
+    fn run_round_trips_through_vtk_input() {
+        // Write a dataset, read it back as --input, derive from it.
+        let dir = std::env::temp_dir().join("dfgc_test_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.vtk");
+        let output = dir.join("out.vtk");
+        dispatch(&strs(&[
+            "run",
+            "--expr",
+            "v_mag = sqrt(u*u + v*v + w*w)",
+            "--grid",
+            "6x6x6",
+            "--output",
+            input.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&strs(&[
+            "run",
+            "--expr",
+            "twice = v_mag * 2",
+            "--input",
+            input.to_str().unwrap(),
+            "--strategy",
+            "staged",
+            "--device",
+            "cpu",
+            "--output",
+            output.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let ds = read_vtk(&output).unwrap();
+        let vm = ds.array("v_mag").unwrap();
+        let twice = ds.array("twice").unwrap();
+        for i in 0..ds.ncells() {
+            assert!((twice.data[i] - 2.0 * vm.data[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn plan_and_parse_subcommands() {
+        dispatch(&strs(&[
+            "plan",
+            "--expr",
+            dfg_core::workloads::Q_CRITERION,
+            "--grid",
+            "192x192x1024",
+        ]))
+        .unwrap();
+        dispatch(&strs(&["parse", "--expr", "r = sin(u) + cos(v)"])).unwrap();
+        cmd_info();
+    }
+
+    #[test]
+    fn streamed_strategy_via_cli() {
+        dispatch(&strs(&[
+            "run",
+            "--expr",
+            "q = norm(curl(u, v, w, dims, x, y, z))",
+            "--grid",
+            "12x12x12",
+            "--strategy",
+            "streamed",
+            "--device",
+            "cpu",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn kernels_subcommand_prints_library() {
+        dispatch(&strs(&["kernels"])).unwrap();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let err = dispatch(&strs(&["run", "--expr", "r = u"])).unwrap_err();
+        assert!(err.contains("data source"));
+        let err =
+            dispatch(&strs(&["run", "--grid", "4x4x4"])).unwrap_err();
+        assert!(err.contains("expression"));
+        let err = dispatch(&strs(&[
+            "run", "--expr", "r = u", "--grid", "4x4x4", "--strategy", "warp",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown strategy"));
+    }
+}

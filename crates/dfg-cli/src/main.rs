@@ -1,0 +1,45 @@
+//! `dfgc` — the derived-field generation command-line tool.
+//!
+//! ```text
+//! dfgc run   --expr "v_mag = sqrt(u*u + v*v + w*w)" [--grid 64x64x64 | --input in.vtk]
+//!            [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
+//!            [--output out.vtk] [--render slice.ppm] [--trace trace.json]
+//! dfgc plan  --expr "<expression>" --grid NXxNYxNZ
+//! dfgc parse --expr "<expression>"       # print network + generated source
+//! dfgc info                              # devices and the Table I catalog
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dfgc: {e}");
+            eprintln!();
+            eprintln!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Argument helpers shared with the unit tests.
+pub(crate) fn parse_grid(s: &str) -> Result<[usize; 3], String> {
+    let parts: Vec<&str> = s.split(['x', 'X']).collect();
+    if parts.len() != 3 {
+        return Err(format!("grid must be NXxNYxNZ, got `{s}`"));
+    }
+    let mut dims = [0usize; 3];
+    for (d, p) in parts.iter().enumerate() {
+        dims[d] = p
+            .parse::<usize>()
+            .map_err(|_| format!("bad grid extent `{p}`"))?;
+        if dims[d] == 0 {
+            return Err("grid extents must be positive".into());
+        }
+    }
+    Ok(dims)
+}

@@ -1,0 +1,237 @@
+//! Halo (ghost-cell) exchange primitives.
+//!
+//! Each block owns `dims` cells at `offset` of the global mesh and computes
+//! on a ghosted extent with up to one extra cell per side (see
+//! [`dfg_mesh::SubGrid::ghosted`]). A block's boundary face is sent to the
+//! face-adjacent neighbour, which writes it into its ghost layer. Axis-
+//! aligned faces are sufficient for the gradient stencil: a cell's gradient
+//! only reads the six face neighbours.
+
+use dfg_mesh::SubGrid;
+
+/// One halo message: a face of owned data headed for a neighbour's ghost
+/// layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaceMsg {
+    /// Receiving block's index in the decomposition.
+    pub to_block: usize,
+    /// Axis of adjacency (0..3).
+    pub axis: usize,
+    /// True if the data fills the receiver's *low*-side ghost layer.
+    pub low_side: bool,
+    /// Index of the field this face belongs to (e.g. 0=u, 1=v, 2=w).
+    pub field: usize,
+    /// Face data, x-major over the two non-`axis` axes, covering exactly
+    /// the sender's owned extent in those axes.
+    pub data: Vec<f32>,
+}
+
+/// Extract the owned boundary face of `owned` (x-major over `dims`) at
+/// `axis`, `high` side (`true` = last layer, `false` = first layer).
+pub fn extract_face(owned: &[f32], dims: [usize; 3], axis: usize, high: bool) -> Vec<f32> {
+    assert_eq!(owned.len(), dims[0] * dims[1] * dims[2]);
+    let fixed = if high { dims[axis] - 1 } else { 0 };
+    let mut out = Vec::new();
+    match axis {
+        0 => {
+            out.reserve(dims[1] * dims[2]);
+            for k in 0..dims[2] {
+                for j in 0..dims[1] {
+                    out.push(owned[fixed + dims[0] * (j + dims[1] * k)]);
+                }
+            }
+        }
+        1 => {
+            out.reserve(dims[0] * dims[2]);
+            for k in 0..dims[2] {
+                let row = dims[0] * (fixed + dims[1] * k);
+                out.extend_from_slice(&owned[row..row + dims[0]]);
+            }
+        }
+        2 => {
+            out.reserve(dims[0] * dims[1]);
+            let slab = dims[0] * dims[1] * fixed;
+            out.extend_from_slice(&owned[slab..slab + dims[0] * dims[1]]);
+        }
+        _ => panic!("axis out of range"),
+    }
+    out
+}
+
+/// Write a received face into a block's ghosted array.
+///
+/// `ghosted` is x-major over `gdims`; `istart`/`idims` locate the owned
+/// interior inside it (from [`SubGrid::interior_in_ghosted`]). The face
+/// covers the owned extent of the two non-`axis` axes and lands on the
+/// ghost layer just below (`low_side`) or above the interior along `axis`.
+pub fn insert_face(
+    ghosted: &mut [f32],
+    gdims: [usize; 3],
+    istart: [usize; 3],
+    idims: [usize; 3],
+    axis: usize,
+    low_side: bool,
+    face: &[f32],
+) {
+    let fixed = if low_side {
+        istart[axis]
+            .checked_sub(1)
+            .expect("low-side ghost layer exists")
+    } else {
+        istart[axis] + idims[axis]
+    };
+    assert!(fixed < gdims[axis], "high-side ghost layer exists");
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("axis out of range"),
+    };
+    assert_eq!(face.len(), idims[a1] * idims[a2], "face extent mismatch");
+    let mut it = face.iter();
+    for c2 in 0..idims[a2] {
+        for c1 in 0..idims[a1] {
+            let mut coord = [0usize; 3];
+            coord[axis] = fixed;
+            coord[a1] = istart[a1] + c1;
+            coord[a2] = istart[a2] + c2;
+            let idx = coord[0] + gdims[0] * (coord[1] + gdims[1] * coord[2]);
+            ghosted[idx] = *it.next().expect("sized above");
+        }
+    }
+}
+
+/// Copy a block's owned data into the interior of its ghosted array.
+pub fn insert_interior(
+    ghosted: &mut [f32],
+    gdims: [usize; 3],
+    istart: [usize; 3],
+    idims: [usize; 3],
+    owned: &[f32],
+) {
+    assert_eq!(owned.len(), idims[0] * idims[1] * idims[2]);
+    for k in 0..idims[2] {
+        for j in 0..idims[1] {
+            let src = idims[0] * (j + idims[1] * k);
+            let dst = istart[0]
+                + gdims[0] * ((istart[1] + j) + gdims[1] * (istart[2] + k));
+            ghosted[dst..dst + idims[0]].copy_from_slice(&owned[src..src + idims[0]]);
+        }
+    }
+}
+
+/// Extract the interior (owned) region back out of a ghosted result array
+/// of `lanes` values per cell.
+pub fn extract_interior(
+    ghosted: &[f32],
+    gdims: [usize; 3],
+    istart: [usize; 3],
+    idims: [usize; 3],
+    lanes: usize,
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(idims[0] * idims[1] * idims[2] * lanes);
+    for k in 0..idims[2] {
+        for j in 0..idims[1] {
+            let row = istart[0]
+                + gdims[0] * ((istart[1] + j) + gdims[1] * (istart[2] + k));
+            out.extend_from_slice(&ghosted[row * lanes..(row + idims[0]) * lanes]);
+        }
+    }
+    out
+}
+
+/// Number of face-adjacent neighbours of a block in a `nblocks` block grid.
+pub fn neighbor_count(block: &SubGrid, nblocks: [usize; 3]) -> usize {
+    (0..3)
+        .map(|d| {
+            usize::from(block.block[d] > 0) + usize::from(block.block[d] + 1 < nblocks[d])
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg_mesh::partition_blocks;
+
+    #[test]
+    fn extract_face_axis0() {
+        // dims [2,2,2]: values 0..8, x fastest.
+        let owned: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        assert_eq!(extract_face(&owned, [2, 2, 2], 0, false), vec![0.0, 2.0, 4.0, 6.0]);
+        assert_eq!(extract_face(&owned, [2, 2, 2], 0, true), vec![1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn extract_face_axis1_and_2() {
+        let owned: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        assert_eq!(extract_face(&owned, [2, 2, 2], 1, false), vec![0.0, 1.0, 4.0, 5.0]);
+        assert_eq!(extract_face(&owned, [2, 2, 2], 2, true), vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn interior_insert_extract_round_trip() {
+        let gdims = [4, 4, 4];
+        let istart = [1, 1, 1];
+        let idims = [2, 2, 2];
+        let owned: Vec<f32> = (10..18).map(|i| i as f32).collect();
+        let mut ghosted = vec![0.0f32; 64];
+        insert_interior(&mut ghosted, gdims, istart, idims, &owned);
+        assert_eq!(extract_interior(&ghosted, gdims, istart, idims, 1), owned);
+        // A ghost corner stays untouched.
+        assert_eq!(ghosted[0], 0.0);
+    }
+
+    #[test]
+    fn face_lands_in_low_ghost_layer() {
+        // Interior occupies x = 1..3 of a [3,2,2] ghosted array; the low
+        // ghost layer is the x = 0 plane.
+        let gdims = [3, 2, 2];
+        let istart = [1, 0, 0];
+        let idims = [2, 2, 2];
+        let mut ghosted = vec![0.0f32; 12];
+        let face = vec![7.0, 8.0, 9.0, 10.0];
+        insert_face(&mut ghosted, gdims, istart, idims, 0, true, &face);
+        assert_eq!(ghosted[0], 7.0);
+        assert_eq!(ghosted[3], 8.0);
+        assert_eq!(ghosted[6], 9.0);
+        assert_eq!(ghosted[9], 10.0);
+        // Interior untouched.
+        assert_eq!(ghosted[1], 0.0);
+    }
+
+    #[test]
+    fn face_lands_in_high_ghost_layer() {
+        // Interior occupies x = 0..2 of a [3,2,2] ghosted array; the high
+        // ghost layer is the x = 2 plane.
+        let gdims = [3, 2, 2];
+        let istart = [0, 0, 0];
+        let idims = [2, 2, 2];
+        let mut ghosted = vec![0.0f32; 12];
+        let face = vec![7.0, 8.0, 9.0, 10.0];
+        insert_face(&mut ghosted, gdims, istart, idims, 0, false, &face);
+        assert_eq!(ghosted[2], 7.0);
+        assert_eq!(ghosted[5], 8.0);
+        assert_eq!(ghosted[8], 9.0);
+        assert_eq!(ghosted[11], 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "high-side ghost layer exists")]
+    fn insert_face_checks_bounds() {
+        // Interior already touches the high edge: no high-side ghost layer.
+        let mut ghosted = vec![0.0f32; 12];
+        insert_face(&mut ghosted, [3, 2, 2], [1, 0, 0], [2, 2, 2], 0, false, &[0.0; 4]);
+    }
+
+    #[test]
+    fn neighbor_counts() {
+        let blocks = partition_blocks([8, 8, 8], [2, 2, 2]);
+        for b in &blocks {
+            assert_eq!(neighbor_count(b, [2, 2, 2]), 3, "corner block of a 2x2x2 grid");
+        }
+        let blocks = partition_blocks([12, 4, 4], [3, 1, 1]);
+        assert_eq!(neighbor_count(&blocks[0], [3, 1, 1]), 1);
+        assert_eq!(neighbor_count(&blocks[1], [3, 1, 1]), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! A minimal pseudocolor renderer.
+//!
+//! The paper's Figure 7 shows a pseudocolor rendering of the distributed
+//! Q-criterion result produced by VisIt. This module provides the same
+//! visual artifact for our runs: a color-mapped axis-aligned slice written
+//! as a binary PPM image.
+
+use std::io::Write;
+use std::path::Path;
+
+/// An 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Pixel columns.
+    pub width: usize,
+    /// Pixel rows.
+    pub height: usize,
+    /// Row-major RGB bytes, `3 × width × height` long.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Write as binary PPM (P6).
+    pub fn write_ppm(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(f, "P6\n{} {}\n255\n", self.width, self.height)?;
+        f.write_all(&self.pixels)?;
+        Ok(())
+    }
+}
+
+/// A cool-warm diverging colormap over `t ∈ [0, 1]`: blue → white → red,
+/// the classic pseudocolor map for signed quantities like the Q-criterion.
+pub fn cool_warm(t: f32) -> [u8; 3] {
+    let t = t.clamp(0.0, 1.0);
+    let lerp = |a: f32, b: f32, s: f32| a + (b - a) * s;
+    let (r, g, b) = if t < 0.5 {
+        let s = t * 2.0;
+        (lerp(59.0, 221.0, s), lerp(76.0, 221.0, s), lerp(192.0, 221.0, s))
+    } else {
+        let s = (t - 0.5) * 2.0;
+        (lerp(221.0, 180.0, s), lerp(221.0, 4.0, s), lerp(221.0, 38.0, s))
+    };
+    [r as u8, g as u8, b as u8]
+}
+
+/// Render one axis-aligned slice of a scalar field as a pseudocolor image.
+///
+/// `axis` selects the sliced dimension (0=x, 1=y, 2=z) and `slice` the cell
+/// index along it. Values are normalized symmetrically about zero when the
+/// field changes sign (as the Q-criterion does), otherwise min–max.
+///
+/// # Panics
+/// Panics if `slice` is out of range or the field length disagrees with
+/// `dims`.
+pub fn render_slice(field: &[f32], dims: [usize; 3], axis: usize, slice: usize) -> Image {
+    assert_eq!(field.len(), dims[0] * dims[1] * dims[2], "field/dims mismatch");
+    assert!(slice < dims[axis], "slice {slice} out of range");
+    let (a1, a2) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("axis out of range"),
+    };
+    let (width, height) = (dims[a1], dims[a2]);
+    let value_at = |c1: usize, c2: usize| -> f32 {
+        let mut coord = [0usize; 3];
+        coord[axis] = slice;
+        coord[a1] = c1;
+        coord[a2] = c2;
+        field[coord[0] + dims[0] * (coord[1] + dims[1] * coord[2])]
+    };
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for c2 in 0..height {
+        for c1 in 0..width {
+            let v = value_at(c1, c2);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    let signed = lo < 0.0 && hi > 0.0;
+    let normalize = |v: f32| -> f32 {
+        if signed {
+            let m = lo.abs().max(hi.abs()).max(f32::MIN_POSITIVE);
+            0.5 + 0.5 * (v / m)
+        } else if hi > lo {
+            (v - lo) / (hi - lo)
+        } else {
+            0.5
+        }
+    };
+    let mut pixels = Vec::with_capacity(3 * width * height);
+    // Image rows top-to-bottom = decreasing c2, so "up" matches +axis2.
+    for row in 0..height {
+        let c2 = height - 1 - row;
+        for c1 in 0..width {
+            pixels.extend_from_slice(&cool_warm(normalize(value_at(c1, c2))));
+        }
+    }
+    Image { width, height, pixels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colormap_endpoints_and_midpoint() {
+        let lo = cool_warm(0.0);
+        let mid = cool_warm(0.5);
+        let hi = cool_warm(1.0);
+        assert!(lo[2] > lo[0], "low end is blue");
+        assert!(hi[0] > hi[2], "high end is red");
+        assert!(mid.iter().all(|&c| c > 200), "midpoint is near-white");
+        // Out-of-range input clamps rather than panicking.
+        assert_eq!(cool_warm(-1.0), cool_warm(0.0));
+        assert_eq!(cool_warm(2.0), cool_warm(1.0));
+    }
+
+    #[test]
+    fn slice_dimensions() {
+        let dims = [4, 3, 2];
+        let field = vec![0.0f32; 24];
+        let img = render_slice(&field, dims, 2, 1);
+        assert_eq!((img.width, img.height), (4, 3));
+        assert_eq!(img.pixels.len(), 3 * 12);
+        let img = render_slice(&field, dims, 0, 0);
+        assert_eq!((img.width, img.height), (3, 2));
+    }
+
+    #[test]
+    fn signed_fields_are_symmetric_about_white() {
+        // Field with values -1, 0, +1: the 0 pixel should be near-white.
+        let dims = [3, 1, 1];
+        let field = vec![-1.0f32, 0.0, 1.0];
+        let img = render_slice(&field, dims, 2, 0);
+        let mid_px = &img.pixels[3..6];
+        assert!(mid_px.iter().all(|&c| c > 200), "zero maps to white: {mid_px:?}");
+        assert!(img.pixels[2] > img.pixels[0], "negative end is blue");
+        assert!(img.pixels[6] > img.pixels[8], "positive end is red");
+    }
+
+    #[test]
+    fn constant_field_does_not_divide_by_zero() {
+        let img = render_slice(&[2.0; 8], [2, 2, 2], 1, 0);
+        assert_eq!(img.pixels.len(), 12);
+    }
+
+    #[test]
+    fn ppm_roundtrip_header() {
+        let img = render_slice(&[0.0, 1.0, 0.5, 0.25], [2, 2, 1], 2, 0);
+        let dir = std::env::temp_dir().join("dfg_render_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slice.ppm");
+        img.write_ppm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(bytes.len(), 11 + 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_bounds_checked() {
+        render_slice(&[0.0; 8], [2, 2, 2], 2, 5);
+    }
+}

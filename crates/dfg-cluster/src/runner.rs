@@ -1,0 +1,510 @@
+//! The distributed run driver: ranks, sub-grid assignment, halo exchange,
+//! per-rank engines, and result assembly.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use dfg_core::{Engine, EngineError, EngineOptions, FieldSet, Strategy, Workload};
+use dfg_mesh::{decomp, partition_blocks, RectilinearMesh, RtWorkload, SubGrid};
+use dfg_ocl::{DeviceProfile, ExecMode};
+
+use crate::exchange::{
+    extract_face, extract_interior, insert_face, insert_interior, neighbor_count, FaceMsg,
+};
+
+/// Cluster topology: how many nodes, and how many OpenCL devices (= MPI
+/// ranks, as in the paper) each node drives.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Node count.
+    pub nodes: usize,
+    /// Devices (ranks) per node. The paper uses two GPUs per Edge node.
+    pub devices_per_node: usize,
+    /// Device profile each rank drives.
+    pub profile: DeviceProfile,
+}
+
+impl Cluster {
+    /// The paper's distributed configuration: 128 Edge nodes × 2 M2050s.
+    pub fn edge_128x2() -> Self {
+        Cluster { nodes: 128, devices_per_node: 2, profile: DeviceProfile::nvidia_m2050() }
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.nodes * self.devices_per_node
+    }
+}
+
+/// Options for one distributed run.
+#[derive(Debug, Clone)]
+pub struct DistOptions {
+    /// Which expression to evaluate.
+    pub workload: Workload,
+    /// Which execution strategy each rank uses.
+    pub strategy: Strategy,
+    /// Real execution (with data and halo exchange) or model-only.
+    pub mode: ExecMode,
+}
+
+/// Results of a distributed run.
+#[derive(Debug, Clone)]
+pub struct DistResult {
+    /// Global mesh dims.
+    pub global_dims: [usize; 3],
+    /// Number of sub-grids processed.
+    pub blocks: usize,
+    /// Ranks used.
+    pub ranks: usize,
+    /// Assembled global derived field (real mode only).
+    pub field: Option<Vec<f32>>,
+    /// Modeled device seconds per rank (sum over its sub-grids).
+    pub rank_device_seconds: Vec<f64>,
+    /// Max over ranks — the modeled parallel makespan.
+    pub makespan_seconds: f64,
+    /// Largest per-device allocation high-water mark seen.
+    pub max_high_water: u64,
+    /// Total kernel executions across all ranks.
+    pub total_kernel_execs: usize,
+}
+
+/// Distributed-run failures.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An engine on some rank failed (e.g. device OOM).
+    Engine {
+        /// Failing rank.
+        rank: usize,
+        /// Underlying failure.
+        source: EngineError,
+    },
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Engine { rank, source } => {
+                write!(f, "rank {rank}: {source}")
+            }
+            ClusterError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Index of a block-grid coordinate in [`partition_blocks`] output order.
+fn block_index(block: [usize; 3], nblocks: [usize; 3]) -> usize {
+    block[0] + nblocks[0] * (block[1] + nblocks[1] * block[2])
+}
+
+struct RankOutput {
+    results: Vec<(usize, Vec<f32>)>,
+    device_seconds: f64,
+    high_water: u64,
+    kernel_execs: usize,
+}
+
+/// Run a workload across a simulated cluster.
+///
+/// The global mesh is decomposed into `nblocks` sub-grids assigned
+/// round-robin to ranks. In [`ExecMode::Real`] each rank samples its owned
+/// cells of the synthetic RT field, exchanges one-cell halos with
+/// neighbouring blocks over channels, executes the expression per ghosted
+/// sub-grid on its own simulated device, and the interiors are assembled
+/// into the global derived field. In [`ExecMode::Model`] the same schedule
+/// runs with virtual buffers (paper-scale without paper-scale RAM).
+pub fn run_distributed(
+    global: &RectilinearMesh,
+    nblocks: [usize; 3],
+    rt: &RtWorkload,
+    cluster: &Cluster,
+    opts: &DistOptions,
+) -> Result<DistResult, ClusterError> {
+    let ranks = cluster.ranks();
+    if ranks == 0 {
+        return Err(ClusterError::Config("cluster has zero ranks".into()));
+    }
+    let global_dims = global.dims();
+    let blocks = partition_blocks(global_dims, nblocks);
+    let nblocks_total = blocks.len();
+    let real = opts.mode == ExecMode::Real;
+
+    // One mailbox per rank.
+    let (senders, receivers): (Vec<Sender<FaceMsg>>, Vec<Receiver<FaceMsg>>) =
+        (0..ranks).map(|_| unbounded()).unzip();
+
+
+    let rank_outputs: Vec<Result<RankOutput, ClusterError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let senders = senders.clone();
+                let receiver = receivers[rank].clone();
+                let blocks = &blocks;
+                let cluster_profile = cluster.profile.clone();
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    run_rank(
+                        rank,
+                        ranks,
+                        global,
+                        global_dims,
+                        nblocks,
+                        blocks,
+                        rt,
+                        cluster_profile,
+                        &opts,
+                        senders,
+                        receiver,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+
+    let mut rank_device_seconds = Vec::with_capacity(ranks);
+    let mut max_high_water = 0u64;
+    let mut total_kernel_execs = 0usize;
+    let mut field = real.then(|| vec![0.0f32; global.ncells()]);
+    for out in rank_outputs {
+        let out = out?;
+        rank_device_seconds.push(out.device_seconds);
+        max_high_water = max_high_water.max(out.high_water);
+        total_kernel_execs += out.kernel_execs;
+        if let Some(f) = field.as_mut() {
+            for (block_idx, interior) in &out.results {
+                let b = &blocks[*block_idx];
+                decomp::insert_block(f, global_dims, b.offset, b.dims, interior);
+            }
+        }
+    }
+    let makespan = rank_device_seconds.iter().cloned().fold(0.0, f64::max);
+    Ok(DistResult {
+        global_dims,
+        blocks: nblocks_total,
+        ranks,
+        field,
+        rank_device_seconds,
+        makespan_seconds: makespan,
+        max_high_water,
+        total_kernel_execs,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    rank: usize,
+    ranks: usize,
+    global: &RectilinearMesh,
+    global_dims: [usize; 3],
+    nblocks: [usize; 3],
+    blocks: &[SubGrid],
+    rt: &RtWorkload,
+    profile: DeviceProfile,
+    opts: &DistOptions,
+    senders: Vec<Sender<FaceMsg>>,
+    receiver: Receiver<FaceMsg>,
+) -> Result<RankOutput, ClusterError> {
+    let real = opts.mode == ExecMode::Real;
+    let my_blocks: Vec<usize> =
+        (0..blocks.len()).filter(|i| i % ranks == rank).collect();
+    let mut engine =
+        Engine::with_options(profile, EngineOptions { mode: opts.mode, ..Default::default() });
+    let err_here = |source: EngineError| ClusterError::Engine { rank, source };
+
+    /// Per-block ghosted state: extent arithmetic plus the three ghosted
+    /// velocity component arrays.
+    struct GhostedBlock {
+        gdims: [usize; 3],
+        istart: [usize; 3],
+        idims: [usize; 3],
+        arrays: [Vec<f32>; 3],
+    }
+
+    // Phase 1 (real mode): sample owned cells, send halo faces, prepare
+    // ghosted field arrays.
+    let mut ghosted: Vec<GhostedBlock> = Vec::new();
+    if real {
+        let mut owned_fields: Vec<[Vec<f32>; 3]> = Vec::new();
+        for &bi in &my_blocks {
+            let b = &blocks[bi];
+            let mesh = global.submesh(b.offset, b.dims);
+            let (u, v, w) = rt.sample_velocity(&mesh);
+            owned_fields.push([u, v, w]);
+        }
+        // Send faces to face-adjacent neighbours.
+        for (slot, &bi) in my_blocks.iter().enumerate() {
+            let b = &blocks[bi];
+            for axis in 0..3 {
+                for (high, exists) in [
+                    (false, b.block[axis] > 0),
+                    (true, b.block[axis] + 1 < nblocks[axis]),
+                ] {
+                    if !exists {
+                        continue;
+                    }
+                    let mut nb = b.block;
+                    nb[axis] = if high { nb[axis] + 1 } else { nb[axis] - 1 };
+                    let to_block = block_index(nb, nblocks);
+                    for (field, owned) in owned_fields[slot].iter().enumerate() {
+                        let data = extract_face(owned, b.dims, axis, high);
+                        // Our high face fills the neighbour's low ghost.
+                        let msg = FaceMsg { to_block, axis, low_side: high, field, data };
+                        senders[to_block % ranks]
+                            .send(msg)
+                            .expect("receiver alive for the whole scope");
+                    }
+                }
+            }
+        }
+        drop(senders);
+        // Lay out ghosted arrays with interiors filled.
+        for (slot, &bi) in my_blocks.iter().enumerate() {
+            let b = &blocks[bi];
+            let (_, gdims) = b.ghosted(1, global_dims);
+            let (istart, idims) = b.interior_in_ghosted(1, global_dims);
+            let gn = gdims[0] * gdims[1] * gdims[2];
+            let mut arrays = [vec![0.0f32; gn], vec![0.0f32; gn], vec![0.0f32; gn]];
+            for (f, arr) in arrays.iter_mut().enumerate() {
+                insert_interior(arr, gdims, istart, idims, &owned_fields[slot][f]);
+            }
+            ghosted.push(GhostedBlock { gdims, istart, idims, arrays });
+        }
+        // Receive exactly the expected number of halo faces.
+        let expected: usize = my_blocks
+            .iter()
+            .map(|&bi| neighbor_count(&blocks[bi], nblocks) * 3)
+            .sum();
+        for _ in 0..expected {
+            let msg = receiver.recv().expect("all sends happen before any rank exits");
+            let slot = my_blocks
+                .iter()
+                .position(|&bi| bi == msg.to_block)
+                .expect("message routed to owning rank");
+            let gb = &mut ghosted[slot];
+            insert_face(
+                &mut gb.arrays[msg.field],
+                gb.gdims,
+                gb.istart,
+                gb.idims,
+                msg.axis,
+                msg.low_side,
+                &msg.data,
+            );
+        }
+    } else {
+        drop(senders);
+    }
+
+    // Phase 2: evaluate the expression per sub-grid on this rank's device.
+    let mut results = Vec::new();
+    let mut device_seconds = 0.0f64;
+    let mut high_water = 0u64;
+    let mut kernel_execs = 0usize;
+    for (slot, &bi) in my_blocks.iter().enumerate() {
+        let b = &blocks[bi];
+        let (goff, gdims) = b.ghosted(1, global_dims);
+        let report = if real {
+            let gb = &ghosted[slot];
+            let (istart, idims, arrays) = (&gb.istart, &gb.idims, &gb.arrays);
+            let gmesh = global.submesh(goff, gdims);
+            let (x, y, z) = gmesh.coord_arrays();
+            let mut fs = FieldSet::new(gmesh.ncells());
+            fs.insert_scalar("u", arrays[0].clone()).expect("sized");
+            fs.insert_scalar("v", arrays[1].clone()).expect("sized");
+            fs.insert_scalar("w", arrays[2].clone()).expect("sized");
+            fs.insert_scalar("x", x).expect("sized");
+            fs.insert_scalar("y", y).expect("sized");
+            fs.insert_scalar("z", z).expect("sized");
+            fs.insert_small("dims", gmesh.dims_buffer());
+            let report = engine
+                .derive(opts.workload.source(), &fs, opts.strategy)
+                .map_err(err_here)?;
+            let out = report.field.as_ref().expect("real mode yields data");
+            results.push((
+                bi,
+                extract_interior(&out.data, gdims, *istart, *idims, 1),
+            ));
+            report
+        } else {
+            let fs = FieldSet::virtual_rt(gdims);
+            engine
+                .derive(opts.workload.source(), &fs, opts.strategy)
+                .map_err(err_here)?
+        };
+        device_seconds += report.device_seconds();
+        high_water = high_water.max(report.high_water_bytes());
+        kernel_execs += report.profile.count(dfg_ocl::EventKind::KernelExec);
+    }
+    Ok(RankOutput { results, device_seconds, high_water, kernel_execs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(ranks: usize) -> Cluster {
+        Cluster {
+            nodes: ranks,
+            devices_per_node: 1,
+            profile: DeviceProfile::intel_x5660(),
+        }
+    }
+
+    /// The headline validation: the distributed Q-criterion with ghost
+    /// exchange is bit-identical to the single-grid computation.
+    #[test]
+    fn distributed_equals_single_grid_bitwise() {
+        let global = RectilinearMesh::unit_cube([12, 10, 8]);
+        let rt = RtWorkload::paper_default();
+        for workload in [Workload::QCriterion, Workload::VorticityMagnitude] {
+            // Single grid.
+            let fs = FieldSet::for_rt_mesh(&global, &rt);
+            let mut engine = Engine::new(DeviceProfile::intel_x5660());
+            let single = engine
+                .derive(workload.source(), &fs, Strategy::Fusion)
+                .unwrap()
+                .field
+                .unwrap();
+            // Distributed over 3x2x2 blocks on 5 ranks.
+            let result = run_distributed(
+                &global,
+                [3, 2, 2],
+                &rt,
+                &small_cluster(5),
+                &DistOptions {
+                    workload,
+                    strategy: Strategy::Fusion,
+                    mode: ExecMode::Real,
+                },
+            )
+            .unwrap();
+            let dist = result.field.unwrap();
+            assert_eq!(dist.len(), single.data.len());
+            for (i, (d, s)) in dist.iter().zip(&single.data).enumerate() {
+                assert_eq!(
+                    d.to_bits(),
+                    s.to_bits(),
+                    "{workload}: cell {i} differs: {d} vs {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_works_with_all_strategies() {
+        let global = RectilinearMesh::unit_cube([8, 8, 8]);
+        let rt = RtWorkload::paper_default();
+        let mut reference: Option<Vec<f32>> = None;
+        for strategy in Strategy::ALL {
+            let result = run_distributed(
+                &global,
+                [2, 2, 2],
+                &rt,
+                &small_cluster(3),
+                &DistOptions {
+                    workload: Workload::QCriterion,
+                    strategy,
+                    mode: ExecMode::Real,
+                },
+            )
+            .unwrap();
+            let field = result.field.unwrap();
+            match &reference {
+                None => reference = Some(field),
+                Some(r) => {
+                    for i in 0..r.len() {
+                        assert!(
+                            (r[i] - field[i]).abs() <= 1e-5 * r[i].abs().max(1.0),
+                            "{strategy} differs at {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_blocks_is_fine() {
+        let global = RectilinearMesh::unit_cube([6, 6, 6]);
+        let rt = RtWorkload::paper_default();
+        let result = run_distributed(
+            &global,
+            [2, 1, 1],
+            &rt,
+            &small_cluster(8),
+            &DistOptions {
+                workload: Workload::VelocityMagnitude,
+                strategy: Strategy::Staged,
+                mode: ExecMode::Real,
+            },
+        )
+        .unwrap();
+        assert_eq!(result.blocks, 2);
+        assert_eq!(result.ranks, 8);
+        assert!(result.field.is_some());
+        // Idle ranks contribute zero device time.
+        assert_eq!(
+            result.rank_device_seconds.iter().filter(|&&s| s == 0.0).count(),
+            6
+        );
+    }
+
+    #[test]
+    fn model_mode_paper_scale_runs_without_data() {
+        // The paper's full configuration: 3072³ cells, 3072 sub-grids of
+        // 192×192×256, 256 GPUs on 128 nodes, fusion, Q-criterion — modeled.
+        let global = RectilinearMesh::unit_cube([3072, 3072, 3072]);
+        let rt = RtWorkload::paper_default();
+        let cluster = Cluster::edge_128x2();
+        let result = run_distributed(
+            &global,
+            [16, 16, 12],
+            &rt,
+            &cluster,
+            &DistOptions {
+                workload: Workload::QCriterion,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Model,
+            },
+        )
+        .unwrap();
+        assert_eq!(result.blocks, 3072);
+        assert_eq!(result.ranks, 256);
+        assert!(result.field.is_none());
+        // Twelve sub-grids per GPU, one fused kernel each.
+        assert_eq!(result.total_kernel_execs, 3072);
+        assert!(result.makespan_seconds > 0.0);
+        // Every device fits in the M2050's usable capacity with fusion.
+        assert!(result.max_high_water <= 2_500_000_000);
+    }
+
+    #[test]
+    fn zero_rank_cluster_is_rejected() {
+        let global = RectilinearMesh::unit_cube([4, 4, 4]);
+        let c = Cluster {
+            nodes: 0,
+            devices_per_node: 2,
+            profile: DeviceProfile::intel_x5660(),
+        };
+        assert!(matches!(
+            run_distributed(
+                &global,
+                [1, 1, 1],
+                &RtWorkload::paper_default(),
+                &c,
+                &DistOptions {
+                    workload: Workload::VelocityMagnitude,
+                    strategy: Strategy::Fusion,
+                    mode: ExecMode::Model,
+                },
+            ),
+            Err(ClusterError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! The engine: the host interface of Figure 1.
+
+use std::time::{Duration, Instant};
+
+use dfg_dataflow::{NetworkSpec, Schedule, Strategy, Width};
+use dfg_expr::compile;
+use dfg_ocl::{Context, DeviceProfile, ExecMode, ProfileReport};
+
+use crate::error::EngineError;
+use crate::fields::{Field, FieldSet};
+use crate::strategies::{check_field, lanes_for, run_fusion, run_roundtrip, run_staged};
+use crate::workloads::Workload;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Real execution or model-only accounting.
+    pub mode: ExecMode,
+    /// Ablation knob (DESIGN.md D1): when set, the roundtrip strategy
+    /// uploads each *distinct* kernel input once instead of once per input
+    /// port. The paper's implementation transfers per port (that is what
+    /// produces Table II's Dev-W counts of 11/32/123); this knob measures
+    /// what that design decision costs.
+    pub roundtrip_dedup_uploads: bool,
+    /// Ablation knob (DESIGN.md D2): apply full common-subexpression
+    /// elimination (value numbering with commutative canonicalization)
+    /// after lowering, instead of the paper's *limited* CSE. Identical
+    /// results, fewer kernels — e.g. the Q-criterion's `s_3 = s_1`
+    /// duplicates disappear.
+    pub full_cse: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            mode: ExecMode::Real,
+            roundtrip_dedup_uploads: false,
+            full_cse: false,
+        }
+    }
+}
+
+/// Everything one execution returns to the host.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// The derived field (`None` in model mode).
+    pub field: Option<Field>,
+    /// Categorized device events, modeled times and the allocation
+    /// high-water mark.
+    pub profile: ProfileReport,
+    /// Host wall-clock duration of the execution.
+    pub wall: Duration,
+    /// The generated OpenCL-style kernel source (fusion strategy only).
+    pub generated_source: Option<String>,
+}
+
+impl ExecReport {
+    /// Total modeled device runtime in seconds (transfers + kernels), the
+    /// quantity of the paper's Figure 5.
+    pub fn device_seconds(&self) -> f64 {
+        self.profile.device_seconds()
+    }
+
+    /// Peak device memory in bytes, the quantity of the paper's Figure 6.
+    pub fn high_water_bytes(&self) -> u64 {
+        self.profile.high_water_bytes
+    }
+
+    /// Table II row: `(Dev-W, Dev-R, K-Exe)`.
+    pub fn table2_row(&self) -> (usize, usize, usize) {
+        self.profile.table2_row()
+    }
+}
+
+/// The derived-field generation engine a host application embeds.
+///
+/// Each execution runs on a fresh simulated device context, so failed runs
+/// (e.g. GPU out-of-memory) leave no residue and profiles are per-run.
+pub struct Engine {
+    profile: DeviceProfile,
+    options: EngineOptions,
+    /// Compiled-network cache keyed by source text: an in-situ host calls
+    /// `derive` with the same expression every time step, and parsing +
+    /// lowering need only happen once (the paper's VisIt host likewise
+    /// constructs the pipeline once and re-executes it).
+    spec_cache: std::collections::HashMap<String, NetworkSpec>,
+    compiles: usize,
+}
+
+impl Engine {
+    /// Engine for a device, executing for real.
+    pub fn new(profile: DeviceProfile) -> Self {
+        Self::with_options(profile, EngineOptions::default())
+    }
+
+    /// Engine with explicit options (e.g. model mode for paper-scale runs).
+    pub fn with_options(profile: DeviceProfile, options: EngineOptions) -> Self {
+        Engine {
+            profile,
+            options,
+            spec_cache: std::collections::HashMap::new(),
+            compiles: 0,
+        }
+    }
+
+    /// How many distinct programs this engine has compiled (cache misses);
+    /// repeated `derive` calls with identical source text compile once.
+    pub fn compile_count(&self) -> usize {
+        self.compiles
+    }
+
+    fn compile_cached(&mut self, source: &str) -> Result<NetworkSpec, EngineError> {
+        if let Some(spec) = self.spec_cache.get(source) {
+            return Ok(spec.clone());
+        }
+        let mut spec = compile(source)?;
+        if self.options.full_cse {
+            spec = dfg_dataflow::full_cse(&spec).0;
+        }
+        self.compiles += 1;
+        self.spec_cache.insert(source.to_string(), spec.clone());
+        Ok(spec)
+    }
+
+    /// The device profile.
+    pub fn device(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.options.mode
+    }
+
+    /// Parse, lower, and execute an expression program over the host's
+    /// fields using `strategy`.
+    pub fn derive(
+        &mut self,
+        source: &str,
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<ExecReport, EngineError> {
+        let spec = self.compile_cached(source)?;
+        self.derive_spec(&spec, fields, strategy)
+    }
+
+    /// Execute an already-lowered network specification.
+    pub fn derive_spec(
+        &mut self,
+        spec: &NetworkSpec,
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<ExecReport, EngineError> {
+        let sched = Schedule::new(spec)?;
+        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let t0 = Instant::now();
+        let (field, generated_source) = match strategy {
+            Strategy::Roundtrip => (
+                run_roundtrip(
+                    spec,
+                    &sched,
+                    fields,
+                    &mut ctx,
+                    self.options.roundtrip_dedup_uploads,
+                )?,
+                None,
+            ),
+            Strategy::Staged => (run_staged(spec, &sched, fields, &mut ctx)?, None),
+            Strategy::Fusion => {
+                let label = spec
+                    .node(spec.result)
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| "expr".to_string());
+                let (field, src) = run_fusion(spec, fields, &mut ctx, &label)?;
+                (field, Some(src))
+            }
+        };
+        let wall = t0.elapsed();
+        debug_assert_eq!(ctx.in_use_bytes(), 0, "executor leaked device buffers");
+        Ok(ExecReport { field, profile: ctx.report(), wall, generated_source })
+    }
+
+    /// Derive several named fields in one execution.
+    ///
+    /// `outputs` are assignment names from the program; shared
+    /// subexpressions are computed once. Under fusion a single generated
+    /// kernel writes every output (one launch, one download); under
+    /// roundtrip/staged the shared schedule is walked once. Returns
+    /// `(name, field)` pairs in request order.
+    pub fn derive_many(
+        &mut self,
+        source: &str,
+        outputs: &[&str],
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<(Vec<(String, Field)>, ExecReport), EngineError> {
+        let spec = self.compile_cached(source)?;
+        let mut roots = Vec::with_capacity(outputs.len());
+        for &name in outputs {
+            // Shadowing rebinds names; the *last* node carrying the name is
+            // the binding the program ends with.
+            let root = spec
+                .iter()
+                .filter(|(_, node)| node.name.as_deref() == Some(name))
+                .map(|(id, _)| id)
+                .last()
+                .ok_or_else(|| EngineError::NoSuchOutput { name: name.to_string() })?;
+            roots.push(root);
+        }
+        let sched = Schedule::for_roots(&spec, &roots)?;
+        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let t0 = Instant::now();
+        let (fields_out, generated_source) = match strategy {
+            Strategy::Roundtrip => (
+                crate::strategies::run_roundtrip_multi(
+                    &spec,
+                    &sched,
+                    fields,
+                    &mut ctx,
+                    self.options.roundtrip_dedup_uploads,
+                    &roots,
+                )?,
+                None,
+            ),
+            Strategy::Staged => (
+                crate::strategies::run_staged_multi(&spec, &sched, fields, &mut ctx, &roots)?,
+                None,
+            ),
+            Strategy::Fusion => {
+                let (f, src) = crate::strategies::run_fusion_multi(
+                    &spec, &roots, fields, &mut ctx, "multi",
+                )?;
+                (f, Some(src))
+            }
+        };
+        let wall = t0.elapsed();
+        debug_assert_eq!(ctx.in_use_bytes(), 0, "multi executor leaked buffers");
+        let named = match fields_out {
+            Some(v) => outputs
+                .iter()
+                .map(|n| n.to_string())
+                .zip(v)
+                .collect(),
+            None => Vec::new(),
+        };
+        let report =
+            ExecReport { field: None, profile: ctx.report(), wall, generated_source };
+        Ok((named, report))
+    }
+
+    /// Execute an expression with the *streamed fusion* strategy — the
+    /// paper's §VI future work: the mesh is processed in z-slabs (with a
+    /// one-cell halo for gradient stencils) through the same generated
+    /// fused kernel, bounding peak device memory by `device_budget_bytes`
+    /// (defaults to the device's capacity). Results are bit-identical to
+    /// single-pass fusion; grids that exceed device memory now complete.
+    pub fn derive_streamed(
+        &mut self,
+        source: &str,
+        fields: &FieldSet,
+        device_budget_bytes: Option<u64>,
+    ) -> Result<ExecReport, EngineError> {
+        let spec = self.compile_cached(source)?;
+        let budget = device_budget_bytes.unwrap_or(self.profile.global_mem_bytes);
+        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let t0 = Instant::now();
+        let label = spec
+            .node(spec.result)
+            .name
+            .clone()
+            .unwrap_or_else(|| "expr".to_string());
+        let (field, src, _slabs) =
+            crate::strategies::run_streamed_fusion(&spec, fields, &mut ctx, &label, budget)?;
+        let wall = t0.elapsed();
+        debug_assert_eq!(ctx.in_use_bytes(), 0, "streamed executor leaked buffers");
+        Ok(ExecReport { field, profile: ctx.report(), wall, generated_source: Some(src) })
+    }
+
+    /// Execute a hand-written reference kernel for one of the paper's
+    /// workloads, with the same buffer protocol as the fusion strategy.
+    pub fn run_reference(
+        &mut self,
+        workload: Workload,
+        fields: &FieldSet,
+    ) -> Result<ExecReport, EngineError> {
+        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let real = self.options.mode == ExecMode::Real;
+        let n = fields.ncells();
+        let kernel = workload.reference_kernel();
+        let t0 = Instant::now();
+        let mut bufs = Vec::new();
+        for name in workload.reference_input_names() {
+            let small = *name == "dims";
+            let fv = check_field(fields, name, small, ctx.mode())?;
+            let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+            if real {
+                ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+            } else {
+                ctx.enqueue_write_virtual(buf)?;
+            }
+            bufs.push(buf);
+        }
+        let out = ctx.create_buffer(lanes_for(Width::Scalar, n))?;
+        ctx.launch(kernel.as_ref(), &bufs, out, n)?;
+        let field = if real {
+            let data = ctx.enqueue_read(out)?;
+            Some(Field { width: Width::Scalar, ncells: n, data })
+        } else {
+            ctx.enqueue_read_virtual(out)?;
+            None
+        };
+        for buf in bufs {
+            ctx.release(buf)?;
+        }
+        ctx.release(out)?;
+        let wall = t0.elapsed();
+        Ok(ExecReport { field, profile: ctx.report(), wall, generated_source: None })
+    }
+}

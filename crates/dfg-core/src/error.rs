@@ -1,0 +1,102 @@
+//! Engine errors.
+
+use dfg_dataflow::ScheduleError;
+use dfg_expr::FrontendError;
+use dfg_kernels::FuseError;
+use dfg_ocl::OclError;
+
+/// Failures from [`crate::Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Parsing or lowering the expression failed.
+    Frontend(FrontendError),
+    /// Scheduling the network failed.
+    Schedule(ScheduleError),
+    /// The device layer failed (including GPU out-of-memory — the paper's
+    /// gray "failed" series).
+    Ocl(OclError),
+    /// Kernel fusion failed (the fusion strategy only).
+    Fuse(FuseError),
+    /// The host did not provide a required input field.
+    MissingField {
+        /// The missing field's name.
+        name: String,
+    },
+    /// A requested output name is not assigned anywhere in the program
+    /// (multi-output derivation).
+    NoSuchOutput {
+        /// The requested output name.
+        name: String,
+    },
+    /// A provided field's length disagrees with the field set's cell count.
+    FieldSize {
+        /// Field name.
+        name: String,
+        /// Expected f32 lanes.
+        expected: usize,
+        /// Provided f32 lanes.
+        found: usize,
+    },
+    /// A real-mode execution was given a virtual (model-only) field, or
+    /// vice versa.
+    ModeMismatch {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Frontend(e) => write!(f, "{e}"),
+            EngineError::Schedule(e) => write!(f, "{e}"),
+            EngineError::Ocl(e) => write!(f, "device error: {e}"),
+            EngineError::Fuse(e) => write!(f, "fusion error: {e}"),
+            EngineError::MissingField { name } => {
+                write!(f, "host did not provide input field `{name}`")
+            }
+            EngineError::NoSuchOutput { name } => {
+                write!(f, "program assigns no field named `{name}`")
+            }
+            EngineError::FieldSize { name, expected, found } => write!(
+                f,
+                "field `{name}`: expected {expected} lanes, found {found}"
+            ),
+            EngineError::ModeMismatch { detail } => write!(f, "mode mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<FrontendError> for EngineError {
+    fn from(e: FrontendError) -> Self {
+        EngineError::Frontend(e)
+    }
+}
+
+impl From<ScheduleError> for EngineError {
+    fn from(e: ScheduleError) -> Self {
+        EngineError::Schedule(e)
+    }
+}
+
+impl From<OclError> for EngineError {
+    fn from(e: OclError) -> Self {
+        EngineError::Ocl(e)
+    }
+}
+
+impl From<FuseError> for EngineError {
+    fn from(e: FuseError) -> Self {
+        EngineError::Fuse(e)
+    }
+}
+
+impl EngineError {
+    /// Whether this is the device out-of-memory failure mode the paper's
+    /// evaluation tracks (gray series in Figures 5 and 6).
+    pub fn is_out_of_memory(&self) -> bool {
+        matches!(self, EngineError::Ocl(OclError::OutOfMemory { .. }))
+    }
+}

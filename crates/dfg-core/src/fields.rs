@@ -1,0 +1,189 @@
+//! Host-side field containers — the NumPy-array interface of the paper's
+//! host interface (§III-D), in Rust form.
+
+use std::collections::HashMap;
+
+use dfg_dataflow::Width;
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+
+/// One host field: real data or a virtual (model-mode) placeholder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldValue {
+    /// Value width.
+    pub width: Width,
+    /// Backing data (`None` for virtual fields used with
+    /// [`dfg_ocl::ExecMode::Model`]).
+    pub data: Option<Vec<f32>>,
+}
+
+/// The set of input fields a host application provides for one execution:
+/// the analogue of the paper's "NumPy objects for the input data arrays".
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSet {
+    ncells: usize,
+    fields: HashMap<String, FieldValue>,
+}
+
+impl FieldSet {
+    /// An empty field set for meshes of `ncells` cells.
+    pub fn new(ncells: usize) -> Self {
+        FieldSet { ncells, fields: HashMap::new() }
+    }
+
+    /// Cell count all problem-sized fields must match.
+    pub fn ncells(&self) -> usize {
+        self.ncells
+    }
+
+    /// Insert a problem-sized scalar field.
+    ///
+    /// # Errors
+    /// Returns the expected/actual lengths on mismatch.
+    pub fn insert_scalar(&mut self, name: &str, data: Vec<f32>) -> Result<(), (usize, usize)> {
+        if data.len() != self.ncells {
+            return Err((self.ncells, data.len()));
+        }
+        self.fields.insert(
+            name.to_string(),
+            FieldValue { width: Width::Scalar, data: Some(data) },
+        );
+        Ok(())
+    }
+
+    /// Insert a small auxiliary buffer (e.g. `dims`, 3 lanes).
+    pub fn insert_small(&mut self, name: &str, data: Vec<f32>) {
+        self.fields.insert(
+            name.to_string(),
+            FieldValue { width: Width::Small, data: Some(data) },
+        );
+    }
+
+    /// Insert a virtual scalar field (model mode: shape only, no data).
+    pub fn insert_virtual_scalar(&mut self, name: &str) {
+        self.fields
+            .insert(name.to_string(), FieldValue { width: Width::Scalar, data: None });
+    }
+
+    /// Insert a virtual small buffer.
+    pub fn insert_virtual_small(&mut self, name: &str) {
+        self.fields
+            .insert(name.to_string(), FieldValue { width: Width::Small, data: None });
+    }
+
+    /// Look up a field.
+    pub fn get(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.get(name)
+    }
+
+    /// Number of lanes a field of `width` occupies in this set.
+    pub fn lanes(&self, width: Width) -> usize {
+        match width {
+            Width::Scalar => self.ncells,
+            Width::Vec4 => 4 * self.ncells,
+            Width::Small => 3,
+        }
+    }
+
+    /// Build the full evaluation field set for a mesh: coordinates `x, y,
+    /// z`, the `dims` triple, and the synthetic RT velocity `u, v, w`.
+    pub fn for_rt_mesh(mesh: &RectilinearMesh, workload: &RtWorkload) -> Self {
+        let mut fs = FieldSet::new(mesh.ncells());
+        let (x, y, z) = mesh.coord_arrays();
+        let (u, v, w) = workload.sample_velocity(mesh);
+        fs.insert_scalar("x", x).expect("coord length");
+        fs.insert_scalar("y", y).expect("coord length");
+        fs.insert_scalar("z", z).expect("coord length");
+        fs.insert_scalar("u", u).expect("velocity length");
+        fs.insert_scalar("v", v).expect("velocity length");
+        fs.insert_scalar("w", w).expect("velocity length");
+        fs.insert_small("dims", mesh.dims_buffer());
+        fs
+    }
+
+    /// Build a virtual (model-mode) field set with the standard evaluation
+    /// fields for a grid of `dims` cells.
+    pub fn virtual_rt(dims: [usize; 3]) -> Self {
+        let mut fs = FieldSet::new(dims[0] * dims[1] * dims[2]);
+        for name in ["x", "y", "z", "u", "v", "w"] {
+            fs.insert_virtual_scalar(name);
+        }
+        fs.insert_virtual_small("dims");
+        fs
+    }
+}
+
+/// A derived field returned to the host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Result width (scalar for all the paper's expressions).
+    pub width: Width,
+    /// Cell count.
+    pub ncells: usize,
+    /// Flattened data, `ncells` lanes for scalars, `4 × ncells` for vec4.
+    pub data: Vec<f32>,
+}
+
+impl Field {
+    /// View as a scalar field, if scalar.
+    pub fn as_scalar(&self) -> Option<&[f32]> {
+        (self.width == Width::Scalar).then_some(&self.data[..])
+    }
+
+    /// The `comp` component of each element, for vec4 fields.
+    pub fn component(&self, comp: usize) -> Option<Vec<f32>> {
+        if self.width != Width::Vec4 || comp >= 4 {
+            return None;
+        }
+        Some((0..self.ncells).map(|i| self.data[4 * i + comp]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_checks_length() {
+        let mut fs = FieldSet::new(4);
+        assert!(fs.insert_scalar("u", vec![0.0; 4]).is_ok());
+        assert_eq!(fs.insert_scalar("v", vec![0.0; 3]), Err((4, 3)));
+    }
+
+    #[test]
+    fn rt_field_set_has_all_seven_inputs() {
+        let mesh = RectilinearMesh::unit_cube([4, 4, 4]);
+        let fs = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+        for name in ["u", "v", "w", "x", "y", "z", "dims"] {
+            assert!(fs.get(name).is_some(), "missing {name}");
+        }
+        assert_eq!(fs.get("dims").unwrap().width, Width::Small);
+        assert_eq!(fs.get("u").unwrap().data.as_ref().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn virtual_set_has_no_data() {
+        let fs = FieldSet::virtual_rt([192, 192, 256]);
+        assert_eq!(fs.ncells(), 9_437_184);
+        assert!(fs.get("u").unwrap().data.is_none());
+    }
+
+    #[test]
+    fn field_component_extraction() {
+        let f = Field {
+            width: Width::Vec4,
+            ncells: 2,
+            data: vec![1.0, 2.0, 3.0, 0.0, 4.0, 5.0, 6.0, 0.0],
+        };
+        assert_eq!(f.component(1).unwrap(), vec![2.0, 5.0]);
+        assert!(f.as_scalar().is_none());
+        assert!(f.component(4).is_none());
+    }
+
+    #[test]
+    fn lanes_by_width() {
+        let fs = FieldSet::new(10);
+        assert_eq!(fs.lanes(Width::Scalar), 10);
+        assert_eq!(fs.lanes(Width::Vec4), 40);
+        assert_eq!(fs.lanes(Width::Small), 3);
+    }
+}

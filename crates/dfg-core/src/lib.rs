@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! The derived-field generation engine: execution strategies and host
+//! interface.
+//!
+//! This crate ties the framework together, mirroring the paper's
+//! architecture (Figure 1): the host application hands an expression string
+//! and its input field arrays to [`Engine::derive`]; the expression is
+//! parsed and lowered to a dataflow network (`dfg-expr`), scheduled
+//! (`dfg-dataflow`), and executed on a simulated OpenCL device (`dfg-ocl`)
+//! under one of three [`Strategy`] values using the shared kernel library
+//! (`dfg-kernels`). The derived field and a categorized device-event profile
+//! come back to the host.
+//!
+//! The three executors in [`strategies`] implement exactly the data-movement
+//! protocols of §III-C; their device-event counts reproduce the paper's
+//! Table II and their allocation high-water marks agree with the analytical
+//! model in `dfg_dataflow::memreq` (asserted in this crate's tests).
+
+mod engine;
+mod error;
+mod fields;
+pub mod planner;
+pub mod strategies;
+pub mod workloads;
+
+#[cfg(test)]
+mod tests;
+
+pub use dfg_dataflow::Strategy;
+pub use engine::{Engine, EngineOptions, ExecReport};
+pub use error::EngineError;
+pub use fields::{Field, FieldSet, FieldValue};
+pub use planner::{plan, Plan, PlanOption};
+pub use workloads::Workload;

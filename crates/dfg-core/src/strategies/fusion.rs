@@ -1,0 +1,91 @@
+//! The *fusion* execution strategy (§III-C.3).
+//!
+//! The dynamic kernel generator (`dfg_kernels::fuse`) compiles the whole
+//! network into one kernel; each distinct input field is uploaded once, a
+//! single kernel launch computes the derived field with intermediates in
+//! registers, and one download returns the result.
+
+use dfg_dataflow::{NetworkSpec, NodeId, Width};
+use dfg_kernels::{fuse_roots, FusedKernel};
+use dfg_ocl::{Context, ExecMode};
+
+use crate::error::EngineError;
+use crate::fields::{Field, FieldSet};
+use crate::strategies::{check_field, lanes_for};
+
+/// Execute `spec` with the fusion strategy. Returns the derived field in
+/// real mode, `None` in model mode, plus the generated kernel source.
+pub fn run_fusion(
+    spec: &NetworkSpec,
+    fields: &FieldSet,
+    ctx: &mut Context,
+    label: &str,
+) -> Result<(Option<Field>, String), EngineError> {
+    let (fields_out, source) =
+        run_fusion_multi(spec, &[spec.result], fields, ctx, label)?;
+    Ok((fields_out.map(|mut v| v.pop().expect("one root, one field")), source))
+}
+
+/// Multi-output fusion: one generated kernel computes every root, writing
+/// an interleaved output buffer that is de-interleaved host-side after the
+/// single download.
+pub fn run_fusion_multi(
+    spec: &NetworkSpec,
+    roots: &[NodeId],
+    fields: &FieldSet,
+    ctx: &mut Context,
+    label: &str,
+) -> Result<(Option<Vec<Field>>, String), EngineError> {
+    let real = ctx.mode() == ExecMode::Real;
+    let n = fields.ncells();
+    let program = fuse_roots(spec, roots)?;
+    let source = program.generated_source(&format!("fused_{label}"));
+    ctx.record_compile(&format!("fused_{label}"));
+
+    let mut bufs = Vec::with_capacity(program.inputs.len());
+    for slot in &program.inputs {
+        let fv = check_field(fields, &slot.name, slot.small, ctx.mode())?;
+        let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+        if real {
+            ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+        } else {
+            ctx.enqueue_write_virtual(buf)?;
+        }
+        bufs.push(buf);
+    }
+    let lanes_per_elem = program.lanes_per_elem;
+    let out = ctx.create_buffer(lanes_per_elem * n)?;
+    let outputs_meta: Vec<(Width, usize)> = program
+        .outputs
+        .iter()
+        .map(|o| (o.width, o.lane_offset))
+        .collect();
+    let kernel = FusedKernel::new(program, label);
+    ctx.launch(&kernel, &bufs, out, n)?;
+
+    let fields_out = if real {
+        let interleaved = ctx.enqueue_read(out)?;
+        let mut result = Vec::with_capacity(outputs_meta.len());
+        for &(width, lane_offset) in &outputs_meta {
+            let w = match width {
+                Width::Vec4 => 4,
+                _ => 1,
+            };
+            let mut data = Vec::with_capacity(w * n);
+            for i in 0..n {
+                let base = i * lanes_per_elem + lane_offset;
+                data.extend_from_slice(&interleaved[base..base + w]);
+            }
+            result.push(Field { width, ncells: n, data });
+        }
+        Some(result)
+    } else {
+        ctx.enqueue_read_virtual(out)?;
+        None
+    };
+    for buf in bufs {
+        ctx.release(buf)?;
+    }
+    ctx.release(out)?;
+    Ok((fields_out, source))
+}

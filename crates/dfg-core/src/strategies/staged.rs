@@ -1,0 +1,120 @@
+//! The *staged* execution strategy (§III-C.2).
+//!
+//! One kernel per filter, with intermediate results staged in device global
+//! memory between kernel invocations: inputs are uploaded lazily (just
+//! before their first consuming kernel), `decompose` is a device kernel
+//! (*"it implements the decomposition primitive using a kernel to move
+//! intermediate results on the OpenCL target device"*), constants are
+//! materialized by a device fill kernel, and buffers are released the moment
+//! their reference count drops to zero.
+
+use std::collections::HashMap;
+
+use dfg_dataflow::{FilterOp, NetworkSpec, NodeId, Schedule};
+use dfg_kernels::Primitive;
+use dfg_ocl::{BufferId, Context, ExecMode};
+
+use crate::error::EngineError;
+use crate::fields::{Field, FieldSet};
+use crate::strategies::{check_field, lanes_for};
+
+/// Execute `spec` with the staged strategy. Returns the derived field in
+/// real mode, `None` in model mode.
+pub fn run_staged(
+    spec: &NetworkSpec,
+    sched: &Schedule,
+    fields: &FieldSet,
+    ctx: &mut Context,
+) -> Result<Option<Field>, EngineError> {
+    let out = run_staged_multi(spec, sched, fields, ctx, &[spec.result])?;
+    Ok(out.map(|mut v| v.pop().expect("one root, one field")))
+}
+
+/// Multi-output staged execution: one device-to-host read per root.
+pub fn run_staged_multi(
+    spec: &NetworkSpec,
+    sched: &Schedule,
+    fields: &FieldSet,
+    ctx: &mut Context,
+    roots: &[NodeId],
+) -> Result<Option<Vec<Field>>, EngineError> {
+    let real = ctx.mode() == ExecMode::Real;
+    let n = fields.ncells();
+    let mut dev: HashMap<NodeId, BufferId> = HashMap::new();
+
+    for (step, &id) in sched.order.iter().enumerate() {
+        let node = spec.node(id);
+        match &node.op {
+            // Uploaded lazily at first consumer.
+            FilterOp::Input { .. } => {}
+            op => {
+                // Make every operand resident (this is where lazy input
+                // uploads happen, in port order — matching memreq's staged
+                // simulation exactly).
+                for &input in &node.inputs {
+                    if dev.contains_key(&input) {
+                        continue;
+                    }
+                    let FilterOp::Input { name, small } = &spec.node(input).op else {
+                        unreachable!("non-input operand {input} not yet resident");
+                    };
+                    let fv = check_field(fields, name, *small, ctx.mode())?;
+                    let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+                    if real {
+                        ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+                    } else {
+                        ctx.enqueue_write_virtual(buf)?;
+                    }
+                    dev.insert(input, buf);
+                }
+                let prim = Primitive::from_filter_op(op).expect("compute op or const");
+                let out = ctx.create_buffer(lanes_for(op.width(), n))?;
+                let inputs: Vec<BufferId> =
+                    node.inputs.iter().map(|i| dev[i]).collect();
+                ctx.launch(&prim, &inputs, out, n)?;
+                dev.insert(id, out);
+            }
+        }
+        // Reference counting: release buffers whose last consumer ran.
+        for dead in &sched.free_after[step] {
+            if let Some(buf) = dev.remove(dead) {
+                ctx.release(buf)?;
+            }
+        }
+    }
+
+    let mut out = real.then(Vec::new);
+    for &root in roots {
+        let result_buf = match dev.get(&root) {
+            Some(&buf) => buf,
+            None => {
+                // Degenerate network: the root is a bare input never
+                // consumed by a kernel. Upload it so the device-to-host
+                // protocol holds.
+                let FilterOp::Input { name, small } = &spec.node(root).op else {
+                    unreachable!("non-input root must have been computed")
+                };
+                let fv = check_field(fields, name, *small, ctx.mode())?;
+                let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+                if real {
+                    ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+                } else {
+                    ctx.enqueue_write_virtual(buf)?;
+                }
+                dev.insert(root, buf);
+                buf
+            }
+        };
+        if let Some(fields_out) = out.as_mut() {
+            let data = ctx.enqueue_read(result_buf)?;
+            fields_out.push(Field { width: spec.width(root), ncells: n, data });
+        } else {
+            ctx.enqueue_read_virtual(result_buf)?;
+        }
+    }
+    // Drain the device.
+    for (_, buf) in dev {
+        ctx.release(buf)?;
+    }
+    Ok(out)
+}

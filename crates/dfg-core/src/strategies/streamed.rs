@@ -1,0 +1,171 @@
+//! The *streamed fusion* execution strategy — the paper's §VI future work
+//! ("we plan to investigate the runtime performance of our execution
+//! strategies in a streaming context"), implemented.
+//!
+//! The mesh is processed in z-slabs. Each slab is uploaded with a one-cell
+//! halo (so the gradient stencil sees its neighbours), computed with the
+//! *same* fused kernel the fusion strategy generates, and its interior is
+//! downloaded — bounding device memory by the slab size instead of the grid
+//! size. Results are bit-identical to single-pass fusion: interior cells
+//! use the same central differences, and the global boundary slabs use the
+//! same one-sided differences.
+
+use dfg_dataflow::{NetworkSpec, Width};
+use dfg_kernels::{fuse, Dims3, FusedKernel};
+use dfg_ocl::{Context, ExecMode};
+
+use crate::error::EngineError;
+use crate::fields::{Field, FieldSet};
+use crate::strategies::check_field;
+
+/// Execute `spec` by streaming z-slabs through the fused kernel, keeping
+/// peak device memory at or below `device_budget_bytes`.
+///
+/// The grid shape comes from the program's `dims` input when a gradient is
+/// present; purely elementwise programs are streamed as flat chunks.
+/// Returns the derived field (real mode), the generated kernel source, and
+/// the number of slabs used.
+pub fn run_streamed_fusion(
+    spec: &NetworkSpec,
+    fields: &FieldSet,
+    ctx: &mut Context,
+    label: &str,
+    device_budget_bytes: u64,
+) -> Result<(Option<Field>, String, usize), EngineError> {
+    let real = ctx.mode() == ExecMode::Real;
+    let n = fields.ncells();
+    let program = fuse(spec)?;
+    let source = program.generated_source(&format!("fused_{label}_streamed"));
+    ctx.record_compile(&format!("fused_{label}_streamed"));
+
+    // Bytes per mesh cell resident on the device: each input slot plus the
+    // output, in f32 lanes.
+    let mut lanes_per_cell: u64 = match program.output_width {
+        Width::Vec4 => 4,
+        _ => 1,
+    };
+    let mut needs_dims = false;
+    for slot in &program.inputs {
+        if slot.small {
+            needs_dims = true;
+        } else {
+            lanes_per_cell += 1;
+        }
+    }
+    let bytes_per_cell = 4 * lanes_per_cell;
+
+    // Grid shape: [nx, ny, nz] from the dims field when the program uses a
+    // gradient; otherwise stream the flat array as [n, 1, 1]-shaped rows.
+    let (dims3, halo) = if needs_dims {
+        let fv = check_field(fields, "dims", true, ctx.mode())?;
+        let data = fv.data.as_ref().ok_or_else(|| EngineError::ModeMismatch {
+            detail: "streaming a gradient program needs a concrete `dims` buffer \
+                     even in model mode"
+                .into(),
+        })?;
+        let d = Dims3::from_buffer(data);
+        if d.ncells() != n {
+            return Err(EngineError::FieldSize {
+                name: "dims".into(),
+                expected: n,
+                found: d.ncells(),
+            });
+        }
+        (d, 1usize)
+    } else {
+        // Elementwise programs have no stencil: stream flat chunks by
+        // treating every cell as its own z-layer.
+        (Dims3 { nx: 1, ny: 1, nz: n }, 0usize)
+    };
+    let plane = dims3.nx * dims3.ny; // cells per z-layer
+
+    // Pick the largest slab depth whose ghosted extent fits the budget.
+    let layer_bytes = plane as u64 * bytes_per_cell;
+    let max_layers = (device_budget_bytes / layer_bytes.max(1)) as usize;
+    let interior_layers = max_layers.saturating_sub(2 * halo);
+    if interior_layers == 0 {
+        return Err(EngineError::Ocl(dfg_ocl::OclError::OutOfMemory {
+            requested: (1 + 2 * halo) as u64 * layer_bytes,
+            in_use: 0,
+            capacity: device_budget_bytes,
+        }));
+    }
+    let nz = dims3.nz;
+    let slabs = nz.div_ceil(interior_layers);
+
+    let mut out_data = real.then(|| {
+        vec![
+            0.0f32;
+            n * match program.output_width {
+                Width::Vec4 => 4,
+                _ => 1,
+            }
+        ]
+    });
+    let out_lanes_per_cell = match program.output_width {
+        Width::Vec4 => 4usize,
+        _ => 1,
+    };
+
+    let kernel = FusedKernel::new(program, &format!("{label}_streamed"));
+
+    for slab in 0..slabs {
+        let z0 = slab * interior_layers;
+        let z1 = (z0 + interior_layers).min(nz);
+        let gz0 = z0.saturating_sub(halo);
+        let gz1 = (z1 + halo).min(nz);
+        let slab_cells = plane * (gz1 - gz0);
+
+        // Upload each input's slab (ghosted along z).
+        let mut bufs = Vec::with_capacity(kernel.program.inputs.len());
+        for slot in &kernel.program.inputs {
+            let fv = check_field(fields, &slot.name, slot.small, ctx.mode())?;
+            if slot.small {
+                // Per-slab dims buffer.
+                let buf = ctx.create_buffer(3)?;
+                if real {
+                    ctx.enqueue_write(
+                        buf,
+                        &[dims3.nx as f32, dims3.ny as f32, (gz1 - gz0) as f32],
+                    )?;
+                } else {
+                    ctx.enqueue_write_virtual(buf)?;
+                }
+                bufs.push(buf);
+            } else {
+                let buf = ctx.create_buffer(slab_cells)?;
+                if real {
+                    let data = fv.data.as_ref().expect("real mode");
+                    ctx.enqueue_write(buf, &data[plane * gz0..plane * gz1])?;
+                } else {
+                    ctx.enqueue_write_virtual(buf)?;
+                }
+                bufs.push(buf);
+            }
+        }
+        let out = ctx.create_buffer(slab_cells * out_lanes_per_cell)?;
+        ctx.launch(&kernel, &bufs, out, slab_cells)?;
+        if real {
+            let slab_out = ctx.enqueue_read(out)?;
+            let dst = out_data.as_mut().expect("real mode");
+            // Copy the interior layers [z0, z1) out of the ghosted slab.
+            let src_off = (z0 - gz0) * plane * out_lanes_per_cell;
+            let len = (z1 - z0) * plane * out_lanes_per_cell;
+            dst[z0 * plane * out_lanes_per_cell..][..len]
+                .copy_from_slice(&slab_out[src_off..src_off + len]);
+        } else {
+            ctx.enqueue_read_virtual(out)?;
+        }
+        for buf in bufs {
+            ctx.release(buf)?;
+        }
+        ctx.release(out)?;
+    }
+
+    let field = out_data.map(|data| Field {
+        width: spec.width(spec.result),
+        ncells: n,
+        data,
+    });
+    Ok((field, source, slabs))
+}

@@ -1,0 +1,771 @@
+//! Core engine tests: Table II event counts, cross-strategy numerical
+//! equivalence, and agreement between measured memory high-water marks and
+//! the analytical model.
+
+use dfg_dataflow::{memreq_units, Strategy};
+use dfg_expr::compile;
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::{DeviceProfile, ExecMode};
+
+use crate::{Engine, EngineOptions, FieldSet, Workload};
+
+fn small_rt_fields(dims: [usize; 3]) -> FieldSet {
+    let mesh = RectilinearMesh::unit_cube(dims);
+    FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default())
+}
+
+fn cpu_engine() -> Engine {
+    Engine::new(DeviceProfile::intel_x5660())
+}
+
+#[test]
+fn table2_counts_match_paper_exactly() {
+    // The paper's Table II, all nine rows, asserted against measured device
+    // events. These counts are size-independent; a small grid suffices.
+    let fields = small_rt_fields([6, 5, 4]);
+    let mut engine = cpu_engine();
+    for workload in Workload::ALL {
+        for strategy in Strategy::ALL {
+            let report = engine
+                .derive(workload.source(), &fields, strategy)
+                .unwrap_or_else(|e| panic!("{workload}/{strategy}: {e}"));
+            assert_eq!(
+                report.table2_row(),
+                workload.paper_table2(strategy),
+                "{workload} under {strategy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn strategies_agree_with_each_other_and_reference() {
+    let fields = small_rt_fields([8, 7, 6]);
+    let mut engine = cpu_engine();
+    for workload in Workload::ALL {
+        let rt = engine.derive(workload.source(), &fields, Strategy::Roundtrip).unwrap();
+        let st = engine.derive(workload.source(), &fields, Strategy::Staged).unwrap();
+        let fu = engine.derive(workload.source(), &fields, Strategy::Fusion).unwrap();
+        let rf = engine.run_reference(workload, &fields).unwrap();
+        let rt = rt.field.unwrap();
+        let st = st.field.unwrap();
+        let fu = fu.field.unwrap();
+        let rf = rf.field.unwrap();
+        let scale = rt
+            .data
+            .iter()
+            .fold(1e-6f32, |acc, &x| acc.max(x.abs()));
+        for i in 0..rt.ncells {
+            let (a, b, c, d) = (rt.data[i], st.data[i], fu.data[i], rf.data[i]);
+            assert!(
+                (a - b).abs() <= 1e-5 * scale,
+                "{workload} roundtrip vs staged at {i}: {a} vs {b}"
+            );
+            assert!(
+                (a - c).abs() <= 1e-5 * scale,
+                "{workload} roundtrip vs fusion at {i}: {a} vs {c}"
+            );
+            assert!(
+                (a - d).abs() <= 1e-4 * scale,
+                "{workload} roundtrip vs reference at {i}: {a} vs {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_high_water_matches_analytical_model() {
+    // The executors and dfg_dataflow::memreq must agree byte-for-byte.
+    let dims = [6, 5, 4];
+    let n = (dims[0] * dims[1] * dims[2]) as u64;
+    let fields = small_rt_fields(dims);
+    let mut engine = cpu_engine();
+    for workload in Workload::ALL {
+        let spec = compile(workload.source()).unwrap();
+        for strategy in Strategy::ALL {
+            let report = engine.derive_spec(&spec, &fields, strategy).unwrap();
+            let predicted = memreq_units(&spec, strategy).unwrap().bytes(n);
+            assert_eq!(
+                report.high_water_bytes(),
+                predicted,
+                "{workload} under {strategy}: measured vs modeled"
+            );
+        }
+    }
+}
+
+#[test]
+fn model_mode_reproduces_real_mode_accounting() {
+    let dims = [6, 5, 4];
+    let fields_real = small_rt_fields(dims);
+    let fields_virtual = {
+        let mut fs = FieldSet::new(dims[0] * dims[1] * dims[2]);
+        for name in ["u", "v", "w", "x", "y", "z"] {
+            fs.insert_virtual_scalar(name);
+        }
+        fs.insert_virtual_small("dims");
+        fs
+    };
+    let mut real = cpu_engine();
+    let mut model = Engine::with_options(
+        DeviceProfile::intel_x5660(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    for workload in Workload::ALL {
+        for strategy in Strategy::ALL {
+            let r = real.derive(workload.source(), &fields_real, strategy).unwrap();
+            let m = model.derive(workload.source(), &fields_virtual, strategy).unwrap();
+            assert!(m.field.is_none());
+            assert_eq!(r.table2_row(), m.table2_row(), "{workload}/{strategy}");
+            assert_eq!(r.high_water_bytes(), m.high_water_bytes());
+            assert!(
+                (r.device_seconds() - m.device_seconds()).abs() < 1e-12,
+                "{workload}/{strategy} modeled clocks diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn fusion_reports_generated_source() {
+    let fields = small_rt_fields([4, 4, 4]);
+    let mut engine = cpu_engine();
+    let report = engine
+        .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+        .unwrap();
+    let src = report.generated_source.expect("fusion emits source");
+    assert!(src.contains("__kernel void fused_q_crit"));
+    assert!(src.contains("dfg_grad3d("));
+    assert!(src.contains("0.5f"), "constant not source-inserted");
+    // Roundtrip/staged do not generate source.
+    let r2 = engine
+        .derive(Workload::QCriterion.source(), &fields, Strategy::Staged)
+        .unwrap();
+    assert!(r2.generated_source.is_none());
+}
+
+#[test]
+fn gpu_oom_failure_mode() {
+    // A grid big enough that staged Q-criterion exceeds the M2050's 3 GB in
+    // model mode (no host RAM needed).
+    let mut engine = Engine::with_options(
+        DeviceProfile::nvidia_m2050(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    let fields = FieldSet::virtual_rt([192, 192, 2048]);
+    let err = engine
+        .derive(Workload::QCriterion.source(), &fields, Strategy::Staged)
+        .unwrap_err();
+    assert!(err.is_out_of_memory(), "expected OOM, got {err}");
+    // The same case fits under fusion (7 problem-sized arrays).
+    let ok = engine
+        .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+        .unwrap();
+    assert!(ok.high_water_bytes() <= 2_500_000_000);
+}
+
+#[test]
+fn missing_field_is_reported() {
+    let mut engine = cpu_engine();
+    let mut fields = FieldSet::new(8);
+    fields.insert_scalar("u", vec![0.0; 8]).unwrap();
+    let err = engine
+        .derive("r = u + q", &fields, Strategy::Staged)
+        .unwrap_err();
+    assert!(matches!(err, crate::EngineError::MissingField { ref name } if name == "q"));
+}
+
+#[test]
+fn intro_conditional_executes() {
+    // §I: a = if (norm(grad3d(b,…)) > 10) then (c*c) else (-c*c)
+    let mesh = RectilinearMesh::unit_cube([6, 6, 6]);
+    let mut fields = FieldSet::new(mesh.ncells());
+    let (x, y, z) = mesh.coord_arrays();
+    // b has |grad| = 20 in half the domain, 0 elsewhere.
+    let b = mesh.sample(|x, _, _| if x > 0.5 { 20.0 * x } else { 0.0 });
+    let c = mesh.sample(|_, y, _| 1.0 + y);
+    fields.insert_scalar("x", x).unwrap();
+    fields.insert_scalar("y", y).unwrap();
+    fields.insert_scalar("z", z).unwrap();
+    fields.insert_scalar("b", b).unwrap();
+    fields.insert_scalar("c", c).unwrap();
+    fields.insert_small("dims", mesh.dims_buffer());
+    let mut engine = cpu_engine();
+    for strategy in Strategy::ALL {
+        let out = engine
+            .derive(crate::workloads::INTRO_CONDITIONAL, &fields, strategy)
+            .unwrap()
+            .field
+            .unwrap();
+        let s = out.as_scalar().unwrap();
+        // Interior cell with steep gradient: c*c > 0; flat region: -c*c < 0.
+        let steep = mesh.index(4, 3, 3);
+        let flat = mesh.index(1, 3, 3);
+        assert!(s[steep] > 0.0, "{strategy}: steep cell must be positive");
+        assert!(s[flat] < 0.0, "{strategy}: flat cell must be negative");
+    }
+}
+
+#[test]
+fn vorticity_matches_taylor_green_exact_solution() {
+    use dfg_mesh::analytic::taylor_green;
+    let tau = std::f32::consts::TAU;
+    let n = 24usize;
+    let mesh = RectilinearMesh::uniform([n, n, 4], [0.0; 3], [tau / n as f32; 3]);
+    let mut fields = FieldSet::new(mesh.ncells());
+    let (x, y, z) = mesh.coord_arrays();
+    fields
+        .insert_scalar("u", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]))
+        .unwrap();
+    fields
+        .insert_scalar("v", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[1]))
+        .unwrap();
+    fields
+        .insert_scalar("w", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[2]))
+        .unwrap();
+    fields.insert_scalar("x", x).unwrap();
+    fields.insert_scalar("y", y).unwrap();
+    fields.insert_scalar("z", z).unwrap();
+    fields.insert_small("dims", mesh.dims_buffer());
+    let mut engine = cpu_engine();
+    let out = engine
+        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Fusion)
+        .unwrap()
+        .field
+        .unwrap();
+    let s = out.as_scalar().unwrap();
+    for j in 2..n - 2 {
+        for i in 2..n - 2 {
+            let idx = mesh.index(i, j, 2);
+            let c = mesh.cell_center(i, j, 2);
+            let exact = taylor_green::vorticity(c[0], c[1], c[2])[2].abs();
+            assert!(
+                (s[idx] - exact).abs() < 0.06,
+                "({i},{j}): {} vs {exact}",
+                s[idx]
+            );
+        }
+    }
+}
+
+#[test]
+fn device_seconds_order_fusion_fastest_roundtrip_slowest() {
+    // Figure 5's headline shape, from the virtual clock, at paper scale in
+    // model mode.
+    let mut engine = Engine::with_options(
+        DeviceProfile::nvidia_m2050(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    let fields = FieldSet::virtual_rt([192, 192, 256]);
+    for workload in Workload::ALL {
+        let rt = engine
+            .derive(workload.source(), &fields, Strategy::Roundtrip)
+            .unwrap()
+            .device_seconds();
+        let st = engine
+            .derive(workload.source(), &fields, Strategy::Staged)
+            .unwrap()
+            .device_seconds();
+        let fu = engine
+            .derive(workload.source(), &fields, Strategy::Fusion)
+            .unwrap()
+            .device_seconds();
+        let rf = engine.run_reference(workload, &fields).unwrap().device_seconds();
+        assert!(fu < st, "{workload}: fusion {fu} !< staged {st}");
+        assert!(st < rt, "{workload}: staged {st} !< roundtrip {rt}");
+        assert!(
+            fu < 2.0 * rf,
+            "{workload}: fusion {fu} not competitive with reference {rf}"
+        );
+    }
+}
+
+#[test]
+fn gpu_beats_cpu_when_it_fits() {
+    let fields = FieldSet::virtual_rt([192, 192, 256]);
+    let mut gpu = Engine::with_options(
+        DeviceProfile::nvidia_m2050(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    let mut cpu = Engine::with_options(
+        DeviceProfile::intel_x5660(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    for workload in Workload::ALL {
+        for strategy in Strategy::ALL {
+            let g = gpu.derive(workload.source(), &fields, strategy).unwrap();
+            let c = cpu.derive(workload.source(), &fields, strategy).unwrap();
+            assert!(
+                g.device_seconds() <= c.device_seconds() * 1.05,
+                "{workload}/{strategy}: GPU {} slower than CPU {}",
+                g.device_seconds(),
+                c.device_seconds()
+            );
+        }
+    }
+}
+
+#[test]
+fn derive_spec_reusable_across_runs() {
+    let fields = small_rt_fields([4, 4, 4]);
+    let spec = compile(Workload::VelocityMagnitude.source()).unwrap();
+    let mut engine = cpu_engine();
+    let a = engine.derive_spec(&spec, &fields, Strategy::Staged).unwrap();
+    let b = engine.derive_spec(&spec, &fields, Strategy::Staged).unwrap();
+    assert_eq!(a.table2_row(), b.table2_row());
+    assert_eq!(a.field, b.field);
+}
+
+#[test]
+fn roundtrip_dedup_ablation_reduces_uploads() {
+    // DESIGN.md D1: per-port uploads (paper) vs deduplicated uploads.
+    let fields = small_rt_fields([6, 5, 4]);
+    let mut paper = cpu_engine();
+    let mut dedup = Engine::with_options(
+        DeviceProfile::intel_x5660(),
+        EngineOptions { roundtrip_dedup_uploads: true, ..Default::default() },
+    );
+    // VelMag: u*u style kernels drop from 11 to 8 uploads.
+    let p = paper
+        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Roundtrip)
+        .unwrap();
+    let d = dedup
+        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Roundtrip)
+        .unwrap();
+    assert_eq!(p.table2_row().0, 11);
+    assert_eq!(d.table2_row().0, 8);
+    // Results are identical either way.
+    assert_eq!(p.field, d.field);
+    // And the deduped variant moves strictly less data.
+    assert!(d.device_seconds() < p.device_seconds());
+}
+
+#[test]
+fn streamed_fusion_bit_identical_to_fusion() {
+    // §VI future work: streaming must not change results — z-slab halos
+    // give the same stencil arithmetic as the single-pass kernel.
+    let fields = small_rt_fields([8, 7, 9]);
+    let mut engine = cpu_engine();
+    for workload in Workload::ALL {
+        let fused = engine
+            .derive(workload.source(), &fields, Strategy::Fusion)
+            .unwrap()
+            .field
+            .unwrap();
+        // Budget small enough to force several slabs: each slab holds
+        // 8 arrays/cell; 3 z-layers of 8x7 cells.
+        let budget = 8 * 4 * (8 * 7 * 3) as u64;
+        let streamed = engine
+            .derive_streamed(workload.source(), &fields, Some(budget))
+            .unwrap();
+        assert!(
+            streamed.high_water_bytes() <= budget,
+            "{workload}: streamed peak {} exceeds budget {budget}",
+            streamed.high_water_bytes()
+        );
+        let streamed = streamed.field.unwrap();
+        for i in 0..fused.data.len() {
+            assert_eq!(
+                fused.data[i].to_bits(),
+                streamed.data[i].to_bits(),
+                "{workload} at {i}: {} vs {}",
+                fused.data[i],
+                streamed.data[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_completes_cases_fusion_cannot() {
+    // A Figure 5 "FAILED" case: Q-criterion on the largest Table I grid
+    // exceeds the M2050's usable memory under single-pass fusion, but
+    // streams fine. (Model mode needs a concrete dims buffer to slab.)
+    let dims = [192usize, 192, 3072];
+    let mut fields = FieldSet::virtual_rt(dims);
+    fields.insert_small(
+        "dims",
+        vec![dims[0] as f32, dims[1] as f32, dims[2] as f32],
+    );
+    let mut gpu = Engine::with_options(
+        DeviceProfile::nvidia_m2050(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    let src = Workload::QCriterion.source();
+    assert!(gpu.derive(src, &fields, Strategy::Fusion).unwrap_err().is_out_of_memory());
+    let streamed = gpu.derive_streamed(src, &fields, None).unwrap();
+    assert!(streamed.high_water_bytes() <= gpu.device().global_mem_bytes);
+    // Streaming pays for its flexibility with extra transfers (the halo
+    // layers) but stays within ~2x of what unconstrained fusion would cost.
+    let mut cpu_like = Engine::with_options(
+        DeviceProfile::intel_x5660(),
+        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+    );
+    let unconstrained = cpu_like.derive(src, &fields, Strategy::Fusion).unwrap();
+    let gpu_over_cpu =
+        streamed.profile.count(dfg_ocl::EventKind::KernelExec) as f64;
+    assert!(gpu_over_cpu > 1.0, "streaming must use multiple slabs");
+    assert!(unconstrained.device_seconds() > 0.0);
+}
+
+#[test]
+fn streaming_rejects_impossible_budget() {
+    let fields = small_rt_fields([8, 8, 8]);
+    let mut engine = cpu_engine();
+    let err = engine
+        .derive_streamed(Workload::QCriterion.source(), &fields, Some(64))
+        .unwrap_err();
+    assert!(err.is_out_of_memory());
+}
+
+#[test]
+fn streaming_elementwise_chunks_without_dims() {
+    let fields = small_rt_fields([6, 6, 6]);
+    let mut engine = cpu_engine();
+    let fused = engine
+        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Fusion)
+        .unwrap()
+        .field
+        .unwrap();
+    // Chunk the 216-cell array into pieces of at most 50 cells (4 arrays).
+    let streamed = engine
+        .derive_streamed(
+            Workload::VelocityMagnitude.source(),
+            &fields,
+            Some(4 * 4 * 50),
+        )
+        .unwrap();
+    let (w, _r, k) = streamed.table2_row();
+    assert!(k >= 5, "expected >= 5 chunks, got {k} kernels");
+    assert!(w >= 3 * k, "each chunk re-uploads its three inputs");
+    assert_eq!(streamed.field.unwrap().data, fused.data);
+}
+
+#[test]
+fn curl_sugar_equals_fig3b_vorticity() {
+    // `norm(curl(...))` must compute exactly what the hand-written Figure
+    // 3B program computes, under every strategy.
+    let fields = small_rt_fields([7, 6, 5]);
+    let mut engine = cpu_engine();
+    let reference = engine
+        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Fusion)
+        .unwrap()
+        .field
+        .unwrap();
+    for strategy in Strategy::ALL {
+        let sugar = engine
+            .derive(
+                "w_mag = norm(curl(u, v, w, dims, x, y, z))",
+                &fields,
+                strategy,
+            )
+            .unwrap()
+            .field
+            .unwrap();
+        for i in 0..reference.data.len() {
+            assert!(
+                (sugar.data[i] - reference.data[i]).abs()
+                    <= 1e-5 * reference.data[i].abs().max(1.0),
+                "{strategy} at {i}: {} vs {}",
+                sugar.data[i],
+                reference.data[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn divergence_of_solenoidal_taylor_green_is_small() {
+    use dfg_mesh::analytic::taylor_green;
+    let tau = std::f32::consts::TAU;
+    let n = 20usize;
+    let mesh = RectilinearMesh::uniform([n, n, 4], [0.0; 3], [tau / n as f32; 3]);
+    let mut fields = FieldSet::new(mesh.ncells());
+    let (x, y, z) = mesh.coord_arrays();
+    fields
+        .insert_scalar("u", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]))
+        .unwrap();
+    fields
+        .insert_scalar("v", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[1]))
+        .unwrap();
+    fields
+        .insert_scalar("w", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[2]))
+        .unwrap();
+    fields.insert_scalar("x", x).unwrap();
+    fields.insert_scalar("y", y).unwrap();
+    fields.insert_scalar("z", z).unwrap();
+    fields.insert_small("dims", mesh.dims_buffer());
+    let mut engine = cpu_engine();
+    let out = engine
+        .derive("d = divergence(u, v, w, dims, x, y, z)", &fields, Strategy::Fusion)
+        .unwrap()
+        .field
+        .unwrap();
+    // Taylor–Green is divergence-free; discrete divergence in the interior
+    // must be near zero (f32 stencil error only).
+    let s = out.as_scalar().unwrap();
+    for j in 2..n - 2 {
+        for i in 2..n - 2 {
+            let idx = mesh.index(i, j, 2);
+            assert!(s[idx].abs() < 0.05, "div at ({i},{j}) = {}", s[idx]);
+        }
+    }
+}
+
+#[test]
+fn helicity_and_enstrophy_expressions_run() {
+    // Real derived-field staples built from the extended function library.
+    let fields = small_rt_fields([8, 8, 8]);
+    let mut engine = cpu_engine();
+    let helicity = engine
+        .derive(
+            "h = dot(vector(u, v, w), curl(u, v, w, dims, x, y, z))",
+            &fields,
+            Strategy::Fusion,
+        )
+        .unwrap()
+        .field
+        .unwrap();
+    assert!(helicity.as_scalar().unwrap().iter().any(|&v| v != 0.0));
+    let enstrophy = engine
+        .derive(
+            "ens = 0.5 * pow(norm(curl(u, v, w, dims, x, y, z)), 2)",
+            &fields,
+            Strategy::Staged,
+        )
+        .unwrap()
+        .field
+        .unwrap();
+    assert!(enstrophy.as_scalar().unwrap().iter().all(|&v| v >= 0.0));
+}
+
+#[test]
+fn trig_functions_execute_correctly() {
+    let n = 16usize;
+    let mut fields = FieldSet::new(n);
+    let vals: Vec<f32> = (0..n).map(|i| i as f32 * 0.3 + 0.1).collect();
+    fields.insert_scalar("t", vals.clone()).unwrap();
+    let mut engine = cpu_engine();
+    let out = engine
+        .derive(
+            "r = sin(t)*sin(t) + cos(t)*cos(t) + exp(log(t)) - t",
+            &fields,
+            Strategy::Fusion,
+        )
+        .unwrap()
+        .field
+        .unwrap();
+    for (i, &v) in out.as_scalar().unwrap().iter().enumerate() {
+        assert!((v - 1.0).abs() < 1e-5, "identity failed at {i}: {v}");
+    }
+}
+
+#[test]
+fn derive_many_shares_work_across_outputs() {
+    // Vorticity magnitude AND the intermediate w_x, w_y in one pass.
+    let fields = small_rt_fields([7, 6, 5]);
+    let mut engine = cpu_engine();
+    for strategy in Strategy::ALL {
+        let (outputs, report) = engine
+            .derive_many(
+                Workload::VorticityMagnitude.source(),
+                &["w_mag", "w_x", "w_y"],
+                &fields,
+                strategy,
+            )
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(outputs[0].0, "w_mag");
+        // Cross-check each output against the single-output path.
+        for (name, field) in &outputs {
+            let single = engine
+                .derive(
+                    &format!("{}\nfinal_alias = {name}\n", Workload::VorticityMagnitude.source()),
+                    &fields,
+                    strategy,
+                )
+                .unwrap()
+                .field
+                .unwrap();
+            assert_eq!(field.data, single.data, "{strategy}/{name}");
+        }
+        // Fusion computes all three in a single kernel launch.
+        if strategy == Strategy::Fusion {
+            assert_eq!(report.table2_row(), (7, 1, 1), "one kernel, one read");
+            let src = report.generated_source.as_deref().unwrap();
+            assert!(src.contains("out_w_mag[idx]"), "{src}");
+            assert!(src.contains("out_w_x[idx]"));
+        }
+        // Staged reads one buffer per output but runs the shared 18-kernel
+        // schedule once.
+        if strategy == Strategy::Staged {
+            assert_eq!(report.table2_row(), (7, 3, 18));
+        }
+    }
+}
+
+#[test]
+fn derive_many_rejects_unknown_outputs() {
+    let fields = small_rt_fields([4, 4, 4]);
+    let mut engine = cpu_engine();
+    let err = engine
+        .derive_many(
+            Workload::VelocityMagnitude.source(),
+            &["v_mag", "enstrophy"],
+            &fields,
+            Strategy::Fusion,
+        )
+        .unwrap_err();
+    assert!(matches!(err, crate::EngineError::NoSuchOutput { ref name } if name == "enstrophy"));
+}
+
+#[test]
+fn derive_many_single_output_equals_derive() {
+    let fields = small_rt_fields([5, 5, 5]);
+    let mut engine = cpu_engine();
+    let (outputs, _) = engine
+        .derive_many(
+            Workload::QCriterion.source(),
+            &["q_crit"],
+            &fields,
+            Strategy::Fusion,
+        )
+        .unwrap();
+    let single = engine
+        .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+        .unwrap()
+        .field
+        .unwrap();
+    assert_eq!(outputs[0].1.data, single.data);
+}
+
+#[test]
+fn executors_surface_injected_device_failures_cleanly() {
+    // Fault injection: fail the k-th allocation for every k the execution
+    // performs; the executor must return an error (never panic) and the
+    // engine-level invariant — a fresh context per run — keeps later runs
+    // clean. Exercised against all three strategies.
+    use dfg_dataflow::Schedule;
+    use dfg_ocl::Context;
+
+    let fields = small_rt_fields([5, 4, 3]);
+    let spec = compile(Workload::QCriterion.source()).unwrap();
+    let sched = Schedule::new(&spec).unwrap();
+    for strategy in Strategy::ALL {
+        // Count allocations in a clean run first.
+        let mut probe = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        match strategy {
+            Strategy::Roundtrip => {
+                crate::strategies::run_roundtrip(&spec, &sched, &fields, &mut probe, false)
+                    .unwrap();
+            }
+            Strategy::Staged => {
+                crate::strategies::run_staged(&spec, &sched, &fields, &mut probe).unwrap();
+            }
+            Strategy::Fusion => {
+                crate::strategies::run_fusion(&spec, &fields, &mut probe, "t").unwrap();
+            }
+        }
+        // Inject failures at a spread of allocation indices.
+        for k in [1usize, 2, 5, 8] {
+            let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+            ctx.fail_alloc_in(k);
+            let result = match strategy {
+                Strategy::Roundtrip => crate::strategies::run_roundtrip(
+                    &spec, &sched, &fields, &mut ctx, false,
+                )
+                .map(|_| ()),
+                Strategy::Staged => {
+                    crate::strategies::run_staged(&spec, &sched, &fields, &mut ctx)
+                        .map(|_| ())
+                }
+                Strategy::Fusion => {
+                    crate::strategies::run_fusion(&spec, &fields, &mut ctx, "t").map(|_| ())
+                }
+            };
+            let err = result.expect_err("injected failure must surface");
+            assert!(
+                matches!(err, crate::EngineError::Ocl(_)),
+                "{strategy} k={k}: unexpected error {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn logical_operators_execute() {
+    let n = 8usize;
+    let mut fields = FieldSet::new(n);
+    fields
+        .insert_scalar("t", (0..n).map(|i| i as f32 - 3.0).collect())
+        .unwrap();
+    let mut engine = cpu_engine();
+    for strategy in Strategy::ALL {
+        // In (-2, 2) exclusive, via and(); outside [-3, 3], via not(or()).
+        let out = engine
+            .derive(
+                "band = and(t > -2, t < 2)\nouter = not(or(t >= -3, t <= 3))\nr = band + 2 * outer",
+                &fields,
+                strategy,
+            )
+            .unwrap()
+            .field
+            .unwrap();
+        let s = out.as_scalar().unwrap();
+        // t = -3..4: band true for t in {-1, 0, 1}; outer always false
+        // (everything is >= -3 or <= 3).
+        let expected = [0.0f32, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        assert_eq!(s, expected, "{strategy}");
+    }
+}
+
+#[test]
+fn engine_caches_compiled_programs() {
+    let fields = small_rt_fields([4, 4, 4]);
+    let mut engine = cpu_engine();
+    assert_eq!(engine.compile_count(), 0);
+    for _ in 0..5 {
+        engine
+            .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+            .unwrap();
+    }
+    assert_eq!(engine.compile_count(), 1, "identical source compiles once");
+    engine
+        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Staged)
+        .unwrap();
+    assert_eq!(engine.compile_count(), 2);
+    // Errors are not cached as successes.
+    assert!(engine.derive("r = sqrt(", &fields, Strategy::Fusion).is_err());
+    assert!(engine.derive("r = sqrt(", &fields, Strategy::Fusion).is_err());
+    assert_eq!(engine.compile_count(), 2);
+}
+
+#[test]
+fn full_cse_ablation_reduces_qcrit_kernels_without_changing_results() {
+    // DESIGN.md D2 ablation: the paper's limited CSE keeps commutative
+    // duplicates like s_3 = 0.5*(dv[0] + du[1]) (= s_1). Full value
+    // numbering merges them.
+    let fields = small_rt_fields([6, 5, 4]);
+    let mut limited = cpu_engine();
+    let mut full = Engine::with_options(
+        DeviceProfile::intel_x5660(),
+        EngineOptions { full_cse: true, ..Default::default() },
+    );
+    let src = Workload::QCriterion.source();
+    let a = limited.derive(src, &fields, Strategy::Staged).unwrap();
+    let b = full.derive(src, &fields, Strategy::Staged).unwrap();
+    let (_, _, k_limited) = a.table2_row();
+    let (_, _, k_full) = b.table2_row();
+    assert_eq!(k_limited, 67, "paper count");
+    assert!(
+        k_full < k_limited,
+        "full CSE must launch fewer kernels: {k_full} vs {k_limited}"
+    );
+    // Bit-identical derived field (f32 +/* are commutative).
+    assert_eq!(
+        a.field.unwrap().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        b.field.unwrap().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    );
+    // Report the savings where a human will see them on failure.
+    println!("Q-crit staged kernels: limited CSE {k_limited}, full CSE {k_full}");
+}

@@ -1,0 +1,88 @@
+//! The paper's three evaluation workloads, with their expected Table II
+//! device-event counts and reference kernels.
+
+pub use dfg_expr::workloads::{
+    INTRO_CONDITIONAL, Q_CRITERION, VELOCITY_MAGNITUDE, VORTICITY_MAGNITUDE,
+};
+
+use dfg_dataflow::Strategy;
+use dfg_kernels::{QCritRef, VelMagRef, VortMagRef};
+use dfg_ocl::DeviceKernel;
+
+/// One of the three vortex-detection expressions of §IV-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Figure 3A: `v_mag = sqrt(u*u + v*v + w*w)`.
+    VelocityMagnitude,
+    /// Figure 3B: vorticity magnitude.
+    VorticityMagnitude,
+    /// Figure 3C: Q-criterion.
+    QCriterion,
+}
+
+impl Workload {
+    /// All three, in the paper's order.
+    pub const ALL: [Workload; 3] = [
+        Workload::VelocityMagnitude,
+        Workload::VorticityMagnitude,
+        Workload::QCriterion,
+    ];
+
+    /// The expression source text (Figure 3).
+    pub fn source(&self) -> &'static str {
+        match self {
+            Workload::VelocityMagnitude => VELOCITY_MAGNITUDE,
+            Workload::VorticityMagnitude => VORTICITY_MAGNITUDE,
+            Workload::QCriterion => Q_CRITERION,
+        }
+    }
+
+    /// Table II's row label.
+    pub fn table2_name(&self) -> &'static str {
+        match self {
+            Workload::VelocityMagnitude => "VelMag",
+            Workload::VorticityMagnitude => "VortMag",
+            Workload::QCriterion => "Q-Crit",
+        }
+    }
+
+    /// The paper's Table II `(Dev-W, Dev-R, K-Exe)` counts for `strategy`.
+    pub fn paper_table2(&self, strategy: Strategy) -> (usize, usize, usize) {
+        match (self, strategy) {
+            (Workload::VelocityMagnitude, Strategy::Roundtrip) => (11, 6, 6),
+            (Workload::VelocityMagnitude, Strategy::Staged) => (3, 1, 6),
+            (Workload::VelocityMagnitude, Strategy::Fusion) => (3, 1, 1),
+            (Workload::VorticityMagnitude, Strategy::Roundtrip) => (32, 12, 12),
+            (Workload::VorticityMagnitude, Strategy::Staged) => (7, 1, 18),
+            (Workload::VorticityMagnitude, Strategy::Fusion) => (7, 1, 1),
+            (Workload::QCriterion, Strategy::Roundtrip) => (123, 57, 57),
+            (Workload::QCriterion, Strategy::Staged) => (7, 1, 67),
+            (Workload::QCriterion, Strategy::Fusion) => (7, 1, 1),
+        }
+    }
+
+    /// Input field names the hand-written reference kernel binds, in order.
+    pub fn reference_input_names(&self) -> &'static [&'static str] {
+        match self {
+            Workload::VelocityMagnitude => &["u", "v", "w"],
+            Workload::VorticityMagnitude | Workload::QCriterion => {
+                &["u", "v", "w", "dims", "x", "y", "z"]
+            }
+        }
+    }
+
+    /// Instantiate the reference kernel (§IV-D.1's comparator).
+    pub fn reference_kernel(&self) -> Box<dyn DeviceKernel> {
+        match self {
+            Workload::VelocityMagnitude => Box::new(VelMagRef),
+            Workload::VorticityMagnitude => Box::new(VortMagRef),
+            Workload::QCriterion => Box::new(QCritRef),
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.table2_name())
+    }
+}

@@ -1,0 +1,277 @@
+//! Filter operations and their static metadata.
+//!
+//! Each variant corresponds to one primitive from the shared building-block
+//! library (§III-B.3). The metadata here (arity, result width, FLOP cost) is
+//! the Rust analogue of the paper's *"minimal metadata to describe global
+//! memory requirements and the return type"* attached to each OpenCL source
+//! function.
+
+/// Number of input ports a filter exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arity(pub usize);
+
+/// Result width of a filter, in scalar lanes.
+///
+/// Multi-valued results are represented with built-in OpenCL vector types in
+/// the paper (`float4`); `Vec4` models that: a gradient occupies four scalar
+/// lanes of global memory per element even though only three are meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One `f32` per element.
+    Scalar,
+    /// One `float4` per element (e.g. `grad3d`, `cross`).
+    Vec4,
+    /// A negligible, non-problem-sized buffer (e.g. the `dims` triple).
+    Small,
+}
+
+impl Width {
+    /// Scalar-array units for device memory accounting (Figure 2 / Figure 6):
+    /// a `Vec4` array costs four problem-sized scalar arrays; `Small` buffers
+    /// are not problem-sized and count as zero units.
+    pub fn units(self) -> u64 {
+        match self {
+            Width::Scalar => 1,
+            Width::Vec4 => 4,
+            Width::Small => 0,
+        }
+    }
+
+    /// Bytes per mesh element occupied by a value of this width.
+    pub fn bytes_per_elem(self) -> u64 {
+        match self {
+            Width::Scalar => 4,
+            Width::Vec4 => 16,
+            Width::Small => 0,
+        }
+    }
+}
+
+/// A dataflow filter (or source) operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterOp {
+    /// Source: a host-provided input field, identified by name.
+    Input {
+        /// Field name the host must bind.
+        name: String,
+        /// Marks non-problem-sized auxiliary inputs such as `dims`.
+        small: bool,
+    },
+    /// Source: a scalar constant. Deduplicated during lowering ("common
+    /// constants are reduced to single instances of source filters").
+    Const(f32),
+    /// Elementwise addition.
+    Add,
+    /// Elementwise subtraction.
+    Sub,
+    /// Elementwise multiplication.
+    Mul,
+    /// Elementwise division.
+    Div,
+    /// Elementwise minimum of two fields.
+    Min2,
+    /// Elementwise maximum of two fields.
+    Max2,
+    /// Elementwise `<` comparison producing 1.0 / 0.0.
+    Lt,
+    /// Elementwise `>` comparison producing 1.0 / 0.0.
+    Gt,
+    /// Elementwise `<=` comparison producing 1.0 / 0.0.
+    Le,
+    /// Elementwise `>=` comparison producing 1.0 / 0.0.
+    Ge,
+    /// Elementwise `==` comparison producing 1.0 / 0.0.
+    EqOp,
+    /// Elementwise `!=` comparison producing 1.0 / 0.0.
+    Ne,
+    /// `select(cond, a, b)` — elementwise conditional, the dataflow form of
+    /// the `if … then … else` expression from §I of the paper.
+    Select,
+    /// Elementwise negation.
+    Neg,
+    /// Elementwise square root.
+    Sqrt,
+    /// Elementwise absolute value.
+    Abs,
+    /// Elementwise sine.
+    Sin,
+    /// Elementwise cosine.
+    Cos,
+    /// Elementwise tangent.
+    Tan,
+    /// Elementwise natural exponential.
+    Exp,
+    /// Elementwise natural logarithm.
+    Log,
+    /// Elementwise power `a^b`.
+    Pow,
+    /// Elementwise `atan2(y, x)`.
+    Atan2,
+    /// Elementwise logical AND (nonzero ⇒ true) producing 1.0/0.0.
+    And,
+    /// Elementwise logical OR producing 1.0/0.0.
+    Or,
+    /// Elementwise logical NOT producing 1.0/0.0.
+    Not,
+    /// Pack three scalar fields into a `Vec4` vector field
+    /// (the expression language's `vector(a, b, c)`).
+    Compose3,
+    /// Extract one component of a `Vec4` value (the parser's bracket
+    /// syntax, e.g. `du[1]`; implemented at source level as `val.s1` in the
+    /// fused kernel).
+    Decompose(u8),
+    /// 3D rectilinear-mesh field gradient. Inputs: `field, dims, x, y, z`.
+    /// Produces a `Vec4` (∂f/∂x, ∂f/∂y, ∂f/∂z, 0).
+    Grad3d,
+    /// Euclidean norm of the first three lanes of a `Vec4`.
+    Norm3,
+    /// Dot product of the first three lanes of two `Vec4`s.
+    Dot3,
+    /// Cross product of the first three lanes of two `Vec4`s.
+    Cross3,
+}
+
+impl FilterOp {
+    /// Number of input ports.
+    pub fn arity(&self) -> Arity {
+        use FilterOp::*;
+        Arity(match self {
+            Input { .. } | Const(_) => 0,
+            Neg | Sqrt | Abs | Sin | Cos | Tan | Exp | Log | Not | Decompose(_) | Norm3 => 1,
+            Add | Sub | Mul | Div | Min2 | Max2 | Lt | Gt | Le | Ge | EqOp | Ne | Pow
+            | Atan2 | And | Or | Dot3 | Cross3 => 2,
+            Select | Compose3 => 3,
+            Grad3d => 5,
+        })
+    }
+
+    /// Result width. `Input` nodes report their own width.
+    pub fn width(&self) -> Width {
+        use FilterOp::*;
+        match self {
+            Input { small: true, .. } => Width::Small,
+            Grad3d | Cross3 | Compose3 => Width::Vec4,
+            _ => Width::Scalar,
+        }
+    }
+
+    /// Whether this node is a *source* (no computation of its own).
+    pub fn is_source(&self) -> bool {
+        matches!(self, FilterOp::Input { .. } | FilterOp::Const(_))
+    }
+
+    /// Approximate floating-point operations per mesh element, used by the
+    /// device performance model.
+    pub fn flops_per_elem(&self) -> u64 {
+        use FilterOp::*;
+        match self {
+            Input { .. } | Const(_) | Decompose(_) => 0,
+            Add | Sub | Mul | Div | Min2 | Max2 | Lt | Gt | Le | Ge | EqOp | Ne | Neg | Abs
+            | Select | Compose3 | And | Or | Not => 1,
+            Sqrt => 4,
+            Sin | Cos | Tan | Exp | Log => 8,
+            Pow | Atan2 => 12,
+            Norm3 => 9,
+            Dot3 => 5,
+            Cross3 => 9,
+            // Central differences along three axes with non-uniform spacing:
+            // per axis 2 loads, 2 subs, 1 div; plus index arithmetic.
+            Grad3d => 24,
+        }
+    }
+
+    /// Stable kernel name used in generated source, profiling events and
+    /// reports.
+    pub fn kernel_name(&self) -> String {
+        use FilterOp::*;
+        match self {
+            Input { name, .. } => format!("input_{name}"),
+            Const(v) => format!("const_{v}"),
+            Add => "add".into(),
+            Sub => "sub".into(),
+            Mul => "mult".into(),
+            Div => "div".into(),
+            Min2 => "min".into(),
+            Max2 => "max".into(),
+            Lt => "lt".into(),
+            Gt => "gt".into(),
+            Le => "le".into(),
+            Ge => "ge".into(),
+            EqOp => "eq".into(),
+            Ne => "ne".into(),
+            Select => "select".into(),
+            Neg => "neg".into(),
+            Sqrt => "sqrt".into(),
+            Abs => "abs".into(),
+            Sin => "sin".into(),
+            Cos => "cos".into(),
+            Tan => "tan".into(),
+            Exp => "exp".into(),
+            Log => "log".into(),
+            Pow => "pow".into(),
+            Atan2 => "atan2".into(),
+            And => "and".into(),
+            Or => "or".into(),
+            Not => "not".into(),
+            Compose3 => "vector".into(),
+            Decompose(i) => format!("decompose_s{i}"),
+            Grad3d => "grad3d".into(),
+            Norm3 => "norm".into(),
+            Dot3 => "dot".into(),
+            Cross3 => "cross".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for FilterOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.kernel_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        assert_eq!(FilterOp::Add.arity(), Arity(2));
+        assert_eq!(FilterOp::Sqrt.arity(), Arity(1));
+        assert_eq!(FilterOp::Select.arity(), Arity(3));
+        assert_eq!(FilterOp::Grad3d.arity(), Arity(5));
+        assert_eq!(FilterOp::Const(1.0).arity(), Arity(0));
+        assert_eq!(
+            FilterOp::Input { name: "u".into(), small: false }.arity(),
+            Arity(0)
+        );
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(FilterOp::Grad3d.width(), Width::Vec4);
+        assert_eq!(FilterOp::Cross3.width(), Width::Vec4);
+        assert_eq!(FilterOp::Add.width(), Width::Scalar);
+        assert_eq!(
+            FilterOp::Input { name: "dims".into(), small: true }.width(),
+            Width::Small
+        );
+        assert_eq!(Width::Vec4.units(), 4);
+        assert_eq!(Width::Scalar.bytes_per_elem(), 4);
+        assert_eq!(Width::Small.units(), 0);
+    }
+
+    #[test]
+    fn sources_are_sources() {
+        assert!(FilterOp::Const(0.5).is_source());
+        assert!(FilterOp::Input { name: "u".into(), small: false }.is_source());
+        assert!(!FilterOp::Decompose(1).is_source());
+        assert!(!FilterOp::Grad3d.is_source());
+    }
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(FilterOp::Mul.kernel_name(), "mult");
+        assert_eq!(FilterOp::Decompose(2).kernel_name(), "decompose_s2");
+        assert_eq!(FilterOp::Grad3d.kernel_name(), "grad3d");
+    }
+}

@@ -1,0 +1,198 @@
+//! Optional network optimization passes.
+//!
+//! The paper's front-end applies only a *limited* common-subexpression
+//! elimination (constants, inputs, and decompose nodes — see
+//! [`crate::NetworkBuilder`]). That limitation is observable: Figure 3C
+//! contains `s_1 = 0.5*(du[1] + dv[0])` and `s_3 = 0.5*(dv[0] + du[1])`,
+//! which are mathematically identical but stay distinct filters, and the
+//! published Table II kernel counts (57 roundtrip / 67 staged for the
+//! Q-criterion) include the duplicates.
+//!
+//! [`full_cse`] is the ablation: value-numbering over the whole network
+//! with canonicalized operand order for commutative operations. IEEE-754
+//! addition and multiplication are commutative (bit-exact for non-NaN
+//! values), so the optimized network computes identical results with fewer
+//! kernels — quantifying what the paper's "limited" strategy leaves on the
+//! table.
+
+use std::collections::HashMap;
+
+use crate::op::FilterOp;
+use crate::spec::{FilterNode, NetworkSpec, NodeId};
+
+/// Operations whose operand order does not affect the result (bit-exactly,
+/// for non-NaN inputs).
+fn is_commutative(op: &FilterOp) -> bool {
+    matches!(
+        op,
+        FilterOp::Add
+            | FilterOp::Mul
+            | FilterOp::Min2
+            | FilterOp::Max2
+            | FilterOp::EqOp
+            | FilterOp::Ne
+            | FilterOp::And
+            | FilterOp::Or
+    )
+}
+
+/// Hashable identity of an operation for value numbering.
+fn op_key(op: &FilterOp) -> String {
+    match op {
+        FilterOp::Input { name, small } => format!("in:{name}:{small}"),
+        FilterOp::Const(v) => format!("const:{:08x}", v.to_bits()),
+        FilterOp::Decompose(c) => format!("dec:{c}"),
+        other => other.kernel_name(),
+    }
+}
+
+/// Statistics from a [`full_cse`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CseStats {
+    /// Nodes before the pass (reachable or not).
+    pub nodes_before: usize,
+    /// Nodes after the pass.
+    pub nodes_after: usize,
+    /// Duplicate filter invocations merged.
+    pub merged: usize,
+}
+
+/// Global value numbering with commutative canonicalization: returns an
+/// equivalent network where every structurally identical (up to operand
+/// order for commutative ops) filter invocation appears once.
+///
+/// Results are bit-identical for non-NaN data. Node names are preserved
+/// (the first name wins; later duplicates alias it).
+pub fn full_cse(spec: &NetworkSpec) -> (NetworkSpec, CseStats) {
+    // Walk in dependency order (also validates and drops dead nodes).
+    let sched = crate::Schedule::new(spec).expect("full_cse needs a valid network");
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::with_capacity(spec.len());
+    let mut value_numbers: HashMap<(String, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut nodes: Vec<FilterNode> = Vec::new();
+    let mut merged = 0usize;
+
+    for &old_id in &sched.order {
+        let node = spec.node(old_id);
+        // Rewrite inputs through the remap (schedule order guarantees
+        // producers come first).
+        let mut inputs: Vec<NodeId> =
+            node.inputs.iter().map(|i| remap[i]).collect();
+        let mut key_inputs = inputs.clone();
+        if is_commutative(&node.op) {
+            key_inputs.sort();
+        }
+        let key = (op_key(&node.op), key_inputs.clone());
+        let new_id = match value_numbers.get(&key) {
+            Some(&existing) => {
+                merged += 1;
+                // Keep the first-seen name; a dropped duplicate's name
+                // attaches to the survivor if the survivor is unnamed.
+                if nodes[existing.idx()].name.is_none() {
+                    nodes[existing.idx()].name = node.name.clone();
+                }
+                existing
+            }
+            None => {
+                if is_commutative(&node.op) {
+                    inputs = key_inputs;
+                }
+                let id = NodeId(nodes.len() as u32);
+                nodes.push(FilterNode {
+                    op: node.op.clone(),
+                    inputs,
+                    name: node.name.clone(),
+                });
+                value_numbers.insert(key, id);
+                id
+            }
+        };
+        remap.insert(old_id, new_id);
+    }
+
+    let result = remap[&spec.result];
+    let stats = CseStats {
+        nodes_before: spec.len(),
+        nodes_after: nodes.len(),
+        merged,
+    };
+    (NetworkSpec { nodes, result }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkBuilder, Strategy};
+
+    #[test]
+    fn merges_commutative_duplicates() {
+        // a+b and b+a collapse; a-b and b-a do not.
+        let mut b = NetworkBuilder::new();
+        let x = b.input("x");
+        let y = b.input("y");
+        let s1 = b.binary(FilterOp::Add, x, y);
+        let s2 = b.binary(FilterOp::Add, y, x);
+        let d1 = b.binary(FilterOp::Sub, x, y);
+        let d2 = b.binary(FilterOp::Sub, y, x);
+        let m1 = b.binary(FilterOp::Mul, s1, d1);
+        let m2 = b.binary(FilterOp::Mul, s2, d2);
+        let out = b.binary(FilterOp::Add, m1, m2);
+        let spec = b.finish(out);
+        let (opt, stats) = full_cse(&spec);
+        assert!(opt.validate().is_ok());
+        // adds merged (s1==s2); subs kept; m1 != m2 (different sub inputs).
+        assert_eq!(stats.merged, 1);
+        assert_eq!(opt.len(), spec.len() - 1);
+    }
+
+    #[test]
+    fn chains_of_duplicates_collapse_transitively() {
+        // (x*x) + (x*x) built twice: both mults merge, then both adds merge.
+        let mut b = NetworkBuilder::new();
+        let x = b.input("x");
+        let m1 = b.binary(FilterOp::Mul, x, x);
+        let m2 = b.binary(FilterOp::Mul, x, x);
+        let a1 = b.binary(FilterOp::Add, m1, m2);
+        let m3 = b.binary(FilterOp::Mul, x, x);
+        let m4 = b.binary(FilterOp::Mul, x, x);
+        let a2 = b.binary(FilterOp::Add, m3, m4);
+        let out = b.binary(FilterOp::Max2, a1, a2);
+        let spec = b.finish(out);
+        let (opt, stats) = full_cse(&spec);
+        // x, one mult, one add, one max = 4 nodes.
+        assert_eq!(opt.len(), 4);
+        assert_eq!(stats.merged, 4);
+        // max(a, a) stays a max with two identical ports — value numbering
+        // does not fold idempotent ops (that would be a different pass).
+        assert!(matches!(opt.node(opt.result).op, FilterOp::Max2));
+    }
+
+    #[test]
+    fn names_survive_merging() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input("x");
+        let a1 = b.binary(FilterOp::Add, x, x);
+        b.name(a1, "first");
+        let a2 = b.binary(FilterOp::Add, x, x);
+        b.name(a2, "second");
+        let out = b.binary(FilterOp::Mul, a1, a2);
+        let spec = b.finish(out);
+        let (opt, _) = full_cse(&spec);
+        // The survivor keeps its first name.
+        let add = opt
+            .iter()
+            .find(|(_, n)| matches!(n.op, FilterOp::Add))
+            .expect("one add");
+        assert_eq!(add.1.name.as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn memory_requirements_never_increase() {
+        let spec = crate::example_networks::velmag_example();
+        let (opt, _) = full_cse(&spec);
+        for strategy in Strategy::ALL {
+            let before = crate::memreq_units(&spec, strategy).unwrap().units;
+            let after = crate::memreq_units(&opt, strategy).unwrap().units;
+            assert!(after <= before, "{strategy}: {before} -> {after}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Abstract syntax for expression programs.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinaryOp {
+    /// Operator symbol, for diagnostics and pretty-printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Lt => "<",
+            BinaryOp::Gt => ">",
+            BinaryOp::Le => "<=",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+}
+
+/// An expression tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable reference (a prior assignment or a host input field).
+    Ident(String),
+    /// Function call, e.g. `sqrt(x)` or `grad3d(u, dims, x, y, z)`.
+    Call(String, Vec<Expr>),
+    /// Bracket component access, e.g. `du[1]`.
+    Index(Box<Expr>, usize),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// `if (cond) then (a) else (b)` — the conditional from §I of the paper.
+    If {
+        /// Condition expression (nonzero ⇒ true).
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        els: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Pretty-print the expression in source form.
+    pub fn pretty(&self) -> String {
+        match self {
+            Expr::Num(n) => format!("{n}"),
+            Expr::Ident(s) => s.clone(),
+            Expr::Call(f, args) => {
+                let args: Vec<String> = args.iter().map(Expr::pretty).collect();
+                format!("{f}({})", args.join(", "))
+            }
+            Expr::Index(e, i) => format!("{}[{i}]", e.pretty()),
+            Expr::Unary(UnaryOp::Neg, e) => format!("-{}", e.pretty()),
+            Expr::Binary(op, a, b) => {
+                format!("({} {} {})", a.pretty(), op.symbol(), b.pretty())
+            }
+            Expr::If { cond, then, els } => format!(
+                "if ({}) then ({}) else ({})",
+                cond.pretty(),
+                then.pretty(),
+                els.pretty()
+            ),
+        }
+    }
+}
+
+/// One assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Assigned name.
+    pub name: String,
+    /// Right-hand side.
+    pub expr: Expr,
+}
+
+/// A full program: one or more statements. The last statement's value is the
+/// derived field the network produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_round_trips_structure() {
+        let e = Expr::Binary(
+            BinaryOp::Add,
+            Box::new(Expr::Ident("a".into())),
+            Box::new(Expr::Unary(UnaryOp::Neg, Box::new(Expr::Num(2.0)))),
+        );
+        assert_eq!(e.pretty(), "(a + -2)");
+    }
+
+    #[test]
+    fn pretty_if() {
+        let e = Expr::If {
+            cond: Box::new(Expr::Ident("c".into())),
+            then: Box::new(Expr::Num(1.0)),
+            els: Box::new(Expr::Num(0.0)),
+        };
+        assert_eq!(e.pretty(), "if (c) then (1) else (0)");
+    }
+}

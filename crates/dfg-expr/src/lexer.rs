@@ -1,0 +1,332 @@
+//! Hand-written lexer for the expression language.
+
+use crate::parser::ParseError;
+use crate::token::{Span, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span { start, end: self.pos, line, col }
+    }
+
+    fn error(&self, msg: String) -> ParseError {
+        ParseError { msg, line: self.line, col: self.col }
+    }
+}
+
+/// Lex `source` into tokens, including `Newline` separators and a final
+/// `Eof`. `#` starts a comment that runs to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    let mut lx = Lexer::new(source);
+    let mut out = Vec::new();
+    loop {
+        // Skip horizontal whitespace and comments.
+        while let Some(c) = lx.peek() {
+            if c == b' ' || c == b'\t' || c == b'\r' {
+                lx.bump();
+            } else if c == b'#' {
+                while let Some(c) = lx.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    lx.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let (start, line, col) = (lx.pos, lx.line, lx.col);
+        let Some(c) = lx.peek() else {
+            out.push(Token {
+                kind: TokenKind::Eof,
+                span: lx.span_from(start, line, col),
+            });
+            return Ok(out);
+        };
+        let kind = match c {
+            b'\n' => {
+                lx.bump();
+                // Collapse runs of newlines into one token.
+                while lx.peek() == Some(b'\n') {
+                    lx.bump();
+                }
+                TokenKind::Newline
+            }
+            b'+' => {
+                lx.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                lx.bump();
+                TokenKind::Minus
+            }
+            b'*' => {
+                lx.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                lx.bump();
+                TokenKind::Slash
+            }
+            b'(' => {
+                lx.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                lx.bump();
+                TokenKind::RParen
+            }
+            b'[' => {
+                lx.bump();
+                TokenKind::LBracket
+            }
+            b']' => {
+                lx.bump();
+                TokenKind::RBracket
+            }
+            b',' => {
+                lx.bump();
+                TokenKind::Comma
+            }
+            b'=' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'<' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                lx.bump();
+                if lx.peek() == Some(b'=') {
+                    lx.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                if lx.peek2() == Some(b'=') {
+                    lx.bump();
+                    lx.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(lx.error("unexpected character `!`".into()));
+                }
+            }
+            b'0'..=b'9' | b'.' => lex_number(&mut lx)?,
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(s)
+            }
+            other => {
+                return Err(lx.error(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        out.push(Token { kind, span: lx.span_from(start, line, col) });
+    }
+}
+
+fn lex_number(lx: &mut Lexer<'_>) -> Result<TokenKind, ParseError> {
+    let start = lx.pos;
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while let Some(c) = lx.peek() {
+        match c {
+            b'0'..=b'9' => {
+                lx.bump();
+            }
+            b'.' if !seen_dot && !seen_exp => {
+                seen_dot = true;
+                lx.bump();
+            }
+            b'e' | b'E' if !seen_exp => {
+                seen_exp = true;
+                lx.bump();
+                if matches!(lx.peek(), Some(b'+') | Some(b'-')) {
+                    lx.bump();
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&lx.src[start..lx.pos]).expect("ascii digits");
+    text.parse::<f64>()
+        .map(TokenKind::Number)
+        .map_err(|_| lx.error(format!("malformed number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_velocity_magnitude() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("v_mag = sqrt(u*u)"),
+            vec![
+                Ident("v_mag".into()),
+                Assign,
+                Ident("sqrt".into()),
+                LParen,
+                Ident("u".into()),
+                Star,
+                Ident("u".into()),
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("0.5")[0], TokenKind::Number(0.5));
+        assert_eq!(kinds("10")[0], TokenKind::Number(10.0));
+        assert_eq!(kinds("1e3")[0], TokenKind::Number(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::Number(0.025));
+        assert_eq!(kinds(".25")[0], TokenKind::Number(0.25));
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        use TokenKind::*;
+        assert_eq!(kinds("a <= b != c == d >= e"), vec![
+            Ident("a".into()),
+            Le,
+            Ident("b".into()),
+            NotEq,
+            Ident("c".into()),
+            EqEq,
+            Ident("d".into()),
+            Ge,
+            Ident("e".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn collapses_newline_runs() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a = b\n\n\nc = d"),
+            vec![
+                Ident("a".into()),
+                Assign,
+                Ident("b".into()),
+                Newline,
+                Ident("c".into()),
+                Assign,
+                Ident("d".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a = 1 # the answer\nb = 2"),
+            vec![
+                Ident("a".into()),
+                Assign,
+                Number(1.0),
+                Newline,
+                Ident("b".into()),
+                Assign,
+                Number(2.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets_and_commas() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("du[1], x"),
+            vec![
+                Ident("du".into()),
+                LBracket,
+                Number(1.0),
+                RBracket,
+                Comma,
+                Ident("x".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("a = b\nc2 = d").unwrap();
+        let c2 = toks.iter().find(|t| t.kind == TokenKind::Ident("c2".into())).unwrap();
+        assert_eq!(c2.span.line, 2);
+        assert_eq!(c2.span.col, 1);
+        assert_eq!(c2.span.end - c2.span.start, 2);
+    }
+}

@@ -1,0 +1,115 @@
+#![warn(missing_docs)]
+
+//! The expression language front-end (§III-A of Harrison et al., SC 2012).
+//!
+//! The paper uses a PLY (Lex/Yacc) LALR parser; this crate provides an
+//! equivalent hand-written lexer and Pratt parser for the same grammar:
+//!
+//! ```text
+//! program    := statement+
+//! statement  := IDENT '=' expr
+//! expr       := 'if' '(' expr ')' 'then' '(' expr ')' 'else' '(' expr ')'
+//!             | comparison
+//! comparison := additive (('<'|'>'|'<='|'>='|'=='|'!=') additive)?
+//! additive   := term (('+'|'-') term)*
+//! term       := unary (('*'|'/') unary)*
+//! unary      := '-' unary | postfix
+//! postfix    := atom ('[' INT ']')*
+//! atom       := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+//!
+//! Statements may span lines: a newline continues the current expression when
+//! it follows an operator or an open delimiter (as in the paper's Figure 3C),
+//! and otherwise terminates the statement.
+//!
+//! [`lower`] translates a parsed [`Program`] into a
+//! [`dfg_dataflow::NetworkSpec`], performing the transformations described in
+//! the paper: assignment statements name filter results, bracket accesses
+//! become `decompose` filters, common constants are reduced to single source
+//! filters, and decompose invocations are deduplicated per
+//! `(input, component)` — the framework's limited common-subexpression
+//! elimination. General filter invocations are deliberately *not* merged.
+
+mod ast;
+mod lexer;
+mod lower;
+mod parser;
+mod token;
+pub mod workloads;
+
+pub use ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+pub use lexer::lex;
+pub use lower::{lower, LowerError};
+pub use parser::{parse, ParseError};
+pub use token::{Span, Token, TokenKind};
+
+use dfg_dataflow::NetworkSpec;
+
+/// Errors from the full front-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Lexing or parsing failed.
+    Parse(ParseError),
+    /// Lowering to a dataflow network failed.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "parse error: {e}"),
+            FrontendError::Lower(e) => write!(f, "lowering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<LowerError> for FrontendError {
+    fn from(e: LowerError) -> Self {
+        FrontendError::Lower(e)
+    }
+}
+
+/// Compile an expression program directly to a dataflow network
+/// specification: the paper's parse → network-specification path.
+///
+/// ```
+/// let spec = dfg_expr::compile("v_mag = sqrt(u*u + v*v + w*w)").unwrap();
+/// assert_eq!(spec.input_names(), vec!["u", "v", "w"]);
+/// // 3 mults + 2 adds + 1 sqrt:
+/// assert_eq!(spec.count_ops(|op| !op.is_source()), 6);
+/// ```
+pub fn compile(source: &str) -> Result<NetworkSpec, FrontendError> {
+    let program = parse(source)?;
+    Ok(lower(&program)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_end_to_end() {
+        let spec = compile("v_mag = sqrt(u*u + v*v + w*w)").unwrap();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.input_names(), vec!["u", "v", "w"]);
+    }
+
+    #[test]
+    fn compile_reports_parse_errors() {
+        assert!(matches!(compile("v_mag = sqrt(u"), Err(FrontendError::Parse(_))));
+    }
+
+    #[test]
+    fn compile_reports_lowering_errors() {
+        // grad3d arity error surfaces as a lowering error.
+        assert!(matches!(compile("g = grad3d(u)"), Err(FrontendError::Lower(_))));
+    }
+}

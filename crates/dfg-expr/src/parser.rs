@@ -1,0 +1,532 @@
+//! Pratt parser for the expression grammar.
+
+use crate::ast::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// A parse (or lex) failure with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of the failure.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at line {}, column {}", self.msg, self.line, self.col)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Render a compiler-style diagnostic with the offending source line
+    /// and a caret:
+    ///
+    /// ```text
+    /// error: expected expression, found `*`
+    ///   |
+    /// 2 | c = *
+    ///   |     ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_text = source
+            .lines()
+            .nth(self.line.saturating_sub(1) as usize)
+            .unwrap_or("");
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let caret_pad = " ".repeat(self.col.saturating_sub(1) as usize);
+        format!(
+            "error: {msg}\n{pad} |\n{gutter} | {line_text}\n{pad} | {caret_pad}^\n",
+            msg = self.msg,
+        )
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Nesting depth of parentheses/brackets; newlines are transparent
+    /// inside delimiters.
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, msg: String) -> ParseError {
+        let span = self.peek().span;
+        ParseError { msg, line: span.line, col: span.col }
+    }
+
+    /// Skip newline tokens (used where a line break cannot end a statement:
+    /// after operators, open delimiters, and commas).
+    fn skip_newlines(&mut self) {
+        while self.peek().kind == TokenKind::Newline {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error_here(format!(
+                "expected {what}, found {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        self.skip_newlines();
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error_here(format!(
+                "expected keyword `{kw}`, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.peek().kind == TokenKind::Eof {
+                break;
+            }
+            stmts.push(self.parse_statement()?);
+            // A statement ends at a newline (already unconsumed) or EOF.
+            match &self.peek().kind {
+                TokenKind::Newline => {
+                    self.bump();
+                }
+                TokenKind::Eof => {}
+                other => {
+                    return Err(self.error_here(format!(
+                        "expected end of statement, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        if stmts.is_empty() {
+            return Err(self.error_here("empty program".into()));
+        }
+        Ok(Program { stmts })
+    }
+
+    fn parse_statement(&mut self) -> Result<Stmt, ParseError> {
+        let name = match self.bump() {
+            Token { kind: TokenKind::Ident(s), .. } => s,
+            t => {
+                return Err(ParseError {
+                    msg: format!("expected statement name, found {}", t.kind.describe()),
+                    line: t.span.line,
+                    col: t.span.col,
+                })
+            }
+        };
+        if matches!(name.as_str(), "if" | "then" | "else") {
+            return Err(self.error_here(format!("`{name}` is a reserved keyword")));
+        }
+        self.expect(&TokenKind::Assign, "`=`")?;
+        self.skip_newlines();
+        let expr = self.parse_expr()?;
+        Ok(Stmt { name, expr })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        // `if (…) then (…) else (…)` is parsed as a primary (see
+        // `parse_atom`), so it can appear wherever an operand can.
+        self.parse_comparison()
+    }
+
+    fn parse_if(&mut self) -> Result<Expr, ParseError> {
+        self.expect_keyword("if")?;
+        let cond = self.parse_parenthesized()?;
+        self.expect_keyword("then")?;
+        let then = self.parse_parenthesized()?;
+        self.expect_keyword("else")?;
+        let els = self.parse_parenthesized()?;
+        Ok(Expr::If { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) })
+    }
+
+    fn parse_parenthesized(&mut self) -> Result<Expr, ParseError> {
+        self.skip_newlines();
+        self.expect(&TokenKind::LParen, "`(`")?;
+        self.depth += 1;
+        self.skip_newlines();
+        let e = self.parse_expr()?;
+        self.skip_newlines();
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.depth -= 1;
+        Ok(e)
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek_infix() {
+            Some(TokenKind::Lt) => BinaryOp::Lt,
+            Some(TokenKind::Gt) => BinaryOp::Gt,
+            Some(TokenKind::Le) => BinaryOp::Le,
+            Some(TokenKind::Ge) => BinaryOp::Ge,
+            Some(TokenKind::EqEq) => BinaryOp::Eq,
+            Some(TokenKind::NotEq) => BinaryOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        self.skip_newlines();
+        let rhs = self.parse_additive()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    /// Peek at the next token as a potential infix operator. Inside
+    /// delimiters a newline is transparent; at depth 0 it ends the
+    /// expression (so the *next* line can start a new statement).
+    fn peek_infix(&mut self) -> Option<TokenKind> {
+        if self.depth > 0 {
+            self.skip_newlines();
+        }
+        match &self.peek().kind {
+            TokenKind::Newline | TokenKind::Eof => None,
+            k => Some(k.clone()),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek_infix() {
+                Some(TokenKind::Plus) => BinaryOp::Add,
+                Some(TokenKind::Minus) => BinaryOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek_infix() {
+                Some(TokenKind::Star) => BinaryOp::Mul,
+                Some(TokenKind::Slash) => BinaryOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            self.skip_newlines();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            self.skip_newlines();
+            let e = self.parse_unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(e)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_atom()?;
+        loop {
+            if self.depth > 0 {
+                // Do not skip newlines at depth 0 here: `a\n[1]` would steal
+                // the bracket from a following statement (there is no such
+                // syntax, but be strict).
+            }
+            if self.peek().kind != TokenKind::LBracket {
+                return Ok(e);
+            }
+            self.bump();
+            self.depth += 1;
+            self.skip_newlines();
+            let idx = match self.bump() {
+                Token { kind: TokenKind::Number(n), span } => {
+                    if n.fract() != 0.0 || !(0.0..=3.0).contains(&n) {
+                        return Err(ParseError {
+                            msg: format!(
+                                "component index must be an integer in 0..=3, found {n}"
+                            ),
+                            line: span.line,
+                            col: span.col,
+                        });
+                    }
+                    n as usize
+                }
+                t => {
+                    return Err(ParseError {
+                        msg: format!(
+                            "expected component index, found {}",
+                            t.kind.describe()
+                        ),
+                        line: t.span.line,
+                        col: t.span.col,
+                    })
+                }
+            };
+            self.skip_newlines();
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            self.depth -= 1;
+            e = Expr::Index(Box::new(e), idx);
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        // An `if (…) then (…) else (…)` expression may appear anywhere an
+        // operand may (e.g. `-if (c) then (a) else (b)`).
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s == "if" {
+                return self.parse_if();
+            }
+        }
+        match self.bump() {
+            Token { kind: TokenKind::Number(n), .. } => Ok(Expr::Num(n)),
+            Token { kind: TokenKind::LParen, .. } => {
+                self.depth += 1;
+                self.skip_newlines();
+                let e = self.parse_expr()?;
+                self.skip_newlines();
+                self.expect(&TokenKind::RParen, "`)`")?;
+                self.depth -= 1;
+                Ok(e)
+            }
+            Token { kind: TokenKind::Ident(name), span } => {
+                if matches!(name.as_str(), "if" | "then" | "else") {
+                    return Err(ParseError {
+                        msg: format!("`{name}` is a reserved keyword"),
+                        line: span.line,
+                        col: span.col,
+                    });
+                }
+                if self.peek().kind == TokenKind::LParen {
+                    // Function call.
+                    self.bump();
+                    self.depth += 1;
+                    self.skip_newlines();
+                    let mut args = Vec::new();
+                    if self.peek().kind != TokenKind::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            self.skip_newlines();
+                            if self.peek().kind == TokenKind::Comma {
+                                self.bump();
+                                self.skip_newlines();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    self.depth -= 1;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            t => Err(ParseError {
+                msg: format!("expected expression, found {}", t.kind.describe()),
+                line: t.span.line,
+                col: t.span.col,
+            }),
+        }
+    }
+}
+
+/// Parse a full program.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0, depth: 0 };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr_of(src: &str) -> Expr {
+        let p = parse(&format!("r = {src}")).unwrap();
+        p.stmts.into_iter().next().unwrap().expr
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(expr_of("a + b * c").pretty(), "(a + (b * c))");
+        assert_eq!(expr_of("a * b + c").pretty(), "((a * b) + c)");
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(expr_of("a - b - c").pretty(), "((a - b) - c)");
+        assert_eq!(expr_of("a / b / c").pretty(), "((a / b) / c)");
+    }
+
+    #[test]
+    fn unary_minus_binds_tighter_than_mul() {
+        assert_eq!(expr_of("-c * c").pretty(), "(-c * c)");
+        assert_eq!(expr_of("--a").pretty(), "--a");
+    }
+
+    #[test]
+    fn parens_override() {
+        assert_eq!(expr_of("(a + b) * c").pretty(), "((a + b) * c)");
+    }
+
+    #[test]
+    fn calls_and_indexing() {
+        assert_eq!(
+            expr_of("grad3d(u, dims, x, y, z)[1]").pretty(),
+            "grad3d(u, dims, x, y, z)[1]"
+        );
+        assert_eq!(expr_of("sqrt(a)").pretty(), "sqrt(a)");
+    }
+
+    #[test]
+    fn index_bounds_checked() {
+        assert!(parse("r = a[4]").is_err());
+        assert!(parse("r = a[1.5]").is_err());
+    }
+
+    #[test]
+    fn comparisons_are_non_associative() {
+        assert_eq!(expr_of("a + 1 > b * 2").pretty(), "((a + 1) > (b * 2))");
+        // A second comparator on the same level is a syntax error.
+        assert!(parse("r = a > b > c").is_err());
+    }
+
+    #[test]
+    fn if_then_else_from_paper_intro() {
+        // §I: a = if (norm(grad(b)) > 10) then (c * c) else (-c * c)
+        let e = expr_of("if (n > 10) then (c * c) else (-c * c)");
+        // Unary minus binds tighter than `*`: the else branch is (-c) * c.
+        assert_eq!(e.pretty(), "if ((n > 10)) then ((c * c)) else ((-c * c))");
+    }
+
+    #[test]
+    fn multi_statement_program() {
+        let p = parse("a = b + c\nd = a * a").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+        assert_eq!(p.stmts[1].name, "d");
+    }
+
+    #[test]
+    fn expression_continues_after_trailing_operator() {
+        // Figure 3C style: line breaks after `+`.
+        let p = parse("s = a*a + b*b +\n    c*c").unwrap();
+        assert_eq!(p.stmts.len(), 1);
+        assert_eq!(p.stmts[0].expr.pretty(), "(((a * a) + (b * b)) + (c * c))");
+    }
+
+    #[test]
+    fn newline_inside_call_is_transparent() {
+        let p = parse("g = grad3d(u,\n dims, x,\n y, z)").unwrap();
+        assert_eq!(p.stmts.len(), 1);
+    }
+
+    #[test]
+    fn newline_at_depth_zero_ends_statement() {
+        let p = parse("a = b\nc = d").unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_reserved_keywords_as_names() {
+        assert!(parse("if = 2").is_err());
+        assert!(parse("r = then").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_after_statement() {
+        assert!(parse("a = b c").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_call() {
+        assert!(parse("a = sqrt(b").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_program() {
+        assert!(parse("").is_err());
+        assert!(parse("\n\n").is_err());
+        assert!(parse("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let err = parse("a = b\nc = *").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("expected expression"));
+    }
+
+    #[test]
+    fn parses_figure_3b_vorticity() {
+        let src = "\
+du = grad3d(u,dims,x,y,z)
+dv = grad3d(v,dims,x,y,z)
+dw = grad3d(w,dims,x,y,z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+w_mag = sqrt(w_x*w_x + w_y*w_y + w_z*w_z)";
+        let p = parse(src).unwrap();
+        assert_eq!(p.stmts.len(), 7);
+        assert_eq!(p.stmts[6].name, "w_mag");
+    }
+
+    #[test]
+    fn call_with_no_args_is_parsed() {
+        let e = expr_of("foo()");
+        assert_eq!(e, Expr::Call("foo".into(), vec![]));
+    }
+}
+
+#[cfg(test)]
+mod diagnostic_tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "a = b\nc = *";
+        let err = parse(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.starts_with("error: expected expression"), "{rendered}");
+        assert!(rendered.contains("2 | c = *"), "{rendered}");
+        // Caret under the `*` (column 5).
+        assert!(rendered.contains("|     ^"), "{rendered}");
+    }
+
+    #[test]
+    fn render_survives_out_of_range_positions() {
+        let err = ParseError { msg: "synthetic".into(), line: 99, col: 99 };
+        let rendered = err.render("one line only");
+        assert!(rendered.contains("synthetic"));
+        assert!(rendered.contains("99 | "));
+    }
+}

@@ -1,0 +1,98 @@
+//! Tokens and source positions.
+
+/// A half-open byte range in the source, with 1-based line/column of its
+/// start for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword-candidate (`if`/`then`/`else` are recognized by
+    /// the parser from idents to keep the lexer trivial, as PLY grammars do).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Assign,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// End of line (statement separator candidate).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Newline => "end of line".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}

@@ -1,0 +1,73 @@
+//! The paper's evaluation expressions (Figure 3).
+//!
+//! The Q-criterion text in Figure 3C is truncated in the published PDF:
+//! `w_3` is printed as `0.5 * (dv[0])` and the final statement is cut off.
+//! Equation 2 (Ω = ½(J − Jᵀ)) implies `w_3 = 0.5 * (dv[0] - du[1])`, and
+//! Q = ½(‖Ω‖² − ‖S‖²) implies the final `q_crit` line; both completions are
+//! confirmed by the Table II device-event counts (57 roundtrip kernels and
+//! 67 staged kernels — see `dfg-core`'s Table II tests).
+
+/// Figure 3A: velocity magnitude.
+pub const VELOCITY_MAGNITUDE: &str = "v_mag = sqrt(u*u + v*v + w*w)\n";
+
+/// Figure 3B: vorticity magnitude (‖∇×v‖, Equation 1).
+pub const VORTICITY_MAGNITUDE: &str = "\
+du = grad3d(u,dims,x,y,z)
+dv = grad3d(v,dims,x,y,z)
+dw = grad3d(w,dims,x,y,z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+w_mag = sqrt(w_x*w_x + w_y*w_y + w_z*w_z)
+";
+
+/// Figure 3C: Q-criterion (Hunt et al.), Q = ½(‖Ω‖² − ‖S‖²).
+pub const Q_CRITERION: &str = "\
+du = grad3d(u, dims, x, y, z)
+dv = grad3d(v, dims, x, y, z)
+dw = grad3d(w, dims, x, y, z)
+s_1 = 0.5 * (du[1] + dv[0])
+s_2 = 0.5 * (du[2] + dw[0])
+s_3 = 0.5 * (dv[0] + du[1])
+s_5 = 0.5 * (dv[2] + dw[1])
+s_6 = 0.5 * (dw[0] + du[2])
+s_7 = 0.5 * (dw[1] + dv[2])
+w_1 = 0.5 * (du[1] - dv[0])
+w_2 = 0.5 * (du[2] - dw[0])
+w_3 = 0.5 * (dv[0] - du[1])
+w_5 = 0.5 * (dv[2] - dw[1])
+w_6 = 0.5 * (dw[0] - du[2])
+w_7 = 0.5 * (dw[1] - dv[2])
+s_norm = du[0]*du[0] + s_1*s_1 + s_2*s_2 +
+         s_3*s_3 + dv[1]*dv[1] + s_5*s_5 +
+         s_6*s_6 + s_7*s_7 + dw[2]*dw[2]
+w_norm = w_1*w_1 + w_2*w_2 + w_3*w_3 +
+         w_5*w_5 + w_6*w_6 + w_7*w_7
+q_crit = 0.5 * (w_norm - s_norm)
+";
+
+/// §I's motivating conditional example, adapted to the implemented grammar:
+/// `a = if (norm(grad(b)) > 10) then (c * c) else (-c * c)`.
+pub const INTRO_CONDITIONAL: &str =
+    "a = if (norm(grad3d(b, dims, x, y, z)) > 10) then (c * c) else (-c * c)\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn all_workloads_parse() {
+        assert_eq!(parse(VELOCITY_MAGNITUDE).unwrap().stmts.len(), 1);
+        assert_eq!(parse(VORTICITY_MAGNITUDE).unwrap().stmts.len(), 7);
+        assert_eq!(parse(Q_CRITERION).unwrap().stmts.len(), 18);
+        assert_eq!(parse(INTRO_CONDITIONAL).unwrap().stmts.len(), 1);
+    }
+
+    #[test]
+    fn all_workloads_lower() {
+        for src in [VELOCITY_MAGNITUDE, VORTICITY_MAGNITUDE, Q_CRITERION, INTRO_CONDITIONAL] {
+            crate::compile(src).expect("workload must compile");
+        }
+    }
+}

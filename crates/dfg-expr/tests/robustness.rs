@@ -1,0 +1,68 @@
+//! Front-end robustness: the lexer and parser must never panic, whatever
+//! bytes arrive — a malformed expression is user input, and the host
+//! interface returns errors, not crashes.
+
+use proptest::prelude::*;
+
+use dfg_expr::{compile, lex, parse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode never panics the lexer.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Arbitrary unicode never panics the parser.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Expression-shaped garbage (only grammar characters) never panics and
+    /// never produces an invalid network when it does parse.
+    #[test]
+    fn compiler_total_on_grammar_soup(src in "[a-z0-9+\\-*/()=,.\\[\\] \n]{0,120}") {
+        if let Ok(spec) = compile(&src) {
+            spec.validate().expect("compile() only returns valid networks");
+        }
+    }
+
+    /// Error positions stay within the source.
+    #[test]
+    fn error_positions_in_bounds(src in "[a-z+*/() =\n]{1,80}") {
+        if let Err(e) = parse(&src) {
+            let lines: Vec<&str> = src.split('\n').collect();
+            prop_assert!(e.line >= 1);
+            // The reported line exists (Eof errors may point one past the
+            // final newline).
+            prop_assert!((e.line as usize) <= lines.len() + 1, "line {} of {}", e.line, lines.len());
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_expressions_do_not_overflow() {
+    // 200 levels of parenthesis nesting parse fine (recursive descent depth
+    // is bounded by input size; 200 is far beyond real expressions).
+    let mut src = String::from("r = ");
+    for _ in 0..200 {
+        src.push('(');
+    }
+    src.push('u');
+    for _ in 0..200 {
+        src.push(')');
+    }
+    let p = parse(&src).expect("deep nesting parses");
+    assert_eq!(p.stmts.len(), 1);
+}
+
+#[test]
+fn long_operator_chains_lower_linearly() {
+    // u + u + u + ... (500 terms): one filter per operator.
+    let src = format!("r = {}", vec!["u"; 500].join(" + "));
+    let spec = compile(&src).expect("long chains compile");
+    assert_eq!(spec.len(), 1 + 499); // one input + 499 adds
+}

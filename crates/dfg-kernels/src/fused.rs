@@ -1,0 +1,1136 @@
+//! The dynamic fused-kernel generator (§III-C.3).
+//!
+//! *"A dynamic kernel generator employs kernel fusion to construct and
+//! execute a single OpenCL kernel that implements all of the operations. …
+//! the fused kernel stores the intermediate results computed using the
+//! derived field primitives in local device registers."*
+//!
+//! [`fuse`] compiles a dataflow network into a [`FusedProgram`]: a linear
+//! register program with
+//!
+//! * per-element function calls for simple primitives,
+//! * direct access to device global-memory arrays for `grad3d`,
+//! * source-level insertion of constants,
+//! * `float4` registers for multi-valued results,
+//! * source-level component selection for `decompose` (`val.s1`),
+//!
+//! — the five generator features the paper enumerates. Registers are
+//! allocated with liveness-based reuse; exceeding [`MAX_REGS`] is reported
+//! as [`FuseError::RegisterPressure`], the analogue of the paper's concern
+//! that the generated kernel "avoid spilling results intended for local
+//! registers into the global memory".
+//!
+//! [`FusedKernel`] executes the program as one device kernel launch; it also
+//! renders the equivalent OpenCL C source ([`FusedProgram::generated_source`])
+//! for inspection, as the paper's generator emits real OpenCL source.
+
+use std::collections::HashMap;
+
+use dfg_dataflow::{FilterOp, NetworkSpec, NodeId, Schedule, ScheduleError, Width};
+use dfg_ocl::{DeviceKernel, KernelArgs, KernelCost};
+use rayon::prelude::*;
+
+use crate::grad::{gradient_at, Dims3};
+use crate::primitives::{BinKind, UnKind};
+
+/// Maximum registers the generator may allocate before it reports register
+/// pressure.
+pub const MAX_REGS: usize = 250;
+
+/// Fusion failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuseError {
+    /// The network is invalid or cyclic.
+    Schedule(ScheduleError),
+    /// `grad3d` applied to a *computed* value: a single per-element kernel
+    /// cannot see neighbours of values that only exist in registers. (The
+    /// staged strategy handles such networks by materializing the operand.)
+    GradientOfComputedValue {
+        /// The gradient node.
+        node: NodeId,
+    },
+    /// More simultaneously-live intermediates than [`MAX_REGS`].
+    RegisterPressure {
+        /// Registers the program would need.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for FuseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FuseError::Schedule(e) => write!(f, "cannot schedule network: {e}"),
+            FuseError::GradientOfComputedValue { node } => write!(
+                f,
+                "cannot fuse: grad3d at {node} reads a computed value; \
+                 use the staged strategy"
+            ),
+            FuseError::RegisterPressure { needed } => {
+                write!(f, "fused kernel needs {needed} registers (max {MAX_REGS})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuseError {}
+
+/// One global-memory input of the fused kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputSlot {
+    /// Field name the host must bind.
+    pub name: String,
+    /// Whether this is a small (non-problem-sized) buffer such as `dims`.
+    pub small: bool,
+}
+
+/// Register index.
+type Reg = u8;
+
+/// One instruction of the fused program. Registers hold `float4`; scalar
+/// values live in lane 0.
+#[derive(Debug, Clone, PartialEq)]
+enum RegOp {
+    /// Load a scalar input element into a register.
+    LoadInput { slot: u16, reg: Reg },
+    /// Materialize a constant (source-level insertion).
+    Const { value: f32, reg: Reg },
+    /// Binary scalar op.
+    Bin { op: BinKind, a: Reg, b: Reg, out: Reg },
+    /// Unary scalar op.
+    Un { op: UnKind, a: Reg, out: Reg },
+    /// Conditional select.
+    Select { c: Reg, a: Reg, b: Reg, out: Reg },
+    /// Pack three scalar registers into a vector register.
+    Compose3 { a: Reg, b: Reg, c: Reg, out: Reg },
+    /// Vector component extract (source-level `.sN`).
+    Decompose { a: Reg, comp: u8, out: Reg },
+    /// Gradient with direct global-memory access.
+    Grad3d { field: u16, dims: u16, x: u16, y: u16, z: u16, out: Reg },
+    /// Norm of a vector register.
+    Norm3 { a: Reg, out: Reg },
+    /// Dot product of vector registers.
+    Dot3 { a: Reg, b: Reg, out: Reg },
+    /// Cross product of vector registers.
+    Cross3 { a: Reg, b: Reg, out: Reg },
+}
+
+/// One output of a fused program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSlot {
+    reg: Reg,
+    /// Value width of this output.
+    pub width: Width,
+    /// Lane offset of this output within each element's interleaved block.
+    pub lane_offset: usize,
+    /// Display name (the root's assignment name, or `out<i>`).
+    pub name: String,
+}
+
+/// A compiled fused kernel program.
+///
+/// Multi-output programs write all outputs into one buffer, interleaved per
+/// element: element `i` occupies lanes `[i·L, (i+1)·L)` where `L` is
+/// [`FusedProgram::lanes_per_elem`], and output `o` sits at its
+/// `lane_offset` within that block. The host de-interleaves after download.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedProgram {
+    ops: Vec<RegOp>,
+    /// Total registers the program uses (scalar + vector banks).
+    pub num_regs: usize,
+    /// Scalar registers used.
+    pub num_sregs: usize,
+    /// Vector registers used.
+    pub num_vregs: usize,
+    /// Global-memory inputs, in binding order.
+    pub inputs: Vec<InputSlot>,
+    /// Width of the kernel's primary (first) output.
+    pub output_width: Width,
+    /// All outputs, in requested order.
+    pub outputs: Vec<OutputSlot>,
+    /// Interleaved output lanes per element (sum of output widths).
+    pub lanes_per_elem: usize,
+    /// Total floating-point operations per element (for the cost model).
+    pub flops_per_elem: u64,
+    /// Scalar-equivalent global-memory lanes read per element.
+    pub read_lanes_per_elem: u64,
+}
+
+struct Fuser<'a> {
+    spec: &'a NetworkSpec,
+    ops: Vec<RegOp>,
+    /// Input node -> slot index.
+    slots: HashMap<NodeId, u16>,
+    input_list: Vec<InputSlot>,
+    /// Node -> register holding its value.
+    reg_of: HashMap<NodeId, Reg>,
+    /// Remaining register-reads per node (for register reuse).
+    reg_uses_left: HashMap<NodeId, u32>,
+    /// Scalar and vector register banks are allocated independently (the
+    /// generated source names them `rN` / `vN`, and the executor stores
+    /// them in separate chunk-sized banks).
+    free_sregs: Vec<Reg>,
+    next_sreg: usize,
+    hw_sregs: usize,
+    free_vregs: Vec<Reg>,
+    next_vreg: usize,
+    hw_vregs: usize,
+}
+
+impl<'a> Fuser<'a> {
+    fn slot_for(&mut self, id: NodeId) -> u16 {
+        if let Some(&s) = self.slots.get(&id) {
+            return s;
+        }
+        let FilterOp::Input { name, small } = &self.spec.node(id).op else {
+            unreachable!("slot_for on non-input")
+        };
+        let s = self.input_list.len() as u16;
+        self.input_list.push(InputSlot { name: name.clone(), small: *small });
+        self.slots.insert(id, s);
+        s
+    }
+
+    fn alloc_sreg(&mut self) -> Result<Reg, FuseError> {
+        if let Some(r) = self.free_sregs.pop() {
+            return Ok(r);
+        }
+        if self.next_sreg >= MAX_REGS {
+            return Err(FuseError::RegisterPressure { needed: self.next_sreg + 1 });
+        }
+        let r = self.next_sreg as Reg;
+        self.next_sreg += 1;
+        self.hw_sregs = self.hw_sregs.max(self.next_sreg);
+        Ok(r)
+    }
+
+    fn alloc_vreg(&mut self) -> Result<Reg, FuseError> {
+        if let Some(r) = self.free_vregs.pop() {
+            return Ok(r);
+        }
+        if self.next_vreg >= MAX_REGS {
+            return Err(FuseError::RegisterPressure { needed: self.next_vreg + 1 });
+        }
+        let r = self.next_vreg as Reg;
+        self.next_vreg += 1;
+        self.hw_vregs = self.hw_vregs.max(self.next_vreg);
+        Ok(r)
+    }
+
+    fn alloc_for(&mut self, width: Width) -> Result<Reg, FuseError> {
+        match width {
+            Width::Vec4 => self.alloc_vreg(),
+            _ => self.alloc_sreg(),
+        }
+    }
+
+    /// Register holding `id`'s value, loading inputs / materializing
+    /// constants lazily at first use.
+    fn reg_for(&mut self, id: NodeId) -> Result<Reg, FuseError> {
+        if let Some(&r) = self.reg_of.get(&id) {
+            return Ok(r);
+        }
+        match &self.spec.node(id).op {
+            FilterOp::Input { .. } => {
+                let slot = self.slot_for(id);
+                let reg = self.alloc_sreg()?;
+                self.ops.push(RegOp::LoadInput { slot, reg });
+                self.reg_of.insert(id, reg);
+                Ok(reg)
+            }
+            FilterOp::Const(v) => {
+                let reg = self.alloc_sreg()?;
+                self.ops.push(RegOp::Const { value: *v, reg });
+                self.reg_of.insert(id, reg);
+                Ok(reg)
+            }
+            other => unreachable!(
+                "operand {id} ({other}) consumed before production — schedule violated"
+            ),
+        }
+    }
+
+    /// Consume one register-read of `id`, freeing its register (into the
+    /// bank matching its width) when dead.
+    fn consume(&mut self, id: NodeId, result: NodeId) {
+        if id == result {
+            return;
+        }
+        let uses = self.reg_uses_left.get_mut(&id).expect("tracked operand");
+        *uses -= 1;
+        if *uses == 0 {
+            if let Some(r) = self.reg_of.remove(&id) {
+                if self.spec.width(id) == Width::Vec4 {
+                    self.free_vregs.push(r);
+                } else {
+                    self.free_sregs.push(r);
+                }
+            }
+        }
+    }
+}
+
+/// Is `node` read through a register by `consumer` at `port`? Gradient
+/// operands are read directly from global memory instead.
+fn is_register_read(consumer_op: &FilterOp, _port: usize) -> bool {
+    !matches!(consumer_op, FilterOp::Grad3d)
+}
+
+/// Compile a network into a fused single-kernel program producing the
+/// network result.
+pub fn fuse(spec: &NetworkSpec) -> Result<FusedProgram, FuseError> {
+    fuse_roots(spec, &[spec.result])
+}
+
+/// Compile a network into one fused kernel producing every root in `roots`
+/// (multi-output fusion: shared subexpressions are computed once).
+pub fn fuse_roots(spec: &NetworkSpec, roots: &[NodeId]) -> Result<FusedProgram, FuseError> {
+    let sched = Schedule::for_roots(spec, roots).map_err(FuseError::Schedule)?;
+
+    // Count register reads per node (ports of non-gradient consumers), so
+    // registers are freed after their last use. The result gets a sentinel
+    // use so its register survives to the store.
+    let mut reg_uses: HashMap<NodeId, u32> = HashMap::new();
+    for &id in &sched.order {
+        let node = spec.node(id);
+        for (port, &input) in node.inputs.iter().enumerate() {
+            if is_register_read(&node.op, port) {
+                *reg_uses.entry(input).or_insert(0) += 1;
+            }
+        }
+    }
+    for &root in roots {
+        *reg_uses.entry(root).or_insert(0) += 1;
+    }
+
+    let mut fz = Fuser {
+        spec,
+        ops: Vec::new(),
+        slots: HashMap::new(),
+        input_list: Vec::new(),
+        reg_of: HashMap::new(),
+        reg_uses_left: reg_uses,
+        free_sregs: Vec::new(),
+        next_sreg: 0,
+        hw_sregs: 0,
+        free_vregs: Vec::new(),
+        next_vreg: 0,
+        hw_vregs: 0,
+    };
+
+    let mut flops: u64 = 0;
+    let mut read_lanes: u64 = 0;
+
+    for &id in &sched.order {
+        let node = spec.node(id);
+        flops += node.op.flops_per_elem();
+        match &node.op {
+            // Sources are handled lazily by reg_for / slot_for.
+            FilterOp::Input { .. } | FilterOp::Const(_) => {}
+            FilterOp::Grad3d => {
+                // All five operands must be global arrays (host inputs).
+                for &input in &node.inputs {
+                    if !matches!(spec.node(input).op, FilterOp::Input { .. }) {
+                        return Err(FuseError::GradientOfComputedValue { node: id });
+                    }
+                }
+                let field = fz.slot_for(node.inputs[0]);
+                let dims = fz.slot_for(node.inputs[1]);
+                let x = fz.slot_for(node.inputs[2]);
+                let y = fz.slot_for(node.inputs[3]);
+                let z = fz.slot_for(node.inputs[4]);
+                let out = fz.alloc_vreg()?;
+                fz.ops.push(RegOp::Grad3d { field, dims, x, y, z, out });
+                fz.reg_of.insert(id, out);
+                read_lanes += 12;
+            }
+            op => {
+                let operands: Vec<Reg> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| fz.reg_for(i))
+                    .collect::<Result<_, _>>()?;
+                let out = fz.alloc_for(node.op.width())?;
+                let regop = match op {
+                    FilterOp::Add => RegOp::Bin { op: BinKind::Add, a: operands[0], b: operands[1], out },
+                    FilterOp::Sub => RegOp::Bin { op: BinKind::Sub, a: operands[0], b: operands[1], out },
+                    FilterOp::Mul => RegOp::Bin { op: BinKind::Mul, a: operands[0], b: operands[1], out },
+                    FilterOp::Div => RegOp::Bin { op: BinKind::Div, a: operands[0], b: operands[1], out },
+                    FilterOp::Min2 => RegOp::Bin { op: BinKind::Min, a: operands[0], b: operands[1], out },
+                    FilterOp::Max2 => RegOp::Bin { op: BinKind::Max, a: operands[0], b: operands[1], out },
+                    FilterOp::Lt => RegOp::Bin { op: BinKind::Lt, a: operands[0], b: operands[1], out },
+                    FilterOp::Gt => RegOp::Bin { op: BinKind::Gt, a: operands[0], b: operands[1], out },
+                    FilterOp::Le => RegOp::Bin { op: BinKind::Le, a: operands[0], b: operands[1], out },
+                    FilterOp::Ge => RegOp::Bin { op: BinKind::Ge, a: operands[0], b: operands[1], out },
+                    FilterOp::EqOp => RegOp::Bin { op: BinKind::Eq, a: operands[0], b: operands[1], out },
+                    FilterOp::Ne => RegOp::Bin { op: BinKind::Ne, a: operands[0], b: operands[1], out },
+                    FilterOp::Pow => RegOp::Bin { op: BinKind::Pow, a: operands[0], b: operands[1], out },
+                    FilterOp::Atan2 => RegOp::Bin { op: BinKind::Atan2, a: operands[0], b: operands[1], out },
+                    FilterOp::And => RegOp::Bin { op: BinKind::And, a: operands[0], b: operands[1], out },
+                    FilterOp::Or => RegOp::Bin { op: BinKind::Or, a: operands[0], b: operands[1], out },
+                    FilterOp::Neg => RegOp::Un { op: UnKind::Neg, a: operands[0], out },
+                    FilterOp::Sqrt => RegOp::Un { op: UnKind::Sqrt, a: operands[0], out },
+                    FilterOp::Abs => RegOp::Un { op: UnKind::Abs, a: operands[0], out },
+                    FilterOp::Sin => RegOp::Un { op: UnKind::Sin, a: operands[0], out },
+                    FilterOp::Cos => RegOp::Un { op: UnKind::Cos, a: operands[0], out },
+                    FilterOp::Tan => RegOp::Un { op: UnKind::Tan, a: operands[0], out },
+                    FilterOp::Exp => RegOp::Un { op: UnKind::Exp, a: operands[0], out },
+                    FilterOp::Log => RegOp::Un { op: UnKind::Log, a: operands[0], out },
+                    FilterOp::Not => RegOp::Un { op: UnKind::Not, a: operands[0], out },
+                    FilterOp::Select => RegOp::Select { c: operands[0], a: operands[1], b: operands[2], out },
+                    FilterOp::Compose3 => RegOp::Compose3 { a: operands[0], b: operands[1], c: operands[2], out },
+                    FilterOp::Decompose(c) => RegOp::Decompose { a: operands[0], comp: *c, out },
+                    FilterOp::Norm3 => RegOp::Norm3 { a: operands[0], out },
+                    FilterOp::Dot3 => RegOp::Dot3 { a: operands[0], b: operands[1], out },
+                    FilterOp::Cross3 => RegOp::Cross3 { a: operands[0], b: operands[1], out },
+                    FilterOp::Input { .. } | FilterOp::Const(_) | FilterOp::Grad3d => {
+                        unreachable!("handled above")
+                    }
+                };
+                fz.ops.push(regop);
+                fz.reg_of.insert(id, out);
+                for &i in &node.inputs {
+                    fz.consume(i, spec.result);
+                }
+            }
+        }
+    }
+
+    // Each scalar input slot is read once per element by its load.
+    read_lanes += fz
+        .input_list
+        .iter()
+        .filter(|s| !s.small)
+        .count() as u64;
+
+    // A root that is a bare source (`r = u`) emits no compute op;
+    // materialize the source into a register for the final store.
+    let mut outputs = Vec::with_capacity(roots.len());
+    let mut lane_offset = 0usize;
+    for (i, &root) in roots.iter().enumerate() {
+        let reg = match fz.reg_of.get(&root) {
+            Some(&r) => r,
+            None => fz.reg_for(root)?,
+        };
+        let width = spec.width(root);
+        let name = spec
+            .node(root)
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("out{i}"));
+        outputs.push(OutputSlot { reg, width, lane_offset, name });
+        lane_offset += match width {
+            Width::Vec4 => 4,
+            _ => 1,
+        };
+    }
+
+    Ok(FusedProgram {
+        ops: fz.ops,
+        num_regs: fz.hw_sregs + fz.hw_vregs,
+        num_sregs: fz.hw_sregs,
+        num_vregs: fz.hw_vregs,
+        inputs: fz.input_list,
+        output_width: outputs[0].width,
+        outputs,
+        lanes_per_elem: lane_offset,
+        flops_per_elem: flops,
+        read_lanes_per_elem: read_lanes,
+    })
+}
+
+impl FusedProgram {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty (never true for valid networks).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Render the equivalent OpenCL C kernel source, in the spirit of the
+    /// paper's dynamic kernel generator output.
+    pub fn generated_source(&self, kernel_name: &str) -> String {
+        let mut src = String::new();
+        if self.ops.iter().any(|op| matches!(op, RegOp::Grad3d { .. })) {
+            src.push_str(crate::primitives::GRAD3D_OPENCL_SOURCE);
+            src.push_str("\n\n");
+        }
+        src.push_str(&format!("__kernel void {kernel_name}(\n"));
+        for slot in &self.inputs {
+            let ty = if slot.small { "int" } else { "float" };
+            src.push_str(&format!("    __global const {ty} *{},\n", slot.name));
+        }
+        let single = self.outputs.len() == 1;
+        for (i, out) in self.outputs.iter().enumerate() {
+            let ty = if out.width == Width::Vec4 { "float4" } else { "float" };
+            let name = if single { "out".to_string() } else { format!("out_{}", out.name) };
+            let sep = if i + 1 == self.outputs.len() { ")" } else { "," };
+            src.push_str(&format!("    __global {ty} *{name}{sep}\n"));
+        }
+        src.push_str("{\n    int idx = get_global_id(0);\n");
+        // Declare each register once (the allocator reuses registers, so
+        // per-assignment declarations would redeclare). Scalar assignments
+        // use `rN`, vector assignments `vN` — distinct C variables even
+        // when they share a register slot.
+        let mut scalar_regs = std::collections::BTreeSet::new();
+        let mut vector_regs = std::collections::BTreeSet::new();
+        for op in &self.ops {
+            match op {
+                RegOp::LoadInput { reg, .. } | RegOp::Const { reg, .. } => {
+                    scalar_regs.insert(*reg);
+                }
+                RegOp::Bin { out, .. }
+                | RegOp::Un { out, .. }
+                | RegOp::Select { out, .. }
+                | RegOp::Decompose { out, .. }
+                | RegOp::Norm3 { out, .. }
+                | RegOp::Dot3 { out, .. } => {
+                    scalar_regs.insert(*out);
+                }
+                RegOp::Grad3d { out, .. }
+                | RegOp::Cross3 { out, .. }
+                | RegOp::Compose3 { out, .. } => {
+                    vector_regs.insert(*out);
+                }
+            }
+        }
+        for r in &scalar_regs {
+            src.push_str(&format!("    float r{r};\n"));
+        }
+        for r in &vector_regs {
+            src.push_str(&format!("    float4 v{r};\n"));
+        }
+        for op in &self.ops {
+            let line = match op {
+                RegOp::LoadInput { slot, reg } => {
+                    format!("r{reg} = {}[idx];", self.inputs[*slot as usize].name)
+                }
+                RegOp::Const { value, reg } => format!("r{reg} = {value:?}f;"),
+                RegOp::Bin { op, a, b, out } => format!(
+                    "r{out} = {};",
+                    op.source_expr(&format!("r{a}"), &format!("r{b}"))
+                ),
+                RegOp::Un { op, a, out } => {
+                    format!("r{out} = {};", op.source_expr(&format!("r{a}")))
+                }
+                RegOp::Select { c, a, b, out } => {
+                    format!("r{out} = (r{c} != 0.0f) ? r{a} : r{b};")
+                }
+                RegOp::Compose3 { a, b, c, out } => {
+                    format!("v{out} = (float4)(r{a}, r{b}, r{c}, 0.0f);")
+                }
+                RegOp::Decompose { a, comp, out } => {
+                    format!("r{out} = v{a}.s{comp};")
+                }
+                RegOp::Grad3d { field, dims, x, y, z, out } => format!(
+                    "v{out} = dfg_grad3d({}, {}, {}, {}, {}, idx);",
+                    self.inputs[*field as usize].name,
+                    self.inputs[*dims as usize].name,
+                    self.inputs[*x as usize].name,
+                    self.inputs[*y as usize].name,
+                    self.inputs[*z as usize].name,
+                ),
+                RegOp::Norm3 { a, out } => format!(
+                    "r{out} = sqrt(v{a}.s0*v{a}.s0 + v{a}.s1*v{a}.s1 + v{a}.s2*v{a}.s2);"
+                ),
+                RegOp::Dot3 { a, b, out } => format!(
+                    "r{out} = v{a}.s0*v{b}.s0 + v{a}.s1*v{b}.s1 + v{a}.s2*v{b}.s2;"
+                ),
+                RegOp::Cross3 { a, b, out } => format!(
+                    "v{out} = (float4)(v{a}.s1*v{b}.s2 - v{a}.s2*v{b}.s1, \
+                     v{a}.s2*v{b}.s0 - v{a}.s0*v{b}.s2, \
+                     v{a}.s0*v{b}.s1 - v{a}.s1*v{b}.s0, 0.0f);"
+                ),
+            };
+            src.push_str("    ");
+            src.push_str(&line);
+            src.push('\n');
+        }
+        let single = self.outputs.len() == 1;
+        for out in &self.outputs {
+            let name = if single { "out".to_string() } else { format!("out_{}", out.name) };
+            src.push_str(&format!("    {name}[idx] = r{};\n", out.reg));
+        }
+        src.push_str("}\n");
+        src
+    }
+}
+
+/// The fused program as a launchable device kernel.
+pub struct FusedKernel {
+    /// The compiled program.
+    pub program: FusedProgram,
+    label: String,
+}
+
+impl FusedKernel {
+    /// Wrap a program, labeling profiling events `fused_<label>`.
+    pub fn new(program: FusedProgram, label: &str) -> Self {
+        FusedKernel { program, label: label.to_string() }
+    }
+}
+
+
+impl DeviceKernel for FusedKernel {
+    fn name(&self) -> String {
+        format!("fused_{}", self.label)
+    }
+
+    fn cost(&self, n: usize) -> KernelCost {
+        let n = n as u64;
+        KernelCost {
+            bytes_read: 4 * self.program.read_lanes_per_elem * n,
+            bytes_written: 4 * self.program.lanes_per_elem as u64 * n,
+            flops: self.program.flops_per_elem * n,
+        }
+    }
+
+    fn run(&self, args: KernelArgs<'_>) {
+        use std::cell::Cell;
+
+        let prog = &self.program;
+        let n = args.n;
+        // Pre-decode dims for every gradient op (uniform per launch).
+        let grad_dims: Vec<Option<Dims3>> = prog
+            .ops
+            .iter()
+            .map(|op| match op {
+                RegOp::Grad3d { dims, .. } => {
+                    Some(Dims3::from_buffer(args.inputs[*dims as usize]))
+                }
+                _ => None,
+            })
+            .collect();
+        let out_lanes = prog.lanes_per_elem;
+        let inputs = args.inputs;
+
+        // Vectorized interpretation: each instruction runs as a tight loop
+        // over a chunk of elements, with register *banks* (one slice of
+        // `CHUNK` values per register) instead of per-element register
+        // files. This amortizes instruction dispatch over the chunk and
+        // keeps the banks cache-resident — the software analogue of the
+        // GPU's registers-per-workgroup execution the paper relies on.
+        const CHUNK: usize = 256;
+        args.output[..n * out_lanes]
+            .par_chunks_mut(out_lanes * CHUNK)
+            .enumerate()
+            .for_each(|(c, out)| {
+                let base = c * CHUNK;
+                let len = out.len() / out_lanes;
+                // Scalar bank: [reg][t]; vector bank: [reg][lane][t].
+                // Cell slices allow aliasing-free in-place updates without
+                // unsafe (the allocator guarantees out != live operands,
+                // but the borrow checker cannot see that).
+                let mut sbank = vec![0.0f32; prog.num_sregs * CHUNK];
+                let mut vbank = vec![0.0f32; prog.num_vregs * 4 * CHUNK];
+                let s = Cell::from_mut(&mut sbank[..]).as_slice_of_cells();
+                let v = Cell::from_mut(&mut vbank[..]).as_slice_of_cells();
+                let sreg = |r: Reg| &s[r as usize * CHUNK..][..len];
+                let vlane = |r: Reg, lane: usize| {
+                    &v[(r as usize * 4 + lane) * CHUNK..][..len]
+                };
+
+                for (op_i, op) in prog.ops.iter().enumerate() {
+                    match op {
+                        RegOp::LoadInput { slot, reg } => {
+                            let src = &inputs[*slot as usize][base..base + len];
+                            for (o, x) in sreg(*reg).iter().zip(src) {
+                                o.set(*x);
+                            }
+                        }
+                        RegOp::Const { value, reg } => {
+                            for o in sreg(*reg) {
+                                o.set(*value);
+                            }
+                        }
+                        RegOp::Bin { op, a, b, out } => {
+                            let (aa, bb, oo) = (sreg(*a), sreg(*b), sreg(*out));
+                            for t in 0..len {
+                                oo[t].set(op.eval(aa[t].get(), bb[t].get()));
+                            }
+                        }
+                        RegOp::Un { op, a, out } => {
+                            let (aa, oo) = (sreg(*a), sreg(*out));
+                            for t in 0..len {
+                                oo[t].set(op.eval(aa[t].get()));
+                            }
+                        }
+                        RegOp::Select { c, a, b, out } => {
+                            let (cc, aa, bb, oo) =
+                                (sreg(*c), sreg(*a), sreg(*b), sreg(*out));
+                            for t in 0..len {
+                                oo[t].set(if cc[t].get() != 0.0 {
+                                    aa[t].get()
+                                } else {
+                                    bb[t].get()
+                                });
+                            }
+                        }
+                        RegOp::Decompose { a, comp, out } => {
+                            let (aa, oo) = (vlane(*a, *comp as usize), sreg(*out));
+                            for t in 0..len {
+                                oo[t].set(aa[t].get());
+                            }
+                        }
+                        RegOp::Compose3 { a, b, c, out } => {
+                            for (lane, src) in [a, b, c].into_iter().enumerate() {
+                                let (ss, oo) = (sreg(*src), vlane(*out, lane));
+                                for t in 0..len {
+                                    oo[t].set(ss[t].get());
+                                }
+                            }
+                            for o in vlane(*out, 3) {
+                                o.set(0.0);
+                            }
+                        }
+                        RegOp::Grad3d { field, x, y, z, out, .. } => {
+                            let d = grad_dims[op_i].expect("pre-decoded");
+                            let (o0, o1, o2, o3) = (
+                                vlane(*out, 0),
+                                vlane(*out, 1),
+                                vlane(*out, 2),
+                                vlane(*out, 3),
+                            );
+                            for t in 0..len {
+                                let g = gradient_at(
+                                    inputs[*field as usize],
+                                    inputs[*x as usize],
+                                    inputs[*y as usize],
+                                    inputs[*z as usize],
+                                    d,
+                                    base + t,
+                                );
+                                o0[t].set(g[0]);
+                                o1[t].set(g[1]);
+                                o2[t].set(g[2]);
+                                o3[t].set(0.0);
+                            }
+                        }
+                        RegOp::Norm3 { a, out } => {
+                            let (a0, a1, a2, oo) =
+                                (vlane(*a, 0), vlane(*a, 1), vlane(*a, 2), sreg(*out));
+                            for t in 0..len {
+                                let (x, y, z) =
+                                    (a0[t].get(), a1[t].get(), a2[t].get());
+                                oo[t].set((x * x + y * y + z * z).sqrt());
+                            }
+                        }
+                        RegOp::Dot3 { a, b, out } => {
+                            let oo = sreg(*out);
+                            for t in 0..len {
+                                let mut acc = 0.0f32;
+                                for lane in 0..3 {
+                                    acc += vlane(*a, lane)[t].get()
+                                        * vlane(*b, lane)[t].get();
+                                }
+                                oo[t].set(acc);
+                            }
+                        }
+                        RegOp::Cross3 { a, b, out } => {
+                            for t in 0..len {
+                                let av = [
+                                    vlane(*a, 0)[t].get(),
+                                    vlane(*a, 1)[t].get(),
+                                    vlane(*a, 2)[t].get(),
+                                ];
+                                let bv = [
+                                    vlane(*b, 0)[t].get(),
+                                    vlane(*b, 1)[t].get(),
+                                    vlane(*b, 2)[t].get(),
+                                ];
+                                vlane(*out, 0)[t].set(av[1] * bv[2] - av[2] * bv[1]);
+                                vlane(*out, 1)[t].set(av[2] * bv[0] - av[0] * bv[2]);
+                                vlane(*out, 2)[t].set(av[0] * bv[1] - av[1] * bv[0]);
+                                vlane(*out, 3)[t].set(0.0);
+                            }
+                        }
+                    }
+                }
+
+                // Store every output, interleaved per element.
+                for slot in &prog.outputs {
+                    match slot.width {
+                        Width::Vec4 => {
+                            for lane in 0..4 {
+                                let src = vlane(slot.reg, lane);
+                                for t in 0..len {
+                                    out[t * out_lanes + slot.lane_offset + lane] =
+                                        src[t].get();
+                                }
+                            }
+                        }
+                        _ => {
+                            let src = sreg(slot.reg);
+                            for t in 0..len {
+                                out[t * out_lanes + slot.lane_offset] = src[t].get();
+                            }
+                        }
+                    }
+                }
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg_dataflow::{example_networks, NetworkBuilder};
+    use dfg_ocl::{Context, DeviceProfile, ExecMode};
+
+    fn run_fused(spec: &NetworkSpec, fields: &[(&str, Vec<f32>)], n: usize) -> Vec<f32> {
+        let prog = fuse(spec).unwrap();
+        let kernel = FusedKernel::new(prog, "test");
+        let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let ids: Vec<_> = kernel
+            .program
+            .inputs
+            .iter()
+            .map(|slot| {
+                let data = &fields
+                    .iter()
+                    .find(|(name, _)| *name == slot.name)
+                    .unwrap_or_else(|| panic!("missing field {}", slot.name))
+                    .1;
+                let id = ctx.create_buffer(data.len()).unwrap();
+                ctx.enqueue_write(id, data).unwrap();
+                id
+            })
+            .collect();
+        let out_lanes = if kernel.program.output_width == Width::Vec4 { 4 * n } else { n };
+        let out = ctx.create_buffer(out_lanes).unwrap();
+        ctx.launch(&kernel, &ids, out, n).unwrap();
+        ctx.enqueue_read(out).unwrap()
+    }
+
+    #[test]
+    fn fused_velocity_magnitude_matches_formula() {
+        let spec = example_networks::velmag_example();
+        let u = vec![3.0f32, 1.0];
+        let v = vec![4.0f32, 2.0];
+        let w = vec![0.0f32, 2.0];
+        let out = run_fused(&spec, &[("u", u), ("v", v), ("w", w)], 2);
+        assert!((out[0] - 5.0).abs() < 1e-6);
+        assert!((out[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn register_reuse_keeps_pressure_low() {
+        let spec = example_networks::velmag_example();
+        let prog = fuse(&spec).unwrap();
+        // 3 loads + products + sums with reuse: must fit in a handful.
+        assert!(prog.num_regs <= 6, "velmag needs {} regs", prog.num_regs);
+        assert_eq!(prog.inputs.len(), 3);
+    }
+
+    #[test]
+    fn constants_are_inlined_in_source() {
+        let mut b = NetworkBuilder::new();
+        let u = b.input("u");
+        let c = b.constant(0.5);
+        let m = b.binary(FilterOp::Mul, u, c);
+        let spec = b.finish(m);
+        let prog = fuse(&spec).unwrap();
+        let src = prog.generated_source("k");
+        assert!(src.contains("0.5f"), "constant not inlined:\n{src}");
+        assert!(src.contains("__kernel void k("));
+        assert!(src.contains("out[idx]"));
+    }
+
+    #[test]
+    fn decompose_renders_vector_component_select() {
+        let spec = example_networks::gradmag_example();
+        let prog = fuse(&spec).unwrap();
+        let src = prog.generated_source("gm");
+        assert!(src.contains("dfg_grad3d("), "gradient call missing:\n{src}");
+        assert!(src.contains("__global const int *dims"));
+    }
+
+    #[test]
+    fn gradient_of_computed_value_is_rejected() {
+        let mut b = NetworkBuilder::new();
+        let u = b.input("u");
+        let uu = b.binary(FilterOp::Mul, u, u);
+        let dims = b.small_input("dims");
+        let (x, y, z) = (b.input("x"), b.input("y"), b.input("z"));
+        let g = b.grad3d(uu, dims, x, y, z);
+        let n = b.unary(FilterOp::Norm3, g);
+        let spec = b.finish(n);
+        assert!(matches!(
+            fuse(&spec),
+            Err(FuseError::GradientOfComputedValue { .. })
+        ));
+    }
+
+    #[test]
+    fn register_pressure_is_reported() {
+        // 300 products all live before a late reduction tree.
+        let mut b = NetworkBuilder::new();
+        let mut products = Vec::new();
+        for i in 0..300 {
+            let a = b.input(&format!("a{i}"));
+            let p = b.binary(FilterOp::Mul, a, a);
+            products.push(p);
+        }
+        let mut acc = products[0];
+        for &p in &products[1..] {
+            acc = b.binary(FilterOp::Add, acc, p);
+        }
+        let spec = b.finish(acc);
+        // Depending on schedule order this either fuses with reuse or
+        // reports pressure; with id-ordered scheduling all products precede
+        // the adds, so pressure must be reported.
+        match fuse(&spec) {
+            Err(FuseError::RegisterPressure { needed }) => assert!(needed > MAX_REGS),
+            Ok(prog) => panic!("expected pressure, fused with {} regs", prog.num_regs),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn fused_gradient_matches_standalone_primitive() {
+        use crate::primitives::Primitive;
+        use dfg_mesh::RectilinearMesh;
+        let mesh = RectilinearMesh::unit_cube([5, 4, 3]);
+        let (x, y, z) = mesh.coord_arrays();
+        let f = mesh.sample(|x, y, z| (3.0 * x).sin() + y * z);
+        let n = mesh.ncells();
+
+        // Standalone grad + norm.
+        let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let fid = ctx.create_buffer(n).unwrap();
+        ctx.enqueue_write(fid, &f).unwrap();
+        let dimsb = ctx.create_buffer(3).unwrap();
+        ctx.enqueue_write(dimsb, &mesh.dims_buffer()).unwrap();
+        let (xb, yb, zb) = (
+            ctx.create_buffer(n).unwrap(),
+            ctx.create_buffer(n).unwrap(),
+            ctx.create_buffer(n).unwrap(),
+        );
+        ctx.enqueue_write(xb, &x).unwrap();
+        ctx.enqueue_write(yb, &y).unwrap();
+        ctx.enqueue_write(zb, &z).unwrap();
+        let gout = ctx.create_buffer(4 * n).unwrap();
+        ctx.launch(&Primitive::Grad3d, &[fid, dimsb, xb, yb, zb], gout, n).unwrap();
+        let nout = ctx.create_buffer(n).unwrap();
+        ctx.launch(&Primitive::Norm3, &[gout], nout, n).unwrap();
+        let staged_result = ctx.enqueue_read(nout).unwrap();
+
+        // Fused gradmag.
+        let spec = example_networks::gradmag_example();
+        let fused_result = run_fused(
+            &spec,
+            &[
+                ("u", f),
+                ("dims", mesh.dims_buffer()),
+                ("x", x),
+                ("y", y),
+                ("z", z),
+            ],
+            n,
+        );
+        for i in 0..n {
+            assert!(
+                (staged_result[i] - fused_result[i]).abs() < 1e-6,
+                "mismatch at {i}: {} vs {}",
+                staged_result[i],
+                fused_result[i]
+            );
+        }
+    }
+
+    #[test]
+    fn select_and_comparison_fuse() {
+        let mut b = NetworkBuilder::new();
+        let u = b.input("u");
+        let ten = b.constant(10.0);
+        let cond = b.binary(FilterOp::Gt, u, ten);
+        let neg = b.unary(FilterOp::Neg, u);
+        let sel = b.select(cond, u, neg);
+        let spec = b.finish(sel);
+        let out = run_fused(&spec, &[("u", vec![5.0, 15.0])], 2);
+        assert_eq!(out, vec![-5.0, 15.0]);
+    }
+
+    #[test]
+    fn multi_output_fusion_shares_subexpressions() {
+        use crate::fused::fuse_roots;
+        // m = u*u; a = m+m; s = sqrt(m) : one kernel, three outputs, the
+        // shared m computed once.
+        let mut b = NetworkBuilder::new();
+        let u = b.input("u");
+        let m = b.binary(FilterOp::Mul, u, u);
+        b.name(m, "m");
+        let a = b.binary(FilterOp::Add, m, m);
+        b.name(a, "a");
+        let sq = b.unary(FilterOp::Sqrt, m);
+        b.name(sq, "s");
+        let spec = b.finish(a);
+        let prog = fuse_roots(&spec, &[a, sq, m]).unwrap();
+        assert_eq!(prog.outputs.len(), 3);
+        assert_eq!(prog.lanes_per_elem, 3);
+        // Only one multiply despite three consumers of m.
+        assert_eq!(prog.len(), 4); // load u, mul, add, sqrt
+
+        // Execute and check interleaving.
+        let kernel = FusedKernel::new(prog, "multi");
+        let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let uin = ctx.create_buffer(2).unwrap();
+        ctx.enqueue_write(uin, &[3.0, 4.0]).unwrap();
+        let out = ctx.create_buffer(2 * 3).unwrap();
+        ctx.launch(&kernel, &[uin], out, 2).unwrap();
+        let data = ctx.enqueue_read(out).unwrap();
+        // Element 0: a=18, s=3, m=9 ; element 1: a=32, s=4, m=16.
+        assert_eq!(data, vec![18.0, 3.0, 9.0, 32.0, 4.0, 16.0]);
+    }
+
+    #[test]
+    fn multi_output_source_names_outputs() {
+        use crate::fused::fuse_roots;
+        let mut b = NetworkBuilder::new();
+        let u = b.input("u");
+        let s = b.unary(FilterOp::Sqrt, u);
+        b.name(s, "root");
+        let a = b.unary(FilterOp::Abs, u);
+        b.name(a, "mag");
+        let spec = b.finish(s);
+        let prog = fuse_roots(&spec, &[s, a]).unwrap();
+        let src = prog.generated_source("multi");
+        assert!(src.contains("__global float *out_root,"), "{src}");
+        assert!(src.contains("__global float *out_mag)"), "{src}");
+        assert!(src.contains("out_root[idx]"));
+        assert!(src.contains("out_mag[idx]"));
+    }
+
+    #[test]
+    fn chunked_execution_crosses_chunk_boundaries_correctly() {
+        // The vectorized interpreter processes 256-element chunks; verify
+        // values at and across the boundary for an n that is not a
+        // multiple of the chunk (1000 = 3*256 + 232).
+        let spec = example_networks::velmag_example();
+        let n = 1000usize;
+        let u: Vec<f32> = (0..n).map(|i| i as f32 * 0.01).collect();
+        let v: Vec<f32> = (0..n).map(|i| 1.0 + (i % 7) as f32).collect();
+        let w: Vec<f32> = (0..n).map(|i| ((i * 13) % 11) as f32 - 5.0).collect();
+        let out = run_fused(
+            &spec,
+            &[("u", u.clone()), ("v", v.clone()), ("w", w.clone())],
+            n,
+        );
+        for i in [0usize, 1, 255, 256, 257, 511, 512, 767, 768, 999] {
+            let expect = (u[i] * u[i] + v[i] * v[i] + w[i] * w[i]).sqrt();
+            assert_eq!(
+                out[i].to_bits(),
+                expect.to_bits(),
+                "element {i}: {} vs {expect}",
+                out[i]
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_gradient_crosses_chunk_boundaries_correctly() {
+        // Gradient reads neighbours with *global* indices: per-chunk
+        // execution must not reset the element index (12x12x8 = 1152 > 256).
+        use dfg_mesh::RectilinearMesh;
+        let mesh = RectilinearMesh::unit_cube([12, 12, 8]);
+        let (x, y, z) = mesh.coord_arrays();
+        let f = mesh.sample(|x, y, z| x * 2.0 + y * 3.0 - z);
+        let n = mesh.ncells();
+        let spec = example_networks::gradmag_example();
+        let out = run_fused(
+            &spec,
+            &[
+                ("u", f),
+                ("dims", mesh.dims_buffer()),
+                ("x", x),
+                ("y", y),
+                ("z", z),
+            ],
+            n,
+        );
+        // |grad| = sqrt(4 + 9 + 1) everywhere for a linear field.
+        let expect = 14.0f32.sqrt();
+        for (i, &val) in out.iter().enumerate() {
+            assert!((val - expect).abs() < 1e-4, "cell {i}: {val} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn fig2_example_fuses_with_four_inputs() {
+        let prog = fuse(&example_networks::fig2_example()).unwrap();
+        assert_eq!(prog.inputs.len(), 4);
+        assert_eq!(prog.output_width, Width::Scalar);
+        assert_eq!(prog.len(), 7); // 4 loads + 3 ops
+    }
+}
+
+#[cfg(test)]
+mod golden_source_tests {
+    use super::*;
+    use dfg_dataflow::example_networks;
+
+    /// The full generated source for velocity magnitude, pinned: codegen
+    /// changes must be deliberate.
+    #[test]
+    fn velmag_generated_source_golden() {
+        let prog = fuse(&example_networks::velmag_example()).unwrap();
+        let expected = "\
+__kernel void fused_v_mag(
+    __global const float *u,
+    __global const float *v,
+    __global const float *w,
+    __global float *out)
+{
+    int idx = get_global_id(0);
+    float r0;
+    float r1;
+    float r2;
+    float r3;
+    r0 = u[idx];
+    r1 = r0 * r0;
+    r0 = v[idx];
+    r2 = r0 * r0;
+    r0 = w[idx];
+    r3 = r0 * r0;
+    r0 = r1 + r2;
+    r2 = r0 + r3;
+    r3 = sqrt(r2);
+    out[idx] = r3;
+}
+";
+        assert_eq!(prog.generated_source("fused_v_mag"), expected);
+    }
+
+    /// Generated source is valid-C-shaped: no register is declared twice
+    /// and every statement line ends with a semicolon.
+    #[test]
+    fn generated_source_declares_registers_once() {
+        for spec in [
+            example_networks::velmag_example(),
+            example_networks::gradmag_example(),
+            example_networks::fig2_example(),
+        ] {
+            let src = fuse(&spec).unwrap().generated_source("k");
+            // Only check the kernel body, not the grad3d helper function.
+            let body = &src[src.find("__kernel").expect("kernel present")..];
+            let mut seen = std::collections::HashSet::new();
+            for line in body.lines() {
+                let t = line.trim();
+                if let Some(rest) = t.strip_prefix("float ").or_else(|| t.strip_prefix("float4 "))
+                {
+                    // Declaration lines: "float rN;" / "float4 vN;" only.
+                    if let Some(name) = rest.strip_suffix(';') {
+                        assert!(
+                            seen.insert(name.to_string()),
+                            "register {name} declared twice:\n{src}"
+                        );
+                        assert!(!name.contains('='), "declaration with init: {t}");
+                    }
+                }
+            }
+            assert!(!seen.is_empty());
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! The shared primitive kernel library (§III-B.3).
+//!
+//! *"We implemented a set of basic primitives that act as flexible building
+//! blocks … These building blocks are small OpenCL source functions that are
+//! written once and shared by all execution strategies. Each function
+//! contains minimal metadata to describe global memory requirements and the
+//! return type."*
+//!
+//! [`Primitive`] is the Rust analogue: one standalone device kernel per
+//! filter operation, executing in parallel (rayon) with a cost model for the
+//! virtual clock, plus the OpenCL-style source snippet each building block
+//! corresponds to (used verbatim by the fusion code generator's display
+//! output).
+
+use dfg_dataflow::FilterOp;
+use dfg_ocl::{DeviceKernel, KernelArgs, KernelCost};
+use rayon::prelude::*;
+
+use crate::grad::{gradient_at, Dims3};
+
+/// Scalar binary operations shared by the standalone and fused executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `a < b` as 1.0/0.0
+    Lt,
+    /// `a > b` as 1.0/0.0
+    Gt,
+    /// `a <= b` as 1.0/0.0
+    Le,
+    /// `a >= b` as 1.0/0.0
+    Ge,
+    /// `a == b` as 1.0/0.0
+    Eq,
+    /// `a != b` as 1.0/0.0
+    Ne,
+    /// `a^b`
+    Pow,
+    /// `atan2(a, b)`
+    Atan2,
+    /// logical AND (nonzero ⇒ true)
+    And,
+    /// logical OR
+    Or,
+}
+
+impl BinKind {
+    /// Apply the operation.
+    #[inline]
+    pub fn eval(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinKind::Add => a + b,
+            BinKind::Sub => a - b,
+            BinKind::Mul => a * b,
+            BinKind::Div => a / b,
+            BinKind::Min => a.min(b),
+            BinKind::Max => a.max(b),
+            BinKind::Lt => f32::from(a < b),
+            BinKind::Gt => f32::from(a > b),
+            BinKind::Le => f32::from(a <= b),
+            BinKind::Ge => f32::from(a >= b),
+            BinKind::Eq => f32::from(a == b),
+            BinKind::Ne => f32::from(a != b),
+            BinKind::Pow => a.powf(b),
+            BinKind::Atan2 => a.atan2(b),
+            BinKind::And => f32::from(a != 0.0 && b != 0.0),
+            BinKind::Or => f32::from(a != 0.0 || b != 0.0),
+        }
+    }
+
+    /// C-style operator/function text for generated kernel source.
+    pub fn source_expr(self, a: &str, b: &str) -> String {
+        match self {
+            BinKind::Add => format!("{a} + {b}"),
+            BinKind::Sub => format!("{a} - {b}"),
+            BinKind::Mul => format!("{a} * {b}"),
+            BinKind::Div => format!("{a} / {b}"),
+            BinKind::Min => format!("fmin({a}, {b})"),
+            BinKind::Max => format!("fmax({a}, {b})"),
+            BinKind::Lt => format!("({a} < {b}) ? 1.0f : 0.0f"),
+            BinKind::Gt => format!("({a} > {b}) ? 1.0f : 0.0f"),
+            BinKind::Le => format!("({a} <= {b}) ? 1.0f : 0.0f"),
+            BinKind::Ge => format!("({a} >= {b}) ? 1.0f : 0.0f"),
+            BinKind::Eq => format!("({a} == {b}) ? 1.0f : 0.0f"),
+            BinKind::Ne => format!("({a} != {b}) ? 1.0f : 0.0f"),
+            BinKind::Pow => format!("pow({a}, {b})"),
+            BinKind::Atan2 => format!("atan2({a}, {b})"),
+            BinKind::And => format!("({a} != 0.0f && {b} != 0.0f) ? 1.0f : 0.0f"),
+            BinKind::Or => format!("({a} != 0.0f || {b} != 0.0f) ? 1.0f : 0.0f"),
+        }
+    }
+}
+
+/// Scalar unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    /// `-a`
+    Neg,
+    /// `sqrt(a)`
+    Sqrt,
+    /// `|a|`
+    Abs,
+    /// `sin(a)`
+    Sin,
+    /// `cos(a)`
+    Cos,
+    /// `tan(a)`
+    Tan,
+    /// `exp(a)`
+    Exp,
+    /// `ln(a)`
+    Log,
+    /// logical NOT
+    Not,
+}
+
+impl UnKind {
+    /// Apply the operation.
+    #[inline]
+    pub fn eval(self, a: f32) -> f32 {
+        match self {
+            UnKind::Neg => -a,
+            UnKind::Sqrt => a.sqrt(),
+            UnKind::Abs => a.abs(),
+            UnKind::Sin => a.sin(),
+            UnKind::Cos => a.cos(),
+            UnKind::Tan => a.tan(),
+            UnKind::Exp => a.exp(),
+            UnKind::Log => a.ln(),
+            UnKind::Not => f32::from(a == 0.0),
+        }
+    }
+
+    /// C-style source text.
+    pub fn source_expr(self, a: &str) -> String {
+        match self {
+            UnKind::Neg => format!("-{a}"),
+            UnKind::Sqrt => format!("sqrt({a})"),
+            UnKind::Abs => format!("fabs({a})"),
+            UnKind::Sin => format!("sin({a})"),
+            UnKind::Cos => format!("cos({a})"),
+            UnKind::Tan => format!("tan({a})"),
+            UnKind::Exp => format!("exp({a})"),
+            UnKind::Log => format!("log({a})"),
+            UnKind::Not => format!("({a} == 0.0f) ? 1.0f : 0.0f"),
+        }
+    }
+}
+
+/// A standalone device kernel for one dataflow primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    /// Elementwise binary op: inputs `[a, b]`, scalar out.
+    Bin(BinKind),
+    /// Elementwise unary op: inputs `[a]`, scalar out.
+    Un(UnKind),
+    /// `select(cond, a, b)`: inputs `[cond, a, b]`, scalar out.
+    Select,
+    /// Extract vec4 component: inputs `[v]` (4n lanes), scalar out.
+    Decompose(u8),
+    /// Fill the output with a constant (staged's constant materialization).
+    ConstFill(f32),
+    /// Pack three scalars into a vec4: inputs `[a, b, c]`, vec4 out.
+    Compose3,
+    /// Gradient: inputs `[field, dims, x, y, z]`, vec4 out.
+    Grad3d,
+    /// Norm of first three lanes: inputs `[v]` (vec4), scalar out.
+    Norm3,
+    /// Dot of first three lanes: inputs `[a, b]` (vec4), scalar out.
+    Dot3,
+    /// Cross of first three lanes: inputs `[a, b]` (vec4), vec4 out.
+    Cross3,
+}
+
+impl Primitive {
+    /// Map a dataflow filter op to its primitive kernel. Sources map to
+    /// `ConstFill` (constants) or `None` (inputs are uploads, not kernels).
+    pub fn from_filter_op(op: &FilterOp) -> Option<Primitive> {
+        Some(match op {
+            FilterOp::Input { .. } => return None,
+            FilterOp::Const(v) => Primitive::ConstFill(*v),
+            FilterOp::Add => Primitive::Bin(BinKind::Add),
+            FilterOp::Sub => Primitive::Bin(BinKind::Sub),
+            FilterOp::Mul => Primitive::Bin(BinKind::Mul),
+            FilterOp::Div => Primitive::Bin(BinKind::Div),
+            FilterOp::Min2 => Primitive::Bin(BinKind::Min),
+            FilterOp::Max2 => Primitive::Bin(BinKind::Max),
+            FilterOp::Lt => Primitive::Bin(BinKind::Lt),
+            FilterOp::Gt => Primitive::Bin(BinKind::Gt),
+            FilterOp::Le => Primitive::Bin(BinKind::Le),
+            FilterOp::Ge => Primitive::Bin(BinKind::Ge),
+            FilterOp::EqOp => Primitive::Bin(BinKind::Eq),
+            FilterOp::Ne => Primitive::Bin(BinKind::Ne),
+            FilterOp::Pow => Primitive::Bin(BinKind::Pow),
+            FilterOp::Atan2 => Primitive::Bin(BinKind::Atan2),
+            FilterOp::And => Primitive::Bin(BinKind::And),
+            FilterOp::Or => Primitive::Bin(BinKind::Or),
+            FilterOp::Not => Primitive::Un(UnKind::Not),
+            FilterOp::Select => Primitive::Select,
+            FilterOp::Compose3 => Primitive::Compose3,
+            FilterOp::Neg => Primitive::Un(UnKind::Neg),
+            FilterOp::Sqrt => Primitive::Un(UnKind::Sqrt),
+            FilterOp::Abs => Primitive::Un(UnKind::Abs),
+            FilterOp::Sin => Primitive::Un(UnKind::Sin),
+            FilterOp::Cos => Primitive::Un(UnKind::Cos),
+            FilterOp::Tan => Primitive::Un(UnKind::Tan),
+            FilterOp::Exp => Primitive::Un(UnKind::Exp),
+            FilterOp::Log => Primitive::Un(UnKind::Log),
+            FilterOp::Decompose(c) => Primitive::Decompose(*c),
+            FilterOp::Grad3d => Primitive::Grad3d,
+            FilterOp::Norm3 => Primitive::Norm3,
+            FilterOp::Dot3 => Primitive::Dot3,
+            FilterOp::Cross3 => Primitive::Cross3,
+        })
+    }
+
+    /// The OpenCL building-block source this primitive corresponds to.
+    /// Written once; the fusion generator inlines calls to these functions.
+    pub fn opencl_source(&self) -> String {
+        match self {
+            Primitive::Bin(k) => format!(
+                "float dfg_{name}(float a, float b) {{ return {expr}; }}",
+                name = format!("{k:?}").to_lowercase(),
+                expr = k.source_expr("a", "b"),
+            ),
+            Primitive::Un(k) => format!(
+                "float dfg_{name}(float a) {{ return {expr}; }}",
+                name = format!("{k:?}").to_lowercase(),
+                expr = k.source_expr("a"),
+            ),
+            Primitive::Select => {
+                "float dfg_select(float c, float a, float b) { return (c != 0.0f) ? a : b; }"
+                    .into()
+            }
+            Primitive::Compose3 => {
+                "float4 dfg_vector(float a, float b, float c) { return (float4)(a, b, c, 0.0f); }"
+                    .into()
+            }
+            Primitive::Decompose(c) => format!(
+                "float dfg_decompose_s{c}(float4 v) {{ return v.s{c}; }}"
+            ),
+            Primitive::ConstFill(v) => {
+                format!("float dfg_const() {{ return {v:?}f; }}")
+            }
+            Primitive::Grad3d => GRAD3D_OPENCL_SOURCE.into(),
+            Primitive::Norm3 => {
+                "float dfg_norm(float4 v) { return sqrt(v.s0*v.s0 + v.s1*v.s1 + v.s2*v.s2); }"
+                    .into()
+            }
+            Primitive::Dot3 => {
+                "float dfg_dot(float4 a, float4 b) { return a.s0*b.s0 + a.s1*b.s1 + a.s2*b.s2; }"
+                    .into()
+            }
+            Primitive::Cross3 => "float4 dfg_cross(float4 a, float4 b) {\n    \
+                 return (float4)(a.s1*b.s2 - a.s2*b.s1,\n                    \
+                 a.s2*b.s0 - a.s0*b.s2,\n                    \
+                 a.s0*b.s1 - a.s1*b.s0, 0.0f);\n}"
+                .into(),
+        }
+    }
+}
+
+/// The gradient building block's OpenCL source (the paper's ">50 lines"
+/// multi-line primitive), kept for source-level fidelity of the generator.
+pub const GRAD3D_OPENCL_SOURCE: &str = r#"float4 dfg_grad3d(__global const float *f,
+                  __global const int   *dims,
+                  __global const float *x,
+                  __global const float *y,
+                  __global const float *z,
+                  int idx)
+{
+    int nx = dims[0]; int ny = dims[1]; int nz = dims[2];
+    int i = idx % nx;
+    int j = (idx / nx) % ny;
+    int k = idx / (nx * ny);
+    float4 g = (float4)(0.0f, 0.0f, 0.0f, 0.0f);
+    /* d/dx */
+    if (nx > 1) {
+        int lo = (i == 0)      ? idx : idx - 1;
+        int hi = (i == nx - 1) ? idx : idx + 1;
+        float dx = x[hi] - x[lo];
+        g.s0 = (dx != 0.0f) ? (f[hi] - f[lo]) / dx : 0.0f;
+    }
+    /* d/dy */
+    if (ny > 1) {
+        int lo = (j == 0)      ? idx : idx - nx;
+        int hi = (j == ny - 1) ? idx : idx + nx;
+        float dy = y[hi] - y[lo];
+        g.s1 = (dy != 0.0f) ? (f[hi] - f[lo]) / dy : 0.0f;
+    }
+    /* d/dz */
+    if (nz > 1) {
+        int lo = (k == 0)      ? idx : idx - nx * ny;
+        int hi = (k == nz - 1) ? idx : idx + nx * ny;
+        float dz = z[hi] - z[lo];
+        g.s2 = (dz != 0.0f) ? (f[hi] - f[lo]) / dz : 0.0f;
+    }
+    return g;
+}"#;
+
+/// Minimum elements per rayon task: amortizes scheduling overhead without
+/// hurting load balance for problem-sized arrays.
+const PAR_CHUNK: usize = 16 * 1024;
+
+impl DeviceKernel for Primitive {
+    fn name(&self) -> String {
+        match self {
+            Primitive::Bin(k) => format!("{k:?}").to_lowercase(),
+            Primitive::Un(k) => format!("{k:?}").to_lowercase(),
+            Primitive::Select => "select".into(),
+            Primitive::Compose3 => "vector".into(),
+            Primitive::Decompose(c) => format!("decompose_s{c}"),
+            Primitive::ConstFill(v) => format!("const_fill_{v}"),
+            Primitive::Grad3d => "grad3d".into(),
+            Primitive::Norm3 => "norm".into(),
+            Primitive::Dot3 => "dot".into(),
+            Primitive::Cross3 => "cross".into(),
+        }
+    }
+
+    fn cost(&self, n: usize) -> KernelCost {
+        let n = n as u64;
+        let (read_lanes, written_lanes, flops): (u64, u64, u64) = match self {
+            Primitive::Bin(_) => (2, 1, 1),
+            Primitive::Un(UnKind::Sqrt) => (1, 1, 4),
+            Primitive::Un(UnKind::Neg)
+            | Primitive::Un(UnKind::Abs)
+            | Primitive::Un(UnKind::Not) => (1, 1, 1),
+            Primitive::Un(_) => (1, 1, 8),
+            Primitive::Select => (3, 1, 1),
+            Primitive::Compose3 => (3, 4, 0),
+            Primitive::Decompose(_) => (1, 1, 0),
+            Primitive::ConstFill(_) => (0, 1, 0),
+            // field + 3 coords at 2 points per axis + self lookups ≈ 12
+            // loads, 16 B written (float4), ~24 flops.
+            Primitive::Grad3d => (12, 4, 24),
+            Primitive::Norm3 => (4, 1, 9),
+            Primitive::Dot3 => (8, 1, 5),
+            Primitive::Cross3 => (8, 4, 9),
+        };
+        KernelCost {
+            bytes_read: 4 * read_lanes * n,
+            bytes_written: 4 * written_lanes * n,
+            flops: flops * n,
+        }
+    }
+
+    fn run(&self, args: KernelArgs<'_>) {
+        let n = args.n;
+        match self {
+            Primitive::Bin(k) => {
+                let (a, b) = (args.inputs[0], args.inputs[1]);
+                args.output[..n]
+                    .par_chunks_mut(PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.iter_mut().enumerate() {
+                            *o = k.eval(a[base + t], b[base + t]);
+                        }
+                    });
+            }
+            Primitive::Un(k) => {
+                let a = args.inputs[0];
+                args.output[..n]
+                    .par_chunks_mut(PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.iter_mut().enumerate() {
+                            *o = k.eval(a[base + t]);
+                        }
+                    });
+            }
+            Primitive::Select => {
+                let (c0, a, b) = (args.inputs[0], args.inputs[1], args.inputs[2]);
+                args.output[..n]
+                    .par_chunks_mut(PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.iter_mut().enumerate() {
+                            let i = base + t;
+                            *o = if c0[i] != 0.0 { a[i] } else { b[i] };
+                        }
+                    });
+            }
+            Primitive::Compose3 => {
+                let (a, b, c0) = (args.inputs[0], args.inputs[1], args.inputs[2]);
+                args.output[..4 * n]
+                    .par_chunks_mut(4 * PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.chunks_exact_mut(4).enumerate() {
+                            let i = base + t;
+                            o[0] = a[i];
+                            o[1] = b[i];
+                            o[2] = c0[i];
+                            o[3] = 0.0;
+                        }
+                    });
+            }
+            Primitive::Decompose(comp) => {
+                let v = args.inputs[0];
+                let comp = *comp as usize;
+                args.output[..n]
+                    .par_chunks_mut(PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.iter_mut().enumerate() {
+                            *o = v[4 * (base + t) + comp];
+                        }
+                    });
+            }
+            Primitive::ConstFill(val) => {
+                args.output[..n].par_chunks_mut(PAR_CHUNK).for_each(|out| {
+                    out.fill(*val);
+                });
+            }
+            Primitive::Grad3d => {
+                let field = args.inputs[0];
+                let d = Dims3::from_buffer(args.inputs[1]);
+                let (x, y, z) = (args.inputs[2], args.inputs[3], args.inputs[4]);
+                debug_assert_eq!(d.ncells(), n, "dims buffer disagrees with launch size");
+                args.output[..4 * n]
+                    .par_chunks_mut(4 * PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.chunks_exact_mut(4).enumerate() {
+                            let g = gradient_at(field, x, y, z, d, base + t);
+                            o[0] = g[0];
+                            o[1] = g[1];
+                            o[2] = g[2];
+                            o[3] = 0.0;
+                        }
+                    });
+            }
+            Primitive::Norm3 => {
+                let v = args.inputs[0];
+                args.output[..n]
+                    .par_chunks_mut(PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.iter_mut().enumerate() {
+                            let i = 4 * (base + t);
+                            *o = (v[i] * v[i] + v[i + 1] * v[i + 1] + v[i + 2] * v[i + 2])
+                                .sqrt();
+                        }
+                    });
+            }
+            Primitive::Dot3 => {
+                let (a, b) = (args.inputs[0], args.inputs[1]);
+                args.output[..n]
+                    .par_chunks_mut(PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.iter_mut().enumerate() {
+                            let i = 4 * (base + t);
+                            *o = a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2];
+                        }
+                    });
+            }
+            Primitive::Cross3 => {
+                let (a, b) = (args.inputs[0], args.inputs[1]);
+                args.output[..4 * n]
+                    .par_chunks_mut(4 * PAR_CHUNK)
+                    .enumerate()
+                    .for_each(|(c, out)| {
+                        let base = c * PAR_CHUNK;
+                        for (t, o) in out.chunks_exact_mut(4).enumerate() {
+                            let i = 4 * (base + t);
+                            o[0] = a[i + 1] * b[i + 2] - a[i + 2] * b[i + 1];
+                            o[1] = a[i + 2] * b[i] - a[i] * b[i + 2];
+                            o[2] = a[i] * b[i + 1] - a[i + 1] * b[i];
+                            o[3] = 0.0;
+                        }
+                    });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg_ocl::{Context, DeviceProfile, ExecMode};
+
+    fn run_prim(p: Primitive, inputs: &[Vec<f32>], out_lanes: usize, n: usize) -> Vec<f32> {
+        let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let ids: Vec<_> = inputs
+            .iter()
+            .map(|v| {
+                let id = ctx.create_buffer(v.len()).unwrap();
+                ctx.enqueue_write(id, v).unwrap();
+                id
+            })
+            .collect();
+        let out = ctx.create_buffer(out_lanes).unwrap();
+        ctx.launch(&p, &ids, out, n).unwrap();
+        ctx.enqueue_read(out).unwrap()
+    }
+
+    #[test]
+    fn binary_ops_elementwise() {
+        let a = vec![1.0, 4.0, 9.0, -2.0];
+        let b = vec![2.0, 2.0, 3.0, -2.0];
+        assert_eq!(
+            run_prim(Primitive::Bin(BinKind::Add), &[a.clone(), b.clone()], 4, 4),
+            vec![3.0, 6.0, 12.0, -4.0]
+        );
+        assert_eq!(
+            run_prim(Primitive::Bin(BinKind::Div), &[a.clone(), b.clone()], 4, 4),
+            vec![0.5, 2.0, 3.0, 1.0]
+        );
+        assert_eq!(
+            run_prim(Primitive::Bin(BinKind::Gt), &[a.clone(), b.clone()], 4, 4),
+            vec![0.0, 1.0, 1.0, 0.0]
+        );
+        assert_eq!(
+            run_prim(Primitive::Bin(BinKind::Eq), &[a, b], 4, 4),
+            vec![0.0, 0.0, 0.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn unary_ops_elementwise() {
+        let a = vec![4.0, -9.0, 0.25];
+        assert_eq!(
+            run_prim(Primitive::Un(UnKind::Sqrt), &[vec![4.0, 9.0, 0.25]], 3, 3),
+            vec![2.0, 3.0, 0.5]
+        );
+        assert_eq!(
+            run_prim(Primitive::Un(UnKind::Neg), std::slice::from_ref(&a), 3, 3),
+            vec![-4.0, 9.0, -0.25]
+        );
+        assert_eq!(
+            run_prim(Primitive::Un(UnKind::Abs), &[a], 3, 3),
+            vec![4.0, 9.0, 0.25]
+        );
+    }
+
+    #[test]
+    fn select_uses_nonzero_condition() {
+        let out = run_prim(
+            Primitive::Select,
+            &[vec![1.0, 0.0, -1.0], vec![10.0, 11.0, 12.0], vec![20.0, 21.0, 22.0]],
+            3,
+            3,
+        );
+        assert_eq!(out, vec![10.0, 21.0, 12.0]);
+    }
+
+    #[test]
+    fn decompose_extracts_lanes() {
+        let v = vec![
+            1.0, 2.0, 3.0, 0.0, //
+            4.0, 5.0, 6.0, 0.0,
+        ];
+        assert_eq!(
+            run_prim(Primitive::Decompose(0), std::slice::from_ref(&v), 2, 2),
+            vec![1.0, 4.0]
+        );
+        assert_eq!(run_prim(Primitive::Decompose(2), &[v], 2, 2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn const_fill_fills() {
+        assert_eq!(run_prim(Primitive::ConstFill(0.5), &[], 3, 3), vec![0.5; 3]);
+    }
+
+    #[test]
+    fn norm_dot_cross() {
+        let a = vec![1.0, 2.0, 2.0, 0.0];
+        let b = vec![0.0, 1.0, 0.0, 0.0];
+        assert_eq!(
+            run_prim(Primitive::Norm3, std::slice::from_ref(&a), 1, 1),
+            vec![3.0]
+        );
+        assert_eq!(run_prim(Primitive::Dot3, &[a.clone(), b.clone()], 1, 1), vec![2.0]);
+        let c = run_prim(Primitive::Cross3, &[a, b], 4, 1);
+        assert_eq!(c, vec![-2.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn grad3d_on_linear_field() {
+        use dfg_mesh::RectilinearMesh;
+        let mesh = RectilinearMesh::uniform([4, 3, 3], [0.0; 3], [0.5, 1.0, 0.25]);
+        let (x, y, z) = mesh.coord_arrays();
+        let f = mesh.sample(|x, y, z| 2.0 * x - y + 4.0 * z);
+        let n = mesh.ncells();
+        let out = run_prim(
+            Primitive::Grad3d,
+            &[f, mesh.dims_buffer(), x, y, z],
+            4 * n,
+            n,
+        );
+        for e in 0..n {
+            assert!((out[4 * e] - 2.0).abs() < 1e-4, "d/dx at {e}");
+            assert!((out[4 * e + 1] + 1.0).abs() < 1e-4, "d/dy at {e}");
+            assert!((out[4 * e + 2] - 4.0).abs() < 1e-4, "d/dz at {e}");
+            assert_eq!(out[4 * e + 3], 0.0);
+        }
+    }
+
+    #[test]
+    fn filter_op_mapping_covers_all_compute_ops() {
+        use dfg_dataflow::FilterOp;
+        assert!(Primitive::from_filter_op(&FilterOp::Input {
+            name: "u".into(),
+            small: false
+        })
+        .is_none());
+        assert_eq!(
+            Primitive::from_filter_op(&FilterOp::Const(0.5)),
+            Some(Primitive::ConstFill(0.5))
+        );
+        assert_eq!(
+            Primitive::from_filter_op(&FilterOp::Decompose(2)),
+            Some(Primitive::Decompose(2))
+        );
+        assert_eq!(Primitive::from_filter_op(&FilterOp::Grad3d), Some(Primitive::Grad3d));
+    }
+
+    #[test]
+    fn opencl_sources_are_plausible() {
+        assert!(Primitive::Bin(BinKind::Add).opencl_source().contains("a + b"));
+        assert!(Primitive::Decompose(1).opencl_source().contains("v.s1"));
+        assert!(Primitive::Grad3d.opencl_source().lines().count() > 30);
+        assert!(Primitive::Grad3d.opencl_source().contains("__global"));
+    }
+
+    #[test]
+    fn cost_scales_with_n() {
+        let c1 = Primitive::Bin(BinKind::Add).cost(100);
+        let c2 = Primitive::Bin(BinKind::Add).cost(200);
+        assert_eq!(c2.bytes_read, 2 * c1.bytes_read);
+        assert_eq!(c1.bytes_read, 800);
+        assert_eq!(c1.bytes_written, 400);
+    }
+
+    #[test]
+    fn large_launch_exercises_parallel_chunks() {
+        let n = PAR_CHUNK * 2 + 17;
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b = vec![1.0f32; n];
+        let out = run_prim(Primitive::Bin(BinKind::Add), &[a, b], n, n);
+        assert_eq!(out[0], 1.0);
+        assert_eq!(out[n - 1], n as f32);
+        assert_eq!(out[PAR_CHUNK], PAR_CHUNK as f32 + 1.0);
+    }
+}

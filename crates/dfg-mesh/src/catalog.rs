@@ -1,0 +1,116 @@
+//! The paper's Table I sub-grid catalog.
+
+/// One evaluation grid: a sub-grid of the 3072³ RT simulation time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpec {
+    /// Cells along x.
+    pub nx: usize,
+    /// Cells along y.
+    pub ny: usize,
+    /// Cells along z.
+    pub nz: usize,
+}
+
+impl GridSpec {
+    /// Construct a spec.
+    pub const fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        GridSpec { nx, ny, nz }
+    }
+
+    /// Cell count.
+    pub const fn ncells(&self) -> u64 {
+        (self.nx * self.ny * self.nz) as u64
+    }
+
+    /// Dims triple.
+    pub const fn dims(&self) -> [usize; 3] {
+        [self.nx, self.ny, self.nz]
+    }
+
+    /// "Data size" as the paper's Table I reports it: the six single-
+    /// precision problem-sized arrays each test case loads (velocity
+    /// `u, v, w` plus point coordinates `x, y, z`).
+    pub const fn data_bytes(&self) -> u64 {
+        self.ncells() * 6 * 4
+    }
+
+    /// Human-readable size using binary megabytes/gigabytes, matching the
+    /// Table I formatting (e.g. `218 MB`, `1.1 GB`).
+    pub fn data_size_display(&self) -> String {
+        let bytes = self.data_bytes() as f64;
+        let mb = bytes / (1u64 << 20) as f64;
+        if mb < 1000.0 {
+            format!("{:.0} MB", mb.round())
+        } else {
+            format!("{:.1} GB", bytes / (1u64 << 30) as f64)
+        }
+    }
+}
+
+impl std::fmt::Display for GridSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} x {} x {:04}", self.nx, self.ny, self.nz)
+    }
+}
+
+/// Table I: twelve sub-grids of the 3072³ RT time step, 192×192×(256…3072),
+/// 9.4 M – 113.2 M cells.
+pub const TABLE1_CATALOG: [GridSpec; 12] = [
+    GridSpec::new(192, 192, 256),
+    GridSpec::new(192, 192, 512),
+    GridSpec::new(192, 192, 768),
+    GridSpec::new(192, 192, 1024),
+    GridSpec::new(192, 192, 1280),
+    GridSpec::new(192, 192, 1536),
+    GridSpec::new(192, 192, 1792),
+    GridSpec::new(192, 192, 2048),
+    GridSpec::new(192, 192, 2304),
+    GridSpec::new(192, 192, 2560),
+    GridSpec::new(192, 192, 2816),
+    GridSpec::new(192, 192, 3072),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table1_cell_counts() {
+        let mut sorted = TABLE1_CATALOG;
+        sorted.sort_by_key(|g| g.nz);
+        let expected: [u64; 12] = [
+            9_437_184,
+            18_874_368,
+            28_311_552,
+            37_748_736,
+            47_185_920,
+            56_623_104,
+            66_060_288,
+            75_497_472,
+            84_934_656,
+            94_371_840,
+            103_809_024,
+            113_246_208,
+        ];
+        for (g, e) in sorted.iter().zip(expected) {
+            assert_eq!(g.ncells(), e, "{g}");
+        }
+    }
+
+    #[test]
+    fn data_sizes_match_table1_shape() {
+        // Table I: first row 218 MB, last row 2.6 GB (six f32 arrays/cell).
+        let mut sorted = TABLE1_CATALOG;
+        sorted.sort_by_key(|g| g.nz);
+        assert_eq!(sorted[0].data_size_display(), "216 MB"); // paper: 218 MB
+        assert_eq!(sorted[11].data_size_display(), "2.5 GB"); // paper: 2.6 GB
+        // Within 2% of the paper's figures.
+        assert!((sorted[0].data_bytes() as f64 - 218e6 * 1.048).abs() / 218e6 < 0.05);
+    }
+
+    #[test]
+    fn display_formats_like_table1() {
+        assert_eq!(GridSpec::new(192, 192, 256).to_string(), "192 x 192 x 0256");
+        assert_eq!(GridSpec::new(192, 192, 3072).to_string(), "192 x 192 x 3072");
+    }
+}

@@ -1,0 +1,553 @@
+//! The device context: buffer allocator plus profiling command queue.
+
+use crate::error::OclError;
+use crate::event::{Event, EventKind, ProfileReport};
+use crate::profile::DeviceProfile;
+use crate::ExecMode;
+
+/// Handle to a device global-memory buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+/// Cost estimate a kernel reports for one launch over `n` elements; feeds
+/// the virtual-clock roofline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelCost {
+    /// Bytes read from device global memory.
+    pub bytes_read: u64,
+    /// Bytes written to device global memory.
+    pub bytes_written: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+}
+
+/// Arguments passed to a kernel's real execution.
+pub struct KernelArgs<'a> {
+    /// Input buffers, in the kernel's declared order.
+    pub inputs: &'a [&'a [f32]],
+    /// The output buffer.
+    pub output: &'a mut [f32],
+    /// Number of mesh elements in this launch (one work-item per element).
+    pub n: usize,
+}
+
+/// A compiled device kernel: the analogue of a `cl_kernel`.
+///
+/// Implementations live in `dfg-kernels`; they execute for real (in
+/// parallel, via rayon) when the context is in [`ExecMode::Real`].
+pub trait DeviceKernel {
+    /// Kernel name for profiling events.
+    fn name(&self) -> String;
+    /// Cost model for a launch over `n` elements.
+    fn cost(&self, n: usize) -> KernelCost;
+    /// Execute the kernel body.
+    fn run(&self, args: KernelArgs<'_>);
+}
+
+struct Slot {
+    /// Backing storage; `None` in model mode.
+    data: Option<Vec<f32>>,
+    /// Total f32 lanes (elements × width).
+    lanes: usize,
+    bytes: u64,
+}
+
+/// A simulated OpenCL context + in-order command queue with profiling.
+pub struct Context {
+    profile: DeviceProfile,
+    mode: ExecMode,
+    slots: Vec<Option<Slot>>,
+    free_ids: Vec<usize>,
+    in_use: u64,
+    high_water: u64,
+    clock: f64,
+    events: Vec<Event>,
+    /// Failure injection: when `Some(k)`, the k-th next allocation fails.
+    fail_alloc_in: Option<usize>,
+}
+
+impl Context {
+    /// Create a context on the given device profile.
+    pub fn new(profile: DeviceProfile, mode: ExecMode) -> Self {
+        Context {
+            profile,
+            mode,
+            slots: Vec::new(),
+            free_ids: Vec::new(),
+            in_use: 0,
+            high_water: 0,
+            clock: 0.0,
+            events: Vec::new(),
+            fail_alloc_in: None,
+        }
+    }
+
+    /// Failure injection (testing): make the `n`-th future allocation fail
+    /// with [`OclError::OutOfMemory`] regardless of capacity (1 = the very
+    /// next allocation). Used to validate that executors surface device
+    /// failures cleanly without leaking buffers or panicking.
+    pub fn fail_alloc_in(&mut self, n: usize) {
+        assert!(n >= 1, "n is 1-based: 1 fails the next allocation");
+        self.fail_alloc_in = Some(n);
+    }
+
+    /// The device profile this context targets.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Current virtual-clock time in seconds.
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock
+    }
+
+    /// Bytes currently allocated to buffers.
+    pub fn in_use_bytes(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Peak bytes ever allocated (the memory study's high-water mark).
+    pub fn high_water_bytes(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Snapshot the profiling state.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport { events: self.events.clone(), high_water_bytes: self.high_water }
+    }
+
+    /// Clear recorded events and reset the clock and high-water mark.
+    /// Live allocations are kept (and re-seed the high-water mark).
+    pub fn reset_profile(&mut self) {
+        self.events.clear();
+        self.clock = 0.0;
+        self.high_water = self.in_use;
+    }
+
+    fn slot(&self, id: BufferId) -> Result<&Slot, OclError> {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .ok_or(OclError::InvalidBuffer { id: id.0 })
+    }
+
+    /// Allocate a device buffer of `lanes` f32 lanes.
+    pub fn create_buffer(&mut self, lanes: usize) -> Result<BufferId, OclError> {
+        let bytes = lanes as u64 * 4;
+        if let Some(k) = self.fail_alloc_in.as_mut() {
+            *k -= 1;
+            if *k == 0 {
+                self.fail_alloc_in = None;
+                return Err(OclError::OutOfMemory {
+                    requested: bytes,
+                    in_use: self.in_use,
+                    capacity: self.profile.global_mem_bytes,
+                });
+            }
+        }
+        if self.in_use + bytes > self.profile.global_mem_bytes {
+            return Err(OclError::OutOfMemory {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.profile.global_mem_bytes,
+            });
+        }
+        let data = match self.mode {
+            ExecMode::Real => Some(vec![0.0f32; lanes]),
+            ExecMode::Model => None,
+        };
+        let slot = Slot { data, lanes, bytes };
+        self.in_use += bytes;
+        self.high_water = self.high_water.max(self.in_use);
+        let idx = if let Some(idx) = self.free_ids.pop() {
+            self.slots[idx] = Some(slot);
+            idx
+        } else {
+            self.slots.push(Some(slot));
+            self.slots.len() - 1
+        };
+        Ok(BufferId(idx))
+    }
+
+    /// Release a buffer, returning its bytes to the device pool.
+    pub fn release(&mut self, id: BufferId) -> Result<(), OclError> {
+        let slot = self
+            .slots
+            .get_mut(id.0)
+            .and_then(Option::take)
+            .ok_or(OclError::InvalidBuffer { id: id.0 })?;
+        self.in_use -= slot.bytes;
+        self.free_ids.push(id.0);
+        Ok(())
+    }
+
+    fn record(&mut self, kind: EventKind, label: &str, bytes: u64, seconds: f64) {
+        let t_start = self.clock;
+        self.clock += seconds;
+        self.events.push(Event {
+            kind,
+            label: label.to_string(),
+            bytes,
+            t_start,
+            t_end: self.clock,
+        });
+    }
+
+    /// Enqueue a host→device write of real data.
+    pub fn enqueue_write(&mut self, id: BufferId, data: &[f32]) -> Result<(), OclError> {
+        let lanes = self.slot(id)?.lanes;
+        if data.len() != lanes {
+            return Err(OclError::SizeMismatch { expected: lanes, found: data.len() });
+        }
+        let bytes = lanes as u64 * 4;
+        let seconds = self.profile.h2d_seconds(bytes);
+        if self.mode == ExecMode::Real {
+            let slot = self.slots[id.0].as_mut().expect("validated above");
+            slot.data.as_mut().expect("real mode has data").copy_from_slice(data);
+        }
+        self.record(EventKind::HostToDevice, "write", bytes, seconds);
+        Ok(())
+    }
+
+    /// Enqueue a host→device write without host data (model mode: the event
+    /// and clock advance exactly as [`Context::enqueue_write`] would).
+    pub fn enqueue_write_virtual(&mut self, id: BufferId) -> Result<(), OclError> {
+        if self.mode == ExecMode::Real {
+            return Err(OclError::InvalidOperation(
+                "virtual write on a real-mode context".into(),
+            ));
+        }
+        let bytes = self.slot(id)?.lanes as u64 * 4;
+        let seconds = self.profile.h2d_seconds(bytes);
+        self.record(EventKind::HostToDevice, "write", bytes, seconds);
+        Ok(())
+    }
+
+    /// Enqueue a device→host read, returning the buffer contents.
+    pub fn enqueue_read(&mut self, id: BufferId) -> Result<Vec<f32>, OclError> {
+        let slot = self.slot(id)?;
+        let bytes = slot.lanes as u64 * 4;
+        let data = match &slot.data {
+            Some(d) => d.clone(),
+            None => {
+                return Err(OclError::InvalidOperation(
+                    "cannot read contents in model mode; use enqueue_read_virtual".into(),
+                ))
+            }
+        };
+        let seconds = self.profile.d2h_seconds(bytes);
+        self.record(EventKind::DeviceToHost, "read", bytes, seconds);
+        Ok(data)
+    }
+
+    /// Enqueue a device→host read without materializing data (model mode).
+    pub fn enqueue_read_virtual(&mut self, id: BufferId) -> Result<(), OclError> {
+        let bytes = self.slot(id)?.lanes as u64 * 4;
+        let seconds = self.profile.d2h_seconds(bytes);
+        self.record(EventKind::DeviceToHost, "read", bytes, seconds);
+        Ok(())
+    }
+
+    /// Record a kernel compilation event (fusion's dynamic kernel
+    /// generation). Excluded from device runtime totals by category.
+    pub fn record_compile(&mut self, name: &str) {
+        let seconds = self.profile.compile_s;
+        self.record(EventKind::KernelCompile, name, 0, seconds);
+    }
+
+    /// Launch a kernel over `n` elements.
+    ///
+    /// In real mode the kernel body executes on the host's cores; in model
+    /// mode only the cost model runs. The output buffer must not alias any
+    /// input.
+    pub fn launch(
+        &mut self,
+        kernel: &dyn DeviceKernel,
+        inputs: &[BufferId],
+        output: BufferId,
+        n: usize,
+    ) -> Result<(), OclError> {
+        if inputs.contains(&output) {
+            return Err(OclError::InvalidOperation(format!(
+                "kernel `{}` output aliases an input",
+                kernel.name()
+            )));
+        }
+        // Validate all ids up front.
+        for &id in inputs {
+            self.slot(id)?;
+        }
+        self.slot(output)?;
+
+        if self.mode == ExecMode::Real {
+            // Temporarily take the output storage to satisfy the borrow
+            // checker, then gather immutable input views.
+            let mut out_data = self.slots[output.0]
+                .as_mut()
+                .expect("validated")
+                .data
+                .take()
+                .expect("real mode has data");
+            {
+                let input_views: Vec<&[f32]> = inputs
+                    .iter()
+                    .map(|&id| {
+                        self.slots[id.0]
+                            .as_ref()
+                            .expect("validated")
+                            .data
+                            .as_deref()
+                            .expect("real mode has data")
+                    })
+                    .collect();
+                kernel.run(KernelArgs { inputs: &input_views, output: &mut out_data, n });
+            }
+            self.slots[output.0].as_mut().expect("validated").data = Some(out_data);
+        }
+
+        let cost = kernel.cost(n);
+        let seconds = self
+            .profile
+            .kernel_seconds(cost.bytes_read + cost.bytes_written, cost.flops);
+        self.record(
+            EventKind::KernelExec,
+            &kernel.name(),
+            cost.bytes_read + cost.bytes_written,
+            seconds,
+        );
+        Ok(())
+    }
+
+    /// Copy out a buffer's contents without recording a transfer event
+    /// (testing/diagnostic aid; not part of the modeled protocol).
+    pub fn peek(&self, id: BufferId) -> Result<Vec<f32>, OclError> {
+        let slot = self.slot(id)?;
+        slot.data
+            .clone()
+            .ok_or_else(|| OclError::InvalidOperation("peek in model mode".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceProfile;
+
+    /// Doubling kernel used by the tests below.
+    struct Double;
+
+    impl DeviceKernel for Double {
+        fn name(&self) -> String {
+            "double".into()
+        }
+        fn cost(&self, n: usize) -> KernelCost {
+            KernelCost { bytes_read: 4 * n as u64, bytes_written: 4 * n as u64, flops: n as u64 }
+        }
+        fn run(&self, args: KernelArgs<'_>) {
+            for i in 0..args.n {
+                args.output[i] = args.inputs[0][i] * 2.0;
+            }
+        }
+    }
+
+    fn ctx() -> Context {
+        Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Real)
+    }
+
+    #[test]
+    fn write_launch_read_roundtrip() {
+        let mut c = ctx();
+        let a = c.create_buffer(4).unwrap();
+        let b = c.create_buffer(4).unwrap();
+        c.enqueue_write(a, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        c.launch(&Double, &[a], b, 4).unwrap();
+        let out = c.enqueue_read(b).unwrap();
+        assert_eq!(out, vec![2.0, 4.0, 6.0, 8.0]);
+        let report = c.report();
+        assert_eq!(report.table2_row(), (1, 1, 1));
+        assert!(report.device_seconds() > 0.0);
+    }
+
+    #[test]
+    fn oom_is_detected() {
+        let mut c = ctx();
+        let cap = c.profile().global_mem_bytes;
+        // One byte over capacity in lanes.
+        let lanes = (cap / 4 + 1) as usize;
+        match c.create_buffer(lanes) {
+            Err(OclError::OutOfMemory { requested, capacity, .. }) => {
+                assert_eq!(requested, lanes as u64 * 4);
+                assert_eq!(capacity, cap);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oom_accounts_for_live_buffers() {
+        let mut c = ctx();
+        let cap = c.profile().global_mem_bytes as usize;
+        let half = cap / 8; // lanes: half the capacity in bytes
+        let _a = c.create_buffer(half).unwrap();
+        let _b = c.create_buffer(half).unwrap();
+        assert!(c.create_buffer(8).is_err(), "third allocation must not fit");
+    }
+
+    #[test]
+    fn release_returns_capacity_and_invalidates_handle() {
+        let mut c = ctx();
+        let a = c.create_buffer(1024).unwrap();
+        assert_eq!(c.in_use_bytes(), 4096);
+        c.release(a).unwrap();
+        assert_eq!(c.in_use_bytes(), 0);
+        assert!(matches!(c.release(a), Err(OclError::InvalidBuffer { .. })));
+        assert!(matches!(c.enqueue_read(a), Err(OclError::InvalidBuffer { .. })));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut c = ctx();
+        let a = c.create_buffer(1000).unwrap();
+        let b = c.create_buffer(1000).unwrap();
+        c.release(a).unwrap();
+        c.release(b).unwrap();
+        assert_eq!(c.in_use_bytes(), 0);
+        assert_eq!(c.high_water_bytes(), 8000);
+    }
+
+    #[test]
+    fn buffer_ids_are_recycled() {
+        let mut c = ctx();
+        let a = c.create_buffer(8).unwrap();
+        c.release(a).unwrap();
+        let b = c.create_buffer(8).unwrap();
+        assert_eq!(a, b, "slot should be recycled");
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut c = ctx();
+        let a = c.create_buffer(4).unwrap();
+        assert!(matches!(
+            c.enqueue_write(a, &[1.0, 2.0]),
+            Err(OclError::SizeMismatch { expected: 4, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn aliasing_launch_rejected() {
+        let mut c = ctx();
+        let a = c.create_buffer(4).unwrap();
+        assert!(matches!(
+            c.launch(&Double, &[a], a, 4),
+            Err(OclError::InvalidOperation(_))
+        ));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = ctx();
+        let a = c.create_buffer(1 << 20).unwrap();
+        let t0 = c.clock_seconds();
+        c.enqueue_write(a, &vec![0.0; 1 << 20]).unwrap();
+        let t1 = c.clock_seconds();
+        assert!(t1 > t0);
+        let b = c.create_buffer(1 << 20).unwrap();
+        c.launch(&Double, &[a], b, 1 << 20).unwrap();
+        assert!(c.clock_seconds() > t1);
+    }
+
+    #[test]
+    fn model_mode_matches_real_counts_and_clock() {
+        let run = |mode: ExecMode| -> (f64, (usize, usize, usize), u64) {
+            let mut c = Context::new(DeviceProfile::nvidia_m2050(), mode);
+            let a = c.create_buffer(1024).unwrap();
+            let b = c.create_buffer(1024).unwrap();
+            match mode {
+                ExecMode::Real => c.enqueue_write(a, &[0.5; 1024]).unwrap(),
+                ExecMode::Model => c.enqueue_write_virtual(a).unwrap(),
+            }
+            c.launch(&Double, &[a], b, 1024).unwrap();
+            match mode {
+                ExecMode::Real => drop(c.enqueue_read(b).unwrap()),
+                ExecMode::Model => c.enqueue_read_virtual(b).unwrap(),
+            }
+            let r = c.report();
+            (c.clock_seconds(), r.table2_row(), r.high_water_bytes)
+        };
+        let (t_real, counts_real, hw_real) = run(ExecMode::Real);
+        let (t_model, counts_model, hw_model) = run(ExecMode::Model);
+        assert!((t_real - t_model).abs() < 1e-15);
+        assert_eq!(counts_real, counts_model);
+        assert_eq!(hw_real, hw_model);
+    }
+
+    #[test]
+    fn model_mode_rejects_data_reads() {
+        let mut c = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Model);
+        let a = c.create_buffer(4).unwrap();
+        assert!(matches!(c.enqueue_read(a), Err(OclError::InvalidOperation(_))));
+        assert!(matches!(c.peek(a), Err(OclError::InvalidOperation(_))));
+    }
+
+    #[test]
+    fn real_mode_rejects_virtual_writes() {
+        let mut c = ctx();
+        let a = c.create_buffer(4).unwrap();
+        assert!(c.enqueue_write_virtual(a).is_err());
+    }
+
+    #[test]
+    fn reset_profile_keeps_allocations() {
+        let mut c = ctx();
+        let a = c.create_buffer(256).unwrap();
+        c.enqueue_write(a, &[0.0; 256]).unwrap();
+        c.reset_profile();
+        assert_eq!(c.report().events.len(), 0);
+        assert_eq!(c.clock_seconds(), 0.0);
+        assert_eq!(c.in_use_bytes(), 1024);
+        assert_eq!(c.high_water_bytes(), 1024, "high water reseeds from live bytes");
+    }
+
+    #[test]
+    fn compile_events_excluded_from_device_seconds() {
+        let mut c = ctx();
+        c.record_compile("fused_q_crit");
+        let r = c.report();
+        assert_eq!(r.count(EventKind::KernelCompile), 1);
+        assert_eq!(r.device_seconds(), 0.0);
+        assert!(r.seconds(EventKind::KernelCompile) > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use crate::DeviceProfile;
+
+    #[test]
+    fn injected_failure_hits_the_requested_allocation() {
+        let mut c = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        c.fail_alloc_in(3);
+        assert!(c.create_buffer(8).is_ok());
+        assert!(c.create_buffer(8).is_ok());
+        assert!(matches!(
+            c.create_buffer(8),
+            Err(OclError::OutOfMemory { .. })
+        ));
+        // One-shot: subsequent allocations succeed again.
+        assert!(c.create_buffer(8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_shot_injection_rejected() {
+        let mut c = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        c.fail_alloc_in(0);
+    }
+}

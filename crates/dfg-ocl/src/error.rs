@@ -1,0 +1,50 @@
+//! Device-layer errors.
+
+/// Failures raised by the simulated OpenCL layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OclError {
+    /// A buffer allocation would exceed the device's global memory. This is
+    /// the failure mode behind the paper's gray "GPU failed" series.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes already allocated.
+        in_use: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// Use of a buffer id that was never allocated or was already released.
+    InvalidBuffer {
+        /// The offending handle, as a raw index.
+        id: usize,
+    },
+    /// A host↔device transfer whose size does not match the buffer.
+    SizeMismatch {
+        /// Buffer length in f32 lanes.
+        expected: usize,
+        /// Host-side length in f32 lanes.
+        found: usize,
+    },
+    /// Reading buffer contents in [`crate::ExecMode::Model`] mode, or a
+    /// kernel launch that aliases its output with an input.
+    InvalidOperation(String),
+}
+
+impl std::fmt::Display for OclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OclError::OutOfMemory { requested, in_use, capacity } => write!(
+                f,
+                "out of device memory: requested {requested} B with {in_use} B in use \
+                 of {capacity} B capacity"
+            ),
+            OclError::InvalidBuffer { id } => write!(f, "invalid buffer id {id}"),
+            OclError::SizeMismatch { expected, found } => {
+                write!(f, "size mismatch: buffer holds {expected} lanes, host has {found}")
+            }
+            OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OclError {}

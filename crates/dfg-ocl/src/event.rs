@@ -1,0 +1,117 @@
+//! Device event profiling.
+//!
+//! §IV-D.1: *"Our framework provides an OpenCL environment interface built on
+//! top of PyOpenCL that records and categorizes timing events. … Timings
+//! include all host-to-device transfers (transfers of input data), kernel
+//! executions, and device-to-host transfers (transfers of output data)."*
+
+/// Categories of device events, matching the columns of the paper's
+/// Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Host→device buffer write (Table II "Dev-W").
+    HostToDevice,
+    /// Device→host buffer read (Table II "Dev-R").
+    DeviceToHost,
+    /// Kernel execution (Table II "K-Exe").
+    KernelExec,
+    /// Kernel program compilation. Excluded from device runtime totals, as
+    /// in the paper's timing methodology.
+    KernelCompile,
+}
+
+/// One recorded device event on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Category.
+    pub kind: EventKind,
+    /// Label (kernel or buffer description).
+    pub label: String,
+    /// Bytes moved or touched.
+    pub bytes: u64,
+    /// Virtual-clock start time, seconds.
+    pub t_start: f64,
+    /// Virtual-clock end time, seconds.
+    pub t_end: f64,
+}
+
+impl Event {
+    /// Modeled duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// Aggregated profiling results for one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// All recorded events in submission order.
+    pub events: Vec<Event>,
+    /// Peak bytes of device global memory allocated to buffers — the
+    /// "high-water mark" of the paper's memory study (§IV-D.2).
+    pub high_water_bytes: u64,
+}
+
+impl ProfileReport {
+    /// Number of events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Total modeled seconds spent in events of `kind`.
+    pub fn seconds(&self, kind: EventKind) -> f64 {
+        self.events.iter().filter(|e| e.kind == kind).map(Event::seconds).sum()
+    }
+
+    /// Total bytes moved in events of `kind`.
+    pub fn bytes(&self, kind: EventKind) -> u64 {
+        self.events.iter().filter(|e| e.kind == kind).map(|e| e.bytes).sum()
+    }
+
+    /// Total modeled device runtime: host→device transfers + kernel
+    /// executions + device→host transfers (the quantity plotted on the
+    /// y-axes of the paper's Figure 5). Compilation is excluded.
+    pub fn device_seconds(&self) -> f64 {
+        self.seconds(EventKind::HostToDevice)
+            + self.seconds(EventKind::KernelExec)
+            + self.seconds(EventKind::DeviceToHost)
+    }
+
+    /// Table II row for this execution: (Dev-W, Dev-R, K-Exe).
+    pub fn table2_row(&self) -> (usize, usize, usize) {
+        (
+            self.count(EventKind::HostToDevice),
+            self.count(EventKind::DeviceToHost),
+            self.count(EventKind::KernelExec),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, bytes: u64, t0: f64, t1: f64) -> Event {
+        Event { kind, label: "t".into(), bytes, t_start: t0, t_end: t1 }
+    }
+
+    #[test]
+    fn report_aggregates_by_kind() {
+        let report = ProfileReport {
+            events: vec![
+                ev(EventKind::HostToDevice, 100, 0.0, 1.0),
+                ev(EventKind::HostToDevice, 50, 1.0, 1.5),
+                ev(EventKind::KernelExec, 150, 1.5, 2.0),
+                ev(EventKind::DeviceToHost, 100, 2.0, 2.25),
+                ev(EventKind::KernelCompile, 0, 0.0, 0.1),
+            ],
+            high_water_bytes: 300,
+        };
+        assert_eq!(report.count(EventKind::HostToDevice), 2);
+        assert_eq!(report.bytes(EventKind::HostToDevice), 150);
+        assert!((report.seconds(EventKind::HostToDevice) - 1.5).abs() < 1e-12);
+        assert_eq!(report.table2_row(), (2, 1, 1));
+        // Compile time excluded from device totals.
+        assert!((report.device_seconds() - 2.25).abs() < 1e-12);
+    }
+}

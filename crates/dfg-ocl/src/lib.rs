@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! A simulated OpenCL device layer.
+//!
+//! The paper executes derived-field kernels through PyOpenCL on two OpenCL
+//! platforms (an Intel Westmere CPU and an NVIDIA Tesla M2050 GPU). This
+//! crate substitutes a *simulated* device layer that preserves everything the
+//! paper's evaluation measures:
+//!
+//! * the **buffer/kernel protocol**: explicit host→device writes,
+//!   device→host reads, kernel launches, and buffer lifetimes — so
+//!   device-event counts (Table II) are exact;
+//! * **device global-memory accounting** with a capacity limit and an
+//!   allocation high-water mark — so the memory study (Figure 6) and the
+//!   GPU out-of-memory failures are exact;
+//! * a **virtual-clock performance model** per device profile — transfer
+//!   times from PCIe/memcpy bandwidth plus latency, kernel times from
+//!   max(memory-bound, compute-bound) plus launch overhead — so runtime
+//!   curves (Figure 5) reproduce the paper's shape deterministically;
+//! * **real parallel execution**: in [`ExecMode::Real`] kernels actually run
+//!   on the host's cores (the kernel implementations in `dfg-kernels` use
+//!   rayon), so results are real data and wall-clock benchmarks are
+//!   meaningful. [`ExecMode::Model`] skips data movement and kernel bodies,
+//!   letting paper-scale (multi-gigabyte) configurations be *modeled*
+//!   without allocating paper-scale memory.
+//!
+//! The API follows OpenCL's shape: a [`Context`] owns buffers and a profiling
+//! command queue; [`DeviceKernel`] is the trait kernels implement (the
+//! analogue of a compiled `cl_kernel`).
+//!
+//! ```
+//! use dfg_ocl::{Context, DeviceProfile, EventKind, ExecMode};
+//!
+//! let mut ctx = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Real);
+//! let buf = ctx.create_buffer(1024).unwrap();
+//! ctx.enqueue_write(buf, &[1.0; 1024]).unwrap();
+//! let back = ctx.enqueue_read(buf).unwrap();
+//! assert_eq!(back[0], 1.0);
+//! let report = ctx.report();
+//! assert_eq!(report.count(EventKind::HostToDevice), 1);
+//! assert_eq!(report.high_water_bytes, 4096);
+//! assert!(report.device_seconds() > 0.0);
+//! ```
+
+mod context;
+mod error;
+mod event;
+mod export;
+mod profile;
+
+pub use context::{BufferId, Context, DeviceKernel, KernelArgs, KernelCost};
+pub use error::OclError;
+pub use event::{Event, EventKind, ProfileReport};
+pub use profile::{DeviceKind, DeviceProfile};
+
+/// Execution mode for a [`Context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Buffers hold real data and kernels execute on the host's cores.
+    Real,
+    /// Buffers are accounted but not backed; kernel bodies are skipped.
+    /// Event counts, memory high-water marks, and the virtual clock are
+    /// identical to `Real` mode. Used for paper-scale modeling runs.
+    Model,
+}

@@ -1,0 +1,97 @@
+//! Property tests for device-memory accounting: arbitrary allocate /
+//! release / transfer sequences never corrupt the books.
+
+use proptest::prelude::*;
+
+use dfg_ocl::{BufferId, Context, DeviceProfile, EventKind, ExecMode, OclError};
+
+#[derive(Debug, Clone)]
+enum Action {
+    Alloc { lanes: usize },
+    Release { idx: usize },
+    Write { idx: usize },
+    Read { idx: usize },
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1usize..4096).prop_map(|lanes| Action::Alloc { lanes }),
+            (0usize..64).prop_map(|idx| Action::Release { idx }),
+            (0usize..64).prop_map(|idx| Action::Write { idx }),
+            (0usize..64).prop_map(|idx| Action::Read { idx }),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accounting_is_exact_under_arbitrary_action_sequences(
+        actions in arb_actions()
+    ) {
+        let mut ctx = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Real);
+        let mut live: Vec<(BufferId, usize)> = Vec::new();
+        let mut expected_in_use = 0u64;
+        let mut expected_peak = 0u64;
+        let mut writes = 0usize;
+        let mut reads = 0usize;
+        for action in actions {
+            match action {
+                Action::Alloc { lanes } => {
+                    let id = ctx.create_buffer(lanes).expect("tiny allocations fit");
+                    live.push((id, lanes));
+                    expected_in_use += lanes as u64 * 4;
+                    expected_peak = expected_peak.max(expected_in_use);
+                }
+                Action::Release { idx } if !live.is_empty() => {
+                    let (id, lanes) = live.remove(idx % live.len());
+                    ctx.release(id).expect("live buffer releases");
+                    expected_in_use -= lanes as u64 * 4;
+                }
+                Action::Write { idx } if !live.is_empty() => {
+                    let (id, lanes) = live[idx % live.len()];
+                    ctx.enqueue_write(id, &vec![1.0; lanes]).expect("sized write");
+                    writes += 1;
+                }
+                Action::Read { idx } if !live.is_empty() => {
+                    let (id, lanes) = live[idx % live.len()];
+                    let data = ctx.enqueue_read(id).expect("live read");
+                    prop_assert_eq!(data.len(), lanes);
+                    reads += 1;
+                }
+                _ => {}
+            }
+            prop_assert_eq!(ctx.in_use_bytes(), expected_in_use);
+            prop_assert!(ctx.high_water_bytes() >= ctx.in_use_bytes());
+        }
+        prop_assert_eq!(ctx.high_water_bytes(), expected_peak);
+        let report = ctx.report();
+        prop_assert_eq!(report.count(EventKind::HostToDevice), writes);
+        prop_assert_eq!(report.count(EventKind::DeviceToHost), reads);
+        // The virtual clock is the sum of all event durations (in-order
+        // queue, no gaps).
+        let total: f64 = report.events.iter().map(|e| e.seconds()).sum();
+        prop_assert!((ctx.clock_seconds() - total).abs() < 1e-12);
+    }
+
+    /// Released handles are dead: every operation on them fails and the
+    /// failure does not disturb the accounting.
+    #[test]
+    fn dead_handles_stay_dead(lanes in 1usize..100) {
+        let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let id = ctx.create_buffer(lanes).unwrap();
+        ctx.release(id).unwrap();
+        let in_use = ctx.in_use_bytes();
+        let dead_release = matches!(ctx.release(id), Err(OclError::InvalidBuffer { .. }));
+        let dead_read = matches!(ctx.enqueue_read(id), Err(OclError::InvalidBuffer { .. }));
+        let dead_write = matches!(
+            ctx.enqueue_write(id, &vec![0.0; lanes]),
+            Err(OclError::InvalidBuffer { .. })
+        );
+        prop_assert!(dead_release && dead_read && dead_write);
+        prop_assert_eq!(ctx.in_use_bytes(), in_use);
+    }
+}

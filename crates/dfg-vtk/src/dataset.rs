@@ -1,0 +1,222 @@
+//! The minimal VTK data model the host interface needs.
+
+use std::collections::BTreeMap;
+
+use dfg_mesh::RectilinearMesh;
+
+/// One named data array attached to a dataset (VTK's `vtkDataArray`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataArray {
+    /// Components per tuple: 1 for scalars, 3 for vectors.
+    pub ncomp: usize,
+    /// Interleaved values, `ncomp × ntuples` long.
+    pub data: Vec<f32>,
+}
+
+impl DataArray {
+    /// A scalar array.
+    pub fn scalar(data: Vec<f32>) -> Self {
+        DataArray { ncomp: 1, data }
+    }
+
+    /// A 3-component vector array from interleaved data.
+    pub fn vector3(data: Vec<f32>) -> Self {
+        DataArray { ncomp: 3, data }
+    }
+
+    /// Tuple count.
+    pub fn ntuples(&self) -> usize {
+        self.data.len() / self.ncomp
+    }
+}
+
+/// Dataset errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// An array's length does not match the grid.
+    ArrayLength {
+        /// Array name.
+        name: String,
+        /// Expected tuples.
+        expected: usize,
+        /// Provided tuples.
+        found: usize,
+    },
+    /// A requested array is missing.
+    NoSuchArray {
+        /// Requested name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::ArrayLength { name, expected, found } => write!(
+                f,
+                "array `{name}` has {found} tuples, grid expects {expected}"
+            ),
+            DatasetError::NoSuchArray { name } => write!(f, "no array named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A rectilinear grid with named cell-centered data arrays — the slice of
+/// `vtkRectilinearGrid` the paper's host interface manipulates.
+///
+/// Arrays are kept in a sorted map so serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RectilinearDataset {
+    /// The grid (cell-center axes).
+    pub mesh: RectilinearMesh,
+    /// Cell-centered data arrays by name.
+    arrays: BTreeMap<String, DataArray>,
+    /// Ghost layers present on each low/high side per axis
+    /// (the `vtkGhostLevels` role): `[[xlo, xhi], [ylo, yhi], [zlo, zhi]]`.
+    pub ghost_layers: [[usize; 2]; 3],
+}
+
+impl RectilinearDataset {
+    /// A dataset over `mesh` with no arrays and no ghost layers.
+    pub fn new(mesh: RectilinearMesh) -> Self {
+        RectilinearDataset { mesh, arrays: BTreeMap::new(), ghost_layers: [[0; 2]; 3] }
+    }
+
+    /// Cell count.
+    pub fn ncells(&self) -> usize {
+        self.mesh.ncells()
+    }
+
+    /// Attach an array, validating its length.
+    pub fn set_array(&mut self, name: &str, array: DataArray) -> Result<(), DatasetError> {
+        if array.ntuples() != self.ncells() {
+            return Err(DatasetError::ArrayLength {
+                name: name.to_string(),
+                expected: self.ncells(),
+                found: array.ntuples(),
+            });
+        }
+        self.arrays.insert(name.to_string(), array);
+        Ok(())
+    }
+
+    /// Fetch an array.
+    pub fn array(&self, name: &str) -> Result<&DataArray, DatasetError> {
+        self.arrays
+            .get(name)
+            .ok_or_else(|| DatasetError::NoSuchArray { name: name.to_string() })
+    }
+
+    /// Whether an array exists.
+    pub fn has_array(&self, name: &str) -> bool {
+        self.arrays.contains_key(name)
+    }
+
+    /// Array names in deterministic (sorted) order.
+    pub fn array_names(&self) -> Vec<&str> {
+        self.arrays.keys().map(String::as_str).collect()
+    }
+
+    /// Remove an array, returning it if present.
+    pub fn take_array(&mut self, name: &str) -> Option<DataArray> {
+        self.arrays.remove(name)
+    }
+
+    /// The interior extent (offset, dims) once ghost layers are stripped.
+    pub fn interior_extent(&self) -> ([usize; 3], [usize; 3]) {
+        let dims = self.mesh.dims();
+        let mut off = [0usize; 3];
+        let mut idims = [0usize; 3];
+        for d in 0..3 {
+            off[d] = self.ghost_layers[d][0];
+            idims[d] = dims[d] - self.ghost_layers[d][0] - self.ghost_layers[d][1];
+        }
+        (off, idims)
+    }
+
+    /// Strip ghost layers from the grid and every array, returning the
+    /// interior dataset (VisIt's ghost-zone removal before rendering).
+    pub fn strip_ghosts(&self) -> RectilinearDataset {
+        let (off, idims) = self.interior_extent();
+        let gdims = self.mesh.dims();
+        let mesh = self.mesh.submesh(off, idims);
+        let mut out = RectilinearDataset::new(mesh);
+        for (name, arr) in &self.arrays {
+            let mut data = Vec::with_capacity(idims.iter().product::<usize>() * arr.ncomp);
+            for k in 0..idims[2] {
+                for j in 0..idims[1] {
+                    let row = (off[0])
+                        + gdims[0] * ((off[1] + j) + gdims[1] * (off[2] + k));
+                    data.extend_from_slice(
+                        &arr.data[row * arr.ncomp..(row + idims[0]) * arr.ncomp],
+                    );
+                }
+            }
+            out.set_array(name, DataArray { ncomp: arr.ncomp, data })
+                .expect("interior extraction preserves tuple counts");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> RectilinearMesh {
+        RectilinearMesh::unit_cube([4, 3, 2])
+    }
+
+    #[test]
+    fn set_and_get_arrays() {
+        let mut ds = RectilinearDataset::new(mesh());
+        ds.set_array("u", DataArray::scalar(vec![1.0; 24])).unwrap();
+        assert!(ds.has_array("u"));
+        assert_eq!(ds.array("u").unwrap().ntuples(), 24);
+        assert_eq!(ds.array_names(), vec!["u"]);
+        assert!(matches!(
+            ds.array("missing"),
+            Err(DatasetError::NoSuchArray { .. })
+        ));
+    }
+
+    #[test]
+    fn length_validation() {
+        let mut ds = RectilinearDataset::new(mesh());
+        assert!(matches!(
+            ds.set_array("u", DataArray::scalar(vec![0.0; 7])),
+            Err(DatasetError::ArrayLength { expected: 24, found: 7, .. })
+        ));
+        // Vectors: 3 components per cell.
+        ds.set_array("vel", DataArray::vector3(vec![0.0; 72])).unwrap();
+        assert_eq!(ds.array("vel").unwrap().ntuples(), 24);
+    }
+
+    #[test]
+    fn strip_ghosts_extracts_interior() {
+        // 4x3x2 with one ghost layer on the low-x side.
+        let mut ds = RectilinearDataset::new(mesh());
+        let vals: Vec<f32> = (0..24).map(|i| i as f32).collect();
+        ds.set_array("f", DataArray::scalar(vals)).unwrap();
+        ds.ghost_layers = [[1, 0], [0, 0], [0, 0]];
+        let interior = ds.strip_ghosts();
+        assert_eq!(interior.mesh.dims(), [3, 3, 2]);
+        let f = interior.array("f").unwrap();
+        // First interior cell is global (1, 0, 0) = value 1.
+        assert_eq!(f.data[0], 1.0);
+        assert_eq!(f.data[1], 2.0);
+        // Row stride skips the ghost column.
+        assert_eq!(f.data[3], 5.0);
+    }
+
+    #[test]
+    fn interior_extent_arithmetic() {
+        let mut ds = RectilinearDataset::new(RectilinearMesh::unit_cube([6, 6, 6]));
+        ds.ghost_layers = [[1, 1], [0, 1], [2, 0]];
+        let (off, idims) = ds.interior_extent();
+        assert_eq!(off, [1, 0, 2]);
+        assert_eq!(idims, [4, 5, 4]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Legacy ASCII VTK reading and writing for rectilinear datasets.
+//!
+//! Format: `# vtk DataFile Version 3.0`, `DATASET RECTILINEAR_GRID` with
+//! `X/Y/Z_COORDINATES` (our cell-center axes, represented as grid vertices)
+//! and `POINT_DATA` carrying every array as a named `FIELD`. Files written
+//! here load in ParaView/VisIt, and the reader round-trips anything the
+//! writer produces.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use dfg_mesh::RectilinearMesh;
+
+use crate::dataset::{DataArray, RectilinearDataset};
+
+/// I/O failures.
+#[derive(Debug)]
+pub enum VtkIoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// The file is not a legacy VTK rectilinear grid we understand.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for VtkIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VtkIoError::Io(e) => write!(f, "io error: {e}"),
+            VtkIoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VtkIoError {}
+
+impl From<std::io::Error> for VtkIoError {
+    fn from(e: std::io::Error) -> Self {
+        VtkIoError::Io(e)
+    }
+}
+
+/// Serialize a dataset as legacy ASCII VTK.
+pub fn to_vtk_string(ds: &RectilinearDataset, title: &str) -> String {
+    let dims = ds.mesh.dims();
+    let n = ds.ncells();
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    let title = title.replace('\n', " ");
+    let _ = writeln!(out, "{title}");
+    out.push_str("ASCII\nDATASET RECTILINEAR_GRID\n");
+    let _ = writeln!(out, "DIMENSIONS {} {} {}", dims[0], dims[1], dims[2]);
+    for (axis_name, d) in [("X", 0usize), ("Y", 1), ("Z", 2)] {
+        let _ = writeln!(out, "{axis_name}_COORDINATES {} float", dims[d]);
+        let coords: Vec<String> =
+            ds.mesh.axis(d).iter().map(|c| format!("{c:?}")).collect();
+        let _ = writeln!(out, "{}", coords.join(" "));
+    }
+    let _ = writeln!(out, "POINT_DATA {n}");
+    let names = ds.array_names();
+    let _ = writeln!(out, "FIELD FieldData {}", names.len());
+    for name in names {
+        let arr = ds.array(name).expect("listed name exists");
+        let _ = writeln!(out, "{name} {} {} float", arr.ncomp, arr.ntuples());
+        // 9 values per line keeps files diffable and parsers happy.
+        for chunk in arr.data.chunks(9) {
+            let vals: Vec<String> = chunk.iter().map(|v| format!("{v:?}")).collect();
+            let _ = writeln!(out, "{}", vals.join(" "));
+        }
+    }
+    out
+}
+
+/// Write a dataset to a legacy VTK file.
+pub fn write_vtk(ds: &RectilinearDataset, title: &str, path: &Path) -> Result<(), VtkIoError> {
+    std::fs::write(path, to_vtk_string(ds, title))?;
+    Ok(())
+}
+
+struct Cursor<'a> {
+    tokens: Vec<(usize, &'a str)>, // (line, token)
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        let mut tokens = Vec::new();
+        for (i, line) in src.lines().enumerate() {
+            // Skip the two header lines wholesale (handled separately).
+            for tok in line.split_whitespace() {
+                tokens.push((i + 1, tok));
+            }
+        }
+        Cursor { tokens, pos: 0 }
+    }
+
+    fn next(&mut self) -> Result<(usize, &'a str), VtkIoError> {
+        let t = self.tokens.get(self.pos).copied().ok_or(VtkIoError::Parse {
+            line: self.tokens.last().map_or(0, |t| t.0),
+            msg: "unexpected end of file".into(),
+        })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, what: &str) -> Result<(), VtkIoError> {
+        let (line, tok) = self.next()?;
+        if tok.eq_ignore_ascii_case(what) {
+            Ok(())
+        } else {
+            Err(VtkIoError::Parse { line, msg: format!("expected `{what}`, found `{tok}`") })
+        }
+    }
+
+    fn number<T: std::str::FromStr>(&mut self) -> Result<T, VtkIoError> {
+        let (line, tok) = self.next()?;
+        tok.parse().map_err(|_| VtkIoError::Parse {
+            line,
+            msg: format!("expected a number, found `{tok}`"),
+        })
+    }
+
+    fn floats(&mut self, count: usize) -> Result<Vec<f32>, VtkIoError> {
+        (0..count).map(|_| self.number::<f32>()).collect()
+    }
+}
+
+/// Parse a legacy ASCII VTK rectilinear grid (as produced by
+/// [`to_vtk_string`]; tolerant of whitespace layout).
+pub fn from_vtk_string(src: &str) -> Result<RectilinearDataset, VtkIoError> {
+    // Strip the two header lines (magic + free-form title).
+    let mut lines = src.lines();
+    let magic = lines.next().unwrap_or_default();
+    if !magic.starts_with("# vtk DataFile") {
+        return Err(VtkIoError::Parse { line: 1, msg: "missing `# vtk DataFile` magic".into() });
+    }
+    let _title = lines.next();
+    let rest: String = lines.collect::<Vec<_>>().join("\n");
+    let mut cur = Cursor::new(&rest);
+
+    cur.expect("ASCII")?;
+    cur.expect("DATASET")?;
+    cur.expect("RECTILINEAR_GRID")?;
+    cur.expect("DIMENSIONS")?;
+    let nx: usize = cur.number()?;
+    let ny: usize = cur.number()?;
+    let nz: usize = cur.number()?;
+    let mut axes: Vec<Vec<f32>> = Vec::with_capacity(3);
+    for (name, n) in [("X_COORDINATES", nx), ("Y_COORDINATES", ny), ("Z_COORDINATES", nz)] {
+        cur.expect(name)?;
+        let declared: usize = cur.number()?;
+        if declared != n {
+            return Err(VtkIoError::Parse {
+                line: 0,
+                msg: format!("{name}: declared {declared}, DIMENSIONS says {n}"),
+            });
+        }
+        cur.expect("float")?;
+        axes.push(cur.floats(n)?);
+    }
+    let mesh = RectilinearMesh::with_axes(
+        axes[0].clone(),
+        axes[1].clone(),
+        axes[2].clone(),
+    );
+    let mut ds = RectilinearDataset::new(mesh);
+
+    cur.expect("POINT_DATA")?;
+    let n: usize = cur.number()?;
+    if n != ds.ncells() {
+        return Err(VtkIoError::Parse {
+            line: 0,
+            msg: format!("POINT_DATA {n} does not match grid ({})", ds.ncells()),
+        });
+    }
+    cur.expect("FIELD")?;
+    let (_, _field_name) = cur.next()?;
+    let narrays: usize = cur.number()?;
+    for _ in 0..narrays {
+        let (_, name) = cur.next()?;
+        let ncomp: usize = cur.number()?;
+        let ntuples: usize = cur.number()?;
+        cur.expect("float")?;
+        let data = cur.floats(ncomp * ntuples)?;
+        ds.set_array(name, DataArray { ncomp, data }).map_err(|e| VtkIoError::Parse {
+            line: 0,
+            msg: e.to_string(),
+        })?;
+    }
+    Ok(ds)
+}
+
+/// Read a legacy VTK file.
+pub fn read_vtk(path: &Path) -> Result<RectilinearDataset, VtkIoError> {
+    from_vtk_string(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg_mesh::RectilinearMesh;
+
+    fn sample_dataset() -> RectilinearDataset {
+        let mesh = RectilinearMesh::uniform([3, 2, 2], [0.0; 3], [0.5, 1.0, 2.0]);
+        let mut ds = RectilinearDataset::new(mesh);
+        let vals: Vec<f32> = (0..12).map(|i| i as f32 * 0.25 - 1.0).collect();
+        ds.set_array("q_crit", DataArray::scalar(vals)).unwrap();
+        let vecs: Vec<f32> = (0..36).map(|i| (i as f32).sin()).collect();
+        ds.set_array("velocity", DataArray::vector3(vecs)).unwrap();
+        ds
+    }
+
+    #[test]
+    fn writer_emits_legacy_header() {
+        let s = to_vtk_string(&sample_dataset(), "derived fields");
+        assert!(s.starts_with("# vtk DataFile Version 3.0\nderived fields\nASCII\n"));
+        assert!(s.contains("DATASET RECTILINEAR_GRID"));
+        assert!(s.contains("DIMENSIONS 3 2 2"));
+        assert!(s.contains("X_COORDINATES 3 float"));
+        assert!(s.contains("POINT_DATA 12"));
+        assert!(s.contains("FIELD FieldData 2"));
+        assert!(s.contains("q_crit 1 12 float"));
+        assert!(s.contains("velocity 3 12 float"));
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ds = sample_dataset();
+        let parsed = from_vtk_string(&to_vtk_string(&ds, "t")).unwrap();
+        assert_eq!(parsed.mesh, ds.mesh);
+        for name in ds.array_names() {
+            let a = ds.array(name).unwrap();
+            let b = parsed.array(name).unwrap();
+            assert_eq!(a.ncomp, b.ncomp);
+            assert_eq!(
+                a.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "array {name} must round-trip bit-exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("dfg_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.vtk");
+        let ds = sample_dataset();
+        write_vtk(&ds, "file test", &path).unwrap();
+        let parsed = read_vtk(&path).unwrap();
+        assert_eq!(parsed.array_names(), ds.array_names());
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(from_vtk_string("not a vtk file").is_err());
+        assert!(from_vtk_string("# vtk DataFile Version 3.0\nt\nASCII\nDATASET POLYDATA\n")
+            .is_err());
+        // Truncated coordinates.
+        let s = "# vtk DataFile Version 3.0\nt\nASCII\nDATASET RECTILINEAR_GRID\n\
+                 DIMENSIONS 2 2 2\nX_COORDINATES 2 float\n0.0";
+        assert!(from_vtk_string(s).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_mismatched_counts() {
+        let s = "# vtk DataFile Version 3.0\nt\nASCII\nDATASET RECTILINEAR_GRID\n\
+                 DIMENSIONS 2 1 1\nX_COORDINATES 3 float\n0 1 2\n\
+                 Y_COORDINATES 1 float\n0\nZ_COORDINATES 1 float\n0\n";
+        let err = from_vtk_string(s).unwrap_err();
+        assert!(err.to_string().contains("declared 3"));
+    }
+
+    #[test]
+    fn special_float_values_round_trip() {
+        let mesh = RectilinearMesh::unit_cube([2, 1, 1]);
+        let mut ds = RectilinearDataset::new(mesh);
+        ds.set_array("f", DataArray::scalar(vec![f32::MIN_POSITIVE, -0.0])).unwrap();
+        let parsed = from_vtk_string(&to_vtk_string(&ds, "t")).unwrap();
+        let f = parsed.array("f").unwrap();
+        assert_eq!(f.data[0].to_bits(), f32::MIN_POSITIVE.to_bits());
+        assert_eq!(f.data[1].to_bits(), (-0.0f32).to_bits());
+    }
+}
