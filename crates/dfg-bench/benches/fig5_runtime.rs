@@ -36,7 +36,12 @@ fn bench_fig5(c: &mut Criterion) {
         }
         group.bench_function(BenchmarkId::new(workload.table2_name(), "reference"), |b| {
             let mut engine = Engine::new(DeviceProfile::intel_x5660());
-            b.iter(|| engine.run_reference(workload, &fields).expect("reference run").field);
+            b.iter(|| {
+                engine
+                    .run_reference(workload, &fields)
+                    .expect("reference run")
+                    .field
+            });
         });
     }
     group.finish();

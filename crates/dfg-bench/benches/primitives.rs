@@ -43,7 +43,8 @@ fn bench_primitives(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("kernel", "sqrt"), |b| {
         b.iter(|| {
-            ctx.launch(&Primitive::Un(UnKind::Abs), &[fid], scalar_out, n).unwrap();
+            ctx.launch(&Primitive::Un(UnKind::Abs), &[fid], scalar_out, n)
+                .unwrap();
             ctx.launch(&Primitive::Un(UnKind::Sqrt), &[scalar_out], vec_out, n)
                 .unwrap()
         });
@@ -62,7 +63,6 @@ fn bench_primitives(c: &mut Criterion) {
         b.iter(|| ctx.launch(&fused, &[fid, xb, yb], scalar_out, n).unwrap());
     });
     group.finish();
-
 }
 
 criterion_group!(benches, bench_primitives);

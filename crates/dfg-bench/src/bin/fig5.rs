@@ -73,9 +73,7 @@ fn maybe_write_svgs(cases: &[dfg_bench::Case], memory: bool) {
     let Some(pos) = args.iter().position(|a| a == "--svg") else {
         return;
     };
-    let dir = std::path::PathBuf::from(
-        args.get(pos + 1).map(String::as_str).unwrap_or("."),
-    );
+    let dir = std::path::PathBuf::from(args.get(pos + 1).map(String::as_str).unwrap_or("."));
     std::fs::create_dir_all(&dir).expect("create svg output dir");
     for (name, chart) in figure_charts(cases, memory) {
         let path = dir.join(format!("{name}.svg"));

@@ -95,7 +95,11 @@ fn main() {
     println!(
         "Memory requirements {} the GPU failure set (paper: \"memory constraints \
          were the cause of the failed GPU test cases\").",
-        if consistent { "exactly explain" } else { "DO NOT explain" }
+        if consistent {
+            "exactly explain"
+        } else {
+            "DO NOT explain"
+        }
     );
 }
 
@@ -105,9 +109,7 @@ fn maybe_write_svgs(cases: &[dfg_bench::Case]) {
     let Some(pos) = args.iter().position(|a| a == "--svg") else {
         return;
     };
-    let dir = std::path::PathBuf::from(
-        args.get(pos + 1).map(String::as_str).unwrap_or("."),
-    );
+    let dir = std::path::PathBuf::from(args.get(pos + 1).map(String::as_str).unwrap_or("."));
     std::fs::create_dir_all(&dir).expect("create svg output dir");
     for (name, chart) in figure_charts(cases, true) {
         let path = dir.join(format!("{name}.svg"));

@@ -34,7 +34,12 @@ fn run_full_scale() {
         "Full configuration (model mode): {} cells, 3072 sub-grids of 192x192x256,",
         27_u64 * 1024 * 1024 * 1024
     );
-    println!("{} nodes x {} GPUs = {} ranks, 12 sub-grids per GPU.", cluster.nodes, cluster.devices_per_node, cluster.ranks());
+    println!(
+        "{} nodes x {} GPUs = {} ranks, 12 sub-grids per GPU.",
+        cluster.nodes,
+        cluster.devices_per_node,
+        cluster.ranks()
+    );
     let result = run_distributed(
         &global,
         [16, 16, 12],
@@ -106,16 +111,28 @@ fn run_scaled_down() {
     println!();
     println!(
         "distributed vs single-grid: {}",
-        if identical { "bit-identical ✓ (ghost exchange is exact)" } else { "DIVERGED ✗" }
+        if identical {
+            "bit-identical ✓ (ghost exchange is exact)"
+        } else {
+            "DIVERGED ✗"
+        }
     );
-    println!("modeled makespan:           {:.4} s over {} ranks", result.makespan_seconds, result.ranks);
+    println!(
+        "modeled makespan:           {:.4} s over {} ranks",
+        result.makespan_seconds, result.ranks
+    );
     println!("total kernel launches:      {}", result.total_kernel_execs);
 
     // Pseudocolor rendering of the mid-plane slice (Figure 7 stand-in).
     let img = render_slice(&dist_field, dims, 2, dims[2] / 2);
     let path = std::path::Path::new("fig7_q_criterion.ppm");
     img.write_ppm(path).expect("write rendering");
-    println!("rendering written:          {} ({}x{})", path.display(), img.width, img.height);
+    println!(
+        "rendering written:          {} ({}x{})",
+        path.display(),
+        img.width,
+        img.height
+    );
     if !identical {
         std::process::exit(1);
     }

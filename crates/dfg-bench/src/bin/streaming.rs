@@ -12,7 +12,11 @@ use dfg_ocl::{DeviceProfile, ExecMode};
 
 fn main() {
     let gpu = DeviceProfile::nvidia_m2050();
-    println!("STREAMED FUSION on {} ({:.2} GB usable)", gpu.name, gpu.global_mem_bytes as f64 / 1e9);
+    println!(
+        "STREAMED FUSION on {} ({:.2} GB usable)",
+        gpu.name,
+        gpu.global_mem_bytes as f64 / 1e9
+    );
     println!();
     println!(
         "{:<10} {:<22} {:>10} {:>12} {:>10} {:>8}",
@@ -26,14 +30,14 @@ fn main() {
         for grid in TABLE1_CATALOG {
             let mut engine = Engine::with_options(
                 gpu.clone(),
-                EngineOptions { mode: ExecMode::Model, ..Default::default() },
+                EngineOptions {
+                    mode: ExecMode::Model,
+                    ..Default::default()
+                },
             );
             let mut fields = FieldSet::virtual_rt(grid.dims());
             // Streaming needs the concrete dims triple to slab along z.
-            fields.insert_small(
-                "dims",
-                vec![grid.nx as f32, grid.ny as f32, grid.nz as f32],
-            );
+            fields.insert_small("dims", vec![grid.nx as f32, grid.ny as f32, grid.nz as f32]);
             let fusion = engine.derive(workload.source(), &fields, Strategy::Fusion);
             let fusion_label = match &fusion {
                 Ok(r) => format!("{:.3}s", r.device_seconds()),

@@ -7,7 +7,10 @@ fn main() {
     println!("TABLE I");
     println!("Sub-grids of 3072^3 RT simulation time step used for single-device evaluation.");
     println!();
-    println!("{:<22} {:>13} {:>11}", "Sub-grid Dimensions", "# of Cells", "Data Size");
+    println!(
+        "{:<22} {:>13} {:>11}",
+        "Sub-grid Dimensions", "# of Cells", "Data Size"
+    );
     println!("{}", "-".repeat(48));
     for grid in TABLE1_CATALOG {
         let cells = grid.ncells();
@@ -20,6 +23,11 @@ fn main() {
             .map(|c| std::str::from_utf8(c).unwrap())
             .collect::<Vec<_>>()
             .join(",");
-        println!("{:<22} {:>13} {:>11}", grid.to_string(), cells_str, grid.data_size_display());
+        println!(
+            "{:<22} {:>13} {:>11}",
+            grid.to_string(),
+            cells_str,
+            grid.data_size_display()
+        );
     }
 }

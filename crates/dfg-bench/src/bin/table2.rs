@@ -17,7 +17,10 @@ fn main() {
     println!("{}", "-".repeat(58));
     let mut engine = Engine::with_options(
         DeviceProfile::nvidia_m2050(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     // Event counts are size-independent; use the smallest catalog grid.
     let fields = FieldSet::virtual_rt([192, 192, 256]);

@@ -100,15 +100,13 @@ pub struct Case {
 }
 
 /// Run one case in model mode (paper-scale without paper-scale memory).
-pub fn run_case(
-    workload: Workload,
-    series: Series,
-    target: Target,
-    grid: GridSpec,
-) -> Outcome {
+pub fn run_case(workload: Workload, series: Series, target: Target, grid: GridSpec) -> Outcome {
     let mut engine = Engine::with_options(
         target.profile(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let fields = FieldSet::virtual_rt(grid.dims());
     let result = match series {
@@ -135,7 +133,13 @@ pub fn full_matrix() -> Vec<Case> {
             for target in Target::ALL {
                 for grid in TABLE1_CATALOG {
                     let outcome = run_case(workload, series, target, grid);
-                    out.push(Case { workload, series, target, grid, outcome });
+                    out.push(Case {
+                        workload,
+                        series,
+                        target,
+                        grid,
+                        outcome,
+                    });
                 }
             }
         }
@@ -175,7 +179,10 @@ mod tests {
             grid,
         );
         match o {
-            Outcome::Ok { seconds, high_water } => {
+            Outcome::Ok {
+                seconds,
+                high_water,
+            } => {
                 assert!(seconds > 0.0);
                 // 4 scalar arrays of 9.4M cells.
                 assert_eq!(high_water, 4 * 4 * grid.ncells());
@@ -235,7 +242,10 @@ pub fn figure_charts(cases: &[Case], memory: bool) -> Vec<(String, svg::SvgChart
                                 && c.grid == *grid
                         })?;
                         match &case.outcome {
-                            Outcome::Ok { seconds, high_water } => Some((
+                            Outcome::Ok {
+                                seconds,
+                                high_water,
+                            } => Some((
                                 grid.ncells() as f64 / 1e6,
                                 if memory {
                                     *high_water as f64 / (1u64 << 30) as f64
@@ -303,6 +313,9 @@ mod chart_tests {
             .iter()
             .find(|s| s.label == "staged (GPU)")
             .expect("series present");
-        assert!(gpu_staged.points.iter().any(Option::is_none), "failures break the line");
+        assert!(
+            gpu_staged.points.iter().any(Option::is_none),
+            "failures break the line"
+        );
     }
 }

@@ -146,7 +146,11 @@ impl SvgChart {
         }
         // Series.
         for s in &self.series {
-            let dash = if s.dashed { " stroke-dasharray=\"6 3\"" } else { "" };
+            let dash = if s.dashed {
+                " stroke-dasharray=\"6 3\""
+            } else {
+                ""
+            };
             // Split into contiguous segments at None (failed cases).
             for segment in s.points.split(|p| p.is_none()) {
                 let pts: Vec<String> = segment
@@ -175,7 +179,11 @@ impl SvgChart {
         // Legend.
         for (i, s) in self.series.iter().enumerate() {
             let y = MT + 14.0 * i as f64;
-            let dash = if s.dashed { " stroke-dasharray=\"6 3\"" } else { "" };
+            let dash = if s.dashed {
+                " stroke-dasharray=\"6 3\""
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "<line x1=\"{0}\" y1=\"{y:.1}\" x2=\"{1}\" y2=\"{y:.1}\" \
                  stroke=\"{2}\" stroke-width=\"2\"{dash}/>\n",
@@ -208,7 +216,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -224,7 +234,12 @@ mod tests {
                 label: "fusion <GPU>".into(),
                 color: "#d62728".into(),
                 dashed: false,
-                points: vec![Some((9.4, 0.06)), Some((18.9, 0.12)), None, Some((100.0, 0.7))],
+                points: vec![
+                    Some((9.4, 0.06)),
+                    Some((18.9, 0.12)),
+                    None,
+                    Some((100.0, 0.7)),
+                ],
             }],
             h_line: Some((0.5, "capacity".into())),
         }

@@ -9,6 +9,7 @@ use dfg_expr::compile;
 use dfg_kernels_shim::generated_source_of;
 use dfg_mesh::{RectilinearMesh, RtWorkload, TABLE1_CATALOG};
 use dfg_ocl::{DeviceProfile, ExecMode};
+use dfg_trace::Tracer;
 use dfg_vtk::io::{read_vtk, write_vtk};
 use dfg_vtk::{DataArray, RectilinearDataset};
 
@@ -31,6 +32,8 @@ usage:
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
              [--output <out.vtk>] [--render <slice.ppm>] [--trace <trace.json>]
   dfgc plan  --expr <program> --grid NXxNYxNZ
+  dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
+             [--device cpu|gpu] [--out-dir <dir>]
   dfgc parse --expr <program>
   dfgc kernels
   dfgc info";
@@ -110,6 +113,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&Args::parse(&args[1..])?),
         Some("plan") => cmd_plan(&Args::parse(&args[1..])?),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("parse") => cmd_parse(&Args::parse(&args[1..])?),
         Some("kernels") => {
             cmd_kernels();
@@ -226,6 +230,110 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `dfgc profile <expression>`: run the expression under every single-pass
+/// strategy with a tracer attached, write one Chrome-trace JSON per
+/// strategy, and print a comparison table plus flame summaries.
+fn cmd_profile(raw: &[String]) -> Result<(), String> {
+    // The expression may be given positionally (`dfgc profile "mag = …"`)
+    // or through the usual --expr / --expr-file flags.
+    let (positional, rest) = match raw.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.clone()), &raw[1..]),
+        _ => (None, raw),
+    };
+    let args = Args::parse(rest)?;
+    let expression = match positional {
+        Some(e) => {
+            if args.get("expr").is_some() || args.get("expr-file").is_some() {
+                return Err("give the expression positionally or via --expr, not both".into());
+            }
+            format!("{e}\n")
+        }
+        None => args.expression()?,
+    };
+
+    let ds = if args.get("grid").is_some() || args.get("input").is_some() {
+        load_dataset(&args)?
+    } else {
+        // Default workload: the paper's RT velocity sample on a small grid,
+        // large enough that per-stage times are visible, small enough to be
+        // instant.
+        let mesh = RectilinearMesh::unit_cube([32, 32, 32]);
+        let workload = RtWorkload::paper_default();
+        let (u, v, w) = workload.sample_velocity(&mesh);
+        let mut ds = RectilinearDataset::new(mesh);
+        ds.set_array("u", DataArray::scalar(u)).expect("length");
+        ds.set_array("v", DataArray::scalar(v)).expect("length");
+        ds.set_array("w", DataArray::scalar(w)).expect("length");
+        ds
+    };
+    let fields = fieldset_of(&ds);
+    let profile = device_of(args.get("device"))?;
+    let out_dir = std::path::PathBuf::from(args.get("out-dir").unwrap_or("."));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    println!(
+        "profiling `{}` over {} cells on {}",
+        expression.trim(),
+        fields.ncells(),
+        profile.name
+    );
+    println!();
+
+    struct Row {
+        name: &'static str,
+        table2: (usize, usize, usize),
+        device_s: f64,
+        wall_ms: f64,
+        peak_mb: f64,
+        flame: String,
+        path: std::path::PathBuf,
+    }
+    let mut rows = Vec::new();
+    for strategy in [Strategy::Roundtrip, Strategy::Staged, Strategy::Fusion] {
+        let mut engine = Engine::with_options(profile.clone(), EngineOptions::default());
+        engine.set_tracer(Tracer::new());
+        let report = engine
+            .derive(&expression, &fields, strategy)
+            .map_err(|e| pretty_engine_err(&e, &expression))?;
+        let trace = report.trace.as_ref().expect("tracer attached");
+        let path = out_dir.join(format!("trace-{}.json", strategy.name()));
+        std::fs::write(&path, trace.to_chrome_trace())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        rows.push(Row {
+            name: strategy.name(),
+            table2: report.table2_row(),
+            device_s: report.device_seconds(),
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+            peak_mb: report.high_water_bytes() as f64 / 1e6,
+            flame: trace.to_flame_text(),
+            path,
+        });
+    }
+
+    println!(
+        "{:<10} {:>6} {:>6} {:>6} {:>12} {:>10} {:>9}",
+        "strategy", "Dev-W", "Dev-R", "K-Exe", "device s", "wall ms", "peak MB"
+    );
+    for row in &rows {
+        let (w, r, k) = row.table2;
+        println!(
+            "{:<10} {w:>6} {r:>6} {k:>6} {:>12.6} {:>10.3} {:>9.1}",
+            row.name, row.device_s, row.wall_ms, row.peak_mb
+        );
+    }
+    for row in &rows {
+        println!();
+        println!(
+            "--- {} (chrome trace: {}) ---",
+            row.name,
+            row.path.display()
+        );
+        print!("{}", row.flame);
+    }
+    Ok(())
+}
+
 fn cmd_plan(args: &Args) -> Result<(), String> {
     let expression = args.expression()?;
     let dims = parse_grid(args.get("grid").ok_or("--grid is required for `plan`")?)?;
@@ -233,11 +341,18 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     let ncells = (dims[0] * dims[1] * dims[2]) as u64;
     let devices = [DeviceProfile::intel_x5660(), DeviceProfile::nvidia_m2050()];
     let plan = plan(&spec, ncells, &devices).map_err(|e| e.to_string())?;
-    println!("{:<10} {:<34} {:>10} {:>10}", "strategy", "device", "seconds", "peak GB");
+    println!(
+        "{:<10} {:<34} {:>10} {:>10}",
+        "strategy", "device", "seconds", "peak GB"
+    );
     for opt in &plan.feasible {
         println!(
             "{:<10} {:<34} {:>10.4} {:>10.3}",
-            if opt.streamed { "streamed".to_string() } else { opt.strategy.name().to_string() },
+            if opt.streamed {
+                "streamed".to_string()
+            } else {
+                opt.strategy.name().to_string()
+            },
             opt.device_name,
             opt.seconds,
             opt.peak_bytes as f64 / 1e9
@@ -314,7 +429,10 @@ fn cmd_kernels() {
         Primitive::Cross3,
         Primitive::Grad3d,
     ];
-    println!("the shared derived-field building-block library ({} primitives):", prims.len());
+    println!(
+        "the shared derived-field building-block library ({} primitives):",
+        prims.len()
+    );
     println!();
     for p in prims {
         println!("{}", p.opencl_source());
@@ -336,7 +454,11 @@ fn cmd_info() {
     println!();
     println!("Table I evaluation grids:");
     for grid in TABLE1_CATALOG {
-        println!("  {grid}   {:>12} cells  {}", grid.ncells(), grid.data_size_display());
+        println!(
+            "  {grid}   {:>12} cells  {}",
+            grid.ncells(),
+            grid.data_size_display()
+        );
     }
     let _ = ExecMode::Real; // re-exported surface sanity
 }
@@ -436,6 +558,59 @@ mod tests {
     }
 
     #[test]
+    fn profile_writes_a_chrome_trace_per_strategy() {
+        let dir = std::env::temp_dir().join("dfgc_test_profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        dispatch(&strs(&[
+            "profile",
+            "mag = sqrt(u*u + v*v + w*w)",
+            "--grid",
+            "8x8x8",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for (strategy, stages) in [
+            (
+                "roundtrip",
+                ["roundtrip.upload", "roundtrip.kernel", "roundtrip.download"],
+            ),
+            (
+                "staged",
+                ["staged.upload", "staged.kernel", "staged.download"],
+            ),
+            (
+                "fusion",
+                ["fusion.upload", "fusion.kernel", "fusion.download"],
+            ),
+        ] {
+            let path = dir.join(format!("trace-{strategy}.json"));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let doc = dfg_trace::json::parse(&text).expect("valid Chrome-trace JSON");
+            let names: Vec<&str> = doc
+                .get("traceEvents")
+                .and_then(dfg_trace::json::Value::as_array)
+                .expect("traceEvents array")
+                .iter()
+                .filter(|e| e.get("ph").and_then(dfg_trace::json::Value::as_str) == Some("X"))
+                .filter_map(|e| e.get("name").and_then(dfg_trace::json::Value::as_str))
+                .collect();
+            for required in ["parse", "plan", "ocl.kernel"].into_iter().chain(stages) {
+                assert!(
+                    names.contains(&required),
+                    "{strategy}: missing `{required}` span"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_rejects_conflicting_expressions() {
+        assert!(dispatch(&strs(&["profile", "a = u", "--expr", "b = v"])).is_err());
+        assert!(dispatch(&strs(&["profile"])).is_err());
+    }
+
+    #[test]
     fn plan_and_parse_subcommands() {
         dispatch(&strs(&[
             "plan",
@@ -474,11 +649,16 @@ mod tests {
     fn helpful_errors() {
         let err = dispatch(&strs(&["run", "--expr", "r = u"])).unwrap_err();
         assert!(err.contains("data source"));
-        let err =
-            dispatch(&strs(&["run", "--grid", "4x4x4"])).unwrap_err();
+        let err = dispatch(&strs(&["run", "--grid", "4x4x4"])).unwrap_err();
         assert!(err.contains("expression"));
         let err = dispatch(&strs(&[
-            "run", "--expr", "r = u", "--grid", "4x4x4", "--strategy", "warp",
+            "run",
+            "--expr",
+            "r = u",
+            "--grid",
+            "4x4x4",
+            "--strategy",
+            "warp",
         ]))
         .unwrap_err();
         assert!(err.contains("unknown strategy"));

@@ -5,6 +5,7 @@
 //!            [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
 //!            [--output out.vtk] [--render slice.ppm] [--trace trace.json]
 //! dfgc plan  --expr "<expression>" --grid NXxNYxNZ
+//! dfgc profile "<expression>"            # trace every strategy, emit Chrome traces
 //! dfgc parse --expr "<expression>"       # print network + generated source
 //! dfgc info                              # devices and the Table I catalog
 //! ```

@@ -113,8 +113,7 @@ pub fn insert_interior(
     for k in 0..idims[2] {
         for j in 0..idims[1] {
             let src = idims[0] * (j + idims[1] * k);
-            let dst = istart[0]
-                + gdims[0] * ((istart[1] + j) + gdims[1] * (istart[2] + k));
+            let dst = istart[0] + gdims[0] * ((istart[1] + j) + gdims[1] * (istart[2] + k));
             ghosted[dst..dst + idims[0]].copy_from_slice(&owned[src..src + idims[0]]);
         }
     }
@@ -132,8 +131,7 @@ pub fn extract_interior(
     let mut out = Vec::with_capacity(idims[0] * idims[1] * idims[2] * lanes);
     for k in 0..idims[2] {
         for j in 0..idims[1] {
-            let row = istart[0]
-                + gdims[0] * ((istart[1] + j) + gdims[1] * (istart[2] + k));
+            let row = istart[0] + gdims[0] * ((istart[1] + j) + gdims[1] * (istart[2] + k));
             out.extend_from_slice(&ghosted[row * lanes..(row + idims[0]) * lanes]);
         }
     }
@@ -143,9 +141,7 @@ pub fn extract_interior(
 /// Number of face-adjacent neighbours of a block in a `nblocks` block grid.
 pub fn neighbor_count(block: &SubGrid, nblocks: [usize; 3]) -> usize {
     (0..3)
-        .map(|d| {
-            usize::from(block.block[d] > 0) + usize::from(block.block[d] + 1 < nblocks[d])
-        })
+        .map(|d| usize::from(block.block[d] > 0) + usize::from(block.block[d] + 1 < nblocks[d]))
         .sum()
 }
 
@@ -158,15 +154,27 @@ mod tests {
     fn extract_face_axis0() {
         // dims [2,2,2]: values 0..8, x fastest.
         let owned: Vec<f32> = (0..8).map(|i| i as f32).collect();
-        assert_eq!(extract_face(&owned, [2, 2, 2], 0, false), vec![0.0, 2.0, 4.0, 6.0]);
-        assert_eq!(extract_face(&owned, [2, 2, 2], 0, true), vec![1.0, 3.0, 5.0, 7.0]);
+        assert_eq!(
+            extract_face(&owned, [2, 2, 2], 0, false),
+            vec![0.0, 2.0, 4.0, 6.0]
+        );
+        assert_eq!(
+            extract_face(&owned, [2, 2, 2], 0, true),
+            vec![1.0, 3.0, 5.0, 7.0]
+        );
     }
 
     #[test]
     fn extract_face_axis1_and_2() {
         let owned: Vec<f32> = (0..8).map(|i| i as f32).collect();
-        assert_eq!(extract_face(&owned, [2, 2, 2], 1, false), vec![0.0, 1.0, 4.0, 5.0]);
-        assert_eq!(extract_face(&owned, [2, 2, 2], 2, true), vec![4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(
+            extract_face(&owned, [2, 2, 2], 1, false),
+            vec![0.0, 1.0, 4.0, 5.0]
+        );
+        assert_eq!(
+            extract_face(&owned, [2, 2, 2], 2, true),
+            vec![4.0, 5.0, 6.0, 7.0]
+        );
     }
 
     #[test]
@@ -221,14 +229,26 @@ mod tests {
     fn insert_face_checks_bounds() {
         // Interior already touches the high edge: no high-side ghost layer.
         let mut ghosted = vec![0.0f32; 12];
-        insert_face(&mut ghosted, [3, 2, 2], [1, 0, 0], [2, 2, 2], 0, false, &[0.0; 4]);
+        insert_face(
+            &mut ghosted,
+            [3, 2, 2],
+            [1, 0, 0],
+            [2, 2, 2],
+            0,
+            false,
+            &[0.0; 4],
+        );
     }
 
     #[test]
     fn neighbor_counts() {
         let blocks = partition_blocks([8, 8, 8], [2, 2, 2]);
         for b in &blocks {
-            assert_eq!(neighbor_count(b, [2, 2, 2]), 3, "corner block of a 2x2x2 grid");
+            assert_eq!(
+                neighbor_count(b, [2, 2, 2]),
+                3,
+                "corner block of a 2x2x2 grid"
+            );
         }
         let blocks = partition_blocks([12, 4, 4], [3, 1, 1]);
         assert_eq!(neighbor_count(&blocks[0], [3, 1, 1]), 1);

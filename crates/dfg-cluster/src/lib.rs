@@ -28,4 +28,6 @@ pub mod render;
 mod runner;
 
 pub use multi_device::{run_multi_device, MultiDeviceResult};
-pub use runner::{run_distributed, Cluster, ClusterError, DistOptions, DistResult};
+pub use runner::{
+    run_distributed, run_distributed_traced, Cluster, ClusterError, DistOptions, DistResult,
+};

@@ -105,10 +105,7 @@ pub fn run_multi_device(
                                 )
                             })?;
                             slab_fields
-                                .insert_scalar(
-                                    name,
-                                    data[plane * gz0..plane * gz1].to_vec(),
-                                )
+                                .insert_scalar(name, data[plane * gz0..plane * gz1].to_vec())
                                 .map_err(|_| {
                                     ClusterError::Config(format!(
                                         "field `{name}` is not a problem-sized scalar"
@@ -121,14 +118,14 @@ pub fn run_multi_device(
                         );
                         let mut engine = Engine::with_options(
                             profile,
-                            EngineOptions { mode: ExecMode::Real, ..Default::default() },
+                            EngineOptions {
+                                mode: ExecMode::Real,
+                                ..Default::default()
+                            },
                         );
-                        let report = engine
-                            .derive(source, &slab_fields, strategy)
-                            .map_err(|source: EngineError| ClusterError::Engine {
-                                rank: d,
-                                source,
-                            })?;
+                        let report = engine.derive(source, &slab_fields, strategy).map_err(
+                            |source: EngineError| ClusterError::Engine { rank: d, source },
+                        )?;
                         let out = report.field.expect("real mode");
                         // Extract the interior layers [z0, z1).
                         let lanes = match out.width {
@@ -153,8 +150,7 @@ pub fn run_multi_device(
         });
 
     // Assemble in z order.
-    let mut parts: Vec<Option<(Field, ProfileReport)>> =
-        (0..ndev).map(|_| None).collect();
+    let mut parts: Vec<Option<(Field, ProfileReport)>> = (0..ndev).map(|_| None).collect();
     for out in outputs {
         let (d, field, profile) = out?;
         parts[d] = Some((field, profile));
@@ -172,7 +168,11 @@ pub fn run_multi_device(
         .map(ProfileReport::device_seconds)
         .fold(0.0f64, f64::max);
     Ok(MultiDeviceResult {
-        field: Field { width, ncells: n, data },
+        field: Field {
+            width,
+            ncells: n,
+            data,
+        },
         device_profiles,
         makespan_seconds: makespan,
     })
@@ -234,7 +234,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            result.field.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            result
+                .field
+                .data
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
             single.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
     }
@@ -283,7 +288,10 @@ mod tests {
             .unwrap();
             for i in 0..single.data.len() {
                 let delta = (result.field.data[i] - single.data[i]).abs();
-                assert!(delta <= 1e-5 * single.data[i].abs().max(1.0), "{strategy} at {i}");
+                assert!(
+                    delta <= 1e-5 * single.data[i].abs().max(1.0),
+                    "{strategy} at {i}"
+                );
             }
         }
     }

@@ -36,10 +36,18 @@ pub fn cool_warm(t: f32) -> [u8; 3] {
     let lerp = |a: f32, b: f32, s: f32| a + (b - a) * s;
     let (r, g, b) = if t < 0.5 {
         let s = t * 2.0;
-        (lerp(59.0, 221.0, s), lerp(76.0, 221.0, s), lerp(192.0, 221.0, s))
+        (
+            lerp(59.0, 221.0, s),
+            lerp(76.0, 221.0, s),
+            lerp(192.0, 221.0, s),
+        )
     } else {
         let s = (t - 0.5) * 2.0;
-        (lerp(221.0, 180.0, s), lerp(221.0, 4.0, s), lerp(221.0, 38.0, s))
+        (
+            lerp(221.0, 180.0, s),
+            lerp(221.0, 4.0, s),
+            lerp(221.0, 38.0, s),
+        )
     };
     [r as u8, g as u8, b as u8]
 }
@@ -54,7 +62,11 @@ pub fn cool_warm(t: f32) -> [u8; 3] {
 /// Panics if `slice` is out of range or the field length disagrees with
 /// `dims`.
 pub fn render_slice(field: &[f32], dims: [usize; 3], axis: usize, slice: usize) -> Image {
-    assert_eq!(field.len(), dims[0] * dims[1] * dims[2], "field/dims mismatch");
+    assert_eq!(
+        field.len(),
+        dims[0] * dims[1] * dims[2],
+        "field/dims mismatch"
+    );
     assert!(slice < dims[axis], "slice {slice} out of range");
     let (a1, a2) = match axis {
         0 => (1, 2),
@@ -98,7 +110,11 @@ pub fn render_slice(field: &[f32], dims: [usize; 3], axis: usize, slice: usize) 
             pixels.extend_from_slice(&cool_warm(normalize(value_at(c1, c2))));
         }
     }
-    Image { width, height, pixels }
+    Image {
+        width,
+        height,
+        pixels,
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +152,10 @@ mod tests {
         let field = vec![-1.0f32, 0.0, 1.0];
         let img = render_slice(&field, dims, 2, 0);
         let mid_px = &img.pixels[3..6];
-        assert!(mid_px.iter().all(|&c| c > 200), "zero maps to white: {mid_px:?}");
+        assert!(
+            mid_px.iter().all(|&c| c > 200),
+            "zero maps to white: {mid_px:?}"
+        );
         assert!(img.pixels[2] > img.pixels[0], "negative end is blue");
         assert!(img.pixels[6] > img.pixels[8], "positive end is red");
     }

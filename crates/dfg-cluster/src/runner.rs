@@ -6,6 +6,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use dfg_core::{Engine, EngineError, EngineOptions, FieldSet, Strategy, Workload};
 use dfg_mesh::{decomp, partition_blocks, RectilinearMesh, RtWorkload, SubGrid};
 use dfg_ocl::{DeviceProfile, ExecMode};
+use dfg_trace::{span, Trace, Tracer};
 
 use crate::exchange::{
     extract_face, extract_interior, insert_face, insert_interior, neighbor_count, FaceMsg,
@@ -26,7 +27,11 @@ pub struct Cluster {
 impl Cluster {
     /// The paper's distributed configuration: 128 Edge nodes × 2 M2050s.
     pub fn edge_128x2() -> Self {
-        Cluster { nodes: 128, devices_per_node: 2, profile: DeviceProfile::nvidia_m2050() }
+        Cluster {
+            nodes: 128,
+            devices_per_node: 2,
+            profile: DeviceProfile::nvidia_m2050(),
+        }
     }
 
     /// Total ranks.
@@ -65,6 +70,9 @@ pub struct DistResult {
     pub max_high_water: u64,
     /// Total kernel executions across all ranks.
     pub total_kernel_execs: usize,
+    /// Merged per-rank span trees, rank-tagged; populated by
+    /// [`run_distributed_traced`], `None` otherwise.
+    pub trace: Option<Trace>,
 }
 
 /// Distributed-run failures.
@@ -104,6 +112,7 @@ struct RankOutput {
     device_seconds: f64,
     high_water: u64,
     kernel_execs: usize,
+    trace: Option<Trace>,
 }
 
 /// Run a workload across a simulated cluster.
@@ -122,6 +131,31 @@ pub fn run_distributed(
     cluster: &Cluster,
     opts: &DistOptions,
 ) -> Result<DistResult, ClusterError> {
+    run_distributed_inner(global, nblocks, rt, cluster, opts, false)
+}
+
+/// [`run_distributed`] with tracing: each rank records its own span tree
+/// (halo exchange, per-block derives, device events), and the result's
+/// `trace` holds all of them merged with rank tags — one lane per rank in
+/// the Chrome-trace export.
+pub fn run_distributed_traced(
+    global: &RectilinearMesh,
+    nblocks: [usize; 3],
+    rt: &RtWorkload,
+    cluster: &Cluster,
+    opts: &DistOptions,
+) -> Result<DistResult, ClusterError> {
+    run_distributed_inner(global, nblocks, rt, cluster, opts, true)
+}
+
+fn run_distributed_inner(
+    global: &RectilinearMesh,
+    nblocks: [usize; 3],
+    rt: &RtWorkload,
+    cluster: &Cluster,
+    opts: &DistOptions,
+    traced: bool,
+) -> Result<DistResult, ClusterError> {
     let ranks = cluster.ranks();
     if ranks == 0 {
         return Err(ClusterError::Config("cluster has zero ranks".into()));
@@ -134,7 +168,6 @@ pub fn run_distributed(
     // One mailbox per rank.
     let (senders, receivers): (Vec<Sender<FaceMsg>>, Vec<Receiver<FaceMsg>>) =
         (0..ranks).map(|_| unbounded()).unzip();
-
 
     let rank_outputs: Vec<Result<RankOutput, ClusterError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..ranks)
@@ -157,6 +190,7 @@ pub fn run_distributed(
                         &opts,
                         senders,
                         receiver,
+                        traced,
                     )
                 })
             })
@@ -171,11 +205,15 @@ pub fn run_distributed(
     let mut max_high_water = 0u64;
     let mut total_kernel_execs = 0usize;
     let mut field = real.then(|| vec![0.0f32; global.ncells()]);
-    for out in rank_outputs {
+    let mut rank_traces = Vec::new();
+    for (rank, out) in rank_outputs.into_iter().enumerate() {
         let out = out?;
         rank_device_seconds.push(out.device_seconds);
         max_high_water = max_high_water.max(out.high_water);
         total_kernel_execs += out.kernel_execs;
+        if let Some(trace) = out.trace {
+            rank_traces.push((rank as u64, trace));
+        }
         if let Some(f) = field.as_mut() {
             for (block_idx, interior) in &out.results {
                 let b = &blocks[*block_idx];
@@ -193,6 +231,7 @@ pub fn run_distributed(
         makespan_seconds: makespan,
         max_high_water,
         total_kernel_execs,
+        trace: traced.then(|| Trace::merge(rank_traces)),
     })
 }
 
@@ -209,12 +248,22 @@ fn run_rank(
     opts: &DistOptions,
     senders: Vec<Sender<FaceMsg>>,
     receiver: Receiver<FaceMsg>,
+    traced: bool,
 ) -> Result<RankOutput, ClusterError> {
     let real = opts.mode == ExecMode::Real;
-    let my_blocks: Vec<usize> =
-        (0..blocks.len()).filter(|i| i % ranks == rank).collect();
-    let mut engine =
-        Engine::with_options(profile, EngineOptions { mode: opts.mode, ..Default::default() });
+    let my_blocks: Vec<usize> = (0..blocks.len()).filter(|i| i % ranks == rank).collect();
+    let mut engine = Engine::with_options(
+        profile,
+        EngineOptions {
+            mode: opts.mode,
+            ..Default::default()
+        },
+    );
+    let tracer = traced.then(Tracer::new);
+    if let Some(t) = &tracer {
+        engine.set_tracer(t.clone());
+    }
+    let _rank_span = span!(tracer, "rank", rank = rank, blocks = my_blocks.len());
     let err_here = |source: EngineError| ClusterError::Engine { rank, source };
 
     /// Per-block ghosted state: extent arithmetic plus the three ghosted
@@ -231,12 +280,16 @@ fn run_rank(
     let mut ghosted: Vec<GhostedBlock> = Vec::new();
     if real {
         let mut owned_fields: Vec<[Vec<f32>; 3]> = Vec::new();
-        for &bi in &my_blocks {
-            let b = &blocks[bi];
-            let mesh = global.submesh(b.offset, b.dims);
-            let (u, v, w) = rt.sample_velocity(&mesh);
-            owned_fields.push([u, v, w]);
+        {
+            let _sample = span!(tracer, "rank.sample", blocks = my_blocks.len());
+            for &bi in &my_blocks {
+                let b = &blocks[bi];
+                let mesh = global.submesh(b.offset, b.dims);
+                let (u, v, w) = rt.sample_velocity(&mesh);
+                owned_fields.push([u, v, w]);
+            }
         }
+        let halo_span = span!(tracer, "rank.halo");
         // Send faces to face-adjacent neighbours.
         for (slot, &bi) in my_blocks.iter().enumerate() {
             let b = &blocks[bi];
@@ -254,7 +307,13 @@ fn run_rank(
                     for (field, owned) in owned_fields[slot].iter().enumerate() {
                         let data = extract_face(owned, b.dims, axis, high);
                         // Our high face fills the neighbour's low ghost.
-                        let msg = FaceMsg { to_block, axis, low_side: high, field, data };
+                        let msg = FaceMsg {
+                            to_block,
+                            axis,
+                            low_side: high,
+                            field,
+                            data,
+                        };
                         senders[to_block % ranks]
                             .send(msg)
                             .expect("receiver alive for the whole scope");
@@ -273,7 +332,12 @@ fn run_rank(
             for (f, arr) in arrays.iter_mut().enumerate() {
                 insert_interior(arr, gdims, istart, idims, &owned_fields[slot][f]);
             }
-            ghosted.push(GhostedBlock { gdims, istart, idims, arrays });
+            ghosted.push(GhostedBlock {
+                gdims,
+                istart,
+                idims,
+                arrays,
+            });
         }
         // Receive exactly the expected number of halo faces.
         let expected: usize = my_blocks
@@ -281,7 +345,9 @@ fn run_rank(
             .map(|&bi| neighbor_count(&blocks[bi], nblocks) * 3)
             .sum();
         for _ in 0..expected {
-            let msg = receiver.recv().expect("all sends happen before any rank exits");
+            let msg = receiver
+                .recv()
+                .expect("all sends happen before any rank exits");
             let slot = my_blocks
                 .iter()
                 .position(|&bi| bi == msg.to_block)
@@ -297,6 +363,7 @@ fn run_rank(
                 &msg.data,
             );
         }
+        drop(halo_span.meta("faces_received", expected));
     } else {
         drop(senders);
     }
@@ -326,10 +393,7 @@ fn run_rank(
                 .derive(opts.workload.source(), &fs, opts.strategy)
                 .map_err(err_here)?;
             let out = report.field.as_ref().expect("real mode yields data");
-            results.push((
-                bi,
-                extract_interior(&out.data, gdims, *istart, *idims, 1),
-            ));
+            results.push((bi, extract_interior(&out.data, gdims, *istart, *idims, 1)));
             report
         } else {
             let fs = FieldSet::virtual_rt(gdims);
@@ -341,7 +405,14 @@ fn run_rank(
         high_water = high_water.max(report.high_water_bytes());
         kernel_execs += report.profile.count(dfg_ocl::EventKind::KernelExec);
     }
-    Ok(RankOutput { results, device_seconds, high_water, kernel_execs })
+    drop(_rank_span);
+    Ok(RankOutput {
+        results,
+        device_seconds,
+        high_water,
+        kernel_execs,
+        trace: tracer.as_ref().map(Tracer::snapshot),
+    })
 }
 
 #[cfg(test)]
@@ -450,7 +521,11 @@ mod tests {
         assert!(result.field.is_some());
         // Idle ranks contribute zero device time.
         assert_eq!(
-            result.rank_device_seconds.iter().filter(|&&s| s == 0.0).count(),
+            result
+                .rank_device_seconds
+                .iter()
+                .filter(|&&s| s == 0.0)
+                .count(),
             6
         );
     }

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use dfg_dataflow::{NetworkSpec, Schedule, Strategy, Width};
 use dfg_expr::compile;
 use dfg_ocl::{Context, DeviceProfile, ExecMode, ProfileReport};
+use dfg_trace::{span, Trace, Tracer};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
@@ -52,6 +53,10 @@ pub struct ExecReport {
     pub wall: Duration,
     /// The generated OpenCL-style kernel source (fusion strategy only).
     pub generated_source: Option<String>,
+    /// Span tree recorded during the run, when a tracer is attached with
+    /// [`Engine::set_tracer`]. The snapshot is cumulative: an engine whose
+    /// tracer served earlier runs carries their spans too.
+    pub trace: Option<Trace>,
 }
 
 impl ExecReport {
@@ -85,6 +90,9 @@ pub struct Engine {
     /// constructs the pipeline once and re-executes it).
     spec_cache: std::collections::HashMap<String, NetworkSpec>,
     compiles: usize,
+    /// When set, every run records a span tree (and the per-run device
+    /// context emits child spans for its events).
+    tracer: Option<Tracer>,
 }
 
 impl Engine {
@@ -100,7 +108,55 @@ impl Engine {
             options,
             spec_cache: std::collections::HashMap::new(),
             compiles: 0,
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer: subsequent runs record parse/plan/execute spans
+    /// with nested device events, and their [`ExecReport::trace`] is
+    /// populated.
+    ///
+    /// ```
+    /// use dfg_core::{Engine, FieldSet, Strategy};
+    /// use dfg_ocl::DeviceProfile;
+    /// use dfg_trace::Tracer;
+    ///
+    /// let mut engine = Engine::new(DeviceProfile::intel_x5660());
+    /// engine.set_tracer(Tracer::new());
+    ///
+    /// let mut fields = FieldSet::new(8);
+    /// fields.insert_scalar("u", vec![3.0; 8]);
+    /// let report = engine
+    ///     .derive("mag = sqrt(u*u)", &fields, Strategy::Fusion)
+    ///     .unwrap();
+    ///
+    /// assert_eq!(report.field.unwrap().data, vec![3.0; 8]);
+    /// let trace = report.trace.expect("tracer attached");
+    /// let names: Vec<&str> =
+    ///     trace.spans().iter().map(|s| s.name.as_str()).collect();
+    /// assert!(names.contains(&"parse"));
+    /// assert!(names.contains(&"execute.fusion"));
+    /// assert!(names.contains(&"ocl.kernel"));
+    /// ```
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    fn traced_context(&self) -> Context {
+        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        if let Some(tracer) = &self.tracer {
+            ctx.set_tracer(tracer.clone());
+        }
+        ctx
+    }
+
+    fn snapshot(&self) -> Option<Trace> {
+        self.tracer.as_ref().map(Tracer::snapshot)
     }
 
     /// How many distinct programs this engine has compiled (cache misses);
@@ -111,8 +167,10 @@ impl Engine {
 
     fn compile_cached(&mut self, source: &str) -> Result<NetworkSpec, EngineError> {
         if let Some(spec) = self.spec_cache.get(source) {
+            let _parse = span!(self.tracer, "parse", cached = true);
             return Ok(spec.clone());
         }
+        let _parse = span!(self.tracer, "parse", cached = false);
         let mut spec = compile(source)?;
         if self.options.full_cse {
             spec = dfg_dataflow::full_cse(&spec).0;
@@ -140,8 +198,13 @@ impl Engine {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<ExecReport, EngineError> {
+        let root = span!(self.tracer, "derive", strategy = strategy.name());
         let spec = self.compile_cached(source)?;
-        self.derive_spec(&spec, fields, strategy)
+        let mut report = self.derive_spec(&spec, fields, strategy)?;
+        // Close the root span so the snapshot carries its full duration.
+        drop(root);
+        report.trace = self.snapshot();
+        Ok(report)
     }
 
     /// Execute an already-lowered network specification.
@@ -151,9 +214,18 @@ impl Engine {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<ExecReport, EngineError> {
-        let sched = Schedule::new(spec)?;
-        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let sched = {
+            let _plan = span!(self.tracer, "plan", nodes = spec.iter().count());
+            Schedule::new(spec)?
+        };
+        let mut ctx = self.traced_context();
         let t0 = Instant::now();
+        let exec_span = span!(
+            self.tracer,
+            &format!("execute.{}", strategy.name()),
+            ncells = fields.ncells(),
+        );
+        exec_span.virt_start(ctx.clock_seconds());
         let (field, generated_source) = match strategy {
             Strategy::Roundtrip => (
                 run_roundtrip(
@@ -176,9 +248,17 @@ impl Engine {
                 (field, Some(src))
             }
         };
+        exec_span.virt_end(ctx.clock_seconds());
+        drop(exec_span);
         let wall = t0.elapsed();
         debug_assert_eq!(ctx.in_use_bytes(), 0, "executor leaked device buffers");
-        Ok(ExecReport { field, profile: ctx.report(), wall, generated_source })
+        Ok(ExecReport {
+            field,
+            profile: ctx.report(),
+            wall,
+            generated_source,
+            trace: self.snapshot(),
+        })
     }
 
     /// Derive several named fields in one execution.
@@ -195,6 +275,12 @@ impl Engine {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<(Vec<(String, Field)>, ExecReport), EngineError> {
+        let root = span!(
+            self.tracer,
+            "derive_many",
+            strategy = strategy.name(),
+            outputs = outputs.len(),
+        );
         let spec = self.compile_cached(source)?;
         let mut roots = Vec::with_capacity(outputs.len());
         for &name in outputs {
@@ -205,12 +291,23 @@ impl Engine {
                 .filter(|(_, node)| node.name.as_deref() == Some(name))
                 .map(|(id, _)| id)
                 .last()
-                .ok_or_else(|| EngineError::NoSuchOutput { name: name.to_string() })?;
+                .ok_or_else(|| EngineError::NoSuchOutput {
+                    name: name.to_string(),
+                })?;
             roots.push(root);
         }
-        let sched = Schedule::for_roots(&spec, &roots)?;
-        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let sched = {
+            let _plan = span!(self.tracer, "plan", nodes = spec.iter().count());
+            Schedule::for_roots(&spec, &roots)?
+        };
+        let mut ctx = self.traced_context();
         let t0 = Instant::now();
+        let exec_span = span!(
+            self.tracer,
+            &format!("execute.{}", strategy.name()),
+            ncells = fields.ncells(),
+        );
+        exec_span.virt_start(ctx.clock_seconds());
         let (fields_out, generated_source) = match strategy {
             Strategy::Roundtrip => (
                 crate::strategies::run_roundtrip_multi(
@@ -228,24 +325,28 @@ impl Engine {
                 None,
             ),
             Strategy::Fusion => {
-                let (f, src) = crate::strategies::run_fusion_multi(
-                    &spec, &roots, fields, &mut ctx, "multi",
-                )?;
+                let (f, src) =
+                    crate::strategies::run_fusion_multi(&spec, &roots, fields, &mut ctx, "multi")?;
                 (f, Some(src))
             }
         };
+        exec_span.virt_end(ctx.clock_seconds());
+        drop(exec_span);
         let wall = t0.elapsed();
         debug_assert_eq!(ctx.in_use_bytes(), 0, "multi executor leaked buffers");
         let named = match fields_out {
-            Some(v) => outputs
-                .iter()
-                .map(|n| n.to_string())
-                .zip(v)
-                .collect(),
+            Some(v) => outputs.iter().map(|n| n.to_string()).zip(v).collect(),
             None => Vec::new(),
         };
-        let report =
-            ExecReport { field: None, profile: ctx.report(), wall, generated_source };
+        let mut report = ExecReport {
+            field: None,
+            profile: ctx.report(),
+            wall,
+            generated_source,
+            trace: None,
+        };
+        drop(root);
+        report.trace = self.snapshot();
         Ok((named, report))
     }
 
@@ -261,20 +362,39 @@ impl Engine {
         fields: &FieldSet,
         device_budget_bytes: Option<u64>,
     ) -> Result<ExecReport, EngineError> {
+        let root = span!(self.tracer, "derive", strategy = "streamed");
         let spec = self.compile_cached(source)?;
         let budget = device_budget_bytes.unwrap_or(self.profile.global_mem_bytes);
-        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let mut ctx = self.traced_context();
         let t0 = Instant::now();
         let label = spec
             .node(spec.result)
             .name
             .clone()
             .unwrap_or_else(|| "expr".to_string());
-        let (field, src, _slabs) =
+        let exec_span = span!(
+            self.tracer,
+            "execute.streamed",
+            ncells = fields.ncells(),
+            budget_bytes = budget,
+        );
+        exec_span.virt_start(ctx.clock_seconds());
+        let (field, src, slabs) =
             crate::strategies::run_streamed_fusion(&spec, fields, &mut ctx, &label, budget)?;
+        exec_span.virt_end(ctx.clock_seconds());
+        drop(exec_span.meta("slabs", slabs));
         let wall = t0.elapsed();
         debug_assert_eq!(ctx.in_use_bytes(), 0, "streamed executor leaked buffers");
-        Ok(ExecReport { field, profile: ctx.report(), wall, generated_source: Some(src) })
+        let mut report = ExecReport {
+            field,
+            profile: ctx.report(),
+            wall,
+            generated_source: Some(src),
+            trace: None,
+        };
+        drop(root);
+        report.trace = self.snapshot();
+        Ok(report)
     }
 
     /// Execute a hand-written reference kernel for one of the paper's
@@ -284,10 +404,12 @@ impl Engine {
         workload: Workload,
         fields: &FieldSet,
     ) -> Result<ExecReport, EngineError> {
-        let mut ctx = Context::new(self.profile.clone(), self.options.mode);
+        let mut ctx = self.traced_context();
         let real = self.options.mode == ExecMode::Real;
         let n = fields.ncells();
         let kernel = workload.reference_kernel();
+        let exec_span = span!(self.tracer, "execute.reference", ncells = n);
+        exec_span.virt_start(ctx.clock_seconds());
         let t0 = Instant::now();
         let mut bufs = Vec::new();
         for name in workload.reference_input_names() {
@@ -305,7 +427,11 @@ impl Engine {
         ctx.launch(kernel.as_ref(), &bufs, out, n)?;
         let field = if real {
             let data = ctx.enqueue_read(out)?;
-            Some(Field { width: Width::Scalar, ncells: n, data })
+            Some(Field {
+                width: Width::Scalar,
+                ncells: n,
+                data,
+            })
         } else {
             ctx.enqueue_read_virtual(out)?;
             None
@@ -315,6 +441,14 @@ impl Engine {
         }
         ctx.release(out)?;
         let wall = t0.elapsed();
-        Ok(ExecReport { field, profile: ctx.report(), wall, generated_source: None })
+        exec_span.virt_end(ctx.clock_seconds());
+        drop(exec_span);
+        Ok(ExecReport {
+            field,
+            profile: ctx.report(),
+            wall,
+            generated_source: None,
+            trace: self.snapshot(),
+        })
     }
 }

@@ -58,7 +58,11 @@ impl std::fmt::Display for EngineError {
             EngineError::NoSuchOutput { name } => {
                 write!(f, "program assigns no field named `{name}`")
             }
-            EngineError::FieldSize { name, expected, found } => write!(
+            EngineError::FieldSize {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "field `{name}`: expected {expected} lanes, found {found}"
             ),

@@ -27,7 +27,10 @@ pub struct FieldSet {
 impl FieldSet {
     /// An empty field set for meshes of `ncells` cells.
     pub fn new(ncells: usize) -> Self {
-        FieldSet { ncells, fields: HashMap::new() }
+        FieldSet {
+            ncells,
+            fields: HashMap::new(),
+        }
     }
 
     /// Cell count all problem-sized fields must match.
@@ -45,7 +48,10 @@ impl FieldSet {
         }
         self.fields.insert(
             name.to_string(),
-            FieldValue { width: Width::Scalar, data: Some(data) },
+            FieldValue {
+                width: Width::Scalar,
+                data: Some(data),
+            },
         );
         Ok(())
     }
@@ -54,20 +60,33 @@ impl FieldSet {
     pub fn insert_small(&mut self, name: &str, data: Vec<f32>) {
         self.fields.insert(
             name.to_string(),
-            FieldValue { width: Width::Small, data: Some(data) },
+            FieldValue {
+                width: Width::Small,
+                data: Some(data),
+            },
         );
     }
 
     /// Insert a virtual scalar field (model mode: shape only, no data).
     pub fn insert_virtual_scalar(&mut self, name: &str) {
-        self.fields
-            .insert(name.to_string(), FieldValue { width: Width::Scalar, data: None });
+        self.fields.insert(
+            name.to_string(),
+            FieldValue {
+                width: Width::Scalar,
+                data: None,
+            },
+        );
     }
 
     /// Insert a virtual small buffer.
     pub fn insert_virtual_small(&mut self, name: &str) {
-        self.fields
-            .insert(name.to_string(), FieldValue { width: Width::Small, data: None });
+        self.fields.insert(
+            name.to_string(),
+            FieldValue {
+                width: Width::Small,
+                data: None,
+            },
+        );
     }
 
     /// Look up a field.

@@ -31,5 +31,5 @@ pub use dfg_dataflow::Strategy;
 pub use engine::{Engine, EngineOptions, ExecReport};
 pub use error::EngineError;
 pub use fields::{Field, FieldSet, FieldValue};
-pub use planner::{plan, Plan, PlanOption};
+pub use planner::{plan, plan_traced, Plan, PlanOption};
 pub use workloads::Workload;

@@ -11,6 +11,7 @@
 
 use dfg_dataflow::{memreq_units, NetworkSpec, Strategy};
 use dfg_ocl::{DeviceProfile, ExecMode};
+use dfg_trace::{span, Tracer};
 
 use crate::engine::{Engine, EngineOptions};
 use crate::error::EngineError;
@@ -73,6 +74,24 @@ pub fn plan(
     ncells: u64,
     devices: &[DeviceProfile],
 ) -> Result<Plan, EngineError> {
+    plan_traced(spec, ncells, devices, None)
+}
+
+/// [`plan`], recording the ranking as spans: one `plan.rank` span with one
+/// `plan.candidate` child per feasible (device, strategy) pair, each
+/// carrying the predicted runtime and peak memory as metadata.
+pub fn plan_traced(
+    spec: &NetworkSpec,
+    ncells: u64,
+    devices: &[DeviceProfile],
+    tracer: Option<&Tracer>,
+) -> Result<Plan, EngineError> {
+    let _rank = span!(
+        tracer,
+        "plan.rank",
+        ncells = ncells,
+        devices = devices.len()
+    );
     // Virtual fields named after the network's inputs.
     let mut fields = FieldSet::new(ncells as usize);
     for (_, node) in spec.iter() {
@@ -98,10 +117,19 @@ pub fn plan(
             device_has_single_pass = true;
             let mut engine = Engine::with_options(
                 profile.clone(),
-                EngineOptions { mode: ExecMode::Model, ..Default::default() },
+                EngineOptions {
+                    mode: ExecMode::Model,
+                    ..Default::default()
+                },
             );
             let report = engine.derive_spec(spec, &fields, strategy)?;
             debug_assert_eq!(report.high_water_bytes(), required);
+            drop(
+                span!(tracer, "plan.candidate", strategy = strategy.name())
+                    .meta("device", profile.name.as_str())
+                    .meta("peak_bytes", required)
+                    .meta("seconds", report.device_seconds()),
+            );
             feasible.push(PlanOption {
                 device_index,
                 device_name: profile.name.clone(),
@@ -130,9 +158,17 @@ pub fn plan(
                     global_mem_bytes: u64::MAX,
                     ..profile.clone()
                 },
-                EngineOptions { mode: ExecMode::Model, ..Default::default() },
+                EngineOptions {
+                    mode: ExecMode::Model,
+                    ..Default::default()
+                },
             );
             let report = engine.derive_spec(spec, &fields, Strategy::Fusion)?;
+            drop(
+                span!(tracer, "plan.candidate", strategy = "streamed")
+                    .meta("device", profile.name.as_str())
+                    .meta("slabs", slabs),
+            );
             feasible.push(PlanOption {
                 device_index,
                 device_name: profile.name.clone(),
@@ -242,7 +278,10 @@ mod tests {
         let best = plan.best().unwrap().clone();
         let mut engine = Engine::with_options(
             devices()[best.device_index].clone(),
-            EngineOptions { mode: ExecMode::Model, ..Default::default() },
+            EngineOptions {
+                mode: ExecMode::Model,
+                ..Default::default()
+            },
         );
         let fields = crate::FieldSet::virtual_rt([192, 192, 256]);
         let report = engine.derive_spec(&spec, &fields, best.strategy).unwrap();

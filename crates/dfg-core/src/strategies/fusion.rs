@@ -21,9 +21,11 @@ pub fn run_fusion(
     ctx: &mut Context,
     label: &str,
 ) -> Result<(Option<Field>, String), EngineError> {
-    let (fields_out, source) =
-        run_fusion_multi(spec, &[spec.result], fields, ctx, label)?;
-    Ok((fields_out.map(|mut v| v.pop().expect("one root, one field")), source))
+    let (fields_out, source) = run_fusion_multi(spec, &[spec.result], fields, ctx, label)?;
+    Ok((
+        fields_out.map(|mut v| v.pop().expect("one root, one field")),
+        source,
+    ))
 }
 
 /// Multi-output fusion: one generated kernel computes every root, writing
@@ -38,20 +40,28 @@ pub fn run_fusion_multi(
 ) -> Result<(Option<Vec<Field>>, String), EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
-    let program = fuse_roots(spec, roots)?;
+    let tracer = ctx.tracer().cloned();
+    let program = {
+        let _codegen = dfg_trace::span!(tracer, "fusion.codegen", label = label);
+        let program = fuse_roots(spec, roots)?;
+        ctx.record_compile(&format!("fused_{label}"));
+        program
+    };
     let source = program.generated_source(&format!("fused_{label}"));
-    ctx.record_compile(&format!("fused_{label}"));
 
     let mut bufs = Vec::with_capacity(program.inputs.len());
-    for slot in &program.inputs {
-        let fv = check_field(fields, &slot.name, slot.small, ctx.mode())?;
-        let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
-        if real {
-            ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
-        } else {
-            ctx.enqueue_write_virtual(buf)?;
+    {
+        let _upload = dfg_trace::span!(tracer, "fusion.upload", inputs = program.inputs.len());
+        for slot in &program.inputs {
+            let fv = check_field(fields, &slot.name, slot.small, ctx.mode())?;
+            let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+            if real {
+                ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+            } else {
+                ctx.enqueue_write_virtual(buf)?;
+            }
+            bufs.push(buf);
         }
-        bufs.push(buf);
     }
     let lanes_per_elem = program.lanes_per_elem;
     let out = ctx.create_buffer(lanes_per_elem * n)?;
@@ -61,8 +71,12 @@ pub fn run_fusion_multi(
         .map(|o| (o.width, o.lane_offset))
         .collect();
     let kernel = FusedKernel::new(program, label);
-    ctx.launch(&kernel, &bufs, out, n)?;
+    {
+        let _kernel = dfg_trace::span!(tracer, "fusion.kernel", label = label);
+        ctx.launch(&kernel, &bufs, out, n)?;
+    }
 
+    let _download = dfg_trace::span!(tracer, "fusion.download");
     let fields_out = if real {
         let interleaved = ctx.enqueue_read(out)?;
         let mut result = Vec::with_capacity(outputs_meta.len());
@@ -76,7 +90,11 @@ pub fn run_fusion_multi(
                 let base = i * lanes_per_elem + lane_offset;
                 data.extend_from_slice(&interleaved[base..base + w]);
             }
-            result.push(Field { width, ncells: n, data });
+            result.push(Field {
+                width,
+                ncells: n,
+                data,
+            });
         }
         Some(result)
     } else {

@@ -46,16 +46,20 @@ pub(crate) fn check_field<'a>(
     expect_small: bool,
     mode: ExecMode,
 ) -> Result<&'a FieldValue, EngineError> {
-    let fv = fields
-        .get(name)
-        .ok_or_else(|| EngineError::MissingField { name: name.to_string() })?;
+    let fv = fields.get(name).ok_or_else(|| EngineError::MissingField {
+        name: name.to_string(),
+    })?;
     let is_small = fv.width == Width::Small;
     if is_small != expect_small {
         return Err(EngineError::ModeMismatch {
             detail: format!(
                 "field `{name}` width {:?} does not match its use ({})",
                 fv.width,
-                if expect_small { "small" } else { "problem-sized" }
+                if expect_small {
+                    "small"
+                } else {
+                    "problem-sized"
+                }
             ),
         });
     }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use dfg_dataflow::{FilterOp, NetworkSpec, NodeId, Schedule, Width};
 use dfg_kernels::Primitive;
-use dfg_ocl::{Context, ExecMode};
+use dfg_ocl::{Context, DeviceKernel, ExecMode};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
@@ -66,6 +66,7 @@ pub fn run_roundtrip_multi(
 ) -> Result<Option<Vec<Field>>, EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
+    let tracer = ctx.tracer().cloned();
     let mut host: HashMap<NodeId, HostVal> = HashMap::new();
 
     for (step, &id) in sched.order.iter().enumerate() {
@@ -82,7 +83,11 @@ pub fn run_roundtrip_multi(
             FilterOp::Const(v) => {
                 // Materialized as a problem-sized host array; uploaded once
                 // per consuming port below.
-                let val = if real { HostVal::Owned(vec![*v; n]) } else { HostVal::Virtual };
+                let val = if real {
+                    HostVal::Owned(vec![*v; n])
+                } else {
+                    HostVal::Virtual
+                };
                 host.insert(id, val);
             }
             FilterOp::Decompose(comp) => {
@@ -101,41 +106,52 @@ pub fn run_roundtrip_multi(
             }
             op => {
                 let prim = Primitive::from_filter_op(op).expect("compute op");
+                let _step = dfg_trace::span!(tracer, "roundtrip.filter", kernel = prim.name(),);
                 // Upload one device buffer per input port (duplicate ports
                 // transfer twice — Table II's Dev-W counts). Under the D1
                 // ablation, ports sharing a source share one upload.
                 let mut port_bufs = Vec::with_capacity(node.inputs.len());
                 let mut created: Vec<dfg_ocl::BufferId> = Vec::new();
                 let mut uploaded: HashMap<NodeId, dfg_ocl::BufferId> = HashMap::new();
-                for &input in &node.inputs {
-                    if dedup_uploads {
-                        if let Some(&buf) = uploaded.get(&input) {
-                            port_bufs.push(buf);
-                            continue;
+                {
+                    let _upload =
+                        dfg_trace::span!(tracer, "roundtrip.upload", ports = node.inputs.len(),);
+                    for &input in &node.inputs {
+                        if dedup_uploads {
+                            if let Some(&buf) = uploaded.get(&input) {
+                                port_bufs.push(buf);
+                                continue;
+                            }
                         }
+                        let w = host_width(spec, input);
+                        let buf = ctx.create_buffer(lanes_for(w, n))?;
+                        if real {
+                            let data = host
+                                .get(&input)
+                                .and_then(HostVal::as_slice)
+                                .expect("scheduled operand present in real mode");
+                            ctx.enqueue_write(buf, data)?;
+                        } else {
+                            ctx.enqueue_write_virtual(buf)?;
+                        }
+                        uploaded.insert(input, buf);
+                        created.push(buf);
+                        port_bufs.push(buf);
                     }
-                    let w = host_width(spec, input);
-                    let buf = ctx.create_buffer(lanes_for(w, n))?;
-                    if real {
-                        let data = host
-                            .get(&input)
-                            .and_then(HostVal::as_slice)
-                            .expect("scheduled operand present in real mode");
-                        ctx.enqueue_write(buf, data)?;
-                    } else {
-                        ctx.enqueue_write_virtual(buf)?;
-                    }
-                    uploaded.insert(input, buf);
-                    created.push(buf);
-                    port_bufs.push(buf);
                 }
                 let out = ctx.create_buffer(lanes_for(op.width(), n))?;
-                ctx.launch(&prim, &port_bufs, out, n)?;
-                let val = if real {
-                    HostVal::Owned(ctx.enqueue_read(out)?)
-                } else {
-                    ctx.enqueue_read_virtual(out)?;
-                    HostVal::Virtual
+                {
+                    let _kernel = dfg_trace::span!(tracer, "roundtrip.kernel");
+                    ctx.launch(&prim, &port_bufs, out, n)?;
+                }
+                let val = {
+                    let _download = dfg_trace::span!(tracer, "roundtrip.download");
+                    if real {
+                        HostVal::Owned(ctx.enqueue_read(out)?)
+                    } else {
+                        ctx.enqueue_read_virtual(out)?;
+                        HostVal::Virtual
+                    }
                 };
                 host.insert(id, val);
                 // The device is drained after every filter (each created
@@ -162,7 +178,11 @@ pub fn run_roundtrip_multi(
             HostVal::Slice(s) => s.to_vec(),
             HostVal::Virtual => unreachable!("real mode"),
         };
-        out.push(Field { width: spec.width(root), ncells: n, data });
+        out.push(Field {
+            width: spec.width(root),
+            ncells: n,
+            data,
+        });
     }
     Ok(Some(out))
 }

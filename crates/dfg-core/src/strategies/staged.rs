@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use dfg_dataflow::{FilterOp, NetworkSpec, NodeId, Schedule};
 use dfg_kernels::Primitive;
-use dfg_ocl::{BufferId, Context, ExecMode};
+use dfg_ocl::{BufferId, Context, DeviceKernel, ExecMode};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
@@ -40,6 +40,7 @@ pub fn run_staged_multi(
 ) -> Result<Option<Vec<Field>>, EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
+    let tracer = ctx.tracer().cloned();
     let mut dev: HashMap<NodeId, BufferId> = HashMap::new();
 
     for (step, &id) in sched.order.iter().enumerate() {
@@ -58,6 +59,7 @@ pub fn run_staged_multi(
                     let FilterOp::Input { name, small } = &spec.node(input).op else {
                         unreachable!("non-input operand {input} not yet resident");
                     };
+                    let _upload = dfg_trace::span!(tracer, "staged.upload", port = name.as_str());
                     let fv = check_field(fields, name, *small, ctx.mode())?;
                     let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
                     if real {
@@ -69,9 +71,11 @@ pub fn run_staged_multi(
                 }
                 let prim = Primitive::from_filter_op(op).expect("compute op or const");
                 let out = ctx.create_buffer(lanes_for(op.width(), n))?;
-                let inputs: Vec<BufferId> =
-                    node.inputs.iter().map(|i| dev[i]).collect();
-                ctx.launch(&prim, &inputs, out, n)?;
+                let inputs: Vec<BufferId> = node.inputs.iter().map(|i| dev[i]).collect();
+                {
+                    let _kernel = dfg_trace::span!(tracer, "staged.kernel", kernel = prim.name());
+                    ctx.launch(&prim, &inputs, out, n)?;
+                }
                 dev.insert(id, out);
             }
         }
@@ -84,6 +88,7 @@ pub fn run_staged_multi(
     }
 
     let mut out = real.then(Vec::new);
+    let _download = dfg_trace::span!(tracer, "staged.download", roots = roots.len());
     for &root in roots {
         let result_buf = match dev.get(&root) {
             Some(&buf) => buf,
@@ -107,7 +112,11 @@ pub fn run_staged_multi(
         };
         if let Some(fields_out) = out.as_mut() {
             let data = ctx.enqueue_read(result_buf)?;
-            fields_out.push(Field { width: spec.width(root), ncells: n, data });
+            fields_out.push(Field {
+                width: spec.width(root),
+                ncells: n,
+                data,
+            });
         } else {
             ctx.enqueue_read_virtual(result_buf)?;
         }

@@ -34,9 +34,14 @@ pub fn run_streamed_fusion(
 ) -> Result<(Option<Field>, String, usize), EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
-    let program = fuse(spec)?;
+    let tracer = ctx.tracer().cloned();
+    let program = {
+        let _codegen = dfg_trace::span!(tracer, "streamed.codegen", label = label);
+        let program = fuse(spec)?;
+        ctx.record_compile(&format!("fused_{label}_streamed"));
+        program
+    };
     let source = program.generated_source(&format!("fused_{label}_streamed"));
-    ctx.record_compile(&format!("fused_{label}_streamed"));
 
     // Bytes per mesh cell resident on the device: each input slot plus the
     // output, in f32 lanes.
@@ -75,7 +80,14 @@ pub fn run_streamed_fusion(
     } else {
         // Elementwise programs have no stencil: stream flat chunks by
         // treating every cell as its own z-layer.
-        (Dims3 { nx: 1, ny: 1, nz: n }, 0usize)
+        (
+            Dims3 {
+                nx: 1,
+                ny: 1,
+                nz: n,
+            },
+            0usize,
+        )
     };
     let plane = dims3.nx * dims3.ny; // cells per z-layer
 
@@ -115,6 +127,14 @@ pub fn run_streamed_fusion(
         let gz0 = z0.saturating_sub(halo);
         let gz1 = (z1 + halo).min(nz);
         let slab_cells = plane * (gz1 - gz0);
+        let _slab = dfg_trace::span!(
+            tracer,
+            "streamed.slab",
+            slab = slab,
+            z0 = z0,
+            z1 = z1,
+            cells = slab_cells,
+        );
 
         // Upload each input's slab (ghosted along z).
         let mut bufs = Vec::with_capacity(kernel.program.inputs.len());

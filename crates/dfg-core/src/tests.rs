@@ -43,18 +43,21 @@ fn strategies_agree_with_each_other_and_reference() {
     let fields = small_rt_fields([8, 7, 6]);
     let mut engine = cpu_engine();
     for workload in Workload::ALL {
-        let rt = engine.derive(workload.source(), &fields, Strategy::Roundtrip).unwrap();
-        let st = engine.derive(workload.source(), &fields, Strategy::Staged).unwrap();
-        let fu = engine.derive(workload.source(), &fields, Strategy::Fusion).unwrap();
+        let rt = engine
+            .derive(workload.source(), &fields, Strategy::Roundtrip)
+            .unwrap();
+        let st = engine
+            .derive(workload.source(), &fields, Strategy::Staged)
+            .unwrap();
+        let fu = engine
+            .derive(workload.source(), &fields, Strategy::Fusion)
+            .unwrap();
         let rf = engine.run_reference(workload, &fields).unwrap();
         let rt = rt.field.unwrap();
         let st = st.field.unwrap();
         let fu = fu.field.unwrap();
         let rf = rf.field.unwrap();
-        let scale = rt
-            .data
-            .iter()
-            .fold(1e-6f32, |acc, &x| acc.max(x.abs()));
+        let scale = rt.data.iter().fold(1e-6f32, |acc, &x| acc.max(x.abs()));
         for i in 0..rt.ncells {
             let (a, b, c, d) = (rt.data[i], st.data[i], fu.data[i], rf.data[i]);
             assert!(
@@ -109,12 +112,19 @@ fn model_mode_reproduces_real_mode_accounting() {
     let mut real = cpu_engine();
     let mut model = Engine::with_options(
         DeviceProfile::intel_x5660(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     for workload in Workload::ALL {
         for strategy in Strategy::ALL {
-            let r = real.derive(workload.source(), &fields_real, strategy).unwrap();
-            let m = model.derive(workload.source(), &fields_virtual, strategy).unwrap();
+            let r = real
+                .derive(workload.source(), &fields_real, strategy)
+                .unwrap();
+            let m = model
+                .derive(workload.source(), &fields_virtual, strategy)
+                .unwrap();
             assert!(m.field.is_none());
             assert_eq!(r.table2_row(), m.table2_row(), "{workload}/{strategy}");
             assert_eq!(r.high_water_bytes(), m.high_water_bytes());
@@ -150,7 +160,10 @@ fn gpu_oom_failure_mode() {
     // model mode (no host RAM needed).
     let mut engine = Engine::with_options(
         DeviceProfile::nvidia_m2050(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let fields = FieldSet::virtual_rt([192, 192, 2048]);
     let err = engine
@@ -215,13 +228,22 @@ fn vorticity_matches_taylor_green_exact_solution() {
     let mut fields = FieldSet::new(mesh.ncells());
     let (x, y, z) = mesh.coord_arrays();
     fields
-        .insert_scalar("u", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]))
+        .insert_scalar(
+            "u",
+            mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]),
+        )
         .unwrap();
     fields
-        .insert_scalar("v", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[1]))
+        .insert_scalar(
+            "v",
+            mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[1]),
+        )
         .unwrap();
     fields
-        .insert_scalar("w", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[2]))
+        .insert_scalar(
+            "w",
+            mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[2]),
+        )
         .unwrap();
     fields.insert_scalar("x", x).unwrap();
     fields.insert_scalar("y", y).unwrap();
@@ -229,7 +251,11 @@ fn vorticity_matches_taylor_green_exact_solution() {
     fields.insert_small("dims", mesh.dims_buffer());
     let mut engine = cpu_engine();
     let out = engine
-        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Fusion)
+        .derive(
+            Workload::VorticityMagnitude.source(),
+            &fields,
+            Strategy::Fusion,
+        )
         .unwrap()
         .field
         .unwrap();
@@ -254,7 +280,10 @@ fn device_seconds_order_fusion_fastest_roundtrip_slowest() {
     // model mode.
     let mut engine = Engine::with_options(
         DeviceProfile::nvidia_m2050(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let fields = FieldSet::virtual_rt([192, 192, 256]);
     for workload in Workload::ALL {
@@ -270,7 +299,10 @@ fn device_seconds_order_fusion_fastest_roundtrip_slowest() {
             .derive(workload.source(), &fields, Strategy::Fusion)
             .unwrap()
             .device_seconds();
-        let rf = engine.run_reference(workload, &fields).unwrap().device_seconds();
+        let rf = engine
+            .run_reference(workload, &fields)
+            .unwrap()
+            .device_seconds();
         assert!(fu < st, "{workload}: fusion {fu} !< staged {st}");
         assert!(st < rt, "{workload}: staged {st} !< roundtrip {rt}");
         assert!(
@@ -285,11 +317,17 @@ fn gpu_beats_cpu_when_it_fits() {
     let fields = FieldSet::virtual_rt([192, 192, 256]);
     let mut gpu = Engine::with_options(
         DeviceProfile::nvidia_m2050(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let mut cpu = Engine::with_options(
         DeviceProfile::intel_x5660(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     for workload in Workload::ALL {
         for strategy in Strategy::ALL {
@@ -310,8 +348,12 @@ fn derive_spec_reusable_across_runs() {
     let fields = small_rt_fields([4, 4, 4]);
     let spec = compile(Workload::VelocityMagnitude.source()).unwrap();
     let mut engine = cpu_engine();
-    let a = engine.derive_spec(&spec, &fields, Strategy::Staged).unwrap();
-    let b = engine.derive_spec(&spec, &fields, Strategy::Staged).unwrap();
+    let a = engine
+        .derive_spec(&spec, &fields, Strategy::Staged)
+        .unwrap();
+    let b = engine
+        .derive_spec(&spec, &fields, Strategy::Staged)
+        .unwrap();
     assert_eq!(a.table2_row(), b.table2_row());
     assert_eq!(a.field, b.field);
 }
@@ -323,14 +365,25 @@ fn roundtrip_dedup_ablation_reduces_uploads() {
     let mut paper = cpu_engine();
     let mut dedup = Engine::with_options(
         DeviceProfile::intel_x5660(),
-        EngineOptions { roundtrip_dedup_uploads: true, ..Default::default() },
+        EngineOptions {
+            roundtrip_dedup_uploads: true,
+            ..Default::default()
+        },
     );
     // VelMag: u*u style kernels drop from 11 to 8 uploads.
     let p = paper
-        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Roundtrip)
+        .derive(
+            Workload::VelocityMagnitude.source(),
+            &fields,
+            Strategy::Roundtrip,
+        )
         .unwrap();
     let d = dedup
-        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Roundtrip)
+        .derive(
+            Workload::VelocityMagnitude.source(),
+            &fields,
+            Strategy::Roundtrip,
+        )
         .unwrap();
     assert_eq!(p.table2_row().0, 11);
     assert_eq!(d.table2_row().0, 8);
@@ -383,27 +436,32 @@ fn streaming_completes_cases_fusion_cannot() {
     // streams fine. (Model mode needs a concrete dims buffer to slab.)
     let dims = [192usize, 192, 3072];
     let mut fields = FieldSet::virtual_rt(dims);
-    fields.insert_small(
-        "dims",
-        vec![dims[0] as f32, dims[1] as f32, dims[2] as f32],
-    );
+    fields.insert_small("dims", vec![dims[0] as f32, dims[1] as f32, dims[2] as f32]);
     let mut gpu = Engine::with_options(
         DeviceProfile::nvidia_m2050(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let src = Workload::QCriterion.source();
-    assert!(gpu.derive(src, &fields, Strategy::Fusion).unwrap_err().is_out_of_memory());
+    assert!(gpu
+        .derive(src, &fields, Strategy::Fusion)
+        .unwrap_err()
+        .is_out_of_memory());
     let streamed = gpu.derive_streamed(src, &fields, None).unwrap();
     assert!(streamed.high_water_bytes() <= gpu.device().global_mem_bytes);
     // Streaming pays for its flexibility with extra transfers (the halo
     // layers) but stays within ~2x of what unconstrained fusion would cost.
     let mut cpu_like = Engine::with_options(
         DeviceProfile::intel_x5660(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let unconstrained = cpu_like.derive(src, &fields, Strategy::Fusion).unwrap();
-    let gpu_over_cpu =
-        streamed.profile.count(dfg_ocl::EventKind::KernelExec) as f64;
+    let gpu_over_cpu = streamed.profile.count(dfg_ocl::EventKind::KernelExec) as f64;
     assert!(gpu_over_cpu > 1.0, "streaming must use multiple slabs");
     assert!(unconstrained.device_seconds() > 0.0);
 }
@@ -423,7 +481,11 @@ fn streaming_elementwise_chunks_without_dims() {
     let fields = small_rt_fields([6, 6, 6]);
     let mut engine = cpu_engine();
     let fused = engine
-        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Fusion)
+        .derive(
+            Workload::VelocityMagnitude.source(),
+            &fields,
+            Strategy::Fusion,
+        )
         .unwrap()
         .field
         .unwrap();
@@ -448,7 +510,11 @@ fn curl_sugar_equals_fig3b_vorticity() {
     let fields = small_rt_fields([7, 6, 5]);
     let mut engine = cpu_engine();
     let reference = engine
-        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Fusion)
+        .derive(
+            Workload::VorticityMagnitude.source(),
+            &fields,
+            Strategy::Fusion,
+        )
         .unwrap()
         .field
         .unwrap();
@@ -483,13 +549,22 @@ fn divergence_of_solenoidal_taylor_green_is_small() {
     let mut fields = FieldSet::new(mesh.ncells());
     let (x, y, z) = mesh.coord_arrays();
     fields
-        .insert_scalar("u", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]))
+        .insert_scalar(
+            "u",
+            mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]),
+        )
         .unwrap();
     fields
-        .insert_scalar("v", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[1]))
+        .insert_scalar(
+            "v",
+            mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[1]),
+        )
         .unwrap();
     fields
-        .insert_scalar("w", mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[2]))
+        .insert_scalar(
+            "w",
+            mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[2]),
+        )
         .unwrap();
     fields.insert_scalar("x", x).unwrap();
     fields.insert_scalar("y", y).unwrap();
@@ -497,7 +572,11 @@ fn divergence_of_solenoidal_taylor_green_is_small() {
     fields.insert_small("dims", mesh.dims_buffer());
     let mut engine = cpu_engine();
     let out = engine
-        .derive("d = divergence(u, v, w, dims, x, y, z)", &fields, Strategy::Fusion)
+        .derive(
+            "d = divergence(u, v, w, dims, x, y, z)",
+            &fields,
+            Strategy::Fusion,
+        )
         .unwrap()
         .field
         .unwrap();
@@ -580,7 +659,10 @@ fn derive_many_shares_work_across_outputs() {
         for (name, field) in &outputs {
             let single = engine
                 .derive(
-                    &format!("{}\nfinal_alias = {name}\n", Workload::VorticityMagnitude.source()),
+                    &format!(
+                        "{}\nfinal_alias = {name}\n",
+                        Workload::VorticityMagnitude.source()
+                    ),
                     &fields,
                     strategy,
                 )
@@ -671,13 +753,12 @@ fn executors_surface_injected_device_failures_cleanly() {
             let mut ctx = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
             ctx.fail_alloc_in(k);
             let result = match strategy {
-                Strategy::Roundtrip => crate::strategies::run_roundtrip(
-                    &spec, &sched, &fields, &mut ctx, false,
-                )
-                .map(|_| ()),
-                Strategy::Staged => {
-                    crate::strategies::run_staged(&spec, &sched, &fields, &mut ctx)
+                Strategy::Roundtrip => {
+                    crate::strategies::run_roundtrip(&spec, &sched, &fields, &mut ctx, false)
                         .map(|_| ())
+                }
+                Strategy::Staged => {
+                    crate::strategies::run_staged(&spec, &sched, &fields, &mut ctx).map(|_| ())
                 }
                 Strategy::Fusion => {
                     crate::strategies::run_fusion(&spec, &fields, &mut ctx, "t").map(|_| ())
@@ -731,12 +812,20 @@ fn engine_caches_compiled_programs() {
     }
     assert_eq!(engine.compile_count(), 1, "identical source compiles once");
     engine
-        .derive(Workload::VelocityMagnitude.source(), &fields, Strategy::Staged)
+        .derive(
+            Workload::VelocityMagnitude.source(),
+            &fields,
+            Strategy::Staged,
+        )
         .unwrap();
     assert_eq!(engine.compile_count(), 2);
     // Errors are not cached as successes.
-    assert!(engine.derive("r = sqrt(", &fields, Strategy::Fusion).is_err());
-    assert!(engine.derive("r = sqrt(", &fields, Strategy::Fusion).is_err());
+    assert!(engine
+        .derive("r = sqrt(", &fields, Strategy::Fusion)
+        .is_err());
+    assert!(engine
+        .derive("r = sqrt(", &fields, Strategy::Fusion)
+        .is_err());
     assert_eq!(engine.compile_count(), 2);
 }
 
@@ -749,7 +838,10 @@ fn full_cse_ablation_reduces_qcrit_kernels_without_changing_results() {
     let mut limited = cpu_engine();
     let mut full = Engine::with_options(
         DeviceProfile::intel_x5660(),
-        EngineOptions { full_cse: true, ..Default::default() },
+        EngineOptions {
+            full_cse: true,
+            ..Default::default()
+        },
     );
     let src = Workload::QCriterion.source();
     let a = limited.derive(src, &fields, Strategy::Staged).unwrap();
@@ -763,8 +855,18 @@ fn full_cse_ablation_reduces_qcrit_kernels_without_changing_results() {
     );
     // Bit-identical derived field (f32 +/* are commutative).
     assert_eq!(
-        a.field.unwrap().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-        b.field.unwrap().data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        a.field
+            .unwrap()
+            .data
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        b.field
+            .unwrap()
+            .data
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
     );
     // Report the savings where a human will see them on failure.
     println!("Q-crit staged kernels: limited CSE {k_limited}, full CSE {k_full}");

@@ -52,7 +52,10 @@ impl NetworkBuilder {
             return id;
         }
         let id = self.push(FilterNode::new(
-            FilterOp::Input { name: name.to_string(), small },
+            FilterOp::Input {
+                name: name.to_string(),
+                small,
+            },
             vec![],
         ));
         self.inputs.insert(name.to_string(), id);
@@ -110,7 +113,10 @@ impl NetworkBuilder {
         y: NodeId,
         z: NodeId,
     ) -> NodeId {
-        self.push(FilterNode::new(FilterOp::Grad3d, vec![field, dims, x, y, z]))
+        self.push(FilterNode::new(
+            FilterOp::Grad3d,
+            vec![field, dims, x, y, z],
+        ))
     }
 
     /// Attach a user-facing name (assignment statement) to a node.
@@ -130,7 +136,10 @@ impl NetworkBuilder {
 
     /// Finish the network, designating `result` as the sink.
     pub fn finish(self, result: NodeId) -> NetworkSpec {
-        NetworkSpec { nodes: self.nodes, result }
+        NetworkSpec {
+            nodes: self.nodes,
+            result,
+        }
     }
 }
 

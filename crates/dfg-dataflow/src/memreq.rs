@@ -50,9 +50,7 @@ impl MemReport {
 /// host-side operation or a source resolved without a kernel).
 pub(crate) fn is_device_kernel(op: &FilterOp, strategy: Strategy) -> bool {
     match strategy {
-        Strategy::Roundtrip => {
-            !op.is_source() && !matches!(op, FilterOp::Decompose(_))
-        }
+        Strategy::Roundtrip => !op.is_source() && !matches!(op, FilterOp::Decompose(_)),
         Strategy::Staged => {
             // decompose is a device kernel; constants are materialized by a
             // device fill kernel; inputs are plain uploads.
@@ -113,7 +111,10 @@ fn roundtrip_units(spec: &NetworkSpec, sched: &Schedule) -> MemReport {
         peak = peak.max(units);
         peak_small = peak_small.max(small);
     }
-    MemReport { units: peak, small_bytes: peak_small }
+    MemReport {
+        units: peak,
+        small_bytes: peak_small,
+    }
 }
 
 /// Live-set tracker used by the staged simulation. The peak is taken over
@@ -176,14 +177,20 @@ fn staged_units(spec: &NetworkSpec, sched: &Schedule) -> MemReport {
             live.free(dead);
         }
     }
-    MemReport { units: live.peak_units, small_bytes: live.small_at_peak }
+    MemReport {
+        units: live.peak_units,
+        small_bytes: live.small_at_peak,
+    }
 }
 
 fn fusion_units(spec: &NetworkSpec, sched: &Schedule) -> MemReport {
     let mut units = spec.width(spec.result).units(); // output buffer
     let mut small = 0u64;
     for &id in &sched.order {
-        if let FilterOp::Input { small: is_small, .. } = &spec.node(id).op {
+        if let FilterOp::Input {
+            small: is_small, ..
+        } = &spec.node(id).op
+        {
             if *is_small {
                 small += 12;
             } else {
@@ -191,7 +198,10 @@ fn fusion_units(spec: &NetworkSpec, sched: &Schedule) -> MemReport {
             }
         }
     }
-    MemReport { units, small_bytes: small }
+    MemReport {
+        units,
+        small_bytes: small,
+    }
 }
 
 #[cfg(test)]

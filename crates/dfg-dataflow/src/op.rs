@@ -138,8 +138,8 @@ impl FilterOp {
         Arity(match self {
             Input { .. } | Const(_) => 0,
             Neg | Sqrt | Abs | Sin | Cos | Tan | Exp | Log | Not | Decompose(_) | Norm3 => 1,
-            Add | Sub | Mul | Div | Min2 | Max2 | Lt | Gt | Le | Ge | EqOp | Ne | Pow
-            | Atan2 | And | Or | Dot3 | Cross3 => 2,
+            Add | Sub | Mul | Div | Min2 | Max2 | Lt | Gt | Le | Ge | EqOp | Ne | Pow | Atan2
+            | And | Or | Dot3 | Cross3 => 2,
             Select | Compose3 => 3,
             Grad3d => 5,
         })
@@ -241,7 +241,11 @@ mod tests {
         assert_eq!(FilterOp::Grad3d.arity(), Arity(5));
         assert_eq!(FilterOp::Const(1.0).arity(), Arity(0));
         assert_eq!(
-            FilterOp::Input { name: "u".into(), small: false }.arity(),
+            FilterOp::Input {
+                name: "u".into(),
+                small: false
+            }
+            .arity(),
             Arity(0)
         );
     }
@@ -252,7 +256,11 @@ mod tests {
         assert_eq!(FilterOp::Cross3.width(), Width::Vec4);
         assert_eq!(FilterOp::Add.width(), Width::Scalar);
         assert_eq!(
-            FilterOp::Input { name: "dims".into(), small: true }.width(),
+            FilterOp::Input {
+                name: "dims".into(),
+                small: true
+            }
+            .width(),
             Width::Small
         );
         assert_eq!(Width::Vec4.units(), 4);
@@ -263,7 +271,11 @@ mod tests {
     #[test]
     fn sources_are_sources() {
         assert!(FilterOp::Const(0.5).is_source());
-        assert!(FilterOp::Input { name: "u".into(), small: false }.is_source());
+        assert!(FilterOp::Input {
+            name: "u".into(),
+            small: false
+        }
+        .is_source());
         assert!(!FilterOp::Decompose(1).is_source());
         assert!(!FilterOp::Grad3d.is_source());
     }

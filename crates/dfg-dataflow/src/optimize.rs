@@ -75,8 +75,7 @@ pub fn full_cse(spec: &NetworkSpec) -> (NetworkSpec, CseStats) {
         let node = spec.node(old_id);
         // Rewrite inputs through the remap (schedule order guarantees
         // producers come first).
-        let mut inputs: Vec<NodeId> =
-            node.inputs.iter().map(|i| remap[i]).collect();
+        let mut inputs: Vec<NodeId> = node.inputs.iter().map(|i| remap[i]).collect();
         let mut key_inputs = inputs.clone();
         if is_commutative(&node.op) {
             key_inputs.sort();

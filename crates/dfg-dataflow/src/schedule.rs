@@ -86,11 +86,8 @@ impl Schedule {
         // Kahn's algorithm restricted to reachable nodes, preferring the
         // original node order (stable for parser-produced networks, whose
         // statement order the paper preserves).
-        let mut remaining_inputs: Vec<usize> = spec
-            .nodes
-            .iter()
-            .map(|node| node.inputs.len())
-            .collect();
+        let mut remaining_inputs: Vec<usize> =
+            spec.nodes.iter().map(|node| node.inputs.len()).collect();
         let mut order = Vec::with_capacity(n);
         let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
             std::collections::BinaryHeap::new();
@@ -152,7 +149,11 @@ impl Schedule {
             frees.dedup();
         }
 
-        Ok(Schedule { order, free_after, consumers })
+        Ok(Schedule {
+            order,
+            free_after,
+            consumers,
+        })
     }
 
     /// Number of scheduled (reachable) nodes.
@@ -190,8 +191,12 @@ mod tests {
     fn order_respects_edges() {
         let spec = velmag_spec();
         let sched = Schedule::new(&spec).unwrap();
-        let pos: HashMap<NodeId, usize> =
-            sched.order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = sched
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
         for &id in &sched.order {
             for &input in &spec.node(id).inputs {
                 assert!(pos[&input] < pos[&id], "{input} must precede {id}");
@@ -243,7 +248,10 @@ mod tests {
             nodes: vec![crate::FilterNode::new(FilterOp::Add, vec![])],
             result: NodeId(0),
         };
-        assert!(matches!(Schedule::new(&spec), Err(ScheduleError::Invalid(_))));
+        assert!(matches!(
+            Schedule::new(&spec),
+            Err(ScheduleError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -256,8 +264,12 @@ mod tests {
         let f3 = b.binary(FilterOp::Add, f1, f2);
         let spec = b.finish(f3);
         let sched = Schedule::new(&spec).unwrap();
-        let pos: HashMap<NodeId, usize> =
-            sched.order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = sched
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
         let free_step = sched
             .free_after
             .iter()

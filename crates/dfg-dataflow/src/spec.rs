@@ -35,7 +35,11 @@ pub struct FilterNode {
 impl FilterNode {
     /// Construct an unnamed node.
     pub fn new(op: FilterOp, inputs: Vec<NodeId>) -> Self {
-        FilterNode { op, inputs, name: None }
+        FilterNode {
+            op,
+            inputs,
+            name: None,
+        }
     }
 }
 
@@ -90,14 +94,23 @@ impl std::fmt::Display for NetworkError {
             NetworkError::DanglingInput { node, input } => {
                 write!(f, "node {node} references nonexistent input {input}")
             }
-            NetworkError::ArityMismatch { node, expected, found } => {
+            NetworkError::ArityMismatch {
+                node,
+                expected,
+                found,
+            } => {
                 write!(f, "node {node}: expected {expected} inputs, found {found}")
             }
             NetworkError::Cycle { node } => write!(f, "cycle through node {node}"),
             NetworkError::BadResult { result } => {
                 write!(f, "result id {result} does not exist")
             }
-            NetworkError::WidthMismatch { node, port, expected, found } => write!(
+            NetworkError::WidthMismatch {
+                node,
+                port,
+                expected,
+                found,
+            } => write!(
                 f,
                 "node {node} port {port}: expected {expected:?} input, found {found:?}"
             ),
@@ -142,7 +155,10 @@ impl NetworkSpec {
 
     /// Iterate over `(NodeId, &FilterNode)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &FilterNode)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Names of the distinct problem-sized `Input` sources, in first-use
@@ -163,7 +179,9 @@ impl NetworkSpec {
             return Err(NetworkError::Empty);
         }
         if self.result.idx() >= self.nodes.len() {
-            return Err(NetworkError::BadResult { result: self.result });
+            return Err(NetworkError::BadResult {
+                result: self.result,
+            });
         }
         for (id, node) in self.iter() {
             let expected = node.op.arity().0;
@@ -206,7 +224,9 @@ impl NetworkSpec {
                             stack.push((child, 0));
                         }
                         Color::Gray => {
-                            return Err(NetworkError::Cycle { node: NodeId(child as u32) })
+                            return Err(NetworkError::Cycle {
+                                node: NodeId(child as u32),
+                            })
                         }
                         Color::Black => {}
                     }
@@ -229,7 +249,12 @@ impl NetworkSpec {
             }
             let found = self.width(input);
             if found != expected {
-                return Err(NetworkError::WidthMismatch { node: id, port, expected, found });
+                return Err(NetworkError::WidthMismatch {
+                    node: id,
+                    port,
+                    expected,
+                    found,
+                });
             }
             Ok(())
         };
@@ -246,8 +271,8 @@ impl NetworkSpec {
                 expect(3, Width::Scalar)?;
                 expect(4, Width::Scalar)
             }
-            Add | Sub | Mul | Div | Min2 | Max2 | Lt | Gt | Le | Ge | EqOp | Ne | Pow
-            | Atan2 | And | Or => {
+            Add | Sub | Mul | Div | Min2 | Max2 | Lt | Gt | Le | Ge | EqOp | Ne | Pow | Atan2
+            | And | Or => {
                 expect(0, Width::Scalar)?;
                 expect(1, Width::Scalar)
             }
@@ -256,9 +281,7 @@ impl NetworkSpec {
                 expect(1, Width::Scalar)?;
                 expect(2, Width::Scalar)
             }
-            Neg | Sqrt | Abs | Sin | Cos | Tan | Exp | Log | Not => {
-                expect(0, Width::Scalar)
-            }
+            Neg | Sqrt | Abs | Sin | Cos | Tan | Exp | Log | Not => expect(0, Width::Scalar),
             Input { .. } | Const(_) => Ok(()),
         }
     }
@@ -294,7 +317,11 @@ mod tests {
         };
         assert!(matches!(
             spec.validate(),
-            Err(NetworkError::ArityMismatch { expected: 2, found: 0, .. })
+            Err(NetworkError::ArityMismatch {
+                expected: 2,
+                found: 0,
+                ..
+            })
         ));
     }
 
@@ -304,7 +331,10 @@ mod tests {
             nodes: vec![FilterNode::new(FilterOp::Sqrt, vec![NodeId(7)])],
             result: NodeId(0),
         };
-        assert!(matches!(spec.validate(), Err(NetworkError::DanglingInput { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(NetworkError::DanglingInput { .. })
+        ));
     }
 
     #[test]
@@ -323,17 +353,26 @@ mod tests {
     fn validate_rejects_bad_result() {
         let spec = NetworkSpec {
             nodes: vec![FilterNode::new(
-                FilterOp::Input { name: "u".into(), small: false },
+                FilterOp::Input {
+                    name: "u".into(),
+                    small: false,
+                },
                 vec![],
             )],
             result: NodeId(3),
         };
-        assert!(matches!(spec.validate(), Err(NetworkError::BadResult { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(NetworkError::BadResult { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_empty() {
-        let spec = NetworkSpec { nodes: vec![], result: NodeId(0) };
+        let spec = NetworkSpec {
+            nodes: vec![],
+            result: NodeId(0),
+        };
         assert_eq!(spec.validate(), Err(NetworkError::Empty));
     }
 
@@ -349,7 +388,10 @@ mod tests {
         let g = b.grad3d(u, dims, x, y, z);
         let bad = b.unary(FilterOp::Sqrt, g);
         let spec = b.finish(bad);
-        assert!(matches!(spec.validate(), Err(NetworkError::WidthMismatch { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(NetworkError::WidthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -358,6 +400,9 @@ mod tests {
         let u = b.input("u");
         let d = b.unary(FilterOp::Decompose(0), u);
         let spec = b.finish(d);
-        assert!(matches!(spec.validate(), Err(NetworkError::WidthMismatch { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(NetworkError::WidthMismatch { .. })
+        ));
     }
 }

@@ -12,7 +12,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -36,11 +41,20 @@ impl<'a> Lexer<'a> {
     }
 
     fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
-        Span { start, end: self.pos, line, col }
+        Span {
+            start,
+            end: self.pos,
+            line,
+            col,
+        }
     }
 
     fn error(&self, msg: String) -> ParseError {
-        ParseError { msg, line: self.line, col: self.col }
+        ParseError {
+            msg,
+            line: self.line,
+            col: self.col,
+        }
     }
 }
 
@@ -171,7 +185,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
                 return Err(lx.error(format!("unexpected character `{}`", other as char)));
             }
         };
-        out.push(Token { kind, span: lx.span_from(start, line, col) });
+        out.push(Token {
+            kind,
+            span: lx.span_from(start, line, col),
+        });
     }
 }
 
@@ -243,18 +260,21 @@ mod tests {
     #[test]
     fn lexes_comparisons() {
         use TokenKind::*;
-        assert_eq!(kinds("a <= b != c == d >= e"), vec![
-            Ident("a".into()),
-            Le,
-            Ident("b".into()),
-            NotEq,
-            Ident("c".into()),
-            EqEq,
-            Ident("d".into()),
-            Ge,
-            Ident("e".into()),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("a <= b != c == d >= e"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                NotEq,
+                Ident("c".into()),
+                EqEq,
+                Ident("d".into()),
+                Ge,
+                Ident("e".into()),
+                Eof
+            ]
+        );
     }
 
     #[test]
@@ -324,7 +344,10 @@ mod tests {
     #[test]
     fn spans_track_lines_and_columns() {
         let toks = lex("a = b\nc2 = d").unwrap();
-        let c2 = toks.iter().find(|t| t.kind == TokenKind::Ident("c2".into())).unwrap();
+        let c2 = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("c2".into()))
+            .unwrap();
         assert_eq!(c2.span.line, 2);
         assert_eq!(c2.span.col, 1);
         assert_eq!(c2.span.end - c2.span.start, 2);

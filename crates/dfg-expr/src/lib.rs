@@ -104,12 +104,18 @@ mod tests {
 
     #[test]
     fn compile_reports_parse_errors() {
-        assert!(matches!(compile("v_mag = sqrt(u"), Err(FrontendError::Parse(_))));
+        assert!(matches!(
+            compile("v_mag = sqrt(u"),
+            Err(FrontendError::Parse(_))
+        ));
     }
 
     #[test]
     fn compile_reports_lowering_errors() {
         // grad3d arity error surfaces as a lowering error.
-        assert!(matches!(compile("g = grad3d(u)"), Err(FrontendError::Lower(_))));
+        assert!(matches!(
+            compile("g = grad3d(u)"),
+            Err(FrontendError::Lower(_))
+        ));
     }
 }

@@ -50,10 +50,11 @@ impl std::fmt::Display for LowerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LowerError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
-            LowerError::WrongArity { name, expected, found } => write!(
-                f,
-                "`{name}` takes {expected} argument(s), found {found}"
-            ),
+            LowerError::WrongArity {
+                name,
+                expected,
+                found,
+            } => write!(f, "`{name}` takes {expected} argument(s), found {found}"),
             LowerError::GradDimsNotIdent => {
                 write!(f, "the second argument of `grad3d` must be an identifier")
             }
@@ -283,7 +284,9 @@ impl Lowerer {
                 let s = self.builder.binary(FilterOp::Add, du0, dv1);
                 Ok(self.builder.binary(FilterOp::Add, s, dw2))
             }
-            _ => Err(LowerError::UnknownFunction { name: name.to_string() }),
+            _ => Err(LowerError::UnknownFunction {
+                name: name.to_string(),
+            }),
         }
     }
 }
@@ -291,7 +294,10 @@ impl Lowerer {
 /// Lower a parsed program to a validated network specification. The last
 /// statement's value is the network result.
 pub fn lower(program: &Program) -> Result<NetworkSpec, LowerError> {
-    let mut lw = Lowerer { builder: NetworkBuilder::new(), env: HashMap::new() };
+    let mut lw = Lowerer {
+        builder: NetworkBuilder::new(),
+        env: HashMap::new(),
+    };
     let mut result = None;
     for stmt in &program.stmts {
         result = Some(lw.lower_stmt(stmt)?);
@@ -323,7 +329,10 @@ mod tests {
         let spec = compile(VELOCITY_MAGNITUDE);
         // 3 mults + 2 adds + 1 sqrt = 6 filters, 3 inputs, no constants.
         assert_eq!(count_kind(&spec, |op| !op.is_source()), 6);
-        assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Input { .. })), 3);
+        assert_eq!(
+            count_kind(&spec, |op| matches!(op, FilterOp::Input { .. })),
+            3
+        );
         assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Const(_))), 0);
         assert_eq!(spec.node(spec.result).name.as_deref(), Some("v_mag"));
     }
@@ -341,7 +350,10 @@ mod tests {
         // 3 subs + 3 mults + 2 adds + 1 sqrt = 9.
         assert_eq!(other, 9);
         // Inputs: u,v,w,x,y,z + small dims.
-        assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Input { .. })), 7);
+        assert_eq!(
+            count_kind(&spec, |op| matches!(op, FilterOp::Input { .. })),
+            7
+        );
     }
 
     #[test]
@@ -403,7 +415,11 @@ mod tests {
         let p = parse("a = sqrt(u, v)").unwrap();
         assert!(matches!(
             lower(&p),
-            Err(LowerError::WrongArity { expected: 1, found: 2, .. })
+            Err(LowerError::WrongArity {
+                expected: 1,
+                found: 2,
+                ..
+            })
         ));
         let p = parse("a = grad3d(u)").unwrap();
         assert!(matches!(lower(&p), Err(LowerError::WrongArity { .. })));
@@ -444,7 +460,10 @@ mod tests {
         // norm(curl(...)) must build the same filter census as Figure 3B.
         let spec = compile("w_mag = norm(curl(u, v, w, dims, x, y, z))");
         assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Grad3d)), 3);
-        assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Decompose(_))), 6);
+        assert_eq!(
+            count_kind(&spec, |op| matches!(op, FilterOp::Decompose(_))),
+            6
+        );
         assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Sub)), 3);
         assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Compose3)), 1);
     }
@@ -453,14 +472,20 @@ mod tests {
     fn divergence_sugar_expands() {
         let spec = compile("d = divergence(u, v, w, dims, x, y, z)");
         assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Grad3d)), 3);
-        assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Decompose(_))), 3);
+        assert_eq!(
+            count_kind(&spec, |op| matches!(op, FilterOp::Decompose(_))),
+            3
+        );
         assert_eq!(count_kind(&spec, |op| matches!(op, FilterOp::Add)), 2);
     }
 
     #[test]
     fn curl_checks_arity_and_dims() {
         let p = parse("r = curl(u, v, w)").unwrap();
-        assert!(matches!(lower(&p), Err(LowerError::WrongArity { expected: 7, .. })));
+        assert!(matches!(
+            lower(&p),
+            Err(LowerError::WrongArity { expected: 7, .. })
+        ));
         let p = parse("r = curl(u, v, w, 3, x, y, z)").unwrap();
         assert!(matches!(lower(&p), Err(LowerError::GradDimsNotIdent)));
     }

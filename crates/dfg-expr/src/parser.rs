@@ -71,7 +71,11 @@ impl Parser {
 
     fn error_here(&self, msg: String) -> ParseError {
         let span = self.peek().span;
-        ParseError { msg, line: span.line, col: span.col }
+        ParseError {
+            msg,
+            line: span.line,
+            col: span.col,
+        }
     }
 
     /// Skip newline tokens (used where a line break cannot end a statement:
@@ -137,7 +141,10 @@ impl Parser {
 
     fn parse_statement(&mut self) -> Result<Stmt, ParseError> {
         let name = match self.bump() {
-            Token { kind: TokenKind::Ident(s), .. } => s,
+            Token {
+                kind: TokenKind::Ident(s),
+                ..
+            } => s,
             t => {
                 return Err(ParseError {
                     msg: format!("expected statement name, found {}", t.kind.describe()),
@@ -168,7 +175,11 @@ impl Parser {
         let then = self.parse_parenthesized()?;
         self.expect_keyword("else")?;
         let els = self.parse_parenthesized()?;
-        Ok(Expr::If { cond: Box::new(cond), then: Box::new(then), els: Box::new(els) })
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then: Box::new(then),
+            els: Box::new(els),
+        })
     }
 
     fn parse_parenthesized(&mut self) -> Result<Expr, ParseError> {
@@ -268,12 +279,13 @@ impl Parser {
             self.depth += 1;
             self.skip_newlines();
             let idx = match self.bump() {
-                Token { kind: TokenKind::Number(n), span } => {
+                Token {
+                    kind: TokenKind::Number(n),
+                    span,
+                } => {
                     if n.fract() != 0.0 || !(0.0..=3.0).contains(&n) {
                         return Err(ParseError {
-                            msg: format!(
-                                "component index must be an integer in 0..=3, found {n}"
-                            ),
+                            msg: format!("component index must be an integer in 0..=3, found {n}"),
                             line: span.line,
                             col: span.col,
                         });
@@ -282,10 +294,7 @@ impl Parser {
                 }
                 t => {
                     return Err(ParseError {
-                        msg: format!(
-                            "expected component index, found {}",
-                            t.kind.describe()
-                        ),
+                        msg: format!("expected component index, found {}", t.kind.describe()),
                         line: t.span.line,
                         col: t.span.col,
                     })
@@ -307,8 +316,14 @@ impl Parser {
             }
         }
         match self.bump() {
-            Token { kind: TokenKind::Number(n), .. } => Ok(Expr::Num(n)),
-            Token { kind: TokenKind::LParen, .. } => {
+            Token {
+                kind: TokenKind::Number(n),
+                ..
+            } => Ok(Expr::Num(n)),
+            Token {
+                kind: TokenKind::LParen,
+                ..
+            } => {
                 self.depth += 1;
                 self.skip_newlines();
                 let e = self.parse_expr()?;
@@ -317,7 +332,10 @@ impl Parser {
                 self.depth -= 1;
                 Ok(e)
             }
-            Token { kind: TokenKind::Ident(name), span } => {
+            Token {
+                kind: TokenKind::Ident(name),
+                span,
+            } => {
                 if matches!(name.as_str(), "if" | "then" | "else") {
                     return Err(ParseError {
                         msg: format!("`{name}` is a reserved keyword"),
@@ -362,7 +380,11 @@ impl Parser {
 /// Parse a full program.
 pub fn parse(source: &str) -> Result<Program, ParseError> {
     let toks = lex(source)?;
-    let mut p = Parser { toks, pos: 0, depth: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     p.parse_program()
 }
 
@@ -516,7 +538,10 @@ mod diagnostic_tests {
         let src = "a = b\nc = *";
         let err = parse(src).unwrap_err();
         let rendered = err.render(src);
-        assert!(rendered.starts_with("error: expected expression"), "{rendered}");
+        assert!(
+            rendered.starts_with("error: expected expression"),
+            "{rendered}"
+        );
         assert!(rendered.contains("2 | c = *"), "{rendered}");
         // Caret under the `*` (column 5).
         assert!(rendered.contains("|     ^"), "{rendered}");
@@ -524,7 +549,11 @@ mod diagnostic_tests {
 
     #[test]
     fn render_survives_out_of_range_positions() {
-        let err = ParseError { msg: "synthetic".into(), line: 99, col: 99 };
+        let err = ParseError {
+            msg: "synthetic".into(),
+            line: 99,
+            col: 99,
+        };
         let rendered = err.render("one line only");
         assert!(rendered.contains("synthetic"));
         assert!(rendered.contains("99 | "));

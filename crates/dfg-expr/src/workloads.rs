@@ -66,7 +66,12 @@ mod tests {
 
     #[test]
     fn all_workloads_lower() {
-        for src in [VELOCITY_MAGNITUDE, VORTICITY_MAGNITUDE, Q_CRITERION, INTRO_CONDITIONAL] {
+        for src in [
+            VELOCITY_MAGNITUDE,
+            VORTICITY_MAGNITUDE,
+            Q_CRITERION,
+            INTRO_CONDITIONAL,
+        ] {
             crate::compile(src).expect("workload must compile");
         }
     }

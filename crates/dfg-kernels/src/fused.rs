@@ -95,7 +95,12 @@ enum RegOp {
     /// Materialize a constant (source-level insertion).
     Const { value: f32, reg: Reg },
     /// Binary scalar op.
-    Bin { op: BinKind, a: Reg, b: Reg, out: Reg },
+    Bin {
+        op: BinKind,
+        a: Reg,
+        b: Reg,
+        out: Reg,
+    },
     /// Unary scalar op.
     Un { op: UnKind, a: Reg, out: Reg },
     /// Conditional select.
@@ -105,7 +110,14 @@ enum RegOp {
     /// Vector component extract (source-level `.sN`).
     Decompose { a: Reg, comp: u8, out: Reg },
     /// Gradient with direct global-memory access.
-    Grad3d { field: u16, dims: u16, x: u16, y: u16, z: u16, out: Reg },
+    Grad3d {
+        field: u16,
+        dims: u16,
+        x: u16,
+        y: u16,
+        z: u16,
+        out: Reg,
+    },
     /// Norm of a vector register.
     Norm3 { a: Reg, out: Reg },
     /// Dot product of vector registers.
@@ -185,7 +197,10 @@ impl<'a> Fuser<'a> {
             unreachable!("slot_for on non-input")
         };
         let s = self.input_list.len() as u16;
-        self.input_list.push(InputSlot { name: name.clone(), small: *small });
+        self.input_list.push(InputSlot {
+            name: name.clone(),
+            small: *small,
+        });
         self.slots.insert(id, s);
         s
     }
@@ -195,7 +210,9 @@ impl<'a> Fuser<'a> {
             return Ok(r);
         }
         if self.next_sreg >= MAX_REGS {
-            return Err(FuseError::RegisterPressure { needed: self.next_sreg + 1 });
+            return Err(FuseError::RegisterPressure {
+                needed: self.next_sreg + 1,
+            });
         }
         let r = self.next_sreg as Reg;
         self.next_sreg += 1;
@@ -208,7 +225,9 @@ impl<'a> Fuser<'a> {
             return Ok(r);
         }
         if self.next_vreg >= MAX_REGS {
-            return Err(FuseError::RegisterPressure { needed: self.next_vreg + 1 });
+            return Err(FuseError::RegisterPressure {
+                needed: self.next_vreg + 1,
+            });
         }
         let r = self.next_vreg as Reg;
         self.next_vreg += 1;
@@ -339,7 +358,14 @@ pub fn fuse_roots(spec: &NetworkSpec, roots: &[NodeId]) -> Result<FusedProgram, 
                 let y = fz.slot_for(node.inputs[3]);
                 let z = fz.slot_for(node.inputs[4]);
                 let out = fz.alloc_vreg()?;
-                fz.ops.push(RegOp::Grad3d { field, dims, x, y, z, out });
+                fz.ops.push(RegOp::Grad3d {
+                    field,
+                    dims,
+                    x,
+                    y,
+                    z,
+                    out,
+                });
                 fz.reg_of.insert(id, out);
                 read_lanes += 12;
             }
@@ -351,37 +377,178 @@ pub fn fuse_roots(spec: &NetworkSpec, roots: &[NodeId]) -> Result<FusedProgram, 
                     .collect::<Result<_, _>>()?;
                 let out = fz.alloc_for(node.op.width())?;
                 let regop = match op {
-                    FilterOp::Add => RegOp::Bin { op: BinKind::Add, a: operands[0], b: operands[1], out },
-                    FilterOp::Sub => RegOp::Bin { op: BinKind::Sub, a: operands[0], b: operands[1], out },
-                    FilterOp::Mul => RegOp::Bin { op: BinKind::Mul, a: operands[0], b: operands[1], out },
-                    FilterOp::Div => RegOp::Bin { op: BinKind::Div, a: operands[0], b: operands[1], out },
-                    FilterOp::Min2 => RegOp::Bin { op: BinKind::Min, a: operands[0], b: operands[1], out },
-                    FilterOp::Max2 => RegOp::Bin { op: BinKind::Max, a: operands[0], b: operands[1], out },
-                    FilterOp::Lt => RegOp::Bin { op: BinKind::Lt, a: operands[0], b: operands[1], out },
-                    FilterOp::Gt => RegOp::Bin { op: BinKind::Gt, a: operands[0], b: operands[1], out },
-                    FilterOp::Le => RegOp::Bin { op: BinKind::Le, a: operands[0], b: operands[1], out },
-                    FilterOp::Ge => RegOp::Bin { op: BinKind::Ge, a: operands[0], b: operands[1], out },
-                    FilterOp::EqOp => RegOp::Bin { op: BinKind::Eq, a: operands[0], b: operands[1], out },
-                    FilterOp::Ne => RegOp::Bin { op: BinKind::Ne, a: operands[0], b: operands[1], out },
-                    FilterOp::Pow => RegOp::Bin { op: BinKind::Pow, a: operands[0], b: operands[1], out },
-                    FilterOp::Atan2 => RegOp::Bin { op: BinKind::Atan2, a: operands[0], b: operands[1], out },
-                    FilterOp::And => RegOp::Bin { op: BinKind::And, a: operands[0], b: operands[1], out },
-                    FilterOp::Or => RegOp::Bin { op: BinKind::Or, a: operands[0], b: operands[1], out },
-                    FilterOp::Neg => RegOp::Un { op: UnKind::Neg, a: operands[0], out },
-                    FilterOp::Sqrt => RegOp::Un { op: UnKind::Sqrt, a: operands[0], out },
-                    FilterOp::Abs => RegOp::Un { op: UnKind::Abs, a: operands[0], out },
-                    FilterOp::Sin => RegOp::Un { op: UnKind::Sin, a: operands[0], out },
-                    FilterOp::Cos => RegOp::Un { op: UnKind::Cos, a: operands[0], out },
-                    FilterOp::Tan => RegOp::Un { op: UnKind::Tan, a: operands[0], out },
-                    FilterOp::Exp => RegOp::Un { op: UnKind::Exp, a: operands[0], out },
-                    FilterOp::Log => RegOp::Un { op: UnKind::Log, a: operands[0], out },
-                    FilterOp::Not => RegOp::Un { op: UnKind::Not, a: operands[0], out },
-                    FilterOp::Select => RegOp::Select { c: operands[0], a: operands[1], b: operands[2], out },
-                    FilterOp::Compose3 => RegOp::Compose3 { a: operands[0], b: operands[1], c: operands[2], out },
-                    FilterOp::Decompose(c) => RegOp::Decompose { a: operands[0], comp: *c, out },
-                    FilterOp::Norm3 => RegOp::Norm3 { a: operands[0], out },
-                    FilterOp::Dot3 => RegOp::Dot3 { a: operands[0], b: operands[1], out },
-                    FilterOp::Cross3 => RegOp::Cross3 { a: operands[0], b: operands[1], out },
+                    FilterOp::Add => RegOp::Bin {
+                        op: BinKind::Add,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Sub => RegOp::Bin {
+                        op: BinKind::Sub,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Mul => RegOp::Bin {
+                        op: BinKind::Mul,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Div => RegOp::Bin {
+                        op: BinKind::Div,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Min2 => RegOp::Bin {
+                        op: BinKind::Min,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Max2 => RegOp::Bin {
+                        op: BinKind::Max,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Lt => RegOp::Bin {
+                        op: BinKind::Lt,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Gt => RegOp::Bin {
+                        op: BinKind::Gt,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Le => RegOp::Bin {
+                        op: BinKind::Le,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Ge => RegOp::Bin {
+                        op: BinKind::Ge,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::EqOp => RegOp::Bin {
+                        op: BinKind::Eq,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Ne => RegOp::Bin {
+                        op: BinKind::Ne,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Pow => RegOp::Bin {
+                        op: BinKind::Pow,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Atan2 => RegOp::Bin {
+                        op: BinKind::Atan2,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::And => RegOp::Bin {
+                        op: BinKind::And,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Or => RegOp::Bin {
+                        op: BinKind::Or,
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Neg => RegOp::Un {
+                        op: UnKind::Neg,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Sqrt => RegOp::Un {
+                        op: UnKind::Sqrt,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Abs => RegOp::Un {
+                        op: UnKind::Abs,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Sin => RegOp::Un {
+                        op: UnKind::Sin,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Cos => RegOp::Un {
+                        op: UnKind::Cos,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Tan => RegOp::Un {
+                        op: UnKind::Tan,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Exp => RegOp::Un {
+                        op: UnKind::Exp,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Log => RegOp::Un {
+                        op: UnKind::Log,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Not => RegOp::Un {
+                        op: UnKind::Not,
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Select => RegOp::Select {
+                        c: operands[0],
+                        a: operands[1],
+                        b: operands[2],
+                        out,
+                    },
+                    FilterOp::Compose3 => RegOp::Compose3 {
+                        a: operands[0],
+                        b: operands[1],
+                        c: operands[2],
+                        out,
+                    },
+                    FilterOp::Decompose(c) => RegOp::Decompose {
+                        a: operands[0],
+                        comp: *c,
+                        out,
+                    },
+                    FilterOp::Norm3 => RegOp::Norm3 {
+                        a: operands[0],
+                        out,
+                    },
+                    FilterOp::Dot3 => RegOp::Dot3 {
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
+                    FilterOp::Cross3 => RegOp::Cross3 {
+                        a: operands[0],
+                        b: operands[1],
+                        out,
+                    },
                     FilterOp::Input { .. } | FilterOp::Const(_) | FilterOp::Grad3d => {
                         unreachable!("handled above")
                     }
@@ -396,11 +563,7 @@ pub fn fuse_roots(spec: &NetworkSpec, roots: &[NodeId]) -> Result<FusedProgram, 
     }
 
     // Each scalar input slot is read once per element by its load.
-    read_lanes += fz
-        .input_list
-        .iter()
-        .filter(|s| !s.small)
-        .count() as u64;
+    read_lanes += fz.input_list.iter().filter(|s| !s.small).count() as u64;
 
     // A root that is a bare source (`r = u`) emits no compute op;
     // materialize the source into a register for the final store.
@@ -417,7 +580,12 @@ pub fn fuse_roots(spec: &NetworkSpec, roots: &[NodeId]) -> Result<FusedProgram, 
             .name
             .clone()
             .unwrap_or_else(|| format!("out{i}"));
-        outputs.push(OutputSlot { reg, width, lane_offset, name });
+        outputs.push(OutputSlot {
+            reg,
+            width,
+            lane_offset,
+            name,
+        });
         lane_offset += match width {
             Width::Vec4 => 4,
             _ => 1,
@@ -464,9 +632,21 @@ impl FusedProgram {
         }
         let single = self.outputs.len() == 1;
         for (i, out) in self.outputs.iter().enumerate() {
-            let ty = if out.width == Width::Vec4 { "float4" } else { "float" };
-            let name = if single { "out".to_string() } else { format!("out_{}", out.name) };
-            let sep = if i + 1 == self.outputs.len() { ")" } else { "," };
+            let ty = if out.width == Width::Vec4 {
+                "float4"
+            } else {
+                "float"
+            };
+            let name = if single {
+                "out".to_string()
+            } else {
+                format!("out_{}", out.name)
+            };
+            let sep = if i + 1 == self.outputs.len() {
+                ")"
+            } else {
+                ","
+            };
             src.push_str(&format!("    __global {ty} *{name}{sep}\n"));
         }
         src.push_str("{\n    int idx = get_global_id(0);\n");
@@ -524,7 +704,14 @@ impl FusedProgram {
                 RegOp::Decompose { a, comp, out } => {
                     format!("r{out} = v{a}.s{comp};")
                 }
-                RegOp::Grad3d { field, dims, x, y, z, out } => format!(
+                RegOp::Grad3d {
+                    field,
+                    dims,
+                    x,
+                    y,
+                    z,
+                    out,
+                } => format!(
                     "v{out} = dfg_grad3d({}, {}, {}, {}, {}, idx);",
                     self.inputs[*field as usize].name,
                     self.inputs[*dims as usize].name,
@@ -532,12 +719,12 @@ impl FusedProgram {
                     self.inputs[*y as usize].name,
                     self.inputs[*z as usize].name,
                 ),
-                RegOp::Norm3 { a, out } => format!(
-                    "r{out} = sqrt(v{a}.s0*v{a}.s0 + v{a}.s1*v{a}.s1 + v{a}.s2*v{a}.s2);"
-                ),
-                RegOp::Dot3 { a, b, out } => format!(
-                    "r{out} = v{a}.s0*v{b}.s0 + v{a}.s1*v{b}.s1 + v{a}.s2*v{b}.s2;"
-                ),
+                RegOp::Norm3 { a, out } => {
+                    format!("r{out} = sqrt(v{a}.s0*v{a}.s0 + v{a}.s1*v{a}.s1 + v{a}.s2*v{a}.s2);")
+                }
+                RegOp::Dot3 { a, b, out } => {
+                    format!("r{out} = v{a}.s0*v{b}.s0 + v{a}.s1*v{b}.s1 + v{a}.s2*v{b}.s2;")
+                }
                 RegOp::Cross3 { a, b, out } => format!(
                     "v{out} = (float4)(v{a}.s1*v{b}.s2 - v{a}.s2*v{b}.s1, \
                      v{a}.s2*v{b}.s0 - v{a}.s0*v{b}.s2, \
@@ -550,7 +737,11 @@ impl FusedProgram {
         }
         let single = self.outputs.len() == 1;
         for out in &self.outputs {
-            let name = if single { "out".to_string() } else { format!("out_{}", out.name) };
+            let name = if single {
+                "out".to_string()
+            } else {
+                format!("out_{}", out.name)
+            };
             src.push_str(&format!("    {name}[idx] = r{};\n", out.reg));
         }
         src.push_str("}\n");
@@ -568,10 +759,12 @@ pub struct FusedKernel {
 impl FusedKernel {
     /// Wrap a program, labeling profiling events `fused_<label>`.
     pub fn new(program: FusedProgram, label: &str) -> Self {
-        FusedKernel { program, label: label.to_string() }
+        FusedKernel {
+            program,
+            label: label.to_string(),
+        }
     }
 }
-
 
 impl DeviceKernel for FusedKernel {
     fn name(&self) -> String {
@@ -597,9 +790,7 @@ impl DeviceKernel for FusedKernel {
             .ops
             .iter()
             .map(|op| match op {
-                RegOp::Grad3d { dims, .. } => {
-                    Some(Dims3::from_buffer(args.inputs[*dims as usize]))
-                }
+                RegOp::Grad3d { dims, .. } => Some(Dims3::from_buffer(args.inputs[*dims as usize])),
                 _ => None,
             })
             .collect();
@@ -628,9 +819,7 @@ impl DeviceKernel for FusedKernel {
                 let s = Cell::from_mut(&mut sbank[..]).as_slice_of_cells();
                 let v = Cell::from_mut(&mut vbank[..]).as_slice_of_cells();
                 let sreg = |r: Reg| &s[r as usize * CHUNK..][..len];
-                let vlane = |r: Reg, lane: usize| {
-                    &v[(r as usize * 4 + lane) * CHUNK..][..len]
-                };
+                let vlane = |r: Reg, lane: usize| &v[(r as usize * 4 + lane) * CHUNK..][..len];
 
                 for (op_i, op) in prog.ops.iter().enumerate() {
                     match op {
@@ -658,8 +847,7 @@ impl DeviceKernel for FusedKernel {
                             }
                         }
                         RegOp::Select { c, a, b, out } => {
-                            let (cc, aa, bb, oo) =
-                                (sreg(*c), sreg(*a), sreg(*b), sreg(*out));
+                            let (cc, aa, bb, oo) = (sreg(*c), sreg(*a), sreg(*b), sreg(*out));
                             for t in 0..len {
                                 oo[t].set(if cc[t].get() != 0.0 {
                                     aa[t].get()
@@ -685,7 +873,14 @@ impl DeviceKernel for FusedKernel {
                                 o.set(0.0);
                             }
                         }
-                        RegOp::Grad3d { field, x, y, z, out, .. } => {
+                        RegOp::Grad3d {
+                            field,
+                            x,
+                            y,
+                            z,
+                            out,
+                            ..
+                        } => {
                             let d = grad_dims[op_i].expect("pre-decoded");
                             let (o0, o1, o2, o3) = (
                                 vlane(*out, 0),
@@ -712,8 +907,7 @@ impl DeviceKernel for FusedKernel {
                             let (a0, a1, a2, oo) =
                                 (vlane(*a, 0), vlane(*a, 1), vlane(*a, 2), sreg(*out));
                             for t in 0..len {
-                                let (x, y, z) =
-                                    (a0[t].get(), a1[t].get(), a2[t].get());
+                                let (x, y, z) = (a0[t].get(), a1[t].get(), a2[t].get());
                                 oo[t].set((x * x + y * y + z * z).sqrt());
                             }
                         }
@@ -722,8 +916,7 @@ impl DeviceKernel for FusedKernel {
                             for t in 0..len {
                                 let mut acc = 0.0f32;
                                 for lane in 0..3 {
-                                    acc += vlane(*a, lane)[t].get()
-                                        * vlane(*b, lane)[t].get();
+                                    acc += vlane(*a, lane)[t].get() * vlane(*b, lane)[t].get();
                                 }
                                 oo[t].set(acc);
                             }
@@ -756,8 +949,7 @@ impl DeviceKernel for FusedKernel {
                             for lane in 0..4 {
                                 let src = vlane(slot.reg, lane);
                                 for t in 0..len {
-                                    out[t * out_lanes + slot.lane_offset + lane] =
-                                        src[t].get();
+                                    out[t * out_lanes + slot.lane_offset + lane] = src[t].get();
                                 }
                             }
                         }
@@ -798,7 +990,11 @@ mod tests {
                 id
             })
             .collect();
-        let out_lanes = if kernel.program.output_width == Width::Vec4 { 4 * n } else { n };
+        let out_lanes = if kernel.program.output_width == Width::Vec4 {
+            4 * n
+        } else {
+            n
+        };
         let out = ctx.create_buffer(out_lanes).unwrap();
         ctx.launch(&kernel, &ids, out, n).unwrap();
         ctx.enqueue_read(out).unwrap()
@@ -912,7 +1108,8 @@ mod tests {
         ctx.enqueue_write(yb, &y).unwrap();
         ctx.enqueue_write(zb, &z).unwrap();
         let gout = ctx.create_buffer(4 * n).unwrap();
-        ctx.launch(&Primitive::Grad3d, &[fid, dimsb, xb, yb, zb], gout, n).unwrap();
+        ctx.launch(&Primitive::Grad3d, &[fid, dimsb, xb, yb, zb], gout, n)
+            .unwrap();
         let nout = ctx.create_buffer(n).unwrap();
         ctx.launch(&Primitive::Norm3, &[gout], nout, n).unwrap();
         let staged_result = ctx.enqueue_read(nout).unwrap();
@@ -1118,7 +1315,9 @@ __kernel void fused_v_mag(
             let mut seen = std::collections::HashSet::new();
             for line in body.lines() {
                 let t = line.trim();
-                if let Some(rest) = t.strip_prefix("float ").or_else(|| t.strip_prefix("float4 "))
+                if let Some(rest) = t
+                    .strip_prefix("float ")
+                    .or_else(|| t.strip_prefix("float4 "))
                 {
                     // Declaration lines: "float rN;" / "float4 vN;" only.
                     if let Some(name) = rest.strip_suffix(';') {

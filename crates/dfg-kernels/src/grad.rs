@@ -29,7 +29,11 @@ impl Dims3 {
     /// Panics if the buffer has fewer than 3 lanes.
     pub fn from_buffer(dims: &[f32]) -> Self {
         assert!(dims.len() >= 3, "dims buffer must hold [nx, ny, nz]");
-        Dims3 { nx: dims[0] as usize, ny: dims[1] as usize, nz: dims[2] as usize }
+        Dims3 {
+            nx: dims[0] as usize,
+            ny: dims[1] as usize,
+            nz: dims[2] as usize,
+        }
     }
 
     /// Total cells.
@@ -120,7 +124,11 @@ mod tests {
 
     #[test]
     fn unravel_round_trips() {
-        let d = Dims3 { nx: 3, ny: 4, nz: 5 };
+        let d = Dims3 {
+            nx: 3,
+            ny: 4,
+            nz: 5,
+        };
         for idx in 0..d.ncells() {
             let (i, j, k) = d.unravel(idx);
             assert_eq!(i + d.nx * (j + d.ny * k), idx);
@@ -130,7 +138,11 @@ mod tests {
     #[test]
     fn exact_on_linear_fields_including_boundaries() {
         let mesh = RectilinearMesh::uniform([6, 5, 4], [0.0; 3], [0.2, 0.3, 0.5]);
-        let d = Dims3 { nx: 6, ny: 5, nz: 4 };
+        let d = Dims3 {
+            nx: 6,
+            ny: 5,
+            nz: 4,
+        };
         for a in &POLYNOMIALS[..3] {
             let (field, x, y, z) = mesh_fields(&mesh, a.f);
             for idx in 0..d.ncells() {
@@ -155,7 +167,11 @@ mod tests {
     fn exact_on_bilinear_interior() {
         // x*y: central differences are exact in the interior.
         let mesh = RectilinearMesh::uniform([8, 8, 4], [0.0; 3], [0.25, 0.25, 0.25]);
-        let d = Dims3 { nx: 8, ny: 8, nz: 4 };
+        let d = Dims3 {
+            nx: 8,
+            ny: 8,
+            nz: 4,
+        };
         let a = &POLYNOMIALS[3];
         let (field, x, y, z) = mesh_fields(&mesh, a.f);
         for k in 0..4 {
@@ -178,12 +194,12 @@ mod tests {
         // Doubling resolution should shrink interior error ~4x (allow 2.5x
         // for f32 noise).
         let err_at = |n: usize| -> f32 {
-            let mesh = RectilinearMesh::uniform(
-                [n, n, n],
-                [0.0; 3],
-                [1.0 / n as f32; 3],
-            );
-            let d = Dims3 { nx: n, ny: n, nz: n };
+            let mesh = RectilinearMesh::uniform([n, n, n], [0.0; 3], [1.0 / n as f32; 3]);
+            let d = Dims3 {
+                nx: n,
+                ny: n,
+                nz: n,
+            };
             let (field, x, y, z) = mesh_fields(&mesh, SMOOTH.f);
             let mut worst = 0.0f32;
             for k in 1..n - 1 {
@@ -216,7 +232,11 @@ mod tests {
         // = x_{i+1} + x_{i-1}, compare directly.
         let xs = vec![0.0f32, 0.1, 0.3, 0.7, 1.5];
         let mesh = RectilinearMesh::with_axes(xs.clone(), vec![0.0, 1.0], vec![0.0, 1.0]);
-        let d = Dims3 { nx: 5, ny: 2, nz: 2 };
+        let d = Dims3 {
+            nx: 5,
+            ny: 2,
+            nz: 2,
+        };
         let (field, x, y, z) = mesh_fields(&mesh, |x, _, _| x * x);
         for i in 1..4 {
             let g = gradient_at(&field, &x, &y, &z, d, i);
@@ -228,7 +248,11 @@ mod tests {
     #[test]
     fn degenerate_single_cell_axis_gives_zero() {
         let mesh = RectilinearMesh::unit_cube([4, 1, 4]);
-        let d = Dims3 { nx: 4, ny: 1, nz: 4 };
+        let d = Dims3 {
+            nx: 4,
+            ny: 1,
+            nz: 4,
+        };
         let (field, x, y, z) = mesh_fields(&mesh, |x, y, z| x + y + z);
         let g = gradient_at(&field, &x, &y, &z, d, 5);
         assert_eq!(g[1], 0.0, "single-cell axis derivative must be 0");

@@ -29,7 +29,9 @@ pub mod grad;
 pub mod primitives;
 pub mod reference;
 
-pub use fused::{fuse, fuse_roots, FuseError, FusedKernel, FusedProgram, InputSlot, OutputSlot, MAX_REGS};
+pub use fused::{
+    fuse, fuse_roots, FuseError, FusedKernel, FusedProgram, InputSlot, OutputSlot, MAX_REGS,
+};
 pub use grad::{gradient_at, Dims3};
 pub use primitives::{BinKind, Primitive, UnKind, GRAD3D_OPENCL_SOURCE};
 pub use reference::{QCritRef, VelMagRef, VortMagRef};

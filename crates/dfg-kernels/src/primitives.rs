@@ -240,16 +240,15 @@ impl Primitive {
                 expr = k.source_expr("a"),
             ),
             Primitive::Select => {
-                "float dfg_select(float c, float a, float b) { return (c != 0.0f) ? a : b; }"
-                    .into()
+                "float dfg_select(float c, float a, float b) { return (c != 0.0f) ? a : b; }".into()
             }
             Primitive::Compose3 => {
                 "float4 dfg_vector(float a, float b, float c) { return (float4)(a, b, c, 0.0f); }"
                     .into()
             }
-            Primitive::Decompose(c) => format!(
-                "float dfg_decompose_s{c}(float4 v) {{ return v.s{c}; }}"
-            ),
+            Primitive::Decompose(c) => {
+                format!("float dfg_decompose_s{c}(float4 v) {{ return v.s{c}; }}")
+            }
             Primitive::ConstFill(v) => {
                 format!("float dfg_const() {{ return {v:?}f; }}")
             }
@@ -458,8 +457,7 @@ impl DeviceKernel for Primitive {
                         let base = c * PAR_CHUNK;
                         for (t, o) in out.iter_mut().enumerate() {
                             let i = 4 * (base + t);
-                            *o = (v[i] * v[i] + v[i + 1] * v[i + 1] + v[i + 2] * v[i + 2])
-                                .sqrt();
+                            *o = (v[i] * v[i] + v[i + 1] * v[i + 1] + v[i + 2] * v[i + 2]).sqrt();
                         }
                     });
             }
@@ -559,7 +557,11 @@ mod tests {
     fn select_uses_nonzero_condition() {
         let out = run_prim(
             Primitive::Select,
-            &[vec![1.0, 0.0, -1.0], vec![10.0, 11.0, 12.0], vec![20.0, 21.0, 22.0]],
+            &[
+                vec![1.0, 0.0, -1.0],
+                vec![10.0, 11.0, 12.0],
+                vec![20.0, 21.0, 22.0],
+            ],
             3,
             3,
         );
@@ -576,7 +578,10 @@ mod tests {
             run_prim(Primitive::Decompose(0), std::slice::from_ref(&v), 2, 2),
             vec![1.0, 4.0]
         );
-        assert_eq!(run_prim(Primitive::Decompose(2), &[v], 2, 2), vec![3.0, 6.0]);
+        assert_eq!(
+            run_prim(Primitive::Decompose(2), &[v], 2, 2),
+            vec![3.0, 6.0]
+        );
     }
 
     #[test]
@@ -592,7 +597,10 @@ mod tests {
             run_prim(Primitive::Norm3, std::slice::from_ref(&a), 1, 1),
             vec![3.0]
         );
-        assert_eq!(run_prim(Primitive::Dot3, &[a.clone(), b.clone()], 1, 1), vec![2.0]);
+        assert_eq!(
+            run_prim(Primitive::Dot3, &[a.clone(), b.clone()], 1, 1),
+            vec![2.0]
+        );
         let c = run_prim(Primitive::Cross3, &[a, b], 4, 1);
         assert_eq!(c, vec![-2.0, 0.0, 1.0, 0.0]);
     }
@@ -634,12 +642,17 @@ mod tests {
             Primitive::from_filter_op(&FilterOp::Decompose(2)),
             Some(Primitive::Decompose(2))
         );
-        assert_eq!(Primitive::from_filter_op(&FilterOp::Grad3d), Some(Primitive::Grad3d));
+        assert_eq!(
+            Primitive::from_filter_op(&FilterOp::Grad3d),
+            Some(Primitive::Grad3d)
+        );
     }
 
     #[test]
     fn opencl_sources_are_plausible() {
-        assert!(Primitive::Bin(BinKind::Add).opencl_source().contains("a + b"));
+        assert!(Primitive::Bin(BinKind::Add)
+            .opencl_source()
+            .contains("a + b"));
         assert!(Primitive::Decompose(1).opencl_source().contains("v.s1"));
         assert!(Primitive::Grad3d.opencl_source().lines().count() > 30);
         assert!(Primitive::Grad3d.opencl_source().contains("__global"));

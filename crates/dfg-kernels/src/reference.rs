@@ -28,7 +28,11 @@ impl DeviceKernel for VelMagRef {
 
     fn cost(&self, n: usize) -> KernelCost {
         let n = n as u64;
-        KernelCost { bytes_read: 12 * n, bytes_written: 4 * n, flops: 9 * n }
+        KernelCost {
+            bytes_read: 12 * n,
+            bytes_written: 4 * n,
+            flops: 9 * n,
+        }
     }
 
     fn run(&self, args: KernelArgs<'_>) {
@@ -59,7 +63,11 @@ impl DeviceKernel for VortMagRef {
         let n = n as u64;
         // Three gradients (12 lane-reads each, but sharing coordinate
         // fetches): ~30 lane-reads, one lane written.
-        KernelCost { bytes_read: 120 * n, bytes_written: 4 * n, flops: 80 * n }
+        KernelCost {
+            bytes_read: 120 * n,
+            bytes_written: 4 * n,
+            flops: 80 * n,
+        }
     }
 
     fn run(&self, args: KernelArgs<'_>) {
@@ -96,7 +104,11 @@ impl DeviceKernel for QCritRef {
 
     fn cost(&self, n: usize) -> KernelCost {
         let n = n as u64;
-        KernelCost { bytes_read: 120 * n, bytes_written: 4 * n, flops: 110 * n }
+        KernelCost {
+            bytes_read: 120 * n,
+            bytes_written: 4 * n,
+            flops: 110 * n,
+        }
     }
 
     fn run(&self, args: KernelArgs<'_>) {
@@ -159,7 +171,11 @@ mod tests {
         let mesh = RectilinearMesh::uniform(
             dims,
             [0.0; 3],
-            [tau / dims[0] as f32, tau / dims[1] as f32, tau / dims[2] as f32],
+            [
+                tau / dims[0] as f32,
+                tau / dims[1] as f32,
+                tau / dims[2] as f32,
+            ],
         );
         let (x, y, z) = mesh.coord_arrays();
         let u = mesh.sample(|x, y, z| taylor_green::velocity(x, y, z)[0]);

@@ -18,8 +18,16 @@ pub struct AnalyticScalar {
 /// uniform mesh (constants, linears, and products of distinct coordinates),
 /// plus smooth fields for convergence testing.
 pub const POLYNOMIALS: [AnalyticScalar; 5] = [
-    AnalyticScalar { name: "constant", f: |_, _, _| 3.5, grad: |_, _, _| [0.0, 0.0, 0.0] },
-    AnalyticScalar { name: "linear_x", f: |x, _, _| 2.0 * x, grad: |_, _, _| [2.0, 0.0, 0.0] },
+    AnalyticScalar {
+        name: "constant",
+        f: |_, _, _| 3.5,
+        grad: |_, _, _| [0.0, 0.0, 0.0],
+    },
+    AnalyticScalar {
+        name: "linear_x",
+        f: |x, _, _| 2.0 * x,
+        grad: |_, _, _| [2.0, 0.0, 0.0],
+    },
     AnalyticScalar {
         name: "linear_mix",
         f: |x, y, z| x - 3.0 * y + 0.5 * z,
@@ -104,24 +112,24 @@ mod tests {
     fn taylor_green_vorticity_is_curl_of_velocity() {
         let eps = 1e-3f32;
         let (x, y, z) = (0.8f32, 1.3f32, 0.0f32);
-        let dwdy =
-            (taylor_green::velocity(x, y + eps, z)[2] - taylor_green::velocity(x, y - eps, z)[2])
-                / (2.0 * eps);
-        let dvdz =
-            (taylor_green::velocity(x, y, z + eps)[1] - taylor_green::velocity(x, y, z - eps)[1])
-                / (2.0 * eps);
-        let dudz =
-            (taylor_green::velocity(x, y, z + eps)[0] - taylor_green::velocity(x, y, z - eps)[0])
-                / (2.0 * eps);
-        let dwdx =
-            (taylor_green::velocity(x + eps, y, z)[2] - taylor_green::velocity(x - eps, y, z)[2])
-                / (2.0 * eps);
-        let dvdx =
-            (taylor_green::velocity(x + eps, y, z)[1] - taylor_green::velocity(x - eps, y, z)[1])
-                / (2.0 * eps);
-        let dudy =
-            (taylor_green::velocity(x, y + eps, z)[0] - taylor_green::velocity(x, y - eps, z)[0])
-                / (2.0 * eps);
+        let dwdy = (taylor_green::velocity(x, y + eps, z)[2]
+            - taylor_green::velocity(x, y - eps, z)[2])
+            / (2.0 * eps);
+        let dvdz = (taylor_green::velocity(x, y, z + eps)[1]
+            - taylor_green::velocity(x, y, z - eps)[1])
+            / (2.0 * eps);
+        let dudz = (taylor_green::velocity(x, y, z + eps)[0]
+            - taylor_green::velocity(x, y, z - eps)[0])
+            / (2.0 * eps);
+        let dwdx = (taylor_green::velocity(x + eps, y, z)[2]
+            - taylor_green::velocity(x - eps, y, z)[2])
+            / (2.0 * eps);
+        let dvdx = (taylor_green::velocity(x + eps, y, z)[1]
+            - taylor_green::velocity(x - eps, y, z)[1])
+            / (2.0 * eps);
+        let dudy = (taylor_green::velocity(x, y + eps, z)[0]
+            - taylor_green::velocity(x, y - eps, z)[0])
+            / (2.0 * eps);
         let fd = [dwdy - dvdz, dudz - dwdx, dvdx - dudy];
         let exact = taylor_green::vorticity(x, y, z);
         for d in 0..3 {

@@ -104,13 +104,16 @@ mod tests {
         sorted.sort_by_key(|g| g.nz);
         assert_eq!(sorted[0].data_size_display(), "216 MB"); // paper: 218 MB
         assert_eq!(sorted[11].data_size_display(), "2.5 GB"); // paper: 2.6 GB
-        // Within 2% of the paper's figures.
+                                                              // Within 2% of the paper's figures.
         assert!((sorted[0].data_bytes() as f64 - 218e6 * 1.048).abs() / 218e6 < 0.05);
     }
 
     #[test]
     fn display_formats_like_table1() {
         assert_eq!(GridSpec::new(192, 192, 256).to_string(), "192 x 192 x 0256");
-        assert_eq!(GridSpec::new(192, 192, 3072).to_string(), "192 x 192 x 3072");
+        assert_eq!(
+            GridSpec::new(192, 192, 3072).to_string(),
+            "192 x 192 x 3072"
+        );
     }
 }

@@ -111,12 +111,15 @@ pub fn extract_block(
     offset: [usize; 3],
     dims: [usize; 3],
 ) -> Vec<f32> {
-    assert_eq!(global.len(), global_dims[0] * global_dims[1] * global_dims[2]);
+    assert_eq!(
+        global.len(),
+        global_dims[0] * global_dims[1] * global_dims[2]
+    );
     let mut out = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
     for k in 0..dims[2] {
         for j in 0..dims[1] {
-            let src = (offset[0])
-                + global_dims[0] * ((offset[1] + j) + global_dims[1] * (offset[2] + k));
+            let src =
+                (offset[0]) + global_dims[0] * ((offset[1] + j) + global_dims[1] * (offset[2] + k));
             out.extend_from_slice(&global[src..src + dims[0]]);
         }
     }
@@ -134,8 +137,8 @@ pub fn insert_block(
     assert_eq!(block.len(), dims[0] * dims[1] * dims[2]);
     for k in 0..dims[2] {
         for j in 0..dims[1] {
-            let dst = (offset[0])
-                + global_dims[0] * ((offset[1] + j) + global_dims[1] * (offset[2] + k));
+            let dst =
+                (offset[0]) + global_dims[0] * ((offset[1] + j) + global_dims[1] * (offset[2] + k));
             let src = dims[0] * (j + dims[1] * k);
             global[dst..dst + dims[0]].copy_from_slice(&block[src..src + dims[0]]);
         }
@@ -158,8 +161,8 @@ mod tests {
             for k in 0..b.dims[2] {
                 for j in 0..b.dims[1] {
                     for i in 0..b.dims[0] {
-                        let idx = (b.offset[0] + i)
-                            + 10 * ((b.offset[1] + j) + 7 * (b.offset[2] + k));
+                        let idx =
+                            (b.offset[0] + i) + 10 * ((b.offset[1] + j) + 7 * (b.offset[2] + k));
                         seen[idx] += 1;
                     }
                 }

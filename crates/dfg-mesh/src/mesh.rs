@@ -138,7 +138,9 @@ impl RectilinearMesh {
             );
             self.axes[d][offset[d]..offset[d] + dims[d]].to_vec()
         };
-        RectilinearMesh { axes: [take(0), take(1), take(2)] }
+        RectilinearMesh {
+            axes: [take(0), take(1), take(2)],
+        }
     }
 
     /// The `dims` auxiliary input as an f32 triple (the small `dims` buffer
@@ -218,11 +220,7 @@ mod tests {
 
     #[test]
     fn stretched_axes_are_preserved() {
-        let m = RectilinearMesh::with_axes(
-            vec![0.0, 1.0, 4.0],
-            vec![0.0, 2.0],
-            vec![0.0, 1.0],
-        );
+        let m = RectilinearMesh::with_axes(vec![0.0, 1.0, 4.0], vec![0.0, 2.0], vec![0.0, 1.0]);
         assert_eq!(m.axis(0), &[0.0, 1.0, 4.0]);
         assert_eq!(m.dims(), [3, 2, 2]);
     }

@@ -72,7 +72,11 @@ impl RtWorkload {
                 }
             })
             .collect();
-        RtWorkload { modes, plume_amp: 0.8, plume_k: tau }
+        RtWorkload {
+            modes,
+            plume_amp: 0.8,
+            plume_k: tau,
+        }
     }
 
     /// The default evaluation workload (seed and mode count used throughout
@@ -180,7 +184,10 @@ mod tests {
         let dvdz = (wl.velocity_at(0.3, 0.4, 0.5 + eps)[1]
             - wl.velocity_at(0.3, 0.4, 0.5 - eps)[1])
             / (2.0 * eps);
-        assert!((dwdy - dvdz).abs() > 1e-3, "curl_x ~ 0: field is irrotational");
+        assert!(
+            (dwdy - dvdz).abs() > 1e-3,
+            "curl_x ~ 0: field is irrotational"
+        );
     }
 
     #[test]

@@ -7,8 +7,7 @@ use dfg_mesh::{partition_blocks, RectilinearMesh, RtWorkload, SubGrid};
 
 fn dims_and_blocks() -> impl Strategy<Value = ([usize; 3], [usize; 3])> {
     (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(nx, ny, nz)| {
-        (1..=nx, 1..=ny, 1..=nz)
-            .prop_map(move |(bx, by, bz)| ([nx, ny, nz], [bx, by, bz]))
+        (1..=nx, 1..=ny, 1..=nz).prop_map(move |(bx, by, bz)| ([nx, ny, nz], [bx, by, bz]))
     })
 }
 
@@ -121,6 +120,10 @@ proptest! {
 
 #[test]
 fn subgrid_ncells_consistent_with_dims() {
-    let b = SubGrid { block: [0, 0, 0], offset: [2, 3, 4], dims: [5, 6, 7] };
+    let b = SubGrid {
+        block: [0, 0, 0],
+        offset: [2, 3, 4],
+        dims: [5, 6, 7],
+    };
     assert_eq!(b.ncells(), 210);
 }

@@ -4,6 +4,7 @@ use crate::error::OclError;
 use crate::event::{Event, EventKind, ProfileReport};
 use crate::profile::DeviceProfile;
 use crate::ExecMode;
+use dfg_trace::Tracer;
 
 /// Handle to a device global-memory buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,6 +65,8 @@ pub struct Context {
     events: Vec<Event>,
     /// Failure injection: when `Some(k)`, the k-th next allocation fails.
     fail_alloc_in: Option<usize>,
+    /// When set, every recorded event also becomes a child span here.
+    tracer: Option<Tracer>,
 }
 
 impl Context {
@@ -79,7 +82,21 @@ impl Context {
             clock: 0.0,
             events: Vec::new(),
             fail_alloc_in: None,
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer: from now on every enqueue/launch/compile event is
+    /// also recorded as a span (nested under whatever span the caller has
+    /// open), carrying both virtual-clock endpoints and wall time.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any; host-side code uses this to open its
+    /// own stage spans around queue operations.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// Failure injection (testing): make the `n`-th future allocation fail
@@ -118,7 +135,10 @@ impl Context {
 
     /// Snapshot the profiling state.
     pub fn report(&self) -> ProfileReport {
-        ProfileReport { events: self.events.clone(), high_water_bytes: self.high_water }
+        ProfileReport {
+            events: self.events.clone(),
+            high_water_bytes: self.high_water,
+        }
     }
 
     /// Clear recorded events and reset the clock and high-water mark.
@@ -189,6 +209,15 @@ impl Context {
     fn record(&mut self, kind: EventKind, label: &str, bytes: u64, seconds: f64) {
         let t_start = self.clock;
         self.clock += seconds;
+        if let Some(tracer) = &self.tracer {
+            tracer.device_event(
+                &format!("ocl.{}", kind.tag()),
+                label,
+                bytes,
+                t_start,
+                self.clock,
+            );
+        }
         self.events.push(Event {
             kind,
             label: label.to_string(),
@@ -202,13 +231,19 @@ impl Context {
     pub fn enqueue_write(&mut self, id: BufferId, data: &[f32]) -> Result<(), OclError> {
         let lanes = self.slot(id)?.lanes;
         if data.len() != lanes {
-            return Err(OclError::SizeMismatch { expected: lanes, found: data.len() });
+            return Err(OclError::SizeMismatch {
+                expected: lanes,
+                found: data.len(),
+            });
         }
         let bytes = lanes as u64 * 4;
         let seconds = self.profile.h2d_seconds(bytes);
         if self.mode == ExecMode::Real {
             let slot = self.slots[id.0].as_mut().expect("validated above");
-            slot.data.as_mut().expect("real mode has data").copy_from_slice(data);
+            slot.data
+                .as_mut()
+                .expect("real mode has data")
+                .copy_from_slice(data);
         }
         self.record(EventKind::HostToDevice, "write", bytes, seconds);
         Ok(())
@@ -305,7 +340,11 @@ impl Context {
                             .expect("real mode has data")
                     })
                     .collect();
-                kernel.run(KernelArgs { inputs: &input_views, output: &mut out_data, n });
+                kernel.run(KernelArgs {
+                    inputs: &input_views,
+                    output: &mut out_data,
+                    n,
+                });
             }
             self.slots[output.0].as_mut().expect("validated").data = Some(out_data);
         }
@@ -346,7 +385,11 @@ mod tests {
             "double".into()
         }
         fn cost(&self, n: usize) -> KernelCost {
-            KernelCost { bytes_read: 4 * n as u64, bytes_written: 4 * n as u64, flops: n as u64 }
+            KernelCost {
+                bytes_read: 4 * n as u64,
+                bytes_written: 4 * n as u64,
+                flops: n as u64,
+            }
         }
         fn run(&self, args: KernelArgs<'_>) {
             for i in 0..args.n {
@@ -380,7 +423,11 @@ mod tests {
         // One byte over capacity in lanes.
         let lanes = (cap / 4 + 1) as usize;
         match c.create_buffer(lanes) {
-            Err(OclError::OutOfMemory { requested, capacity, .. }) => {
+            Err(OclError::OutOfMemory {
+                requested,
+                capacity,
+                ..
+            }) => {
                 assert_eq!(requested, lanes as u64 * 4);
                 assert_eq!(capacity, cap);
             }
@@ -406,7 +453,10 @@ mod tests {
         c.release(a).unwrap();
         assert_eq!(c.in_use_bytes(), 0);
         assert!(matches!(c.release(a), Err(OclError::InvalidBuffer { .. })));
-        assert!(matches!(c.enqueue_read(a), Err(OclError::InvalidBuffer { .. })));
+        assert!(matches!(
+            c.enqueue_read(a),
+            Err(OclError::InvalidBuffer { .. })
+        ));
     }
 
     #[test]
@@ -435,7 +485,10 @@ mod tests {
         let a = c.create_buffer(4).unwrap();
         assert!(matches!(
             c.enqueue_write(a, &[1.0, 2.0]),
-            Err(OclError::SizeMismatch { expected: 4, found: 2 })
+            Err(OclError::SizeMismatch {
+                expected: 4,
+                found: 2
+            })
         ));
     }
 
@@ -491,7 +544,10 @@ mod tests {
     fn model_mode_rejects_data_reads() {
         let mut c = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Model);
         let a = c.create_buffer(4).unwrap();
-        assert!(matches!(c.enqueue_read(a), Err(OclError::InvalidOperation(_))));
+        assert!(matches!(
+            c.enqueue_read(a),
+            Err(OclError::InvalidOperation(_))
+        ));
         assert!(matches!(c.peek(a), Err(OclError::InvalidOperation(_))));
     }
 
@@ -511,7 +567,11 @@ mod tests {
         assert_eq!(c.report().events.len(), 0);
         assert_eq!(c.clock_seconds(), 0.0);
         assert_eq!(c.in_use_bytes(), 1024);
-        assert_eq!(c.high_water_bytes(), 1024, "high water reseeds from live bytes");
+        assert_eq!(
+            c.high_water_bytes(),
+            1024,
+            "high water reseeds from live bytes"
+        );
     }
 
     #[test]

@@ -33,14 +33,21 @@ pub enum OclError {
 impl std::fmt::Display for OclError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            OclError::OutOfMemory { requested, in_use, capacity } => write!(
+            OclError::OutOfMemory {
+                requested,
+                in_use,
+                capacity,
+            } => write!(
                 f,
                 "out of device memory: requested {requested} B with {in_use} B in use \
                  of {capacity} B capacity"
             ),
             OclError::InvalidBuffer { id } => write!(f, "invalid buffer id {id}"),
             OclError::SizeMismatch { expected, found } => {
-                write!(f, "size mismatch: buffer holds {expected} lanes, host has {found}")
+                write!(
+                    f,
+                    "size mismatch: buffer holds {expected} lanes, host has {found}"
+                )
             }
             OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
         }

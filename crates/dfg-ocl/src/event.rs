@@ -43,6 +43,33 @@ impl Event {
 }
 
 /// Aggregated profiling results for one execution.
+///
+/// Every enqueue on a [`Context`](crate::Context) records an [`Event`];
+/// the report aggregates them by [`EventKind`] into the paper's Table II
+/// counts and Figure 5 device runtime:
+///
+/// ```
+/// use dfg_ocl::{Event, EventKind, ProfileReport};
+///
+/// let report = ProfileReport {
+///     events: vec![
+///         Event { kind: EventKind::KernelCompile, label: "fused_mag".into(),
+///                 bytes: 0, t_start: 0.0, t_end: 0.09 },
+///         Event { kind: EventKind::HostToDevice, label: "u".into(),
+///                 bytes: 4096, t_start: 0.09, t_end: 0.10 },
+///         Event { kind: EventKind::KernelExec, label: "fused_mag".into(),
+///                 bytes: 8192, t_start: 0.10, t_end: 0.13 },
+///         Event { kind: EventKind::DeviceToHost, label: "mag".into(),
+///                 bytes: 4096, t_start: 0.13, t_end: 0.14 },
+///     ],
+///     high_water_bytes: 8192,
+/// };
+/// // Table II row: (Dev-W, Dev-R, K-Exe).
+/// assert_eq!(report.table2_row(), (1, 1, 1));
+/// assert_eq!(report.bytes(EventKind::HostToDevice), 4096);
+/// // Device runtime sums transfers + kernels; compilation is excluded.
+/// assert!((report.device_seconds() - 0.05).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileReport {
     /// All recorded events in submission order.
@@ -60,12 +87,20 @@ impl ProfileReport {
 
     /// Total modeled seconds spent in events of `kind`.
     pub fn seconds(&self, kind: EventKind) -> f64 {
-        self.events.iter().filter(|e| e.kind == kind).map(Event::seconds).sum()
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(Event::seconds)
+            .sum()
     }
 
     /// Total bytes moved in events of `kind`.
     pub fn bytes(&self, kind: EventKind) -> u64 {
-        self.events.iter().filter(|e| e.kind == kind).map(|e| e.bytes).sum()
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// Total modeled device runtime: host→device transfers + kernel
@@ -92,7 +127,13 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind, bytes: u64, t0: f64, t1: f64) -> Event {
-        Event { kind, label: "t".into(), bytes, t_start: t0, t_end: t1 }
+        Event {
+            kind,
+            label: "t".into(),
+            bytes,
+            t_start: t0,
+            t_end: t1,
+        }
     }
 
     #[test]

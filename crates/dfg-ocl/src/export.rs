@@ -119,10 +119,7 @@ mod tests {
         // Microsecond conversion.
         assert!(json.contains("\"ts\":1000.000"));
         // Balanced braces (cheap structural check).
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -142,9 +142,7 @@ impl FlowSimulation {
     /// coordinates (units of cells, cell-centered at integer + 0).
     fn sample_periodic(field: &[f32], dims: [usize; 3], gx: f32, gy: f32, gz: f32) -> f32 {
         let [nx, ny, nz] = dims;
-        let wrap = |a: i64, n: usize| -> usize {
-            (a.rem_euclid(n as i64)) as usize
-        };
+        let wrap = |a: i64, n: usize| -> usize { (a.rem_euclid(n as i64)) as usize };
         let fx = gx.floor();
         let fy = gy.floor();
         let fz = gz.floor();
@@ -158,8 +156,7 @@ impl FlowSimulation {
                         * (if dj == 0 { 1.0 - ty } else { ty })
                         * (if dk == 0 { 1.0 - tz } else { tz });
                     let idx = wrap(i0 + di as i64, nx)
-                        + nx * (wrap(j0 + dj as i64, ny)
-                            + ny * wrap(k0 + dk as i64, nz));
+                        + nx * (wrap(j0 + dj as i64, ny) + ny * wrap(k0 + dk as i64, nz));
                     acc += wgt * field[idx];
                 }
             }
@@ -176,19 +173,20 @@ impl FlowSimulation {
 
         // 1. Semi-Lagrangian advection of each component.
         let advect = |out: &mut [f32], field: &[f32]| {
-            out.par_chunks_mut(nx * ny).enumerate().for_each(|(k, slab)| {
-                for j in 0..ny {
-                    for i in 0..nx {
-                        let idx = i + nx * (j + ny * k);
-                        // Departure point in grid-fraction coordinates.
-                        let gx = i as f32 - dt * u0[idx] / sp[0];
-                        let gy = j as f32 - dt * v0[idx] / sp[1];
-                        let gz = k as f32 - dt * w0[idx] / sp[2];
-                        slab[j * nx + i] =
-                            Self::sample_periodic(field, dims, gx, gy, gz);
+            out.par_chunks_mut(nx * ny)
+                .enumerate()
+                .for_each(|(k, slab)| {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let idx = i + nx * (j + ny * k);
+                            // Departure point in grid-fraction coordinates.
+                            let gx = i as f32 - dt * u0[idx] / sp[0];
+                            let gy = j as f32 - dt * v0[idx] / sp[1];
+                            let gz = k as f32 - dt * w0[idx] / sp[2];
+                            slab[j * nx + i] = Self::sample_periodic(field, dims, gx, gy, gz);
+                        }
                     }
-                }
-            });
+                });
         };
         let mut u1 = vec![0.0f32; self.u.len()];
         let mut v1 = vec![0.0f32; self.v.len()];
@@ -203,30 +201,32 @@ impl FlowSimulation {
         if alpha > 0.0 {
             let diffuse = |out: &mut [f32], field: &[f32]| {
                 let [nx, ny, nz] = dims;
-                out.par_chunks_mut(nx * ny).enumerate().for_each(|(k, slab)| {
-                    let km = (k + nz - 1) % nz;
-                    let kp = (k + 1) % nz;
-                    for j in 0..ny {
-                        let jm = (j + ny - 1) % ny;
-                        let jp = (j + 1) % ny;
-                        for i in 0..nx {
-                            let im = (i + nx - 1) % nx;
-                            let ip = (i + 1) % nx;
-                            let at = |ii: usize, jj: usize, kk: usize| {
-                                field[ii + nx * (jj + ny * kk)]
-                            };
-                            let c = at(i, j, k);
-                            let lap = at(im, j, k)
-                                + at(ip, j, k)
-                                + at(i, jm, k)
-                                + at(i, jp, k)
-                                + at(i, j, km)
-                                + at(i, j, kp)
-                                - 6.0 * c;
-                            slab[j * nx + i] = c + alpha * lap;
+                out.par_chunks_mut(nx * ny)
+                    .enumerate()
+                    .for_each(|(k, slab)| {
+                        let km = (k + nz - 1) % nz;
+                        let kp = (k + 1) % nz;
+                        for j in 0..ny {
+                            let jm = (j + ny - 1) % ny;
+                            let jp = (j + 1) % ny;
+                            for i in 0..nx {
+                                let im = (i + nx - 1) % nx;
+                                let ip = (i + 1) % nx;
+                                let at = |ii: usize, jj: usize, kk: usize| {
+                                    field[ii + nx * (jj + ny * kk)]
+                                };
+                                let c = at(i, j, k);
+                                let lap = at(im, j, k)
+                                    + at(ip, j, k)
+                                    + at(i, jm, k)
+                                    + at(i, jp, k)
+                                    + at(i, j, km)
+                                    + at(i, j, kp)
+                                    - 6.0 * c;
+                                slab[j * nx + i] = c + alpha * lap;
+                            }
                         }
-                    }
-                });
+                    });
             };
             let mut u2 = vec![0.0f32; u1.len()];
             let mut v2 = vec![0.0f32; v1.len()];
@@ -270,8 +270,7 @@ mod tests {
     fn constant_field_is_a_fixed_point() {
         let n = 8usize;
         let c = vec![0.75f32; n * n * n];
-        let mut sim =
-            FlowSimulation::from_components([n, n, n], c.clone(), c.clone(), c.clone());
+        let mut sim = FlowSimulation::from_components([n, n, n], c.clone(), c.clone(), c.clone());
         sim.viscosity = 0.0;
         for _ in 0..5 {
             sim.step(0.01);
@@ -296,7 +295,11 @@ mod tests {
         sim.viscosity = 0.0;
         sim.step(0.01);
         let v = sim.velocity().1;
-        assert!((v[1] - 1.0).abs() < 1e-4, "blob should be at x=1, v[1]={}", v[1]);
+        assert!(
+            (v[1] - 1.0).abs() < 1e-4,
+            "blob should be at x=1, v[1]={}",
+            v[1]
+        );
         assert!(v[0].abs() < 1e-4);
         // Seven more steps: wraps back to the origin.
         for _ in 0..7 {
@@ -308,8 +311,7 @@ mod tests {
 
     #[test]
     fn diffusion_decays_kinetic_energy() {
-        let mut sim =
-            FlowSimulation::from_workload([12, 12, 12], &RtWorkload::paper_default());
+        let mut sim = FlowSimulation::from_workload([12, 12, 12], &RtWorkload::paper_default());
         sim.viscosity = 0.05;
         let e0 = sim.kinetic_energy();
         for _ in 0..10 {
@@ -324,8 +326,7 @@ mod tests {
     fn advection_is_stable_at_large_cfl() {
         // Semi-Lagrangian stability: values stay within the initial range
         // even at CFL >> 1 (interpolation is a convex combination).
-        let mut sim =
-            FlowSimulation::from_workload([10, 10, 10], &RtWorkload::paper_default());
+        let mut sim = FlowSimulation::from_workload([10, 10, 10], &RtWorkload::paper_default());
         sim.viscosity = 0.0;
         let max0 = sim
             .velocity()
@@ -352,8 +353,7 @@ mod tests {
     fn fields_are_engine_ready() {
         use dfg_core::{Engine, Strategy};
         use dfg_ocl::DeviceProfile;
-        let mut sim =
-            FlowSimulation::from_workload([8, 8, 8], &RtWorkload::paper_default());
+        let mut sim = FlowSimulation::from_workload([8, 8, 8], &RtWorkload::paper_default());
         sim.step(0.01);
         let mut engine = Engine::new(DeviceProfile::nvidia_m2050());
         let report = engine

@@ -52,7 +52,11 @@ pub enum DatasetError {
 impl std::fmt::Display for DatasetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DatasetError::ArrayLength { name, expected, found } => write!(
+            DatasetError::ArrayLength {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "array `{name}` has {found} tuples, grid expects {expected}"
             ),
@@ -81,7 +85,11 @@ pub struct RectilinearDataset {
 impl RectilinearDataset {
     /// A dataset over `mesh` with no arrays and no ghost layers.
     pub fn new(mesh: RectilinearMesh) -> Self {
-        RectilinearDataset { mesh, arrays: BTreeMap::new(), ghost_layers: [[0; 2]; 3] }
+        RectilinearDataset {
+            mesh,
+            arrays: BTreeMap::new(),
+            ghost_layers: [[0; 2]; 3],
+        }
     }
 
     /// Cell count.
@@ -106,7 +114,9 @@ impl RectilinearDataset {
     pub fn array(&self, name: &str) -> Result<&DataArray, DatasetError> {
         self.arrays
             .get(name)
-            .ok_or_else(|| DatasetError::NoSuchArray { name: name.to_string() })
+            .ok_or_else(|| DatasetError::NoSuchArray {
+                name: name.to_string(),
+            })
     }
 
     /// Whether an array exists.
@@ -147,15 +157,20 @@ impl RectilinearDataset {
             let mut data = Vec::with_capacity(idims.iter().product::<usize>() * arr.ncomp);
             for k in 0..idims[2] {
                 for j in 0..idims[1] {
-                    let row = (off[0])
-                        + gdims[0] * ((off[1] + j) + gdims[1] * (off[2] + k));
+                    let row = (off[0]) + gdims[0] * ((off[1] + j) + gdims[1] * (off[2] + k));
                     data.extend_from_slice(
                         &arr.data[row * arr.ncomp..(row + idims[0]) * arr.ncomp],
                     );
                 }
             }
-            out.set_array(name, DataArray { ncomp: arr.ncomp, data })
-                .expect("interior extraction preserves tuple counts");
+            out.set_array(
+                name,
+                DataArray {
+                    ncomp: arr.ncomp,
+                    data,
+                },
+            )
+            .expect("interior extraction preserves tuple counts");
         }
         out
     }
@@ -187,10 +202,15 @@ mod tests {
         let mut ds = RectilinearDataset::new(mesh());
         assert!(matches!(
             ds.set_array("u", DataArray::scalar(vec![0.0; 7])),
-            Err(DatasetError::ArrayLength { expected: 24, found: 7, .. })
+            Err(DatasetError::ArrayLength {
+                expected: 24,
+                found: 7,
+                ..
+            })
         ));
         // Vectors: 3 components per cell.
-        ds.set_array("vel", DataArray::vector3(vec![0.0; 72])).unwrap();
+        ds.set_array("vel", DataArray::vector3(vec![0.0; 72]))
+            .unwrap();
         assert_eq!(ds.array("vel").unwrap().ntuples(), 24);
     }
 

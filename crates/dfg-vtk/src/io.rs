@@ -56,8 +56,7 @@ pub fn to_vtk_string(ds: &RectilinearDataset, title: &str) -> String {
     let _ = writeln!(out, "DIMENSIONS {} {} {}", dims[0], dims[1], dims[2]);
     for (axis_name, d) in [("X", 0usize), ("Y", 1), ("Z", 2)] {
         let _ = writeln!(out, "{axis_name}_COORDINATES {} float", dims[d]);
-        let coords: Vec<String> =
-            ds.mesh.axis(d).iter().map(|c| format!("{c:?}")).collect();
+        let coords: Vec<String> = ds.mesh.axis(d).iter().map(|c| format!("{c:?}")).collect();
         let _ = writeln!(out, "{}", coords.join(" "));
     }
     let _ = writeln!(out, "POINT_DATA {n}");
@@ -99,10 +98,14 @@ impl<'a> Cursor<'a> {
     }
 
     fn next(&mut self) -> Result<(usize, &'a str), VtkIoError> {
-        let t = self.tokens.get(self.pos).copied().ok_or(VtkIoError::Parse {
-            line: self.tokens.last().map_or(0, |t| t.0),
-            msg: "unexpected end of file".into(),
-        })?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .copied()
+            .ok_or(VtkIoError::Parse {
+                line: self.tokens.last().map_or(0, |t| t.0),
+                msg: "unexpected end of file".into(),
+            })?;
         self.pos += 1;
         Ok(t)
     }
@@ -112,7 +115,10 @@ impl<'a> Cursor<'a> {
         if tok.eq_ignore_ascii_case(what) {
             Ok(())
         } else {
-            Err(VtkIoError::Parse { line, msg: format!("expected `{what}`, found `{tok}`") })
+            Err(VtkIoError::Parse {
+                line,
+                msg: format!("expected `{what}`, found `{tok}`"),
+            })
         }
     }
 
@@ -136,7 +142,10 @@ pub fn from_vtk_string(src: &str) -> Result<RectilinearDataset, VtkIoError> {
     let mut lines = src.lines();
     let magic = lines.next().unwrap_or_default();
     if !magic.starts_with("# vtk DataFile") {
-        return Err(VtkIoError::Parse { line: 1, msg: "missing `# vtk DataFile` magic".into() });
+        return Err(VtkIoError::Parse {
+            line: 1,
+            msg: "missing `# vtk DataFile` magic".into(),
+        });
     }
     let _title = lines.next();
     let rest: String = lines.collect::<Vec<_>>().join("\n");
@@ -150,7 +159,11 @@ pub fn from_vtk_string(src: &str) -> Result<RectilinearDataset, VtkIoError> {
     let ny: usize = cur.number()?;
     let nz: usize = cur.number()?;
     let mut axes: Vec<Vec<f32>> = Vec::with_capacity(3);
-    for (name, n) in [("X_COORDINATES", nx), ("Y_COORDINATES", ny), ("Z_COORDINATES", nz)] {
+    for (name, n) in [
+        ("X_COORDINATES", nx),
+        ("Y_COORDINATES", ny),
+        ("Z_COORDINATES", nz),
+    ] {
         cur.expect(name)?;
         let declared: usize = cur.number()?;
         if declared != n {
@@ -162,11 +175,7 @@ pub fn from_vtk_string(src: &str) -> Result<RectilinearDataset, VtkIoError> {
         cur.expect("float")?;
         axes.push(cur.floats(n)?);
     }
-    let mesh = RectilinearMesh::with_axes(
-        axes[0].clone(),
-        axes[1].clone(),
-        axes[2].clone(),
-    );
+    let mesh = RectilinearMesh::with_axes(axes[0].clone(), axes[1].clone(), axes[2].clone());
     let mut ds = RectilinearDataset::new(mesh);
 
     cur.expect("POINT_DATA")?;
@@ -186,10 +195,11 @@ pub fn from_vtk_string(src: &str) -> Result<RectilinearDataset, VtkIoError> {
         let ntuples: usize = cur.number()?;
         cur.expect("float")?;
         let data = cur.floats(ncomp * ntuples)?;
-        ds.set_array(name, DataArray { ncomp, data }).map_err(|e| VtkIoError::Parse {
-            line: 0,
-            msg: e.to_string(),
-        })?;
+        ds.set_array(name, DataArray { ncomp, data })
+            .map_err(|e| VtkIoError::Parse {
+                line: 0,
+                msg: e.to_string(),
+            })?;
     }
     Ok(ds)
 }
@@ -258,8 +268,9 @@ mod tests {
     #[test]
     fn reader_rejects_garbage() {
         assert!(from_vtk_string("not a vtk file").is_err());
-        assert!(from_vtk_string("# vtk DataFile Version 3.0\nt\nASCII\nDATASET POLYDATA\n")
-            .is_err());
+        assert!(
+            from_vtk_string("# vtk DataFile Version 3.0\nt\nASCII\nDATASET POLYDATA\n").is_err()
+        );
         // Truncated coordinates.
         let s = "# vtk DataFile Version 3.0\nt\nASCII\nDATASET RECTILINEAR_GRID\n\
                  DIMENSIONS 2 2 2\nX_COORDINATES 2 float\n0.0";
@@ -279,7 +290,8 @@ mod tests {
     fn special_float_values_round_trip() {
         let mesh = RectilinearMesh::unit_cube([2, 1, 1]);
         let mut ds = RectilinearDataset::new(mesh);
-        ds.set_array("f", DataArray::scalar(vec![f32::MIN_POSITIVE, -0.0])).unwrap();
+        ds.set_array("f", DataArray::scalar(vec![f32::MIN_POSITIVE, -0.0]))
+            .unwrap();
         let parsed = from_vtk_string(&to_vtk_string(&ds, "t")).unwrap();
         let f = parsed.array("f").unwrap();
         assert_eq!(f.data[0].to_bits(), f32::MIN_POSITIVE.to_bits());

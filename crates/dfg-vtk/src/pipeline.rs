@@ -69,8 +69,7 @@ pub trait PipelineFilter {
     /// Given what downstream needs, declare what this filter needs.
     fn contract(&self, downstream: &Contract) -> Contract;
     /// Transform the dataset.
-    fn execute(&mut self, input: RectilinearDataset)
-        -> Result<RectilinearDataset, PipelineError>;
+    fn execute(&mut self, input: RectilinearDataset) -> Result<RectilinearDataset, PipelineError>;
 }
 
 /// The data source: samples the synthetic RT workload over (a block of) a
@@ -105,9 +104,12 @@ impl SyntheticSource {
         let (u, v, w) = self.workload.sample_velocity(&mesh);
         let mut ds = RectilinearDataset::new(mesh);
         ds.ghost_layers = ghost;
-        ds.set_array("u", DataArray::scalar(u)).expect("sampled length");
-        ds.set_array("v", DataArray::scalar(v)).expect("sampled length");
-        ds.set_array("w", DataArray::scalar(w)).expect("sampled length");
+        ds.set_array("u", DataArray::scalar(u))
+            .expect("sampled length");
+        ds.set_array("v", DataArray::scalar(v))
+            .expect("sampled length");
+        ds.set_array("w", DataArray::scalar(w))
+            .expect("sampled length");
         ds
     }
 }
@@ -215,7 +217,9 @@ impl PipelineFilter for DerivedFieldFilter {
                     })
                 })?;
         }
-        let report = self.engine.derive(&self.expression, &fields, self.strategy)?;
+        let report = self
+            .engine
+            .derive(&self.expression, &fields, self.strategy)?;
         let field = report.field.expect("pipeline engines run in real mode");
         let array = match field.width {
             Width::Vec4 => {
@@ -245,7 +249,12 @@ pub struct Pipeline {
 impl Pipeline {
     /// A pipeline fed by `source`.
     pub fn new(source: SyntheticSource) -> Self {
-        Pipeline { source, filters: Vec::new(), cache: None, executions: 0 }
+        Pipeline {
+            source,
+            filters: Vec::new(),
+            cache: None,
+            executions: 0,
+        }
     }
 
     /// Append a filter.
@@ -314,13 +323,15 @@ mod tests {
 
     #[test]
     fn contract_requests_ghosts_for_gradients() {
-        let f =
-            DerivedFieldFilter::new(Workload::QCriterion.source(), gpu(), Strategy::Fusion)
-                .unwrap();
+        let f = DerivedFieldFilter::new(Workload::QCriterion.source(), gpu(), Strategy::Fusion)
+            .unwrap();
         let c = f.contract(&Contract::default());
         assert_eq!(c.ghost_layers, 1);
         assert!(c.required_fields.contains("u"));
-        assert!(!c.required_fields.contains("x"), "mesh provides coordinates");
+        assert!(
+            !c.required_fields.contains("x"),
+            "mesh provides coordinates"
+        );
         // Elementwise expressions need no ghosts.
         let f = DerivedFieldFilter::new(
             Workload::VelocityMagnitude.source(),
@@ -336,12 +347,8 @@ mod tests {
         // f2 consumes f1's output; upstream only needs u, v, w.
         let mut p = Pipeline::new(source_whole([6, 6, 6]));
         p.add_filter(Box::new(
-            DerivedFieldFilter::new(
-                "vm = sqrt(u*u + v*v + w*w)\n",
-                gpu(),
-                Strategy::Fusion,
-            )
-            .unwrap(),
+            DerivedFieldFilter::new("vm = sqrt(u*u + v*v + w*w)\n", gpu(), Strategy::Fusion)
+                .unwrap(),
         ));
         p.add_filter(Box::new(
             DerivedFieldFilter::new("loud = vm * 10\n", gpu(), Strategy::Staged).unwrap(),
@@ -483,7 +490,11 @@ pub struct VtkWriterSink {
 impl VtkWriterSink {
     /// Write to `path` with `title`.
     pub fn new(path: impl Into<std::path::PathBuf>, title: &str) -> Self {
-        VtkWriterSink { path: path.into(), title: title.to_string(), writes: 0 }
+        VtkWriterSink {
+            path: path.into(),
+            title: title.to_string(),
+            writes: 0,
+        }
     }
 }
 
@@ -494,7 +505,9 @@ impl PipelineSink for VtkWriterSink {
 
     fn consume(&mut self, dataset: &RectilinearDataset) -> Result<(), PipelineError> {
         crate::io::write_vtk(dataset, &self.title, &self.path).map_err(|e| {
-            PipelineError::Dataset(DatasetError::NoSuchArray { name: e.to_string() })
+            PipelineError::Dataset(DatasetError::NoSuchArray {
+                name: e.to_string(),
+            })
         })?;
         self.writes += 1;
         Ok(())
@@ -515,7 +528,11 @@ pub struct PseudocolorSink {
 impl PseudocolorSink {
     /// Render `array` to `path` (mid-z slice).
     pub fn new(array: &str, path: impl Into<std::path::PathBuf>) -> Self {
-        PseudocolorSink { array: array.to_string(), path: path.into(), renders: 0 }
+        PseudocolorSink {
+            array: array.to_string(),
+            path: path.into(),
+            renders: 0,
+        }
     }
 }
 
@@ -534,10 +551,11 @@ impl PipelineSink for PseudocolorSink {
             }));
         }
         let dims = dataset.mesh.dims();
-        let img =
-            dfg_cluster::render::render_slice(&arr.data, dims, 2, dims[2] / 2);
+        let img = dfg_cluster::render::render_slice(&arr.data, dims, 2, dims[2] / 2);
         img.write_ppm(&self.path).map_err(|e| {
-            PipelineError::Dataset(DatasetError::NoSuchArray { name: e.to_string() })
+            PipelineError::Dataset(DatasetError::NoSuchArray {
+                name: e.to_string(),
+            })
         })?;
         self.renders += 1;
         Ok(())
@@ -546,10 +564,7 @@ impl PipelineSink for PseudocolorSink {
 
 impl Pipeline {
     /// Execute (or reuse the cached result) and feed every sink.
-    pub fn render(
-        &mut self,
-        sinks: &mut [&mut dyn PipelineSink],
-    ) -> Result<(), PipelineError> {
+    pub fn render(&mut self, sinks: &mut [&mut dyn PipelineSink]) -> Result<(), PipelineError> {
         self.execute()?;
         let ds = self.cache.as_ref().ok_or(PipelineError::Empty)?;
         for sink in sinks {

@@ -73,7 +73,11 @@ fn main() {
         .all(|(a, b)| a.to_bits() == b.to_bits());
     println!(
         "vs single grid:          {}",
-        if identical { "bit-identical ✓" } else { "DIVERGED ✗" }
+        if identical {
+            "bit-identical ✓"
+        } else {
+            "DIVERGED ✗"
+        }
     );
 
     let img = render_slice(&field, global_dims, 2, global_dims[2] / 2);

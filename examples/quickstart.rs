@@ -30,8 +30,14 @@ fn main() {
     println!();
     let (w, r, k) = report.table2_row();
     println!("device events: {w} writes, {r} reads, {k} kernel launch(es)");
-    println!("modeled device time: {:.3} ms", report.device_seconds() * 1e3);
-    println!("wall time:           {:.3} ms", report.wall.as_secs_f64() * 1e3);
+    println!(
+        "modeled device time: {:.3} ms",
+        report.device_seconds() * 1e3
+    );
+    println!(
+        "wall time:           {:.3} ms",
+        report.wall.as_secs_f64() * 1e3
+    );
     println!();
     println!("generated OpenCL-style kernel source:");
     println!("{}", report.generated_source.as_deref().unwrap_or("<none>"));

@@ -20,7 +20,11 @@ use dfg::prelude::*;
 fn main() {
     let spec = compile(Workload::QCriterion.source()).expect("Fig 3C compiles");
     let gpu = DeviceProfile::nvidia_m2050();
-    println!("Q-criterion on {} ({:.2} GB usable)", gpu.name, gpu.global_mem_bytes as f64 / 1e9);
+    println!(
+        "Q-criterion on {} ({:.2} GB usable)",
+        gpu.name,
+        gpu.global_mem_bytes as f64 / 1e9
+    );
     println!();
     println!(
         "{:<22} {:>9} {:>9} {:>9}   chosen",
@@ -33,7 +37,9 @@ fn main() {
         let n = grid.ncells();
         let mut need = Vec::new();
         for strategy in Strategy::ALL {
-            let bytes = memreq_units(&spec, strategy).expect("valid network").bytes(n);
+            let bytes = memreq_units(&spec, strategy)
+                .expect("valid network")
+                .bytes(n);
             need.push((strategy, bytes));
         }
         // Prefer fusion > staged > roundtrip among those that fit, as the
@@ -41,7 +47,8 @@ fn main() {
         let chosen = [Strategy::Fusion, Strategy::Staged, Strategy::Roundtrip]
             .into_iter()
             .find(|s| {
-                need.iter().any(|(st, b)| st == s && *b <= gpu.global_mem_bytes)
+                need.iter()
+                    .any(|(st, b)| st == s && *b <= gpu.global_mem_bytes)
             });
         print!("{:<22}", grid.to_string());
         for (_, bytes) in &need {
@@ -64,7 +71,10 @@ fn main() {
     let grid = *TABLE1_CATALOG.last().expect("catalog non-empty");
     let mut engine = Engine::with_options(
         gpu.clone(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let fields = FieldSet::virtual_rt(grid.dims());
     for strategy in Strategy::ALL {
@@ -88,7 +98,10 @@ fn main() {
         &[DeviceProfile::intel_x5660(), gpu.clone()],
     )
     .expect("planning succeeds");
-    println!("planner ranking for {mid} ({} feasible options):", plan.feasible.len());
+    println!(
+        "planner ranking for {mid} ({} feasible options):",
+        plan.feasible.len()
+    );
     for opt in plan.feasible.iter().take(4) {
         println!(
             "  {:<9} on {:<32} {:>8.3} s, {:>6.2} GB",

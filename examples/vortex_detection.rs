@@ -19,7 +19,10 @@ fn main() {
     let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
     let mut engine = Engine::new(DeviceProfile::nvidia_m2050());
 
-    println!("vortex detection on a {}x{}x{} RT-like field", dims[0], dims[1], dims[2]);
+    println!(
+        "vortex detection on a {}x{}x{} RT-like field",
+        dims[0], dims[1], dims[2]
+    );
     println!();
     println!(
         "{:<22} {:>10} {:>10} {:>12} {:>10}",
@@ -62,11 +65,16 @@ fn main() {
     );
 
     // Strongest vortex core.
-    let (best, best_q) = data
-        .iter()
-        .enumerate()
-        .fold((0usize, f32::MIN), |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc });
-    let (i, j, k) = (best % dims[0], (best / dims[0]) % dims[1], best / (dims[0] * dims[1]));
+    let (best, best_q) =
+        data.iter().enumerate().fold(
+            (0usize, f32::MIN),
+            |acc, (i, &v)| if v > acc.1 { (i, v) } else { acc },
+        );
+    let (i, j, k) = (
+        best % dims[0],
+        (best / dims[0]) % dims[1],
+        best / (dims[0] * dims[1]),
+    );
     let c = mesh.cell_center(i, j, k);
     println!(
         "strongest core: Q = {best_q:.3} at cell ({i}, {j}, {k}) = ({:.3}, {:.3}, {:.3})",
@@ -76,7 +84,10 @@ fn main() {
     let img = render_slice(data, dims, 2, k.min(dims[2] - 1));
     let path = std::path::Path::new("vortex_q_criterion.ppm");
     img.write_ppm(path).expect("write rendering");
-    println!("pseudocolor slice through the core written to {}", path.display());
+    println!(
+        "pseudocolor slice through the core written to {}",
+        path.display()
+    );
 
     // All three detectors in ONE pass: the combined program shares the
     // velocity-gradient tensor, and multi-output fusion computes everything
@@ -86,7 +97,12 @@ fn main() {
         Workload::QCriterion.source().trim_end()
     );
     let (outputs, report) = engine
-        .derive_many(&combined, &["v_mag", "w_mag", "q_crit"], &fields, Strategy::Fusion)
+        .derive_many(
+            &combined,
+            &["v_mag", "w_mag", "q_crit"],
+            &fields,
+            Strategy::Fusion,
+        )
         .expect("multi-output derive");
     let (writes, reads, kernels) = report.table2_row();
     println!();

@@ -25,6 +25,9 @@
 //!   contract pipeline that hosts the framework in situ.
 //! * [`sim`] — a miniature semi-Lagrangian flow solver: the in-situ host
 //!   simulation substrate.
+//! * [`trace`] — structured tracing spans with wall- and virtual-clock
+//!   timestamps, Chrome `trace_event` export, and flame summaries (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -57,12 +60,13 @@ pub use dfg_kernels as kernels;
 pub use dfg_mesh as mesh;
 pub use dfg_ocl as ocl;
 pub use dfg_sim as sim;
+pub use dfg_trace as trace;
 pub use dfg_vtk as vtk;
 
 /// Convenient single-import surface for host applications.
 pub mod prelude {
-    pub use dfg_core::{Engine, EngineOptions, ExecReport, FieldSet, FieldValue, Strategy};
     pub use dfg_core::workloads::{Q_CRITERION, VELOCITY_MAGNITUDE, VORTICITY_MAGNITUDE};
+    pub use dfg_core::{Engine, EngineOptions, ExecReport, FieldSet, FieldValue, Strategy};
     pub use dfg_mesh::{GridSpec, RectilinearMesh, RtWorkload, TABLE1_CATALOG};
     pub use dfg_ocl::{DeviceProfile, ExecMode};
 }

@@ -20,7 +20,11 @@ fn solver_state_round_trips_through_vtk_and_rederives() {
     // 2. Derive the Q-criterion in situ.
     let mut engine = Engine::new(DeviceProfile::nvidia_m2050());
     let q_live = engine
-        .derive(Workload::QCriterion.source(), &sim.fields(), Strategy::Fusion)
+        .derive(
+            Workload::QCriterion.source(),
+            &sim.fields(),
+            Strategy::Fusion,
+        )
         .expect("in-situ derive")
         .field
         .expect("real mode");
@@ -31,7 +35,8 @@ fn solver_state_round_trips_through_vtk_and_rederives() {
     ds.set_array("u", DataArray::scalar(u.to_vec())).unwrap();
     ds.set_array("v", DataArray::scalar(v.to_vec())).unwrap();
     ds.set_array("w", DataArray::scalar(w.to_vec())).unwrap();
-    ds.set_array("q_crit", DataArray::scalar(q_live.data.clone())).unwrap();
+    ds.set_array("q_crit", DataArray::scalar(q_live.data.clone()))
+        .unwrap();
     let document = to_vtk_string(&ds, "checkpoint step 3");
 
     // 4. Reload the checkpoint and re-derive from the restored arrays.
@@ -58,7 +63,11 @@ fn solver_state_round_trips_through_vtk_and_rederives() {
     //    exactly via the Debug format).
     let q_saved = restored.array("q_crit").unwrap();
     for i in 0..q_live.data.len() {
-        assert_eq!(q_live.data[i].to_bits(), q_saved.data[i].to_bits(), "save at {i}");
+        assert_eq!(
+            q_live.data[i].to_bits(),
+            q_saved.data[i].to_bits(),
+            "save at {i}"
+        );
         assert_eq!(
             q_live.data[i].to_bits(),
             q_restored.data[i].to_bits(),
@@ -80,7 +89,11 @@ fn multi_device_agrees_with_pipeline_on_solver_state() {
 
     let mut engine = Engine::new(DeviceProfile::nvidia_m2050());
     let single = engine
-        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Fusion)
+        .derive(
+            Workload::VorticityMagnitude.source(),
+            &fields,
+            Strategy::Fusion,
+        )
         .expect("single device")
         .field
         .expect("real mode");
@@ -95,7 +108,12 @@ fn multi_device_agrees_with_pipeline_on_solver_state() {
     .expect("multi device");
 
     assert_eq!(
-        multi.field.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        multi
+            .field
+            .data
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
         single.data.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
     );
     assert_eq!(multi.device_profiles.len(), 3);

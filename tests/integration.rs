@@ -48,21 +48,36 @@ fn oom_cascade_matches_paper_discussion() {
     let fields = FieldSet::virtual_rt(grid);
     let mut gpu = Engine::with_options(
         DeviceProfile::nvidia_m2050(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let mut cpu = Engine::with_options(
         DeviceProfile::intel_x5660(),
-        EngineOptions { mode: ExecMode::Model, ..Default::default() },
+        EngineOptions {
+            mode: ExecMode::Model,
+            ..Default::default()
+        },
     );
     let src = Workload::QCriterion.source();
     // GPU staged: fails on memory.
-    assert!(gpu.derive(src, &fields, Strategy::Staged).unwrap_err().is_out_of_memory());
+    assert!(gpu
+        .derive(src, &fields, Strategy::Staged)
+        .unwrap_err()
+        .is_out_of_memory());
     // GPU fusion: fits and is fast.
-    let gpu_fusion = gpu.derive(src, &fields, Strategy::Fusion).expect("fusion fits");
+    let gpu_fusion = gpu
+        .derive(src, &fields, Strategy::Fusion)
+        .expect("fusion fits");
     // CPU staged: always completes.
-    let cpu_staged = cpu.derive(src, &fields, Strategy::Staged).expect("CPU staged");
+    let cpu_staged = cpu
+        .derive(src, &fields, Strategy::Staged)
+        .expect("CPU staged");
     // GPU roundtrip also completes (smallest device footprint).
-    let gpu_rt = gpu.derive(src, &fields, Strategy::Roundtrip).expect("GPU roundtrip");
+    let gpu_rt = gpu
+        .derive(src, &fields, Strategy::Roundtrip)
+        .expect("GPU roundtrip");
     // The paper's observed ordering: CPU staged beats GPU roundtrip.
     assert!(
         cpu_staged.device_seconds() < gpu_rt.device_seconds(),
@@ -79,7 +94,11 @@ fn profile_event_labels_are_meaningful() {
     let (_, fields) = rt_fields([6, 6, 6]);
     let mut engine = Engine::new(DeviceProfile::intel_x5660());
     let report = engine
-        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Staged)
+        .derive(
+            Workload::VorticityMagnitude.source(),
+            &fields,
+            Strategy::Staged,
+        )
         .expect("staged run");
     let kernel_labels: Vec<&str> = report
         .profile
@@ -93,7 +112,11 @@ fn profile_event_labels_are_meaningful() {
     assert!(kernel_labels.contains(&"sqrt"));
     // Fusion events carry the compile record.
     let report = engine
-        .derive(Workload::VorticityMagnitude.source(), &fields, Strategy::Fusion)
+        .derive(
+            Workload::VorticityMagnitude.source(),
+            &fields,
+            Strategy::Fusion,
+        )
         .expect("fusion run");
     assert_eq!(report.profile.count(EventKind::KernelCompile), 1);
 }
@@ -105,7 +128,11 @@ fn distributed_pipeline_renders() {
         &global,
         [2, 2, 2],
         &RtWorkload::paper_default(),
-        &Cluster { nodes: 2, devices_per_node: 2, profile: DeviceProfile::nvidia_m2050() },
+        &Cluster {
+            nodes: 2,
+            devices_per_node: 2,
+            profile: DeviceProfile::nvidia_m2050(),
+        },
         &DistOptions {
             workload: Workload::QCriterion,
             strategy: Strategy::Fusion,
@@ -141,8 +168,12 @@ fn network_builder_api_direct_use() {
     let spec = b.finish(mag);
 
     let mut fields = FieldSet::new(4);
-    fields.insert_scalar("u", vec![3.0, 0.0, 1.0, -3.0]).unwrap();
-    fields.insert_scalar("v", vec![4.0, 2.0, 1.0, -4.0]).unwrap();
+    fields
+        .insert_scalar("u", vec![3.0, 0.0, 1.0, -3.0])
+        .unwrap();
+    fields
+        .insert_scalar("v", vec![4.0, 2.0, 1.0, -4.0])
+        .unwrap();
     let mut engine = Engine::new(DeviceProfile::intel_x5660());
     let out = engine
         .derive_spec(&spec, &fields, Strategy::Fusion)
@@ -159,17 +190,27 @@ fn expression_errors_surface_cleanly() {
     let (_, fields) = rt_fields([4, 4, 4]);
     let mut engine = Engine::new(DeviceProfile::intel_x5660());
     // Syntax error.
-    let err = engine.derive("v = sqrt(u", &fields, Strategy::Fusion).unwrap_err();
+    let err = engine
+        .derive("v = sqrt(u", &fields, Strategy::Fusion)
+        .unwrap_err();
     assert!(err.to_string().contains("expected"), "{err}");
     // Unknown function.
-    let err = engine.derive("v = laplacian(u)", &fields, Strategy::Fusion).unwrap_err();
+    let err = engine
+        .derive("v = laplacian(u)", &fields, Strategy::Fusion)
+        .unwrap_err();
     assert!(err.to_string().contains("unknown function"), "{err}");
     // Known function, wrong arity (curl is a compound sugar function).
-    let err = engine.derive("v = curl(u)", &fields, Strategy::Fusion).unwrap_err();
+    let err = engine
+        .derive("v = curl(u)", &fields, Strategy::Fusion)
+        .unwrap_err();
     assert!(err.to_string().contains("takes 7 argument"), "{err}");
     // Width misuse.
     let err = engine
-        .derive("v = sqrt(grad3d(u, dims, x, y, z))", &fields, Strategy::Fusion)
+        .derive(
+            "v = sqrt(grad3d(u, dims, x, y, z))",
+            &fields,
+            Strategy::Fusion,
+        )
         .unwrap_err();
     assert!(err.to_string().contains("invalid network"), "{err}");
 }

@@ -51,7 +51,13 @@ fn interpret(spec: &NetworkSpec, fields: &FieldSet) -> Vec<f32> {
             FilterOp::EqOp => (0..n).map(|i| f32::from(ins[0][i] == ins[1][i])).collect(),
             FilterOp::Ne => (0..n).map(|i| f32::from(ins[0][i] != ins[1][i])).collect(),
             FilterOp::Select => (0..n)
-                .map(|i| if ins[0][i] != 0.0 { ins[1][i] } else { ins[2][i] })
+                .map(|i| {
+                    if ins[0][i] != 0.0 {
+                        ins[1][i]
+                    } else {
+                        ins[2][i]
+                    }
+                })
                 .collect(),
             FilterOp::Neg => (0..n).map(|i| -ins[0][i]).collect(),
             FilterOp::Sqrt => (0..n).map(|i| ins[0][i].sqrt()).collect(),
@@ -79,9 +85,7 @@ fn interpret(spec: &NetworkSpec, fields: &FieldSet) -> Vec<f32> {
                 }
                 out
             }
-            FilterOp::Decompose(c) => {
-                (0..n).map(|i| ins[0][4 * i + *c as usize]).collect()
-            }
+            FilterOp::Decompose(c) => (0..n).map(|i| ins[0][4 * i + *c as usize]).collect(),
             FilterOp::Norm3 => (0..n)
                 .map(|i| {
                     let v = &ins[0][4 * i..4 * i + 3];
@@ -142,9 +146,8 @@ fn arb_expr() -> impl Strategy<Value = String> {
             inner.clone().prop_map(|a| format!("-{a}")),
             inner.clone().prop_map(|a| format!("abs({a})")),
             inner.clone().prop_map(|a| format!("sqrt(abs({a}))")),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| format!(
-                "(if (({c}) > 1) then (({a})) else (({b})))"
-            )),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| format!("(if (({c}) > 1) then (({a})) else (({b})))")),
         ]
     })
 }

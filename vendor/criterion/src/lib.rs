@@ -1,0 +1,217 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! Runs each benchmark closure a fixed number of iterations and prints
+//! mean wall time per iteration (plus throughput when configured). No
+//! warm-up modelling, outlier analysis, or HTML reports — this is a
+//! timing harness sufficient to run `cargo bench` offline, not a
+//! statistics engine.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Benchmark identifier: a function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered as `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    iters: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, recording total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+    }
+}
+
+/// A named set of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per benchmark (upstream's statistical sample count is
+    /// repurposed directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Report throughput alongside per-iteration time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.sample_size.max(1),
+            total_nanos: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.total_nanos as f64 / bencher.iters as f64;
+        let mut line = format!(
+            "{}/{}: {:>12} per iter ({} iters)",
+            self.name,
+            id.full,
+            format_nanos(per_iter),
+            bencher.iters
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / (per_iter / 1e9);
+            line.push_str(&format!("  [{rate:.3e} {unit}/s]"));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (marker only; results print as they complete).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark manager handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Time a standalone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns")
+    }
+}
+
+/// Opaque value barrier preventing the optimiser from deleting workloads.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Collect benchmark functions into a runner function named `$group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running each group, honouring `--bench`/filter arguments by
+/// ignoring them (all benchmarks always run).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5).throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("f", "p"), |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn str_ids_work() {
+        let mut c = Criterion::default();
+        let mut hit = false;
+        c.benchmark_group("t")
+            .sample_size(1)
+            .bench_function("plain", |b| {
+                b.iter(|| hit = true);
+            });
+        assert!(hit);
+    }
+}

@@ -1,0 +1,458 @@
+//! Offline shim for [proptest](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, strategies for integer ranges, tuples,
+//! [`Just`], a regex-subset string generator, `prop::collection::vec`, the
+//! [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] macros, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately; the generated
+//!   inputs are printed (via `Debug`) in the failure message instead.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   its module path and name, so failures reproduce exactly on re-run.
+//! * **Regex strategies** support the subset used here: literal characters,
+//!   `.`, character classes (`[a-z0-9+\-*/()=,.\[\] \n]`), and `{m,n}` /
+//!   `{n}` repetition.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// Everything a property-test file imports.
+pub mod prelude {
+    /// Alias matching upstream's `prelude::prop` (so `prop::collection::vec`
+    /// resolves).
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-block configuration; only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test in the block runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then use it to build and draw from a second
+    /// strategy (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Build a recursive strategy: `self` is the leaf case and `f` wraps an
+    /// inner strategy into composite cases. `depth` bounds recursion;
+    /// `_desired_size` and `_expected_branch` are accepted for upstream
+    /// signature compatibility but unused.
+    fn prop_recursive<F, B>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> B,
+        B: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.clone().boxed();
+        for _ in 0..depth {
+            // Each level chooses the leaf or one more level of structure,
+            // leaf-biased so generated sizes vary.
+            current = union(vec![self.clone().boxed(), f(current).boxed()]);
+        }
+        current
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// A type-erased strategy; cheap to clone.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (see [`prop_oneof!`]).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].new_value(rng)
+    }
+}
+
+/// Build a [`Union`]; used by [`prop_oneof!`].
+pub fn union<T>(variants: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T>
+where
+    T: Clone + Debug + 'static,
+{
+    assert!(
+        !variants.is_empty(),
+        "prop_oneof! needs at least one variant"
+    );
+    Union(variants).boxed()
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategies!(i64, i32, i16, i8);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+mod regex;
+
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Vectors with lengths drawn from `len` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Output of [`vec()`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone + Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::new_value(&self.len, rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Equivalent of `assert!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equivalent of `assert_eq!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Equivalent of `assert_ne!` inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($variant:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($variant)),+])
+    };
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]`-style function (write `#[test]` above it, as with
+/// upstream proptest) running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let mut __inputs = String::new();
+                    $(
+                        let __value = $crate::Strategy::new_value(&($strat), &mut __rng);
+                        __inputs.push_str(&format!(
+                            "{} = {:?}; ",
+                            stringify!($pat),
+                            &__value
+                        ));
+                        let $pat = __value;
+                    )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(panic) = __outcome {
+                        eprintln!(
+                            "proptest {}: case {}/{} failed with inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __inputs
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let (a, b) = Strategy::new_value(&(1usize..10, 5u64..6), &mut rng);
+            assert!((1..10).contains(&a));
+            assert_eq!(b, 5);
+            let c = Strategy::new_value(&(-3i32..3), &mut rng);
+            assert!((-3..3).contains(&c));
+            let d = Strategy::new_value(&(2usize..=4), &mut rng);
+            assert!((2..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_vec_compose() {
+        let mut rng = crate::test_runner::TestRng::for_test("compose");
+        let strat = prop::collection::vec(
+            prop_oneof![
+                Just("x".to_string()),
+                (1usize..5).prop_map(|n| format!("n{n}")),
+            ],
+            0..10,
+        );
+        for _ in 0..200 {
+            let v = Strategy::new_value(&strat, &mut rng);
+            assert!(v.len() < 10);
+            for s in v {
+                assert!(s == "x" || s.starts_with('n'));
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        let leaf = prop_oneof![Just("u".to_string()), Just("v".to_string())];
+        let expr = leaf.prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a}+{b})"))
+        });
+        let mut rng = crate::test_runner::TestRng::for_test("recursion");
+        let mut saw_composite = false;
+        let mut saw_leaf = false;
+        for _ in 0..200 {
+            let s = Strategy::new_value(&expr, &mut rng);
+            assert!(s.len() < 2_000, "depth bound holds");
+            if s.contains('(') {
+                saw_composite = true;
+            } else {
+                saw_leaf = true;
+            }
+        }
+        assert!(saw_composite && saw_leaf, "both recursion arms exercised");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..50, (a, b) in (0u32..4, 0u32..4)) {
+            prop_assert!(x < 50);
+            prop_assert!(a < 4 && b < 4);
+        }
+    }
+}

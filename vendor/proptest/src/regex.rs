@@ -1,0 +1,211 @@
+//! String generation from a small regex subset.
+//!
+//! Supports exactly what this workspace's tests use: literal characters,
+//! `.` (printable ASCII or newline), escaped metacharacters (`\-`, `\[`,
+//! `\]`, `\.`, `\\`, `\n`, `\t`), character classes with ranges
+//! (`[a-z0-9+\-*/()=,.\[\] \n]`), and `{m,n}` / `{n}` repetition applied to
+//! the immediately preceding atom. Unsupported constructs panic so a new
+//! test pattern fails loudly rather than silently generating garbage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// Any printable ASCII char, space, or newline (`.`).
+    Any,
+    /// One of an explicit choice set (expanded from a `[...]` class).
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.max - piece.min + 1;
+        let count = piece.min + rng.below(span as u64) as usize;
+        for _ in 0..count {
+            out.push(emit(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn emit(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => {
+            // Printable ASCII (0x20..=0x7E) plus '\n'.
+            let idx = rng.below(96) as u32;
+            if idx == 95 {
+                '\n'
+            } else {
+                char::from_u32(0x20 + idx).expect("printable ascii")
+            }
+        }
+        Atom::Class(choices) => choices[rng.below(choices.len() as u64) as usize],
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces: Vec<Piece> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("regex shim: trailing backslash in {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            '{' | '}' | ']' => {
+                panic!("regex shim: unexpected {:?} in {pattern:?}", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional {n} / {m,n} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("regex shim: unclosed {{ in {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "regex shim: bad repetition in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut choices = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            let c = *chars.get(i).unwrap_or_else(|| {
+                panic!("regex shim: trailing backslash in class in {pattern:?}")
+            });
+            unescape(c)
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // Range like a-z (but a literal '-' escaped or at the end is itself).
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = if chars[i + 1] == '\\' {
+                i += 1;
+                unescape(chars[i + 1])
+            } else {
+                chars[i + 1]
+            };
+            i += 2;
+            assert!(c <= hi, "regex shim: inverted range in {pattern:?}");
+            for code in (c as u32)..=(hi as u32) {
+                choices.push(char::from_u32(code).expect("class range char"));
+            }
+        } else {
+            choices.push(c);
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "regex shim: unclosed [ in {pattern:?}"
+    );
+    assert!(
+        !choices.is_empty(),
+        "regex shim: empty class in {pattern:?}"
+    );
+    (choices, i + 1)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn dot_repetition_bounds_length() {
+        let mut rng = TestRng::for_test("dot");
+        for _ in 0..200 {
+            let s = generate(".{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_ranges() {
+        let mut rng = TestRng::for_test("class");
+        let allowed: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789+-*/()=,.[] \n"
+            .chars()
+            .collect();
+        for _ in 0..200 {
+            let s = generate("[a-z0-9+\\-*/()=,.\\[\\] \n]{0,120}", &mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn nonzero_min_is_respected() {
+        let mut rng = TestRng::for_test("min");
+        for _ in 0..100 {
+            let s = generate("[a+*/() =\n]{1,80}", &mut rng);
+            let n = s.chars().count();
+            assert!((1..=80).contains(&n));
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = TestRng::for_test("lit");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("a{3}", &mut rng), "aaa");
+    }
+}

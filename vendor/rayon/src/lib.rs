@@ -1,0 +1,129 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! Implements the small slice-parallel surface this workspace uses —
+//! `par_chunks_mut` plus the `zip`/`enumerate`/`for_each` adaptors — on top
+//! of `std::thread::scope`. Chunk lists are materialized eagerly (they are
+//! a handful of `&mut [T]` fat pointers, not data copies), then distributed
+//! across one worker per available core.
+
+use std::num::NonZeroUsize;
+
+/// The import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParIter, ParallelSliceMut};
+}
+
+/// Number of worker threads `for_each` fans out to.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An eager "parallel iterator": a list of items to process concurrently.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Pair items with another parallel iterator, rayon-style (truncates to
+    /// the shorter side, as `zip` does).
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attach each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` over every item, distributing items across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        let mut items = self.items;
+        let nthreads = current_num_threads().min(items.len().max(1));
+        if nthreads <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let per = items.len().div_ceil(nthreads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let batch: Vec<I> = items.drain(..per.min(items.len())).collect();
+                scope.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Extension trait providing `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into non-overlapping mutable chunks of `chunk_size` (the last
+    /// chunk may be shorter), to be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_for_each_covers_every_element() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(64).enumerate().for_each(|(c, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (c * 64 + i) as u64;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn zip_of_three_slices() {
+        let (mut a, mut b, mut c) = (vec![0; 100], vec![0; 100], vec![0; 100]);
+        a.par_chunks_mut(7)
+            .zip(b.par_chunks_mut(7))
+            .zip(c.par_chunks_mut(7))
+            .enumerate()
+            .for_each(|(k, ((ca, cb), cc))| {
+                for i in 0..ca.len() {
+                    ca[i] = k;
+                    cb[i] = k + 1;
+                    cc[i] = k + 2;
+                }
+            });
+        assert_eq!(a[0], 0);
+        assert_eq!(b[0], 1);
+        assert_eq!(c[99], 100 / 7 + 2);
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<f32> = Vec::new();
+        v.par_chunks_mut(8)
+            .for_each(|_| panic!("no chunks expected"));
+    }
+}
