@@ -1,0 +1,199 @@
+//! Extension experiment: the persistent-session hot loop (§V in-situ use).
+//!
+//! Drives the miniature flow solver for N cycles, deriving vorticity
+//! magnitude and the Q-criterion each cycle with one fused kernel — once
+//! per-cycle through one-shot [`Engine::derive_many`] (fresh context,
+//! full re-upload, re-codegen every cycle) and once through a persistent
+//! [`dfg_core::Session`] (pooled buffers, resident fields, cached kernel).
+//! Both arms run the identical deterministic solver trajectory, so the
+//! derived fields agree bit-for-bit; only the execution cost differs.
+//!
+//! Writes `BENCH_insitu.json` with wall and modeled (virtual-clock) device
+//! seconds for both arms.
+
+use dfg_core::{Engine, EngineOptions, Workload};
+use dfg_dataflow::Strategy;
+use dfg_mesh::RtWorkload;
+use dfg_ocl::{DeviceProfile, EventKind};
+use dfg_sim::FlowSimulation;
+
+const DIMS: [usize; 3] = [64, 64, 64];
+const CYCLES: usize = 20;
+const OUTPUTS: [&str; 2] = ["w_mag", "q_crit"];
+
+struct Arm {
+    wall_seconds: f64,
+    device_seconds: f64,
+    uploads: u64,
+    compiles: u64,
+    checksum: f64,
+}
+
+fn source() -> String {
+    format!(
+        "{}\nw_mag = norm(curl(u, v, w, dims, x, y, z))\n",
+        Workload::QCriterion.source().trim_end()
+    )
+}
+
+/// One-shot arm: a fresh derive per cycle, exactly what a session-less
+/// in-situ host does today.
+fn run_one_shot() -> Arm {
+    let src = source();
+    let mut sim = FlowSimulation::from_workload(DIMS, &RtWorkload::paper_default());
+    let mut engine = Engine::with_options(DeviceProfile::nvidia_m2050(), EngineOptions::default());
+    let mut arm = Arm {
+        wall_seconds: 0.0,
+        device_seconds: 0.0,
+        uploads: 0,
+        compiles: 0,
+        checksum: 0.0,
+    };
+    for _ in 0..CYCLES {
+        sim.step(0.01);
+        let (outputs, report) = engine
+            .derive_many(&src, &OUTPUTS, sim.fields(), Strategy::Fusion)
+            .expect("one-shot derive");
+        arm.wall_seconds += report.wall.as_secs_f64();
+        arm.device_seconds += report.device_seconds();
+        arm.uploads += report.profile.count(EventKind::HostToDevice) as u64;
+        arm.compiles += report.profile.count(EventKind::KernelCompile) as u64;
+        arm.checksum += outputs
+            .iter()
+            .map(|(_, f)| f.data.iter().map(|v| *v as f64).sum::<f64>())
+            .sum::<f64>();
+    }
+    arm
+}
+
+/// Session arm: same trajectory, same expression, one persistent session.
+fn run_session() -> (Arm, dfg_core::SessionStats, u64, u64) {
+    let src = source();
+    let mut sim = FlowSimulation::from_workload(DIMS, &RtWorkload::paper_default());
+    let mut engine = Engine::with_options(DeviceProfile::nvidia_m2050(), EngineOptions::default());
+    let mut session = engine.session();
+    let mut arm = Arm {
+        wall_seconds: 0.0,
+        device_seconds: 0.0,
+        uploads: 0,
+        compiles: 0,
+        checksum: 0.0,
+    };
+    for _ in 0..CYCLES {
+        sim.step(0.01);
+        let (outputs, report) = session
+            .derive_many(&src, &OUTPUTS, sim.fields(), Strategy::Fusion)
+            .expect("session derive");
+        arm.wall_seconds += report.wall.as_secs_f64();
+        arm.device_seconds += report.device_seconds();
+        arm.uploads += report.profile.count(EventKind::HostToDevice) as u64;
+        arm.compiles += report.profile.count(EventKind::KernelCompile) as u64;
+        arm.checksum += outputs
+            .iter()
+            .map(|(_, f)| f.data.iter().map(|v| *v as f64).sum::<f64>())
+            .sum::<f64>();
+    }
+    let pool_hits = session.pool_hits();
+    let resident_bytes = session.resident_bytes();
+    let stats = session.end();
+    (arm, stats, pool_hits, resident_bytes)
+}
+
+fn main() {
+    println!(
+        "IN-SITU SESSION BENCHMARK: {CYCLES} cycles of w_mag + q_crit over \
+         {}x{}x{} cells (fusion, M2050 model)",
+        DIMS[0], DIMS[1], DIMS[2]
+    );
+    println!();
+
+    // Warm-up to stabilize wall timings (allocator, rayon pool).
+    let _ = run_one_shot();
+
+    let off = run_one_shot();
+    let (on, stats, pool_hits, resident_bytes) = run_session();
+
+    assert_eq!(
+        off.checksum.to_bits(),
+        on.checksum.to_bits(),
+        "both arms must derive identical fields"
+    );
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>8} {:>9}",
+        "arm", "wall ms", "device ms", "uploads", "compiles"
+    );
+    for (name, arm) in [("one-shot", &off), ("session", &on)] {
+        println!(
+            "{name:<12} {:>10.3} {:>12.3} {:>8} {:>9}",
+            arm.wall_seconds * 1e3,
+            arm.device_seconds * 1e3,
+            arm.uploads,
+            arm.compiles
+        );
+    }
+    let wall_speedup = off.wall_seconds / on.wall_seconds;
+    let device_speedup = off.device_seconds / on.device_seconds;
+    println!();
+    println!(
+        "session speedup: {wall_speedup:.2}x wall, {device_speedup:.2}x modeled device \
+         ({} uploads skipped, {} codegen cached, {pool_hits} pooled allocations)",
+        stats.uploads_skipped, stats.codegen_cached
+    );
+
+    assert!(
+        on.wall_seconds < off.wall_seconds,
+        "session must win on wall time"
+    );
+    assert!(
+        on.device_seconds < off.device_seconds,
+        "session must win on modeled device time"
+    );
+
+    let json = format!(
+        r#"{{
+  "benchmark": "insitu_session",
+  "grid": [{}, {}, {}],
+  "cycles": {CYCLES},
+  "strategy": "fusion",
+  "device": "NVIDIA Tesla M2050 (modeled)",
+  "outputs": ["w_mag", "q_crit"],
+  "session_off": {{
+    "wall_seconds": {:.6},
+    "device_seconds": {:.6},
+    "uploads": {},
+    "kernel_compiles": {}
+  }},
+  "session_on": {{
+    "wall_seconds": {:.6},
+    "device_seconds": {:.6},
+    "uploads": {},
+    "uploads_skipped": {},
+    "kernel_compiles": {},
+    "codegen_cached": {},
+    "pool_hits": {pool_hits},
+    "resident_bytes": {resident_bytes}
+  }},
+  "speedup": {{
+    "wall": {wall_speedup:.3},
+    "device": {device_speedup:.3}
+  }}
+}}
+"#,
+        DIMS[0],
+        DIMS[1],
+        DIMS[2],
+        off.wall_seconds,
+        off.device_seconds,
+        off.uploads,
+        off.compiles,
+        on.wall_seconds,
+        on.device_seconds,
+        on.uploads,
+        stats.uploads_skipped,
+        on.compiles,
+        stats.codegen_cached,
+    );
+    std::fs::write("BENCH_insitu.json", json).expect("write BENCH_insitu.json");
+    println!("results written to BENCH_insitu.json");
+}

@@ -9,6 +9,7 @@ use dfg_expr::compile;
 use dfg_kernels_shim::generated_source_of;
 use dfg_mesh::{RectilinearMesh, RtWorkload, TABLE1_CATALOG};
 use dfg_ocl::{DeviceProfile, ExecMode};
+use dfg_sim::FlowSimulation;
 use dfg_trace::Tracer;
 use dfg_vtk::io::{read_vtk, write_vtk};
 use dfg_vtk::{DataArray, RectilinearDataset};
@@ -34,6 +35,8 @@ usage:
   dfgc plan  --expr <program> --grid NXxNYxNZ
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
              [--device cpu|gpu] [--out-dir <dir>]
+  dfgc insitu [--cycles <n>] [--grid NXxNYxNZ] [--expr <program>]
+             [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
   dfgc parse --expr <program>
   dfgc kernels
   dfgc info";
@@ -114,6 +117,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&Args::parse(&args[1..])?),
         Some("plan") => cmd_plan(&Args::parse(&args[1..])?),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("insitu") => cmd_insitu(&Args::parse(&args[1..])?),
         Some("parse") => cmd_parse(&Args::parse(&args[1..])?),
         Some("kernels") => {
             cmd_kernels();
@@ -331,6 +335,80 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         );
         print!("{}", row.flame);
     }
+    Ok(())
+}
+
+/// `dfgc insitu`: drive the miniature flow solver for N cycles under a
+/// persistent [`dfg_core::Session`], deriving the expression every cycle —
+/// the in-situ hot loop with uploads, codegen, and buffer allocations
+/// amortized across cycles.
+fn cmd_insitu(args: &Args) -> Result<(), String> {
+    let cycles = match args.get("cycles") {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("--cycles must be a positive integer, got `{s}`"))?,
+        None => 16,
+    };
+    let dims = match args.get("grid") {
+        Some(g) => parse_grid(g)?,
+        None => [32, 32, 32],
+    };
+    let expression = match (args.get("expr"), args.get("expr-file")) {
+        (None, None) => format!("{}\n", dfg_core::workloads::Q_CRITERION),
+        _ => args.expression()?,
+    };
+    let profile = device_of(args.get("device"))?;
+    let strategy = strategy_of(args.get("strategy"))?;
+
+    let mut sim = FlowSimulation::from_workload(dims, &RtWorkload::paper_default());
+    let mut engine = Engine::with_options(profile.clone(), EngineOptions::default());
+    let mut session = engine.session();
+
+    println!(
+        "in-situ session: {} cycles of `{}` over {}x{}x{} cells on {}",
+        cycles,
+        expression.trim(),
+        dims[0],
+        dims[1],
+        dims[2],
+        profile.name
+    );
+    println!();
+    println!(
+        "{:>5} {:>6} {:>6} {:>6} {:>12} {:>10}",
+        "cycle", "Dev-W", "Dev-R", "K-Exe", "device ms", "wall ms"
+    );
+    for cycle in 0..cycles {
+        sim.step(0.01);
+        let report = match strategy {
+            Some(s) => session.derive(&expression, sim.fields(), s),
+            None => session.derive_streamed(&expression, sim.fields(), None),
+        }
+        .map_err(|e| pretty_engine_err(&e, &expression))?;
+        let (w, r, k) = report.table2_row();
+        println!(
+            "{cycle:>5} {w:>6} {r:>6} {k:>6} {:>12.3} {:>10.3}",
+            report.device_seconds() * 1e3,
+            report.wall.as_secs_f64() * 1e3,
+        );
+    }
+    let pool_hits = session.pool_hits();
+    let resident_mb = session.resident_bytes() as f64 / 1e6;
+    let stats = session.end();
+    println!();
+    println!(
+        "amortized across {} cycles: {} codegen+compile ({} served from cache), \
+         {} uploads ({} skipped), {} pooled allocations, {:.1} MB resident",
+        stats.cycles,
+        stats.codegen_compiles,
+        stats.codegen_cached,
+        stats.uploads,
+        stats.uploads_skipped,
+        pool_hits,
+        resident_mb,
+    );
     Ok(())
 }
 
@@ -643,6 +721,29 @@ mod tests {
     #[test]
     fn kernels_subcommand_prints_library() {
         dispatch(&strs(&["kernels"])).unwrap();
+    }
+
+    #[test]
+    fn insitu_session_loop_via_cli() {
+        dispatch(&strs(&[
+            "insitu", "--cycles", "3", "--grid", "8x8x8", "--device", "cpu",
+        ]))
+        .unwrap();
+        // Streamed variant exercises the session kernel cache too.
+        dispatch(&strs(&[
+            "insitu",
+            "--cycles",
+            "2",
+            "--grid",
+            "8x8x8",
+            "--strategy",
+            "streamed",
+            "--device",
+            "cpu",
+        ]))
+        .unwrap();
+        assert!(dispatch(&strs(&["insitu", "--cycles", "0"])).is_err());
+        assert!(dispatch(&strs(&["insitu", "--cycles", "many"])).is_err());
     }
 
     #[test]

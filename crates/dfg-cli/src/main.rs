@@ -6,6 +6,7 @@
 //!            [--output out.vtk] [--render slice.ppm] [--trace trace.json]
 //! dfgc plan  --expr "<expression>" --grid NXxNYxNZ
 //! dfgc profile "<expression>"            # trace every strategy, emit Chrome traces
+//! dfgc insitu [--cycles 16]              # persistent-session hot loop over the flow solver
 //! dfgc parse --expr "<expression>"       # print network + generated source
 //! dfgc info                              # devices and the Table I catalog
 //! ```

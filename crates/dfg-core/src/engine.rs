@@ -54,8 +54,10 @@ pub struct ExecReport {
     /// The generated OpenCL-style kernel source (fusion strategy only).
     pub generated_source: Option<String>,
     /// Span tree recorded during the run, when a tracer is attached with
-    /// [`Engine::set_tracer`]. The snapshot is cumulative: an engine whose
-    /// tracer served earlier runs carries their spans too.
+    /// [`Engine::set_tracer`]. Scoped to this run: spans recorded by
+    /// earlier runs on the same engine are not included (the tracer itself
+    /// still accumulates everything, so `tracer().snapshot()` exports the
+    /// whole session).
     pub trace: Option<Trace>,
 }
 
@@ -147,7 +149,7 @@ impl Engine {
         self.tracer.as_ref()
     }
 
-    fn traced_context(&self) -> Context {
+    pub(crate) fn traced_context(&self) -> Context {
         let mut ctx = Context::new(self.profile.clone(), self.options.mode);
         if let Some(tracer) = &self.tracer {
             ctx.set_tracer(tracer.clone());
@@ -155,8 +157,17 @@ impl Engine {
         ctx
     }
 
-    fn snapshot(&self) -> Option<Trace> {
-        self.tracer.as_ref().map(Tracer::snapshot)
+    /// Current span count — the scope mark a run's report snapshots from.
+    pub(crate) fn trace_mark(&self) -> usize {
+        self.tracer.as_ref().map_or(0, Tracer::span_count)
+    }
+
+    pub(crate) fn snapshot_since(&self, mark: usize) -> Option<Trace> {
+        self.tracer.as_ref().map(|t| t.snapshot_since(mark))
+    }
+
+    pub(crate) fn options(&self) -> &EngineOptions {
+        &self.options
     }
 
     /// How many distinct programs this engine has compiled (cache misses);
@@ -165,7 +176,7 @@ impl Engine {
         self.compiles
     }
 
-    fn compile_cached(&mut self, source: &str) -> Result<NetworkSpec, EngineError> {
+    pub(crate) fn compile_cached(&mut self, source: &str) -> Result<NetworkSpec, EngineError> {
         if let Some(spec) = self.spec_cache.get(source) {
             let _parse = span!(self.tracer, "parse", cached = true);
             return Ok(spec.clone());
@@ -198,12 +209,13 @@ impl Engine {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<ExecReport, EngineError> {
+        let mark = self.trace_mark();
         let root = span!(self.tracer, "derive", strategy = strategy.name());
         let spec = self.compile_cached(source)?;
         let mut report = self.derive_spec(&spec, fields, strategy)?;
         // Close the root span so the snapshot carries its full duration.
         drop(root);
-        report.trace = self.snapshot();
+        report.trace = self.snapshot_since(mark);
         Ok(report)
     }
 
@@ -214,6 +226,7 @@ impl Engine {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<ExecReport, EngineError> {
+        let mark = self.trace_mark();
         let sched = {
             let _plan = span!(self.tracer, "plan", nodes = spec.iter().count());
             Schedule::new(spec)?
@@ -257,7 +270,7 @@ impl Engine {
             profile: ctx.report(),
             wall,
             generated_source,
-            trace: self.snapshot(),
+            trace: self.snapshot_since(mark),
         })
     }
 
@@ -275,6 +288,7 @@ impl Engine {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<(Vec<(String, Field)>, ExecReport), EngineError> {
+        let mark = self.trace_mark();
         let root = span!(
             self.tracer,
             "derive_many",
@@ -346,7 +360,7 @@ impl Engine {
             trace: None,
         };
         drop(root);
-        report.trace = self.snapshot();
+        report.trace = self.snapshot_since(mark);
         Ok((named, report))
     }
 
@@ -362,6 +376,7 @@ impl Engine {
         fields: &FieldSet,
         device_budget_bytes: Option<u64>,
     ) -> Result<ExecReport, EngineError> {
+        let mark = self.trace_mark();
         let root = span!(self.tracer, "derive", strategy = "streamed");
         let spec = self.compile_cached(source)?;
         let budget = device_budget_bytes.unwrap_or(self.profile.global_mem_bytes);
@@ -393,7 +408,7 @@ impl Engine {
             trace: None,
         };
         drop(root);
-        report.trace = self.snapshot();
+        report.trace = self.snapshot_since(mark);
         Ok(report)
     }
 
@@ -404,6 +419,7 @@ impl Engine {
         workload: Workload,
         fields: &FieldSet,
     ) -> Result<ExecReport, EngineError> {
+        let mark = self.trace_mark();
         let mut ctx = self.traced_context();
         let real = self.options.mode == ExecMode::Real;
         let n = fields.ncells();
@@ -448,7 +464,7 @@ impl Engine {
             profile: ctx.report(),
             wall,
             generated_source: None,
-            trace: self.snapshot(),
+            trace: self.snapshot_since(mark),
         })
     }
 }

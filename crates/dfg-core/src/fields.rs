@@ -14,6 +14,18 @@ pub struct FieldValue {
     /// Backing data (`None` for virtual fields used with
     /// [`dfg_ocl::ExecMode::Model`]).
     pub data: Option<Vec<f32>>,
+    /// Version counter, bumped by every insert/update/touch of this name.
+    /// A [`crate::Session`] compares it against the generation of its
+    /// device-resident copy to decide whether a re-upload is needed.
+    generation: u64,
+}
+
+impl FieldValue {
+    /// The field's current version. Monotonically increasing per
+    /// [`FieldSet`]; unchanged by [`Clone`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
 }
 
 /// The set of input fields a host application provides for one execution:
@@ -22,6 +34,8 @@ pub struct FieldValue {
 pub struct FieldSet {
     ncells: usize,
     fields: HashMap<String, FieldValue>,
+    /// Next generation to hand out; generations are unique within a set.
+    next_gen: u64,
 }
 
 impl FieldSet {
@@ -30,7 +44,14 @@ impl FieldSet {
         FieldSet {
             ncells,
             fields: HashMap::new(),
+            next_gen: 1,
         }
+    }
+
+    fn fresh_gen(&mut self) -> u64 {
+        let g = self.next_gen;
+        self.next_gen += 1;
+        g
     }
 
     /// Cell count all problem-sized fields must match.
@@ -46,45 +67,91 @@ impl FieldSet {
         if data.len() != self.ncells {
             return Err((self.ncells, data.len()));
         }
+        let generation = self.fresh_gen();
         self.fields.insert(
             name.to_string(),
             FieldValue {
                 width: Width::Scalar,
                 data: Some(data),
+                generation,
             },
         );
         Ok(())
     }
 
+    /// Overwrite an existing scalar field's data in place, bumping its
+    /// generation. Unlike [`FieldSet::insert_scalar`] this reuses the
+    /// existing allocation when lengths match and fails if the field does
+    /// not already exist as a real scalar.
+    ///
+    /// # Errors
+    /// Returns the expected/actual lengths on mismatch (also used for a
+    /// missing or virtual field, with `found = 0`).
+    pub fn update_scalar(&mut self, name: &str, data: &[f32]) -> Result<(), (usize, usize)> {
+        if data.len() != self.ncells {
+            return Err((self.ncells, data.len()));
+        }
+        let generation = self.fresh_gen();
+        let field = self
+            .fields
+            .get_mut(name)
+            .filter(|f| f.width == Width::Scalar)
+            .ok_or((self.ncells, 0))?;
+        let buf = field.data.as_mut().ok_or((self.ncells, 0))?;
+        buf.copy_from_slice(data);
+        field.generation = generation;
+        Ok(())
+    }
+
+    /// Mark a field as modified (e.g. after mutating its data through a
+    /// clone-and-reinsert), bumping its generation. Returns `false` if the
+    /// field does not exist.
+    pub fn touch(&mut self, name: &str) -> bool {
+        let generation = self.fresh_gen();
+        match self.fields.get_mut(name) {
+            Some(field) => {
+                field.generation = generation;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Insert a small auxiliary buffer (e.g. `dims`, 3 lanes).
     pub fn insert_small(&mut self, name: &str, data: Vec<f32>) {
+        let generation = self.fresh_gen();
         self.fields.insert(
             name.to_string(),
             FieldValue {
                 width: Width::Small,
                 data: Some(data),
+                generation,
             },
         );
     }
 
     /// Insert a virtual scalar field (model mode: shape only, no data).
     pub fn insert_virtual_scalar(&mut self, name: &str) {
+        let generation = self.fresh_gen();
         self.fields.insert(
             name.to_string(),
             FieldValue {
                 width: Width::Scalar,
                 data: None,
+                generation,
             },
         );
     }
 
     /// Insert a virtual small buffer.
     pub fn insert_virtual_small(&mut self, name: &str) {
+        let generation = self.fresh_gen();
         self.fields.insert(
             name.to_string(),
             FieldValue {
                 width: Width::Small,
                 data: None,
+                generation,
             },
         );
     }
@@ -196,6 +263,34 @@ mod tests {
         assert_eq!(f.component(1).unwrap(), vec![2.0, 5.0]);
         assert!(f.as_scalar().is_none());
         assert!(f.component(4).is_none());
+    }
+
+    #[test]
+    fn generations_track_mutation() {
+        let mut fs = FieldSet::new(4);
+        fs.insert_scalar("u", vec![0.0; 4]).unwrap();
+        fs.insert_scalar("v", vec![0.0; 4]).unwrap();
+        let gu = fs.get("u").unwrap().generation();
+        let gv = fs.get("v").unwrap().generation();
+        assert_ne!(gu, gv, "generations are unique within a set");
+
+        // Updating one field bumps only that field.
+        fs.update_scalar("u", &[1.0; 4]).unwrap();
+        assert!(fs.get("u").unwrap().generation() > gu);
+        assert_eq!(fs.get("v").unwrap().generation(), gv);
+        assert_eq!(fs.get("u").unwrap().data.as_deref(), Some(&[1.0f32; 4][..]));
+
+        // Touch bumps without changing data; unknown names report false.
+        let gv2 = fs.get("v").unwrap().generation();
+        assert!(fs.touch("v"));
+        assert!(fs.get("v").unwrap().generation() > gv2);
+        assert!(!fs.touch("nope"));
+
+        // Update rejects bad lengths and missing/virtual fields.
+        assert_eq!(fs.update_scalar("u", &[0.0; 3]), Err((4, 3)));
+        assert_eq!(fs.update_scalar("w", &[0.0; 4]), Err((4, 0)));
+        fs.insert_virtual_scalar("p");
+        assert_eq!(fs.update_scalar("p", &[0.0; 4]), Err((4, 0)));
     }
 
     #[test]

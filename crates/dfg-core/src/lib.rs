@@ -21,6 +21,7 @@ mod engine;
 mod error;
 mod fields;
 pub mod planner;
+mod session;
 pub mod strategies;
 pub mod workloads;
 
@@ -32,4 +33,5 @@ pub use engine::{Engine, EngineOptions, ExecReport};
 pub use error::EngineError;
 pub use fields::{Field, FieldSet, FieldValue};
 pub use planner::{plan, plan_traced, Plan, PlanOption};
+pub use session::{Session, SessionStats};
 pub use workloads::Workload;

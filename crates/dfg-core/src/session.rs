@@ -1,0 +1,450 @@
+//! Persistent execution sessions for the in-situ hot loop (§V).
+//!
+//! An in-situ host calls the framework with the same expression, the same
+//! mesh, and mostly-the-same fields every simulation cycle. A [`Session`]
+//! amortizes everything that does not change across cycles:
+//!
+//! - **one device context for the whole session** — with buffer pooling
+//!   enabled ([`dfg_ocl::Context::set_pooling`]), so transient buffers
+//!   (fusion outputs, staged intermediates) reuse their backing storage
+//!   instead of re-allocating and re-zeroing each cycle;
+//! - **resident source fields with generation-based dirty tracking** — the
+//!   session keeps a device copy of every input it has uploaded, tagged
+//!   with the [`crate::FieldValue::generation`] it was uploaded at, and
+//!   re-uploads only fields whose generation changed. Static mesh
+//!   coordinates upload exactly once per session;
+//! - **a compiled-kernel cache** — fused (and streamed) codegen output is
+//!   keyed by [`dfg_dataflow::NetworkSpec::structural_hash`], so dynamic
+//!   code generation and `record_compile` happen once per distinct network,
+//!   not once per cycle.
+//!
+//! Profiles are still per-cycle: each [`Session::derive`] resets the
+//! context's event log and virtual clock first, so a cycle's
+//! [`ExecReport`] covers that cycle alone (with the high-water mark
+//! re-seeded from the resident bytes). Trace spans are likewise scoped per
+//! cycle, and cached work is tagged with `upload.skipped` /
+//! `codegen.cached` spans so `dfgc profile` shows the amortization.
+//!
+//! One-shot [`Engine::derive`] is untouched: it still builds a fresh,
+//! unpooled context per run, preserving the paper's Table II counts and
+//! Figure 5/6 model numbers exactly.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dfg_dataflow::{NetworkSpec, NodeId, Schedule, Strategy};
+use dfg_kernels::FusedProgram;
+use dfg_ocl::{BufferId, Context, ExecMode};
+use dfg_trace::span;
+
+use crate::engine::{Engine, ExecReport};
+use crate::error::EngineError;
+use crate::fields::FieldSet;
+use crate::strategies::{
+    check_field, lanes_for, run_fusion_multi_session, run_roundtrip_multi_session,
+    run_staged_multi_session, run_streamed_fusion_session,
+};
+
+/// A device-resident copy of one host input field.
+pub(crate) struct Resident {
+    pub buf: BufferId,
+    /// Generation of the host field at upload time.
+    pub generation: u64,
+    pub lanes: usize,
+}
+
+/// A cached fusion codegen result.
+pub(crate) struct CachedProgram {
+    pub program: FusedProgram,
+    pub source: String,
+}
+
+/// Counters a session accumulates; see [`Session::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Completed `derive`/`derive_many` cycles.
+    pub cycles: u64,
+    /// Host→device uploads of input fields actually performed.
+    pub uploads: u64,
+    /// Uploads skipped because the resident copy was current.
+    pub uploads_skipped: u64,
+    /// Fusion codegen + compile runs (kernel-cache misses).
+    pub codegen_compiles: u64,
+    /// Kernel-cache hits.
+    pub codegen_cached: u64,
+}
+
+/// Cross-cycle state threaded through the strategy executors.
+#[derive(Default)]
+pub(crate) struct SessionState {
+    pub resident: HashMap<String, Resident>,
+    pub programs: HashMap<u64, CachedProgram>,
+    pub stats: SessionStats,
+}
+
+impl SessionState {
+    /// Bytes held by resident field copies (stay allocated between cycles).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.values().map(|r| r.lanes as u64 * 4).sum()
+    }
+
+    /// Whether `buf` is a resident input (and must not be released by an
+    /// executor's drain pass).
+    pub fn is_resident(&self, buf: BufferId) -> bool {
+        self.resident.values().any(|r| r.buf == buf)
+    }
+
+    /// Bind host field `name` to its device-resident buffer, uploading only
+    /// when the field's generation changed since the last upload (or on
+    /// first use). Emits an `upload.skipped` span on a clean hit.
+    pub fn bind_input(
+        &mut self,
+        ctx: &mut Context,
+        fields: &FieldSet,
+        name: &str,
+        small: bool,
+    ) -> Result<BufferId, EngineError> {
+        let fv = check_field(fields, name, small, ctx.mode())?;
+        let lanes = lanes_for(fv.width, fields.ncells());
+        let real = ctx.mode() == ExecMode::Real;
+        let tracer = ctx.tracer().cloned();
+        if let Some(r) = self.resident.get(name) {
+            if r.lanes == lanes {
+                let buf = r.buf;
+                if r.generation == fv.generation() {
+                    self.stats.uploads_skipped += 1;
+                    drop(span!(tracer, "upload.skipped", field = name));
+                    return Ok(buf);
+                }
+                if real {
+                    ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+                } else {
+                    ctx.enqueue_write_virtual(buf)?;
+                }
+                self.stats.uploads += 1;
+                self.resident.get_mut(name).expect("present").generation = fv.generation();
+                return Ok(buf);
+            }
+            // Lane count changed (mesh resize): drop the stale copy.
+            let stale = self.resident.remove(name).expect("present");
+            ctx.release(stale.buf)?;
+        }
+        let buf = ctx.create_buffer(lanes)?;
+        if real {
+            ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+        } else {
+            ctx.enqueue_write_virtual(buf)?;
+        }
+        self.stats.uploads += 1;
+        self.resident.insert(
+            name.to_string(),
+            Resident {
+                buf,
+                generation: fv.generation(),
+                lanes,
+            },
+        );
+        Ok(buf)
+    }
+}
+
+/// Cache key for a fused program: the network's structure plus the roots
+/// it was fused for (and whether the streamed variant generated it).
+pub(crate) fn program_key(spec: &NetworkSpec, roots: &[NodeId], streamed: bool) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    spec.structural_hash().hash(&mut h);
+    roots.hash(&mut h);
+    streamed.hash(&mut h);
+    h.finish()
+}
+
+/// A long-lived execution context for in-situ loops; create one with
+/// [`Engine::session`] and drive it every cycle with [`Session::derive`].
+///
+/// ```
+/// use dfg_core::{Engine, FieldSet, Strategy};
+/// use dfg_ocl::DeviceProfile;
+///
+/// let mut engine = Engine::new(DeviceProfile::intel_x5660());
+/// let mut session = engine.session();
+/// let mut fields = FieldSet::new(8);
+/// fields.insert_scalar("u", vec![3.0; 8]).unwrap();
+///
+/// for cycle in 0..3 {
+///     if cycle > 0 {
+///         fields.update_scalar("u", &vec![cycle as f32; 8]).unwrap();
+///     }
+///     let report = session
+///         .derive("mag = sqrt(u*u)", &fields, Strategy::Fusion)
+///         .unwrap();
+///     assert!(report.field.is_some());
+/// }
+/// let stats = session.stats().clone();
+/// assert_eq!(stats.cycles, 3);
+/// assert_eq!(stats.codegen_compiles, 1, "codegen once, cached after");
+/// ```
+pub struct Session<'e> {
+    engine: &'e mut Engine,
+    ctx: Context,
+    state: SessionState,
+}
+
+impl Engine {
+    /// Open a persistent session: one pooled device context plus resident
+    /// fields and a compiled-kernel cache, amortized across every
+    /// [`Session::derive`] until the session is dropped (or [`Session::end`]
+    /// releases its buffers explicitly).
+    pub fn session(&mut self) -> Session<'_> {
+        let mut ctx = self.traced_context();
+        ctx.set_pooling(true);
+        Session {
+            engine: self,
+            ctx,
+            state: SessionState::default(),
+        }
+    }
+}
+
+impl Session<'_> {
+    /// Derive one field for this cycle. Same contract as
+    /// [`Engine::derive`], but uploads, codegen, and buffer allocations are
+    /// amortized across cycles; the returned report covers this cycle only.
+    pub fn derive(
+        &mut self,
+        source: &str,
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<ExecReport, EngineError> {
+        self.run(source, None, fields, strategy)
+            .map(|(_, report)| report)
+    }
+
+    /// Derive several named fields in one execution (see
+    /// [`Engine::derive_many`]), amortized across cycles.
+    pub fn derive_many(
+        &mut self,
+        source: &str,
+        outputs: &[&str],
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<(Vec<(String, crate::Field)>, ExecReport), EngineError> {
+        self.run(source, Some(outputs), fields, strategy)
+    }
+
+    fn run(
+        &mut self,
+        source: &str,
+        outputs: Option<&[&str]>,
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<(Vec<(String, crate::Field)>, ExecReport), EngineError> {
+        let mark = self.engine.trace_mark();
+        // Per-cycle profile: clear events, rewind the virtual clock, and
+        // re-seed the high-water mark from the resident bytes.
+        self.ctx.reset_profile();
+        let tracer = self.engine.tracer().cloned();
+        let root = span!(
+            tracer,
+            "derive",
+            strategy = strategy.name(),
+            session = true,
+            cycle = self.state.stats.cycles,
+        );
+        let spec = self.engine.compile_cached(source)?;
+        let roots: Vec<NodeId> = match outputs {
+            None => vec![spec.result],
+            Some(names) => {
+                let mut roots = Vec::with_capacity(names.len());
+                for &name in names {
+                    let root = spec
+                        .iter()
+                        .filter(|(_, node)| node.name.as_deref() == Some(name))
+                        .map(|(id, _)| id)
+                        .last()
+                        .ok_or_else(|| EngineError::NoSuchOutput {
+                            name: name.to_string(),
+                        })?;
+                    roots.push(root);
+                }
+                roots
+            }
+        };
+        let sched = {
+            let _plan = span!(tracer, "plan", nodes = spec.iter().count());
+            Schedule::for_roots(&spec, &roots)?
+        };
+        let t0 = Instant::now();
+        let exec_span = span!(
+            tracer,
+            &format!("execute.{}", strategy.name()),
+            ncells = fields.ncells(),
+        );
+        exec_span.virt_start(self.ctx.clock_seconds());
+        let ctx = &mut self.ctx;
+        let state = &mut self.state;
+        let (fields_out, generated_source) = match strategy {
+            Strategy::Roundtrip => (
+                run_roundtrip_multi_session(
+                    &spec,
+                    &sched,
+                    fields,
+                    ctx,
+                    self.engine.options().roundtrip_dedup_uploads,
+                    &roots,
+                    Some(state),
+                )?,
+                None,
+            ),
+            Strategy::Staged => (
+                run_staged_multi_session(&spec, &sched, fields, ctx, &roots, Some(state))?,
+                None,
+            ),
+            Strategy::Fusion => {
+                let label = match outputs {
+                    Some(_) => "multi".to_string(),
+                    None => spec
+                        .node(spec.result)
+                        .name
+                        .clone()
+                        .unwrap_or_else(|| "expr".to_string()),
+                };
+                let (f, src) =
+                    run_fusion_multi_session(&spec, &roots, fields, ctx, &label, Some(state))?;
+                (f, Some(src))
+            }
+        };
+        exec_span.virt_end(self.ctx.clock_seconds());
+        drop(exec_span);
+        let wall = t0.elapsed();
+        self.state.stats.cycles += 1;
+        debug_assert_eq!(
+            self.ctx.in_use_bytes(),
+            self.state.resident_bytes(),
+            "session executor leaked buffers beyond the resident fields"
+        );
+        let named: Vec<(String, crate::Field)> = match (outputs, fields_out) {
+            (Some(names), Some(v)) => names.iter().map(|n| n.to_string()).zip(v).collect(),
+            (None, Some(mut v)) => {
+                // Single-root run: the one field is returned via the report.
+                let field = v.pop().expect("one root, one field");
+                drop(root);
+                return Ok((
+                    Vec::new(),
+                    ExecReport {
+                        field: Some(field),
+                        profile: self.ctx.report(),
+                        wall,
+                        generated_source,
+                        trace: self.engine.snapshot_since(mark),
+                    },
+                ));
+            }
+            _ => Vec::new(),
+        };
+        drop(root);
+        Ok((
+            named,
+            ExecReport {
+                field: None,
+                profile: self.ctx.report(),
+                wall,
+                generated_source,
+                trace: self.engine.snapshot_since(mark),
+            },
+        ))
+    }
+
+    /// Streamed fusion under the session (see [`Engine::derive_streamed`]):
+    /// slab transfers are inherent to streaming, but codegen/compile is
+    /// served from the session's kernel cache and the slab buffers come
+    /// from the context's pool.
+    pub fn derive_streamed(
+        &mut self,
+        source: &str,
+        fields: &FieldSet,
+        device_budget_bytes: Option<u64>,
+    ) -> Result<ExecReport, EngineError> {
+        let mark = self.engine.trace_mark();
+        self.ctx.reset_profile();
+        let tracer = self.engine.tracer().cloned();
+        let root = span!(
+            tracer,
+            "derive",
+            strategy = "streamed",
+            session = true,
+            cycle = self.state.stats.cycles,
+        );
+        let spec = self.engine.compile_cached(source)?;
+        let budget = device_budget_bytes.unwrap_or(self.engine.device().global_mem_bytes);
+        let label = spec
+            .node(spec.result)
+            .name
+            .clone()
+            .unwrap_or_else(|| "expr".to_string());
+        let t0 = Instant::now();
+        let exec_span = span!(
+            tracer,
+            "execute.streamed",
+            ncells = fields.ncells(),
+            budget_bytes = budget,
+        );
+        exec_span.virt_start(self.ctx.clock_seconds());
+        let (field, src, slabs) = run_streamed_fusion_session(
+            &spec,
+            fields,
+            &mut self.ctx,
+            &label,
+            budget,
+            Some(&mut self.state),
+        )?;
+        exec_span.virt_end(self.ctx.clock_seconds());
+        drop(exec_span.meta("slabs", slabs));
+        let wall = t0.elapsed();
+        self.state.stats.cycles += 1;
+        debug_assert_eq!(
+            self.ctx.in_use_bytes(),
+            self.state.resident_bytes(),
+            "streamed session executor leaked buffers"
+        );
+        drop(root);
+        Ok(ExecReport {
+            field,
+            profile: self.ctx.report(),
+            wall,
+            generated_source: Some(src),
+            trace: self.engine.snapshot_since(mark),
+        })
+    }
+
+    /// Counters accumulated so far (uploads skipped, cache hits, …).
+    pub fn stats(&self) -> &SessionStats {
+        &self.state.stats
+    }
+
+    /// Allocations served by the context's buffer pool so far.
+    pub fn pool_hits(&self) -> u64 {
+        self.ctx.pool_hits()
+    }
+
+    /// Bytes held by device-resident input fields between cycles.
+    pub fn resident_bytes(&self) -> u64 {
+        self.state.resident_bytes()
+    }
+
+    /// The session's device context (profiling/diagnostic access).
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Close the session: release every resident buffer and return the
+    /// final stats. (Dropping the session frees everything too; `end` is
+    /// for hosts that want the counters and leak-checking.)
+    pub fn end(mut self) -> SessionStats {
+        for (_, r) in self.state.resident.drain() {
+            let _ = self.ctx.release(r.buf);
+        }
+        debug_assert_eq!(self.ctx.in_use_bytes(), 0, "session leaked buffers");
+        self.state.stats
+    }
+}

@@ -11,6 +11,7 @@ use dfg_ocl::{Context, ExecMode};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
+use crate::session::{program_key, CachedProgram, SessionState};
 use crate::strategies::{check_field, lanes_for};
 
 /// Execute `spec` with the fusion strategy. Returns the derived field in
@@ -38,28 +39,85 @@ pub fn run_fusion_multi(
     ctx: &mut Context,
     label: &str,
 ) -> Result<(Option<Vec<Field>>, String), EngineError> {
+    run_fusion_multi_session(spec, roots, fields, ctx, label, None)
+}
+
+/// [`run_fusion_multi`] with optional session state: codegen is served
+/// from the session's kernel cache, input uploads go through its
+/// generation-checked resident buffers (which are *not* released here),
+/// and only session-owned transients are drained. With `session == None`
+/// the behavior is byte-identical to the one-shot path.
+pub(crate) fn run_fusion_multi_session(
+    spec: &NetworkSpec,
+    roots: &[NodeId],
+    fields: &FieldSet,
+    ctx: &mut Context,
+    label: &str,
+    mut session: Option<&mut SessionState>,
+) -> Result<(Option<Vec<Field>>, String), EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
     let tracer = ctx.tracer().cloned();
-    let program = {
-        let _codegen = dfg_trace::span!(tracer, "fusion.codegen", label = label);
-        let program = fuse_roots(spec, roots)?;
-        ctx.record_compile(&format!("fused_{label}"));
-        program
+    let kernel_name = format!("fused_{label}");
+    let cached = session.as_deref_mut().and_then(|state| {
+        let key = program_key(spec, roots, false);
+        let hit = state
+            .programs
+            .get(&key)
+            .map(|c| (c.program.clone(), c.source.clone()));
+        if hit.is_some() {
+            state.stats.codegen_cached += 1;
+        }
+        hit
+    });
+    let (program, source) = match cached {
+        Some((program, source)) => {
+            drop(dfg_trace::span!(tracer, "codegen.cached", label = label));
+            (program, source)
+        }
+        None => {
+            let program = {
+                let _codegen = dfg_trace::span!(tracer, "fusion.codegen", label = label);
+                let program = fuse_roots(spec, roots)?;
+                ctx.record_compile(&kernel_name);
+                program
+            };
+            let source = program.generated_source(&kernel_name);
+            if let Some(state) = session.as_deref_mut() {
+                state.stats.codegen_compiles += 1;
+                state.programs.insert(
+                    program_key(spec, roots, false),
+                    CachedProgram {
+                        program: program.clone(),
+                        source: source.clone(),
+                    },
+                );
+            }
+            (program, source)
+        }
     };
-    let source = program.generated_source(&format!("fused_{label}"));
 
     let mut bufs = Vec::with_capacity(program.inputs.len());
+    // Buffers this call created and must release (with a session, resident
+    // inputs are owned by the session and stay on the device).
+    let mut owned = Vec::new();
     {
         let _upload = dfg_trace::span!(tracer, "fusion.upload", inputs = program.inputs.len());
         for slot in &program.inputs {
-            let fv = check_field(fields, &slot.name, slot.small, ctx.mode())?;
-            let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
-            if real {
-                ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
-            } else {
-                ctx.enqueue_write_virtual(buf)?;
-            }
+            let buf = match session.as_deref_mut() {
+                Some(state) => state.bind_input(ctx, fields, &slot.name, slot.small)?,
+                None => {
+                    let fv = check_field(fields, &slot.name, slot.small, ctx.mode())?;
+                    let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+                    if real {
+                        ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+                    } else {
+                        ctx.enqueue_write_virtual(buf)?;
+                    }
+                    owned.push(buf);
+                    buf
+                }
+            };
             bufs.push(buf);
         }
     }
@@ -101,7 +159,7 @@ pub fn run_fusion_multi(
         ctx.enqueue_read_virtual(out)?;
         None
     };
-    for buf in bufs {
+    for buf in owned {
         ctx.release(buf)?;
     }
     ctx.release(out)?;

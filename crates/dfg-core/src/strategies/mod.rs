@@ -23,6 +23,11 @@ pub use roundtrip::{run_roundtrip, run_roundtrip_multi};
 pub use staged::{run_staged, run_staged_multi};
 pub use streamed::run_streamed_fusion;
 
+pub(crate) use fusion::run_fusion_multi_session;
+pub(crate) use roundtrip::run_roundtrip_multi_session;
+pub(crate) use staged::run_staged_multi_session;
+pub(crate) use streamed::run_streamed_fusion_session;
+
 use dfg_dataflow::Width;
 use dfg_ocl::ExecMode;
 

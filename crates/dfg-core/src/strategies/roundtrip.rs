@@ -16,6 +16,7 @@ use dfg_ocl::{Context, DeviceKernel, ExecMode};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
+use crate::session::SessionState;
 use crate::strategies::{check_field, lanes_for};
 
 /// A host-resident intermediate value.
@@ -63,6 +64,25 @@ pub fn run_roundtrip_multi(
     ctx: &mut Context,
     dedup_uploads: bool,
     roots: &[dfg_dataflow::NodeId],
+) -> Result<Option<Vec<Field>>, EngineError> {
+    run_roundtrip_multi_session(spec, sched, fields, ctx, dedup_uploads, roots, None)
+}
+
+/// [`run_roundtrip_multi`] with optional session state. Under a session,
+/// ports fed by source `Input` nodes use the session's generation-checked
+/// resident buffers instead of the paper's upload-per-port protocol (the
+/// whole point of a persistent session is to not re-transfer unchanged
+/// inputs); intermediates, constants, and decompose results still roundtrip
+/// through the host. With `session == None` the behavior is byte-identical
+/// to the one-shot path.
+pub(crate) fn run_roundtrip_multi_session(
+    spec: &NetworkSpec,
+    sched: &Schedule,
+    fields: &FieldSet,
+    ctx: &mut Context,
+    dedup_uploads: bool,
+    roots: &[dfg_dataflow::NodeId],
+    mut session: Option<&mut SessionState>,
 ) -> Result<Option<Vec<Field>>, EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
@@ -117,6 +137,16 @@ pub fn run_roundtrip_multi(
                     let _upload =
                         dfg_trace::span!(tracer, "roundtrip.upload", ports = node.inputs.len(),);
                     for &input in &node.inputs {
+                        // Session: source fields live on the device across
+                        // cycles; no per-port upload for them.
+                        if session.is_some() {
+                            if let FilterOp::Input { name, small } = &spec.node(input).op {
+                                let state = session.as_deref_mut().expect("checked");
+                                let buf = state.bind_input(ctx, fields, name, *small)?;
+                                port_bufs.push(buf);
+                                continue;
+                            }
+                        }
                         if dedup_uploads {
                             if let Some(&buf) = uploaded.get(&input) {
                                 port_bufs.push(buf);

@@ -16,6 +16,7 @@ use dfg_ocl::{BufferId, Context, DeviceKernel, ExecMode};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
+use crate::session::SessionState;
 use crate::strategies::{check_field, lanes_for};
 
 /// Execute `spec` with the staged strategy. Returns the derived field in
@@ -37,6 +38,21 @@ pub fn run_staged_multi(
     fields: &FieldSet,
     ctx: &mut Context,
     roots: &[NodeId],
+) -> Result<Option<Vec<Field>>, EngineError> {
+    run_staged_multi_session(spec, sched, fields, ctx, roots, None)
+}
+
+/// [`run_staged_multi`] with optional session state: input uploads go
+/// through the session's generation-checked resident buffers, which the
+/// drain passes leave on the device. With `session == None` the behavior
+/// is byte-identical to the one-shot path.
+pub(crate) fn run_staged_multi_session(
+    spec: &NetworkSpec,
+    sched: &Schedule,
+    fields: &FieldSet,
+    ctx: &mut Context,
+    roots: &[NodeId],
+    mut session: Option<&mut SessionState>,
 ) -> Result<Option<Vec<Field>>, EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
@@ -60,13 +76,19 @@ pub fn run_staged_multi(
                         unreachable!("non-input operand {input} not yet resident");
                     };
                     let _upload = dfg_trace::span!(tracer, "staged.upload", port = name.as_str());
-                    let fv = check_field(fields, name, *small, ctx.mode())?;
-                    let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
-                    if real {
-                        ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
-                    } else {
-                        ctx.enqueue_write_virtual(buf)?;
-                    }
+                    let buf = match session.as_deref_mut() {
+                        Some(state) => state.bind_input(ctx, fields, name, *small)?,
+                        None => {
+                            let fv = check_field(fields, name, *small, ctx.mode())?;
+                            let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+                            if real {
+                                ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+                            } else {
+                                ctx.enqueue_write_virtual(buf)?;
+                            }
+                            buf
+                        }
+                    };
                     dev.insert(input, buf);
                 }
                 let prim = Primitive::from_filter_op(op).expect("compute op or const");
@@ -79,10 +101,13 @@ pub fn run_staged_multi(
                 dev.insert(id, out);
             }
         }
-        // Reference counting: release buffers whose last consumer ran.
+        // Reference counting: release buffers whose last consumer ran
+        // (session-resident inputs stay on the device).
         for dead in &sched.free_after[step] {
             if let Some(buf) = dev.remove(dead) {
-                ctx.release(buf)?;
+                if !session.as_deref().is_some_and(|s| s.is_resident(buf)) {
+                    ctx.release(buf)?;
+                }
             }
         }
     }
@@ -99,13 +124,19 @@ pub fn run_staged_multi(
                 let FilterOp::Input { name, small } = &spec.node(root).op else {
                     unreachable!("non-input root must have been computed")
                 };
-                let fv = check_field(fields, name, *small, ctx.mode())?;
-                let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
-                if real {
-                    ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
-                } else {
-                    ctx.enqueue_write_virtual(buf)?;
-                }
+                let buf = match session.as_deref_mut() {
+                    Some(state) => state.bind_input(ctx, fields, name, *small)?,
+                    None => {
+                        let fv = check_field(fields, name, *small, ctx.mode())?;
+                        let buf = ctx.create_buffer(lanes_for(fv.width, n))?;
+                        if real {
+                            ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
+                        } else {
+                            ctx.enqueue_write_virtual(buf)?;
+                        }
+                        buf
+                    }
+                };
                 dev.insert(root, buf);
                 buf
             }
@@ -121,9 +152,11 @@ pub fn run_staged_multi(
             ctx.enqueue_read_virtual(result_buf)?;
         }
     }
-    // Drain the device.
+    // Drain the device (session-resident inputs stay for the next cycle).
     for (_, buf) in dev {
-        ctx.release(buf)?;
+        if !session.as_deref().is_some_and(|s| s.is_resident(buf)) {
+            ctx.release(buf)?;
+        }
     }
     Ok(out)
 }

@@ -16,6 +16,7 @@ use dfg_ocl::{Context, ExecMode};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
+use crate::session::{program_key, CachedProgram, SessionState};
 use crate::strategies::check_field;
 
 /// Execute `spec` by streaming z-slabs through the fused kernel, keeping
@@ -32,16 +33,62 @@ pub fn run_streamed_fusion(
     label: &str,
     device_budget_bytes: u64,
 ) -> Result<(Option<Field>, String, usize), EngineError> {
+    run_streamed_fusion_session(spec, fields, ctx, label, device_budget_bytes, None)
+}
+
+/// [`run_streamed_fusion`] with optional session state: codegen/compile is
+/// served from the session's kernel cache (slab transfers themselves are
+/// inherent to streaming, but pooling makes the per-slab buffers cheap).
+/// With `session == None` the behavior is byte-identical.
+pub(crate) fn run_streamed_fusion_session(
+    spec: &NetworkSpec,
+    fields: &FieldSet,
+    ctx: &mut Context,
+    label: &str,
+    device_budget_bytes: u64,
+    mut session: Option<&mut SessionState>,
+) -> Result<(Option<Field>, String, usize), EngineError> {
     let real = ctx.mode() == ExecMode::Real;
     let n = fields.ncells();
     let tracer = ctx.tracer().cloned();
-    let program = {
-        let _codegen = dfg_trace::span!(tracer, "streamed.codegen", label = label);
-        let program = fuse(spec)?;
-        ctx.record_compile(&format!("fused_{label}_streamed"));
-        program
+    let kernel_name = format!("fused_{label}_streamed");
+    let cached = session.as_deref_mut().and_then(|state| {
+        let key = program_key(spec, &[spec.result], true);
+        let hit = state
+            .programs
+            .get(&key)
+            .map(|c| (c.program.clone(), c.source.clone()));
+        if hit.is_some() {
+            state.stats.codegen_cached += 1;
+        }
+        hit
+    });
+    let (program, source) = match cached {
+        Some((program, source)) => {
+            drop(dfg_trace::span!(tracer, "codegen.cached", label = label));
+            (program, source)
+        }
+        None => {
+            let program = {
+                let _codegen = dfg_trace::span!(tracer, "streamed.codegen", label = label);
+                let program = fuse(spec)?;
+                ctx.record_compile(&kernel_name);
+                program
+            };
+            let source = program.generated_source(&kernel_name);
+            if let Some(state) = session {
+                state.stats.codegen_compiles += 1;
+                state.programs.insert(
+                    program_key(spec, &[spec.result], true),
+                    CachedProgram {
+                        program: program.clone(),
+                        source: source.clone(),
+                    },
+                );
+            }
+            (program, source)
+        }
     };
-    let source = program.generated_source(&format!("fused_{label}_streamed"));
 
     // Bytes per mesh cell resident on the device: each input slot plus the
     // output, in f32 lanes.

@@ -871,3 +871,260 @@ fn full_cse_ablation_reduces_qcrit_kernels_without_changing_results() {
     // Report the savings where a human will see them on failure.
     println!("Q-crit staged kernels: limited CSE {k_limited}, full CSE {k_full}");
 }
+
+// ---------------------------------------------------------------------------
+// Persistent sessions: resident fields, kernel cache, buffer pooling.
+// ---------------------------------------------------------------------------
+
+mod session {
+    use super::*;
+    use dfg_ocl::EventKind;
+    use dfg_trace::Tracer;
+
+    /// A 100-cycle in-situ fusion loop with static coordinates and velocity
+    /// updated each cycle: unchanged fields never re-upload and fusion
+    /// codegen/compile happens exactly once (the tentpole's acceptance
+    /// criterion).
+    #[test]
+    fn hundred_cycle_session_amortizes_uploads_and_codegen() {
+        let mut fields = small_rt_fields([6, 5, 4]);
+        let mut engine = cpu_engine();
+        let mut session = engine.session();
+        let src = Workload::VelocityMagnitude.source();
+        let n = fields.ncells();
+        for cycle in 0..100u32 {
+            if cycle > 0 {
+                fields.update_scalar("u", &vec![cycle as f32; n]).unwrap();
+            }
+            let report = session.derive(src, &fields, Strategy::Fusion).unwrap();
+            assert!(report.field.is_some());
+        }
+        let stats = session.stats().clone();
+        assert_eq!(stats.cycles, 100);
+        assert_eq!(stats.codegen_compiles, 1, "one codegen for 100 cycles");
+        assert_eq!(stats.codegen_cached, 99);
+        // vel_mag reads u, v, w: u uploads every cycle (mutated), v and w
+        // once each — zero re-uploads of unchanged fields.
+        assert_eq!(stats.uploads, 100 + 1 + 1);
+        assert_eq!(stats.uploads_skipped, 99 * 2);
+        let stats = session.end();
+        assert_eq!(stats.cycles, 100);
+    }
+
+    /// Mutating one field triggers exactly one re-upload next cycle.
+    #[test]
+    fn mutating_one_field_reuploads_exactly_that_field() {
+        let mut fields = small_rt_fields([4, 4, 4]);
+        let mut engine = cpu_engine();
+        let mut session = engine.session();
+        let src = Workload::VelocityMagnitude.source();
+        session.derive(src, &fields, Strategy::Fusion).unwrap();
+        let uploads_before = session.stats().uploads;
+
+        fields.touch("v");
+        let report = session.derive(src, &fields, Strategy::Fusion).unwrap();
+        assert_eq!(session.stats().uploads - uploads_before, 1);
+        // The profile confirms it: one h2d event in the whole cycle.
+        assert_eq!(report.profile.count(EventKind::HostToDevice), 1);
+    }
+
+    /// Session results are identical to one-shot results for every strategy.
+    #[test]
+    fn session_results_match_one_shot_per_strategy() {
+        let fields = small_rt_fields([6, 5, 4]);
+        for workload in Workload::ALL {
+            for strategy in Strategy::ALL {
+                let mut engine = cpu_engine();
+                let one_shot = engine
+                    .derive(workload.source(), &fields, strategy)
+                    .unwrap()
+                    .field
+                    .unwrap();
+                let mut session = engine.session();
+                for _ in 0..3 {
+                    let again = session
+                        .derive(workload.source(), &fields, strategy)
+                        .unwrap()
+                        .field
+                        .unwrap();
+                    assert_eq!(
+                        one_shot.data, again.data,
+                        "{workload}/{strategy}: session result drifted"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Model vs. Real event-count parity for a multi-cycle session: the
+    /// modeled protocol (counts and virtual clock) must not depend on
+    /// whether data movement actually happens.
+    #[test]
+    fn model_and_real_sessions_agree_on_events_and_clock() {
+        let run = |mode: ExecMode| {
+            let dims = [6, 5, 4];
+            let mut fields = match mode {
+                ExecMode::Real => small_rt_fields(dims),
+                ExecMode::Model => FieldSet::virtual_rt(dims),
+            };
+            let mut engine = Engine::with_options(
+                DeviceProfile::intel_x5660(),
+                EngineOptions {
+                    mode,
+                    ..Default::default()
+                },
+            );
+            let mut session = engine.session();
+            let src = Workload::VelocityMagnitude.source();
+            let n = fields.ncells();
+            let mut per_cycle = Vec::new();
+            for cycle in 0..5u32 {
+                if cycle > 0 {
+                    match mode {
+                        ExecMode::Real => {
+                            fields.update_scalar("u", &vec![cycle as f32; n]).unwrap()
+                        }
+                        ExecMode::Model => {
+                            fields.touch("u");
+                        }
+                    }
+                }
+                for strategy in [Strategy::Fusion, Strategy::Staged] {
+                    let report = session.derive(src, &fields, strategy).unwrap();
+                    per_cycle.push((
+                        report.table2_row(),
+                        report.high_water_bytes(),
+                        report.device_seconds(),
+                    ));
+                }
+            }
+            (per_cycle, session.stats().clone())
+        };
+        let (real, real_stats) = run(ExecMode::Real);
+        let (model, model_stats) = run(ExecMode::Model);
+        assert_eq!(real_stats, model_stats, "session counters diverge");
+        assert_eq!(real.len(), model.len());
+        for (i, (r, m)) in real.iter().zip(&model).enumerate() {
+            assert_eq!(r.0, m.0, "cycle {i}: event counts");
+            assert_eq!(r.1, m.1, "cycle {i}: high water");
+            assert!((r.2 - m.2).abs() < 1e-15, "cycle {i}: device seconds");
+        }
+    }
+
+    /// The session's pooled context recycles transient buffers: after the
+    /// first cycle, fusion's output buffer comes from the pool.
+    #[test]
+    fn session_pool_recycles_transient_buffers() {
+        let fields = small_rt_fields([4, 4, 4]);
+        let mut engine = cpu_engine();
+        let mut session = engine.session();
+        let src = Workload::VelocityMagnitude.source();
+        session.derive(src, &fields, Strategy::Fusion).unwrap();
+        assert_eq!(session.pool_hits(), 0, "first cycle allocates fresh");
+        session.derive(src, &fields, Strategy::Fusion).unwrap();
+        assert!(session.pool_hits() >= 1, "second cycle reuses the pool");
+    }
+
+    /// Session trace spans tag cached work, and each cycle's report trace
+    /// is scoped to that cycle.
+    #[test]
+    fn session_trace_tags_cached_work_per_cycle() {
+        let fields = small_rt_fields([4, 4, 4]);
+        let mut engine = cpu_engine();
+        engine.set_tracer(Tracer::new());
+        let mut session = engine.session();
+        let src = Workload::VelocityMagnitude.source();
+        let first = session.derive(src, &fields, Strategy::Fusion).unwrap();
+        let second = session.derive(src, &fields, Strategy::Fusion).unwrap();
+        let names = |trace: &dfg_trace::Trace| -> Vec<String> {
+            trace.spans().iter().map(|s| s.name.clone()).collect()
+        };
+        let first = names(&first.trace.unwrap());
+        let second = names(&second.trace.unwrap());
+        assert!(first.contains(&"fusion.codegen".to_string()));
+        assert!(!first.contains(&"codegen.cached".to_string()));
+        assert!(second.contains(&"codegen.cached".to_string()));
+        assert!(second.contains(&"upload.skipped".to_string()));
+        assert!(!second.contains(&"fusion.codegen".to_string()));
+        assert_eq!(
+            second.iter().filter(|n| *n == "derive").count(),
+            1,
+            "per-cycle trace holds exactly this cycle's root"
+        );
+    }
+
+    /// Satellite regression: one-shot `derive` reports are scoped per run —
+    /// a second derive's trace does not carry the first run's spans.
+    #[test]
+    fn one_shot_reports_scope_traces_per_run() {
+        let fields = small_rt_fields([4, 4, 4]);
+        let mut engine = cpu_engine();
+        engine.set_tracer(Tracer::new());
+        let src = Workload::VelocityMagnitude.source();
+        let a = engine.derive(src, &fields, Strategy::Fusion).unwrap();
+        let b = engine.derive(src, &fields, Strategy::Fusion).unwrap();
+        let roots = |t: &dfg_trace::Trace| t.spans().iter().filter(|s| s.name == "derive").count();
+        assert_eq!(roots(&a.trace.unwrap()), 1);
+        assert_eq!(roots(&b.trace.unwrap()), 1, "second report is per-run");
+        // The engine's tracer still accumulates the whole history.
+        assert_eq!(roots(&engine.tracer().unwrap().snapshot()), 2);
+    }
+
+    /// Streamed derivation through a session caches codegen and matches the
+    /// one-shot streamed result.
+    #[test]
+    fn session_streamed_caches_codegen() {
+        let fields = small_rt_fields([6, 5, 4]);
+        let mut engine = cpu_engine();
+        let budget = Some(20 * 1024);
+        let one_shot = engine
+            .derive_streamed(Workload::QCriterion.source(), &fields, budget)
+            .unwrap()
+            .field
+            .unwrap();
+        let mut session = engine.session();
+        for _ in 0..3 {
+            let got = session
+                .derive_streamed(Workload::QCriterion.source(), &fields, budget)
+                .unwrap()
+                .field
+                .unwrap();
+            assert_eq!(one_shot.data, got.data);
+        }
+        assert_eq!(session.stats().codegen_compiles, 1);
+        assert_eq!(session.stats().codegen_cached, 2);
+        assert!(session.pool_hits() > 0, "slab buffers recycle via the pool");
+    }
+
+    /// derive_many through a session: amortized multi-output fusion.
+    #[test]
+    fn session_derive_many_amortizes() {
+        let fields = small_rt_fields([5, 5, 5]);
+        let mut engine = cpu_engine();
+        let source = format!(
+            "{}\nw_mag = norm(curl(u, v, w, dims, x, y, z))\n",
+            Workload::QCriterion.source().trim_end()
+        );
+        let source = source.as_str();
+        let (one_shot, _) = engine
+            .derive_many(source, &["w_mag", "q_crit"], &fields, Strategy::Fusion)
+            .unwrap();
+        let mut session = engine.session();
+        for _ in 0..3 {
+            let (got, _) = session
+                .derive_many(source, &["w_mag", "q_crit"], &fields, Strategy::Fusion)
+                .unwrap();
+            assert_eq!(got.len(), 2);
+            for ((n0, f0), (n1, f1)) in one_shot.iter().zip(&got) {
+                assert_eq!(n0, n1);
+                assert_eq!(f0.data, f1.data);
+            }
+        }
+        assert_eq!(session.stats().codegen_compiles, 1);
+        assert_eq!(
+            session.stats().uploads,
+            7,
+            "u v w x y z dims upload once for three cycles"
+        );
+    }
+}

@@ -290,6 +290,26 @@ impl NetworkSpec {
     pub fn count_ops(&self, pred: impl Fn(&FilterOp) -> bool) -> usize {
         self.nodes.iter().filter(|n| pred(&n.op)).count()
     }
+
+    /// A hash of the network's structure: operations, wiring, and result
+    /// node — everything that determines generated kernel code. User-facing
+    /// node `name`s are excluded (they don't affect codegen), so two parses
+    /// of equivalent expressions with different assignment names collide,
+    /// which is exactly what a compiled-kernel cache wants. Stable within a
+    /// process run; not a cross-version persistence format.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.nodes.len().hash(&mut h);
+        for node in &self.nodes {
+            // `FilterOp` carries an f32 constant, so hash its debug form
+            // (exact, including the float's full shortest representation).
+            format!("{:?}", node.op).hash(&mut h);
+            node.inputs.hash(&mut h);
+        }
+        self.result.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +412,24 @@ mod tests {
             spec.validate(),
             Err(NetworkError::WidthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn structural_hash_ignores_names_not_structure() {
+        let build = |c: f32, name: Option<&str>| {
+            let mut b = NetworkBuilder::new();
+            let u = b.input("u");
+            let k = b.constant(c);
+            let m = b.binary(FilterOp::Mul, u, k);
+            let mut spec = b.finish(m);
+            spec.nodes[m.idx()].name = name.map(String::from);
+            spec
+        };
+        let a = build(2.0, None);
+        let b = build(2.0, Some("twice"));
+        let c = build(3.0, None);
+        assert_eq!(a.structural_hash(), b.structural_hash(), "names ignored");
+        assert_ne!(a.structural_hash(), c.structural_hash(), "constants hash");
     }
 
     #[test]

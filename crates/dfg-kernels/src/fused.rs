@@ -913,12 +913,12 @@ impl DeviceKernel for FusedKernel {
                         }
                         RegOp::Dot3 { a, b, out } => {
                             let oo = sreg(*out);
-                            for t in 0..len {
+                            for (t, o) in oo.iter().enumerate().take(len) {
                                 let mut acc = 0.0f32;
                                 for lane in 0..3 {
                                     acc += vlane(*a, lane)[t].get() * vlane(*b, lane)[t].get();
                                 }
-                                oo[t].set(acc);
+                                o.set(acc);
                             }
                         }
                         RegOp::Cross3 { a, b, out } => {

@@ -46,8 +46,14 @@ pub trait DeviceKernel {
 }
 
 struct Slot {
-    /// Backing storage; `None` in model mode.
+    /// Backing storage; `None` in model mode — and, in real mode, until the
+    /// first write or launch materializes it (the zero-fill is deferred so a
+    /// create-then-write sequence touches the memory exactly once).
     data: Option<Vec<f32>>,
+    /// Real mode: whether the buffer holds defined contents (a host write or
+    /// a kernel launch). Unwritten buffers read as zeros; in particular,
+    /// recycled pool storage must never leak a previous buffer's values.
+    written: bool,
     /// Total f32 lanes (elements × width).
     lanes: usize,
     bytes: u64,
@@ -67,6 +73,15 @@ pub struct Context {
     fail_alloc_in: Option<usize>,
     /// When set, every recorded event also becomes a child span here.
     tracer: Option<Tracer>,
+    /// Released slots kept for reuse, keyed by lane count (see
+    /// [`Context::set_pooling`]). Pooled bytes do not count as `in_use`:
+    /// the pool is an allocation cache over the host-side simulation, so
+    /// capacity checks, `high_water_bytes`, and all recorded events are
+    /// identical with pooling on or off.
+    pool: std::collections::HashMap<usize, Vec<Slot>>,
+    pooling: bool,
+    pool_hits: u64,
+    pooled_bytes: u64,
 }
 
 impl Context {
@@ -83,7 +98,41 @@ impl Context {
             events: Vec::new(),
             fail_alloc_in: None,
             tracer: None,
+            pool: std::collections::HashMap::new(),
+            pooling: false,
+            pool_hits: 0,
+            pooled_bytes: 0,
         }
+    }
+
+    /// Enable or disable buffer pooling. While enabled, [`Context::release`]
+    /// parks the slot (keyed by lane count) instead of dropping it, and a
+    /// later [`Context::create_buffer`] of the same size reuses the backing
+    /// storage without re-allocating or re-zeroing it. Accounting is
+    /// unchanged: released bytes leave `in_use`, reused bytes re-enter it,
+    /// and `high_water_bytes` matches an unpooled run of the same sequence.
+    /// Disabling drops every pooled slot.
+    pub fn set_pooling(&mut self, on: bool) {
+        self.pooling = on;
+        if !on {
+            self.pool.clear();
+            self.pooled_bytes = 0;
+        }
+    }
+
+    /// Whether buffer pooling is enabled.
+    pub fn pooling(&self) -> bool {
+        self.pooling
+    }
+
+    /// Allocations served from the pool since creation.
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Bytes currently parked in the pool (released, awaiting reuse).
+    pub fn pooled_bytes(&self) -> u64 {
+        self.pooled_bytes
     }
 
     /// Attach a tracer: from now on every enqueue/launch/compile event is
@@ -177,11 +226,29 @@ impl Context {
                 capacity: self.profile.global_mem_bytes,
             });
         }
-        let data = match self.mode {
-            ExecMode::Real => Some(vec![0.0f32; lanes]),
-            ExecMode::Model => None,
+        // Storage is materialized lazily: a fresh buffer carries no `Vec`
+        // until the first write/launch, so create-then-write initializes the
+        // memory once instead of zero-filling and then overwriting. A pooled
+        // slot arrives with its (stale) storage intact and `written` already
+        // cleared by `release`, so reads still see zeros, not old contents.
+        let pooled = if self.pooling {
+            self.pool.get_mut(&lanes).and_then(Vec::pop)
+        } else {
+            None
         };
-        let slot = Slot { data, lanes, bytes };
+        let slot = match pooled {
+            Some(slot) => {
+                self.pool_hits += 1;
+                self.pooled_bytes -= slot.bytes;
+                slot
+            }
+            None => Slot {
+                data: None,
+                written: false,
+                lanes,
+                bytes,
+            },
+        };
         self.in_use += bytes;
         self.high_water = self.high_water.max(self.in_use);
         let idx = if let Some(idx) = self.free_ids.pop() {
@@ -194,15 +261,24 @@ impl Context {
         Ok(BufferId(idx))
     }
 
-    /// Release a buffer, returning its bytes to the device pool.
+    /// Release a buffer, returning its bytes to the device's free capacity.
+    /// With pooling enabled the backing storage is parked for reuse by a
+    /// later same-sized [`Context::create_buffer`] instead of being dropped.
     pub fn release(&mut self, id: BufferId) -> Result<(), OclError> {
-        let slot = self
+        let mut slot = self
             .slots
             .get_mut(id.0)
             .and_then(Option::take)
             .ok_or(OclError::InvalidBuffer { id: id.0 })?;
         self.in_use -= slot.bytes;
         self.free_ids.push(id.0);
+        if self.pooling {
+            // Keep the storage but forget its contents: the next owner must
+            // observe zeros until it writes, never this buffer's data.
+            slot.written = false;
+            self.pooled_bytes += slot.bytes;
+            self.pool.entry(slot.lanes).or_default().push(slot);
+        }
         Ok(())
     }
 
@@ -240,10 +316,11 @@ impl Context {
         let seconds = self.profile.h2d_seconds(bytes);
         if self.mode == ExecMode::Real {
             let slot = self.slots[id.0].as_mut().expect("validated above");
-            slot.data
-                .as_mut()
-                .expect("real mode has data")
-                .copy_from_slice(data);
+            match &mut slot.data {
+                Some(buf) => buf.copy_from_slice(data),
+                None => slot.data = Some(data.to_vec()),
+            }
+            slot.written = true;
         }
         self.record(EventKind::HostToDevice, "write", bytes, seconds);
         Ok(())
@@ -263,17 +340,21 @@ impl Context {
         Ok(())
     }
 
-    /// Enqueue a device→host read, returning the buffer contents.
+    /// Enqueue a device→host read, returning the buffer contents. A buffer
+    /// that was never written (by host or kernel) reads as zeros.
     pub fn enqueue_read(&mut self, id: BufferId) -> Result<Vec<f32>, OclError> {
+        if self.mode == ExecMode::Model {
+            self.slot(id)?;
+            return Err(OclError::InvalidOperation(
+                "cannot read contents in model mode; use enqueue_read_virtual".into(),
+            ));
+        }
         let slot = self.slot(id)?;
         let bytes = slot.lanes as u64 * 4;
-        let data = match &slot.data {
-            Some(d) => d.clone(),
-            None => {
-                return Err(OclError::InvalidOperation(
-                    "cannot read contents in model mode; use enqueue_read_virtual".into(),
-                ))
-            }
+        let data = if slot.written {
+            slot.data.clone().expect("written implies materialized")
+        } else {
+            vec![0.0f32; slot.lanes]
         };
         let seconds = self.profile.d2h_seconds(bytes);
         self.record(EventKind::DeviceToHost, "read", bytes, seconds);
@@ -320,14 +401,28 @@ impl Context {
         self.slot(output)?;
 
         if self.mode == ExecMode::Real {
+            // Never-written inputs must read as zeros inside the kernel too,
+            // so materialize them first (pooled storage may be stale).
+            for &id in inputs {
+                let slot = self.slots[id.0].as_mut().expect("validated");
+                if !slot.written {
+                    match &mut slot.data {
+                        Some(buf) => buf.fill(0.0),
+                        None => slot.data = Some(vec![0.0f32; slot.lanes]),
+                    }
+                    slot.written = true;
+                }
+            }
             // Temporarily take the output storage to satisfy the borrow
-            // checker, then gather immutable input views.
-            let mut out_data = self.slots[output.0]
-                .as_mut()
-                .expect("validated")
+            // checker, then gather immutable input views. The output's prior
+            // contents are unspecified (as in OpenCL): lanes the kernel does
+            // not write keep whatever the storage held, so pooled reuse
+            // never pays a zero-fill here.
+            let out_slot = self.slots[output.0].as_mut().expect("validated");
+            let mut out_data = out_slot
                 .data
                 .take()
-                .expect("real mode has data");
+                .unwrap_or_else(|| vec![0.0f32; out_slot.lanes]);
             {
                 let input_views: Vec<&[f32]> = inputs
                     .iter()
@@ -337,7 +432,7 @@ impl Context {
                             .expect("validated")
                             .data
                             .as_deref()
-                            .expect("real mode has data")
+                            .expect("materialized above")
                     })
                     .collect();
                 kernel.run(KernelArgs {
@@ -346,7 +441,9 @@ impl Context {
                     n,
                 });
             }
-            self.slots[output.0].as_mut().expect("validated").data = Some(out_data);
+            let out_slot = self.slots[output.0].as_mut().expect("validated");
+            out_slot.data = Some(out_data);
+            out_slot.written = true;
         }
 
         let cost = kernel.cost(n);
@@ -363,12 +460,19 @@ impl Context {
     }
 
     /// Copy out a buffer's contents without recording a transfer event
-    /// (testing/diagnostic aid; not part of the modeled protocol).
+    /// (testing/diagnostic aid; not part of the modeled protocol). Like
+    /// [`Context::enqueue_read`], a never-written buffer peeks as zeros.
     pub fn peek(&self, id: BufferId) -> Result<Vec<f32>, OclError> {
+        if self.mode == ExecMode::Model {
+            self.slot(id)?;
+            return Err(OclError::InvalidOperation("peek in model mode".into()));
+        }
         let slot = self.slot(id)?;
-        slot.data
-            .clone()
-            .ok_or_else(|| OclError::InvalidOperation("peek in model mode".into()))
+        Ok(if slot.written {
+            slot.data.clone().expect("written implies materialized")
+        } else {
+            vec![0.0f32; slot.lanes]
+        })
     }
 }
 
@@ -572,6 +676,123 @@ mod tests {
             1024,
             "high water reseeds from live bytes"
         );
+    }
+
+    #[test]
+    fn fresh_never_written_buffer_reads_as_zeros() {
+        let mut c = ctx();
+        let a = c.create_buffer(16).unwrap();
+        assert_eq!(c.peek(a).unwrap(), vec![0.0; 16]);
+        assert_eq!(c.enqueue_read(a).unwrap(), vec![0.0; 16]);
+        // Unwritten kernel inputs also read as zeros inside the kernel.
+        let b = c.create_buffer(16).unwrap();
+        c.launch(&Double, &[a], b, 16).unwrap();
+        assert_eq!(c.enqueue_read(b).unwrap(), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn pooled_storage_never_leaks_previous_contents() {
+        let mut c = ctx();
+        c.set_pooling(true);
+        let a = c.create_buffer(4).unwrap();
+        c.enqueue_write(a, &[9.0, 9.0, 9.0, 9.0]).unwrap();
+        c.release(a).unwrap();
+        // Same lane count → pool hit reusing the storage written above.
+        let b = c.create_buffer(4).unwrap();
+        assert_eq!(c.pool_hits(), 1);
+        assert_eq!(c.enqueue_read(b).unwrap(), vec![0.0; 4]);
+        // …and reused as an unwritten kernel input it reads as zeros too.
+        c.release(b).unwrap();
+        let inp = c.create_buffer(4).unwrap();
+        let out = c.create_buffer(4).unwrap();
+        c.launch(&Double, &[inp], out, 4).unwrap();
+        assert_eq!(c.enqueue_read(out).unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn pooling_recycles_buffer_ids_and_storage() {
+        let mut c = ctx();
+        c.set_pooling(true);
+        let a = c.create_buffer(256).unwrap();
+        c.release(a).unwrap();
+        assert_eq!(c.pooled_bytes(), 1024);
+        let b = c.create_buffer(256).unwrap();
+        assert_eq!(a, b, "slot id recycled under pooling");
+        assert_eq!(c.pool_hits(), 1);
+        assert_eq!(c.pooled_bytes(), 0);
+        // A different size misses the pool.
+        let d = c.create_buffer(128).unwrap();
+        assert_eq!(c.pool_hits(), 1);
+        c.release(b).unwrap();
+        c.release(d).unwrap();
+        // Disabling pooling drops parked storage.
+        c.set_pooling(false);
+        assert_eq!(c.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn high_water_identical_with_pooling_on_and_off() {
+        let pass = |pooling: bool| -> (u64, u64, usize) {
+            let mut c = ctx();
+            c.set_pooling(pooling);
+            let a = c.create_buffer(1024).unwrap();
+            let b = c.create_buffer(1024).unwrap();
+            c.enqueue_write(a, &[1.0; 1024]).unwrap();
+            c.launch(&Double, &[a], b, 1024).unwrap();
+            drop(c.enqueue_read(b).unwrap());
+            c.release(a).unwrap();
+            c.release(b).unwrap();
+            // Second cycle: pooled run reuses both slots.
+            let a = c.create_buffer(1024).unwrap();
+            let b = c.create_buffer(1024).unwrap();
+            c.enqueue_write(a, &[2.0; 1024]).unwrap();
+            c.launch(&Double, &[a], b, 1024).unwrap();
+            drop(c.enqueue_read(b).unwrap());
+            c.release(a).unwrap();
+            c.release(b).unwrap();
+            (
+                c.high_water_bytes(),
+                c.in_use_bytes(),
+                c.report().events.len(),
+            )
+        };
+        let (hw_off, use_off, ev_off) = pass(false);
+        let (hw_on, use_on, ev_on) = pass(true);
+        assert_eq!(hw_off, hw_on, "high water must not see the pool");
+        assert_eq!(use_off, use_on);
+        assert_eq!(use_on, 0, "pooled bytes are not in_use");
+        assert_eq!(ev_off, ev_on);
+    }
+
+    #[test]
+    fn model_mode_pooling_matches_real_counts_and_clock() {
+        let run = |mode: ExecMode| -> (f64, (usize, usize, usize), u64) {
+            let mut c = Context::new(DeviceProfile::nvidia_m2050(), mode);
+            c.set_pooling(true);
+            for _ in 0..3 {
+                let a = c.create_buffer(512).unwrap();
+                let b = c.create_buffer(512).unwrap();
+                match mode {
+                    ExecMode::Real => c.enqueue_write(a, &[0.5; 512]).unwrap(),
+                    ExecMode::Model => c.enqueue_write_virtual(a).unwrap(),
+                }
+                c.launch(&Double, &[a], b, 512).unwrap();
+                match mode {
+                    ExecMode::Real => drop(c.enqueue_read(b).unwrap()),
+                    ExecMode::Model => c.enqueue_read_virtual(b).unwrap(),
+                }
+                c.release(a).unwrap();
+                c.release(b).unwrap();
+            }
+            assert_eq!(c.pool_hits(), 4, "cycles 2 and 3 reuse both slots");
+            let r = c.report();
+            (c.clock_seconds(), r.table2_row(), r.high_water_bytes)
+        };
+        let (t_real, counts_real, hw_real) = run(ExecMode::Real);
+        let (t_model, counts_model, hw_model) = run(ExecMode::Model);
+        assert!((t_real - t_model).abs() < 1e-15);
+        assert_eq!(counts_real, counts_model);
+        assert_eq!(hw_real, hw_model);
     }
 
     #[test]

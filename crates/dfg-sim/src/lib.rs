@@ -52,6 +52,26 @@ pub struct FlowSimulation {
     pub viscosity: f32,
     time: f32,
     steps: usize,
+    /// Engine-facing field set, kept across steps so per-field generations
+    /// are stable: coordinates and `dims` never change after construction,
+    /// and only `u`/`v`/`w` are re-synced (bumping their generations) after
+    /// a [`FlowSimulation::step`]. A persistent [`dfg_core::Session`] can
+    /// therefore skip re-uploading the static fields every cycle.
+    fields: FieldSet,
+    fields_dirty: bool,
+}
+
+fn engine_fields(mesh: &RectilinearMesh, u: &[f32], v: &[f32], w: &[f32]) -> FieldSet {
+    let mut fs = FieldSet::new(mesh.ncells());
+    let (x, y, z) = mesh.coord_arrays();
+    fs.insert_scalar("x", x).expect("mesh length");
+    fs.insert_scalar("y", y).expect("mesh length");
+    fs.insert_scalar("z", z).expect("mesh length");
+    fs.insert_scalar("u", u.to_vec()).expect("state length");
+    fs.insert_scalar("v", v.to_vec()).expect("state length");
+    fs.insert_scalar("w", w.to_vec()).expect("state length");
+    fs.insert_small("dims", mesh.dims_buffer());
+    fs
 }
 
 impl FlowSimulation {
@@ -65,6 +85,7 @@ impl FlowSimulation {
             1.0 / dims[1] as f32,
             1.0 / dims[2] as f32,
         ];
+        let fields = engine_fields(&mesh, &u, &v, &w);
         FlowSimulation {
             mesh,
             dims,
@@ -75,6 +96,8 @@ impl FlowSimulation {
             viscosity: 1e-4,
             time: 0.0,
             steps: 0,
+            fields,
+            fields_dirty: false,
         }
     }
 
@@ -93,6 +116,7 @@ impl FlowSimulation {
             1.0 / dims[1] as f32,
             1.0 / dims[2] as f32,
         ];
+        let fields = engine_fields(&mesh, &u, &v, &w);
         FlowSimulation {
             mesh,
             dims,
@@ -103,6 +127,8 @@ impl FlowSimulation {
             viscosity: 1e-4,
             time: 0.0,
             steps: 0,
+            fields,
+            fields_dirty: false,
         }
     }
 
@@ -244,21 +270,32 @@ impl FlowSimulation {
         }
         self.time += dt;
         self.steps += 1;
+        self.fields_dirty = true;
     }
 
     /// Expose the live arrays to the derived-field framework, exactly as
     /// the paper's host hands NumPy arrays over (§III-D).
-    pub fn fields(&self) -> FieldSet {
-        let mut fs = FieldSet::new(self.mesh.ncells());
-        let (x, y, z) = self.mesh.coord_arrays();
-        fs.insert_scalar("x", x).expect("mesh length");
-        fs.insert_scalar("y", y).expect("mesh length");
-        fs.insert_scalar("z", z).expect("mesh length");
-        fs.insert_scalar("u", self.u.clone()).expect("state length");
-        fs.insert_scalar("v", self.v.clone()).expect("state length");
-        fs.insert_scalar("w", self.w.clone()).expect("state length");
-        fs.insert_small("dims", self.mesh.dims_buffer());
-        fs
+    ///
+    /// The returned [`FieldSet`] is persistent: the mesh coordinates and
+    /// `dims` keep their original generations forever, while `u`/`v`/`w`
+    /// are re-synced in place (bumping only *their* generations) the first
+    /// time this is called after a [`step`](FlowSimulation::step). Feeding
+    /// the same set to a [`dfg_core::Session`] each cycle therefore
+    /// re-uploads exactly the three velocity components and nothing else.
+    pub fn fields(&mut self) -> &FieldSet {
+        if self.fields_dirty {
+            self.fields
+                .update_scalar("u", &self.u)
+                .expect("state length");
+            self.fields
+                .update_scalar("v", &self.v)
+                .expect("state length");
+            self.fields
+                .update_scalar("w", &self.w)
+                .expect("state length");
+            self.fields_dirty = false;
+        }
+        &self.fields
     }
 }
 
@@ -356,13 +393,41 @@ mod tests {
         let mut sim = FlowSimulation::from_workload([8, 8, 8], &RtWorkload::paper_default());
         sim.step(0.01);
         let mut engine = Engine::new(DeviceProfile::nvidia_m2050());
+        let fields = sim.fields().clone();
         let report = engine
             .derive(
                 "w_mag = norm(curl(u, v, w, dims, x, y, z))",
-                &sim.fields(),
+                &fields,
                 Strategy::Fusion,
             )
             .expect("in-situ derive from live state");
         assert!(report.field.is_some());
+    }
+
+    #[test]
+    fn field_generations_are_stable_across_steps() {
+        let mut sim = FlowSimulation::from_workload([6, 6, 6], &RtWorkload::paper_default());
+        let before: Vec<u64> = ["x", "y", "z", "dims", "u"]
+            .iter()
+            .map(|n| sim.fields().get(n).expect("present").generation())
+            .collect();
+        sim.step(0.01);
+        sim.step(0.01);
+        let u_live = sim.velocity().0.to_vec();
+        let fields = sim.fields();
+        // Static fields keep their generations; velocities were bumped.
+        for (i, name) in ["x", "y", "z", "dims"].iter().enumerate() {
+            assert_eq!(
+                fields.get(name).expect("present").generation(),
+                before[i],
+                "{name} must not be re-touched by stepping"
+            );
+        }
+        assert!(fields.get("u").expect("present").generation() > before[4]);
+        // The synced arrays really are the live state.
+        assert_eq!(
+            fields.get("u").expect("present").data.as_deref(),
+            Some(u_live.as_slice())
+        );
     }
 }

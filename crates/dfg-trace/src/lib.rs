@@ -235,6 +235,31 @@ impl Tracer {
             spans: inner.spans.clone(),
         }
     }
+
+    /// Number of spans recorded so far — a mark for
+    /// [`Tracer::snapshot_since`].
+    pub fn span_count(&self) -> usize {
+        self.inner.lock().expect("tracer lock").spans.len()
+    }
+
+    /// Snapshot only the spans recorded at or after `mark` (a prior
+    /// [`Tracer::span_count`]). Parent indices are rebased to the new
+    /// slice; a span whose parent predates the mark becomes a root and
+    /// depths are recomputed accordingly. This is how the engine scopes
+    /// each run's report to that run's spans while the tracer itself keeps
+    /// accumulating the full session.
+    pub fn snapshot_since(&self, mark: usize) -> Trace {
+        let inner = self.inner.lock().expect("tracer lock");
+        let mut spans: Vec<SpanRecord> = inner.spans[mark.min(inner.spans.len())..].to_vec();
+        for i in 0..spans.len() {
+            spans[i].parent = spans[i].parent.and_then(|p| p.checked_sub(mark));
+            spans[i].depth = match spans[i].parent {
+                Some(p) => spans[p].depth + 1,
+                None => 0,
+            };
+        }
+        Trace { spans }
+    }
 }
 
 /// RAII handle for an open span; the span closes when this drops.
@@ -320,7 +345,7 @@ impl TracerLike for Option<Tracer> {
     }
 }
 
-impl<'a> TracerLike for Option<&'a Tracer> {
+impl TracerLike for Option<&Tracer> {
     fn tracer(&self) -> Option<&Tracer> {
         *self
     }
@@ -458,6 +483,45 @@ mod tests {
         assert_eq!(trace.spans()[1].meta_u64("bytes"), Some(1024));
         assert_eq!(trace.spans()[2].virt_seconds(), Some(0.5));
         assert!((trace.device_seconds() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_since_rebases_parents_and_depths() {
+        let tracer = Tracer::new();
+        {
+            let _a = span!(tracer, "first");
+            let _b = span!(tracer, "first.child");
+        }
+        let mark = tracer.span_count();
+        assert_eq!(mark, 2);
+        {
+            let _c = span!(tracer, "second");
+            let _d = span!(tracer, "second.child");
+        }
+        let since = tracer.snapshot_since(mark);
+        let names: Vec<&str> = since.spans().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["second", "second.child"]);
+        assert_eq!(since.spans()[0].parent, None);
+        assert_eq!(since.spans()[1].parent, Some(0));
+        assert_eq!(since.spans()[1].depth, 1);
+        // The full snapshot still holds everything.
+        assert_eq!(tracer.snapshot().spans().len(), 4);
+        // A mark past the end yields an empty trace rather than panicking.
+        assert!(tracer.snapshot_since(99).spans().is_empty());
+    }
+
+    #[test]
+    fn snapshot_since_orphans_spans_whose_parent_predates_the_mark() {
+        let tracer = Tracer::new();
+        let _outer = span!(tracer, "outer");
+        let mark = tracer.span_count();
+        {
+            let _inner = span!(tracer, "inner");
+        }
+        let since = tracer.snapshot_since(mark);
+        assert_eq!(since.spans().len(), 1);
+        assert_eq!(since.spans()[0].parent, None, "rebased to a root");
+        assert_eq!(since.spans()[0].depth, 0);
     }
 
     #[test]

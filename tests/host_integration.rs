@@ -22,7 +22,7 @@ fn solver_state_round_trips_through_vtk_and_rederives() {
     let q_live = engine
         .derive(
             Workload::QCriterion.source(),
-            &sim.fields(),
+            sim.fields(),
             Strategy::Fusion,
         )
         .expect("in-situ derive")
@@ -85,7 +85,7 @@ fn multi_device_agrees_with_pipeline_on_solver_state() {
     let dims = [8usize, 8, 12];
     let mut sim = FlowSimulation::from_workload(dims, &RtWorkload::paper_default());
     sim.step(0.02);
-    let fields = sim.fields();
+    let fields = sim.fields().clone();
 
     let mut engine = Engine::new(DeviceProfile::nvidia_m2050());
     let single = engine

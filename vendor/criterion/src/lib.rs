@@ -22,6 +22,13 @@ impl BenchmarkId {
             full: format!("{function_name}/{parameter}"),
         }
     }
+
+    /// Identifier from the parameter alone (the group name is the prefix).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
 }
 
 impl From<&str> for BenchmarkId {
@@ -118,6 +125,16 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Time one benchmark, passing `input` through to the closure.
+    pub fn bench_with_input<I, A, F>(&mut self, id: I, input: &A, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        A: ?Sized,
+        F: FnMut(&mut Bencher, &A),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
     /// End the group (marker only; results print as they complete).
     pub fn finish(&mut self) {}
 }
@@ -201,6 +218,20 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut c = Criterion::default();
+        let mut seen = 0u64;
+        c.benchmark_group("t").sample_size(3).bench_with_input(
+            BenchmarkId::from_parameter(42),
+            &42u64,
+            |b, &n| {
+                b.iter(|| seen = n);
+            },
+        );
+        assert_eq!(seen, 42);
     }
 
     #[test]
