@@ -34,7 +34,7 @@ usage:
              [--output <out.vtk>] [--render <slice.ppm>] [--trace <trace.json>]
   dfgc plan  --expr <program> --grid NXxNYxNZ
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
-             [--device cpu|gpu] [--out-dir <dir>]
+             [--device cpu|gpu] [--out-dir <dir>] [--branch-parallel on|off]
   dfgc insitu [--cycles <n>] [--grid NXxNYxNZ] [--expr <program>]
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
   dfgc parse --expr <program>
@@ -272,6 +272,11 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
     };
     let fields = fieldset_of(&ds);
     let profile = device_of(args.get("device"))?;
+    let branch_parallel = match args.get("branch-parallel").unwrap_or("off") {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => return Err(format!("--branch-parallel takes on|off, got `{other}`")),
+    };
     let out_dir = std::path::PathBuf::from(args.get("out-dir").unwrap_or("."));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
@@ -292,10 +297,17 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         peak_mb: f64,
         flame: String,
         path: std::path::PathBuf,
+        levels: Vec<(u64, u64)>,
     }
     let mut rows = Vec::new();
     for strategy in [Strategy::Roundtrip, Strategy::Staged, Strategy::Fusion] {
-        let mut engine = Engine::with_options(profile.clone(), EngineOptions::default());
+        let mut engine = Engine::with_options(
+            profile.clone(),
+            EngineOptions {
+                branch_parallel,
+                ..EngineOptions::default()
+            },
+        );
         engine.set_tracer(Tracer::new());
         let report = engine
             .derive(&expression, &fields, strategy)
@@ -304,6 +316,18 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         let path = out_dir.join(format!("trace-{}.json", strategy.name()));
         std::fs::write(&path, trace.to_chrome_trace())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        // Per-level fan-out recorded by the branch-parallel executor.
+        let levels: Vec<(u64, u64)> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.name == "exec.level")
+            .map(|s| {
+                (
+                    s.meta_u64("level").unwrap_or(0),
+                    s.meta_u64("fanout").unwrap_or(0),
+                )
+            })
+            .collect();
         rows.push(Row {
             name: strategy.name(),
             table2: report.table2_row(),
@@ -312,6 +336,7 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             peak_mb: report.high_water_bytes() as f64 / 1e6,
             flame: trace.to_flame_text(),
             path,
+            levels,
         });
     }
 
@@ -334,7 +359,31 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             row.path.display()
         );
         print!("{}", row.flame);
+        if !row.levels.is_empty() {
+            let fanned: Vec<String> = row
+                .levels
+                .iter()
+                .map(|(level, fanout)| format!("L{level}\u{00d7}{fanout}"))
+                .collect();
+            println!(
+                "  branch-parallel levels (fan-out \u{2265} 2): {}",
+                fanned.join(" ")
+            );
+        }
     }
+    let pool = dfg_exec::global();
+    let (executed, steals) = pool.stats();
+    println!();
+    println!(
+        "dfg-exec pool: {} thread{} ({}), {executed} jobs run by workers, {steals} stolen",
+        pool.num_threads(),
+        if pool.num_threads() == 1 { "" } else { "s" },
+        if std::env::var("DFG_NUM_THREADS").map(|v| !v.trim().is_empty()) == Ok(true) {
+            "DFG_NUM_THREADS"
+        } else {
+            "available parallelism"
+        },
+    );
     Ok(())
 }
 

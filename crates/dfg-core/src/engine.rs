@@ -29,6 +29,15 @@ pub struct EngineOptions {
     /// results, fewer kernels — e.g. the Q-criterion's `s_3 = s_1`
     /// duplicates disappear.
     pub full_cse: bool,
+    /// Branch-parallel staged execution: walk the schedule's dependency
+    /// levels and dispatch each level's mutually independent kernels
+    /// concurrently on the `dfg-exec` pool (one batch launch per level)
+    /// instead of one kernel at a time. Outputs are bit-identical and
+    /// device events stay in deterministic level/id order, but buffers are
+    /// freed per *level* rather than per step, so the allocation high-water
+    /// mark can differ from the paper's serial walk — hence opt-in.
+    /// Affects the staged strategy only.
+    pub branch_parallel: bool,
 }
 
 impl Default for EngineOptions {
@@ -37,6 +46,7 @@ impl Default for EngineOptions {
             mode: ExecMode::Real,
             roundtrip_dedup_uploads: false,
             full_cse: false,
+            branch_parallel: false,
         }
     }
 }
@@ -250,7 +260,21 @@ impl Engine {
                 )?,
                 None,
             ),
-            Strategy::Staged => (run_staged(spec, &sched, fields, &mut ctx)?, None),
+            Strategy::Staged => {
+                let field = if self.options.branch_parallel {
+                    crate::strategies::run_staged_levels_multi(
+                        spec,
+                        &sched,
+                        fields,
+                        &mut ctx,
+                        &[spec.result],
+                    )?
+                    .map(|mut v| v.pop().expect("one root, one field"))
+                } else {
+                    run_staged(spec, &sched, fields, &mut ctx)?
+                };
+                (field, None)
+            }
             Strategy::Fusion => {
                 let label = spec
                     .node(spec.result)
@@ -334,10 +358,16 @@ impl Engine {
                 )?,
                 None,
             ),
-            Strategy::Staged => (
-                crate::strategies::run_staged_multi(&spec, &sched, fields, &mut ctx, &roots)?,
-                None,
-            ),
+            Strategy::Staged => {
+                let out = if self.options.branch_parallel {
+                    crate::strategies::run_staged_levels_multi(
+                        &spec, &sched, fields, &mut ctx, &roots,
+                    )?
+                } else {
+                    crate::strategies::run_staged_multi(&spec, &sched, fields, &mut ctx, &roots)?
+                };
+                (out, None)
+            }
             Strategy::Fusion => {
                 let (f, src) =
                     crate::strategies::run_fusion_multi(&spec, &roots, fields, &mut ctx, "multi")?;

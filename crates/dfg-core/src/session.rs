@@ -296,10 +296,21 @@ impl Session<'_> {
                 )?,
                 None,
             ),
-            Strategy::Staged => (
-                run_staged_multi_session(&spec, &sched, fields, ctx, &roots, Some(state))?,
-                None,
-            ),
+            Strategy::Staged => {
+                let out = if self.engine.options().branch_parallel {
+                    crate::strategies::run_staged_levels_session(
+                        &spec,
+                        &sched,
+                        fields,
+                        ctx,
+                        &roots,
+                        Some(state),
+                    )?
+                } else {
+                    run_staged_multi_session(&spec, &sched, fields, ctx, &roots, Some(state))?
+                };
+                (out, None)
+            }
             Strategy::Fusion => {
                 let label = match outputs {
                     Some(_) => "multi".to_string(),

@@ -30,6 +30,12 @@ impl std::error::Error for ScheduleError {}
 /// `free_after[i]` lists the nodes whose buffers become dead immediately
 /// after executing `order[i]` — the reference-counting reuse described in the
 /// paper. The result node is never freed.
+///
+/// `levels` groups the same reachable nodes by dependency depth (ASAP
+/// levels): `levels[0]` holds nodes with no scheduled inputs, and every node
+/// in `levels[d]` has all inputs in strictly earlier levels. Nodes within
+/// one level are mutually independent and may execute concurrently; ids are
+/// sorted ascending within each level so the level order is deterministic.
 #[derive(Debug, Clone)]
 pub struct Schedule {
     /// Topological execution order over reachable nodes.
@@ -39,6 +45,8 @@ pub struct Schedule {
     /// Number of consuming ports for every node in the network (indexed by
     /// `NodeId::idx`; counts duplicate ports, e.g. `u*u` counts `u` twice).
     pub consumers: Vec<u32>,
+    /// Reachable nodes grouped by dependency depth; see type docs.
+    pub levels: Vec<Vec<NodeId>>,
 }
 
 impl Schedule {
@@ -149,10 +157,35 @@ impl Schedule {
             frees.dedup();
         }
 
+        // Dependency levels (ASAP): level(n) = 1 + max(level(inputs)), 0
+        // for source nodes. One pass over `order` suffices because inputs
+        // always precede consumers there.
+        let mut level_of = vec![0usize; n];
+        let mut depth = 0usize;
+        for &id in &order {
+            let lvl = spec
+                .node(id)
+                .inputs
+                .iter()
+                .map(|input| level_of[input.idx()] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of[id.idx()] = lvl;
+            depth = depth.max(lvl + 1);
+        }
+        let mut levels = vec![Vec::new(); depth];
+        for &id in &order {
+            levels[level_of[id.idx()]].push(id);
+        }
+        for level in &mut levels {
+            level.sort();
+        }
+
         Ok(Schedule {
             order,
             free_after,
             consumers,
+            levels,
         })
     }
 
@@ -252,6 +285,48 @@ mod tests {
             Schedule::new(&spec),
             Err(ScheduleError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn levels_partition_order_and_respect_edges() {
+        let spec = velmag_spec();
+        let sched = Schedule::new(&spec).unwrap();
+        // Levels cover exactly the scheduled nodes.
+        let mut leveled: Vec<NodeId> = sched.levels.iter().flatten().copied().collect();
+        leveled.sort();
+        let mut ordered = sched.order.clone();
+        ordered.sort();
+        assert_eq!(leveled, ordered);
+        // Every input sits in a strictly earlier level.
+        let level_of: HashMap<NodeId, usize> = sched
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(d, nodes)| nodes.iter().map(move |&id| (id, d)))
+            .collect();
+        for &id in &sched.order {
+            for &input in &spec.node(id).inputs {
+                assert!(level_of[&input] < level_of[&id], "{input} !< {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn velmag_levels_expose_branch_parallelism() {
+        let spec = velmag_spec();
+        let sched = Schedule::new(&spec).unwrap();
+        // u, v, w at level 0; the three independent squarings at level 1;
+        // then the additions chain and the sqrt serialize.
+        assert_eq!(sched.levels.len(), 5);
+        assert_eq!(sched.levels[0].len(), 3);
+        assert_eq!(sched.levels[1].len(), 3);
+        assert_eq!(sched.levels[2].len(), 1);
+        assert_eq!(sched.levels[3].len(), 1);
+        assert_eq!(sched.levels[4], vec![spec.result]);
+        // Deterministic: ids ascend within a level.
+        for level in &sched.levels {
+            assert!(level.windows(2).all(|w| w[0] < w[1]));
+        }
     }
 
     #[test]

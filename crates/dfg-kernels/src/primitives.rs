@@ -309,7 +309,9 @@ pub const GRAD3D_OPENCL_SOURCE: &str = r#"float4 dfg_grad3d(__global const float
 }"#;
 
 /// Minimum elements per rayon task: amortizes scheduling overhead without
-/// hurting load balance for problem-sized arrays.
+/// hurting load balance for problem-sized arrays. The size actually used
+/// per launch is [`dfg_exec::effective_chunk`], which scales this up to
+/// bound the task count at ~4 per worker thread.
 const PAR_CHUNK: usize = 16 * 1024;
 
 impl DeviceKernel for Primitive {
@@ -357,14 +359,19 @@ impl DeviceKernel for Primitive {
 
     fn run(&self, args: KernelArgs<'_>) {
         let n = args.n;
+        // Scale the chunk size to the live thread count (`DFG_NUM_THREADS`
+        // aware): at most ~4 tasks per worker, and one chunk when serial.
+        // `base` arithmetic uses the same `chunk`, so results are
+        // bit-identical for every thread count.
+        let chunk = dfg_exec::effective_chunk(n, PAR_CHUNK);
         match self {
             Primitive::Bin(k) => {
                 let (a, b) = (args.inputs[0], args.inputs[1]);
                 args.output[..n]
-                    .par_chunks_mut(PAR_CHUNK)
+                    .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.iter_mut().enumerate() {
                             *o = k.eval(a[base + t], b[base + t]);
                         }
@@ -373,10 +380,10 @@ impl DeviceKernel for Primitive {
             Primitive::Un(k) => {
                 let a = args.inputs[0];
                 args.output[..n]
-                    .par_chunks_mut(PAR_CHUNK)
+                    .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.iter_mut().enumerate() {
                             *o = k.eval(a[base + t]);
                         }
@@ -385,10 +392,10 @@ impl DeviceKernel for Primitive {
             Primitive::Select => {
                 let (c0, a, b) = (args.inputs[0], args.inputs[1], args.inputs[2]);
                 args.output[..n]
-                    .par_chunks_mut(PAR_CHUNK)
+                    .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.iter_mut().enumerate() {
                             let i = base + t;
                             *o = if c0[i] != 0.0 { a[i] } else { b[i] };
@@ -398,10 +405,10 @@ impl DeviceKernel for Primitive {
             Primitive::Compose3 => {
                 let (a, b, c0) = (args.inputs[0], args.inputs[1], args.inputs[2]);
                 args.output[..4 * n]
-                    .par_chunks_mut(4 * PAR_CHUNK)
+                    .par_chunks_mut(4 * chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.chunks_exact_mut(4).enumerate() {
                             let i = base + t;
                             o[0] = a[i];
@@ -415,17 +422,17 @@ impl DeviceKernel for Primitive {
                 let v = args.inputs[0];
                 let comp = *comp as usize;
                 args.output[..n]
-                    .par_chunks_mut(PAR_CHUNK)
+                    .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.iter_mut().enumerate() {
                             *o = v[4 * (base + t) + comp];
                         }
                     });
             }
             Primitive::ConstFill(val) => {
-                args.output[..n].par_chunks_mut(PAR_CHUNK).for_each(|out| {
+                args.output[..n].par_chunks_mut(chunk).for_each(|out| {
                     out.fill(*val);
                 });
             }
@@ -435,10 +442,10 @@ impl DeviceKernel for Primitive {
                 let (x, y, z) = (args.inputs[2], args.inputs[3], args.inputs[4]);
                 debug_assert_eq!(d.ncells(), n, "dims buffer disagrees with launch size");
                 args.output[..4 * n]
-                    .par_chunks_mut(4 * PAR_CHUNK)
+                    .par_chunks_mut(4 * chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.chunks_exact_mut(4).enumerate() {
                             let g = gradient_at(field, x, y, z, d, base + t);
                             o[0] = g[0];
@@ -451,10 +458,10 @@ impl DeviceKernel for Primitive {
             Primitive::Norm3 => {
                 let v = args.inputs[0];
                 args.output[..n]
-                    .par_chunks_mut(PAR_CHUNK)
+                    .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.iter_mut().enumerate() {
                             let i = 4 * (base + t);
                             *o = (v[i] * v[i] + v[i + 1] * v[i + 1] + v[i + 2] * v[i + 2]).sqrt();
@@ -464,10 +471,10 @@ impl DeviceKernel for Primitive {
             Primitive::Dot3 => {
                 let (a, b) = (args.inputs[0], args.inputs[1]);
                 args.output[..n]
-                    .par_chunks_mut(PAR_CHUNK)
+                    .par_chunks_mut(chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.iter_mut().enumerate() {
                             let i = 4 * (base + t);
                             *o = a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2];
@@ -477,10 +484,10 @@ impl DeviceKernel for Primitive {
             Primitive::Cross3 => {
                 let (a, b) = (args.inputs[0], args.inputs[1]);
                 args.output[..4 * n]
-                    .par_chunks_mut(4 * PAR_CHUNK)
+                    .par_chunks_mut(4 * chunk)
                     .enumerate()
                     .for_each(|(c, out)| {
-                        let base = c * PAR_CHUNK;
+                        let base = c * chunk;
                         for (t, o) in out.chunks_exact_mut(4).enumerate() {
                             let i = 4 * (base + t);
                             o[0] = a[i + 1] * b[i + 2] - a[i + 2] * b[i + 1];

@@ -15,7 +15,8 @@ use rayon::prelude::*;
 
 use crate::grad::{gradient_at, Dims3};
 
-/// Minimum elements per rayon task.
+/// Minimum elements per rayon task; scaled up per launch by
+/// [`dfg_exec::effective_chunk`] to match the live thread count.
 const PAR_CHUNK: usize = 8 * 1024;
 
 /// Reference kernel for velocity magnitude. Inputs: `[u, v, w]`.
@@ -36,12 +37,13 @@ impl DeviceKernel for VelMagRef {
     }
 
     fn run(&self, args: KernelArgs<'_>) {
+        let chunk = dfg_exec::effective_chunk(args.n, PAR_CHUNK);
         let (u, v, w) = (args.inputs[0], args.inputs[1], args.inputs[2]);
         args.output[..args.n]
-            .par_chunks_mut(PAR_CHUNK)
+            .par_chunks_mut(chunk)
             .enumerate()
             .for_each(|(c, out)| {
-                let base = c * PAR_CHUNK;
+                let base = c * chunk;
                 for (t, o) in out.iter_mut().enumerate() {
                     let i = base + t;
                     *o = (u[i] * u[i] + v[i] * v[i] + w[i] * w[i]).sqrt();
@@ -71,14 +73,15 @@ impl DeviceKernel for VortMagRef {
     }
 
     fn run(&self, args: KernelArgs<'_>) {
+        let chunk = dfg_exec::effective_chunk(args.n, PAR_CHUNK);
         let (u, v, w) = (args.inputs[0], args.inputs[1], args.inputs[2]);
         let d = Dims3::from_buffer(args.inputs[3]);
         let (x, y, z) = (args.inputs[4], args.inputs[5], args.inputs[6]);
         args.output[..args.n]
-            .par_chunks_mut(PAR_CHUNK)
+            .par_chunks_mut(chunk)
             .enumerate()
             .for_each(|(c, out)| {
-                let base = c * PAR_CHUNK;
+                let base = c * chunk;
                 for (t, o) in out.iter_mut().enumerate() {
                     let idx = base + t;
                     let du = gradient_at(u, x, y, z, d, idx);
@@ -112,14 +115,15 @@ impl DeviceKernel for QCritRef {
     }
 
     fn run(&self, args: KernelArgs<'_>) {
+        let chunk = dfg_exec::effective_chunk(args.n, PAR_CHUNK);
         let (u, v, w) = (args.inputs[0], args.inputs[1], args.inputs[2]);
         let d = Dims3::from_buffer(args.inputs[3]);
         let (x, y, z) = (args.inputs[4], args.inputs[5], args.inputs[6]);
         args.output[..args.n]
-            .par_chunks_mut(PAR_CHUNK)
+            .par_chunks_mut(chunk)
             .enumerate()
             .for_each(|(c, out)| {
-                let base = c * PAR_CHUNK;
+                let base = c * chunk;
                 for (t, o) in out.iter_mut().enumerate() {
                     let idx = base + t;
                     let du = gradient_at(u, x, y, z, d, idx);

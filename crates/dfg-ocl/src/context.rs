@@ -36,13 +36,30 @@ pub struct KernelArgs<'a> {
 ///
 /// Implementations live in `dfg-kernels`; they execute for real (in
 /// parallel, via rayon) when the context is in [`ExecMode::Real`].
-pub trait DeviceKernel {
+///
+/// `Sync` is required so independent launches can run concurrently in a
+/// [`Context::launch_batch`]; kernels are immutable descriptions, so this
+/// is free in practice.
+pub trait DeviceKernel: Sync {
     /// Kernel name for profiling events.
     fn name(&self) -> String;
     /// Cost model for a launch over `n` elements.
     fn cost(&self, n: usize) -> KernelCost;
     /// Execute the kernel body.
     fn run(&self, args: KernelArgs<'_>);
+}
+
+/// One kernel launch inside a [`Context::launch_batch`].
+pub struct BatchLaunch<'a> {
+    /// The kernel to run.
+    pub kernel: &'a dyn DeviceKernel,
+    /// Input buffers, in the kernel's declared order.
+    pub inputs: Vec<BufferId>,
+    /// The output buffer; must be distinct from every buffer any other
+    /// launch in the batch touches.
+    pub output: BufferId,
+    /// Elements in this launch.
+    pub n: usize,
 }
 
 struct Slot {
@@ -459,6 +476,168 @@ impl Context {
         Ok(())
     }
 
+    /// Launch a batch of mutually independent kernels.
+    ///
+    /// All launches in the batch may execute concurrently on the host pool
+    /// (real mode), so no launch's output may alias any other launch's
+    /// input or output — the caller guarantees independence (a dependency
+    /// level of a schedule satisfies this by construction) and the batch is
+    /// validated up front.
+    ///
+    /// Determinism: profiling events are recorded *in batch order* after
+    /// every body has completed, and each kernel writes only its own
+    /// output, so the event stream, virtual clock, and buffer contents are
+    /// bit-identical to issuing the same launches serially via
+    /// [`Context::launch`].
+    ///
+    /// Returns the wall-clock nanoseconds each kernel body took (all zeros
+    /// in model mode), in batch order.
+    pub fn launch_batch(&mut self, launches: &[BatchLaunch<'_>]) -> Result<Vec<u64>, OclError> {
+        // Per-launch validation, as `launch` would do.
+        for l in launches {
+            if l.inputs.contains(&l.output) {
+                return Err(OclError::InvalidOperation(format!(
+                    "kernel `{}` output aliases an input",
+                    l.kernel.name()
+                )));
+            }
+            for &id in &l.inputs {
+                self.slot(id)?;
+            }
+            self.slot(l.output)?;
+        }
+        // Cross-launch independence: outputs pairwise distinct, and no
+        // output read by any launch in the batch.
+        for (i, a) in launches.iter().enumerate() {
+            for b in &launches[i + 1..] {
+                if a.output == b.output {
+                    return Err(OclError::InvalidOperation(format!(
+                        "batched kernels `{}` and `{}` share an output buffer",
+                        a.kernel.name(),
+                        b.kernel.name()
+                    )));
+                }
+            }
+            for b in launches {
+                if !std::ptr::eq(a, b) && b.inputs.contains(&a.output) {
+                    return Err(OclError::InvalidOperation(format!(
+                        "batched kernel `{}` reads the output of `{}`; \
+                         dependent launches cannot share a batch",
+                        b.kernel.name(),
+                        a.kernel.name()
+                    )));
+                }
+            }
+        }
+
+        let mut wall_ns = vec![0u64; launches.len()];
+        if self.mode == ExecMode::Real {
+            // Materialize never-written inputs as zeros first (pooled
+            // storage may be stale), exactly as `launch` does.
+            for l in launches {
+                for &id in &l.inputs {
+                    let slot = self.slots[id.0].as_mut().expect("validated");
+                    if !slot.written {
+                        match &mut slot.data {
+                            Some(buf) => buf.fill(0.0),
+                            None => slot.data = Some(vec![0.0f32; slot.lanes]),
+                        }
+                        slot.written = true;
+                    }
+                }
+            }
+            // Take every output's storage (outputs are distinct), then
+            // gather shared immutable input views.
+            let mut outs: Vec<Vec<f32>> = launches
+                .iter()
+                .map(|l| {
+                    let slot = self.slots[l.output.0].as_mut().expect("validated");
+                    slot.data.take().unwrap_or_else(|| vec![0.0f32; slot.lanes])
+                })
+                .collect();
+            {
+                let views: Vec<Vec<&[f32]>> = launches
+                    .iter()
+                    .map(|l| {
+                        l.inputs
+                            .iter()
+                            .map(|&id| {
+                                self.slots[id.0]
+                                    .as_ref()
+                                    .expect("validated")
+                                    .data
+                                    .as_deref()
+                                    .expect("materialized above")
+                            })
+                            .collect()
+                    })
+                    .collect();
+                // Disjoint per-index writes into `outs` and `wall_ns`,
+                // handed out through raw pointers because indices are
+                // claimed across pool threads.
+                struct Cells<T>(*mut T);
+                // SAFETY: each index is claimed exactly once by
+                // `parallel_for`, so no element is aliased.
+                unsafe impl<T> Sync for Cells<T> {}
+                impl<T> Cells<T> {
+                    /// # Safety
+                    /// `i` must be in bounds, and the returned pointer may
+                    /// only be dereferenced by one thread per index.
+                    unsafe fn at(&self, i: usize) -> *mut T {
+                        // SAFETY: forwarded from the caller contract.
+                        unsafe { self.0.add(i) }
+                    }
+                }
+                let out_cells = Cells(outs.as_mut_ptr());
+                let ns_cells = Cells(wall_ns.as_mut_ptr());
+                // When the batch fan-out alone saturates the pool, each
+                // kernel's internal chunk loops run inline on the thread
+                // that claimed it: one fork-join barrier per batch instead
+                // of one per kernel. Narrower batches keep nested
+                // data-parallelism so idle workers still find work.
+                let saturated = launches.len() >= dfg_exec::current_num_threads();
+                dfg_exec::parallel_for(launches.len(), |i| {
+                    // SAFETY: `i` is unique per call (see `Cells`).
+                    let out = unsafe { &mut *out_cells.at(i) };
+                    let ns = unsafe { &mut *ns_cells.at(i) };
+                    let started = std::time::Instant::now();
+                    let args = KernelArgs {
+                        inputs: &views[i],
+                        output: out,
+                        n: launches[i].n,
+                    };
+                    if saturated {
+                        dfg_exec::with_serial(|| launches[i].kernel.run(args));
+                    } else {
+                        launches[i].kernel.run(args);
+                    }
+                    *ns = started.elapsed().as_nanos() as u64;
+                });
+            }
+            for (l, out) in launches.iter().zip(outs) {
+                let slot = self.slots[l.output.0].as_mut().expect("validated");
+                slot.data = Some(out);
+                slot.written = true;
+            }
+        }
+
+        // Record events serially, in batch order: the virtual clock and
+        // event stream are independent of which body finished first.
+        for l in launches {
+            let cost = l.kernel.cost(l.n);
+            let seconds = self
+                .profile
+                .kernel_seconds(cost.bytes_read + cost.bytes_written, cost.flops);
+            self.record(
+                EventKind::KernelExec,
+                &l.kernel.name(),
+                cost.bytes_read + cost.bytes_written,
+                seconds,
+            );
+        }
+        Ok(wall_ns)
+    }
+
     /// Copy out a buffer's contents without recording a transfer event
     /// (testing/diagnostic aid; not part of the modeled protocol). Like
     /// [`Context::enqueue_read`], a never-written buffer peeks as zeros.
@@ -793,6 +972,170 @@ mod tests {
         assert!((t_real - t_model).abs() < 1e-15);
         assert_eq!(counts_real, counts_model);
         assert_eq!(hw_real, hw_model);
+    }
+
+    /// Adds 1 to its input; distinguishable from `Double` in event labels.
+    struct AddOne;
+
+    impl DeviceKernel for AddOne {
+        fn name(&self) -> String {
+            "add_one".into()
+        }
+        fn cost(&self, n: usize) -> KernelCost {
+            KernelCost {
+                bytes_read: 4 * n as u64,
+                bytes_written: 4 * n as u64,
+                flops: n as u64,
+            }
+        }
+        fn run(&self, args: KernelArgs<'_>) {
+            for i in 0..args.n {
+                args.output[i] = args.inputs[0][i] + 1.0;
+            }
+        }
+    }
+
+    fn batch_of_two(c: &mut Context) -> (BufferId, BufferId, BufferId) {
+        let src = c.create_buffer(64).unwrap();
+        let o1 = c.create_buffer(64).unwrap();
+        let o2 = c.create_buffer(64).unwrap();
+        c.enqueue_write(src, &[3.0; 64]).unwrap();
+        (src, o1, o2)
+    }
+
+    #[test]
+    fn launch_batch_matches_serial_launches_bit_for_bit() {
+        // Batched pass.
+        let mut cb = ctx();
+        let (src, o1, o2) = batch_of_two(&mut cb);
+        let wall = cb
+            .launch_batch(&[
+                BatchLaunch {
+                    kernel: &Double,
+                    inputs: vec![src],
+                    output: o1,
+                    n: 64,
+                },
+                BatchLaunch {
+                    kernel: &AddOne,
+                    inputs: vec![src],
+                    output: o2,
+                    n: 64,
+                },
+            ])
+            .unwrap();
+        assert_eq!(wall.len(), 2);
+        // Serial pass over the same sequence.
+        let mut cs = ctx();
+        let (src_s, o1_s, o2_s) = batch_of_two(&mut cs);
+        cs.launch(&Double, &[src_s], o1_s, 64).unwrap();
+        cs.launch(&AddOne, &[src_s], o2_s, 64).unwrap();
+        assert_eq!(cb.peek(o1).unwrap(), cs.peek(o1_s).unwrap());
+        assert_eq!(cb.peek(o2).unwrap(), cs.peek(o2_s).unwrap());
+        assert_eq!(cb.peek(o1).unwrap(), vec![6.0; 64]);
+        assert_eq!(cb.peek(o2).unwrap(), vec![4.0; 64]);
+        // Event streams identical: same order, labels, and timestamps.
+        let (eb, es) = (cb.report().events, cs.report().events);
+        assert_eq!(eb.len(), es.len());
+        for (a, b) in eb.iter().zip(&es) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.t_start.to_bits(), b.t_start.to_bits());
+            assert_eq!(a.t_end.to_bits(), b.t_end.to_bits());
+        }
+        assert_eq!(cb.clock_seconds().to_bits(), cs.clock_seconds().to_bits());
+    }
+
+    #[test]
+    fn launch_batch_rejects_dependent_launches() {
+        let mut c = ctx();
+        let (src, o1, o2) = batch_of_two(&mut c);
+        // o2 reads o1, which another batch member writes.
+        let err = c.launch_batch(&[
+            BatchLaunch {
+                kernel: &Double,
+                inputs: vec![src],
+                output: o1,
+                n: 64,
+            },
+            BatchLaunch {
+                kernel: &AddOne,
+                inputs: vec![o1],
+                output: o2,
+                n: 64,
+            },
+        ]);
+        assert!(matches!(err, Err(OclError::InvalidOperation(_))));
+        // Shared output.
+        let err = c.launch_batch(&[
+            BatchLaunch {
+                kernel: &Double,
+                inputs: vec![src],
+                output: o1,
+                n: 64,
+            },
+            BatchLaunch {
+                kernel: &AddOne,
+                inputs: vec![src],
+                output: o1,
+                n: 64,
+            },
+        ]);
+        assert!(matches!(err, Err(OclError::InvalidOperation(_))));
+        // Self-alias.
+        let err = c.launch_batch(&[BatchLaunch {
+            kernel: &Double,
+            inputs: vec![o1],
+            output: o1,
+            n: 64,
+        }]);
+        assert!(matches!(err, Err(OclError::InvalidOperation(_))));
+    }
+
+    #[test]
+    fn launch_batch_model_mode_matches_real_events() {
+        let run = |mode: ExecMode| -> (f64, Vec<String>) {
+            let mut c = Context::new(DeviceProfile::nvidia_m2050(), mode);
+            let src = c.create_buffer(64).unwrap();
+            let o1 = c.create_buffer(64).unwrap();
+            let o2 = c.create_buffer(64).unwrap();
+            match mode {
+                ExecMode::Real => c.enqueue_write(src, &[1.0; 64]).unwrap(),
+                ExecMode::Model => c.enqueue_write_virtual(src).unwrap(),
+            }
+            let wall = c
+                .launch_batch(&[
+                    BatchLaunch {
+                        kernel: &Double,
+                        inputs: vec![src],
+                        output: o1,
+                        n: 64,
+                    },
+                    BatchLaunch {
+                        kernel: &AddOne,
+                        inputs: vec![src],
+                        output: o2,
+                        n: 64,
+                    },
+                ])
+                .unwrap();
+            if mode == ExecMode::Model {
+                assert_eq!(wall, vec![0, 0], "model mode runs no bodies");
+            }
+            let labels = c.report().events.iter().map(|e| e.label.clone()).collect();
+            (c.clock_seconds(), labels)
+        };
+        let (t_real, ev_real) = run(ExecMode::Real);
+        let (t_model, ev_model) = run(ExecMode::Model);
+        assert_eq!(t_real.to_bits(), t_model.to_bits());
+        assert_eq!(ev_real, ev_model);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut c = ctx();
+        assert_eq!(c.launch_batch(&[]).unwrap(), Vec::<u64>::new());
+        assert_eq!(c.report().events.len(), 0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod event;
 mod export;
 mod profile;
 
-pub use context::{BufferId, Context, DeviceKernel, KernelArgs, KernelCost};
+pub use context::{BatchLaunch, BufferId, Context, DeviceKernel, KernelArgs, KernelCost};
 pub use error::OclError;
 pub use event::{Event, EventKind, ProfileReport};
 pub use profile::{DeviceKind, DeviceProfile};

@@ -2,70 +2,158 @@
 //!
 //! Implements the small slice-parallel surface this workspace uses —
 //! `par_chunks_mut` plus the `zip`/`enumerate`/`for_each` adaptors — on top
-//! of `std::thread::scope`. Chunk lists are materialized eagerly (they are
-//! a handful of `&mut [T]` fat pointers, not data copies), then distributed
-//! across one worker per available core.
-
-use std::num::NonZeroUsize;
+//! of the persistent `dfg-exec` work-stealing pool. Everything is *lazy*:
+//! adaptors compose an [`IndexedSource`] description of the iteration
+//! space instead of `collect()`ing item `Vec`s, and `for_each` maps index
+//! `i` to its item on whichever pool thread claims it. A launch therefore
+//! allocates nothing and spawns nothing — it is a queue push into a pool
+//! of already-running workers.
 
 /// The import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{ParIter, ParallelSliceMut};
 }
 
-/// Number of worker threads `for_each` fans out to.
+/// Number of worker threads `for_each` fans out to (the `dfg-exec` global
+/// pool size, which honors `DFG_NUM_THREADS`).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    dfg_exec::current_num_threads()
 }
 
-/// An eager "parallel iterator": a list of items to process concurrently.
-pub struct ParIter<I> {
-    items: Vec<I>,
+/// A random-access description of a parallel iteration space: `len()`
+/// items, item `i` produced on demand by `get(i)`.
+///
+/// # Safety
+///
+/// `get(i)` may hand out aliasing-sensitive items (`&mut [T]` chunks), so
+/// a driver must call it **at most once per index** per iteration pass.
+/// [`ParIter::for_each`] upholds this: the pool claims each index from a
+/// shared counter exactly once.
+pub unsafe trait IndexedSource: Sync {
+    /// The item produced for one index.
+    type Item;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the iteration space is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce item `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < self.len()`, and no index may be requested twice within one
+    /// iteration pass (items may be disjoint `&mut` borrows).
+    unsafe fn get(&self, i: usize) -> Self::Item;
 }
 
-impl<I: Send> ParIter<I> {
-    /// Pair items with another parallel iterator, rayon-style (truncates to
-    /// the shorter side, as `zip` does).
-    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+/// Lazy source of non-overlapping `&mut [T]` chunks of a slice.
+pub struct ChunksMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the raw pointer stands for an exclusive borrow of the slice held
+// for `'a`; distinct indices map to disjoint subslices, and `IndexedSource`
+// requires each index be taken at most once, so no two threads ever hold
+// overlapping `&mut` ranges.
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+
+unsafe impl<'a, T: Send> IndexedSource for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.len.div_ceil(self.chunk)
+        }
+    }
+
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.chunk;
+        let n = self.chunk.min(self.len - start);
+        // SAFETY: `start + n <= self.len` and each index yields a disjoint
+        // range of the exclusively-borrowed slice (see caller contract).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), n) }
+    }
+}
+
+/// Lazy pairing of two sources, truncated to the shorter side.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+unsafe impl<A: IndexedSource, B: IndexedSource> IndexedSource for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        // SAFETY: `i` is in range for both sides and forwarded once each.
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// Lazy index attachment.
+pub struct Enumerate<S> {
+    inner: S,
+}
+
+unsafe impl<S: IndexedSource> IndexedSource for Enumerate<S> {
+    type Item = (usize, S::Item);
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    unsafe fn get(&self, i: usize) -> Self::Item {
+        // SAFETY: forwarded once, in range.
+        unsafe { (i, self.inner.get(i)) }
+    }
+}
+
+/// A lazy "parallel iterator": an [`IndexedSource`] awaiting `for_each`.
+pub struct ParIter<S> {
+    source: S,
+}
+
+impl<S: IndexedSource> ParIter<S> {
+    /// Pair items with another parallel iterator, rayon-style (truncates
+    /// to the shorter side, as `zip` does).
+    pub fn zip<T: IndexedSource>(self, other: ParIter<T>) -> ParIter<Zip<S, T>> {
         ParIter {
-            items: self.items.into_iter().zip(other.items).collect(),
+            source: Zip {
+                a: self.source,
+                b: other.source,
+            },
         }
     }
 
     /// Attach each item's index.
-    pub fn enumerate(self) -> ParIter<(usize, I)> {
+    pub fn enumerate(self) -> ParIter<Enumerate<S>> {
         ParIter {
-            items: self.items.into_iter().enumerate().collect(),
+            source: Enumerate { inner: self.source },
         }
     }
 
-    /// Run `f` over every item, distributing items across worker threads.
+    /// Run `f` over every item on the persistent `dfg-exec` pool, blocking
+    /// until all items complete. Items are claimed dynamically; nothing is
+    /// materialized up front.
     pub fn for_each<F>(self, f: F)
     where
-        F: Fn(I) + Sync,
+        F: Fn(S::Item) + Sync,
     {
-        let mut items = self.items;
-        let nthreads = current_num_threads().min(items.len().max(1));
-        if nthreads <= 1 {
-            for item in items {
-                f(item);
-            }
-            return;
-        }
-        let per = items.len().div_ceil(nthreads);
-        let f = &f;
-        std::thread::scope(|scope| {
-            while !items.is_empty() {
-                let batch: Vec<I> = items.drain(..per.min(items.len())).collect();
-                scope.spawn(move || {
-                    for item in batch {
-                        f(item);
-                    }
-                });
-            }
-        });
+        let source = &self.source;
+        // SAFETY: `parallel_for` passes each index in `0..len` exactly
+        // once, satisfying the `IndexedSource::get` contract.
+        dfg_exec::parallel_for(source.len(), |i| f(unsafe { source.get(i) }));
     }
 }
 
@@ -73,13 +161,19 @@ impl<I: Send> ParIter<I> {
 pub trait ParallelSliceMut<T: Send> {
     /// Split into non-overlapping mutable chunks of `chunk_size` (the last
     /// chunk may be shorter), to be processed in parallel.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMut<'_, T>>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMut<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
         ParIter {
-            items: self.chunks_mut(chunk_size).collect(),
+            source: ChunksMut {
+                ptr: self.as_mut_ptr(),
+                len: self.len(),
+                chunk: chunk_size,
+                _marker: std::marker::PhantomData,
+            },
         }
     }
 }
@@ -125,5 +219,34 @@ mod tests {
         let mut v: Vec<f32> = Vec::new();
         v.par_chunks_mut(8)
             .for_each(|_| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let (mut a, mut b) = (vec![0u32; 100], vec![0u32; 40]);
+        let mut pairs = 0usize;
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        a.par_chunks_mut(10)
+            .zip(b.par_chunks_mut(10))
+            .for_each(|(ca, cb)| {
+                assert_eq!(ca.len(), 10);
+                assert_eq!(cb.len(), 10);
+                count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+        pairs += count.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(pairs, 4);
+    }
+
+    #[test]
+    fn serial_override_runs_on_calling_thread() {
+        let mut v = vec![0u8; 4096];
+        let tid = std::thread::current().id();
+        dfg_exec::with_serial(|| {
+            v.par_chunks_mut(16).for_each(|chunk| {
+                assert_eq!(std::thread::current().id(), tid);
+                chunk.fill(1);
+            });
+        });
+        assert!(v.iter().all(|&x| x == 1));
     }
 }
