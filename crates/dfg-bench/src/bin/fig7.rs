@@ -49,6 +49,7 @@ fn run_full_scale() {
             workload: Workload::QCriterion,
             strategy: Strategy::Fusion,
             mode: ExecMode::Model,
+            ..Default::default()
         },
     )
     .expect("full-scale model run");
@@ -91,6 +92,7 @@ fn run_scaled_down() {
             workload: Workload::QCriterion,
             strategy: Strategy::Fusion,
             mode: ExecMode::Real,
+            ..Default::default()
         },
     )
     .expect("scaled-down distributed run");

@@ -32,6 +32,7 @@ usage:
              [--grid NXxNYxNZ | --input <in.vtk>]
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
              [--output <out.vtk>] [--render <slice.ppm>] [--trace <trace.json>]
+             [--faults <spec>] [--max-retries <n>] [--fallback on|off]
   dfgc plan  --expr <program> --grid NXxNYxNZ
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
              [--device cpu|gpu] [--out-dir <dir>] [--branch-parallel on|off]
@@ -171,19 +172,112 @@ fn fieldset_of(ds: &RectilinearDataset) -> FieldSet {
     fields
 }
 
+/// Recovery flags for `run`: `--faults <spec>` installs a deterministic
+/// fault plan, `--max-retries <n>` and `--fallback on|off` shape the
+/// [`dfg_core::RecoveryPolicy`]. Giving any of the three enables recovery.
+fn recovery_of(
+    args: &Args,
+) -> Result<(dfg_core::RecoveryPolicy, Option<dfg_ocl::FaultPlan>), String> {
+    let plan = args
+        .get("faults")
+        .map(|spec| dfg_ocl::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}")))
+        .transpose()?;
+    let max_retries = args
+        .get("max-retries")
+        .map(|s| {
+            s.parse::<u32>()
+                .map_err(|_| format!("--max-retries must be an integer, got `{s}`"))
+        })
+        .transpose()?;
+    let fallback = args
+        .get("fallback")
+        .map(|s| match s {
+            "on" | "true" | "1" => Ok(true),
+            "off" | "false" | "0" => Ok(false),
+            other => Err(format!("--fallback takes on|off, got `{other}`")),
+        })
+        .transpose()?;
+    let engaged = plan.is_some() || max_retries.is_some() || fallback.is_some();
+    let policy = if engaged {
+        dfg_core::RecoveryPolicy {
+            max_retries: max_retries.unwrap_or(3),
+            fallback: fallback.unwrap_or(true),
+            ..dfg_core::RecoveryPolicy::resilient()
+        }
+    } else {
+        dfg_core::RecoveryPolicy::disabled()
+    };
+    Ok((policy, plan))
+}
+
+/// Render a [`dfg_core::RecoveryReport`] as one summary line plus one line
+/// per attempt.
+fn print_recovery(r: &dfg_core::RecoveryReport) {
+    use dfg_core::AttemptOutcome;
+    println!(
+        "recovery: {} attempt(s), {} retries, {} fallbacks, {:.1} us backoff{}",
+        r.attempts.len(),
+        r.retries,
+        r.fallbacks,
+        r.backoff_seconds * 1e6,
+        if r.degraded {
+            " — completed on a fallback strategy"
+        } else {
+            ""
+        },
+    );
+    for a in &r.attempts {
+        let what = match &a.outcome {
+            AttemptOutcome::Succeeded => "succeeded".to_string(),
+            AttemptOutcome::Retried { backoff_seconds } => {
+                format!("retried after {:.1} us", backoff_seconds * 1e6)
+            }
+            AttemptOutcome::FellBack => "fell back".to_string(),
+            AttemptOutcome::Skipped {
+                required_bytes,
+                capacity_bytes,
+            } => format!(
+                "skipped (needs {:.1} MB, device has {:.1} MB)",
+                *required_bytes as f64 / 1e6,
+                *capacity_bytes as f64 / 1e6
+            ),
+            AttemptOutcome::Exhausted => "exhausted".to_string(),
+        };
+        match &a.error {
+            Some(e) => println!("  {:<12} {what}: {e}", a.level.name()),
+            None => println!("  {:<12} {what}", a.level.name()),
+        }
+    }
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let expression = args.expression()?;
     let mut ds = load_dataset(args)?;
     let fields = fieldset_of(&ds);
     let profile = device_of(args.get("device"))?;
     let strategy = strategy_of(args.get("strategy"))?;
+    let (recovery, fault_plan) = recovery_of(args)?;
 
-    let mut engine = Engine::with_options(profile, EngineOptions::default());
+    let mut engine = Engine::with_options(
+        profile,
+        EngineOptions {
+            recovery,
+            ..EngineOptions::default()
+        },
+    );
+    if let Some(plan) = fault_plan {
+        engine.set_fault_plan(plan);
+    }
     let report = match strategy {
         Some(s) => engine.derive(&expression, &fields, s),
         None => engine.derive_streamed(&expression, &fields, None),
     }
-    .map_err(|e| pretty_engine_err(&e, &expression))?;
+    .map_err(|e| {
+        if let Some(r) = e.recovery() {
+            print_recovery(r);
+        }
+        pretty_engine_err(&e, &expression)
+    })?;
 
     let field = report.field.as_ref().expect("real-mode run");
     let name = compile(&expression)
@@ -199,6 +293,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         report.wall.as_secs_f64() * 1e3,
         report.high_water_bytes() as f64 / 1e6,
     );
+    if let Some(r) = &report.recovery {
+        print_recovery(r);
+    }
 
     if let Some(path) = args.get("trace") {
         std::fs::write(path, report.profile.to_chrome_trace())
@@ -793,6 +890,51 @@ mod tests {
         .unwrap();
         assert!(dispatch(&strs(&["insitu", "--cycles", "0"])).is_err());
         assert!(dispatch(&strs(&["insitu", "--cycles", "many"])).is_err());
+    }
+
+    #[test]
+    fn run_with_injected_faults_recovers() {
+        // The first allocation dies; the fallback chain completes the run.
+        dispatch(&strs(&[
+            "run",
+            "--expr",
+            "v_mag = sqrt(u*u + v*v + w*w)",
+            "--grid",
+            "8x8x8",
+            "--device",
+            "cpu",
+            "--faults",
+            "alloc@1",
+            "--max-retries",
+            "2",
+        ]))
+        .unwrap();
+        // Every allocation dies: recovery exhausts the whole chain.
+        let err = dispatch(&strs(&[
+            "run",
+            "--expr",
+            "r = u + v",
+            "--grid",
+            "6x6x6",
+            "--faults",
+            "alloc:1.0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("exhausted"), "got: {err}");
+    }
+
+    #[test]
+    fn recovery_flags_are_validated() {
+        let base = ["run", "--expr", "r = u", "--grid", "4x4x4"];
+        for bad in [
+            ["--faults", "warp@drive"],
+            ["--max-retries", "lots"],
+            ["--fallback", "sideways"],
+        ] {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(bad);
+            assert!(dispatch(&strs(&argv)).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use dfg_core::{Engine, EngineError, EngineOptions, FieldSet, Strategy, Workload};
+use dfg_core::{Engine, EngineError, EngineOptions, FieldSet, RecoveryPolicy, Strategy, Workload};
 use dfg_mesh::{decomp, partition_blocks, RectilinearMesh, RtWorkload, SubGrid};
-use dfg_ocl::{DeviceProfile, ExecMode};
+use dfg_ocl::{DeviceProfile, ExecMode, FaultPlan};
 use dfg_trace::{span, Trace, Tracer};
 
 use crate::exchange::{
@@ -49,6 +49,27 @@ pub struct DistOptions {
     pub strategy: Strategy,
     /// Real execution (with data and halo exchange) or model-only.
     pub mode: ExecMode,
+    /// Per-rank recovery policy: each rank's engine retries transient
+    /// device faults and walks the strategy fallback chain independently,
+    /// so one degraded device slows its rank instead of killing the run.
+    pub recovery: RecoveryPolicy,
+    /// Fault-injection spec installed on every rank's engine (see
+    /// [`dfg_ocl::FaultPlan::parse`]). The spec's seed is offset by the
+    /// rank id, so rate-based faults hit different operations on different
+    /// ranks — like real hardware — while staying fully deterministic.
+    pub fault_spec: Option<String>,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            workload: Workload::QCriterion,
+            strategy: Strategy::Fusion,
+            mode: ExecMode::Real,
+            recovery: RecoveryPolicy::disabled(),
+            fault_spec: None,
+        }
+    }
 }
 
 /// Results of a distributed run.
@@ -73,6 +94,10 @@ pub struct DistResult {
     /// Merged per-rank span trees, rank-tagged; populated by
     /// [`run_distributed_traced`], `None` otherwise.
     pub trace: Option<Trace>,
+    /// Ranks that completed at least one block on a fallback strategy
+    /// rather than the requested one (sorted, deduplicated). Empty when
+    /// recovery never degraded — including when recovery is disabled.
+    pub degraded_ranks: Vec<usize>,
 }
 
 /// Distributed-run failures.
@@ -100,7 +125,14 @@ impl std::fmt::Display for ClusterError {
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Engine { source, .. } => Some(source),
+            ClusterError::Config(_) => None,
+        }
+    }
+}
 
 /// Index of a block-grid coordinate in [`partition_blocks`] output order.
 fn block_index(block: [usize; 3], nblocks: [usize; 3]) -> usize {
@@ -113,6 +145,7 @@ struct RankOutput {
     high_water: u64,
     kernel_execs: usize,
     trace: Option<Trace>,
+    degraded: bool,
 }
 
 /// Run a workload across a simulated cluster.
@@ -206,11 +239,15 @@ fn run_distributed_inner(
     let mut total_kernel_execs = 0usize;
     let mut field = real.then(|| vec![0.0f32; global.ncells()]);
     let mut rank_traces = Vec::new();
+    let mut degraded_ranks = Vec::new();
     for (rank, out) in rank_outputs.into_iter().enumerate() {
         let out = out?;
         rank_device_seconds.push(out.device_seconds);
         max_high_water = max_high_water.max(out.high_water);
         total_kernel_execs += out.kernel_execs;
+        if out.degraded {
+            degraded_ranks.push(rank);
+        }
         if let Some(trace) = out.trace {
             rank_traces.push((rank as u64, trace));
         }
@@ -232,6 +269,7 @@ fn run_distributed_inner(
         max_high_water,
         total_kernel_execs,
         trace: traced.then(|| Trace::merge(rank_traces)),
+        degraded_ranks,
     })
 }
 
@@ -256,9 +294,22 @@ fn run_rank(
         profile,
         EngineOptions {
             mode: opts.mode,
+            recovery: opts.recovery,
             ..Default::default()
         },
     );
+    if let Some(spec) = &opts.fault_spec {
+        // Offset the spec's seed by the rank id so rate-based faults land
+        // on different operations per rank; a trailing `seed=` term wins in
+        // the grammar, so appending is enough.
+        let base = FaultPlan::parse(spec)
+            .map_err(|e| ClusterError::Config(format!("bad fault spec: {e}")))?
+            .seed();
+        let per_rank = format!("{spec},seed={}", base.wrapping_add(rank as u64));
+        let plan = FaultPlan::parse(&per_rank)
+            .map_err(|e| ClusterError::Config(format!("bad fault spec: {e}")))?;
+        engine.set_fault_plan(plan);
+    }
     let tracer = traced.then(Tracer::new);
     if let Some(t) = &tracer {
         engine.set_tracer(t.clone());
@@ -373,6 +424,7 @@ fn run_rank(
     let mut device_seconds = 0.0f64;
     let mut high_water = 0u64;
     let mut kernel_execs = 0usize;
+    let mut degraded = false;
     for (slot, &bi) in my_blocks.iter().enumerate() {
         let b = &blocks[bi];
         let (goff, gdims) = b.ghosted(1, global_dims);
@@ -404,6 +456,7 @@ fn run_rank(
         device_seconds += report.device_seconds();
         high_water = high_water.max(report.high_water_bytes());
         kernel_execs += report.profile.count(dfg_ocl::EventKind::KernelExec);
+        degraded |= report.recovery.as_ref().is_some_and(|r| r.degraded);
     }
     drop(_rank_span);
     Ok(RankOutput {
@@ -412,6 +465,7 @@ fn run_rank(
         high_water,
         kernel_execs,
         trace: tracer.as_ref().map(Tracer::snapshot),
+        degraded,
     })
 }
 
@@ -452,6 +506,7 @@ mod tests {
                     workload,
                     strategy: Strategy::Fusion,
                     mode: ExecMode::Real,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -482,6 +537,7 @@ mod tests {
                     workload: Workload::QCriterion,
                     strategy,
                     mode: ExecMode::Real,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -513,6 +569,7 @@ mod tests {
                 workload: Workload::VelocityMagnitude,
                 strategy: Strategy::Staged,
                 mode: ExecMode::Real,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -546,6 +603,7 @@ mod tests {
                 workload: Workload::QCriterion,
                 strategy: Strategy::Fusion,
                 mode: ExecMode::Model,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -557,6 +615,150 @@ mod tests {
         assert!(result.makespan_seconds > 0.0);
         // Every device fits in the M2050's usable capacity with fusion.
         assert!(result.max_high_water <= 2_500_000_000);
+    }
+
+    /// A transient fault on every rank is retried on the requested level:
+    /// no rank degrades and the output is bit-identical to the clean run.
+    #[test]
+    fn transient_faults_retry_without_degrading_any_rank() {
+        let global = RectilinearMesh::unit_cube([8, 8, 6]);
+        let rt = RtWorkload::paper_default();
+        let clean = run_distributed(
+            &global,
+            [2, 2, 1],
+            &rt,
+            &small_cluster(3),
+            &DistOptions {
+                workload: Workload::QCriterion,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Real,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let faulty = run_distributed(
+            &global,
+            [2, 2, 1],
+            &rt,
+            &small_cluster(3),
+            &DistOptions {
+                workload: Workload::QCriterion,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Real,
+                recovery: RecoveryPolicy::resilient(),
+                fault_spec: Some("transfer@2".into()),
+            },
+        )
+        .unwrap();
+        assert!(faulty.degraded_ranks.is_empty(), "retry is not degradation");
+        let (c, f) = (clean.field.unwrap(), faulty.field.unwrap());
+        for i in 0..c.len() {
+            assert_eq!(c[i].to_bits(), f[i].to_bits(), "cell {i} differs");
+        }
+        // The retried transfers cost modeled time: the faulty makespan can
+        // only be at least the clean one.
+        assert!(faulty.makespan_seconds >= clean.makespan_seconds);
+    }
+
+    /// Persistent allocation faults push every active rank down the
+    /// fallback chain; the merged report names them and the assembled
+    /// field stays bit-identical (fusion and its fallbacks that complete
+    /// here share the same arithmetic order).
+    #[test]
+    fn persistent_faults_flag_degraded_ranks_and_stay_bit_exact() {
+        let global = RectilinearMesh::unit_cube([8, 8, 6]);
+        let rt = RtWorkload::paper_default();
+        let clean = run_distributed(
+            &global,
+            [2, 2, 1],
+            &rt,
+            &small_cluster(3),
+            &DistOptions {
+                workload: Workload::VelocityMagnitude,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Real,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Fail the first two allocations on each rank: the fusion attempt
+        // and the staged fallback both die, streamed completes — and
+        // streamed fusion is bit-identical to fused output.
+        let faulty = run_distributed(
+            &global,
+            [2, 2, 1],
+            &rt,
+            &small_cluster(3),
+            &DistOptions {
+                workload: Workload::VelocityMagnitude,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Real,
+                recovery: RecoveryPolicy::resilient(),
+                fault_spec: Some("alloc@1x2".into()),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            faulty.degraded_ranks,
+            vec![0, 1, 2],
+            "every rank with blocks hits the burst and falls back"
+        );
+        let (c, f) = (clean.field.unwrap(), faulty.field.unwrap());
+        for i in 0..c.len() {
+            assert_eq!(c[i].to_bits(), f[i].to_bits(), "cell {i} differs");
+        }
+    }
+
+    /// With recovery disabled, an injected fault surfaces as a typed,
+    /// rank-tagged error whose `source()` chain reaches the device layer.
+    #[test]
+    fn unrecovered_fault_is_rank_tagged_and_chained() {
+        let global = RectilinearMesh::unit_cube([6, 6, 6]);
+        let rt = RtWorkload::paper_default();
+        let err = run_distributed(
+            &global,
+            [2, 1, 1],
+            &rt,
+            &small_cluster(2),
+            &DistOptions {
+                workload: Workload::QCriterion,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Real,
+                fault_spec: Some("compile@1".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        let ClusterError::Engine { source, .. } = &err else {
+            panic!("expected an engine error, got {err}");
+        };
+        assert!(matches!(
+            source,
+            EngineError::Ocl(dfg_ocl::OclError::CompileFailed { .. })
+        ));
+        // std::error chain: ClusterError -> EngineError -> OclError.
+        let mid = std::error::Error::source(&err).expect("cluster error has a source");
+        assert!(std::error::Error::source(mid).is_some());
+    }
+
+    #[test]
+    fn bad_fault_spec_is_a_config_error() {
+        let global = RectilinearMesh::unit_cube([4, 4, 4]);
+        let err = run_distributed(
+            &global,
+            [1, 1, 1],
+            &RtWorkload::paper_default(),
+            &small_cluster(1),
+            &DistOptions {
+                workload: Workload::VelocityMagnitude,
+                strategy: Strategy::Fusion,
+                mode: ExecMode::Model,
+                fault_spec: Some("warp@drive".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::Config(_)), "got {err}");
     }
 
     #[test]
@@ -577,6 +779,7 @@ mod tests {
                     workload: Workload::VelocityMagnitude,
                     strategy: Strategy::Fusion,
                     mode: ExecMode::Model,
+                    ..Default::default()
                 },
             ),
             Err(ClusterError::Config(_))

@@ -9,6 +9,7 @@ use dfg_trace::{span, Trace, Tracer};
 
 use crate::error::EngineError;
 use crate::fields::{Field, FieldSet};
+use crate::recovery::{run_with_recovery, RecoveryCtx, RecoveryPolicy, RecoveryReport, Request};
 use crate::strategies::{check_field, lanes_for, run_fusion, run_roundtrip, run_staged};
 use crate::workloads::Workload;
 
@@ -38,6 +39,11 @@ pub struct EngineOptions {
     /// mark can differ from the paper's serial walk — hence opt-in.
     /// Affects the staged strategy only.
     pub branch_parallel: bool,
+    /// Response to device failures: retry budget for transient faults and
+    /// whether persistent ones walk the strategy fallback chain (see
+    /// `docs/ROBUSTNESS.md`). Disabled by default — failures surface
+    /// immediately, exactly the paper's behavior.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EngineOptions {
@@ -47,6 +53,7 @@ impl Default for EngineOptions {
             roundtrip_dedup_uploads: false,
             full_cse: false,
             branch_parallel: false,
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 }
@@ -69,6 +76,10 @@ pub struct ExecReport {
     /// still accumulates everything, so `tracer().snapshot()` exports the
     /// whole session).
     pub trace: Option<Trace>,
+    /// What recovery did, when it engaged (retries, fallbacks, or skipped
+    /// candidates). `None` for clean first-attempt runs and when the
+    /// recovery policy is disabled.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl ExecReport {
@@ -105,6 +116,10 @@ pub struct Engine {
     /// When set, every run records a span tree (and the per-run device
     /// context emits child spans for its events).
     tracer: Option<Tracer>,
+    /// When set, every run's device context gets a clone of this fault
+    /// plan — the plan's counters are shared, so "fail N times then
+    /// succeed" rules span retries. Test/chaos harness entry point.
+    fault_plan: Option<dfg_ocl::FaultPlan>,
 }
 
 impl Engine {
@@ -121,6 +136,7 @@ impl Engine {
             spec_cache: std::collections::HashMap::new(),
             compiles: 0,
             tracer: None,
+            fault_plan: None,
         }
     }
 
@@ -164,7 +180,22 @@ impl Engine {
         if let Some(tracer) = &self.tracer {
             ctx.set_tracer(tracer.clone());
         }
+        if let Some(plan) = &self.fault_plan {
+            ctx.set_fault_plan(plan.clone());
+        }
         ctx
+    }
+
+    /// Install a fault-injection plan: every subsequent run's device
+    /// context receives a clone (sharing the plan's counters, so rules
+    /// like "fail twice then succeed" hold across recovery retries).
+    pub fn set_fault_plan(&mut self, plan: dfg_ocl::FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&dfg_ocl::FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Current span count — the scope mark a run's report snapshots from.
@@ -242,6 +273,40 @@ impl Engine {
             Schedule::new(spec)?
         };
         let mut ctx = self.traced_context();
+        if self.options.recovery.enabled() {
+            let t0 = Instant::now();
+            let roots = [spec.result];
+            let outcome = run_with_recovery(
+                RecoveryCtx {
+                    options: &self.options,
+                    tracer: self.tracer.clone(),
+                    device: &self.profile,
+                },
+                spec,
+                &sched,
+                fields,
+                &roots,
+                Request::Strategy(strategy),
+                &mut ctx,
+                None,
+            )?;
+            let wall = t0.elapsed();
+            debug_assert_eq!(ctx.in_use_bytes(), 0, "recovered executor leaked buffers");
+            let profile = match &outcome.alt_profile {
+                Some((report, _)) => report.clone(),
+                None => ctx.report(),
+            };
+            return Ok(ExecReport {
+                field: outcome
+                    .fields_out
+                    .map(|mut v| v.pop().expect("one root, one field")),
+                profile,
+                wall,
+                generated_source: outcome.generated_source,
+                trace: self.snapshot_since(mark),
+                recovery: outcome.recovery,
+            });
+        }
         let t0 = Instant::now();
         let exec_span = span!(
             self.tracer,
@@ -295,6 +360,7 @@ impl Engine {
             wall,
             generated_source,
             trace: self.snapshot_since(mark),
+            recovery: None,
         })
     }
 
@@ -339,6 +405,48 @@ impl Engine {
             Schedule::for_roots(&spec, &roots)?
         };
         let mut ctx = self.traced_context();
+        if self.options.recovery.enabled() {
+            let t0 = Instant::now();
+            let outcome = run_with_recovery(
+                RecoveryCtx {
+                    options: &self.options,
+                    tracer: self.tracer.clone(),
+                    device: &self.profile,
+                },
+                &spec,
+                &sched,
+                fields,
+                &roots,
+                Request::Strategy(strategy),
+                &mut ctx,
+                None,
+            )?;
+            let wall = t0.elapsed();
+            debug_assert_eq!(
+                ctx.in_use_bytes(),
+                0,
+                "recovered multi executor leaked buffers"
+            );
+            let profile = match &outcome.alt_profile {
+                Some((report, _)) => report.clone(),
+                None => ctx.report(),
+            };
+            let named = match outcome.fields_out {
+                Some(v) => outputs.iter().map(|n| n.to_string()).zip(v).collect(),
+                None => Vec::new(),
+            };
+            let mut report = ExecReport {
+                field: None,
+                profile,
+                wall,
+                generated_source: outcome.generated_source,
+                trace: None,
+                recovery: outcome.recovery,
+            };
+            drop(root);
+            report.trace = self.snapshot_since(mark);
+            return Ok((named, report));
+        }
         let t0 = Instant::now();
         let exec_span = span!(
             self.tracer,
@@ -388,6 +496,7 @@ impl Engine {
             wall,
             generated_source,
             trace: None,
+            recovery: None,
         };
         drop(root);
         report.trace = self.snapshot_since(mark);
@@ -411,6 +520,51 @@ impl Engine {
         let spec = self.compile_cached(source)?;
         let budget = device_budget_bytes.unwrap_or(self.profile.global_mem_bytes);
         let mut ctx = self.traced_context();
+        if self.options.recovery.enabled() {
+            let sched = {
+                let _plan = span!(self.tracer, "plan", nodes = spec.iter().count());
+                Schedule::new(&spec)?
+            };
+            let t0 = Instant::now();
+            let roots = [spec.result];
+            let outcome = run_with_recovery(
+                RecoveryCtx {
+                    options: &self.options,
+                    tracer: self.tracer.clone(),
+                    device: &self.profile,
+                },
+                &spec,
+                &sched,
+                fields,
+                &roots,
+                Request::Streamed { budget },
+                &mut ctx,
+                None,
+            )?;
+            let wall = t0.elapsed();
+            debug_assert_eq!(
+                ctx.in_use_bytes(),
+                0,
+                "recovered streamed executor leaked buffers"
+            );
+            let profile = match &outcome.alt_profile {
+                Some((report, _)) => report.clone(),
+                None => ctx.report(),
+            };
+            let mut report = ExecReport {
+                field: outcome
+                    .fields_out
+                    .map(|mut v| v.pop().expect("one root, one field")),
+                profile,
+                wall,
+                generated_source: outcome.generated_source,
+                trace: None,
+                recovery: outcome.recovery,
+            };
+            drop(root);
+            report.trace = self.snapshot_since(mark);
+            return Ok(report);
+        }
         let t0 = Instant::now();
         let label = spec
             .node(spec.result)
@@ -436,6 +590,7 @@ impl Engine {
             wall,
             generated_source: Some(src),
             trace: None,
+            recovery: None,
         };
         drop(root);
         report.trace = self.snapshot_since(mark);
@@ -495,6 +650,7 @@ impl Engine {
             wall,
             generated_source: None,
             trace: self.snapshot_since(mark),
+            recovery: None,
         })
     }
 }

@@ -43,6 +43,16 @@ pub enum EngineError {
         /// Explanation.
         detail: String,
     },
+    /// Recovery engaged (retries and/or fallback levels) but every avenue
+    /// failed. Carries the full [`RecoveryReport`](crate::RecoveryReport)
+    /// of what was tried; [`std::error::Error::source`] exposes the final
+    /// underlying failure.
+    Exhausted {
+        /// Everything recovery attempted, in order.
+        recovery: Box<crate::recovery::RecoveryReport>,
+        /// The error that ended the last attempt.
+        last: Box<EngineError>,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -67,11 +77,29 @@ impl std::fmt::Display for EngineError {
                 "field `{name}`: expected {expected} lanes, found {found}"
             ),
             EngineError::ModeMismatch { detail } => write!(f, "mode mismatch: {detail}"),
+            EngineError::Exhausted { recovery, last } => write!(
+                f,
+                "recovery exhausted after {} attempt(s) ({} retries, {} fallbacks): {last}",
+                recovery.attempts.len(),
+                recovery.retries,
+                recovery.fallbacks,
+            ),
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Frontend(e) => Some(e),
+            EngineError::Schedule(e) => Some(e),
+            EngineError::Ocl(e) => Some(e),
+            EngineError::Fuse(e) => Some(e),
+            EngineError::Exhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<FrontendError> for EngineError {
     fn from(e: FrontendError) -> Self {
@@ -101,6 +129,19 @@ impl EngineError {
     /// Whether this is the device out-of-memory failure mode the paper's
     /// evaluation tracks (gray series in Figures 5 and 6).
     pub fn is_out_of_memory(&self) -> bool {
-        matches!(self, EngineError::Ocl(OclError::OutOfMemory { .. }))
+        match self {
+            EngineError::Ocl(OclError::OutOfMemory { .. }) => true,
+            EngineError::Exhausted { last, .. } => last.is_out_of_memory(),
+            _ => false,
+        }
+    }
+
+    /// The recovery record attached to an [`EngineError::Exhausted`]
+    /// failure, if this is one.
+    pub fn recovery(&self) -> Option<&crate::recovery::RecoveryReport> {
+        match self {
+            EngineError::Exhausted { recovery, .. } => Some(recovery),
+            _ => None,
+        }
     }
 }

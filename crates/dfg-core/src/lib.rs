@@ -21,6 +21,7 @@ mod engine;
 mod error;
 mod fields;
 pub mod planner;
+pub(crate) mod recovery;
 mod session;
 pub mod strategies;
 pub mod workloads;
@@ -33,5 +34,6 @@ pub use engine::{Engine, EngineOptions, ExecReport};
 pub use error::EngineError;
 pub use fields::{Field, FieldSet, FieldValue};
 pub use planner::{plan, plan_traced, Plan, PlanOption};
+pub use recovery::{AttemptOutcome, AttemptRecord, ExecLevel, RecoveryPolicy, RecoveryReport};
 pub use session::{Session, SessionStats};
 pub use workloads::Workload;

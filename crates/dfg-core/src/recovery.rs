@@ -1,0 +1,587 @@
+//! Resilient execution: retry with backoff, and a strategy fallback chain.
+//!
+//! The paper's Figure 7 has a gray "GPU failed" series — when the staged
+//! working set exceeds the M2050's memory the run simply dies. This module
+//! gives the engine a recovery story instead:
+//!
+//! * **transient faults** (injected transfer/launch failures that succeed
+//!   when re-issued) are retried up to [`RecoveryPolicy::max_retries`]
+//!   times, with exponential backoff accounted on the device's *virtual
+//!   clock* (never the wall clock, so recovery behavior is deterministic
+//!   and identical in [`dfg_ocl::ExecMode::Model`] and `Real` modes);
+//! * **persistent faults** (out-of-memory, compile failures) trigger a
+//!   fallback chain Fusion → Staged → Streamed (slabbed) → Roundtrip →
+//!   CPU fusion, re-planned through `dfg_dataflow::memreq`'s exact memory
+//!   estimates so hopeless candidates are skipped without being attempted;
+//! * **every attempt is leak-free**: the context's allocations are marked
+//!   before each attempt and rolled back after a failure
+//!   ([`dfg_ocl::Context::rollback`]), session-resident bindings created by
+//!   the failed attempt are pruned, and the buffer pool is trimmed before a
+//!   post-OOM fallback so parked slots never cause an avoidable failure.
+//!
+//! Because the simulated device executes kernel bodies identically on every
+//! profile (profiles shape the virtual clock and capacity, not the
+//! arithmetic), a run that falls back — even to the CPU profile — produces
+//! output bytes bit-identical to a fault-free run of the level it completed
+//! at. Each retry emits a `recover.retry` span and each level switch a
+//! `recover.fallback` span, with the triggering fault as metadata.
+
+use dfg_dataflow::{memreq_units, NetworkSpec, NodeId, Schedule, Strategy};
+use dfg_ocl::{Context, DeviceKind, DeviceProfile, OclError, ProfileReport};
+use dfg_trace::{span, Tracer};
+
+use crate::engine::EngineOptions;
+use crate::error::EngineError;
+use crate::fields::{Field, FieldSet};
+use crate::session::SessionState;
+use crate::strategies::{
+    run_fusion_multi_session, run_roundtrip_multi_session, run_staged_levels_session,
+    run_staged_multi_session, run_streamed_fusion_session,
+};
+
+/// How the engine responds to device failures; part of
+/// [`EngineOptions`](crate::EngineOptions). The default policy is disabled
+/// (fail fast, exactly the pre-recovery behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retries per execution level for *transient* faults (0 = never retry).
+    pub max_retries: u32,
+    /// Initial retry backoff in virtual microseconds, doubled per retry
+    /// within a level. Accounted on the device's virtual clock.
+    pub backoff_us: u64,
+    /// Whether persistent faults walk the strategy fallback chain.
+    pub fallback: bool,
+}
+
+impl RecoveryPolicy {
+    /// No retries, no fallback: failures surface immediately.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_us: 0,
+            fallback: false,
+        }
+    }
+
+    /// A production-shaped policy: 3 retries starting at 100 µs virtual
+    /// backoff, with the full fallback chain.
+    pub fn resilient() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_us: 100,
+            fallback: true,
+        }
+    }
+
+    /// Whether the policy does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0 || self.fallback
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::disabled()
+    }
+}
+
+/// One rung of the fallback ladder: a way of executing the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecLevel {
+    /// Single fused kernel on the engine's device.
+    Fusion,
+    /// Staged execution (device-resident intermediates).
+    Staged,
+    /// Streamed (z-slabbed) fusion bounded by the device budget.
+    Streamed,
+    /// Roundtrip execution (host-resident intermediates).
+    Roundtrip,
+    /// Fused execution on the host CPU profile — the terminal fallback;
+    /// bit-identical output, CPU-speed virtual clock.
+    CpuFusion,
+}
+
+impl ExecLevel {
+    /// Name used in reports, trace spans, and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecLevel::Fusion => "fusion",
+            ExecLevel::Staged => "staged",
+            ExecLevel::Streamed => "streamed",
+            ExecLevel::Roundtrip => "roundtrip",
+            ExecLevel::CpuFusion => "cpu.fusion",
+        }
+    }
+
+    /// The single-pass strategy whose `memreq` estimate gates this level
+    /// (`None` for streamed, whose footprint is budget-bound by design).
+    fn planned_strategy(&self) -> Option<Strategy> {
+        match self {
+            ExecLevel::Fusion | ExecLevel::CpuFusion => Some(Strategy::Fusion),
+            ExecLevel::Staged => Some(Strategy::Staged),
+            ExecLevel::Roundtrip => Some(Strategy::Roundtrip),
+            ExecLevel::Streamed => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened to one attempt (or considered candidate) during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The attempt completed; its output is the run's result.
+    Succeeded,
+    /// A transient fault; the level was retried after virtual backoff.
+    Retried {
+        /// Virtual seconds waited before the retry.
+        backoff_seconds: f64,
+    },
+    /// A persistent fault (or exhausted retries); recovery moved to the
+    /// next level of the fallback chain.
+    FellBack,
+    /// The planner's memory estimate says this level cannot fit, so it was
+    /// skipped without being attempted.
+    Skipped {
+        /// Predicted peak bytes for the level.
+        required_bytes: u64,
+        /// Capacity of the device the level would run on.
+        capacity_bytes: u64,
+    },
+    /// The final failure: no retries or fallback levels remained.
+    Exhausted,
+}
+
+/// One entry in [`RecoveryReport::attempts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// The execution level attempted (or skipped).
+    pub level: ExecLevel,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+    /// The triggering error, rendered, when the outcome is a failure.
+    pub error: Option<String>,
+}
+
+/// The recovery story of one derivation, attached to
+/// [`ExecReport::recovery`](crate::ExecReport) on success and to
+/// [`EngineError::Exhausted`] on failure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Every attempt, retry, skip, and fallback, in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Transient-fault retries performed.
+    pub retries: u32,
+    /// Fallback transitions taken.
+    pub fallbacks: u32,
+    /// Total virtual seconds spent backing off.
+    pub backoff_seconds: f64,
+    /// The level that finally produced the output (`None` on failure).
+    pub completed: Option<ExecLevel>,
+    /// Whether the run completed on a *different* level than requested —
+    /// the output is still exact, but the performance envelope is not the
+    /// one asked for.
+    pub degraded: bool,
+}
+
+impl RecoveryReport {
+    /// Whether recovery actually did anything (retried, fell back, or
+    /// skipped a candidate) — a clean first-attempt success reports `None`
+    /// rather than an empty record.
+    fn engaged(&self) -> bool {
+        self.retries > 0 || self.fallbacks > 0 || self.attempts.len() > 1
+    }
+}
+
+/// What the caller asked for, before any fallback.
+pub(crate) enum Request {
+    /// One of the paper's single-pass strategies.
+    Strategy(Strategy),
+    /// Streamed fusion under an explicit device budget.
+    Streamed {
+        /// Peak-device-memory bound for slab sizing.
+        budget: u64,
+    },
+}
+
+impl Request {
+    fn level(&self) -> ExecLevel {
+        match self {
+            Request::Strategy(Strategy::Fusion) => ExecLevel::Fusion,
+            Request::Strategy(Strategy::Staged) => ExecLevel::Staged,
+            Request::Strategy(Strategy::Roundtrip) => ExecLevel::Roundtrip,
+            Request::Streamed { .. } => ExecLevel::Streamed,
+        }
+    }
+}
+
+/// Engine state the driver needs, split out so the session (which holds
+/// `&mut Engine`) can call it alongside its own context and state.
+pub(crate) struct RecoveryCtx<'a> {
+    pub options: &'a EngineOptions,
+    pub tracer: Option<Tracer>,
+    pub device: &'a DeviceProfile,
+}
+
+/// The successful result of a recovered (or clean) execution.
+pub(crate) struct LevelOutcome {
+    pub fields_out: Option<Vec<Field>>,
+    pub generated_source: Option<String>,
+    /// Populated iff recovery engaged (at least one retry/fallback/skip).
+    pub recovery: Option<RecoveryReport>,
+    /// When the run completed on the CPU fallback context, that context's
+    /// profile and final clock (the primary context never executed the
+    /// winning attempt).
+    pub alt_profile: Option<(ProfileReport, f64)>,
+}
+
+/// Build the ladder: the requested level first, then (when fallback is on)
+/// the remaining chain Fusion → Staged → Streamed → Roundtrip → CPU
+/// fusion. Streamed only computes the network's natural result, so it is
+/// dropped for multi-output requests; the CPU rung is dropped when the
+/// engine already targets a CPU profile.
+fn ladder(
+    requested: ExecLevel,
+    policy: &RecoveryPolicy,
+    multi: bool,
+    device: &DeviceProfile,
+) -> Vec<ExecLevel> {
+    let mut levels = vec![requested];
+    if policy.fallback {
+        for level in [
+            ExecLevel::Fusion,
+            ExecLevel::Staged,
+            ExecLevel::Streamed,
+            ExecLevel::Roundtrip,
+            ExecLevel::CpuFusion,
+        ] {
+            if level == requested {
+                continue;
+            }
+            if level == ExecLevel::Streamed && multi {
+                continue;
+            }
+            if level == ExecLevel::CpuFusion && device.kind == DeviceKind::Cpu {
+                continue;
+            }
+            levels.push(level);
+        }
+    }
+    levels
+}
+
+/// What one attempt returns: the output fields (absent in model mode), the
+/// generated fused source when the level produced one, and the slab count
+/// for streamed runs.
+type AttemptOutput = (Option<Vec<Field>>, Option<String>, Option<usize>);
+
+/// Execute one level on the given context. Session state flows through for
+/// device levels; the CPU fallback always runs one-shot (its buffers live
+/// on a different context than the session's residents).
+#[allow(clippy::too_many_arguments)]
+fn execute_level(
+    level: ExecLevel,
+    rc: &RecoveryCtx<'_>,
+    spec: &NetworkSpec,
+    sched: &Schedule,
+    fields: &FieldSet,
+    roots: &[NodeId],
+    label: &str,
+    streamed_budget: u64,
+    ctx: &mut Context,
+    session: Option<&mut SessionState>,
+) -> Result<AttemptOutput, EngineError> {
+    match level {
+        ExecLevel::Roundtrip => run_roundtrip_multi_session(
+            spec,
+            sched,
+            fields,
+            ctx,
+            rc.options.roundtrip_dedup_uploads,
+            roots,
+            session,
+        )
+        .map(|f| (f, None, None)),
+        ExecLevel::Staged => {
+            let out = if rc.options.branch_parallel {
+                run_staged_levels_session(spec, sched, fields, ctx, roots, session)?
+            } else {
+                run_staged_multi_session(spec, sched, fields, ctx, roots, session)?
+            };
+            Ok((out, None, None))
+        }
+        ExecLevel::Fusion | ExecLevel::CpuFusion => {
+            run_fusion_multi_session(spec, roots, fields, ctx, label, session)
+                .map(|(f, src)| (f, Some(src), None))
+        }
+        ExecLevel::Streamed => {
+            run_streamed_fusion_session(spec, fields, ctx, label, streamed_budget, session)
+                .map(|(f, src, slabs)| (f.map(|x| vec![x]), Some(src), Some(slabs)))
+        }
+    }
+}
+
+/// Snapshot the session's resident bindings so entries created by a failed
+/// attempt can be pruned after rollback.
+fn resident_snapshot(
+    session: &Option<&mut SessionState>,
+) -> Option<std::collections::HashMap<String, dfg_ocl::BufferId>> {
+    session
+        .as_ref()
+        .map(|s| s.resident.iter().map(|(k, r)| (k.clone(), r.buf)).collect())
+}
+
+/// Roll the context back to `mark` and drop session-resident entries whose
+/// buffers no longer exist (created — or replaced — during the failed
+/// attempt).
+fn restore(
+    ctx: &mut Context,
+    mark: &dfg_ocl::AllocMark,
+    session: &mut Option<&mut SessionState>,
+    snapshot: &Option<std::collections::HashMap<String, dfg_ocl::BufferId>>,
+) {
+    ctx.rollback(mark);
+    if let (Some(state), Some(snap)) = (session.as_deref_mut(), snapshot) {
+        state
+            .resident
+            .retain(|name, r| snap.get(name) == Some(&r.buf));
+    }
+}
+
+/// The recovery driver: run the requested plan, retrying transient faults
+/// with virtual-clock backoff and walking the fallback ladder on
+/// persistent ones. Non-environmental errors (missing fields, schedule
+/// bugs) on the requested level propagate untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_with_recovery(
+    rc: RecoveryCtx<'_>,
+    spec: &NetworkSpec,
+    sched: &Schedule,
+    fields: &FieldSet,
+    roots: &[NodeId],
+    requested: Request,
+    ctx: &mut Context,
+    mut session: Option<&mut SessionState>,
+) -> Result<LevelOutcome, EngineError> {
+    let policy = rc.options.recovery;
+    let multi = !(roots.len() == 1 && roots[0] == spec.result);
+    let levels = ladder(requested.level(), &policy, multi, rc.device);
+    let streamed_budget = match requested {
+        Request::Streamed { budget } => budget,
+        _ => rc.device.global_mem_bytes,
+    };
+    let label = if roots.len() == 1 {
+        spec.node(roots[0])
+            .name
+            .clone()
+            .unwrap_or_else(|| "expr".to_string())
+    } else {
+        "multi".to_string()
+    };
+    let ncells = fields.ncells() as u64;
+    let cpu_profile = DeviceProfile::intel_x5660();
+
+    let mut report = RecoveryReport::default();
+    let mut last_err: Option<EngineError> = None;
+    let mut cpu_ctx: Option<Context> = None;
+
+    for (li, &level) in levels.iter().enumerate() {
+        let is_requested = li == 0;
+        let capacity = if level == ExecLevel::CpuFusion {
+            cpu_profile.global_mem_bytes
+        } else {
+            rc.device.global_mem_bytes
+        };
+        if !is_requested {
+            // Re-plan before attempting: skip candidates the exact memory
+            // model already rules out.
+            if let Some(strategy) = level.planned_strategy() {
+                let required = memreq_units(spec, strategy)?.bytes(ncells);
+                if required > capacity {
+                    report.attempts.push(AttemptRecord {
+                        level,
+                        outcome: AttemptOutcome::Skipped {
+                            required_bytes: required,
+                            capacity_bytes: capacity,
+                        },
+                        error: None,
+                    });
+                    continue;
+                }
+            }
+            report.fallbacks += 1;
+            drop(
+                span!(rc.tracer, "recover.fallback", to = level.name())
+                    .meta("from", levels[li - 1].name())
+                    .meta(
+                        "error",
+                        last_err.as_ref().map(|e| e.to_string()).unwrap_or_default(),
+                    ),
+            );
+        }
+
+        // The CPU rung runs on its own context (different profile); it
+        // inherits the tracer and — deliberately — the same fault plan.
+        let exec_ctx: &mut Context = if level == ExecLevel::CpuFusion {
+            cpu_ctx.get_or_insert_with(|| {
+                let mut c = Context::new(cpu_profile.clone(), ctx.mode());
+                if let Some(t) = &rc.tracer {
+                    c.set_tracer(t.clone());
+                }
+                if let Some(plan) = ctx.fault_plan() {
+                    c.set_fault_plan(plan.clone());
+                }
+                c
+            })
+        } else {
+            &mut *ctx
+        };
+
+        let mut backoff = policy.backoff_us as f64 * 1e-6;
+        let mut retries_left = policy.max_retries;
+        loop {
+            let mark = exec_ctx.alloc_mark();
+            let snap = if level == ExecLevel::CpuFusion {
+                None
+            } else {
+                resident_snapshot(&session)
+            };
+            let exec_span = span!(
+                rc.tracer,
+                &format!("execute.{}", level.name()),
+                ncells = fields.ncells(),
+            );
+            exec_span.virt_start(exec_ctx.clock_seconds());
+            let attempt_session = if level == ExecLevel::CpuFusion {
+                None
+            } else {
+                session.as_deref_mut()
+            };
+            let result = execute_level(
+                level,
+                &rc,
+                spec,
+                sched,
+                fields,
+                roots,
+                &label,
+                streamed_budget,
+                exec_ctx,
+                attempt_session,
+            );
+            exec_span.virt_end(exec_ctx.clock_seconds());
+            match result {
+                Ok((fields_out, generated_source, slabs)) => {
+                    match slabs {
+                        Some(s) => drop(exec_span.meta("slabs", s)),
+                        None => drop(exec_span),
+                    }
+                    report.completed = Some(level);
+                    report.degraded = !is_requested;
+                    report.attempts.push(AttemptRecord {
+                        level,
+                        outcome: AttemptOutcome::Succeeded,
+                        error: None,
+                    });
+                    let alt_profile = (level == ExecLevel::CpuFusion).then(|| {
+                        let c = cpu_ctx.as_ref().expect("cpu level ran on cpu_ctx");
+                        (c.report(), c.clock_seconds())
+                    });
+                    let recovery = report.engaged().then_some(report);
+                    return Ok(LevelOutcome {
+                        fields_out,
+                        generated_source,
+                        recovery,
+                        alt_profile,
+                    });
+                }
+                Err(e) => {
+                    drop(exec_span);
+                    if level == ExecLevel::CpuFusion {
+                        exec_ctx.rollback(&mark);
+                    } else {
+                        restore(exec_ctx, &mark, &mut session, &snap);
+                    }
+                    let transient = matches!(&e, EngineError::Ocl(o) if o.is_transient());
+                    let environmental = matches!(&e, EngineError::Ocl(o) if o.is_environmental());
+                    if transient && retries_left > 0 {
+                        report.retries += 1;
+                        report.backoff_seconds += backoff;
+                        report.attempts.push(AttemptRecord {
+                            level,
+                            outcome: AttemptOutcome::Retried {
+                                backoff_seconds: backoff,
+                            },
+                            error: Some(e.to_string()),
+                        });
+                        // Backoff on the virtual clock: deterministic, and
+                        // identical in model and real modes.
+                        let retry_span = span!(
+                            rc.tracer,
+                            "recover.retry",
+                            level = level.name(),
+                            remaining = retries_left,
+                        );
+                        retry_span.virt_start(exec_ctx.clock_seconds());
+                        exec_ctx.advance_clock(backoff);
+                        retry_span.virt_end(exec_ctx.clock_seconds());
+                        drop(retry_span.meta("error", e.to_string()));
+                        backoff *= 2.0;
+                        retries_left -= 1;
+                        continue;
+                    }
+                    // Fall back on persistent (or retry-exhausted)
+                    // environmental faults; once recovery is past the
+                    // requested level, any failure moves the chain along
+                    // (a fallback rung may be inapplicable, e.g. streamed
+                    // without a `dims` field).
+                    let may_fall_back = policy.fallback
+                        && li + 1 < levels.len()
+                        && (environmental || transient || !is_requested);
+                    if may_fall_back {
+                        if matches!(&e, EngineError::Ocl(OclError::OutOfMemory { .. })) {
+                            // Parked pool slots must never cause the next
+                            // attempt's OOM.
+                            exec_ctx.trim_pool();
+                        }
+                        report.attempts.push(AttemptRecord {
+                            level,
+                            outcome: AttemptOutcome::FellBack,
+                            error: Some(e.to_string()),
+                        });
+                        last_err = Some(e);
+                        break;
+                    }
+                    report.attempts.push(AttemptRecord {
+                        level,
+                        outcome: AttemptOutcome::Exhausted,
+                        error: Some(e.to_string()),
+                    });
+                    return Err(if report.engaged() {
+                        EngineError::Exhausted {
+                            recovery: Box::new(report),
+                            last: Box::new(e),
+                        }
+                    } else {
+                        e
+                    });
+                }
+            }
+        }
+    }
+
+    // Every level failed or was skipped.
+    let last = last_err.expect("ladder is never empty; a failure was recorded");
+    Err(if report.engaged() {
+        EngineError::Exhausted {
+            recovery: Box::new(report),
+            last: Box::new(last),
+        }
+    } else {
+        last
+    })
+}

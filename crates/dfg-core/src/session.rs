@@ -40,6 +40,7 @@ use dfg_trace::span;
 use crate::engine::{Engine, ExecReport};
 use crate::error::EngineError;
 use crate::fields::FieldSet;
+use crate::recovery::{run_with_recovery, RecoveryCtx, Request};
 use crate::strategies::{
     check_field, lanes_for, run_fusion_multi_session, run_roundtrip_multi_session,
     run_staged_multi_session, run_streamed_fusion_session,
@@ -275,6 +276,56 @@ impl Session<'_> {
             Schedule::for_roots(&spec, &roots)?
         };
         let t0 = Instant::now();
+        if self.engine.options().recovery.enabled() {
+            let outcome = run_with_recovery(
+                RecoveryCtx {
+                    options: self.engine.options(),
+                    tracer: tracer.clone(),
+                    device: self.engine.device(),
+                },
+                &spec,
+                &sched,
+                fields,
+                &roots,
+                Request::Strategy(strategy),
+                &mut self.ctx,
+                Some(&mut self.state),
+            )?;
+            let wall = t0.elapsed();
+            self.state.stats.cycles += 1;
+            debug_assert_eq!(
+                self.ctx.in_use_bytes(),
+                self.state.resident_bytes(),
+                "recovered session executor leaked buffers beyond the resident fields"
+            );
+            let profile = match &outcome.alt_profile {
+                Some((report, _)) => report.clone(),
+                None => self.ctx.report(),
+            };
+            drop(root);
+            let report = |field, trace| ExecReport {
+                field,
+                profile,
+                wall,
+                generated_source: outcome.generated_source,
+                trace,
+                recovery: outcome.recovery,
+            };
+            return Ok(match (outputs, outcome.fields_out) {
+                (Some(names), Some(v)) => {
+                    let named = names.iter().map(|n| n.to_string()).zip(v).collect();
+                    (named, report(None, self.engine.snapshot_since(mark)))
+                }
+                (None, Some(mut v)) => {
+                    let field = v.pop().expect("one root, one field");
+                    (
+                        Vec::new(),
+                        report(Some(field), self.engine.snapshot_since(mark)),
+                    )
+                }
+                (_, None) => (Vec::new(), report(None, self.engine.snapshot_since(mark))),
+            });
+        }
         let exec_span = span!(
             tracer,
             &format!("execute.{}", strategy.name()),
@@ -348,6 +399,7 @@ impl Session<'_> {
                         wall,
                         generated_source,
                         trace: self.engine.snapshot_since(mark),
+                        recovery: None,
                     },
                 ));
             }
@@ -362,6 +414,7 @@ impl Session<'_> {
                 wall,
                 generated_source,
                 trace: self.engine.snapshot_since(mark),
+                recovery: None,
             },
         ))
     }
@@ -394,6 +447,49 @@ impl Session<'_> {
             .clone()
             .unwrap_or_else(|| "expr".to_string());
         let t0 = Instant::now();
+        if self.engine.options().recovery.enabled() {
+            let sched = {
+                let _plan = span!(tracer, "plan", nodes = spec.iter().count());
+                Schedule::new(&spec)?
+            };
+            let roots = [spec.result];
+            let outcome = run_with_recovery(
+                RecoveryCtx {
+                    options: self.engine.options(),
+                    tracer: tracer.clone(),
+                    device: self.engine.device(),
+                },
+                &spec,
+                &sched,
+                fields,
+                &roots,
+                Request::Streamed { budget },
+                &mut self.ctx,
+                Some(&mut self.state),
+            )?;
+            let wall = t0.elapsed();
+            self.state.stats.cycles += 1;
+            debug_assert_eq!(
+                self.ctx.in_use_bytes(),
+                self.state.resident_bytes(),
+                "recovered streamed session executor leaked buffers"
+            );
+            let profile = match &outcome.alt_profile {
+                Some((report, _)) => report.clone(),
+                None => self.ctx.report(),
+            };
+            drop(root);
+            return Ok(ExecReport {
+                field: outcome
+                    .fields_out
+                    .map(|mut v| v.pop().expect("one root, one field")),
+                profile,
+                wall,
+                generated_source: outcome.generated_source,
+                trace: self.engine.snapshot_since(mark),
+                recovery: outcome.recovery,
+            });
+        }
         let exec_span = span!(
             tracer,
             "execute.streamed",
@@ -425,6 +521,7 @@ impl Session<'_> {
             wall,
             generated_source: Some(src),
             trace: self.engine.snapshot_since(mark),
+            recovery: None,
         })
     }
 

@@ -79,7 +79,7 @@ pub(crate) fn run_fusion_multi_session(
             let program = {
                 let _codegen = dfg_trace::span!(tracer, "fusion.codegen", label = label);
                 let program = fuse_roots(spec, roots)?;
-                ctx.record_compile(&kernel_name);
+                ctx.record_compile(&kernel_name)?;
                 program
             };
             let source = program.generated_source(&kernel_name);

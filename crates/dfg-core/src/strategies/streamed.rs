@@ -72,7 +72,7 @@ pub(crate) fn run_streamed_fusion_session(
             let program = {
                 let _codegen = dfg_trace::span!(tracer, "streamed.codegen", label = label);
                 let program = fuse(spec)?;
-                ctx.record_compile(&kernel_name);
+                ctx.record_compile(&kernel_name)?;
                 program
             };
             let source = program.generated_source(&kernel_name);

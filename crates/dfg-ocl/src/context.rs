@@ -1,7 +1,8 @@
 //! The device context: buffer allocator plus profiling command queue.
 
-use crate::error::OclError;
+use crate::error::{OclError, TransferDir};
 use crate::event::{Event, EventKind, ProfileReport};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::profile::DeviceProfile;
 use crate::ExecMode;
 use dfg_trace::Tracer;
@@ -9,6 +10,24 @@ use dfg_trace::Tracer;
 /// Handle to a device global-memory buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(usize);
+
+/// Snapshot of a context's live buffers, taken by [`Context::alloc_mark`]
+/// before an execution attempt and restored by [`Context::rollback`] if the
+/// attempt fails — the leak-free-recovery contract.
+#[derive(Debug, Clone)]
+pub struct AllocMark {
+    /// Which slot indices were live when the mark was taken.
+    live: Vec<bool>,
+    /// `in_use_bytes` at the mark: the baseline rollback restores.
+    in_use: u64,
+}
+
+impl AllocMark {
+    /// Bytes that were in use when the mark was taken.
+    pub fn in_use_bytes(&self) -> u64 {
+        self.in_use
+    }
+}
 
 /// Cost estimate a kernel reports for one launch over `n` elements; feeds
 /// the virtual-clock roofline model.
@@ -86,19 +105,25 @@ pub struct Context {
     high_water: u64,
     clock: f64,
     events: Vec<Event>,
-    /// Failure injection: when `Some(k)`, the k-th next allocation fails.
-    fail_alloc_in: Option<usize>,
+    /// Failure injection: a deterministic, seeded schedule of device faults
+    /// consulted at every allocation, transfer, launch, and compile.
+    faults: Option<FaultPlan>,
     /// When set, every recorded event also becomes a child span here.
     tracer: Option<Tracer>,
     /// Released slots kept for reuse, keyed by lane count (see
-    /// [`Context::set_pooling`]). Pooled bytes do not count as `in_use`:
-    /// the pool is an allocation cache over the host-side simulation, so
-    /// capacity checks, `high_water_bytes`, and all recorded events are
-    /// identical with pooling on or off.
+    /// [`Context::set_pooling`]). Pooled bytes do not count as `in_use`,
+    /// but they do occupy device memory: under allocation pressure parked
+    /// slots are evicted (oldest within the largest lane class first)
+    /// before [`OclError::OutOfMemory`] is returned, so the pool can never
+    /// starve a live allocation. Because eviction always restores enough
+    /// headroom when any exists, allocation success/failure,
+    /// `high_water_bytes`, and all recorded events remain identical with
+    /// pooling on or off.
     pool: std::collections::HashMap<usize, Vec<Slot>>,
     pooling: bool,
     pool_hits: u64,
     pooled_bytes: u64,
+    pool_evictions: u64,
 }
 
 impl Context {
@@ -113,12 +138,13 @@ impl Context {
             high_water: 0,
             clock: 0.0,
             events: Vec::new(),
-            fail_alloc_in: None,
+            faults: None,
             tracer: None,
             pool: std::collections::HashMap::new(),
             pooling: false,
             pool_hits: 0,
             pooled_bytes: 0,
+            pool_evictions: 0,
         }
     }
 
@@ -147,6 +173,25 @@ impl Context {
         self.pool_hits
     }
 
+    /// Parked slots dropped to make headroom for live allocations (plus
+    /// slots dropped by [`Context::trim_pool`]).
+    pub fn pool_evictions(&self) -> u64 {
+        self.pool_evictions
+    }
+
+    /// Drop every parked pool slot, returning the bytes freed. Recovery
+    /// calls this before re-attempting after an `OutOfMemory` so the pool
+    /// itself never causes an avoidable failure; dropped slots count as
+    /// evictions.
+    pub fn trim_pool(&mut self) -> u64 {
+        let freed = self.pooled_bytes;
+        let parked: u64 = self.pool.values().map(|v| v.len() as u64).sum();
+        self.pool_evictions += parked;
+        self.pool.clear();
+        self.pooled_bytes = 0;
+        freed
+    }
+
     /// Bytes currently parked in the pool (released, awaiting reuse).
     pub fn pooled_bytes(&self) -> u64 {
         self.pooled_bytes
@@ -165,13 +210,46 @@ impl Context {
         self.tracer.as_ref()
     }
 
+    /// Install a fault plan: from now on every allocation, transfer,
+    /// launch, and compile consults it and fails when the plan says so.
+    /// The plan's clones share state, so the same plan can follow a
+    /// recovery sequence across contexts.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Remove the fault plan; subsequent operations never fault.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
     /// Failure injection (testing): make the `n`-th future allocation fail
     /// with [`OclError::OutOfMemory`] regardless of capacity (1 = the very
-    /// next allocation). Used to validate that executors surface device
-    /// failures cleanly without leaking buffers or panicking.
+    /// next allocation). Shorthand for an `alloc@n` rule on the installed
+    /// fault plan (one is created if absent). Used to validate that
+    /// executors surface device failures cleanly without leaking buffers
+    /// or panicking.
     pub fn fail_alloc_in(&mut self, n: usize) {
         assert!(n >= 1, "n is 1-based: 1 fails the next allocation");
-        self.fail_alloc_in = Some(n);
+        let plan = self
+            .faults
+            .get_or_insert_with(|| FaultPlan::with_seed(0))
+            .clone();
+        plan.fail_nth_from_now(FaultKind::Alloc, n as u64, 1);
+    }
+
+    /// Count one operation of `kind` against the fault plan; `Some(true)`
+    /// means a transient fault fired, `Some(false)` a persistent one.
+    fn fault(&mut self, kind: FaultKind) -> Option<bool> {
+        self.faults
+            .as_ref()
+            .and_then(|p| p.check(kind))
+            .map(|f| f.transient)
     }
 
     /// The device profile this context targets.
@@ -187,6 +265,15 @@ impl Context {
     /// Current virtual-clock time in seconds.
     pub fn clock_seconds(&self) -> f64 {
         self.clock
+    }
+
+    /// Advance the virtual clock by `seconds` without recording an event —
+    /// modeled idle time, e.g. retry backoff after a transient fault.
+    /// Negative or non-finite durations are ignored.
+    pub fn advance_clock(&mut self, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            self.clock += seconds;
+        }
     }
 
     /// Bytes currently allocated to buffers.
@@ -225,18 +312,7 @@ impl Context {
     /// Allocate a device buffer of `lanes` f32 lanes.
     pub fn create_buffer(&mut self, lanes: usize) -> Result<BufferId, OclError> {
         let bytes = lanes as u64 * 4;
-        if let Some(k) = self.fail_alloc_in.as_mut() {
-            *k -= 1;
-            if *k == 0 {
-                self.fail_alloc_in = None;
-                return Err(OclError::OutOfMemory {
-                    requested: bytes,
-                    in_use: self.in_use,
-                    capacity: self.profile.global_mem_bytes,
-                });
-            }
-        }
-        if self.in_use + bytes > self.profile.global_mem_bytes {
+        if self.fault(FaultKind::Alloc).is_some() {
             return Err(OclError::OutOfMemory {
                 requested: bytes,
                 in_use: self.in_use,
@@ -255,16 +331,35 @@ impl Context {
         };
         let slot = match pooled {
             Some(slot) => {
+                // Reuse moves bytes from the pool back to `in_use`; the
+                // device footprint is unchanged, so no capacity check.
                 self.pool_hits += 1;
                 self.pooled_bytes -= slot.bytes;
                 slot
             }
-            None => Slot {
-                data: None,
-                written: false,
-                lanes,
-                bytes,
-            },
+            None => {
+                // A genuinely new allocation: parked pool slots occupy
+                // device memory too, so under pressure evict them (largest
+                // lane class first, deterministically) before giving up.
+                while self.in_use + self.pooled_bytes + bytes > self.profile.global_mem_bytes
+                    && self.pooled_bytes > 0
+                {
+                    self.evict_one_pooled_slot();
+                }
+                if self.in_use + bytes > self.profile.global_mem_bytes {
+                    return Err(OclError::OutOfMemory {
+                        requested: bytes,
+                        in_use: self.in_use,
+                        capacity: self.profile.global_mem_bytes,
+                    });
+                }
+                Slot {
+                    data: None,
+                    written: false,
+                    lanes,
+                    bytes,
+                }
+            }
         };
         self.in_use += bytes;
         self.high_water = self.high_water.max(self.in_use);
@@ -299,6 +394,51 @@ impl Context {
         Ok(())
     }
 
+    /// Drop one parked slot from the largest non-empty lane class.
+    fn evict_one_pooled_slot(&mut self) {
+        let largest = self
+            .pool
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&lanes, _)| lanes)
+            .max();
+        if let Some(lanes) = largest {
+            let parked = self.pool.get_mut(&lanes).expect("key exists");
+            let slot = parked.pop().expect("non-empty class");
+            if parked.is_empty() {
+                self.pool.remove(&lanes);
+            }
+            self.pooled_bytes -= slot.bytes;
+            self.pool_evictions += 1;
+        }
+    }
+
+    /// Snapshot the set of live buffers, so a failed execution attempt can
+    /// be rolled back with [`Context::rollback`].
+    pub fn alloc_mark(&self) -> AllocMark {
+        AllocMark {
+            live: self.slots.iter().map(Option::is_some).collect(),
+            in_use: self.in_use,
+        }
+    }
+
+    /// Release every buffer created since `mark` was taken, returning the
+    /// bytes reclaimed. Buffers live at the mark are untouched (recovery
+    /// relies on session-resident fields surviving a failed attempt), so
+    /// after rollback `in_use_bytes` is back to the mark's baseline and the
+    /// pool bookkeeping is consistent — parked slots gain the rolled-back
+    /// storage when pooling is on.
+    pub fn rollback(&mut self, mark: &AllocMark) -> u64 {
+        let before = self.in_use;
+        for idx in 0..self.slots.len() {
+            let live_at_mark = mark.live.get(idx).copied().unwrap_or(false);
+            if self.slots[idx].is_some() && !live_at_mark {
+                self.release(BufferId(idx)).expect("slot checked live");
+            }
+        }
+        before - self.in_use
+    }
+
     fn record(&mut self, kind: EventKind, label: &str, bytes: u64, seconds: f64) {
         let t_start = self.clock;
         self.clock += seconds;
@@ -330,6 +470,13 @@ impl Context {
             });
         }
         let bytes = lanes as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::HostToDevice,
+                bytes,
+                transient,
+            });
+        }
         let seconds = self.profile.h2d_seconds(bytes);
         if self.mode == ExecMode::Real {
             let slot = self.slots[id.0].as_mut().expect("validated above");
@@ -352,6 +499,13 @@ impl Context {
             ));
         }
         let bytes = self.slot(id)?.lanes as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::HostToDevice,
+                bytes,
+                transient,
+            });
+        }
         let seconds = self.profile.h2d_seconds(bytes);
         self.record(EventKind::HostToDevice, "write", bytes, seconds);
         Ok(())
@@ -368,6 +522,14 @@ impl Context {
         }
         let slot = self.slot(id)?;
         let bytes = slot.lanes as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::DeviceToHost,
+                bytes,
+                transient,
+            });
+        }
+        let slot = self.slot(id)?;
         let data = if slot.written {
             slot.data.clone().expect("written implies materialized")
         } else {
@@ -381,6 +543,13 @@ impl Context {
     /// Enqueue a device→host read without materializing data (model mode).
     pub fn enqueue_read_virtual(&mut self, id: BufferId) -> Result<(), OclError> {
         let bytes = self.slot(id)?.lanes as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::DeviceToHost,
+                bytes,
+                transient,
+            });
+        }
         let seconds = self.profile.d2h_seconds(bytes);
         self.record(EventKind::DeviceToHost, "read", bytes, seconds);
         Ok(())
@@ -388,9 +557,17 @@ impl Context {
 
     /// Record a kernel compilation event (fusion's dynamic kernel
     /// generation). Excluded from device runtime totals by category.
-    pub fn record_compile(&mut self, name: &str) {
+    /// Fails if the fault plan injects a compiler fault.
+    pub fn record_compile(&mut self, name: &str) -> Result<(), OclError> {
+        if let Some(transient) = self.fault(FaultKind::Compile) {
+            return Err(OclError::CompileFailed {
+                kernel: name.to_string(),
+                transient,
+            });
+        }
         let seconds = self.profile.compile_s;
         self.record(EventKind::KernelCompile, name, 0, seconds);
+        Ok(())
     }
 
     /// Launch a kernel over `n` elements.
@@ -406,16 +583,21 @@ impl Context {
         n: usize,
     ) -> Result<(), OclError> {
         if inputs.contains(&output) {
-            return Err(OclError::InvalidOperation(format!(
-                "kernel `{}` output aliases an input",
-                kernel.name()
-            )));
+            return Err(OclError::OutputAliasesInput {
+                kernel: kernel.name(),
+            });
         }
         // Validate all ids up front.
         for &id in inputs {
             self.slot(id)?;
         }
         self.slot(output)?;
+        if let Some(transient) = self.fault(FaultKind::Launch) {
+            return Err(OclError::LaunchFailed {
+                kernel: kernel.name(),
+                transient,
+            });
+        }
 
         if self.mode == ExecMode::Real {
             // Never-written inputs must read as zeros inside the kernel too,
@@ -496,10 +678,9 @@ impl Context {
         // Per-launch validation, as `launch` would do.
         for l in launches {
             if l.inputs.contains(&l.output) {
-                return Err(OclError::InvalidOperation(format!(
-                    "kernel `{}` output aliases an input",
-                    l.kernel.name()
-                )));
+                return Err(OclError::OutputAliasesInput {
+                    kernel: l.kernel.name(),
+                });
             }
             for &id in &l.inputs {
                 self.slot(id)?;
@@ -511,22 +692,32 @@ impl Context {
         for (i, a) in launches.iter().enumerate() {
             for b in &launches[i + 1..] {
                 if a.output == b.output {
-                    return Err(OclError::InvalidOperation(format!(
-                        "batched kernels `{}` and `{}` share an output buffer",
-                        a.kernel.name(),
-                        b.kernel.name()
-                    )));
+                    return Err(OclError::BatchOutputConflict {
+                        first: a.kernel.name(),
+                        second: b.kernel.name(),
+                    });
                 }
             }
             for b in launches {
                 if !std::ptr::eq(a, b) && b.inputs.contains(&a.output) {
-                    return Err(OclError::InvalidOperation(format!(
-                        "batched kernel `{}` reads the output of `{}`; \
-                         dependent launches cannot share a batch",
-                        b.kernel.name(),
-                        a.kernel.name()
-                    )));
+                    return Err(OclError::BatchDependency {
+                        producer: a.kernel.name(),
+                        consumer: b.kernel.name(),
+                    });
                 }
+            }
+        }
+        // Fault checks, one launch op per member in batch order, before any
+        // body runs: a batch is atomic, so a fault in any member fails the
+        // whole batch with no events recorded and no buffers touched.
+        // Members after the faulted one are not counted — exactly as if the
+        // launches were issued serially and the sequence stopped there.
+        for l in launches {
+            if let Some(transient) = self.fault(FaultKind::Launch) {
+                return Err(OclError::LaunchFailed {
+                    kernel: l.kernel.name(),
+                    transient,
+                });
             }
         }
 
@@ -781,7 +972,7 @@ mod tests {
         let a = c.create_buffer(4).unwrap();
         assert!(matches!(
             c.launch(&Double, &[a], a, 4),
-            Err(OclError::InvalidOperation(_))
+            Err(OclError::OutputAliasesInput { .. })
         ));
     }
 
@@ -1065,7 +1256,7 @@ mod tests {
                 n: 64,
             },
         ]);
-        assert!(matches!(err, Err(OclError::InvalidOperation(_))));
+        assert!(matches!(err, Err(OclError::BatchDependency { .. })));
         // Shared output.
         let err = c.launch_batch(&[
             BatchLaunch {
@@ -1081,7 +1272,7 @@ mod tests {
                 n: 64,
             },
         ]);
-        assert!(matches!(err, Err(OclError::InvalidOperation(_))));
+        assert!(matches!(err, Err(OclError::BatchOutputConflict { .. })));
         // Self-alias.
         let err = c.launch_batch(&[BatchLaunch {
             kernel: &Double,
@@ -1089,7 +1280,7 @@ mod tests {
             output: o1,
             n: 64,
         }]);
-        assert!(matches!(err, Err(OclError::InvalidOperation(_))));
+        assert!(matches!(err, Err(OclError::OutputAliasesInput { .. })));
     }
 
     #[test]
@@ -1141,7 +1332,7 @@ mod tests {
     #[test]
     fn compile_events_excluded_from_device_seconds() {
         let mut c = ctx();
-        c.record_compile("fused_q_crit");
+        c.record_compile("fused_q_crit").unwrap();
         let r = c.report();
         assert_eq!(r.count(EventKind::KernelCompile), 1);
         assert_eq!(r.device_seconds(), 0.0);
@@ -1153,6 +1344,31 @@ mod tests {
 mod fault_injection_tests {
     use super::*;
     use crate::DeviceProfile;
+
+    /// Doubling kernel local to this module.
+    struct Double;
+
+    impl DeviceKernel for Double {
+        fn name(&self) -> String {
+            "double".into()
+        }
+        fn cost(&self, n: usize) -> KernelCost {
+            KernelCost {
+                bytes_read: 4 * n as u64,
+                bytes_written: 4 * n as u64,
+                flops: n as u64,
+            }
+        }
+        fn run(&self, args: KernelArgs<'_>) {
+            for i in 0..args.n {
+                args.output[i] = args.inputs[0][i] * 2.0;
+            }
+        }
+    }
+
+    fn ctx() -> Context {
+        Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Real)
+    }
 
     #[test]
     fn injected_failure_hits_the_requested_allocation() {
@@ -1173,5 +1389,134 @@ mod fault_injection_tests {
     fn zero_shot_injection_rejected() {
         let mut c = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
         c.fail_alloc_in(0);
+    }
+
+    #[test]
+    fn transfer_launch_and_compile_faults_surface_typed_errors() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut c = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Transfer, 1, 1);
+        plan.fail_nth_from_now(FaultKind::Launch, 1, 1);
+        plan.fail_nth_from_now(FaultKind::Compile, 1, 1);
+        c.set_fault_plan(plan);
+        let a = c.create_buffer(4).unwrap();
+        let b = c.create_buffer(4).unwrap();
+        match c.enqueue_write(a, &[1.0; 4]) {
+            Err(OclError::TransferFailed { transient, .. }) => assert!(transient),
+            other => panic!("expected transfer fault, got {other:?}"),
+        }
+        // Transient: the re-issued transfer succeeds.
+        c.enqueue_write(a, &[1.0; 4]).unwrap();
+        match c.launch(&Double, &[a], b, 4) {
+            Err(OclError::LaunchFailed { transient, .. }) => assert!(transient),
+            other => panic!("expected launch fault, got {other:?}"),
+        }
+        c.launch(&Double, &[a], b, 4).unwrap();
+        match c.record_compile("fused") {
+            Err(OclError::CompileFailed { transient, .. }) => assert!(!transient),
+            other => panic!("expected compile fault, got {other:?}"),
+        }
+        c.record_compile("fused").unwrap();
+    }
+
+    #[test]
+    fn faulted_batch_is_atomic_and_leaves_no_events() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut c = Context::new(DeviceProfile::intel_x5660(), ExecMode::Real);
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Launch, 2, 1);
+        c.set_fault_plan(plan);
+        let src = c.create_buffer(8).unwrap();
+        let o1 = c.create_buffer(8).unwrap();
+        let o2 = c.create_buffer(8).unwrap();
+        c.enqueue_write(src, &[5.0; 8]).unwrap();
+        let k = Double;
+        let events_before = c.report().events.len();
+        let err = c.launch_batch(&[
+            BatchLaunch {
+                kernel: &k,
+                inputs: vec![src],
+                output: o1,
+                n: 8,
+            },
+            BatchLaunch {
+                kernel: &k,
+                inputs: vec![src],
+                output: o2,
+                n: 8,
+            },
+        ]);
+        assert!(matches!(err, Err(OclError::LaunchFailed { .. })));
+        assert_eq!(
+            c.report().events.len(),
+            events_before,
+            "a faulted batch records nothing"
+        );
+        assert_eq!(c.peek(o1).unwrap(), vec![0.0; 8], "no body ran");
+    }
+
+    #[test]
+    fn pool_eviction_makes_headroom_before_oom() {
+        let mut c = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Model);
+        c.set_pooling(true);
+        let cap_lanes = (c.profile().global_mem_bytes / 4) as usize;
+        let big = cap_lanes * 6 / 10;
+        let a = c.create_buffer(big).unwrap();
+        c.release(a).unwrap();
+        assert_eq!(c.pooled_bytes(), big as u64 * 4);
+        // A different lane count misses the pool; without eviction the
+        // parked slot would leave no headroom for this allocation.
+        let b = c.create_buffer(big + 1).unwrap();
+        assert_eq!(c.pool_evictions(), 1, "parked slot evicted under pressure");
+        assert_eq!(c.pooled_bytes(), 0);
+        c.release(b).unwrap();
+    }
+
+    #[test]
+    fn trim_pool_frees_parked_bytes_and_counts_evictions() {
+        let mut c = ctx();
+        c.set_pooling(true);
+        let a = c.create_buffer(64).unwrap();
+        let b = c.create_buffer(32).unwrap();
+        c.release(a).unwrap();
+        c.release(b).unwrap();
+        assert_eq!(c.trim_pool(), (64 + 32) * 4);
+        assert_eq!(c.pool_evictions(), 2);
+        assert_eq!(c.pooled_bytes(), 0);
+        assert_eq!(c.trim_pool(), 0, "second trim is a no-op");
+    }
+
+    #[test]
+    fn rollback_releases_only_buffers_created_since_the_mark() {
+        let mut c = ctx();
+        let keep = c.create_buffer(16).unwrap();
+        c.enqueue_write(keep, &[7.0; 16]).unwrap();
+        let mark = c.alloc_mark();
+        assert_eq!(mark.in_use_bytes(), 64);
+        let _t1 = c.create_buffer(8).unwrap();
+        let _t2 = c.create_buffer(8).unwrap();
+        assert_eq!(c.in_use_bytes(), 64 + 64);
+        let reclaimed = c.rollback(&mark);
+        assert_eq!(reclaimed, 64);
+        assert_eq!(c.in_use_bytes(), mark.in_use_bytes());
+        // The marked buffer survives with its contents intact.
+        assert_eq!(c.peek(keep).unwrap(), vec![7.0; 16]);
+        // Rollback is idempotent.
+        assert_eq!(c.rollback(&mark), 0);
+    }
+
+    #[test]
+    fn rollback_parks_storage_when_pooling() {
+        let mut c = ctx();
+        c.set_pooling(true);
+        let mark = c.alloc_mark();
+        let _t = c.create_buffer(128).unwrap();
+        c.rollback(&mark);
+        assert_eq!(c.in_use_bytes(), 0);
+        assert_eq!(c.pooled_bytes(), 512, "rolled-back storage is parked");
+        let again = c.create_buffer(128).unwrap();
+        assert_eq!(c.pool_hits(), 1);
+        c.release(again).unwrap();
     }
 }

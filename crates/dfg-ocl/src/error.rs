@@ -1,5 +1,23 @@
 //! Device-layer errors.
 
+/// Direction of a host↔device transfer, for [`OclError::TransferFailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Host→device write.
+    HostToDevice,
+    /// Device→host read.
+    DeviceToHost,
+}
+
+impl std::fmt::Display for TransferDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferDir::HostToDevice => f.write_str("host→device"),
+            TransferDir::DeviceToHost => f.write_str("device→host"),
+        }
+    }
+}
+
 /// Failures raised by the simulated OpenCL layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OclError {
@@ -25,9 +43,84 @@ pub enum OclError {
         /// Host-side length in f32 lanes.
         found: usize,
     },
+    /// A host↔device transfer failed (injected bus fault). Transient
+    /// failures may succeed when the transfer is re-issued.
+    TransferFailed {
+        /// Transfer direction.
+        direction: TransferDir,
+        /// Bytes the transfer would have moved.
+        bytes: u64,
+        /// Whether re-issuing the transfer may succeed.
+        transient: bool,
+    },
+    /// A kernel launch failed (injected queue fault). Transient failures
+    /// may succeed when the launch is re-issued.
+    LaunchFailed {
+        /// Name of the kernel whose launch failed.
+        kernel: String,
+        /// Whether re-issuing the launch may succeed.
+        transient: bool,
+    },
+    /// A kernel compilation failed (injected compiler fault). Persistent:
+    /// recompiling the same source keeps failing until the plan changes.
+    CompileFailed {
+        /// Name of the kernel whose compilation failed.
+        kernel: String,
+        /// Whether recompiling may succeed.
+        transient: bool,
+    },
+    /// A kernel launch whose output buffer is also one of its inputs.
+    OutputAliasesInput {
+        /// Name of the offending kernel.
+        kernel: String,
+    },
+    /// Two launches in one batch write the same output buffer.
+    BatchOutputConflict {
+        /// First kernel writing the shared buffer.
+        first: String,
+        /// Second kernel writing the shared buffer.
+        second: String,
+    },
+    /// A launch in a batch reads a buffer another launch in the same batch
+    /// writes; dependent launches cannot share a batch.
+    BatchDependency {
+        /// Kernel writing the buffer.
+        producer: String,
+        /// Kernel reading it in the same batch.
+        consumer: String,
+    },
     /// Reading buffer contents in [`crate::ExecMode::Model`] mode, or a
-    /// kernel launch that aliases its output with an input.
+    /// virtual transfer on a real-mode context.
     InvalidOperation(String),
+}
+
+impl OclError {
+    /// Whether this failure is transient: re-issuing the same operation may
+    /// succeed (injected transfer/launch faults marked transient). Out of
+    /// memory, compile failures, and protocol violations are persistent.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            OclError::TransferFailed { transient, .. }
+            | OclError::LaunchFailed { transient, .. }
+            | OclError::CompileFailed { transient, .. } => *transient,
+            _ => false,
+        }
+    }
+
+    /// Whether this failure is environmental — a property of the device or
+    /// the run (memory pressure, injected faults) rather than a protocol
+    /// bug in the caller (invalid handles, size mismatches, launch
+    /// hazards). Only environmental failures are worth retrying or
+    /// replanning around.
+    pub fn is_environmental(&self) -> bool {
+        matches!(
+            self,
+            OclError::OutOfMemory { .. }
+                | OclError::TransferFailed { .. }
+                | OclError::LaunchFailed { .. }
+                | OclError::CompileFailed { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for OclError {
@@ -49,6 +142,49 @@ impl std::fmt::Display for OclError {
                     "size mismatch: buffer holds {expected} lanes, host has {found}"
                 )
             }
+            OclError::TransferFailed {
+                direction,
+                bytes,
+                transient,
+            } => write!(
+                f,
+                "{direction} transfer of {bytes} B failed ({})",
+                if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                }
+            ),
+            OclError::LaunchFailed { kernel, transient } => write!(
+                f,
+                "launch of kernel `{kernel}` failed ({})",
+                if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                }
+            ),
+            OclError::CompileFailed { kernel, transient } => write!(
+                f,
+                "compilation of kernel `{kernel}` failed ({})",
+                if *transient {
+                    "transient"
+                } else {
+                    "persistent"
+                }
+            ),
+            OclError::OutputAliasesInput { kernel } => {
+                write!(f, "kernel `{kernel}` output aliases an input")
+            }
+            OclError::BatchOutputConflict { first, second } => write!(
+                f,
+                "batched kernels `{first}` and `{second}` share an output buffer"
+            ),
+            OclError::BatchDependency { producer, consumer } => write!(
+                f,
+                "batched kernel `{consumer}` reads the output of `{producer}`; \
+                 dependent launches cannot share a batch"
+            ),
             OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
         }
     }

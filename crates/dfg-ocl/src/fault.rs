@@ -1,0 +1,438 @@
+//! Deterministic fault injection for the simulated device layer.
+//!
+//! A [`FaultPlan`] is a shared, seeded schedule of device failures. It
+//! generalizes the old one-shot `fail_alloc_in` hook: faults can target any
+//! operation class ([`FaultKind`]), fire at a fixed 1-based operation index
+//! (optionally for a burst of consecutive operations, modeling "fail N
+//! times then succeed" transients) or stochastically at a fixed rate drawn
+//! from a seeded xorshift generator — never from wall-clock time, so every
+//! run of the same plan over the same operation sequence injects the same
+//! faults.
+//!
+//! The plan's state is shared (`Arc<Mutex>`): cloning a plan and installing
+//! it on several [`crate::Context`]s (or on successive recovery attempts)
+//! keeps one global operation counter per kind, which is what lets a
+//! transient "fail twice then succeed" rule resolve across engine retries —
+//! each retry re-issues the operation and consumes one remaining failure.
+//!
+//! Fault spec grammar (comma-separated terms):
+//!
+//! ```text
+//! seed=<u64>            seed for rate-based draws (else DFG_FAULT_SEED, else fixed)
+//! <kind>@<n>            the n-th future op of that kind fails (1-based)
+//! <kind>@<n>x<burst>    ...and the burst-1 following ops of that kind fail too
+//! <kind>:<rate>         each op of that kind fails with probability rate in [0,1)
+//! ```
+//!
+//! where `<kind>` is `alloc`, `transfer`, `launch`, or `compile`. Alloc
+//! faults surface as [`crate::OclError::OutOfMemory`] (persistent); compile
+//! faults are persistent; transfer and launch faults are transient — they
+//! model bus glitches and queue resets that succeed when re-issued.
+
+use std::sync::{Arc, Mutex};
+
+/// Operation classes a [`FaultPlan`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Buffer allocations ([`crate::Context::create_buffer`]).
+    Alloc,
+    /// Host↔device transfers (`enqueue_write*` / `enqueue_read*`).
+    Transfer,
+    /// Kernel launches (`launch` / each member of `launch_batch`).
+    Launch,
+    /// Kernel compilations (`record_compile`).
+    Compile,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 4] = [
+        FaultKind::Alloc,
+        FaultKind::Transfer,
+        FaultKind::Launch,
+        FaultKind::Compile,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::Alloc => 0,
+            FaultKind::Transfer => 1,
+            FaultKind::Launch => 2,
+            FaultKind::Compile => 3,
+        }
+    }
+
+    /// Lower-case name, as used in fault specs and trace metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Alloc => "alloc",
+            FaultKind::Transfer => "transfer",
+            FaultKind::Launch => "launch",
+            FaultKind::Compile => "compile",
+        }
+    }
+
+    /// Whether an injected fault of this kind is transient by default:
+    /// transfer and launch faults succeed when re-issued; alloc and compile
+    /// faults persist until the execution plan changes.
+    pub fn default_transient(self) -> bool {
+        matches!(self, FaultKind::Transfer | FaultKind::Launch)
+    }
+
+    fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fault the plan decided to inject for the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Operation class that faulted.
+    pub kind: FaultKind,
+    /// Whether re-issuing the same operation may succeed.
+    pub transient: bool,
+    /// 1-based index of the faulted operation within its kind.
+    pub op_index: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Trigger {
+    /// Fire on ops `[index, index + burst)` of the rule's kind (1-based).
+    At { index: u64, burst: u64 },
+    /// Fire with this probability on every op of the rule's kind.
+    Rate(f64),
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    kind: FaultKind,
+    trigger: Trigger,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    rules: Vec<Rule>,
+    /// Operations seen so far, per kind.
+    seen: [u64; 4],
+    /// Faults fired so far, per kind.
+    fired: [u64; 4],
+    /// xorshift64 state for rate-based draws; never zero.
+    rng: u64,
+    seed: u64,
+}
+
+impl PlanState {
+    fn next_unit(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        // Top 53 bits → uniform in [0, 1).
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Default seed when neither the spec nor `DFG_FAULT_SEED` provides one.
+const DEFAULT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A deterministic, seeded schedule of device faults. See the module docs
+/// for the spec grammar. Cheap to clone; clones share state.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Mutex<PlanState>>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until rules are added) with the given
+    /// seed for rate-based draws.
+    pub fn with_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            inner: Arc::new(Mutex::new(PlanState {
+                rules: Vec::new(),
+                seen: [0; 4],
+                fired: [0; 4],
+                rng: if seed == 0 { DEFAULT_SEED } else { seed },
+                seed,
+            })),
+        }
+    }
+
+    /// Parse a fault spec (see module docs). The seed, if not given via a
+    /// `seed=` term, comes from the `DFG_FAULT_SEED` environment variable,
+    /// falling back to a fixed constant — never from wall-clock time.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed: Option<u64> = None;
+        let mut rules = Vec::new();
+        for term in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(v) = term.strip_prefix("seed=") {
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad seed in fault spec term `{term}`"))?,
+                );
+                continue;
+            }
+            if let Some((kind, at)) = term.split_once('@') {
+                let kind = FaultKind::parse(kind)
+                    .ok_or_else(|| format!("unknown fault kind in term `{term}`"))?;
+                let (index, burst) = match at.split_once('x') {
+                    Some((i, b)) => (
+                        i.parse::<u64>()
+                            .map_err(|_| format!("bad index in term `{term}`"))?,
+                        b.parse::<u64>()
+                            .map_err(|_| format!("bad burst in term `{term}`"))?,
+                    ),
+                    None => (
+                        at.parse::<u64>()
+                            .map_err(|_| format!("bad index in term `{term}`"))?,
+                        1,
+                    ),
+                };
+                if index == 0 {
+                    return Err(format!("fault index is 1-based in term `{term}`"));
+                }
+                if burst == 0 {
+                    return Err(format!("fault burst must be >= 1 in term `{term}`"));
+                }
+                rules.push(Rule {
+                    kind,
+                    trigger: Trigger::At { index, burst },
+                });
+                continue;
+            }
+            if let Some((kind, rate)) = term.split_once(':') {
+                let kind = FaultKind::parse(kind)
+                    .ok_or_else(|| format!("unknown fault kind in term `{term}`"))?;
+                let rate = rate
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad rate in term `{term}`"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("rate must be in [0, 1] in term `{term}`"));
+                }
+                rules.push(Rule {
+                    kind,
+                    trigger: Trigger::Rate(rate),
+                });
+                continue;
+            }
+            return Err(format!(
+                "unrecognized fault spec term `{term}` (expected kind@n, kind@nxb, kind:rate, or seed=n)"
+            ));
+        }
+        let seed = seed
+            .or_else(|| {
+                std::env::var("DFG_FAULT_SEED")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(DEFAULT_SEED);
+        let plan = FaultPlan::with_seed(seed);
+        plan.inner.lock().unwrap().rules = rules;
+        Ok(plan)
+    }
+
+    /// The seed rate-based draws use (0 means "defaulted").
+    pub fn seed(&self) -> u64 {
+        self.inner.lock().unwrap().seed
+    }
+
+    /// Add a rule: the `n`-th *future* operation of `kind` fails (1-based,
+    /// relative to operations already seen), as do the `burst - 1`
+    /// operations of that kind after it.
+    pub fn fail_nth_from_now(&self, kind: FaultKind, n: u64, burst: u64) {
+        assert!(n >= 1, "n is 1-based: 1 fails the next operation");
+        assert!(burst >= 1, "burst counts the failing operation itself");
+        let mut st = self.inner.lock().unwrap();
+        let index = st.seen[kind.index()] + n;
+        st.rules.push(Rule {
+            kind,
+            trigger: Trigger::At { index, burst },
+        });
+    }
+
+    /// Add a rate rule: every operation of `kind` fails with probability
+    /// `rate`, drawn from the plan's seeded generator.
+    pub fn fail_at_rate(&self, kind: FaultKind, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let mut st = self.inner.lock().unwrap();
+        st.rules.push(Rule {
+            kind,
+            trigger: Trigger::Rate(rate),
+        });
+    }
+
+    /// Count one operation of `kind` and decide whether it faults. Called by
+    /// the [`crate::Context`] at every injection point; returns the fault to
+    /// surface, if any. At most one fault fires per operation even when
+    /// several rules match.
+    pub fn check(&self, kind: FaultKind) -> Option<Fault> {
+        let mut st = self.inner.lock().unwrap();
+        let ki = kind.index();
+        st.seen[ki] += 1;
+        let op_index = st.seen[ki];
+        let mut hit = false;
+        for r in 0..st.rules.len() {
+            let rule = st.rules[r].clone();
+            if rule.kind != kind {
+                continue;
+            }
+            match rule.trigger {
+                Trigger::At { index, burst } => {
+                    if op_index >= index && op_index < index + burst {
+                        hit = true;
+                    }
+                }
+                Trigger::Rate(rate) => {
+                    // Draw unconditionally so the stream of random numbers
+                    // consumed per operation is independent of earlier hits.
+                    let u = st.next_unit();
+                    if u < rate {
+                        hit = true;
+                    }
+                }
+            }
+        }
+        if hit {
+            st.fired[ki] += 1;
+            Some(Fault {
+                kind,
+                transient: kind.default_transient(),
+                op_index,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Operations of `kind` seen so far.
+    pub fn ops_seen(&self, kind: FaultKind) -> u64 {
+        self.inner.lock().unwrap().seen[kind.index()]
+    }
+
+    /// Faults of `kind` fired so far.
+    pub fn faults_fired(&self, kind: FaultKind) -> u64 {
+        self.inner.lock().unwrap().fired[kind.index()]
+    }
+
+    /// Total faults fired across all kinds.
+    pub fn total_fired(&self) -> u64 {
+        self.inner.lock().unwrap().fired.iter().sum()
+    }
+
+    /// Whether the plan has any rules at all.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_rule_fires_once_at_its_index() {
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Alloc, 3, 1);
+        assert!(plan.check(FaultKind::Alloc).is_none());
+        assert!(plan.check(FaultKind::Alloc).is_none());
+        let f = plan.check(FaultKind::Alloc).expect("third op faults");
+        assert_eq!(f.op_index, 3);
+        assert!(!f.transient, "alloc faults are persistent");
+        assert!(plan.check(FaultKind::Alloc).is_none());
+    }
+
+    #[test]
+    fn burst_fails_consecutive_ops_then_clears() {
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Transfer, 2, 2);
+        assert!(plan.check(FaultKind::Transfer).is_none());
+        let f = plan.check(FaultKind::Transfer).expect("op 2 faults");
+        assert!(f.transient, "transfer faults are transient");
+        assert!(plan.check(FaultKind::Transfer).is_some(), "op 3 faults too");
+        assert!(plan.check(FaultKind::Transfer).is_none(), "op 4 succeeds");
+    }
+
+    #[test]
+    fn kinds_count_independently() {
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Launch, 1, 1);
+        assert!(plan.check(FaultKind::Alloc).is_none());
+        assert!(plan.check(FaultKind::Compile).is_none());
+        assert!(plan.check(FaultKind::Launch).is_some());
+    }
+
+    #[test]
+    fn relative_index_counts_from_install_time() {
+        let plan = FaultPlan::with_seed(1);
+        plan.check(FaultKind::Alloc);
+        plan.check(FaultKind::Alloc);
+        plan.fail_nth_from_now(FaultKind::Alloc, 1, 1);
+        assert!(plan.check(FaultKind::Alloc).is_some(), "next op faults");
+    }
+
+    #[test]
+    fn rate_draws_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::with_seed(seed);
+            plan.fail_at_rate(FaultKind::Transfer, 0.5);
+            (0..64)
+                .map(|_| plan.check(FaultKind::Transfer).is_some())
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same fault sequence");
+        assert_ne!(run(42), run(43), "different seed, different sequence");
+        let hits = run(42).iter().filter(|&&h| h).count();
+        assert!(
+            hits > 10 && hits < 54,
+            "rate 0.5 fires roughly half: {hits}"
+        );
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Alloc, 2, 1);
+        let other = plan.clone();
+        assert!(other.check(FaultKind::Alloc).is_none());
+        assert!(plan.check(FaultKind::Alloc).is_some(), "shared counter");
+        assert_eq!(plan.total_fired(), 1);
+        assert_eq!(other.total_fired(), 1);
+    }
+
+    #[test]
+    fn spec_parses_all_term_forms() {
+        let plan = FaultPlan::parse("alloc@3, transfer@1x2, launch:0.25, seed=7").unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert!(!plan.is_empty());
+        assert!(plan.check(FaultKind::Transfer).is_some());
+        assert!(plan.check(FaultKind::Transfer).is_some());
+        assert!(plan.check(FaultKind::Transfer).is_none());
+        assert!(plan.check(FaultKind::Alloc).is_none());
+        assert!(plan.check(FaultKind::Alloc).is_none());
+        assert!(plan.check(FaultKind::Alloc).is_some());
+    }
+
+    #[test]
+    fn spec_rejects_malformed_terms() {
+        assert!(FaultPlan::parse("alloc@0").is_err(), "index is 1-based");
+        assert!(FaultPlan::parse("alloc@1x0").is_err(), "burst >= 1");
+        assert!(FaultPlan::parse("frobnicate@1").is_err(), "unknown kind");
+        assert!(FaultPlan::parse("transfer:1.5").is_err(), "rate > 1");
+        assert!(FaultPlan::parse("seed=banana").is_err(), "bad seed");
+        assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn empty_spec_is_a_no_op_plan() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert!(plan.is_empty());
+        for _ in 0..8 {
+            assert!(plan.check(FaultKind::Alloc).is_none());
+        }
+    }
+}

@@ -46,11 +46,15 @@ mod context;
 mod error;
 mod event;
 mod export;
+mod fault;
 mod profile;
 
-pub use context::{BatchLaunch, BufferId, Context, DeviceKernel, KernelArgs, KernelCost};
-pub use error::OclError;
+pub use context::{
+    AllocMark, BatchLaunch, BufferId, Context, DeviceKernel, KernelArgs, KernelCost,
+};
+pub use error::{OclError, TransferDir};
 pub use event::{Event, EventKind, ProfileReport};
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use profile::{DeviceKind, DeviceProfile};
 
 /// Execution mode for a [`Context`].

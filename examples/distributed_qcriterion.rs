@@ -42,6 +42,7 @@ fn main() {
             workload: Workload::QCriterion,
             strategy: Strategy::Fusion,
             mode: ExecMode::Real,
+            ..Default::default()
         },
     )
     .expect("distributed run");

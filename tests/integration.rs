@@ -137,6 +137,7 @@ fn distributed_pipeline_renders() {
             workload: Workload::QCriterion,
             strategy: Strategy::Fusion,
             mode: ExecMode::Real,
+            ..Default::default()
         },
     )
     .expect("distributed run");
