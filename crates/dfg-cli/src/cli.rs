@@ -33,6 +33,11 @@ usage:
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
              [--output <out.vtk>] [--render <slice.ppm>] [--trace <trace.json>]
              [--faults <spec>] [--max-retries <n>] [--fallback on|off]
+  dfgc run   --ranks <n> --grid NXxNYxNZ [--blocks NXxNYxNZ]
+             [--workload q|vorticity|vmag] [--mode real|model]
+             [--strategy fusion|staged|roundtrip] [--device cpu|gpu]
+             [--faults <spec>] [--deadline-ms <n>] [--max-retries <n>]
+             [--fallback on|off] [--output <out.vtk>] [--trace <trace.json>]
   dfgc plan  --expr <program> --grid NXxNYxNZ
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
              [--device cpu|gpu] [--out-dir <dir>] [--branch-parallel on|off]
@@ -250,7 +255,175 @@ fn print_recovery(r: &dfg_core::RecoveryReport) {
     }
 }
 
+/// `dfgc run --ranks N`: the simulated-cluster path. Runs one of the
+/// paper's workloads distributed across N ranks with halo exchange, prints
+/// the per-rank attempt log, and — the part a single-engine run never
+/// shows — the degraded/lost-rank summary: which ranks fell back, died, or
+/// hung, and where their blocks went.
+fn cmd_run_distributed(args: &Args) -> Result<(), String> {
+    use dfg_cluster::{run_distributed, run_distributed_traced, Cluster, DistOptions};
+
+    let ranks = args
+        .get("ranks")
+        .expect("caller checked")
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or("--ranks must be a positive integer")?;
+    if args.get("expr").is_some() || args.get("expr-file").is_some() {
+        return Err("distributed runs take --workload, not --expr".into());
+    }
+    if args.get("input").is_some() {
+        return Err("distributed runs sample their own data; use --grid, not --input".into());
+    }
+    let dims = parse_grid(args.get("grid").ok_or("--grid is required with --ranks")?)?;
+    let nblocks = match args.get("blocks") {
+        Some(b) => parse_grid(b)?,
+        None => [ranks, 1, 1],
+    };
+    let workload = match args.get("workload").unwrap_or("q") {
+        "q" | "q-criterion" => dfg_core::Workload::QCriterion,
+        "vorticity" | "vortmag" => dfg_core::Workload::VorticityMagnitude,
+        "vmag" | "velocity" => dfg_core::Workload::VelocityMagnitude,
+        other => return Err(format!("unknown workload `{other}` (q|vorticity|vmag)")),
+    };
+    let mode = match args.get("mode").unwrap_or("real") {
+        "real" => ExecMode::Real,
+        "model" => ExecMode::Model,
+        other => return Err(format!("--mode takes real|model, got `{other}`")),
+    };
+    let strategy = strategy_of(args.get("strategy"))?.ok_or(
+        "the streamed strategy is per-device; distributed runs take fusion|staged|roundtrip",
+    )?;
+    let (recovery, _) = recovery_of(args)?;
+    let deadline = args
+        .get("deadline-ms")
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms must be an integer, got `{s}`"))
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+
+    let mesh = RectilinearMesh::unit_cube(dims);
+    let rt = RtWorkload::paper_default();
+    let cluster = Cluster {
+        nodes: ranks,
+        devices_per_node: 1,
+        profile: device_of(args.get("device"))?,
+    };
+    let opts = DistOptions {
+        workload,
+        strategy,
+        mode,
+        recovery,
+        fault_spec: args.get("faults").map(str::to_string),
+        exchange_deadline: deadline.or(DistOptions::default().exchange_deadline),
+        ..Default::default()
+    };
+    let traced = args.get("trace").is_some();
+    let result = if traced {
+        run_distributed_traced(&mesh, nblocks, &rt, &cluster, &opts)
+    } else {
+        run_distributed(&mesh, nblocks, &rt, &cluster, &opts)
+    }
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "distributed `{}` over {}x{}x{} cells: {} blocks on {} ranks ({}), {}",
+        workload.table2_name(),
+        dims[0],
+        dims[1],
+        dims[2],
+        result.blocks,
+        result.ranks,
+        cluster.profile.name,
+        if mode == ExecMode::Real {
+            "real execution"
+        } else {
+            "model only"
+        },
+    );
+    println!(
+        "makespan {:.3} ms modeled, {} kernels, peak {:.1} MB/device",
+        result.makespan_seconds * 1e3,
+        result.total_kernel_execs,
+        result.max_high_water as f64 / 1e6,
+    );
+    println!();
+    println!(
+        "{:>5} {:<10} {:>7} {:>10} {:>8} {:>8} {:>10} {:>12}",
+        "rank", "outcome", "blocks", "completed", "adopted", "retries", "fallbacks", "device ms"
+    );
+    for a in &result.rank_log {
+        println!(
+            "{:>5} {:<10} {:>7} {:>10} {:>8} {:>8} {:>10} {:>12.3}",
+            a.rank,
+            a.outcome.label(),
+            a.blocks_assigned,
+            a.blocks_completed,
+            a.adopted_blocks,
+            a.recovery.retries,
+            a.recovery.fallbacks,
+            result.rank_device_seconds[a.rank] * 1e3,
+        );
+    }
+    println!();
+    if result.degraded {
+        println!("degraded run:");
+        if !result.lost_ranks.is_empty() {
+            let moved: Vec<String> = result
+                .redistributed_blocks
+                .iter()
+                .map(|(b, a)| format!("{b}->{a}"))
+                .collect();
+            println!(
+                "  lost ranks {:?}; {} block(s) redistributed: {}",
+                result.lost_ranks,
+                result.redistributed_blocks.len(),
+                moved.join(", "),
+            );
+        }
+        if !result.degraded_ranks.is_empty() {
+            println!(
+                "  ranks {:?} completed on a fallback strategy",
+                result.degraded_ranks
+            );
+        }
+        if result.ghost_filled_faces > 0 {
+            println!(
+                "  {} ghost face(s) filled analytically ({} exchange timeouts, {} dropped sends)",
+                result.ghost_filled_faces, result.exchange_timeouts, result.exchange_drops,
+            );
+        }
+    } else {
+        println!("all ranks completed on the requested strategy");
+    }
+
+    if let Some(path) = args.get("trace") {
+        let trace = result.trace.as_ref().expect("traced run");
+        std::fs::write(path, trace.to_chrome_trace())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = args.get("output") {
+        let Some(field) = &result.field else {
+            return Err("--output needs --mode real (model runs produce no data)".into());
+        };
+        let mut ds = RectilinearDataset::new(mesh);
+        ds.set_array(workload.table2_name(), DataArray::scalar(field.clone()))
+            .map_err(|e| e.to_string())?;
+        write_vtk(&ds, "dfgc distributed output", std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("dataset written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
+    if args.get("ranks").is_some() {
+        return cmd_run_distributed(args);
+    }
     let expression = args.expression()?;
     let mut ds = load_dataset(args)?;
     let fields = fieldset_of(&ds);
@@ -935,6 +1108,78 @@ mod tests {
             argv.extend(bad);
             assert!(dispatch(&strs(&argv)).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn distributed_run_via_cli() {
+        let dir = std::env::temp_dir().join("dfgc_test_dist");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("dist.vtk");
+        dispatch(&strs(&[
+            "run",
+            "--ranks",
+            "3",
+            "--grid",
+            "9x8x8",
+            "--device",
+            "cpu",
+            "--output",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let ds = read_vtk(&out).unwrap();
+        assert!(ds.has_array("Q-Crit"));
+    }
+
+    #[test]
+    fn distributed_run_survives_a_dead_rank_via_cli() {
+        let dir = std::env::temp_dir().join("dfgc_test_dist_fault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("dist-trace.json");
+        dispatch(&strs(&[
+            "run",
+            "--ranks",
+            "4",
+            "--grid",
+            "8x8x8",
+            "--blocks",
+            "2x2x1",
+            "--device",
+            "cpu",
+            "--faults",
+            "rank_die@1",
+            "--deadline-ms",
+            "300",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.contains("recover.rank"), "recovery pass is traced");
+    }
+
+    #[test]
+    fn distributed_flags_are_validated() {
+        let base = ["run", "--ranks", "2", "--grid", "6x6x6"];
+        for bad in [
+            vec!["--expr", "r = u"],
+            vec!["--workload", "warp"],
+            vec!["--mode", "sideways"],
+            vec!["--strategy", "streamed"],
+            vec!["--deadline-ms", "soon"],
+            vec!["--input", "in.vtk"],
+        ] {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend(bad.iter());
+            assert!(dispatch(&strs(&argv)).is_err(), "{bad:?} should fail");
+        }
+        assert!(dispatch(&strs(&["run", "--ranks", "0", "--grid", "4x4x4"])).is_err());
+        assert!(dispatch(&strs(&["run", "--ranks", "2"])).is_err());
+        // Model mode cannot write a dataset.
+        assert!(dispatch(&strs(&[
+            "run", "--ranks", "2", "--grid", "6x6x6", "--mode", "model", "--output", "x.vtk",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -8,6 +8,101 @@
 //! only reads the six face neighbours.
 
 use dfg_mesh::SubGrid;
+use std::time::Duration;
+
+/// A malformed or undeliverable halo exchange. Structural variants
+/// (`NoGhostLayer`, `FaceExtent`, `InteriorExtent`) replace what used to be
+/// `expect()`/`assert!` aborts inside [`insert_face`] / [`insert_interior`];
+/// delivery variants (`Timeout`, `Disconnected`) are raised by the runner
+/// when a mailbox goes silent past its deadline. Chains into
+/// `ClusterError` via `source()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeError {
+    /// A face arrived for a side of the block that has no ghost layer
+    /// (the block touches the global boundary there).
+    NoGhostLayer {
+        /// Axis of the attempted insert (0..3).
+        axis: usize,
+        /// Whether the low-side layer was targeted.
+        low_side: bool,
+    },
+    /// A face payload does not cover the receiver's owned extent in the
+    /// two non-axis dimensions.
+    FaceExtent {
+        /// Axis of the attempted insert (0..3).
+        axis: usize,
+        /// Cells in the received payload.
+        got: usize,
+        /// Cells the receiver's extent requires.
+        expected: usize,
+    },
+    /// An owned payload does not match the interior extent it is being
+    /// copied into.
+    InteriorExtent {
+        /// Cells in the payload.
+        got: usize,
+        /// Cells the interior requires.
+        expected: usize,
+    },
+    /// The halo mailbox stayed silent past the exchange deadline with
+    /// faces still outstanding.
+    Timeout {
+        /// Faces received before the deadline expired.
+        received: usize,
+        /// Faces the rank was owed in total.
+        expected: usize,
+        /// The per-wait deadline that lapsed.
+        deadline: Duration,
+    },
+    /// Every sender hung up with faces still outstanding.
+    Disconnected {
+        /// Faces received before the channel closed.
+        received: usize,
+        /// Faces the rank was owed in total.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::NoGhostLayer { axis, low_side } => write!(
+                f,
+                "face targets the {} ghost layer on axis {axis}, but the block touches \
+                 the global boundary there",
+                if *low_side { "low-side" } else { "high-side" }
+            ),
+            ExchangeError::FaceExtent {
+                axis,
+                got,
+                expected,
+            } => write!(
+                f,
+                "face on axis {axis} carries {got} cells but the receiver's extent \
+                 requires {expected}"
+            ),
+            ExchangeError::InteriorExtent { got, expected } => write!(
+                f,
+                "owned payload carries {got} cells but the interior extent requires {expected}"
+            ),
+            ExchangeError::Timeout {
+                received,
+                expected,
+                deadline,
+            } => write!(
+                f,
+                "halo exchange timed out after {deadline:?} with {received}/{expected} \
+                 faces received"
+            ),
+            ExchangeError::Disconnected { received, expected } => write!(
+                f,
+                "halo senders disconnected with {received}/{expected} faces received"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
 
 /// One halo message: a face of owned data headed for a neighbour's ghost
 /// layer.
@@ -64,6 +159,9 @@ pub fn extract_face(owned: &[f32], dims: [usize; 3], axis: usize, high: bool) ->
 /// interior inside it (from [`SubGrid::interior_in_ghosted`]). The face
 /// covers the owned extent of the two non-`axis` axes and lands on the
 /// ghost layer just below (`low_side`) or above the interior along `axis`.
+/// A malformed face (targeting a side with no ghost layer, or with the
+/// wrong extent) is an [`ExchangeError`], not a panic: a lost or corrupt
+/// rank must not abort its neighbours.
 pub fn insert_face(
     ghosted: &mut [f32],
     gdims: [usize; 3],
@@ -72,22 +170,30 @@ pub fn insert_face(
     axis: usize,
     low_side: bool,
     face: &[f32],
-) {
+) -> Result<(), ExchangeError> {
     let fixed = if low_side {
         istart[axis]
             .checked_sub(1)
-            .expect("low-side ghost layer exists")
+            .ok_or(ExchangeError::NoGhostLayer { axis, low_side })?
     } else {
         istart[axis] + idims[axis]
     };
-    assert!(fixed < gdims[axis], "high-side ghost layer exists");
+    if fixed >= gdims[axis] {
+        return Err(ExchangeError::NoGhostLayer { axis, low_side });
+    }
     let (a1, a2) = match axis {
         0 => (1, 2),
         1 => (0, 2),
         2 => (0, 1),
         _ => panic!("axis out of range"),
     };
-    assert_eq!(face.len(), idims[a1] * idims[a2], "face extent mismatch");
+    if face.len() != idims[a1] * idims[a2] {
+        return Err(ExchangeError::FaceExtent {
+            axis,
+            got: face.len(),
+            expected: idims[a1] * idims[a2],
+        });
+    }
     let mut it = face.iter();
     for c2 in 0..idims[a2] {
         for c1 in 0..idims[a1] {
@@ -99,6 +205,7 @@ pub fn insert_face(
             ghosted[idx] = *it.next().expect("sized above");
         }
     }
+    Ok(())
 }
 
 /// Copy a block's owned data into the interior of its ghosted array.
@@ -108,8 +215,13 @@ pub fn insert_interior(
     istart: [usize; 3],
     idims: [usize; 3],
     owned: &[f32],
-) {
-    assert_eq!(owned.len(), idims[0] * idims[1] * idims[2]);
+) -> Result<(), ExchangeError> {
+    if owned.len() != idims[0] * idims[1] * idims[2] {
+        return Err(ExchangeError::InteriorExtent {
+            got: owned.len(),
+            expected: idims[0] * idims[1] * idims[2],
+        });
+    }
     for k in 0..idims[2] {
         for j in 0..idims[1] {
             let src = idims[0] * (j + idims[1] * k);
@@ -117,6 +229,7 @@ pub fn insert_interior(
             ghosted[dst..dst + idims[0]].copy_from_slice(&owned[src..src + idims[0]]);
         }
     }
+    Ok(())
 }
 
 /// Extract the interior (owned) region back out of a ghosted result array
@@ -184,7 +297,7 @@ mod tests {
         let idims = [2, 2, 2];
         let owned: Vec<f32> = (10..18).map(|i| i as f32).collect();
         let mut ghosted = vec![0.0f32; 64];
-        insert_interior(&mut ghosted, gdims, istart, idims, &owned);
+        insert_interior(&mut ghosted, gdims, istart, idims, &owned).unwrap();
         assert_eq!(extract_interior(&ghosted, gdims, istart, idims, 1), owned);
         // A ghost corner stays untouched.
         assert_eq!(ghosted[0], 0.0);
@@ -199,7 +312,7 @@ mod tests {
         let idims = [2, 2, 2];
         let mut ghosted = vec![0.0f32; 12];
         let face = vec![7.0, 8.0, 9.0, 10.0];
-        insert_face(&mut ghosted, gdims, istart, idims, 0, true, &face);
+        insert_face(&mut ghosted, gdims, istart, idims, 0, true, &face).unwrap();
         assert_eq!(ghosted[0], 7.0);
         assert_eq!(ghosted[3], 8.0);
         assert_eq!(ghosted[6], 9.0);
@@ -217,7 +330,7 @@ mod tests {
         let idims = [2, 2, 2];
         let mut ghosted = vec![0.0f32; 12];
         let face = vec![7.0, 8.0, 9.0, 10.0];
-        insert_face(&mut ghosted, gdims, istart, idims, 0, false, &face);
+        insert_face(&mut ghosted, gdims, istart, idims, 0, false, &face).unwrap();
         assert_eq!(ghosted[2], 7.0);
         assert_eq!(ghosted[5], 8.0);
         assert_eq!(ghosted[8], 9.0);
@@ -225,11 +338,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "high-side ghost layer exists")]
     fn insert_face_checks_bounds() {
         // Interior already touches the high edge: no high-side ghost layer.
         let mut ghosted = vec![0.0f32; 12];
-        insert_face(
+        let err = insert_face(
             &mut ghosted,
             [3, 2, 2],
             [1, 0, 0],
@@ -237,6 +349,62 @@ mod tests {
             0,
             false,
             &[0.0; 4],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExchangeError::NoGhostLayer {
+                axis: 0,
+                low_side: false
+            }
+        );
+        // And the low side of a block whose interior starts at the origin.
+        let err = insert_face(
+            &mut ghosted,
+            [3, 2, 2],
+            [0, 0, 0],
+            [2, 2, 2],
+            0,
+            true,
+            &[0.0; 4],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExchangeError::NoGhostLayer { low_side: true, .. }
+        ));
+        assert!(err.to_string().contains("global boundary"));
+    }
+
+    #[test]
+    fn malformed_payload_extents_are_typed_errors() {
+        let mut ghosted = vec![0.0f32; 12];
+        let err = insert_face(
+            &mut ghosted,
+            [3, 2, 2],
+            [1, 0, 0],
+            [2, 2, 2],
+            0,
+            true,
+            &[0.0; 3],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExchangeError::FaceExtent {
+                axis: 0,
+                got: 3,
+                expected: 4
+            }
+        );
+        let err =
+            insert_interior(&mut ghosted, [3, 2, 2], [1, 0, 0], [2, 2, 2], &[0.0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            ExchangeError::InteriorExtent {
+                got: 5,
+                expected: 8
+            }
         );
     }
 

@@ -27,7 +27,11 @@ pub mod multi_device;
 pub mod render;
 mod runner;
 
-pub use multi_device::{run_multi_device, MultiDeviceResult};
+pub use exchange::ExchangeError;
+pub use multi_device::{
+    run_multi_device, run_multi_device_with, MultiDeviceOptions, MultiDeviceResult,
+};
 pub use runner::{
     run_distributed, run_distributed_traced, Cluster, ClusterError, DistOptions, DistResult,
+    RankAttempt, RankOutcome,
 };

@@ -9,11 +9,36 @@
 //! the devices run concurrently on their own threads, and the interiors are
 //! concatenated back. Results are bit-identical to a single-device run.
 
-use dfg_core::{Engine, EngineError, EngineOptions, Field, FieldSet, Strategy};
+use dfg_core::{
+    Engine, EngineError, EngineOptions, Field, FieldSet, RecoveryPolicy, RecoveryReport, Strategy,
+};
 use dfg_dataflow::Width;
-use dfg_ocl::{DeviceProfile, ExecMode, ProfileReport};
+use dfg_ocl::{DeviceProfile, ExecMode, FaultPlan, ProfileReport};
 
-use crate::runner::ClusterError;
+use crate::runner::{panic_reason, ClusterError};
+
+/// Per-run knobs for [`run_multi_device_with`]: device-level recovery and
+/// fault injection.
+#[derive(Debug, Clone)]
+pub struct MultiDeviceOptions {
+    /// Recovery policy installed on every device's engine. Each device
+    /// retries transient faults and walks the strategy fallback chain
+    /// independently — one flaky device degrades its own slab only.
+    pub recovery: RecoveryPolicy,
+    /// Fault specs installed on specific devices: `(device index, spec)`
+    /// pairs parsed by [`dfg_ocl::FaultPlan::parse`]. Devices without an
+    /// entry run fault-free.
+    pub fault_specs: Vec<(usize, String)>,
+}
+
+impl Default for MultiDeviceOptions {
+    fn default() -> Self {
+        MultiDeviceOptions {
+            recovery: RecoveryPolicy::disabled(),
+            fault_specs: Vec::new(),
+        }
+    }
+}
 
 /// Result of a multi-device run.
 #[derive(Debug, Clone)]
@@ -24,6 +49,12 @@ pub struct MultiDeviceResult {
     pub device_profiles: Vec<ProfileReport>,
     /// Modeled makespan: the slowest device's runtime.
     pub makespan_seconds: f64,
+    /// Devices that completed their slab on a fallback strategy rather
+    /// than the requested one (sorted). Empty when nothing degraded.
+    pub degraded_devices: Vec<usize>,
+    /// Per-device recovery attempt logs, in device order (empty reports
+    /// for devices whose engines never engaged recovery).
+    pub device_recovery: Vec<RecoveryReport>,
 }
 
 /// Derive `source` over a `dims` mesh using every device in `devices`
@@ -38,6 +69,31 @@ pub fn run_multi_device(
     dims: [usize; 3],
     devices: &[DeviceProfile],
     strategy: Strategy,
+) -> Result<MultiDeviceResult, ClusterError> {
+    run_multi_device_with(
+        source,
+        fields,
+        dims,
+        devices,
+        strategy,
+        &MultiDeviceOptions::default(),
+    )
+}
+
+/// [`run_multi_device`] with per-device recovery and fault injection.
+///
+/// A fault on one device engages that device's recovery ladder (retry the
+/// level, then fall down the strategy chain) without disturbing its
+/// siblings; unrecovered faults surface as a device-tagged
+/// [`ClusterError::Engine`]. Device-thread panics are caught and reported
+/// as typed errors instead of poisoning the join.
+pub fn run_multi_device_with(
+    source: &str,
+    fields: &FieldSet,
+    dims: [usize; 3],
+    devices: &[DeviceProfile],
+    strategy: Strategy,
+    opts: &MultiDeviceOptions,
 ) -> Result<MultiDeviceResult, ClusterError> {
     let ndev = devices.len();
     if ndev == 0 {
@@ -57,6 +113,21 @@ pub fn run_multi_device(
         )));
     }
     let plane = dims[0] * dims[1];
+
+    // Parse per-device fault specs up front so a bad spec is a config
+    // error, not a mid-run surprise.
+    let mut plans: Vec<Option<FaultPlan>> = vec![None; ndev];
+    for (d, spec) in &opts.fault_specs {
+        if *d >= ndev {
+            return Err(ClusterError::Config(format!(
+                "fault spec targets device {d}, but only {ndev} devices are configured"
+            )));
+        }
+        plans[*d] = Some(
+            FaultPlan::parse(spec)
+                .map_err(|e| ClusterError::Config(format!("bad fault spec: {e}")))?,
+        );
+    }
 
     // Slab extents: near-equal z ranges.
     let base = nz / ndev;
@@ -81,87 +152,107 @@ pub fn run_multi_device(
     names.sort();
     names.dedup();
 
-    let outputs: Vec<Result<(usize, Field, ProfileReport), ClusterError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = devices
-                .iter()
-                .enumerate()
-                .map(|(d, profile)| {
-                    let (z0, z1) = slabs[d];
-                    let names = &names;
-                    let profile = profile.clone();
-                    scope.spawn(move || {
-                        let gz0 = z0.saturating_sub(1);
-                        let gz1 = (z1 + 1).min(nz);
-                        let slab_cells = plane * (gz1 - gz0);
-                        let mut slab_fields = FieldSet::new(slab_cells);
-                        for name in names {
-                            let fv = fields.get(name).ok_or_else(|| {
-                                ClusterError::Config(format!("missing field `{name}`"))
+    type DeviceOut = (usize, Field, ProfileReport, Option<RecoveryReport>);
+    let outputs: Vec<Result<DeviceOut, ClusterError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(d, profile)| {
+                let (z0, z1) = slabs[d];
+                let names = &names;
+                let profile = profile.clone();
+                let plan = plans[d].clone();
+                let recovery = opts.recovery;
+                scope.spawn(move || {
+                    let gz0 = z0.saturating_sub(1);
+                    let gz1 = (z1 + 1).min(nz);
+                    let slab_cells = plane * (gz1 - gz0);
+                    let mut slab_fields = FieldSet::new(slab_cells);
+                    for name in names {
+                        let fv = fields.get(name).ok_or_else(|| {
+                            ClusterError::Config(format!("missing field `{name}`"))
+                        })?;
+                        let data = fv.data.as_ref().ok_or_else(|| {
+                            ClusterError::Config("multi-device execution needs real data".into())
+                        })?;
+                        slab_fields
+                            .insert_scalar(name, data[plane * gz0..plane * gz1].to_vec())
+                            .map_err(|_| {
+                                ClusterError::Config(format!(
+                                    "field `{name}` is not a problem-sized scalar"
+                                ))
                             })?;
-                            let data = fv.data.as_ref().ok_or_else(|| {
-                                ClusterError::Config(
-                                    "multi-device execution needs real data".into(),
-                                )
-                            })?;
-                            slab_fields
-                                .insert_scalar(name, data[plane * gz0..plane * gz1].to_vec())
-                                .map_err(|_| {
-                                    ClusterError::Config(format!(
-                                        "field `{name}` is not a problem-sized scalar"
-                                    ))
-                                })?;
-                        }
-                        slab_fields.insert_small(
-                            "dims",
-                            vec![dims[0] as f32, dims[1] as f32, (gz1 - gz0) as f32],
-                        );
-                        let mut engine = Engine::with_options(
-                            profile,
-                            EngineOptions {
-                                mode: ExecMode::Real,
-                                ..Default::default()
-                            },
-                        );
-                        let report = engine.derive(source, &slab_fields, strategy).map_err(
-                            |source: EngineError| ClusterError::Engine { rank: d, source },
-                        )?;
-                        let out = report.field.expect("real mode");
-                        // Extract the interior layers [z0, z1).
-                        let lanes = match out.width {
-                            Width::Vec4 => 4,
-                            _ => 1,
-                        };
-                        let start = (z0 - gz0) * plane * lanes;
-                        let len = (z1 - z0) * plane * lanes;
-                        let interior = Field {
-                            width: out.width,
-                            ncells: (z1 - z0) * plane,
-                            data: out.data[start..start + len].to_vec(),
-                        };
-                        Ok((d, interior, report.profile))
-                    })
+                    }
+                    slab_fields.insert_small(
+                        "dims",
+                        vec![dims[0] as f32, dims[1] as f32, (gz1 - gz0) as f32],
+                    );
+                    let mut engine = Engine::with_options(
+                        profile,
+                        EngineOptions {
+                            mode: ExecMode::Real,
+                            recovery,
+                            ..Default::default()
+                        },
+                    );
+                    if let Some(plan) = plan {
+                        engine.set_fault_plan(plan);
+                    }
+                    let report = engine
+                        .derive(source, &slab_fields, strategy)
+                        .map_err(|source: EngineError| ClusterError::Engine { rank: d, source })?;
+                    let out = report.field.expect("real mode");
+                    // Extract the interior layers [z0, z1).
+                    let lanes = match out.width {
+                        Width::Vec4 => 4,
+                        _ => 1,
+                    };
+                    let start = (z0 - gz0) * plane * lanes;
+                    let len = (z1 - z0) * plane * lanes;
+                    let interior = Field {
+                        width: out.width,
+                        ncells: (z1 - z0) * plane,
+                        data: out.data[start..start + len].to_vec(),
+                    };
+                    Ok((d, interior, report.profile, report.recovery))
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device thread panicked"))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(d, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(ClusterError::Config(format!(
+                        "device {d} thread panicked: {}",
+                        panic_reason(payload.as_ref())
+                    )))
+                })
+            })
+            .collect()
+    });
 
     // Assemble in z order.
-    let mut parts: Vec<Option<(Field, ProfileReport)>> = (0..ndev).map(|_| None).collect();
+    let mut parts: Vec<Option<(Field, ProfileReport, Option<RecoveryReport>)>> =
+        (0..ndev).map(|_| None).collect();
     for out in outputs {
-        let (d, field, profile) = out?;
-        parts[d] = Some((field, profile));
+        let (d, field, profile, recovery) = out?;
+        parts[d] = Some((field, profile, recovery));
     }
     let mut device_profiles = Vec::with_capacity(ndev);
+    let mut device_recovery = Vec::with_capacity(ndev);
+    let mut degraded_devices = Vec::new();
     let mut data = Vec::with_capacity(n);
     let mut width = Width::Scalar;
-    for part in parts.into_iter().flatten() {
+    for (d, part) in parts.into_iter().flatten().enumerate() {
         width = part.0.width;
         data.extend_from_slice(&part.0.data);
         device_profiles.push(part.1);
+        let report = part.2.unwrap_or_default();
+        if report.degraded {
+            degraded_devices.push(d);
+        }
+        device_recovery.push(report);
     }
     let makespan = device_profiles
         .iter()
@@ -175,6 +266,8 @@ pub fn run_multi_device(
         },
         device_profiles,
         makespan_seconds: makespan,
+        degraded_devices,
+        device_recovery,
     })
 }
 
@@ -294,6 +387,112 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A transient transfer fault on ONE device engages that device's
+    /// recovery ladder (a retry on the requested level) while its siblings
+    /// run clean — and the assembled field stays bit-identical.
+    #[test]
+    fn fault_on_one_device_recovers_without_disturbing_siblings() {
+        let dims = [8usize, 7, 12];
+        let (fields, single) = prepare(dims);
+        let devices = vec![DeviceProfile::nvidia_m2050(); 3];
+        let result = run_multi_device_with(
+            Workload::QCriterion.source(),
+            &fields,
+            dims,
+            &devices,
+            Strategy::Fusion,
+            &MultiDeviceOptions {
+                recovery: RecoveryPolicy::resilient(),
+                fault_specs: vec![(1, "transfer@2".into())],
+            },
+        )
+        .unwrap();
+        // Device 1 retried; nobody degraded; siblings never engaged
+        // recovery at all.
+        assert!(result.device_recovery[1].retries > 0);
+        assert!(result.degraded_devices.is_empty());
+        assert_eq!(result.device_recovery[0].retries, 0);
+        assert_eq!(result.device_recovery[2].retries, 0);
+        for i in 0..single.data.len() {
+            assert_eq!(
+                result.field.data[i].to_bits(),
+                single.data[i].to_bits(),
+                "cell {i}"
+            );
+        }
+    }
+
+    /// A persistent allocation fault on ONE device walks it down the
+    /// fallback chain (degraded), siblings stay on the requested strategy,
+    /// and the output is still bit-identical to a clean single-device run.
+    #[test]
+    fn persistent_fault_degrades_only_the_faulty_device() {
+        let dims = [6usize, 6, 9];
+        let (fields, single) = prepare(dims);
+        let devices = vec![DeviceProfile::nvidia_m2050(); 3];
+        let result = run_multi_device_with(
+            Workload::QCriterion.source(),
+            &fields,
+            dims,
+            &devices,
+            Strategy::Fusion,
+            &MultiDeviceOptions {
+                recovery: RecoveryPolicy::resilient(),
+                fault_specs: vec![(2, "alloc@1x2".into())],
+            },
+        )
+        .unwrap();
+        assert_eq!(result.degraded_devices, vec![2]);
+        assert!(result.device_recovery[2].fallbacks > 0);
+        assert!(result.device_recovery[0].fallbacks == 0);
+        assert!(result.device_recovery[1].fallbacks == 0);
+        for i in 0..single.data.len() {
+            assert_eq!(
+                result.field.data[i].to_bits(),
+                single.data[i].to_bits(),
+                "cell {i}"
+            );
+        }
+    }
+
+    /// Without recovery, the faulty device's error surfaces device-tagged;
+    /// a spec naming a device that does not exist is a config error.
+    #[test]
+    fn unrecovered_device_fault_is_device_tagged() {
+        let dims = [6usize, 6, 8];
+        let (fields, _) = prepare(dims);
+        let devices = vec![DeviceProfile::nvidia_m2050(); 2];
+        let err = run_multi_device_with(
+            Workload::QCriterion.source(),
+            &fields,
+            dims,
+            &devices,
+            Strategy::Fusion,
+            &MultiDeviceOptions {
+                recovery: RecoveryPolicy::disabled(),
+                fault_specs: vec![(1, "compile@1".into())],
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, ClusterError::Engine { rank: 1, .. }),
+            "got {err}"
+        );
+        let err = run_multi_device_with(
+            Workload::QCriterion.source(),
+            &fields,
+            dims,
+            &devices,
+            Strategy::Fusion,
+            &MultiDeviceOptions {
+                recovery: RecoveryPolicy::disabled(),
+                fault_specs: vec![(7, "compile@1".into())],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(&err, ClusterError::Config(_)), "got {err}");
     }
 
     #[test]

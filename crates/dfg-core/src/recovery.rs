@@ -195,6 +195,22 @@ impl RecoveryReport {
     fn engaged(&self) -> bool {
         self.retries > 0 || self.fallbacks > 0 || self.attempts.len() > 1
     }
+
+    /// Fold another report into this one — used by callers that aggregate
+    /// several derivations into a single attempt log, e.g. a distributed
+    /// rank merging its per-block reports. Attempt records are appended in
+    /// order, counters are summed, `degraded` is sticky, and `completed`
+    /// takes the other report's level (the most recent completion).
+    pub fn absorb(&mut self, other: &RecoveryReport) {
+        self.attempts.extend(other.attempts.iter().cloned());
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.backoff_seconds += other.backoff_seconds;
+        if other.completed.is_some() {
+            self.completed = other.completed;
+        }
+        self.degraded |= other.degraded;
+    }
 }
 
 /// What the caller asked for, before any fallback.

@@ -28,6 +28,30 @@
 //! faults surface as [`crate::OclError::OutOfMemory`] (persistent); compile
 //! faults are persistent; transfer and launch faults are transient — they
 //! model bus glitches and queue resets that succeed when re-issued.
+//!
+//! # Rank-level faults
+//!
+//! Distributed runs add three kinds that target a *rank* (an MPI-rank
+//! analogue in `dfg-cluster`) rather than a device operation:
+//!
+//! ```text
+//! rank_die@<r>          rank r dies (panics) at the start of its work
+//! rank_die@<r>xb        ...ranks r .. r+b-1 all die
+//! rank_hang@<r>         rank r hangs: alive but silent forever
+//! rank_die:<rate>       each rank dies with probability rate
+//! rank_hang:<rate>      each rank hangs with probability rate
+//! exchange_drop:<rate>  each halo-face transmit is lost with probability rate
+//! exchange_drop@<n>     the n-th halo-face transmit from a rank is lost
+//! ```
+//!
+//! For `rank_die` / `rank_hang` the `@` index is the **0-based rank id**,
+//! not an operation counter; query it with [`FaultPlan::rank_fate`], which
+//! is pure (no counters advance, no rng is consumed) so a coordinator and
+//! the rank itself can both evaluate the same plan and agree. Rate-based
+//! rank fates draw from a splitmix hash of `(seed, kind, rank)` rather than
+//! the sequential rng, for the same reason. `exchange_drop` is an ordinary
+//! operation-counter kind, checked once per halo-face transmit attempt on
+//! the sending rank; it is transient — a retransmit draws again.
 
 use std::sync::{Arc, Mutex};
 
@@ -42,14 +66,26 @@ pub enum FaultKind {
     Launch,
     /// Kernel compilations (`record_compile`).
     Compile,
+    /// A whole rank dying (panic / process loss) in a distributed run. The
+    /// `@` index is the 0-based rank id; see [`FaultPlan::rank_fate`].
+    RankDie,
+    /// A whole rank hanging (alive but silent) in a distributed run. The
+    /// `@` index is the 0-based rank id; see [`FaultPlan::rank_fate`].
+    RankHang,
+    /// A halo-face message lost in transit, checked per transmit attempt on
+    /// the sending rank.
+    ExchangeDrop,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 4] = [
+    const ALL: [FaultKind; 7] = [
         FaultKind::Alloc,
         FaultKind::Transfer,
         FaultKind::Launch,
         FaultKind::Compile,
+        FaultKind::RankDie,
+        FaultKind::RankHang,
+        FaultKind::ExchangeDrop,
     ];
 
     fn index(self) -> usize {
@@ -58,6 +94,9 @@ impl FaultKind {
             FaultKind::Transfer => 1,
             FaultKind::Launch => 2,
             FaultKind::Compile => 3,
+            FaultKind::RankDie => 4,
+            FaultKind::RankHang => 5,
+            FaultKind::ExchangeDrop => 6,
         }
     }
 
@@ -68,14 +107,27 @@ impl FaultKind {
             FaultKind::Transfer => "transfer",
             FaultKind::Launch => "launch",
             FaultKind::Compile => "compile",
+            FaultKind::RankDie => "rank_die",
+            FaultKind::RankHang => "rank_hang",
+            FaultKind::ExchangeDrop => "exchange_drop",
         }
     }
 
     /// Whether an injected fault of this kind is transient by default:
-    /// transfer and launch faults succeed when re-issued; alloc and compile
-    /// faults persist until the execution plan changes.
+    /// transfer and launch faults succeed when re-issued, and a dropped
+    /// halo face may survive a retransmit; alloc and compile faults persist
+    /// until the execution plan changes, and a dead or hung rank stays lost.
     pub fn default_transient(self) -> bool {
-        matches!(self, FaultKind::Transfer | FaultKind::Launch)
+        matches!(
+            self,
+            FaultKind::Transfer | FaultKind::Launch | FaultKind::ExchangeDrop
+        )
+    }
+
+    /// Whether this kind targets a whole rank (the `@` index names a
+    /// 0-based rank id) rather than a device-operation counter.
+    pub fn is_rank_kind(self) -> bool {
+        matches!(self, FaultKind::RankDie | FaultKind::RankHang)
     }
 
     fn parse(s: &str) -> Option<FaultKind> {
@@ -100,6 +152,41 @@ pub struct Fault {
     pub op_index: u64,
 }
 
+/// The fate a [`FaultPlan`] assigns to a whole rank of a distributed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankFate {
+    /// The rank panics at the start of its work and is lost.
+    Die,
+    /// The rank stays alive but never sends another message.
+    Hang,
+}
+
+impl RankFate {
+    /// Lower-case name, matching the fault-spec kind that caused it.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankFate::Die => "rank_die",
+            RankFate::Hang => "rank_hang",
+        }
+    }
+}
+
+/// A stateless splitmix64-style hash of `(seed, kind, rank)` mapped to
+/// [0, 1). Rank fates use this instead of the plan's sequential rng so that
+/// querying a fate neither consumes randomness nor depends on how many
+/// device operations ran first.
+fn hashed_unit(seed: u64, kind: FaultKind, rank: usize) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((kind.index() as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((rank as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
 #[derive(Debug, Clone)]
 enum Trigger {
     /// Fire on ops `[index, index + burst)` of the rule's kind (1-based).
@@ -118,9 +205,9 @@ struct Rule {
 struct PlanState {
     rules: Vec<Rule>,
     /// Operations seen so far, per kind.
-    seen: [u64; 4],
+    seen: [u64; 7],
     /// Faults fired so far, per kind.
-    fired: [u64; 4],
+    fired: [u64; 7],
     /// xorshift64 state for rate-based draws; never zero.
     rng: u64,
     seed: u64,
@@ -155,8 +242,8 @@ impl FaultPlan {
         FaultPlan {
             inner: Arc::new(Mutex::new(PlanState {
                 rules: Vec::new(),
-                seen: [0; 4],
-                fired: [0; 4],
+                seen: [0; 7],
+                fired: [0; 7],
                 rng: if seed == 0 { DEFAULT_SEED } else { seed },
                 seed,
             })),
@@ -193,7 +280,7 @@ impl FaultPlan {
                         1,
                     ),
                 };
-                if index == 0 {
+                if index == 0 && !kind.is_rank_kind() {
                     return Err(format!("fault index is 1-based in term `{term}`"));
                 }
                 if burst == 0 {
@@ -309,6 +396,37 @@ impl FaultPlan {
         }
     }
 
+    /// The fate the plan assigns to a rank of a distributed run, from
+    /// `rank_die` / `rank_hang` rules. Pure: no operation counters advance
+    /// and the sequential rng is untouched, so a cluster coordinator and
+    /// the rank itself can both query the same (or an identically seeded)
+    /// plan and reach the same verdict. Indexed rules match the 0-based
+    /// rank id (`rank_die@1x2` fells ranks 1 and 2); rate rules draw from a
+    /// splitmix hash of `(seed, kind, rank)`. Death wins over a hang when
+    /// both match.
+    pub fn rank_fate(&self, rank: usize) -> Option<RankFate> {
+        let st = self.inner.lock().unwrap();
+        let mut fate: Option<RankFate> = None;
+        for rule in &st.rules {
+            let this = match rule.kind {
+                FaultKind::RankDie => RankFate::Die,
+                FaultKind::RankHang => RankFate::Hang,
+                _ => continue,
+            };
+            let hit = match rule.trigger {
+                Trigger::At { index, burst } => {
+                    let r = rank as u64;
+                    r >= index && r < index + burst
+                }
+                Trigger::Rate(rate) => hashed_unit(st.seed, rule.kind, rank) < rate,
+            };
+            if hit && (fate.is_none() || this == RankFate::Die) {
+                fate = Some(this);
+            }
+        }
+        fate
+    }
+
     /// Operations of `kind` seen so far.
     pub fn ops_seen(&self, kind: FaultKind) -> u64 {
         self.inner.lock().unwrap().seen[kind.index()]
@@ -327,6 +445,17 @@ impl FaultPlan {
     /// Whether the plan has any rules at all.
     pub fn is_empty(&self) -> bool {
         self.inner.lock().unwrap().rules.is_empty()
+    }
+
+    /// Whether the plan has any `rank_die` / `rank_hang` rules — i.e.
+    /// whether [`FaultPlan::rank_fate`] can ever return `Some`.
+    pub fn has_rank_faults(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap()
+            .rules
+            .iter()
+            .any(|r| r.kind.is_rank_kind())
     }
 }
 
@@ -425,6 +554,66 @@ mod tests {
         assert!(FaultPlan::parse("transfer:1.5").is_err(), "rate > 1");
         assert!(FaultPlan::parse("seed=banana").is_err(), "bad seed");
         assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn rank_fate_matches_indexed_rules_by_rank_id() {
+        let plan = FaultPlan::parse("rank_die@1x2, rank_hang@0").unwrap();
+        assert!(plan.has_rank_faults());
+        assert_eq!(plan.rank_fate(0), Some(RankFate::Hang), "rank 0 is valid");
+        assert_eq!(plan.rank_fate(1), Some(RankFate::Die));
+        assert_eq!(plan.rank_fate(2), Some(RankFate::Die), "burst covers 2");
+        assert_eq!(plan.rank_fate(3), None);
+    }
+
+    #[test]
+    fn rank_fate_die_wins_over_hang() {
+        let plan = FaultPlan::parse("rank_hang@2, rank_die@2").unwrap();
+        assert_eq!(plan.rank_fate(2), Some(RankFate::Die));
+    }
+
+    #[test]
+    fn rank_fate_is_pure_and_rate_draws_are_seed_stable() {
+        let plan = FaultPlan::parse("rank_die:0.5, seed=42").unwrap();
+        let fates: Vec<_> = (0..64).map(|r| plan.rank_fate(r)).collect();
+        let again: Vec<_> = (0..64).map(|r| plan.rank_fate(r)).collect();
+        assert_eq!(fates, again, "querying a fate consumes nothing");
+        assert_eq!(plan.ops_seen(FaultKind::RankDie), 0, "no counters advance");
+        let hits = fates.iter().filter(|f| f.is_some()).count();
+        assert!(
+            hits > 10 && hits < 54,
+            "rate 0.5 fells roughly half: {hits}"
+        );
+        let other = FaultPlan::parse("rank_die:0.5, seed=43").unwrap();
+        let other_fates: Vec<_> = (0..64).map(|r| other.rank_fate(r)).collect();
+        assert_ne!(fates, other_fates, "different seed, different fates");
+    }
+
+    #[test]
+    fn rank_fate_rate_does_not_perturb_the_sequential_rng() {
+        let drain = |plan: &FaultPlan| -> Vec<bool> {
+            (0..32)
+                .map(|_| plan.check(FaultKind::Transfer).is_some())
+                .collect()
+        };
+        let clean = FaultPlan::parse("transfer:0.5, seed=42").unwrap();
+        let queried = FaultPlan::parse("transfer:0.5, rank_die:0.5, seed=42").unwrap();
+        for r in 0..16 {
+            queried.rank_fate(r);
+        }
+        assert_eq!(drain(&clean), drain(&queried));
+    }
+
+    #[test]
+    fn exchange_drop_is_an_ordinary_transient_counter_kind() {
+        let plan = FaultPlan::parse("exchange_drop@2").unwrap();
+        assert!(!plan.has_rank_faults(), "exchange_drop is not a rank fate");
+        assert!(plan.check(FaultKind::ExchangeDrop).is_none());
+        let f = plan
+            .check(FaultKind::ExchangeDrop)
+            .expect("second transmit");
+        assert!(f.transient, "a retransmit may survive");
+        assert!(FaultPlan::parse("exchange_drop@0").is_err(), "1-based");
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use context::{
 };
 pub use error::{OclError, TransferDir};
 pub use event::{Event, EventKind, ProfileReport};
-pub use fault::{Fault, FaultKind, FaultPlan};
+pub use fault::{Fault, FaultKind, FaultPlan, RankFate};
 pub use profile::{DeviceKind, DeviceProfile};
 
 /// Execution mode for a [`Context`].

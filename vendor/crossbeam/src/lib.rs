@@ -1,18 +1,26 @@
 //! Offline shim for [crossbeam](https://crates.io/crates/crossbeam).
 //!
-//! Provides `channel::unbounded` with `Clone`-able senders *and* receivers
-//! (the property `std::sync::mpsc` lacks), backed by a Mutex + Condvar
-//! queue. Throughput is adequate for the halo-exchange message volumes this
-//! workspace moves.
+//! Provides `channel::unbounded` and `channel::bounded` with `Clone`-able
+//! senders *and* receivers (the property `std::sync::mpsc` lacks), backed
+//! by a Mutex + Condvar queue, plus the deadline operations
+//! ([`channel::Receiver::recv_timeout`], [`channel::Sender::send_timeout`])
+//! the fault-tolerant halo exchange relies on. Throughput is adequate for
+//! the halo-exchange message volumes this workspace moves.
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
+        /// Signaled when an item arrives or the last sender departs.
         ready: Condvar,
+        /// Signaled when queue space frees up (bounded channels only).
+        space: Condvar,
+        /// `usize::MAX` for unbounded channels.
+        capacity: usize,
     }
 
     struct State<T> {
@@ -45,6 +53,55 @@ pub mod channel {
     }
 
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline expired with the channel still empty.
+        Timeout,
+        /// Every sender was dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => {
+                    write!(f, "timed out waiting on an empty channel")
+                }
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Error returned by [`Sender::send_timeout`]. Carries the unsent value.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The deadline expired with the queue still full.
+        Timeout(T),
+        /// Every receiver was dropped (not tracked by this shim; reserved
+        /// for interface compatibility).
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => {
+                    write!(f, "timed out sending on a full channel")
+                }
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendTimeoutError<T> {}
 
     /// The sending half; cheap to clone.
     pub struct Sender<T> {
@@ -85,12 +142,43 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a value, waking one blocked receiver.
+        /// Enqueue a value, waking one blocked receiver. On a bounded
+        /// channel this blocks (without deadline) while the queue is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             // Receivers sharing the queue Arc keep the channel alive; with
             // an unbounded queue a send cannot otherwise fail, and detecting
             // zero receivers is not needed by this workspace's protocols.
             let mut state = self.shared.queue.lock().expect("channel lock");
+            while state.items.len() >= self.shared.capacity {
+                state = self.shared.space.wait(state).expect("channel lock");
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue a value, waiting at most `timeout` for queue space on a
+        /// bounded channel. Returns the value on timeout so the caller can
+        /// retry or record the loss.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            while state.items.len() >= self.shared.capacity {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let (next, wait) = self
+                    .shared
+                    .space
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel lock");
+                state = next;
+                if wait.timed_out() && state.items.len() >= self.shared.capacity {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+            }
             state.items.push_back(value);
             drop(state);
             self.shared.ready.notify_one();
@@ -104,6 +192,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().expect("channel lock");
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -115,23 +205,60 @@ pub mod channel {
 
         /// Non-blocking receive: `None` when the queue is currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared
-                .queue
-                .lock()
-                .expect("channel lock")
-                .items
-                .pop_front()
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            let item = state.items.pop_front();
+            if item.is_some() {
+                drop(state);
+                self.shared.space.notify_one();
+            }
+            item
+        }
+
+        /// Block until a value is available, all senders disconnect, or
+        /// `timeout` elapses — the deadline-based receive behind the halo
+        /// exchange's straggler tolerance.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, wait) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel lock");
+                state = next;
+                if wait.timed_out() && state.items.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
         }
     }
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
         });
         (
             Sender {
@@ -139,6 +266,23 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// Create a bounded channel: sends block (or time out) while `capacity`
+    /// items are queued, so a stalled receiver exerts backpressure instead
+    /// of letting senders grow memory without limit.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero; this shim does not implement
+    /// rendezvous channels.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "zero-capacity channels are not supported");
+        with_capacity(capacity)
     }
 
     #[cfg(test)]
@@ -161,6 +305,56 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv().unwrap(), 7);
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(5).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_drained() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // Queue full: a deadline send fails and returns the value.
+            match tx.send_timeout(3, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 3),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            // Draining frees a slot for the retry.
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.send_timeout(3, Duration::from_millis(10)).unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn bounded_backpressure_across_threads() {
+            let (tx, rx) = bounded::<u32>(1);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    for i in 0..64 {
+                        tx.send(i).unwrap();
+                    }
+                });
+                let mut got = Vec::new();
+                for _ in 0..64 {
+                    got.push(rx.recv().unwrap());
+                }
+                assert_eq!(got, (0..64).collect::<Vec<_>>());
+            });
         }
 
         #[test]
