@@ -1,0 +1,181 @@
+//! Serving benchmark: sustained multi-tenant throughput and latency.
+//!
+//! Two experiments against an in-process `dfg-serve` server:
+//!
+//! 1. **Tenant scaling** — for 1/2/4/8 concurrent tenants (one client
+//!    thread and connection each, 25 requests per tenant, 16³ grid,
+//!    fused velocity magnitude), sustained req/s and p50/p99 request
+//!    latency.
+//! 2. **Coalescing ablation** — 4 tenants pipelining one identical
+//!    request each inside one batch window, with coalescing on vs. off;
+//!    asserts the outputs are bit-identical and that coalescing strictly
+//!    reduces kernel compiles.
+//!
+//! Writes `BENCH_serve.json`.
+
+use std::time::{Duration, Instant};
+
+use dfg_serve::{Client, DeriveRequest, ExecStrategy, Request, Response, ServeConfig, Server};
+
+const EXPR: &str = "vmag = sqrt(u*u + v*v + w*w)";
+const GRID: [usize; 3] = [16, 16, 16];
+const REQUESTS_PER_TENANT: usize = 25;
+
+struct ScalePoint {
+    tenants: usize,
+    req_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    coalesced: u64,
+    batches: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn scale_point(tenants: usize) -> ScalePoint {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..tenants {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            let tenant = format!("t{t}");
+            let mut lat = Vec::with_capacity(REQUESTS_PER_TENANT);
+            for _ in 0..REQUESTS_PER_TENANT {
+                let t0 = Instant::now();
+                client
+                    .derive(&tenant, EXPR, GRID, ExecStrategy::Fusion, false)
+                    .expect("derive");
+                lat.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            lat
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.shutdown();
+    let counters = server.join().expect("join");
+    assert_eq!(counters.ok as usize, tenants * REQUESTS_PER_TENANT);
+    assert_eq!(counters.errors, 0);
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    ScalePoint {
+        tenants,
+        req_per_s: latencies.len() as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        coalesced: counters.coalesced,
+        batches: counters.batches,
+    }
+}
+
+/// One coalescing arm: 4 tenants pipeline one identical request each on
+/// one connection; returns (total compiles, checksum, payload bits).
+fn ablation_arm(coalesce: bool) -> (u64, f64, Vec<Vec<u32>>) {
+    let config = ServeConfig {
+        coalesce,
+        batch_window: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(&server.local_addr().to_string()).expect("connect");
+    let mut ids = Vec::new();
+    for t in 0..4 {
+        ids.push(
+            client
+                .send(Request::Derive(DeriveRequest {
+                    id: 0,
+                    tenant: format!("t{t}"),
+                    expr: EXPR.into(),
+                    grid: GRID,
+                    strategy: ExecStrategy::Fusion,
+                    data: true,
+                }))
+                .expect("send"),
+        );
+    }
+    let mut compiles = 0u64;
+    let mut checksum = 0.0f64;
+    let mut bits = Vec::new();
+    for id in ids {
+        match client.recv_for(id).expect("recv") {
+            Response::Ok(r) => {
+                compiles += r.compiles;
+                checksum += r.checksum;
+                bits.push(r.data_bits.expect("data requested"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    client.shutdown().expect("shutdown");
+    server.join().expect("join");
+    (compiles, checksum, bits)
+}
+
+fn main() {
+    println!("serve bench: tenant scaling ({REQUESTS_PER_TENANT} requests/tenant, {GRID:?} grid)");
+    let points: Vec<ScalePoint> = [1usize, 2, 4, 8].iter().map(|&n| scale_point(n)).collect();
+    for p in &points {
+        println!(
+            "  {} tenant(s): {:>7.0} req/s  p50 {:>7.3} ms  p99 {:>7.3} ms  \
+             ({} coalesced in {} batches)",
+            p.tenants, p.req_per_s, p.p50_ms, p.p99_ms, p.coalesced, p.batches
+        );
+    }
+
+    println!("coalescing ablation (4 tenants, identical pipelined requests):");
+    let (compiles_on, sum_on, bits_on) = ablation_arm(true);
+    let (compiles_off, sum_off, bits_off) = ablation_arm(false);
+    println!("  coalesce on:  {compiles_on} kernel compiles");
+    println!("  coalesce off: {compiles_off} kernel compiles");
+    assert_eq!(
+        bits_on, bits_off,
+        "coalesced output differs from uncoalesced"
+    );
+    assert_eq!(sum_on, sum_off, "checksums differ");
+    assert!(
+        compiles_on < compiles_off,
+        "coalescing must reduce compiles ({compiles_on} vs {compiles_off})"
+    );
+
+    let scaling_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                r#"    {{"tenants": {}, "req_per_s": {:.1}, "p50_ms": {:.4}, "p99_ms": {:.4}, "coalesced": {}, "batches": {}}}"#,
+                p.tenants, p.req_per_s, p.p50_ms, p.p99_ms, p.coalesced, p.batches
+            )
+        })
+        .collect();
+    let json = format!(
+        r#"{{
+  "benchmark": "serve",
+  "grid": [{}, {}, {}],
+  "expr": "{EXPR}",
+  "requests_per_tenant": {REQUESTS_PER_TENANT},
+  "device": "Intel Xeon X5660 (modeled)",
+  "scaling": [
+{}
+  ],
+  "coalescing_ablation": {{
+    "tenants": 4,
+    "compiles_on": {compiles_on},
+    "compiles_off": {compiles_off},
+    "outputs_identical": true
+  }}
+}}
+"#,
+        GRID[0],
+        GRID[1],
+        GRID[2],
+        scaling_json.join(",\n"),
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("results written to BENCH_serve.json");
+}

@@ -44,6 +44,11 @@ usage:
   dfgc insitu [--cycles <n>] [--grid NXxNYxNZ] [--expr <program>]
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
   dfgc parse --expr <program>
+  dfgc serve [--addr HOST:PORT] [--addr-file <path>] [--device cpu|gpu]
+             [--queue <n>] [--batch-window-ms <n>] [--coalesce on|off]
+             [--quota-mb <n>] [--recovery on|off]
+  dfgc bench-clients --addr HOST:PORT [--tenants <n>] [--requests <n>]
+             [--expr <program>] [--grid NXxNYxNZ] [--data on|off]
   dfgc kernels
   dfgc info";
 
@@ -125,6 +130,8 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         Some("profile") => cmd_profile(&args[1..]),
         Some("insitu") => cmd_insitu(&Args::parse(&args[1..])?),
         Some("parse") => cmd_parse(&Args::parse(&args[1..])?),
+        Some("serve") => cmd_serve(&Args::parse(&args[1..])?),
+        Some("bench-clients") => cmd_bench_clients(&Args::parse(&args[1..])?),
         Some("kernels") => {
             cmd_kernels();
             Ok(())
@@ -860,6 +867,136 @@ fn cmd_info() {
     let _ = ExecMode::Real; // re-exported surface sanity
 }
 
+fn on_off(args: &Args, key: &str, default: bool) -> Result<bool, String> {
+    match args.get(key) {
+        None => Ok(default),
+        Some("on" | "true" | "1") => Ok(true),
+        Some("off" | "false" | "0") => Ok(false),
+        Some(other) => Err(format!("--{key} takes on|off, got `{other}`")),
+    }
+}
+
+fn uint_of(args: &Args, key: &str, default: u64) -> Result<u64, String> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("--{key} must be an integer, got `{s}`")),
+    }
+}
+
+/// `dfgc serve`: run the multi-tenant derived-field service until a
+/// client sends `shutdown` (see docs/SERVING.md).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let profile = device_of(args.get("device"))?;
+    let recovery = if on_off(args, "recovery", true)? {
+        dfg_core::RecoveryPolicy::resilient()
+    } else {
+        dfg_core::RecoveryPolicy::disabled()
+    };
+    let config = dfg_serve::ServeConfig {
+        profile,
+        options: EngineOptions {
+            recovery,
+            ..EngineOptions::default()
+        },
+        queue_capacity: uint_of(args, "queue", 64)? as usize,
+        batch_window: std::time::Duration::from_millis(uint_of(args, "batch-window-ms", 2)?),
+        coalesce: on_off(args, "coalesce", true)?,
+        default_quota: args
+            .get("quota-mb")
+            .map(|s| {
+                s.parse::<u64>()
+                    .map(|mb| mb * 1024 * 1024)
+                    .map_err(|_| format!("--quota-mb must be an integer, got `{s}`"))
+            })
+            .transpose()?,
+        ..dfg_serve::ServeConfig::default()
+    };
+    let server = dfg_serve::Server::start(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = server.local_addr();
+    if let Some(path) = args.get("addr-file") {
+        std::fs::write(path, local.to_string()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    println!("dfg-serve listening on {local} (send {{\"op\":\"shutdown\"}} to stop)");
+    let counters = server
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?;
+    println!(
+        "served {} requests: {} ok ({} coalesced, {} degraded), \
+         {} overloaded, {} over quota, {} errors",
+        counters.requests,
+        counters.ok,
+        counters.coalesced,
+        counters.degraded,
+        counters.rejected_overload,
+        counters.rejected_quota,
+        counters.errors,
+    );
+    Ok(())
+}
+
+/// `dfgc bench-clients`: drive a running server with N tenant threads ×
+/// M requests each and report throughput and latency percentiles.
+fn cmd_bench_clients(args: &Args) -> Result<(), String> {
+    let addr = args
+        .get("addr")
+        .ok_or("--addr is required (the server's address)")?
+        .to_string();
+    let tenants = uint_of(args, "tenants", 4)? as usize;
+    let requests = uint_of(args, "requests", 20)? as usize;
+    let expr = args
+        .get("expr")
+        .unwrap_or("vmag = sqrt(u*u + v*v + w*w)")
+        .to_string();
+    let grid = match args.get("grid") {
+        Some(g) => parse_grid(g)?,
+        None => [16, 16, 16],
+    };
+    let data = on_off(args, "data", false)?;
+
+    let started = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..tenants {
+        let addr = addr.clone();
+        let expr = expr.clone();
+        handles.push(std::thread::spawn(move || -> Result<Vec<f64>, String> {
+            let mut client =
+                dfg_serve::Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let tenant = format!("bench-{t}");
+            let mut latencies = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let t0 = std::time::Instant::now();
+                client
+                    .derive(&tenant, &expr, grid, dfg_serve::ExecStrategy::Fusion, data)
+                    .map_err(|e| format!("{tenant}: {e}"))?;
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(
+            h.join()
+                .map_err(|_| "client thread panicked".to_string())??,
+        );
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    println!(
+        "{} tenants x {} requests: {:.0} req/s, p50 {:.3} ms, p99 {:.3} ms",
+        tenants,
+        requests,
+        latencies.len() as f64 / elapsed,
+        pct(0.50),
+        pct(0.99),
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1199,5 +1336,72 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unknown strategy"));
+    }
+
+    #[test]
+    fn serve_smoke() {
+        // Start the server through the real subcommand, discover its port
+        // via --addr-file, drive it with bench-clients, shut down cleanly.
+        let dir = std::env::temp_dir().join(format!("dfgc-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr");
+        let addr_arg = addr_file.to_str().unwrap().to_string();
+
+        let server = std::thread::spawn({
+            let addr_arg = addr_arg.clone();
+            move || {
+                dispatch(&strs(&[
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--addr-file",
+                    &addr_arg,
+                    "--device",
+                    "cpu",
+                ]))
+            }
+        });
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(a) = std::fs::read_to_string(&addr_file) {
+                    if !a.is_empty() {
+                        break a;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote its address");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+
+        dispatch(&strs(&[
+            "bench-clients",
+            "--addr",
+            &addr,
+            "--tenants",
+            "2",
+            "--requests",
+            "3",
+            "--grid",
+            "6x6x6",
+        ]))
+        .unwrap();
+
+        let mut client = dfg_serve::Client::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_and_bench_flag_validation() {
+        assert!(
+            dispatch(&strs(&["bench-clients"])).is_err(),
+            "--addr required"
+        );
+        assert!(dispatch(&strs(&["serve", "--queue", "lots"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--coalesce", "maybe"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--quota-mb", "much"])).is_err());
     }
 }

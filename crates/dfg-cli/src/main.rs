@@ -8,8 +8,14 @@
 //! dfgc profile "<expression>"            # trace every strategy, emit Chrome traces
 //! dfgc insitu [--cycles 16]              # persistent-session hot loop over the flow solver
 //! dfgc parse --expr "<expression>"       # print network + generated source
+//! dfgc serve [--addr 127.0.0.1:7117]     # multi-tenant service (docs/SERVING.md)
+//! dfgc bench-clients --addr HOST:PORT    # load-drive a running server
 //! dfgc info                              # devices and the Table I catalog
 //! ```
+//!
+//! Distributed runs ride the `run` subcommand: `dfgc run --ranks <n>`
+//! adds `--blocks`, `--workload`, `--mode`, `--deadline-ms`, and the
+//! fault-injection flags (`--faults`, `--max-retries`, `--fallback`).
 
 use std::process::ExitCode;
 

@@ -22,6 +22,7 @@ mod error;
 mod fields;
 pub mod planner;
 pub(crate) mod recovery;
+mod registry;
 mod session;
 pub mod strategies;
 pub mod workloads;
@@ -35,5 +36,6 @@ pub use error::EngineError;
 pub use fields::{Field, FieldSet, FieldValue};
 pub use planner::{plan, plan_traced, Plan, PlanOption};
 pub use recovery::{AttemptOutcome, AttemptRecord, ExecLevel, RecoveryPolicy, RecoveryReport};
+pub use registry::{SessionRegistry, TenantStats};
 pub use session::{Session, SessionStats};
 pub use workloads::Workload;

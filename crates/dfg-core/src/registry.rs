@@ -1,0 +1,367 @@
+//! Multi-tenant session registry: one engine per tenant, one shared clock.
+//!
+//! A serving process (see the `dfg-serve` crate) keeps many concurrent
+//! callers' state alive at once. The [`SessionRegistry`] is the dfg-core
+//! piece of that story: it maps tenant ids to owned [`Session`]s (created
+//! lazily on first use), clamps each tenant's device allocation through a
+//! per-tenant memory quota, and guarantees that a failed request cannot
+//! leak device memory into a tenant's long-lived session.
+//!
+//! **Quotas** reuse the existing pool accounting wholesale: a tenant's
+//! engine is built from a copy of the registry's [`DeviceProfile`] whose
+//! `global_mem_bytes` is lowered to the quota, so every allocation path —
+//! pool hits, pool evictions, and the out-of-memory failure mode — behaves
+//! exactly as it does on a small device. A quota breach surfaces as the
+//! same typed [`EngineError`] the engine already produces (check it with
+//! [`EngineError::is_out_of_memory`]), and when the engine's
+//! [`crate::RecoveryPolicy`] is enabled the request first walks the
+//! degradation ladder (staged → streamed → roundtrip → CPU) before giving
+//! up, which is the serving layer's graceful-degradation story.
+//!
+//! **Leak safety**: each request runs inside an allocation guard. On any
+//! error the registry rolls the tenant's context back to the pre-request
+//! allocation mark and prunes resident-field entries whose buffers were
+//! rolled back, so `in_use_bytes` returns to its pre-request baseline and
+//! the next request starts clean.
+//!
+//! ```
+//! use dfg_core::{EngineOptions, SessionRegistry, Strategy, FieldSet};
+//! use dfg_ocl::DeviceProfile;
+//!
+//! let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+//! let mut fields = FieldSet::new(8);
+//! fields.insert_scalar("u", vec![2.0; 8]).unwrap();
+//!
+//! // Two tenants, isolated sessions, both served from one registry.
+//! for tenant in ["alice", "bob"] {
+//!     let report = reg
+//!         .derive(tenant, "m = u*u", &fields, Strategy::Fusion)
+//!         .unwrap();
+//!     assert!(report.field.is_some());
+//! }
+//! assert_eq!(reg.len(), 2);
+//! let stats = reg.stats("alice").unwrap();
+//! assert_eq!(stats.session.cycles, 1);
+//! ```
+
+use std::collections::HashMap;
+
+use dfg_ocl::DeviceProfile;
+use dfg_trace::Tracer;
+
+use crate::engine::{Engine, EngineOptions, ExecReport};
+use crate::error::EngineError;
+use crate::fields::FieldSet;
+use crate::session::{Session, SessionStats};
+use crate::Strategy;
+
+/// One tenant's long-lived state inside the registry.
+struct Tenant {
+    session: Session,
+    quota_bytes: u64,
+}
+
+/// A point-in-time snapshot of one tenant's counters, suitable for a
+/// serving stats endpoint. Pool and kernel-cache counters are broken out
+/// *per tenant* (each tenant owns its context), so quota accounting is
+/// observable from the outside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant id this snapshot describes.
+    pub tenant: String,
+    /// Session counters: cycles, uploads (skipped), codegen compiles/hits.
+    pub session: SessionStats,
+    /// Allocations served by this tenant's buffer pool.
+    pub pool_hits: u64,
+    /// Bytes parked in this tenant's pool awaiting reuse.
+    pub pooled_bytes: u64,
+    /// Bytes held by this tenant's device-resident input fields.
+    pub resident_bytes: u64,
+    /// Total live device bytes for this tenant (resident + transient).
+    pub in_use_bytes: u64,
+    /// The tenant's device-memory quota in bytes.
+    pub quota_bytes: u64,
+}
+
+/// Owns per-tenant [`Session`]s keyed by tenant id; see the module-level
+/// documentation above for the quota and leak-safety contract.
+pub struct SessionRegistry {
+    profile: DeviceProfile,
+    options: EngineOptions,
+    tracer: Option<Tracer>,
+    default_quota: Option<u64>,
+    quotas: HashMap<String, u64>,
+    tenants: HashMap<String, Tenant>,
+}
+
+impl SessionRegistry {
+    /// A registry serving sessions on `profile` with `options`. Tenants
+    /// are created lazily on their first request.
+    pub fn new(profile: DeviceProfile, options: EngineOptions) -> Self {
+        SessionRegistry {
+            profile,
+            options,
+            tracer: None,
+            default_quota: None,
+            quotas: HashMap::new(),
+            tenants: HashMap::new(),
+        }
+    }
+
+    /// Attach a tracer; sessions created after this call emit spans into
+    /// it (`upload.skipped`, `codegen.cached`, strategy spans, …).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Default per-tenant quota in bytes for tenants without an explicit
+    /// [`SessionRegistry::set_quota`]. `None` (the initial state) means
+    /// the device's full capacity.
+    pub fn set_default_quota(&mut self, bytes: Option<u64>) {
+        self.default_quota = bytes;
+    }
+
+    /// Set `tenant`'s device-memory quota. Takes effect when the tenant's
+    /// session is created — set quotas before the tenant's first request
+    /// (or after [`SessionRegistry::end_tenant`]); an already-live session
+    /// keeps the quota it was created with.
+    pub fn set_quota(&mut self, tenant: &str, bytes: u64) {
+        self.quotas.insert(tenant.to_string(), bytes);
+    }
+
+    /// The quota that applies to `tenant` right now (explicit, default, or
+    /// full device capacity).
+    pub fn quota_of(&self, tenant: &str) -> u64 {
+        if let Some(t) = self.tenants.get(tenant) {
+            return t.quota_bytes;
+        }
+        self.quotas
+            .get(tenant)
+            .copied()
+            .or(self.default_quota)
+            .unwrap_or(self.profile.global_mem_bytes)
+            .min(self.profile.global_mem_bytes)
+    }
+
+    fn entry(&mut self, tenant: &str) -> &mut Tenant {
+        if !self.tenants.contains_key(tenant) {
+            let quota_bytes = self.quota_of(tenant);
+            let mut profile = self.profile.clone();
+            profile.global_mem_bytes = quota_bytes;
+            let mut engine = Engine::with_options(profile, self.options);
+            if let Some(tracer) = &self.tracer {
+                engine.set_tracer(tracer.clone());
+            }
+            self.tenants.insert(
+                tenant.to_string(),
+                Tenant {
+                    session: engine.into_session(),
+                    quota_bytes,
+                },
+            );
+        }
+        self.tenants.get_mut(tenant).expect("just inserted")
+    }
+
+    /// Run `f` against `tenant`'s session inside an allocation guard: on
+    /// error the context is rolled back to the pre-request mark and
+    /// resident entries for rolled-back buffers are pruned, so a failed
+    /// request cannot leak device bytes into the long-lived session.
+    fn guarded<R>(
+        &mut self,
+        tenant: &str,
+        f: impl FnOnce(&mut Session) -> Result<R, EngineError>,
+    ) -> Result<R, EngineError> {
+        let entry = self.entry(tenant);
+        let mark = entry.session.ctx.alloc_mark();
+        match f(&mut entry.session) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                entry.session.ctx.rollback(&mark);
+                entry
+                    .session
+                    .state
+                    .resident
+                    .retain(|_, r| mark.contains(r.buf));
+                Err(e)
+            }
+        }
+    }
+
+    /// Derive one field for `tenant`; same contract as [`Session::derive`]
+    /// with the registry's quota and leak guard applied.
+    pub fn derive(
+        &mut self,
+        tenant: &str,
+        source: &str,
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<ExecReport, EngineError> {
+        self.guarded(tenant, |s| s.derive(source, fields, strategy))
+    }
+
+    /// Derive several named outputs for `tenant` in one execution; see
+    /// [`Session::derive_many`].
+    pub fn derive_many(
+        &mut self,
+        tenant: &str,
+        source: &str,
+        outputs: &[&str],
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<(Vec<(String, crate::Field)>, ExecReport), EngineError> {
+        self.guarded(tenant, |s| s.derive_many(source, outputs, fields, strategy))
+    }
+
+    /// Streamed (slab-partitioned) derivation for `tenant`; see
+    /// [`Session::derive_streamed`].
+    pub fn derive_streamed(
+        &mut self,
+        tenant: &str,
+        source: &str,
+        fields: &FieldSet,
+        device_budget_bytes: Option<u64>,
+    ) -> Result<ExecReport, EngineError> {
+        self.guarded(tenant, |s| {
+            s.derive_streamed(source, fields, device_budget_bytes)
+        })
+    }
+
+    /// Counters for `tenant`, or `None` if it has never made a request.
+    pub fn stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.tenants.get(tenant).map(|t| TenantStats {
+            tenant: tenant.to_string(),
+            session: t.session.stats().clone(),
+            pool_hits: t.session.pool_hits(),
+            pooled_bytes: t.session.pooled_bytes(),
+            resident_bytes: t.session.resident_bytes(),
+            in_use_bytes: t.session.context().in_use_bytes(),
+            quota_bytes: t.quota_bytes,
+        })
+    }
+
+    /// Stats for every live tenant, sorted by tenant id.
+    pub fn all_stats(&self) -> Vec<TenantStats> {
+        let mut ids: Vec<&String> = self.tenants.keys().collect();
+        ids.sort();
+        ids.into_iter()
+            .map(|id| self.stats(id).expect("live tenant"))
+            .collect()
+    }
+
+    /// Ids of every live tenant, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.tenants.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Close `tenant`'s session, releasing its resident buffers, and
+    /// return its final counters (`None` if the tenant never existed).
+    pub fn end_tenant(&mut self, tenant: &str) -> Option<SessionStats> {
+        self.tenants.remove(tenant).map(|t| t.session.end())
+    }
+
+    /// Number of live tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Whether no tenant has made a request yet.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecoveryPolicy;
+
+    fn fields(n: usize) -> FieldSet {
+        let mut f = FieldSet::new(n);
+        f.insert_scalar("u", (0..n).map(|i| i as f32 * 0.5).collect())
+            .unwrap();
+        f.insert_scalar("v", (0..n).map(|i| 1.0 + i as f32).collect())
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn owned_session_matches_borrowed_session() {
+        let fields = fields(64);
+        let src = "m = sqrt(u*u + v*v)";
+        let mut engine = Engine::new(DeviceProfile::intel_x5660());
+        let mut borrowed = engine.session();
+        let want = borrowed.derive(src, &fields, Strategy::Fusion).unwrap();
+        let mut owned = Engine::new(DeviceProfile::intel_x5660()).into_session();
+        let got = owned.derive(src, &fields, Strategy::Fusion).unwrap();
+        assert_eq!(
+            want.field.as_ref().unwrap().as_scalar().unwrap(),
+            got.field.as_ref().unwrap().as_scalar().unwrap()
+        );
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_both_amortize() {
+        let fields = fields(64);
+        let src = "m = u*v";
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+        for _ in 0..3 {
+            reg.derive("a", src, &fields, Strategy::Fusion).unwrap();
+            reg.derive("b", src, &fields, Strategy::Fusion).unwrap();
+        }
+        for id in ["a", "b"] {
+            let st = reg.stats(id).unwrap();
+            assert_eq!(st.session.cycles, 3);
+            assert_eq!(st.session.codegen_compiles, 1, "compiled once per tenant");
+            assert_eq!(st.session.codegen_cached, 2);
+            assert!(st.session.uploads_skipped > 0);
+        }
+        assert_eq!(reg.tenant_ids(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn quota_breach_is_typed_and_leak_free() {
+        let n = 32 * 32 * 32;
+        let fields = fields(n);
+        let opts = EngineOptions {
+            recovery: RecoveryPolicy::disabled(),
+            ..EngineOptions::default()
+        };
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), opts);
+        reg.set_quota("tiny", 16 * 1024);
+        let err = reg
+            .derive("tiny", "m = u*v + u", &fields, Strategy::Fusion)
+            .unwrap_err();
+        assert!(err.is_out_of_memory(), "expected OOM, got {err}");
+        let st = reg.stats("tiny").unwrap();
+        assert_eq!(st.in_use_bytes, 0, "failed request leaked device bytes");
+        assert_eq!(st.quota_bytes, 16 * 1024);
+        // A request that fits still succeeds afterwards.
+        let small = fields_of(8);
+        reg.derive("tiny", "m = u+v", &small, Strategy::Fusion)
+            .unwrap();
+    }
+
+    fn fields_of(n: usize) -> FieldSet {
+        fields(n)
+    }
+
+    #[test]
+    fn quota_breach_degrades_with_recovery_enabled() {
+        let n = 32 * 32 * 32;
+        let fields = fields(n);
+        let opts = EngineOptions {
+            recovery: RecoveryPolicy::resilient(),
+            ..EngineOptions::default()
+        };
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), opts);
+        reg.set_quota("t", 16 * 1024);
+        let report = reg
+            .derive("t", "m = u*v + u", &fields, Strategy::Fusion)
+            .unwrap();
+        let rec = report.recovery.as_ref().expect("recovery record");
+        assert!(rec.degraded, "expected a degraded completion under quota");
+    }
+}

@@ -29,6 +29,7 @@
 //! unpooled context per run, preserving the paper's Table II counts and
 //! Figure 5/6 model numbers exactly.
 
+use std::borrow::BorrowMut;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -185,10 +186,18 @@ pub(crate) fn program_key(spec: &NetworkSpec, roots: &[NodeId], streamed: bool) 
 /// assert_eq!(stats.cycles, 3);
 /// assert_eq!(stats.codegen_compiles, 1, "codegen once, cached after");
 /// ```
-pub struct Session<'e> {
-    engine: &'e mut Engine,
-    ctx: Context,
-    state: SessionState,
+///
+/// A session is generic over how it holds its engine: `Session<&mut
+/// Engine>` (the default of [`Engine::session`]) borrows a host-owned
+/// engine for the life of the session, while `Session<Engine>` — an
+/// *owned* session, from [`Engine::into_session`] — carries the engine
+/// with it and can be stored in long-lived registries such as
+/// [`crate::SessionRegistry`], the substrate of the multi-tenant
+/// `dfg-serve` server.
+pub struct Session<E: BorrowMut<Engine> = Engine> {
+    engine: E,
+    pub(crate) ctx: Context,
+    pub(crate) state: SessionState,
 }
 
 impl Engine {
@@ -196,7 +205,35 @@ impl Engine {
     /// fields and a compiled-kernel cache, amortized across every
     /// [`Session::derive`] until the session is dropped (or [`Session::end`]
     /// releases its buffers explicitly).
-    pub fn session(&mut self) -> Session<'_> {
+    pub fn session(&mut self) -> Session<&mut Engine> {
+        let mut ctx = self.traced_context();
+        ctx.set_pooling(true);
+        Session {
+            engine: self,
+            ctx,
+            state: SessionState::default(),
+        }
+    }
+
+    /// Like [`Engine::session`], but the session takes ownership of the
+    /// engine — no borrow ties it to the caller's stack frame, so it can be
+    /// stored (per tenant, per connection, …) for as long as the host
+    /// wants.
+    ///
+    /// ```
+    /// use dfg_core::{Engine, FieldSet, Session, Strategy};
+    /// use dfg_ocl::DeviceProfile;
+    ///
+    /// let engine = Engine::new(DeviceProfile::intel_x5660());
+    /// let mut session: Session = engine.into_session(); // owns the engine
+    /// let mut fields = FieldSet::new(8);
+    /// fields.insert_scalar("u", vec![4.0; 8]).unwrap();
+    /// let report = session
+    ///     .derive("r = sqrt(u)", &fields, Strategy::Fusion)
+    ///     .unwrap();
+    /// assert_eq!(report.field.unwrap().data, vec![2.0; 8]);
+    /// ```
+    pub fn into_session(self) -> Session {
         let mut ctx = self.traced_context();
         ctx.set_pooling(true);
         Session {
@@ -207,7 +244,7 @@ impl Engine {
     }
 }
 
-impl Session<'_> {
+impl<E: BorrowMut<Engine>> Session<E> {
     /// Derive one field for this cycle. Same contract as
     /// [`Engine::derive`], but uploads, codegen, and buffer allocations are
     /// amortized across cycles; the returned report covers this cycle only.
@@ -240,11 +277,11 @@ impl Session<'_> {
         fields: &FieldSet,
         strategy: Strategy,
     ) -> Result<(Vec<(String, crate::Field)>, ExecReport), EngineError> {
-        let mark = self.engine.trace_mark();
+        let mark = self.engine.borrow().trace_mark();
         // Per-cycle profile: clear events, rewind the virtual clock, and
         // re-seed the high-water mark from the resident bytes.
         self.ctx.reset_profile();
-        let tracer = self.engine.tracer().cloned();
+        let tracer = self.engine.borrow().tracer().cloned();
         let root = span!(
             tracer,
             "derive",
@@ -252,7 +289,7 @@ impl Session<'_> {
             session = true,
             cycle = self.state.stats.cycles,
         );
-        let spec = self.engine.compile_cached(source)?;
+        let spec = self.engine.borrow_mut().compile_cached(source)?;
         let roots: Vec<NodeId> = match outputs {
             None => vec![spec.result],
             Some(names) => {
@@ -276,12 +313,12 @@ impl Session<'_> {
             Schedule::for_roots(&spec, &roots)?
         };
         let t0 = Instant::now();
-        if self.engine.options().recovery.enabled() {
+        if self.engine.borrow().options().recovery.enabled() {
             let outcome = run_with_recovery(
                 RecoveryCtx {
-                    options: self.engine.options(),
+                    options: self.engine.borrow().options(),
                     tracer: tracer.clone(),
-                    device: self.engine.device(),
+                    device: self.engine.borrow().device(),
                 },
                 &spec,
                 &sched,
@@ -314,16 +351,22 @@ impl Session<'_> {
             return Ok(match (outputs, outcome.fields_out) {
                 (Some(names), Some(v)) => {
                     let named = names.iter().map(|n| n.to_string()).zip(v).collect();
-                    (named, report(None, self.engine.snapshot_since(mark)))
+                    (
+                        named,
+                        report(None, self.engine.borrow().snapshot_since(mark)),
+                    )
                 }
                 (None, Some(mut v)) => {
                     let field = v.pop().expect("one root, one field");
                     (
                         Vec::new(),
-                        report(Some(field), self.engine.snapshot_since(mark)),
+                        report(Some(field), self.engine.borrow().snapshot_since(mark)),
                     )
                 }
-                (_, None) => (Vec::new(), report(None, self.engine.snapshot_since(mark))),
+                (_, None) => (
+                    Vec::new(),
+                    report(None, self.engine.borrow().snapshot_since(mark)),
+                ),
             });
         }
         let exec_span = span!(
@@ -341,14 +384,14 @@ impl Session<'_> {
                     &sched,
                     fields,
                     ctx,
-                    self.engine.options().roundtrip_dedup_uploads,
+                    self.engine.borrow().options().roundtrip_dedup_uploads,
                     &roots,
                     Some(state),
                 )?,
                 None,
             ),
             Strategy::Staged => {
-                let out = if self.engine.options().branch_parallel {
+                let out = if self.engine.borrow().options().branch_parallel {
                     crate::strategies::run_staged_levels_session(
                         &spec,
                         &sched,
@@ -398,7 +441,7 @@ impl Session<'_> {
                         profile: self.ctx.report(),
                         wall,
                         generated_source,
-                        trace: self.engine.snapshot_since(mark),
+                        trace: self.engine.borrow().snapshot_since(mark),
                         recovery: None,
                     },
                 ));
@@ -413,7 +456,7 @@ impl Session<'_> {
                 profile: self.ctx.report(),
                 wall,
                 generated_source,
-                trace: self.engine.snapshot_since(mark),
+                trace: self.engine.borrow().snapshot_since(mark),
                 recovery: None,
             },
         ))
@@ -429,9 +472,9 @@ impl Session<'_> {
         fields: &FieldSet,
         device_budget_bytes: Option<u64>,
     ) -> Result<ExecReport, EngineError> {
-        let mark = self.engine.trace_mark();
+        let mark = self.engine.borrow().trace_mark();
         self.ctx.reset_profile();
-        let tracer = self.engine.tracer().cloned();
+        let tracer = self.engine.borrow().tracer().cloned();
         let root = span!(
             tracer,
             "derive",
@@ -439,15 +482,15 @@ impl Session<'_> {
             session = true,
             cycle = self.state.stats.cycles,
         );
-        let spec = self.engine.compile_cached(source)?;
-        let budget = device_budget_bytes.unwrap_or(self.engine.device().global_mem_bytes);
+        let spec = self.engine.borrow_mut().compile_cached(source)?;
+        let budget = device_budget_bytes.unwrap_or(self.engine.borrow().device().global_mem_bytes);
         let label = spec
             .node(spec.result)
             .name
             .clone()
             .unwrap_or_else(|| "expr".to_string());
         let t0 = Instant::now();
-        if self.engine.options().recovery.enabled() {
+        if self.engine.borrow().options().recovery.enabled() {
             let sched = {
                 let _plan = span!(tracer, "plan", nodes = spec.iter().count());
                 Schedule::new(&spec)?
@@ -455,9 +498,9 @@ impl Session<'_> {
             let roots = [spec.result];
             let outcome = run_with_recovery(
                 RecoveryCtx {
-                    options: self.engine.options(),
+                    options: self.engine.borrow().options(),
                     tracer: tracer.clone(),
-                    device: self.engine.device(),
+                    device: self.engine.borrow().device(),
                 },
                 &spec,
                 &sched,
@@ -486,7 +529,7 @@ impl Session<'_> {
                 profile,
                 wall,
                 generated_source: outcome.generated_source,
-                trace: self.engine.snapshot_since(mark),
+                trace: self.engine.borrow().snapshot_since(mark),
                 recovery: outcome.recovery,
             });
         }
@@ -520,7 +563,7 @@ impl Session<'_> {
             profile: self.ctx.report(),
             wall,
             generated_source: Some(src),
-            trace: self.engine.snapshot_since(mark),
+            trace: self.engine.borrow().snapshot_since(mark),
             recovery: None,
         })
     }
@@ -533,6 +576,11 @@ impl Session<'_> {
     /// Allocations served by the context's buffer pool so far.
     pub fn pool_hits(&self) -> u64 {
         self.ctx.pool_hits()
+    }
+
+    /// Bytes currently parked in the context's buffer pool awaiting reuse.
+    pub fn pooled_bytes(&self) -> u64 {
+        self.ctx.pooled_bytes()
     }
 
     /// Bytes held by device-resident input fields between cycles.

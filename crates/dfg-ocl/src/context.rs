@@ -27,6 +27,15 @@ impl AllocMark {
     pub fn in_use_bytes(&self) -> u64 {
         self.in_use
     }
+
+    /// Whether `id` was a live buffer when the mark was taken. After a
+    /// [`Context::rollback`] this is exactly the set of buffers that
+    /// survived, so owners of cross-attempt state (e.g. a session's
+    /// resident-field table) can prune entries whose buffers were created —
+    /// and therefore rolled back — by the failed attempt.
+    pub fn contains(&self, id: BufferId) -> bool {
+        self.live.get(id.0).copied().unwrap_or(false)
+    }
 }
 
 /// Cost estimate a kernel reports for one launch over `n` elements; feeds

@@ -1,0 +1,199 @@
+//! A blocking client for the serve protocol.
+//!
+//! One [`Client`] wraps one TCP connection. The simple path is the
+//! call-and-wait helpers ([`Client::derive`], [`Client::stats`],
+//! [`Client::ping`]); the pipelined path is [`Client::send`] /
+//! [`Client::recv_for`], which lets a load generator keep many requests
+//! in flight on one connection and match replies by id.
+//!
+//! # Examples
+//!
+//! ```
+//! use dfg_serve::{Client, ExecStrategy, ServeConfig, Server};
+//!
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+//!
+//! client.ping().unwrap();
+//! let reply = client
+//!     .derive("bob", "m = u*v", [4, 4, 4], ExecStrategy::Fusion, true)
+//!     .unwrap();
+//! assert_eq!(reply.data_bits.as_ref().unwrap().len(), 64);
+//!
+//! client.shutdown().unwrap();
+//! server.join().unwrap();
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{DeriveReply, DeriveRequest, ExecStrategy, Request, Response};
+
+/// A blocking connection to a serve instance.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    /// Replies read while waiting for a different id (pipelining).
+    pending: HashMap<u64, Response>,
+}
+
+/// Client-side failure: transport error or a protocol-level parse error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply did not parse, or the request was refused.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `"127.0.0.1:49152"`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            stream,
+            reader,
+            next_id: 1,
+            pending: HashMap::new(),
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Send a raw request without waiting; returns the id to pass to
+    /// [`Client::recv_for`]. The id inside `req` is overwritten with a
+    /// fresh one so pipelined replies stay matchable.
+    pub fn send(&mut self, mut req: Request) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        match &mut req {
+            Request::Derive(d) => d.id = id,
+            Request::Stats { id: slot }
+            | Request::Ping { id: slot }
+            | Request::Shutdown { id: slot } => *slot = id,
+        }
+        self.stream.write_all(req.to_json_line().as_bytes())?;
+        self.stream.flush()?;
+        Ok(id)
+    }
+
+    /// Read the next reply off the wire, whatever its id.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        Response::parse(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Read replies until the one for `id` arrives, stashing replies to
+    /// other in-flight requests for their own `recv_for` calls.
+    pub fn recv_for(&mut self, id: u64) -> Result<Response, ClientError> {
+        if let Some(resp) = self.pending.remove(&id) {
+            return Ok(resp);
+        }
+        loop {
+            let resp = self.recv()?;
+            let got = response_id(&resp);
+            if got == id {
+                return Ok(resp);
+            }
+            self.pending.insert(got, resp);
+        }
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn request(&mut self, req: Request) -> Result<Response, ClientError> {
+        let id = self.send(req)?;
+        self.recv_for(id)
+    }
+
+    /// Derive a field and wait; non-`ok` statuses become
+    /// [`ClientError::Protocol`] carrying the status + message.
+    pub fn derive(
+        &mut self,
+        tenant: &str,
+        expr: &str,
+        grid: [usize; 3],
+        strategy: ExecStrategy,
+        data: bool,
+    ) -> Result<DeriveReply, ClientError> {
+        let resp = self.request(Request::Derive(DeriveRequest {
+            id: 0,
+            tenant: tenant.to_string(),
+            expr: expr.to_string(),
+            grid,
+            strategy,
+            data,
+        }))?;
+        match resp {
+            Response::Ok(reply) => Ok(reply),
+            Response::Rejected { kind, message, .. } => Err(ClientError::Protocol(format!(
+                "{}: {message}",
+                kind.as_str()
+            ))),
+            Response::Error { message, .. } => Err(ClientError::Protocol(message)),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetch server counters and per-tenant stats.
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        let resp = self.request(Request::Stats { id: 0 })?;
+        match resp {
+            Response::Stats { .. } => Ok(resp),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(Request::Ping { id: 0 })? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(Request::Shutdown { id: 0 })? {
+            Response::ShuttingDown { .. } | Response::Rejected { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+fn response_id(resp: &Response) -> u64 {
+    match resp {
+        Response::Ok(r) => r.id,
+        Response::Pong { id }
+        | Response::Stats { id, .. }
+        | Response::ShuttingDown { id }
+        | Response::Rejected { id, .. }
+        | Response::Error { id, .. } => *id,
+    }
+}

@@ -1,0 +1,702 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Every message is one JSON object on one line, terminated by `\n` — no
+//! external serialisation crate, no framing beyond the newline. Requests
+//! carry an `op` tag and a client-chosen `id` that the server echoes back,
+//! so a client may pipeline many requests on one connection and match
+//! replies by id (replies to one connection come back in submission
+//! order). The full grammar is specified in `docs/SERVING.md`.
+//!
+//! Derived-field payloads cross the wire as **f32 bit patterns**
+//! (`data_bits`, an array of `u32`), not decimal floats: integers below
+//! 2^53 round-trip exactly through the JSON number grammar, so a client
+//! reassembling `f32::from_bits` sees bit-identical results to a local
+//! engine run.
+//!
+//! # Examples
+//!
+//! ```
+//! use dfg_serve::{Request, DeriveRequest, ExecStrategy};
+//!
+//! let req = Request::Derive(DeriveRequest {
+//!     id: 7,
+//!     tenant: "alice".into(),
+//!     expr: "m = sqrt(u*u + v*v)".into(),
+//!     grid: [8, 8, 8],
+//!     strategy: ExecStrategy::Fusion,
+//!     data: false,
+//! });
+//! let line = req.to_json_line();
+//! assert!(line.ends_with('\n'));
+//! assert_eq!(Request::parse(line.trim()).unwrap(), req);
+//! ```
+
+use dfg_core::TenantStats;
+use dfg_trace::json::{self, Value};
+
+/// Execution strategy requested on the wire. Mirrors
+/// [`dfg_core::Strategy`] plus the streamed (slab-partitioned) execution
+/// path, which the engine exposes as a separate entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecStrategy {
+    /// Whole-network fused kernel (the paper's headline strategy).
+    Fusion,
+    /// One kernel per filter, device-resident intermediates.
+    Staged,
+    /// One kernel per filter, host round-trips between filters.
+    Roundtrip,
+    /// Fused kernel over slab partitions under a device-memory budget.
+    Streamed,
+}
+
+impl ExecStrategy {
+    /// Wire name (`fusion` | `staged` | `roundtrip` | `streamed`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecStrategy::Fusion => "fusion",
+            ExecStrategy::Staged => "staged",
+            ExecStrategy::Roundtrip => "roundtrip",
+            ExecStrategy::Streamed => "streamed",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "fusion" => Ok(ExecStrategy::Fusion),
+            "staged" => Ok(ExecStrategy::Staged),
+            "roundtrip" => Ok(ExecStrategy::Roundtrip),
+            "streamed" => Ok(ExecStrategy::Streamed),
+            other => Err(format!(
+                "unknown strategy `{other}` (fusion|staged|roundtrip|streamed)"
+            )),
+        }
+    }
+
+    /// The core strategy this maps to, or `None` for streamed execution.
+    pub fn core(self) -> Option<dfg_core::Strategy> {
+        match self {
+            ExecStrategy::Fusion => Some(dfg_core::Strategy::Fusion),
+            ExecStrategy::Staged => Some(dfg_core::Strategy::Staged),
+            ExecStrategy::Roundtrip => Some(dfg_core::Strategy::Roundtrip),
+            ExecStrategy::Streamed => None,
+        }
+    }
+}
+
+/// A derive request: compile (or reuse) the kernel for `expr` and execute
+/// it over the synthetic Rayleigh–Taylor workload on a `grid`-sized mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeriveRequest {
+    /// Client-chosen id, echoed in the reply.
+    pub id: u64,
+    /// Tenant this request runs as (selects the server-side session).
+    pub tenant: String,
+    /// Derived-field expression, e.g. `"m = sqrt(u*u + v*v)"`.
+    pub expr: String,
+    /// Mesh dimensions `[nx, ny, nz]`.
+    pub grid: [usize; 3],
+    /// Execution strategy.
+    pub strategy: ExecStrategy,
+    /// Whether to return the full field as `data_bits` (bit-exact f32).
+    pub data: bool,
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute a derived-field expression.
+    Derive(DeriveRequest),
+    /// Fetch server counters and per-tenant stats.
+    Stats {
+        /// Client-chosen id, echoed in the reply.
+        id: u64,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Client-chosen id, echoed in the reply.
+        id: u64,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown {
+        /// Client-chosen id, echoed in the reply.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// Encode as one newline-terminated JSON line.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Request::Derive(d) => format!(
+                "{{\"op\":\"derive\",\"id\":{},\"tenant\":\"{}\",\"expr\":\"{}\",\
+                 \"grid\":[{},{},{}],\"strategy\":\"{}\",\"data\":{}}}\n",
+                d.id,
+                json::escape(&d.tenant),
+                json::escape(&d.expr),
+                d.grid[0],
+                d.grid[1],
+                d.grid[2],
+                d.strategy.as_str(),
+                d.data,
+            ),
+            Request::Stats { id } => format!("{{\"op\":\"stats\",\"id\":{id}}}\n"),
+            Request::Ping { id } => format!("{{\"op\":\"ping\",\"id\":{id}}}\n"),
+            Request::Shutdown { id } => format!("{{\"op\":\"shutdown\",\"id\":{id}}}\n"),
+        }
+    }
+
+    /// Parse one request line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line)?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("missing \"op\"")?;
+        let id = v
+            .get("id")
+            .and_then(Value::as_f64)
+            .ok_or("missing numeric \"id\"")? as u64;
+        match op {
+            "stats" => Ok(Request::Stats { id }),
+            "ping" => Ok(Request::Ping { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "derive" => {
+                let tenant = v
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .ok_or("derive: missing \"tenant\"")?
+                    .to_string();
+                let expr = v
+                    .get("expr")
+                    .and_then(Value::as_str)
+                    .ok_or("derive: missing \"expr\"")?
+                    .to_string();
+                let grid_v = v
+                    .get("grid")
+                    .and_then(Value::as_array)
+                    .ok_or("derive: missing \"grid\" array")?;
+                if grid_v.len() != 3 {
+                    return Err("derive: \"grid\" must be [nx, ny, nz]".into());
+                }
+                let mut grid = [0usize; 3];
+                for (slot, item) in grid.iter_mut().zip(grid_v) {
+                    let n = item.as_f64().ok_or("derive: non-numeric grid dim")?;
+                    if n < 1.0 || n != n.trunc() {
+                        return Err("derive: grid dims must be positive integers".into());
+                    }
+                    *slot = n as usize;
+                }
+                let strategy = match v.get("strategy").and_then(Value::as_str) {
+                    Some(name) => ExecStrategy::parse(name)?,
+                    None => ExecStrategy::Fusion,
+                };
+                let data = matches!(v.get("data"), Some(Value::Bool(true)));
+                Ok(Request::Derive(DeriveRequest {
+                    id,
+                    tenant,
+                    expr,
+                    grid,
+                    strategy,
+                    data,
+                }))
+            }
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}
+
+/// Why a request was rejected without being executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The bounded request queue was full (backpressure).
+    Overloaded,
+    /// The tenant's device-memory quota could not accommodate the request.
+    QuotaExceeded,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl RejectKind {
+    /// Wire status string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectKind::Overloaded => "overloaded",
+            RejectKind::QuotaExceeded => "quota_exceeded",
+            RejectKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A successful derive reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeriveReply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Echo of the tenant id.
+    pub tenant: String,
+    /// Cells in the derived field.
+    pub ncells: u64,
+    /// Sum of the derived field's values (always present; cheap parity
+    /// check when `data_bits` was not requested).
+    pub checksum: f64,
+    /// Modeled device milliseconds for this request's execution.
+    pub device_ms: f64,
+    /// Wall-clock milliseconds spent executing (not queueing).
+    pub wall_ms: f64,
+    /// Kernel compiles this request actually triggered (0 on cache hit or
+    /// when coalesced behind another tenant's identical request).
+    pub compiles: u64,
+    /// Whether this reply was served from another request's execution.
+    pub coalesced: bool,
+    /// Number of requests in the coalesced batch this one belonged to.
+    pub batch: u64,
+    /// Whether the request completed in a degraded mode (recovery ladder).
+    pub degraded: bool,
+    /// Bit patterns of the derived f32 field, if `data: true` was asked.
+    pub data_bits: Option<Vec<u32>>,
+}
+
+/// Aggregate server counters reported by `stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerCounters {
+    /// Requests accepted off the wire (all ops).
+    pub requests: u64,
+    /// Derive requests completed successfully.
+    pub ok: u64,
+    /// Requests rejected by admission control (queue full).
+    pub rejected_overload: u64,
+    /// Requests rejected because the tenant's quota was exceeded.
+    pub rejected_quota: u64,
+    /// Requests that failed with an execution error.
+    pub errors: u64,
+    /// Coalesced batches executed.
+    pub batches: u64,
+    /// Requests served as followers of a coalesced batch.
+    pub coalesced: u64,
+    /// Requests that completed degraded via the recovery ladder.
+    pub degraded: u64,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Derive completed; payload attached.
+    Ok(DeriveReply),
+    /// Reply to `ping`.
+    Pong {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Reply to `stats`.
+    Stats {
+        /// Echo of the request id.
+        id: u64,
+        /// Aggregate server counters.
+        server: ServerCounters,
+        /// Per-tenant counters, sorted by tenant id.
+        tenants: Vec<TenantStats>,
+    },
+    /// Shutdown acknowledged; the server is draining.
+    ShuttingDown {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// Request rejected without execution.
+    Rejected {
+        /// Echo of the request id.
+        id: u64,
+        /// Why it was rejected.
+        kind: RejectKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Request failed while executing.
+    Error {
+        /// Echo of the request id.
+        id: u64,
+        /// Error description.
+        message: String,
+    },
+}
+
+fn tenant_stats_json(t: &TenantStats) -> String {
+    format!(
+        "{{\"tenant\":\"{}\",\"cycles\":{},\"uploads\":{},\"uploads_skipped\":{},\
+         \"codegen_compiles\":{},\"codegen_cached\":{},\"pool_hits\":{},\
+         \"pooled_bytes\":{},\"resident_bytes\":{},\"in_use_bytes\":{},\
+         \"quota_bytes\":{}}}",
+        json::escape(&t.tenant),
+        t.session.cycles,
+        t.session.uploads,
+        t.session.uploads_skipped,
+        t.session.codegen_compiles,
+        t.session.codegen_cached,
+        t.pool_hits,
+        t.pooled_bytes,
+        t.resident_bytes,
+        t.in_use_bytes,
+        t.quota_bytes,
+    )
+}
+
+fn tenant_stats_parse(v: &Value) -> Result<TenantStats, String> {
+    let num = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("stats: missing numeric \"{key}\""))
+    };
+    Ok(TenantStats {
+        tenant: v
+            .get("tenant")
+            .and_then(Value::as_str)
+            .ok_or("stats: missing \"tenant\"")?
+            .to_string(),
+        session: dfg_core::SessionStats {
+            cycles: num("cycles")?,
+            uploads: num("uploads")?,
+            uploads_skipped: num("uploads_skipped")?,
+            codegen_compiles: num("codegen_compiles")?,
+            codegen_cached: num("codegen_cached")?,
+        },
+        pool_hits: num("pool_hits")?,
+        pooled_bytes: num("pooled_bytes")?,
+        resident_bytes: num("resident_bytes")?,
+        in_use_bytes: num("in_use_bytes")?,
+        quota_bytes: num("quota_bytes")?,
+    })
+}
+
+impl Response {
+    /// Encode as one newline-terminated JSON line.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Response::Ok(r) => {
+                let mut line = format!(
+                    "{{\"status\":\"ok\",\"id\":{},\"tenant\":\"{}\",\"ncells\":{},\
+                     \"checksum\":{},\"device_ms\":{},\"wall_ms\":{},\"compiles\":{},\
+                     \"coalesced\":{},\"batch\":{},\"degraded\":{}",
+                    r.id,
+                    json::escape(&r.tenant),
+                    r.ncells,
+                    json::number(r.checksum),
+                    json::number(r.device_ms),
+                    json::number(r.wall_ms),
+                    r.compiles,
+                    r.coalesced,
+                    r.batch,
+                    r.degraded,
+                );
+                if let Some(bits) = &r.data_bits {
+                    line.push_str(",\"data_bits\":[");
+                    for (i, b) in bits.iter().enumerate() {
+                        if i > 0 {
+                            line.push(',');
+                        }
+                        line.push_str(&b.to_string());
+                    }
+                    line.push(']');
+                }
+                line.push_str("}\n");
+                line
+            }
+            Response::Pong { id } => format!("{{\"status\":\"pong\",\"id\":{id}}}\n"),
+            Response::Stats {
+                id,
+                server,
+                tenants,
+            } => {
+                let tenants_json: Vec<String> = tenants.iter().map(tenant_stats_json).collect();
+                format!(
+                    "{{\"status\":\"stats\",\"id\":{},\"server\":{{\"requests\":{},\
+                     \"ok\":{},\"rejected_overload\":{},\"rejected_quota\":{},\
+                     \"errors\":{},\"batches\":{},\"coalesced\":{},\"degraded\":{}}},\
+                     \"tenants\":[{}]}}\n",
+                    id,
+                    server.requests,
+                    server.ok,
+                    server.rejected_overload,
+                    server.rejected_quota,
+                    server.errors,
+                    server.batches,
+                    server.coalesced,
+                    server.degraded,
+                    tenants_json.join(","),
+                )
+            }
+            Response::ShuttingDown { id } => {
+                format!("{{\"status\":\"shutting_down\",\"id\":{id}}}\n")
+            }
+            Response::Rejected { id, kind, message } => format!(
+                "{{\"status\":\"{}\",\"id\":{},\"message\":\"{}\"}}\n",
+                kind.as_str(),
+                id,
+                json::escape(message),
+            ),
+            Response::Error { id, message } => format!(
+                "{{\"status\":\"error\",\"id\":{},\"message\":\"{}\"}}\n",
+                id,
+                json::escape(message),
+            ),
+        }
+    }
+
+    /// Parse one response line (without the trailing newline).
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let v = json::parse(line)?;
+        let status = v
+            .get("status")
+            .and_then(Value::as_str)
+            .ok_or("missing \"status\"")?;
+        let id = v
+            .get("id")
+            .and_then(Value::as_f64)
+            .ok_or("missing numeric \"id\"")? as u64;
+        let message = || {
+            v.get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        match status {
+            "pong" => Ok(Response::Pong { id }),
+            "shutting_down" => {
+                if v.get("message").is_some() {
+                    Ok(Response::Rejected {
+                        id,
+                        kind: RejectKind::ShuttingDown,
+                        message: message(),
+                    })
+                } else {
+                    Ok(Response::ShuttingDown { id })
+                }
+            }
+            "overloaded" => Ok(Response::Rejected {
+                id,
+                kind: RejectKind::Overloaded,
+                message: message(),
+            }),
+            "quota_exceeded" => Ok(Response::Rejected {
+                id,
+                kind: RejectKind::QuotaExceeded,
+                message: message(),
+            }),
+            "error" => Ok(Response::Error {
+                id,
+                message: message(),
+            }),
+            "stats" => {
+                let s = v.get("server").ok_or("stats: missing \"server\"")?;
+                let num = |key: &str| -> Result<u64, String> {
+                    s.get(key)
+                        .and_then(Value::as_f64)
+                        .map(|n| n as u64)
+                        .ok_or_else(|| format!("stats: missing \"{key}\""))
+                };
+                let server = ServerCounters {
+                    requests: num("requests")?,
+                    ok: num("ok")?,
+                    rejected_overload: num("rejected_overload")?,
+                    rejected_quota: num("rejected_quota")?,
+                    errors: num("errors")?,
+                    batches: num("batches")?,
+                    coalesced: num("coalesced")?,
+                    degraded: num("degraded")?,
+                };
+                let tenants = v
+                    .get("tenants")
+                    .and_then(Value::as_array)
+                    .ok_or("stats: missing \"tenants\"")?
+                    .iter()
+                    .map(tenant_stats_parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Stats {
+                    id,
+                    server,
+                    tenants,
+                })
+            }
+            "ok" => {
+                let num = |key: &str| -> Result<f64, String> {
+                    v.get(key)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("ok: missing numeric \"{key}\""))
+                };
+                let data_bits = match v.get("data_bits").and_then(Value::as_array) {
+                    Some(items) => Some(
+                        items
+                            .iter()
+                            .map(|b| {
+                                b.as_f64()
+                                    .map(|n| n as u32)
+                                    .ok_or("ok: non-numeric data_bits entry".to_string())
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                    None => None,
+                };
+                Ok(Response::Ok(DeriveReply {
+                    id,
+                    tenant: v
+                        .get("tenant")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    ncells: num("ncells")? as u64,
+                    checksum: num("checksum")?,
+                    device_ms: num("device_ms")?,
+                    wall_ms: num("wall_ms")?,
+                    compiles: num("compiles")? as u64,
+                    coalesced: matches!(v.get("coalesced"), Some(Value::Bool(true))),
+                    batch: num("batch")? as u64,
+                    degraded: matches!(v.get("degraded"), Some(Value::Bool(true))),
+                    data_bits,
+                }))
+            }
+            other => Err(format!("unknown status `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_request_round_trips() {
+        let req = Request::Derive(DeriveRequest {
+            id: 42,
+            tenant: "te\"nant".into(),
+            expr: "m = u*v".into(),
+            grid: [16, 8, 4],
+            strategy: ExecStrategy::Staged,
+            data: true,
+        });
+        let line = req.to_json_line();
+        assert_eq!(Request::parse(line.trim()).unwrap(), req);
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
+        for req in [
+            Request::Stats { id: 1 },
+            Request::Ping { id: 2 },
+            Request::Shutdown { id: 3 },
+        ] {
+            let line = req.to_json_line();
+            assert_eq!(Request::parse(line.trim()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn derive_defaults_strategy_and_data() {
+        let req =
+            Request::parse(r#"{"op":"derive","id":1,"tenant":"t","expr":"m = u","grid":[4,4,4]}"#)
+                .unwrap();
+        match req {
+            Request::Derive(d) => {
+                assert_eq!(d.strategy, ExecStrategy::Fusion);
+                assert!(!d.data);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Request::parse("{}").is_err());
+        assert!(Request::parse(r#"{"op":"derive","id":1}"#).is_err());
+        assert!(
+            Request::parse(r#"{"op":"derive","id":1,"tenant":"t","expr":"m=u","grid":[4,4]}"#)
+                .is_err()
+        );
+        assert!(Request::parse(r#"{"op":"nope","id":1}"#).is_err());
+    }
+
+    #[test]
+    fn ok_response_round_trips_data_bits_exactly() {
+        let bits: Vec<u32> = [1.5f32, -0.0, f32::MIN_POSITIVE, 3.0e30]
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        let resp = Response::Ok(DeriveReply {
+            id: 9,
+            tenant: "a".into(),
+            ncells: 4,
+            checksum: 2.5,
+            device_ms: 0.125,
+            wall_ms: 1.5,
+            compiles: 1,
+            coalesced: true,
+            batch: 3,
+            degraded: false,
+            data_bits: Some(bits.clone()),
+        });
+        let line = resp.to_json_line();
+        match Response::parse(line.trim()).unwrap() {
+            Response::Ok(r) => assert_eq!(r.data_bits.as_deref(), Some(&bits[..])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_response_round_trips() {
+        let resp = Response::Stats {
+            id: 5,
+            server: ServerCounters {
+                requests: 10,
+                ok: 8,
+                rejected_overload: 1,
+                rejected_quota: 1,
+                errors: 0,
+                batches: 4,
+                coalesced: 3,
+                degraded: 1,
+            },
+            tenants: vec![TenantStats {
+                tenant: "a".into(),
+                session: dfg_core::SessionStats {
+                    cycles: 8,
+                    uploads: 7,
+                    uploads_skipped: 35,
+                    codegen_compiles: 1,
+                    codegen_cached: 7,
+                },
+                pool_hits: 6,
+                pooled_bytes: 1024,
+                resident_bytes: 2048,
+                in_use_bytes: 2048,
+                quota_bytes: 1 << 20,
+            }],
+        };
+        let line = resp.to_json_line();
+        assert_eq!(Response::parse(line.trim()).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejections_round_trip() {
+        for (resp, tag) in [
+            (
+                Response::Rejected {
+                    id: 1,
+                    kind: RejectKind::Overloaded,
+                    message: "queue full".into(),
+                },
+                "overloaded",
+            ),
+            (
+                Response::Rejected {
+                    id: 2,
+                    kind: RejectKind::QuotaExceeded,
+                    message: "quota".into(),
+                },
+                "quota_exceeded",
+            ),
+        ] {
+            let line = resp.to_json_line();
+            assert!(line.contains(tag));
+            assert_eq!(Response::parse(line.trim()).unwrap(), resp);
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! The server: accept loop, bounded admission queue, coalescing executor.
+//!
+//! Threading model (one paragraph, because it is the whole design): an
+//! *accept* thread takes TCP connections and spawns one *reader* and one
+//! *writer* thread per connection; readers parse request lines and push
+//! jobs into a single **bounded** queue (admission control — a full queue
+//! rejects immediately with `overloaded`, it never blocks the socket); one
+//! *executor* thread owns the [`dfg_core::SessionRegistry`] — every
+//! tenant's resident pool, kernel cache, and quota accounting live on that
+//! one thread, the "one resident pool serves all requests" pattern — pops
+//! jobs in FIFO order, groups the jobs that arrived within a batch window
+//! by `(expression structure, grid, strategy)`, executes one *leader* per
+//! group, and fans the leader's payload out to the coalesced followers.
+//!
+//! # Examples
+//!
+//! ```
+//! use dfg_serve::{Client, ExecStrategy, ServeConfig, Server};
+//!
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let addr = server.local_addr().to_string();
+//!
+//! let mut client = Client::connect(&addr).unwrap();
+//! let reply = client
+//!     .derive("alice", "m = sqrt(u*u + v*v + w*w)", [8, 8, 8], ExecStrategy::Fusion, false)
+//!     .unwrap();
+//! assert_eq!(reply.ncells, 512);
+//!
+//! client.shutdown().unwrap();
+//! let counters = server.join().unwrap();
+//! assert_eq!(counters.ok, 1);
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dfg_core::{EngineOptions, FieldSet, RecoveryPolicy, SessionRegistry};
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::DeviceProfile;
+use dfg_trace::{span, Tracer};
+
+use crate::protocol::{
+    DeriveReply, DeriveRequest, ExecStrategy, RejectKind, Request, Response, ServerCounters,
+};
+
+/// Server configuration; `Default` gives a CPU-profile server with
+/// coalescing on, a 64-deep admission queue, a 2 ms batch window, and the
+/// resilient recovery policy (graceful degradation under quota pressure).
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Device profile each tenant's engine simulates.
+    pub profile: DeviceProfile,
+    /// Engine options shared by every tenant (recovery policy included).
+    pub options: EngineOptions,
+    /// Admission-control bound: jobs queued beyond this are rejected with
+    /// `overloaded` instead of waiting.
+    pub queue_capacity: usize,
+    /// How long the executor waits after the first job of a batch for
+    /// coalescable peers to arrive.
+    pub batch_window: Duration,
+    /// Whether identical requests in a window share one execution.
+    pub coalesce: bool,
+    /// Default per-tenant device-memory quota (`None`: device capacity).
+    pub default_quota: Option<u64>,
+    /// Explicit per-tenant quotas, applied before the first request.
+    pub quotas: Vec<(String, u64)>,
+    /// Tracer receiving `serve.*` spans (and the engines' session spans).
+    pub tracer: Option<Tracer>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            profile: DeviceProfile::intel_x5660(),
+            options: EngineOptions {
+                recovery: RecoveryPolicy::resilient(),
+                ..EngineOptions::default()
+            },
+            queue_capacity: 64,
+            batch_window: Duration::from_millis(2),
+            coalesce: true,
+            default_quota: None,
+            quotas: Vec::new(),
+            tracer: None,
+        }
+    }
+}
+
+/// One parsed request plus the channel its reply must go down.
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<String>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    shutdown: AtomicBool,
+    counters: Mutex<ServerCounters>,
+    capacity: usize,
+    tracer: Option<Tracer>,
+}
+
+impl Shared {
+    fn count(&self, f: impl FnOnce(&mut ServerCounters)) {
+        f(&mut self.counters.lock().expect("counters lock"));
+    }
+
+    /// Enqueue under the admission bound; `Err` means the queue was full
+    /// or closed and the caller must reject the request.
+    fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut q = self.queue.lock().expect("queue lock");
+        if q.closed {
+            return Err(job);
+        }
+        if q.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    fn close_queue(&self) {
+        self.queue.lock().expect("queue lock").closed = true;
+        self.cond.notify_all();
+    }
+}
+
+/// A running serve instance; see the [module docs](self) for the
+/// threading model and `docs/SERVING.md` for the operator-facing story.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    executor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 to let the OS pick) and start the accept
+    /// and executor threads. Returns once the socket is listening.
+    pub fn start(addr: &str, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Mutex::new(ServerCounters::default()),
+            capacity: config.queue_capacity.max(1),
+            tracer: config.tracer.clone(),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(listener, shared))
+        };
+        let executor = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || executor_loop(shared, config, local_addr))
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            executor: Some(executor),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the aggregate counters so far.
+    pub fn counters(&self) -> ServerCounters {
+        *self.shared.counters.lock().expect("counters lock")
+    }
+
+    /// Begin shutdown from the host side (equivalent to a client
+    /// `shutdown` request): stop admitting, drain, exit.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Wait for the accept and executor threads to finish and return the
+    /// final counters. Call [`Server::shutdown`] (or send a client
+    /// `shutdown` request) first, or this blocks forever.
+    pub fn join(mut self) -> thread::Result<ServerCounters> {
+        if let Some(h) = self.accept.take() {
+            h.join()?;
+        }
+        if let Some(h) = self.executor.take() {
+            h.join()?;
+        }
+        Ok(*self.shared.counters.lock().expect("counters lock"))
+    }
+}
+
+fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.close_queue();
+    // Poke the accept loop out of `accept()` so it can observe the flag.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(&shared);
+        thread::spawn(move || connection_loop(stream, shared));
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = thread::spawn(move || {
+        let mut out = BufWriter::new(writer_stream);
+        while let Ok(line) = rx.recv() {
+            if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        shared.count(|c| c.requests += 1);
+        let req = match Request::parse(trimmed) {
+            Ok(req) => req,
+            Err(e) => {
+                let _ = tx.send(
+                    Response::Error {
+                        id: 0,
+                        message: format!("bad request: {e}"),
+                    }
+                    .to_json_line(),
+                );
+                continue;
+            }
+        };
+        match req {
+            Request::Ping { id } => {
+                let _ = tx.send(Response::Pong { id }.to_json_line());
+            }
+            req => {
+                let id = match &req {
+                    Request::Derive(d) => d.id,
+                    Request::Stats { id } | Request::Shutdown { id } | Request::Ping { id } => *id,
+                };
+                let job = Job {
+                    req,
+                    reply: tx.clone(),
+                };
+                if let Err(job) = shared.try_push(job) {
+                    let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+                    let kind = if shutting_down {
+                        RejectKind::ShuttingDown
+                    } else {
+                        RejectKind::Overloaded
+                    };
+                    if !shutting_down {
+                        shared.count(|c| c.rejected_overload += 1);
+                        drop(span!(shared.tracer, "serve.reject", reason = "overloaded"));
+                    }
+                    let _ = job.reply.send(
+                        Response::Rejected {
+                            id,
+                            kind,
+                            message: if shutting_down {
+                                "server is draining".into()
+                            } else {
+                                "request queue is full".into()
+                            },
+                        }
+                        .to_json_line(),
+                    );
+                    if shutting_down {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The coalescing key: requests whose expressions lower to structurally
+/// identical networks, over the same grid with the same strategy, can
+/// share one execution (inputs are a deterministic function of the grid).
+type CoalesceKey = (u64, [usize; 3], ExecStrategy);
+
+/// A derive request together with the channel its reply line goes to.
+type PendingDerive = (DeriveRequest, mpsc::Sender<String>);
+
+/// Batched derive groups: a shared key (or `None` when coalescing is off
+/// or the expression failed to hash) and the member requests.
+type DeriveGroups = Vec<(Option<CoalesceKey>, Vec<PendingDerive>)>;
+
+struct ExecutorState {
+    registry: SessionRegistry,
+    /// Host-side synthetic fields per grid: stable across requests, so
+    /// generation-based upload skipping works across the whole server.
+    fields: HashMap<[usize; 3], FieldSet>,
+    /// Memoized `expr source → structural hash` (None: frontend error).
+    hashes: HashMap<String, Option<u64>>,
+}
+
+impl ExecutorState {
+    fn structural_hash(&mut self, expr: &str) -> Option<u64> {
+        *self
+            .hashes
+            .entry(expr.to_string())
+            .or_insert_with(|| dfg_expr::compile(expr).ok().map(|s| s.structural_hash()))
+    }
+}
+
+fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAddr) {
+    let mut registry = SessionRegistry::new(config.profile.clone(), config.options);
+    if let Some(tracer) = &config.tracer {
+        registry.set_tracer(tracer.clone());
+    }
+    registry.set_default_quota(config.default_quota);
+    for (tenant, bytes) in &config.quotas {
+        registry.set_quota(tenant, *bytes);
+    }
+    let mut state = ExecutorState {
+        registry,
+        fields: HashMap::new(),
+        hashes: HashMap::new(),
+    };
+
+    loop {
+        let mut batch = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            while q.jobs.is_empty() && !q.closed {
+                q = shared.cond.wait(q).expect("queue wait");
+            }
+            if q.jobs.is_empty() && q.closed {
+                return;
+            }
+            let mut batch = vec![q.jobs.pop_front().expect("non-empty")];
+            if !config.coalesce || config.batch_window.is_zero() {
+                batch
+            } else {
+                drop(q);
+                thread::sleep(config.batch_window);
+                let mut q = shared.queue.lock().expect("queue lock");
+                while let Some(job) = q.jobs.pop_front() {
+                    batch.push(job);
+                }
+                batch
+            }
+        };
+
+        // Control jobs run in arrival order relative to nothing in
+        // particular — they read state the derive jobs in this batch have
+        // already (or not yet) produced; pull them out first.
+        let mut derives: Vec<(DeriveRequest, mpsc::Sender<String>)> = Vec::new();
+        for job in batch.drain(..) {
+            match job.req {
+                Request::Derive(d) => derives.push((d, job.reply)),
+                Request::Stats { id } => {
+                    let resp = Response::Stats {
+                        id,
+                        server: *shared.counters.lock().expect("counters lock"),
+                        tenants: state.registry.all_stats(),
+                    };
+                    let _ = job.reply.send(resp.to_json_line());
+                }
+                Request::Shutdown { id } => {
+                    let _ = job.reply.send(Response::ShuttingDown { id }.to_json_line());
+                    begin_shutdown(&shared, local_addr);
+                }
+                Request::Ping { id } => {
+                    let _ = job.reply.send(Response::Pong { id }.to_json_line());
+                }
+            }
+        }
+
+        // Group by coalescing key; requests whose expression fails to
+        // lower get their own singleton group (keyed by error) so the
+        // frontend error is reported per request.
+        let mut groups: DeriveGroups = Vec::new();
+        for (d, reply) in derives {
+            let key = if config.coalesce {
+                state
+                    .structural_hash(&d.expr)
+                    .map(|h| (h, d.grid, d.strategy))
+            } else {
+                None
+            };
+            match key {
+                Some(k) => {
+                    if let Some((_, members)) =
+                        groups.iter_mut().find(|(g, _)| g.as_ref() == Some(&k))
+                    {
+                        members.push((d, reply));
+                    } else {
+                        groups.push((Some(k), vec![(d, reply)]));
+                    }
+                }
+                None => groups.push((None, vec![(d, reply)])),
+            }
+        }
+
+        for (_, members) in groups {
+            run_group(&shared, &mut state, members);
+        }
+    }
+}
+
+fn run_group(
+    shared: &Shared,
+    state: &mut ExecutorState,
+    members: Vec<(DeriveRequest, mpsc::Sender<String>)>,
+) {
+    let batch_size = members.len() as u64;
+    let _batch_span = if batch_size > 1 {
+        Some(span!(
+            shared.tracer,
+            "serve.batch",
+            size = batch_size,
+            expr = members[0].0.expr.as_str(),
+        ))
+    } else {
+        None
+    };
+    if batch_size > 1 {
+        shared.count(|c| c.batches += 1);
+    }
+
+    // If any member wants the payload, the leader computes it once and
+    // every follower that asked shares the same bits.
+    let want_data = members.iter().any(|(d, _)| d.data);
+    let mut leader_payload: Option<DeriveReply> = None;
+    for (d, reply) in members {
+        if let Some(p) = &leader_payload {
+            shared.count(|c| {
+                c.ok += 1;
+                c.coalesced += 1;
+            });
+            let resp = Response::Ok(DeriveReply {
+                id: d.id,
+                tenant: d.tenant.clone(),
+                compiles: 0,
+                coalesced: true,
+                batch: batch_size,
+                data_bits: if d.data { p.data_bits.clone() } else { None },
+                ..p.clone()
+            });
+            let _ = reply.send(resp.to_json_line());
+            continue;
+        }
+        // Leader (or retry after a failed leader): execute on this
+        // member's own tenant so errors stay attributed per request.
+        let resp = run_one(shared, state, &d, batch_size, want_data);
+        let resp = match resp {
+            Response::Ok(r) => {
+                leader_payload = Some(r.clone());
+                let mut own = r;
+                if !d.data {
+                    own.data_bits = None;
+                }
+                Response::Ok(own)
+            }
+            other => other,
+        };
+        let _ = reply.send(resp.to_json_line());
+    }
+}
+
+fn run_one(
+    shared: &Shared,
+    state: &mut ExecutorState,
+    d: &DeriveRequest,
+    batch_size: u64,
+    want_data: bool,
+) -> Response {
+    let _span = span!(
+        shared.tracer,
+        "serve.request",
+        tenant = d.tenant.as_str(),
+        expr = d.expr.as_str(),
+        strategy = d.strategy.as_str(),
+    );
+    let compiles_before = state
+        .registry
+        .stats(&d.tenant)
+        .map(|s| s.session.codegen_compiles)
+        .unwrap_or(0);
+    let wall = Instant::now();
+    let fields = state.fields.entry(d.grid).or_insert_with(|| {
+        let mesh = RectilinearMesh::unit_cube(d.grid);
+        FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default())
+    });
+    let result = match d.strategy.core() {
+        Some(s) => state.registry.derive(&d.tenant, &d.expr, fields, s),
+        None => state
+            .registry
+            .derive_streamed(&d.tenant, &d.expr, fields, None),
+    };
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    match result {
+        Ok(report) => {
+            let degraded = report.recovery.as_ref().is_some_and(|r| r.degraded);
+            let field = report.field.as_ref().expect("real-mode serve");
+            let checksum: f64 = field.data.iter().map(|&v| v as f64).sum();
+            let compiles_after = state
+                .registry
+                .stats(&d.tenant)
+                .map(|s| s.session.codegen_compiles)
+                .unwrap_or(0);
+            shared.count(|c| {
+                c.ok += 1;
+                if degraded {
+                    c.degraded += 1;
+                }
+            });
+            Response::Ok(DeriveReply {
+                id: d.id,
+                tenant: d.tenant.clone(),
+                ncells: field.ncells as u64,
+                checksum,
+                device_ms: report.device_seconds() * 1e3,
+                wall_ms,
+                compiles: compiles_after.saturating_sub(compiles_before),
+                coalesced: false,
+                batch: batch_size,
+                degraded,
+                data_bits: if want_data {
+                    Some(field.data.iter().map(|f| f.to_bits()).collect())
+                } else {
+                    None
+                },
+            })
+        }
+        Err(e) if e.is_out_of_memory() => {
+            shared.count(|c| c.rejected_quota += 1);
+            drop(span!(
+                shared.tracer,
+                "serve.reject",
+                reason = "quota_exceeded",
+                tenant = d.tenant.as_str(),
+            ));
+            Response::Rejected {
+                id: d.id,
+                kind: RejectKind::QuotaExceeded,
+                message: format!("tenant `{}` exceeded its device-memory quota", d.tenant),
+            }
+        }
+        Err(e) => {
+            shared.count(|c| c.errors += 1);
+            Response::Error {
+                id: d.id,
+                message: e.to_string(),
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end serve tests: concurrent tenancy, quotas, coalescing,
+//! admission control, clean shutdown.
+
+use std::thread;
+use std::time::Duration;
+
+use dfg_core::{Engine, EngineOptions, FieldSet, RecoveryPolicy, Strategy};
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::DeviceProfile;
+use dfg_serve::{Client, DeriveRequest, ExecStrategy, Request, Response, ServeConfig, Server};
+
+const EXPR: &str = "vmag = sqrt(u*u + v*v + w*w)";
+const GRID: [usize; 3] = [8, 8, 8];
+
+/// Bits of a local, sequential, single-tenant engine run — the reference
+/// the server must match exactly.
+fn local_bits(expr: &str, grid: [usize; 3]) -> Vec<u32> {
+    let mesh = RectilinearMesh::unit_cube(grid);
+    let fields = FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default());
+    let mut engine = Engine::new(DeviceProfile::intel_x5660());
+    let report = engine.derive(expr, &fields, Strategy::Fusion).unwrap();
+    report
+        .field
+        .unwrap()
+        .data
+        .iter()
+        .map(|f| f.to_bits())
+        .collect()
+}
+
+#[test]
+fn concurrent_tenants_match_sequential_single_tenant_bits() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let want = local_bits(EXPR, GRID);
+
+    let n_clients = 4;
+    let m_cycles = 3;
+    let mut handles = Vec::new();
+    for t in 0..n_clients {
+        let addr = addr.clone();
+        let want = want.clone();
+        handles.push(thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let tenant = format!("tenant-{t}");
+            for _ in 0..m_cycles {
+                let reply = client
+                    .derive(&tenant, EXPR, GRID, ExecStrategy::Fusion, true)
+                    .unwrap();
+                assert_eq!(
+                    reply.data_bits.as_deref(),
+                    Some(&want[..]),
+                    "{tenant}: serve bits differ from local sequential run"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let counters = server.counters();
+    assert_eq!(counters.ok, (n_clients * m_cycles) as u64);
+    assert_eq!(counters.errors, 0);
+    server.shutdown();
+    server.join().unwrap();
+}
+
+#[test]
+fn coalescing_reduces_compiles_and_preserves_bits() {
+    let run = |coalesce: bool| {
+        let config = ServeConfig {
+            coalesce,
+            batch_window: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let server = Server::start("127.0.0.1:0", config).unwrap();
+        let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+        // Pipeline one identical request per tenant so they land inside
+        // one batch window.
+        let n_tenants = 4;
+        let mut ids = Vec::new();
+        for t in 0..n_tenants {
+            let id = client
+                .send(Request::Derive(DeriveRequest {
+                    id: 0,
+                    tenant: format!("t{t}"),
+                    expr: EXPR.into(),
+                    grid: GRID,
+                    strategy: ExecStrategy::Fusion,
+                    data: true,
+                }))
+                .unwrap();
+            ids.push(id);
+        }
+        let mut bits = Vec::new();
+        let mut total_compiles = 0u64;
+        let mut coalesced_replies = 0u64;
+        for id in ids {
+            match client.recv_for(id).unwrap() {
+                Response::Ok(r) => {
+                    bits.push(r.data_bits.expect("data requested"));
+                    total_compiles += r.compiles;
+                    if r.coalesced {
+                        coalesced_replies += 1;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        client.shutdown().unwrap();
+        server.join().unwrap();
+        (bits, total_compiles, coalesced_replies)
+    };
+
+    let (bits_on, compiles_on, coalesced_on) = run(true);
+    let (bits_off, compiles_off, coalesced_off) = run(false);
+
+    assert_eq!(
+        bits_on, bits_off,
+        "coalesced output differs from uncoalesced"
+    );
+    let want = local_bits(EXPR, GRID);
+    for b in &bits_on {
+        assert_eq!(b, &want, "serve bits differ from local run");
+    }
+    assert!(
+        compiles_on < compiles_off,
+        "coalescing did not reduce compiles: {compiles_on} vs {compiles_off}"
+    );
+    assert_eq!(compiles_off, 4, "uncoalesced: one compile per tenant");
+    assert!(coalesced_on > 0, "no request was actually coalesced");
+    assert_eq!(coalesced_off, 0);
+}
+
+#[test]
+fn quota_exceeded_is_typed_and_leaks_nothing() {
+    let config = ServeConfig {
+        options: EngineOptions {
+            recovery: RecoveryPolicy::disabled(),
+            ..EngineOptions::default()
+        },
+        quotas: vec![("tiny".to_string(), 64 * 1024)],
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    // 32^3 cells = 128 KiB per lane: cannot fit a 64 KiB quota.
+    let err = client
+        .derive("tiny", EXPR, [32, 32, 32], ExecStrategy::Fusion, false)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("quota_exceeded"),
+        "expected quota_exceeded, got: {err}"
+    );
+
+    match client.stats().unwrap() {
+        Response::Stats {
+            server: counters,
+            tenants,
+            ..
+        } => {
+            assert_eq!(counters.rejected_quota, 1);
+            assert_eq!(counters.ok, 0);
+            let tiny = tenants.iter().find(|t| t.tenant == "tiny").unwrap();
+            assert_eq!(tiny.in_use_bytes, 0, "failed request leaked device bytes");
+            assert_eq!(tiny.quota_bytes, 64 * 1024);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The tenant still works for requests that fit its quota.
+    let reply = client
+        .derive("tiny", EXPR, [4, 4, 4], ExecStrategy::Fusion, true)
+        .unwrap();
+    assert_eq!(
+        reply.data_bits.as_deref(),
+        Some(&local_bits(EXPR, [4, 4, 4])[..])
+    );
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn quota_pressure_degrades_gracefully_with_recovery_on() {
+    let config = ServeConfig {
+        quotas: vec![("tiny".to_string(), 64 * 1024)],
+        ..ServeConfig::default() // resilient recovery by default
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    let reply = client
+        .derive("tiny", EXPR, [32, 32, 32], ExecStrategy::Fusion, false)
+        .unwrap();
+    assert!(reply.degraded, "expected a degraded completion under quota");
+    assert_eq!(server.counters().degraded, 1);
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    let config = ServeConfig {
+        queue_capacity: 1,
+        batch_window: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    let k = 8;
+    let mut ids = Vec::new();
+    for i in 0..k {
+        ids.push(
+            client
+                .send(Request::Derive(DeriveRequest {
+                    id: 0,
+                    tenant: format!("t{i}"),
+                    expr: EXPR.into(),
+                    grid: GRID,
+                    strategy: ExecStrategy::Fusion,
+                    data: false,
+                }))
+                .unwrap(),
+        );
+    }
+    let mut ok = 0;
+    let mut overloaded = 0;
+    for id in ids {
+        match client.recv_for(id).unwrap() {
+            Response::Ok(_) => ok += 1,
+            Response::Rejected { .. } => overloaded += 1,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(ok + overloaded, k);
+    assert!(ok >= 1, "no request was admitted");
+    assert!(overloaded >= 1, "queue bound never tripped");
+    assert_eq!(server.counters().rejected_overload, overloaded as u64);
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_and_joins_cleanly() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .derive("t", EXPR, GRID, ExecStrategy::Fusion, false)
+        .unwrap();
+    client.shutdown().unwrap();
+    let counters = server.join().unwrap();
+    assert_eq!(counters.ok, 1);
+
+    // The socket no longer accepts work.
+    assert!(
+        Client::connect(&addr).is_err() || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}

@@ -28,6 +28,9 @@
 //! * [`trace`] — structured tracing spans with wall- and virtual-clock
 //!   timestamps, Chrome `trace_event` export, and flame summaries (see
 //!   `docs/OBSERVABILITY.md`).
+//! * [`serve`] — the multi-tenant derived-field service: line-delimited
+//!   JSON protocol, per-tenant sessions and quotas, admission control,
+//!   and request coalescing (see `docs/SERVING.md`).
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use dfg_expr as expr;
 pub use dfg_kernels as kernels;
 pub use dfg_mesh as mesh;
 pub use dfg_ocl as ocl;
+pub use dfg_serve as serve;
 pub use dfg_sim as sim;
 pub use dfg_trace as trace;
 pub use dfg_vtk as vtk;
