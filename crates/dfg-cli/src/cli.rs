@@ -41,6 +41,7 @@ usage:
   dfgc plan  --expr <program> --grid NXxNYxNZ
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
              [--device cpu|gpu] [--out-dir <dir>] [--branch-parallel on|off]
+             [--opt off|cse|default|fast]
   dfgc insitu [--cycles <n>] [--grid NXxNYxNZ] [--expr <program>]
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
   dfgc parse --expr <program>
@@ -554,6 +555,11 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         "off" | "false" | "0" => false,
         other => return Err(format!("--branch-parallel takes on|off, got `{other}`")),
     };
+    let opt_level = match args.get("opt") {
+        Some(s) => dfg_dataflow::OptLevel::parse(s)
+            .ok_or_else(|| format!("--opt takes off|cse|default|fast, got `{s}`"))?,
+        None => dfg_dataflow::OptLevel::Off,
+    };
     let out_dir = std::path::PathBuf::from(args.get("out-dir").unwrap_or("."));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
@@ -577,11 +583,13 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         levels: Vec<(u64, u64)>,
     }
     let mut rows = Vec::new();
+    let mut opt_stats = None;
     for strategy in [Strategy::Roundtrip, Strategy::Staged, Strategy::Fusion] {
         let mut engine = Engine::with_options(
             profile.clone(),
             EngineOptions {
                 branch_parallel,
+                optimize: opt_level,
                 ..EngineOptions::default()
             },
         );
@@ -589,6 +597,7 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         let report = engine
             .derive(&expression, &fields, strategy)
             .map_err(|e| pretty_engine_err(&e, &expression))?;
+        opt_stats = engine.opt_stats(&expression);
         let trace = report.trace.as_ref().expect("tracer attached");
         let path = out_dir.join(format!("trace-{}.json", strategy.name()));
         std::fs::write(&path, trace.to_chrome_trace())
@@ -626,6 +635,23 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         println!(
             "{:<10} {w:>6} {r:>6} {k:>6} {:>12.6} {:>10.3} {:>9.1}",
             row.name, row.device_s, row.wall_ms, row.peak_mb
+        );
+    }
+    if let Some(opt) = opt_stats {
+        println!();
+        println!(
+            "optimizer ({}): {} -> {} filters ({} eliminated: {} merged, {} folded, \
+             {} rewritten) in {} pass{}, {} intermediate bytes/cell saved",
+            opt.level.name(),
+            opt.filters_before,
+            opt.filters_after,
+            opt.filters_eliminated(),
+            opt.merged,
+            opt.folded,
+            opt.rewritten,
+            opt.passes,
+            if opt.passes == 1 { "" } else { "es" },
+            opt.bytes_saved_per_cell,
         );
     }
     for row in &rows {

@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use dfg_dataflow::{NetworkSpec, Schedule, Strategy, Width};
+use dfg_dataflow::{NetworkSpec, NodeId, OptLevel, OptStats, Schedule, Strategy, Width};
 use dfg_expr::compile;
 use dfg_ocl::{Context, DeviceProfile, ExecMode, ProfileReport};
 use dfg_trace::{span, Trace, Tracer};
@@ -24,12 +24,21 @@ pub struct EngineOptions {
     /// produces Table II's Dev-W counts of 11/32/123); this knob measures
     /// what that design decision costs.
     pub roundtrip_dedup_uploads: bool,
-    /// Ablation knob (DESIGN.md D2): apply full common-subexpression
-    /// elimination (value numbering with commutative canonicalization)
-    /// after lowering, instead of the paper's *limited* CSE. Identical
-    /// results, fewer kernels — e.g. the Q-criterion's `s_3 = s_1`
-    /// duplicates disappear.
+    /// Deprecated alias for `optimize: OptLevel::Cse` (DESIGN.md D2): apply
+    /// full common-subexpression elimination after lowering, instead of the
+    /// paper's *limited* CSE. Kept so existing ablation call sites keep
+    /// working; it only takes effect when `optimize` is `OptLevel::Off`
+    /// (see [`EngineOptions::effective_opt_level`]). New code should set
+    /// `optimize` instead.
     pub full_cse: bool,
+    /// Optimizer pipeline level applied after lowering (see
+    /// `dfg_dataflow::optimize`): `Off` reproduces the paper's limited-CSE
+    /// networks exactly (the default — Table II's counts depend on it),
+    /// `Cse` adds hash-consed global CSE, `Default` adds constant folding
+    /// and bit-exact identity rewrites, and `Fast` adds value-changing
+    /// rewrites like `sqrt(x)^2 → x`. Every level through `Default`
+    /// produces bit-identical outputs; `Fast` may differ by ~1 ulp.
+    pub optimize: OptLevel,
     /// Branch-parallel staged execution: walk the schedule's dependency
     /// levels and dispatch each level's mutually independent kernels
     /// concurrently on the `dfg-exec` pool (one batch launch per level)
@@ -52,8 +61,22 @@ impl Default for EngineOptions {
             mode: ExecMode::Real,
             roundtrip_dedup_uploads: false,
             full_cse: false,
+            optimize: OptLevel::Off,
             branch_parallel: false,
             recovery: RecoveryPolicy::disabled(),
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The optimizer level actually applied: `optimize`, except that the
+    /// deprecated `full_cse` ablation flag maps to [`OptLevel::Cse`] when
+    /// `optimize` is still `Off`.
+    pub fn effective_opt_level(&self) -> OptLevel {
+        if self.optimize == OptLevel::Off && self.full_cse {
+            OptLevel::Cse
+        } else {
+            self.optimize
         }
     }
 }
@@ -100,6 +123,23 @@ impl ExecReport {
     }
 }
 
+/// A lowered, optimized program: what the compile cache holds.
+///
+/// The optimizer may merge named duplicate bindings (e.g. the
+/// Q-criterion's `s_3 = s_1`), so output names are resolved *before*
+/// optimization and carried here as a name → node map onto the optimized
+/// network — `derive_many` lookups survive CSE.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProgram {
+    /// The (possibly optimized) network; `spec.result` is the program's
+    /// final binding.
+    pub spec: NetworkSpec,
+    /// Last binding of each program name, remapped into `spec`.
+    pub outputs: std::collections::HashMap<String, NodeId>,
+    /// What the optimizer did (level, nodes/filters before and after).
+    pub opt: OptStats,
+}
+
 /// The derived-field generation engine a host application embeds.
 ///
 /// Each execution runs on a fresh simulated device context, so failed runs
@@ -109,9 +149,9 @@ pub struct Engine {
     options: EngineOptions,
     /// Compiled-network cache keyed by source text: an in-situ host calls
     /// `derive` with the same expression every time step, and parsing +
-    /// lowering need only happen once (the paper's VisIt host likewise
-    /// constructs the pipeline once and re-executes it).
-    spec_cache: std::collections::HashMap<String, NetworkSpec>,
+    /// lowering + optimization need only happen once (the paper's VisIt
+    /// host likewise constructs the pipeline once and re-executes it).
+    spec_cache: std::collections::HashMap<String, CompiledProgram>,
     compiles: usize,
     /// When set, every run records a span tree (and the per-run device
     /// context emits child spans for its events).
@@ -217,19 +257,54 @@ impl Engine {
         self.compiles
     }
 
-    pub(crate) fn compile_cached(&mut self, source: &str) -> Result<NetworkSpec, EngineError> {
-        if let Some(spec) = self.spec_cache.get(source) {
+    pub(crate) fn compile_cached(&mut self, source: &str) -> Result<CompiledProgram, EngineError> {
+        if let Some(prog) = self.spec_cache.get(source) {
             let _parse = span!(self.tracer, "parse", cached = true);
-            return Ok(spec.clone());
+            return Ok(prog.clone());
         }
         let _parse = span!(self.tracer, "parse", cached = false);
-        let mut spec = compile(source)?;
-        if self.options.full_cse {
-            spec = dfg_dataflow::full_cse(&spec).0;
-        }
+        let raw = compile(source)?;
+        let prog = self.optimize_program(&raw)?;
         self.compiles += 1;
-        self.spec_cache.insert(source.to_string(), spec.clone());
-        Ok(spec)
+        self.spec_cache.insert(source.to_string(), prog.clone());
+        Ok(prog)
+    }
+
+    /// Run the optimizer pipeline over a freshly lowered network at the
+    /// engine's effective level, pinning the program result *and* every
+    /// named binding as roots so multi-output requests stay servable.
+    fn optimize_program(&self, raw: &NetworkSpec) -> Result<CompiledProgram, EngineError> {
+        let level = self.options.effective_opt_level();
+        // Last binding per name, in first-appearance order (shadowing
+        // rebinds: the last node carrying a name is the live binding).
+        let mut names: Vec<(String, NodeId)> = Vec::new();
+        for (id, node) in raw.iter() {
+            if let Some(name) = &node.name {
+                match names.iter_mut().find(|(n, _)| n == name) {
+                    Some(entry) => entry.1 = id,
+                    None => names.push((name.clone(), id)),
+                }
+            }
+        }
+        let mut roots = Vec::with_capacity(1 + names.len());
+        roots.push(raw.result);
+        roots.extend(names.iter().map(|&(_, id)| id));
+        let out = dfg_dataflow::optimize_traced(raw, &roots, level, self.tracer.as_ref())?;
+        let outputs = names
+            .iter()
+            .zip(&out.roots[1..])
+            .map(|((name, _), &id)| (name.clone(), id))
+            .collect();
+        Ok(CompiledProgram {
+            spec: out.spec,
+            outputs,
+            opt: out.stats,
+        })
+    }
+
+    /// Optimizer statistics for a previously compiled source, if cached.
+    pub fn opt_stats(&self, source: &str) -> Option<OptStats> {
+        self.spec_cache.get(source).map(|p| p.opt)
     }
 
     /// The device profile.
@@ -252,8 +327,8 @@ impl Engine {
     ) -> Result<ExecReport, EngineError> {
         let mark = self.trace_mark();
         let root = span!(self.tracer, "derive", strategy = strategy.name());
-        let spec = self.compile_cached(source)?;
-        let mut report = self.derive_spec(&spec, fields, strategy)?;
+        let prog = self.compile_cached(source)?;
+        let mut report = self.derive_spec(&prog.spec, fields, strategy)?;
         // Close the root span so the snapshot carries its full duration.
         drop(root);
         report.trace = self.snapshot_since(mark);
@@ -261,6 +336,10 @@ impl Engine {
     }
 
     /// Execute an already-lowered network specification.
+    ///
+    /// This low-level entry point runs the spec exactly as given — the
+    /// engine's optimizer level is *not* applied (use [`Engine::derive`]
+    /// for that, or optimize explicitly with `dfg_dataflow::optimize`).
     pub fn derive_spec(
         &mut self,
         spec: &NetworkSpec,
@@ -385,19 +464,20 @@ impl Engine {
             strategy = strategy.name(),
             outputs = outputs.len(),
         );
-        let spec = self.compile_cached(source)?;
+        let prog = self.compile_cached(source)?;
+        let spec = prog.spec;
         let mut roots = Vec::with_capacity(outputs.len());
         for &name in outputs {
-            // Shadowing rebinds names; the *last* node carrying the name is
-            // the binding the program ends with.
-            let root = spec
-                .iter()
-                .filter(|(_, node)| node.name.as_deref() == Some(name))
-                .map(|(id, _)| id)
-                .last()
-                .ok_or_else(|| EngineError::NoSuchOutput {
-                    name: name.to_string(),
-                })?;
+            // Shadowing rebinds names; the compile step resolved the *last*
+            // node carrying each name and remapped it through the optimizer
+            // (merged duplicates point at their shared survivor).
+            let root =
+                prog.outputs
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| EngineError::NoSuchOutput {
+                        name: name.to_string(),
+                    })?;
             roots.push(root);
         }
         let sched = {
@@ -517,7 +597,7 @@ impl Engine {
     ) -> Result<ExecReport, EngineError> {
         let mark = self.trace_mark();
         let root = span!(self.tracer, "derive", strategy = "streamed");
-        let spec = self.compile_cached(source)?;
+        let spec = self.compile_cached(source)?.spec;
         let budget = device_budget_bytes.unwrap_or(self.profile.global_mem_bytes);
         let mut ctx = self.traced_context();
         if self.options.recovery.enabled() {

@@ -30,11 +30,11 @@ pub mod workloads;
 #[cfg(test)]
 mod tests;
 
-pub use dfg_dataflow::Strategy;
+pub use dfg_dataflow::{OptLevel, OptStats, Strategy};
 pub use engine::{Engine, EngineOptions, ExecReport};
 pub use error::EngineError;
 pub use fields::{Field, FieldSet, FieldValue};
-pub use planner::{plan, plan_traced, Plan, PlanOption};
+pub use planner::{plan, plan_opt, plan_traced, Plan, PlanOption};
 pub use recovery::{AttemptOutcome, AttemptRecord, ExecLevel, RecoveryPolicy, RecoveryReport};
 pub use registry::{SessionRegistry, TenantStats};
 pub use session::{Session, SessionStats};

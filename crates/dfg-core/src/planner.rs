@@ -9,7 +9,7 @@
 //! byte-for-byte) and modeled runtime (via a dry model-mode run), and ranks
 //! them.
 
-use dfg_dataflow::{memreq_units, NetworkSpec, Strategy};
+use dfg_dataflow::{memreq_units, NetworkSpec, OptLevel, Strategy};
 use dfg_ocl::{DeviceProfile, ExecMode};
 use dfg_trace::{span, Tracer};
 
@@ -75,6 +75,21 @@ pub fn plan(
     devices: &[DeviceProfile],
 ) -> Result<Plan, EngineError> {
     plan_traced(spec, ncells, devices, None)
+}
+
+/// [`plan`] over the *optimized* network: runs the optimizer pipeline at
+/// `level` first, so memory estimates and dry runs see what an engine with
+/// `EngineOptions { optimize: level, .. }` would actually execute. At
+/// [`OptLevel::Off`] this is identical to [`plan`].
+pub fn plan_opt(
+    spec: &NetworkSpec,
+    ncells: u64,
+    devices: &[DeviceProfile],
+    level: OptLevel,
+    tracer: Option<&Tracer>,
+) -> Result<Plan, EngineError> {
+    let opt = dfg_dataflow::optimize_traced(spec, &[spec.result], level, tracer)?;
+    plan_traced(&opt.spec, ncells, devices, tracer)
 }
 
 /// [`plan`], recording the ranking as spans: one `plan.rank` span with one

@@ -213,6 +213,35 @@ impl SessionRegistry {
         self.guarded(tenant, |s| s.derive_many(source, outputs, fields, strategy))
     }
 
+    /// Execute an already-lowered, explicitly rooted network for `tenant`;
+    /// see [`Session::derive_network`]. `dfg-serve` uses this to run one
+    /// merged multi-tenant network (see `dfg_dataflow::merge_networks`) and
+    /// fan its outputs back out per request.
+    pub fn derive_network(
+        &mut self,
+        tenant: &str,
+        spec: &dfg_dataflow::NetworkSpec,
+        roots: &[dfg_dataflow::NodeId],
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<(Vec<crate::Field>, ExecReport), EngineError> {
+        self.guarded(tenant, |s| s.derive_network(spec, roots, fields, strategy))
+    }
+
+    /// Record that `tenant`'s latest request was served by a merged
+    /// cross-request network (bumps [`SessionStats::merged`], creating the
+    /// tenant's session if needed).
+    pub fn note_merged(&mut self, tenant: &str) {
+        self.entry(tenant).session.state.stats.merged += 1;
+    }
+
+    /// Record kernel launches the optimizer saved for `tenant`'s latest
+    /// request (bumps [`SessionStats::opt_saved_kernels`]). Used by serving
+    /// layers that optimize/merge networks outside the tenant's engine.
+    pub fn note_opt_saved(&mut self, tenant: &str, kernels: u64) {
+        self.entry(tenant).session.state.stats.opt_saved_kernels += kernels;
+    }
+
     /// Streamed (slab-partitioned) derivation for `tenant`; see
     /// [`Session::derive_streamed`].
     pub fn derive_streamed(

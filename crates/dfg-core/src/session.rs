@@ -74,6 +74,13 @@ pub struct SessionStats {
     pub codegen_compiles: u64,
     /// Kernel-cache hits.
     pub codegen_cached: u64,
+    /// Requests served by a merged cross-request network (`dfg-serve`
+    /// batch fusion) instead of a standalone execution.
+    pub merged: u64,
+    /// Kernel launches the optimizer pipeline eliminated, summed over
+    /// cycles: each cycle saves `OptStats::filters_eliminated` launches
+    /// relative to running the unoptimized network.
+    pub opt_saved_kernels: u64,
 }
 
 /// Cross-cycle state threaded through the strategy executors.
@@ -148,6 +155,15 @@ impl SessionState {
         );
         Ok(buf)
     }
+}
+
+/// What one in-session execution produced, before per-entry-point
+/// packaging into an [`ExecReport`].
+struct RunOut {
+    fields_out: Option<Vec<crate::Field>>,
+    generated_source: Option<String>,
+    profile: dfg_ocl::ProfileReport,
+    recovery: Option<crate::recovery::RecoveryReport>,
 }
 
 /// Cache key for a fused program: the network's structure plus the roots
@@ -289,20 +305,20 @@ impl<E: BorrowMut<Engine>> Session<E> {
             session = true,
             cycle = self.state.stats.cycles,
         );
-        let spec = self.engine.borrow_mut().compile_cached(source)?;
+        let prog = self.engine.borrow_mut().compile_cached(source)?;
+        let spec = prog.spec;
         let roots: Vec<NodeId> = match outputs {
             None => vec![spec.result],
             Some(names) => {
                 let mut roots = Vec::with_capacity(names.len());
                 for &name in names {
-                    let root = spec
-                        .iter()
-                        .filter(|(_, node)| node.name.as_deref() == Some(name))
-                        .map(|(id, _)| id)
-                        .last()
-                        .ok_or_else(|| EngineError::NoSuchOutput {
+                    // The compile step resolved each name's last binding and
+                    // remapped it through the optimizer.
+                    let root = prog.outputs.get(name).copied().ok_or_else(|| {
+                        EngineError::NoSuchOutput {
                             name: name.to_string(),
-                        })?;
+                        }
+                    })?;
                     roots.push(root);
                 }
                 roots
@@ -312,7 +328,113 @@ impl<E: BorrowMut<Engine>> Session<E> {
             let _plan = span!(tracer, "plan", nodes = spec.iter().count());
             Schedule::for_roots(&spec, &roots)?
         };
+        let fusion_label = match outputs {
+            Some(_) => "multi".to_string(),
+            None => spec
+                .node(spec.result)
+                .name
+                .clone()
+                .unwrap_or_else(|| "expr".to_string()),
+        };
         let t0 = Instant::now();
+        let out = self.exec_roots(&spec, &sched, &roots, fields, strategy, &fusion_label)?;
+        let wall = t0.elapsed();
+        self.state.stats.cycles += 1;
+        self.state.stats.opt_saved_kernels += prog.opt.filters_eliminated() as u64;
+        debug_assert_eq!(
+            self.ctx.in_use_bytes(),
+            self.state.resident_bytes(),
+            "session executor leaked buffers beyond the resident fields"
+        );
+        drop(root);
+        let trace = self.engine.borrow().snapshot_since(mark);
+        let report = |field, trace| ExecReport {
+            field,
+            profile: out.profile,
+            wall,
+            generated_source: out.generated_source,
+            trace,
+            recovery: out.recovery,
+        };
+        Ok(match (outputs, out.fields_out) {
+            (Some(names), Some(v)) => {
+                let named = names.iter().map(|n| n.to_string()).zip(v).collect();
+                (named, report(None, trace))
+            }
+            (None, Some(mut v)) => {
+                // Single-root run: the one field is returned via the report.
+                let field = v.pop().expect("one root, one field");
+                (Vec::new(), report(Some(field), trace))
+            }
+            (_, None) => (Vec::new(), report(None, trace)),
+        })
+    }
+
+    /// Execute an already-lowered network over explicit `roots` in this
+    /// session — the substrate of `dfg-serve`'s cross-request fusion,
+    /// where several tenants' expressions are merged (see
+    /// `dfg_dataflow::merge_networks`) and computed as one multi-output
+    /// network. The engine's optimizer is *not* applied here; pass a
+    /// pre-optimized spec. Returns one field per root, in root order
+    /// (empty in model mode), plus the cycle report.
+    pub fn derive_network(
+        &mut self,
+        spec: &NetworkSpec,
+        roots: &[NodeId],
+        fields: &FieldSet,
+        strategy: Strategy,
+    ) -> Result<(Vec<crate::Field>, ExecReport), EngineError> {
+        let mark = self.engine.borrow().trace_mark();
+        self.ctx.reset_profile();
+        let tracer = self.engine.borrow().tracer().cloned();
+        let root = span!(
+            tracer,
+            "derive",
+            strategy = strategy.name(),
+            session = true,
+            cycle = self.state.stats.cycles,
+            roots = roots.len(),
+        );
+        let sched = {
+            let _plan = span!(tracer, "plan", nodes = spec.iter().count());
+            Schedule::for_roots(spec, roots)?
+        };
+        let t0 = Instant::now();
+        let out = self.exec_roots(spec, &sched, roots, fields, strategy, "multi")?;
+        let wall = t0.elapsed();
+        self.state.stats.cycles += 1;
+        debug_assert_eq!(
+            self.ctx.in_use_bytes(),
+            self.state.resident_bytes(),
+            "network executor leaked buffers beyond the resident fields"
+        );
+        drop(root);
+        Ok((
+            out.fields_out.unwrap_or_default(),
+            ExecReport {
+                field: None,
+                profile: out.profile,
+                wall,
+                generated_source: out.generated_source,
+                trace: self.engine.borrow().snapshot_since(mark),
+                recovery: out.recovery,
+            },
+        ))
+    }
+
+    /// The shared execution core of [`Session::run`] and
+    /// [`Session::derive_network`]: recovery-or-plain dispatch over the
+    /// session's context and cross-cycle state.
+    fn exec_roots(
+        &mut self,
+        spec: &NetworkSpec,
+        sched: &Schedule,
+        roots: &[NodeId],
+        fields: &FieldSet,
+        strategy: Strategy,
+        fusion_label: &str,
+    ) -> Result<RunOut, EngineError> {
+        let tracer = self.engine.borrow().tracer().cloned();
         if self.engine.borrow().options().recovery.enabled() {
             let outcome = run_with_recovery(
                 RecoveryCtx {
@@ -320,53 +442,23 @@ impl<E: BorrowMut<Engine>> Session<E> {
                     tracer: tracer.clone(),
                     device: self.engine.borrow().device(),
                 },
-                &spec,
-                &sched,
+                spec,
+                sched,
                 fields,
-                &roots,
+                roots,
                 Request::Strategy(strategy),
                 &mut self.ctx,
                 Some(&mut self.state),
             )?;
-            let wall = t0.elapsed();
-            self.state.stats.cycles += 1;
-            debug_assert_eq!(
-                self.ctx.in_use_bytes(),
-                self.state.resident_bytes(),
-                "recovered session executor leaked buffers beyond the resident fields"
-            );
             let profile = match &outcome.alt_profile {
                 Some((report, _)) => report.clone(),
                 None => self.ctx.report(),
             };
-            drop(root);
-            let report = |field, trace| ExecReport {
-                field,
-                profile,
-                wall,
+            return Ok(RunOut {
+                fields_out: outcome.fields_out,
                 generated_source: outcome.generated_source,
-                trace,
+                profile,
                 recovery: outcome.recovery,
-            };
-            return Ok(match (outputs, outcome.fields_out) {
-                (Some(names), Some(v)) => {
-                    let named = names.iter().map(|n| n.to_string()).zip(v).collect();
-                    (
-                        named,
-                        report(None, self.engine.borrow().snapshot_since(mark)),
-                    )
-                }
-                (None, Some(mut v)) => {
-                    let field = v.pop().expect("one root, one field");
-                    (
-                        Vec::new(),
-                        report(Some(field), self.engine.borrow().snapshot_since(mark)),
-                    )
-                }
-                (_, None) => (
-                    Vec::new(),
-                    report(None, self.engine.borrow().snapshot_since(mark)),
-                ),
             });
         }
         let exec_span = span!(
@@ -380,12 +472,12 @@ impl<E: BorrowMut<Engine>> Session<E> {
         let (fields_out, generated_source) = match strategy {
             Strategy::Roundtrip => (
                 run_roundtrip_multi_session(
-                    &spec,
-                    &sched,
+                    spec,
+                    sched,
                     fields,
                     ctx,
                     self.engine.borrow().options().roundtrip_dedup_uploads,
-                    &roots,
+                    roots,
                     Some(state),
                 )?,
                 None,
@@ -393,73 +485,32 @@ impl<E: BorrowMut<Engine>> Session<E> {
             Strategy::Staged => {
                 let out = if self.engine.borrow().options().branch_parallel {
                     crate::strategies::run_staged_levels_session(
-                        &spec,
-                        &sched,
+                        spec,
+                        sched,
                         fields,
                         ctx,
-                        &roots,
+                        roots,
                         Some(state),
                     )?
                 } else {
-                    run_staged_multi_session(&spec, &sched, fields, ctx, &roots, Some(state))?
+                    run_staged_multi_session(spec, sched, fields, ctx, roots, Some(state))?
                 };
                 (out, None)
             }
             Strategy::Fusion => {
-                let label = match outputs {
-                    Some(_) => "multi".to_string(),
-                    None => spec
-                        .node(spec.result)
-                        .name
-                        .clone()
-                        .unwrap_or_else(|| "expr".to_string()),
-                };
                 let (f, src) =
-                    run_fusion_multi_session(&spec, &roots, fields, ctx, &label, Some(state))?;
+                    run_fusion_multi_session(spec, roots, fields, ctx, fusion_label, Some(state))?;
                 (f, Some(src))
             }
         };
         exec_span.virt_end(self.ctx.clock_seconds());
         drop(exec_span);
-        let wall = t0.elapsed();
-        self.state.stats.cycles += 1;
-        debug_assert_eq!(
-            self.ctx.in_use_bytes(),
-            self.state.resident_bytes(),
-            "session executor leaked buffers beyond the resident fields"
-        );
-        let named: Vec<(String, crate::Field)> = match (outputs, fields_out) {
-            (Some(names), Some(v)) => names.iter().map(|n| n.to_string()).zip(v).collect(),
-            (None, Some(mut v)) => {
-                // Single-root run: the one field is returned via the report.
-                let field = v.pop().expect("one root, one field");
-                drop(root);
-                return Ok((
-                    Vec::new(),
-                    ExecReport {
-                        field: Some(field),
-                        profile: self.ctx.report(),
-                        wall,
-                        generated_source,
-                        trace: self.engine.borrow().snapshot_since(mark),
-                        recovery: None,
-                    },
-                ));
-            }
-            _ => Vec::new(),
-        };
-        drop(root);
-        Ok((
-            named,
-            ExecReport {
-                field: None,
-                profile: self.ctx.report(),
-                wall,
-                generated_source,
-                trace: self.engine.borrow().snapshot_since(mark),
-                recovery: None,
-            },
-        ))
+        Ok(RunOut {
+            fields_out,
+            generated_source,
+            profile: self.ctx.report(),
+            recovery: None,
+        })
     }
 
     /// Streamed fusion under the session (see [`Engine::derive_streamed`]):
@@ -482,7 +533,9 @@ impl<E: BorrowMut<Engine>> Session<E> {
             session = true,
             cycle = self.state.stats.cycles,
         );
-        let spec = self.engine.borrow_mut().compile_cached(source)?;
+        let prog = self.engine.borrow_mut().compile_cached(source)?;
+        let spec = prog.spec;
+        self.state.stats.opt_saved_kernels += prog.opt.filters_eliminated() as u64;
         let budget = device_budget_bytes.unwrap_or(self.engine.borrow().device().global_mem_bytes);
         let label = spec
             .node(spec.result)

@@ -1,0 +1,339 @@
+use super::*;
+use crate::{NetworkBuilder, Strategy};
+
+#[test]
+fn merges_commutative_duplicates() {
+    // a+b and b+a collapse; a-b and b-a do not.
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let y = b.input("y");
+    let s1 = b.binary(FilterOp::Add, x, y);
+    let s2 = b.binary(FilterOp::Add, y, x);
+    let d1 = b.binary(FilterOp::Sub, x, y);
+    let d2 = b.binary(FilterOp::Sub, y, x);
+    let m1 = b.binary(FilterOp::Mul, s1, d1);
+    let m2 = b.binary(FilterOp::Mul, s2, d2);
+    let out = b.binary(FilterOp::Add, m1, m2);
+    let spec = b.finish(out);
+    let (opt, stats) = full_cse(&spec);
+    assert!(opt.validate().is_ok());
+    // adds merged (s1==s2); subs kept; m1 != m2 (different sub inputs).
+    assert_eq!(stats.merged, 1);
+    assert_eq!(opt.len(), spec.len() - 1);
+}
+
+#[test]
+fn chains_of_duplicates_collapse_transitively() {
+    // (x*x) + (x*x) built twice: both mults merge, then both adds merge.
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let m1 = b.binary(FilterOp::Mul, x, x);
+    let m2 = b.binary(FilterOp::Mul, x, x);
+    let a1 = b.binary(FilterOp::Add, m1, m2);
+    let m3 = b.binary(FilterOp::Mul, x, x);
+    let m4 = b.binary(FilterOp::Mul, x, x);
+    let a2 = b.binary(FilterOp::Add, m3, m4);
+    let out = b.binary(FilterOp::Max2, a1, a2);
+    let spec = b.finish(out);
+    let (opt, stats) = full_cse(&spec);
+    // x, one mult, one add, one max = 4 nodes.
+    assert_eq!(opt.len(), 4);
+    assert_eq!(stats.merged, 4);
+    // max(a, a) stays a max with two identical ports — value numbering
+    // does not fold idempotent ops (that is the rewrite pass's job, at
+    // OptLevel::Default and above).
+    assert!(matches!(opt.node(opt.result).op, FilterOp::Max2));
+    let full = optimize(&spec, &[spec.result], OptLevel::Default).unwrap();
+    assert!(
+        matches!(full.spec.node(full.roots[0]).op, FilterOp::Add),
+        "max(a,a) folds to a at Default"
+    );
+}
+
+#[test]
+fn names_survive_merging() {
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let a1 = b.binary(FilterOp::Add, x, x);
+    b.name(a1, "first");
+    let a2 = b.binary(FilterOp::Add, x, x);
+    b.name(a2, "second");
+    let out = b.binary(FilterOp::Mul, a1, a2);
+    let spec = b.finish(out);
+    let (opt, _) = full_cse(&spec);
+    // The survivor keeps its first name.
+    let add = opt
+        .iter()
+        .find(|(_, n)| matches!(n.op, FilterOp::Add))
+        .expect("one add");
+    assert_eq!(add.1.name.as_deref(), Some("first"));
+    // The multi-root API still resolves both original bindings: the root
+    // remap points each requested root at the shared survivor.
+    let out = optimize(&spec, &[a1, a2], OptLevel::Cse).unwrap();
+    assert_eq!(out.roots[0], out.roots[1], "both names map to the survivor");
+}
+
+#[test]
+fn memory_requirements_never_increase() {
+    let spec = crate::example_networks::velmag_example();
+    for level in [OptLevel::Cse, OptLevel::Default, OptLevel::Fast] {
+        let opt = optimize(&spec, &[spec.result], level).unwrap();
+        for strategy in Strategy::ALL {
+            let before = crate::memreq_units(&spec, strategy).unwrap().units;
+            let after = crate::memreq_units(&opt.spec, strategy).unwrap().units;
+            assert!(after <= before, "{level}/{strategy}: {before} -> {after}");
+        }
+    }
+}
+
+#[test]
+fn off_level_is_identity() {
+    let spec = crate::example_networks::velmag_example();
+    let out = optimize(&spec, &[spec.result], OptLevel::Off).unwrap();
+    assert_eq!(out.spec, spec);
+    assert_eq!(out.roots, vec![spec.result]);
+    assert_eq!(out.stats.passes, 0);
+}
+
+#[test]
+fn constants_fold_across_filters() {
+    // m = x * (2.0 - 1.0): folds to x at Default, in one optimize() call.
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let c2 = b.constant(2.0);
+    let c1 = b.constant(1.0);
+    let d = b.binary(FilterOp::Sub, c2, c1);
+    let m = b.binary(FilterOp::Mul, x, d);
+    let spec = b.finish(m);
+    let cse_only = optimize(&spec, &[spec.result], OptLevel::Cse).unwrap();
+    assert!(cse_only.spec.len() > 1, "CSE alone does not fold");
+    let opt = optimize(&spec, &[spec.result], OptLevel::Default).unwrap();
+    assert_eq!(opt.spec.len(), 1, "folded to the bare input");
+    assert!(matches!(
+        opt.spec.node(opt.roots[0]).op,
+        FilterOp::Input { .. }
+    ));
+    assert!(opt.stats.folded >= 1);
+    assert!(opt.stats.rewritten >= 1);
+}
+
+#[test]
+fn identity_rewrites_are_bit_exact_about_signed_zero() {
+    // x + 0.0 must NOT be rewritten (x = -0.0 gives +0.0), but
+    // x + (-0.0) and x - 0.0 must.
+    let build = |op: FilterOp, c: f32, swap: bool| {
+        let mut b = NetworkBuilder::new();
+        let x = b.input("x");
+        let k = b.constant(c);
+        let m = if swap {
+            b.binary(op, k, x)
+        } else {
+            b.binary(op, x, k)
+        };
+        b.finish(m)
+    };
+    let opt_len = |spec: &NetworkSpec| {
+        optimize(spec, &[spec.result], OptLevel::Default)
+            .unwrap()
+            .spec
+            .len()
+    };
+    assert_eq!(opt_len(&build(FilterOp::Add, 0.0, false)), 3, "x+0.0 kept");
+    assert_eq!(opt_len(&build(FilterOp::Add, -0.0, false)), 1, "x+(-0.0)");
+    assert_eq!(opt_len(&build(FilterOp::Add, -0.0, true)), 1, "(-0.0)+x");
+    assert_eq!(opt_len(&build(FilterOp::Sub, 0.0, false)), 1, "x-0.0");
+    assert_eq!(
+        opt_len(&build(FilterOp::Sub, -0.0, false)),
+        3,
+        "x-(-0.0) kept"
+    );
+    assert_eq!(opt_len(&build(FilterOp::Mul, 1.0, false)), 1, "x*1.0");
+    assert_eq!(opt_len(&build(FilterOp::Mul, 1.0, true)), 1, "1.0*x");
+    assert_eq!(opt_len(&build(FilterOp::Div, 1.0, false)), 1, "x/1.0");
+    // x*0.0 is NOT folded (NaN/inf/-0.0 poison it).
+    assert_eq!(opt_len(&build(FilterOp::Mul, 0.0, false)), 3, "x*0.0 kept");
+}
+
+#[test]
+fn select_dead_branch_elimination() {
+    // select(1.0, a, b) keeps only a's subgraph.
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let y = b.input("y");
+    let c = b.constant(1.0);
+    let a_branch = b.unary(FilterOp::Sqrt, x);
+    let b_branch = b.unary(FilterOp::Exp, y);
+    let s = b.select(c, a_branch, b_branch);
+    let spec = b.finish(s);
+    let opt = optimize(&spec, &[spec.result], OptLevel::Default).unwrap();
+    assert!(matches!(opt.spec.node(opt.roots[0]).op, FilterOp::Sqrt));
+    assert_eq!(opt.spec.len(), 2, "x and sqrt only; y/exp/const dropped");
+}
+
+#[test]
+fn fast_tier_applies_sqrt_square_rewrites() {
+    // sqrt(x)^2 → x across two pipeline iterations.
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let s = b.unary(FilterOp::Sqrt, x);
+    let two = b.constant(2.0);
+    let p = b.binary(FilterOp::Pow, s, two);
+    let spec = b.finish(p);
+    let default = optimize(&spec, &[spec.result], OptLevel::Default).unwrap();
+    assert_eq!(default.spec.len(), spec.len(), "bit-exact tier keeps pow");
+    let fast = optimize(&spec, &[spec.result], OptLevel::Fast).unwrap();
+    assert_eq!(fast.spec.len(), 1, "sqrt(x)^2 → x");
+    assert!(matches!(
+        fast.spec.node(fast.roots[0]).op,
+        FilterOp::Input { .. }
+    ));
+
+    // sqrt(x*x) → abs(x).
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let m = b.binary(FilterOp::Mul, x, x);
+    let r = b.unary(FilterOp::Sqrt, m);
+    let spec = b.finish(r);
+    let fast = optimize(&spec, &[spec.result], OptLevel::Fast).unwrap();
+    assert!(matches!(fast.spec.node(fast.roots[0]).op, FilterOp::Abs));
+}
+
+#[test]
+fn canonical_hash_is_commutative_order_insensitive() {
+    let build = |flip: bool| {
+        // u*u + v*v, with the two operand orders (and different node
+        // numbering, since the builder numbers by first use).
+        let mut b = NetworkBuilder::new();
+        let (first, second) = if flip { ("v", "u") } else { ("u", "v") };
+        let f = b.input(first);
+        let s = b.input(second);
+        let ff = b.binary(FilterOp::Mul, f, f);
+        let ss = b.binary(FilterOp::Mul, s, s);
+        let sum = b.binary(FilterOp::Add, ff, ss);
+        b.finish(sum)
+    };
+    assert_eq!(canonical_hash(&build(false)), canonical_hash(&build(true)));
+    // Different structure still distinguishes.
+    let mut b = NetworkBuilder::new();
+    let u = b.input("u");
+    let v = b.input("v");
+    let d = b.binary(FilterOp::Sub, u, v);
+    let other = b.finish(d);
+    assert_ne!(canonical_hash(&build(false)), canonical_hash(&other));
+}
+
+#[test]
+fn merge_networks_shares_common_subgraphs() {
+    // v_mag = sqrt(u²+v²+w²) and e_kin = u²+v²+w² share everything but
+    // the sqrt: the merged network has len(v_mag) + 1 nodes.
+    let sum_sq = |b: &mut NetworkBuilder| {
+        let u = b.input("u");
+        let v = b.input("v");
+        let w = b.input("w");
+        let uu = b.binary(FilterOp::Mul, u, u);
+        let vv = b.binary(FilterOp::Mul, v, v);
+        let ww = b.binary(FilterOp::Mul, w, w);
+        let s1 = b.binary(FilterOp::Add, uu, vv);
+        b.binary(FilterOp::Add, s1, ww)
+    };
+    let mut b = NetworkBuilder::new();
+    let s = sum_sq(&mut b);
+    let r = b.unary(FilterOp::Sqrt, s);
+    let v_mag = b.finish(r);
+    let mut b = NetworkBuilder::new();
+    let s = sum_sq(&mut b);
+    let e_kin = b.finish(s);
+
+    let merged = merge_networks(&[&v_mag, &e_kin], OptLevel::Default).unwrap();
+    assert!(merged.spec.validate().is_ok());
+    assert_eq!(merged.roots.len(), 2);
+    assert_eq!(
+        merged.spec.len(),
+        v_mag.len() + 1 - 1,
+        "one shared subgraph"
+    );
+    // Root 0 is the sqrt, root 1 the shared sum.
+    assert!(matches!(
+        merged.spec.node(merged.roots[0]).op,
+        FilterOp::Sqrt
+    ));
+    assert_eq!(
+        merged.spec.node(merged.roots[0]).inputs[0],
+        merged.roots[1],
+        "v_mag's sqrt consumes e_kin's root directly"
+    );
+    assert!(merged.stats.merged >= 7, "inputs, squares, and adds merged");
+    // The merged schedule stays leak-free with both roots pinned.
+    let sched = Schedule::for_roots(&merged.spec, &merged.roots).unwrap();
+    let freed: Vec<NodeId> = sched.free_after.iter().flatten().copied().collect();
+    for r in &merged.roots {
+        assert!(!freed.contains(r), "root {r} freed");
+    }
+}
+
+#[test]
+fn optimizer_keeps_multi_output_roots_live() {
+    // r = sqrt(x); dead = exp(y) shadowed…: roots pin what must survive.
+    let mut b = NetworkBuilder::new();
+    let x = b.input("x");
+    let y = b.input("y");
+    let r = b.unary(FilterOp::Sqrt, x);
+    b.name(r, "r");
+    let side = b.unary(FilterOp::Exp, y);
+    b.name(side, "side");
+    let spec = b.finish(r);
+    // With both roots, the side output survives every level.
+    for level in [OptLevel::Cse, OptLevel::Default, OptLevel::Fast] {
+        let out = optimize(&spec, &[r, side], level).unwrap();
+        assert!(matches!(out.spec.node(out.roots[1]).op, FilterOp::Exp));
+    }
+    // With only the result root, the side branch is dead code.
+    let out = optimize(&spec, &[r], OptLevel::Default).unwrap();
+    assert_eq!(out.spec.len(), 2, "y/exp eliminated");
+}
+
+#[test]
+fn optimized_schedules_free_every_non_root_exactly_once() {
+    // The renumbered post-CSE network must still produce leak-free staged
+    // execution: every reachable non-root node freed exactly once. Use a
+    // duplicate-heavy network so CSE actually renumbers.
+    let mut b = NetworkBuilder::new();
+    let u = b.input("u");
+    let v = b.input("v");
+    let uu = b.binary(FilterOp::Mul, u, u);
+    let vv = b.binary(FilterOp::Mul, v, v);
+    let s1 = b.binary(FilterOp::Add, uu, vv);
+    let vv2 = b.binary(FilterOp::Mul, v, v);
+    let uu2 = b.binary(FilterOp::Mul, u, u);
+    let s2 = b.binary(FilterOp::Add, vv2, uu2);
+    let m = b.binary(FilterOp::Max2, s1, s2);
+    let r = b.unary(FilterOp::Sqrt, m);
+    let spec = b.finish(r);
+    for level in [OptLevel::Cse, OptLevel::Default, OptLevel::Fast] {
+        let out = optimize(&spec, &[spec.result], level).unwrap();
+        let sched = Schedule::for_roots(&out.spec, &out.roots).unwrap();
+        let mut freed: Vec<NodeId> = sched.free_after.iter().flatten().copied().collect();
+        freed.sort();
+        let mut expected: Vec<NodeId> = sched
+            .order
+            .iter()
+            .copied()
+            .filter(|n| !out.roots.contains(n))
+            .collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(freed, expected, "{level}: free list mismatch");
+    }
+}
+
+#[test]
+fn opt_level_parse_round_trips() {
+    for level in OptLevel::ALL {
+        assert_eq!(OptLevel::parse(level.name()), Some(level));
+    }
+    assert_eq!(OptLevel::parse("on"), Some(OptLevel::Default));
+    assert_eq!(OptLevel::parse("none"), Some(OptLevel::Off));
+    assert_eq!(OptLevel::parse("bogus"), None);
+    assert!(OptLevel::Off < OptLevel::Cse);
+    assert!(OptLevel::Default < OptLevel::Fast);
+}

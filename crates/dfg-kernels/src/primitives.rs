@@ -560,6 +560,106 @@ mod tests {
         );
     }
 
+    /// The optimizer's constant folder (`dfg_dataflow::eval_scalar`) must be a
+    /// bit-exact mirror of this primitive library, or folding would change
+    /// results. Pin the two together over a value grid that exercises signed
+    /// zero, negatives, comparisons, and domain edges.
+    #[test]
+    fn optimizer_fold_mirror_matches_primitive_eval() {
+        use dfg_dataflow::eval_scalar;
+
+        let samples = [
+            -2.5f32,
+            -1.0,
+            -0.5,
+            -0.0,
+            0.0,
+            0.5,
+            1.0,
+            2.0,
+            3.25,
+            f32::MIN_POSITIVE,
+            1.0e20,
+        ];
+        let binary = [
+            FilterOp::Add,
+            FilterOp::Sub,
+            FilterOp::Mul,
+            FilterOp::Div,
+            FilterOp::Min2,
+            FilterOp::Max2,
+            FilterOp::Lt,
+            FilterOp::Gt,
+            FilterOp::Le,
+            FilterOp::Ge,
+            FilterOp::EqOp,
+            FilterOp::Ne,
+            FilterOp::Pow,
+            FilterOp::Atan2,
+            FilterOp::And,
+            FilterOp::Or,
+        ];
+        let unary = [
+            FilterOp::Neg,
+            FilterOp::Sqrt,
+            FilterOp::Abs,
+            FilterOp::Sin,
+            FilterOp::Cos,
+            FilterOp::Tan,
+            FilterOp::Exp,
+            FilterOp::Log,
+            FilterOp::Not,
+        ];
+
+        let check = |op: &FilterOp, args: &[f32], device: f32| {
+            let folded = eval_scalar(op, args)
+                .unwrap_or_else(|| panic!("eval_scalar missing coverage for {op:?}"));
+            assert_eq!(
+                folded.to_bits(),
+                device.to_bits(),
+                "fold mirror diverges from device primitive for {op:?} on {args:?}: \
+                 {folded} vs {device}"
+            );
+        };
+
+        for op in &binary {
+            let Some(Primitive::Bin(kind)) = Primitive::from_filter_op(op) else {
+                panic!("{op:?} no longer maps to a binary primitive");
+            };
+            for &a in &samples {
+                for &b in &samples {
+                    check(op, &[a, b], kind.eval(a, b));
+                }
+            }
+        }
+        for op in &unary {
+            let Some(Primitive::Un(kind)) = Primitive::from_filter_op(op) else {
+                panic!("{op:?} no longer maps to a unary primitive");
+            };
+            for &a in &samples {
+                check(op, &[a], kind.eval(a));
+            }
+        }
+        for &c in &samples {
+            for &a in &samples {
+                for &b in &samples {
+                    let device = if c != 0.0 { a } else { b };
+                    check(&FilterOp::Select, &[c, a, b], device);
+                }
+            }
+        }
+        // NaN handling: eval_scalar may fold NaN operands however it likes as
+        // long as it matches the device library bit-for-bit where both are
+        // well-defined; comparisons against NaN must still agree.
+        let nan = f32::NAN;
+        for op in [FilterOp::Lt, FilterOp::Ge, FilterOp::EqOp, FilterOp::Ne] {
+            let Some(Primitive::Bin(kind)) = Primitive::from_filter_op(&op) else {
+                unreachable!()
+            };
+            check(&op, &[nan, 1.0], kind.eval(nan, 1.0));
+        }
+    }
+
     #[test]
     fn select_uses_nonzero_condition() {
         let out = run_prim(

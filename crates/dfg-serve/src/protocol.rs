@@ -274,6 +274,9 @@ pub struct ServerCounters {
     pub batches: u64,
     /// Requests served as followers of a coalesced batch.
     pub coalesced: u64,
+    /// Requests served by a merged cross-request network (distinct
+    /// expressions sharing subgraphs, compiled and run as one).
+    pub merged: u64,
     /// Requests that completed degraded via the recovery ladder.
     pub degraded: u64,
 }
@@ -323,7 +326,8 @@ pub enum Response {
 fn tenant_stats_json(t: &TenantStats) -> String {
     format!(
         "{{\"tenant\":\"{}\",\"cycles\":{},\"uploads\":{},\"uploads_skipped\":{},\
-         \"codegen_compiles\":{},\"codegen_cached\":{},\"pool_hits\":{},\
+         \"codegen_compiles\":{},\"codegen_cached\":{},\"merged\":{},\
+         \"opt_saved_kernels\":{},\"pool_hits\":{},\
          \"pooled_bytes\":{},\"resident_bytes\":{},\"in_use_bytes\":{},\
          \"quota_bytes\":{}}}",
         json::escape(&t.tenant),
@@ -332,6 +336,8 @@ fn tenant_stats_json(t: &TenantStats) -> String {
         t.session.uploads_skipped,
         t.session.codegen_compiles,
         t.session.codegen_cached,
+        t.session.merged,
+        t.session.opt_saved_kernels,
         t.pool_hits,
         t.pooled_bytes,
         t.resident_bytes,
@@ -359,6 +365,8 @@ fn tenant_stats_parse(v: &Value) -> Result<TenantStats, String> {
             uploads_skipped: num("uploads_skipped")?,
             codegen_compiles: num("codegen_compiles")?,
             codegen_cached: num("codegen_cached")?,
+            merged: num("merged")?,
+            opt_saved_kernels: num("opt_saved_kernels")?,
         },
         pool_hits: num("pool_hits")?,
         pooled_bytes: num("pooled_bytes")?,
@@ -411,8 +419,8 @@ impl Response {
                 format!(
                     "{{\"status\":\"stats\",\"id\":{},\"server\":{{\"requests\":{},\
                      \"ok\":{},\"rejected_overload\":{},\"rejected_quota\":{},\
-                     \"errors\":{},\"batches\":{},\"coalesced\":{},\"degraded\":{}}},\
-                     \"tenants\":[{}]}}\n",
+                     \"errors\":{},\"batches\":{},\"coalesced\":{},\"merged\":{},\
+                     \"degraded\":{}}},\"tenants\":[{}]}}\n",
                     id,
                     server.requests,
                     server.ok,
@@ -421,6 +429,7 @@ impl Response {
                     server.errors,
                     server.batches,
                     server.coalesced,
+                    server.merged,
                     server.degraded,
                     tenants_json.join(","),
                 )
@@ -502,6 +511,7 @@ impl Response {
                     errors: num("errors")?,
                     batches: num("batches")?,
                     coalesced: num("coalesced")?,
+                    merged: num("merged")?,
                     degraded: num("degraded")?,
                 };
                 let tenants = v
@@ -652,6 +662,7 @@ mod tests {
                 errors: 0,
                 batches: 4,
                 coalesced: 3,
+                merged: 2,
                 degraded: 1,
             },
             tenants: vec![TenantStats {
@@ -662,6 +673,8 @@ mod tests {
                     uploads_skipped: 35,
                     codegen_compiles: 1,
                     codegen_cached: 7,
+                    merged: 2,
+                    opt_saved_kernels: 5,
                 },
                 pool_hits: 6,
                 pooled_bytes: 1024,

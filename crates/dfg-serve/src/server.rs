@@ -65,7 +65,18 @@ pub struct ServeConfig {
     /// coalescable peers to arrive.
     pub batch_window: Duration,
     /// Whether identical requests in a window share one execution.
+    /// Requests are grouped by the *canonical hash* of their optimized
+    /// networks, so commutative spellings (`u*u + v*v` vs `v*v + u*u`)
+    /// coalesce too.
     pub coalesce: bool,
+    /// Cross-request network fusion: *distinct* expressions in one batch
+    /// window that share subgraphs (same grid, same core strategy) are
+    /// merged into one multi-output network (see
+    /// `dfg_dataflow::merge_networks`), compiled once, and executed once —
+    /// each request gets its own root's field. Off by default: merged
+    /// executions run on one leader session, which changes per-tenant
+    /// compile/cycle accounting.
+    pub cross_fusion: bool,
     /// Default per-tenant device-memory quota (`None`: device capacity).
     pub default_quota: Option<u64>,
     /// Explicit per-tenant quotas, applied before the first request.
@@ -85,6 +96,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             batch_window: Duration::from_millis(2),
             coalesce: true,
+            cross_fusion: false,
             default_quota: None,
             quotas: Vec::new(),
             tracer: None,
@@ -320,9 +332,12 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     let _ = writer.join();
 }
 
-/// The coalescing key: requests whose expressions lower to structurally
-/// identical networks, over the same grid with the same strategy, can
-/// share one execution (inputs are a deterministic function of the grid).
+/// The coalescing key: requests whose expressions optimize to networks
+/// with the same *canonical hash* (order-, numbering-, and
+/// dead-code-insensitive; commutative operands sorted — see
+/// `dfg_dataflow::canonical_hash`), over the same grid with the same
+/// strategy, can share one execution (inputs are a deterministic function
+/// of the grid).
 type CoalesceKey = (u64, [usize; 3], ExecStrategy);
 
 /// A derive request together with the channel its reply line goes to.
@@ -332,21 +347,50 @@ type PendingDerive = (DeriveRequest, mpsc::Sender<String>);
 /// or the expression failed to hash) and the member requests.
 type DeriveGroups = Vec<(Option<CoalesceKey>, Vec<PendingDerive>)>;
 
+/// Mergeable coalescing groups partitioned by `(grid, strategy)` for
+/// cross-request fusion.
+type MergeParts = Vec<(([usize; 3], ExecStrategy), Vec<Vec<PendingDerive>>)>;
+
+/// A memoized frontend result: the optimized network and its canonical
+/// hash (the coalescing identity).
+#[derive(Clone)]
+struct CompiledExpr {
+    spec: dfg_dataflow::NetworkSpec,
+    hash: u64,
+}
+
 struct ExecutorState {
     registry: SessionRegistry,
     /// Host-side synthetic fields per grid: stable across requests, so
     /// generation-based upload skipping works across the whole server.
     fields: HashMap<[usize; 3], FieldSet>,
-    /// Memoized `expr source → structural hash` (None: frontend error).
-    hashes: HashMap<String, Option<u64>>,
+    /// Memoized `expr source → optimized network + canonical hash`
+    /// (None: frontend error, reported per request at execution time).
+    compiled: HashMap<String, Option<CompiledExpr>>,
+    /// Optimizer level for coalescing/merging: at least `Cse` (so shared
+    /// subgraphs actually unify), or higher when the engines run higher.
+    level: dfg_dataflow::OptLevel,
 }
 
 impl ExecutorState {
-    fn structural_hash(&mut self, expr: &str) -> Option<u64> {
-        *self
-            .hashes
+    fn compiled(&mut self, expr: &str) -> Option<&CompiledExpr> {
+        let level = self.level;
+        self.compiled
             .entry(expr.to_string())
-            .or_insert_with(|| dfg_expr::compile(expr).ok().map(|s| s.structural_hash()))
+            .or_insert_with(|| {
+                let raw = dfg_expr::compile(expr).ok()?;
+                let opt = dfg_dataflow::optimize(&raw, &[raw.result], level).ok()?;
+                let hash = dfg_dataflow::canonical_hash(&opt.spec);
+                Some(CompiledExpr {
+                    spec: opt.spec,
+                    hash,
+                })
+            })
+            .as_ref()
+    }
+
+    fn canonical_hash(&mut self, expr: &str) -> Option<u64> {
+        self.compiled(expr).map(|c| c.hash)
     }
 }
 
@@ -362,7 +406,11 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
     let mut state = ExecutorState {
         registry,
         fields: HashMap::new(),
-        hashes: HashMap::new(),
+        compiled: HashMap::new(),
+        level: config
+            .options
+            .effective_opt_level()
+            .max(dfg_dataflow::OptLevel::Cse),
     };
 
     loop {
@@ -420,7 +468,7 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
         for (d, reply) in derives {
             let key = if config.coalesce {
                 state
-                    .structural_hash(&d.expr)
+                    .canonical_hash(&d.expr)
                     .map(|h| (h, d.grid, d.strategy))
             } else {
                 None
@@ -439,8 +487,171 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
             }
         }
 
-        for (_, members) in groups {
-            run_group(&shared, &mut state, members);
+        if config.cross_fusion {
+            dispatch_cross_fusion(&shared, &mut state, groups);
+        } else {
+            for (_, members) in groups {
+                run_group(&shared, &mut state, members);
+            }
+        }
+    }
+}
+
+/// Cross-request fusion dispatch: within one batch, groups of *distinct*
+/// expressions sharing a grid and a core strategy are merged into one
+/// multi-output network and executed once; everything else (streamed
+/// requests, frontend errors, lone groups) falls back to per-group
+/// execution.
+fn dispatch_cross_fusion(shared: &Shared, state: &mut ExecutorState, groups: DeriveGroups) {
+    let mut parts: MergeParts = Vec::new();
+    let mut rest: Vec<Vec<PendingDerive>> = Vec::new();
+    for (key, members) in groups {
+        let mergeable = key.is_some()
+            && members[0].0.strategy.core().is_some()
+            && state.compiled(&members[0].0.expr).is_some();
+        match (mergeable, key) {
+            (true, Some((_, grid, strategy))) => {
+                if let Some((_, part)) = parts.iter_mut().find(|(k, _)| *k == (grid, strategy)) {
+                    part.push(members);
+                } else {
+                    parts.push(((grid, strategy), vec![members]));
+                }
+            }
+            _ => rest.push(members),
+        }
+    }
+    for ((grid, strategy), part) in parts {
+        if part.len() < 2 {
+            // Nothing to merge with; run it like any other group.
+            rest.extend(part);
+            continue;
+        }
+        run_merged(shared, state, grid, strategy, part);
+    }
+    for members in rest {
+        run_group(shared, state, members);
+    }
+}
+
+/// Execute several distinct-expression groups as one merged network: union
+/// the optimized specs, CSE the shared subgraphs across them, run once on
+/// the first member's tenant session, and fan each root's field back out
+/// to its own group.
+fn run_merged(
+    shared: &Shared,
+    state: &mut ExecutorState,
+    grid: [usize; 3],
+    strategy: ExecStrategy,
+    part: Vec<Vec<PendingDerive>>,
+) {
+    let core = strategy
+        .core()
+        .expect("mergeable groups use core strategies");
+    let total: u64 = part.iter().map(|g| g.len() as u64).sum();
+    let merge_span = span!(
+        shared.tracer,
+        "serve.merge",
+        groups = part.len(),
+        requests = total,
+    );
+    let specs: Vec<dfg_dataflow::NetworkSpec> = part
+        .iter()
+        .map(|g| {
+            state
+                .compiled(&g[0].0.expr)
+                .expect("pre-checked by dispatch")
+                .spec
+                .clone()
+        })
+        .collect();
+    let spec_refs: Vec<&dfg_dataflow::NetworkSpec> = specs.iter().collect();
+    let merged = match dfg_dataflow::merge_networks_traced(
+        &spec_refs,
+        state.level,
+        shared.tracer.as_ref(),
+    ) {
+        Ok(m) => m,
+        Err(_) => {
+            drop(merge_span);
+            for members in part {
+                run_group(shared, state, members);
+            }
+            return;
+        }
+    };
+    shared.count(|c| c.batches += 1);
+    let leader = part[0][0].0.tenant.clone();
+    let compiles_before = state
+        .registry
+        .stats(&leader)
+        .map(|s| s.session.codegen_compiles)
+        .unwrap_or(0);
+    let wall = Instant::now();
+    let fields = state.fields.entry(grid).or_insert_with(|| {
+        let mesh = RectilinearMesh::unit_cube(grid);
+        FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default())
+    });
+    let result = state
+        .registry
+        .derive_network(&leader, &merged.spec, &merged.roots, fields, core);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    drop(merge_span);
+    match result {
+        Ok((fields_out, report)) if fields_out.len() == part.len() => {
+            let degraded = report.recovery.as_ref().is_some_and(|r| r.degraded);
+            let compiles_after = state
+                .registry
+                .stats(&leader)
+                .map(|s| s.session.codegen_compiles)
+                .unwrap_or(0);
+            let compiles = compiles_after.saturating_sub(compiles_before);
+            state
+                .registry
+                .note_opt_saved(&leader, merged.stats.filters_eliminated() as u64);
+            let mut first = true;
+            for (group, field) in part.into_iter().zip(fields_out) {
+                let checksum: f64 = field.data.iter().map(|&v| v as f64).sum();
+                for (d, reply) in group {
+                    state.registry.note_merged(&d.tenant);
+                    shared.count(|c| {
+                        c.ok += 1;
+                        c.merged += 1;
+                        if degraded {
+                            c.degraded += 1;
+                        }
+                        if !first {
+                            c.coalesced += 1;
+                        }
+                    });
+                    let resp = Response::Ok(DeriveReply {
+                        id: d.id,
+                        tenant: d.tenant.clone(),
+                        ncells: field.ncells as u64,
+                        checksum,
+                        device_ms: report.device_seconds() * 1e3,
+                        wall_ms,
+                        compiles: if first { compiles } else { 0 },
+                        coalesced: !first,
+                        batch: total,
+                        degraded,
+                        data_bits: if d.data {
+                            Some(field.data.iter().map(|f| f.to_bits()).collect())
+                        } else {
+                            None
+                        },
+                    });
+                    let _ = reply.send(resp.to_json_line());
+                    first = false;
+                }
+            }
+        }
+        _ => {
+            // Merged execution failed (e.g. the leader's quota could not
+            // hold the union network): fall back to independent per-group
+            // execution so errors stay attributed per request.
+            for members in part {
+                run_group(shared, state, members);
+            }
         }
     }
 }

@@ -134,6 +134,144 @@ fn coalescing_reduces_compiles_and_preserves_bits() {
 }
 
 #[test]
+fn commutative_variants_coalesce_via_canonical_hash() {
+    // `u*u + v*v` and `v*v + u*u` parse to different node orders but the
+    // same canonical post-optimization network, so the batcher must treat
+    // them as one group and compile/execute once.
+    let exprs = ["s = u*u + v*v", "s = v*v + u*u"];
+    let config = ServeConfig {
+        coalesce: true,
+        batch_window: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    let mut ids = Vec::new();
+    for (t, expr) in exprs.iter().enumerate() {
+        let id = client
+            .send(Request::Derive(DeriveRequest {
+                id: 0,
+                tenant: format!("t{t}"),
+                expr: (*expr).into(),
+                grid: GRID,
+                strategy: ExecStrategy::Fusion,
+                data: true,
+            }))
+            .unwrap();
+        ids.push(id);
+    }
+    let mut bits = Vec::new();
+    let mut compiles = 0u64;
+    let mut coalesced = 0u64;
+    for id in ids {
+        match client.recv_for(id).unwrap() {
+            Response::Ok(r) => {
+                bits.push(r.data_bits.expect("data requested"));
+                compiles += r.compiles;
+                if r.coalesced {
+                    coalesced += 1;
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    client.shutdown().unwrap();
+    server.join().unwrap();
+
+    assert_eq!(coalesced, 1, "the commutative variant did not coalesce");
+    assert_eq!(compiles, 1, "expected one compile for both variants");
+    // Both tenants get the leader's bits, which match a local run of either
+    // spelling: float addition/multiplication are commutative bit-exactly.
+    let want = local_bits(exprs[0], GRID);
+    assert_eq!(bits[0], want);
+    assert_eq!(bits[1], want);
+    assert_eq!(local_bits(exprs[1], GRID), want);
+}
+
+#[test]
+fn cross_fusion_merges_overlapping_expressions() {
+    // Four tenants, four *distinct* expressions sharing the `u*u+v*v+w*w`
+    // subgraph. With cross-request fusion on, the batch compiles and runs as
+    // one merged multi-output network; every tenant still gets bits
+    // identical to an unbatched run of its own expression.
+    let exprs = [
+        "vmag = sqrt(u*u + v*v + w*w)",
+        "ke = 0.5 * (u*u + v*v + w*w)",
+        "s = u*u + v*v + w*w",
+        "sp = (u*u + v*v + w*w) + 1",
+    ];
+    let config = ServeConfig {
+        coalesce: true,
+        cross_fusion: true,
+        batch_window: Duration::from_millis(80),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(&server.local_addr().to_string()).unwrap();
+
+    let mut ids = Vec::new();
+    for (t, expr) in exprs.iter().enumerate() {
+        let id = client
+            .send(Request::Derive(DeriveRequest {
+                id: 0,
+                tenant: format!("t{t}"),
+                expr: (*expr).into(),
+                grid: GRID,
+                strategy: ExecStrategy::Fusion,
+                data: true,
+            }))
+            .unwrap();
+        ids.push(id);
+    }
+    let mut bits = Vec::new();
+    let mut compiles = 0u64;
+    for id in ids {
+        match client.recv_for(id).unwrap() {
+            Response::Ok(r) => {
+                bits.push(r.data_bits.expect("data requested"));
+                compiles += r.compiles;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // Per-tenant outputs are bit-identical to unbatched single-tenant runs.
+    for (expr, got) in exprs.iter().zip(&bits) {
+        assert_eq!(
+            got,
+            &local_bits(expr, GRID),
+            "merged output for `{expr}` differs from unbatched run"
+        );
+    }
+    // The whole overlapping batch cost one codegen compile.
+    assert_eq!(compiles, 1, "expected one compile for the merged batch");
+
+    match client.stats().unwrap() {
+        Response::Stats {
+            server: counters,
+            tenants,
+            ..
+        } => {
+            assert_eq!(counters.merged, 4, "all four requests should merge");
+            assert_eq!(counters.ok, 4);
+            for t in &tenants {
+                assert_eq!(t.session.merged, 1, "{}: missing merged count", t.tenant);
+            }
+            let saved: u64 = tenants.iter().map(|t| t.session.opt_saved_kernels).sum();
+            assert!(
+                saved > 0,
+                "cross-request CSE should report eliminated kernels"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
 fn quota_exceeded_is_typed_and_leaks_nothing() {
     let config = ServeConfig {
         options: EngineOptions {
