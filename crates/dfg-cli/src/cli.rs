@@ -42,12 +42,13 @@ usage:
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
              [--device cpu|gpu] [--out-dir <dir>] [--branch-parallel on|off]
              [--opt off|cse|default|fast]
+             [--stream <overlap-depth>] [--budget-mb <n>]
   dfgc insitu [--cycles <n>] [--grid NXxNYxNZ] [--expr <program>]
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
   dfgc parse --expr <program>
   dfgc serve [--addr HOST:PORT] [--addr-file <path>] [--device cpu|gpu]
              [--queue <n>] [--batch-window-ms <n>] [--coalesce on|off]
-             [--quota-mb <n>] [--recovery on|off]
+             [--quota-mb <n>] [--recovery on|off] [--stream-depth <n>]
   dfgc bench-clients --addr HOST:PORT [--tenants <n>] [--requests <n>]
              [--expr <program>] [--grid NXxNYxNZ] [--data on|off]
   dfgc kernels
@@ -674,6 +675,82 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             );
         }
     }
+    // Optional fourth column: the overlapped streamed pipeline at the
+    // requested depth, with its queue-level occupancy breakdown.
+    if let Some(depth_s) = args.get("stream") {
+        let depth = depth_s
+            .parse::<usize>()
+            .ok()
+            .filter(|&d| d > 0)
+            .ok_or_else(|| format!("--stream takes a positive overlap depth, got `{depth_s}`"))?;
+        let budget =
+            match args.get("budget-mb") {
+                Some(s) => Some(
+                    s.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--budget-mb must be a positive integer, got `{s}`")
+                    })? << 20,
+                ),
+                None => None,
+            };
+        let mut engine = Engine::with_options(
+            profile.clone(),
+            EngineOptions {
+                branch_parallel,
+                optimize: opt_level,
+                stream: dfg_core::StreamOptions {
+                    overlap_depth: depth,
+                    ..Default::default()
+                },
+                ..EngineOptions::default()
+            },
+        );
+        engine.set_tracer(Tracer::new());
+        let report = engine
+            .derive_streamed(&expression, &fields, budget)
+            .map_err(|e| pretty_engine_err(&e, &expression))?;
+        let trace = report.trace.as_ref().expect("tracer attached");
+        let path = out_dir.join("trace-streamed.json");
+        std::fs::write(&path, trace.to_chrome_trace())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let p = &report.profile;
+        let slabs = p.count(dfg_ocl::EventKind::KernelExec);
+        let eff_depth = trace
+            .spans()
+            .iter()
+            .find(|s| s.name == "stream.pipeline")
+            .and_then(|s| s.meta_u64("depth"))
+            .unwrap_or(depth as u64);
+        println!();
+        println!(
+            "--- streamed pipeline (chrome trace: {}) ---",
+            path.display()
+        );
+        println!(
+            "  {slabs} slab{} at overlap depth {eff_depth}{}, peak {:.1} MB",
+            if slabs == 1 { "" } else { "s" },
+            if eff_depth == depth as u64 {
+                String::new()
+            } else {
+                format!(" (requested {depth}, shrunk to fit)")
+            },
+            report.high_water_bytes() as f64 / 1e6,
+        );
+        println!(
+            "  makespan {:.6}s vs {:.6}s serialized ({:.6}s of transfer hidden, \
+             overlap efficiency {:.0}%)",
+            p.makespan_seconds(),
+            p.device_seconds(),
+            p.overlap_hidden_seconds(),
+            p.overlap_efficiency() * 100.0,
+        );
+        for q in p.queues_used() {
+            println!(
+                "  queue {q}: busy {:.6}s, occupancy {:.0}%",
+                p.queue_busy_seconds(q),
+                p.queue_occupancy(q) * 100.0,
+            );
+        }
+    }
     let pool = dfg_exec::global();
     let (executed, steals) = pool.stats();
     println!();
@@ -921,10 +998,18 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     } else {
         dfg_core::RecoveryPolicy::disabled()
     };
+    let stream = dfg_core::StreamOptions {
+        overlap_depth: uint_of(args, "stream-depth", 2)? as usize,
+        ..Default::default()
+    };
+    if stream.overlap_depth == 0 {
+        return Err("--stream-depth must be at least 1".into());
+    }
     let config = dfg_serve::ServeConfig {
         profile,
         options: EngineOptions {
             recovery,
+            stream,
             ..EngineOptions::default()
         },
         queue_capacity: uint_of(args, "queue", 64)? as usize,

@@ -31,11 +31,12 @@ pub mod workloads;
 mod tests;
 
 pub use dfg_dataflow::{OptLevel, OptStats, Strategy};
-pub use engine::{Engine, EngineOptions, ExecReport};
+pub use engine::{Engine, EngineOptions, ExecReport, SlabPolicy, StreamOptions};
 pub use error::EngineError;
 pub use fields::{Field, FieldSet, FieldValue};
 pub use planner::{plan, plan_opt, plan_traced, Plan, PlanOption};
 pub use recovery::{AttemptOutcome, AttemptRecord, ExecLevel, RecoveryPolicy, RecoveryReport};
 pub use registry::{SessionRegistry, TenantStats};
 pub use session::{Session, SessionStats};
+pub use strategies::StreamReport;
 pub use workloads::Workload;

@@ -36,7 +36,7 @@ use crate::fields::{Field, FieldSet};
 use crate::session::SessionState;
 use crate::strategies::{
     run_fusion_multi_session, run_roundtrip_multi_session, run_staged_levels_session,
-    run_staged_multi_session, run_streamed_fusion_session,
+    run_staged_multi_session, run_streamed_fusion_session, StreamReport, StreamRetry,
 };
 
 /// How the engine responds to device failures; part of
@@ -291,9 +291,9 @@ fn ladder(
 }
 
 /// What one attempt returns: the output fields (absent in model mode), the
-/// generated fused source when the level produced one, and the slab count
-/// for streamed runs.
-type AttemptOutput = (Option<Vec<Field>>, Option<String>, Option<usize>);
+/// generated fused source when the level produced one, and the stream
+/// report (slabs, depth, absorbed in-pipeline retries) for streamed runs.
+type AttemptOutput = (Option<Vec<Field>>, Option<String>, Option<StreamReport>);
 
 /// Execute one level on the given context. Session state flows through for
 /// device levels; the CPU fallback always runs one-shot (its buffers live
@@ -335,8 +335,25 @@ fn execute_level(
                 .map(|(f, src)| (f, Some(src), None))
         }
         ExecLevel::Streamed => {
-            run_streamed_fusion_session(spec, fields, ctx, label, streamed_budget, session)
-                .map(|(f, src, slabs)| (f.map(|x| vec![x]), Some(src), Some(slabs)))
+            // The streamed rung inherits the pipeline overlap and absorbs
+            // transient faults *inside* the pipeline: the faulted queue
+            // backs off and re-issues without draining the other queues.
+            let policy = rc.options.recovery;
+            let retry = (policy.max_retries > 0).then_some(StreamRetry {
+                max_retries: policy.max_retries,
+                backoff_seconds: policy.backoff_us as f64 * 1e-6,
+            });
+            run_streamed_fusion_session(
+                spec,
+                fields,
+                ctx,
+                label,
+                streamed_budget,
+                rc.options.stream,
+                retry,
+                session,
+            )
+            .map(|(f, src, report)| (f.map(|x| vec![x]), Some(src), Some(report)))
         }
     }
 }
@@ -491,9 +508,28 @@ pub(crate) fn run_with_recovery(
             );
             exec_span.virt_end(exec_ctx.clock_seconds());
             match result {
-                Ok((fields_out, generated_source, slabs)) => {
-                    match slabs {
-                        Some(s) => drop(exec_span.meta("slabs", s)),
+                Ok((fields_out, generated_source, stream)) => {
+                    match stream {
+                        Some(s) => {
+                            // Transient faults the pipeline absorbed in
+                            // flight count as retries of this level — they
+                            // just never drained the pipeline.
+                            if s.in_pipeline_retries > 0 {
+                                report.retries += s.in_pipeline_retries;
+                                report.backoff_seconds += s.backoff_seconds;
+                                report.attempts.push(AttemptRecord {
+                                    level,
+                                    outcome: AttemptOutcome::Retried {
+                                        backoff_seconds: s.backoff_seconds,
+                                    },
+                                    error: Some(format!(
+                                        "{} transient fault(s) absorbed in-pipeline",
+                                        s.in_pipeline_retries
+                                    )),
+                                });
+                            }
+                            drop(exec_span.meta("slabs", s.slabs).meta("depth", s.depth));
+                        }
                         None => drop(exec_span),
                     }
                     report.completed = Some(level);

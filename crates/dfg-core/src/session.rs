@@ -593,16 +593,23 @@ impl<E: BorrowMut<Engine>> Session<E> {
             budget_bytes = budget,
         );
         exec_span.virt_start(self.ctx.clock_seconds());
-        let (field, src, slabs) = run_streamed_fusion_session(
+        let stream_opts = self.engine.borrow().options().stream;
+        let (field, src, stream) = run_streamed_fusion_session(
             &spec,
             fields,
             &mut self.ctx,
             &label,
             budget,
+            stream_opts,
+            None,
             Some(&mut self.state),
         )?;
         exec_span.virt_end(self.ctx.clock_seconds());
-        drop(exec_span.meta("slabs", slabs));
+        drop(
+            exec_span
+                .meta("slabs", stream.slabs)
+                .meta("depth", stream.depth),
+        );
         let wall = t0.elapsed();
         self.state.stats.cycles += 1;
         debug_assert_eq!(

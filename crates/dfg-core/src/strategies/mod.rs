@@ -21,12 +21,12 @@ mod streamed;
 pub use fusion::{run_fusion, run_fusion_multi};
 pub use roundtrip::{run_roundtrip, run_roundtrip_multi};
 pub use staged::{run_staged, run_staged_levels_multi, run_staged_multi};
-pub use streamed::run_streamed_fusion;
+pub use streamed::{run_streamed_fusion, StreamReport};
 
 pub(crate) use fusion::run_fusion_multi_session;
 pub(crate) use roundtrip::run_roundtrip_multi_session;
 pub(crate) use staged::{run_staged_levels_session, run_staged_multi_session};
-pub(crate) use streamed::run_streamed_fusion_session;
+pub(crate) use streamed::{run_streamed_fusion_session, StreamRetry};
 
 use dfg_dataflow::Width;
 use dfg_ocl::ExecMode;

@@ -1,0 +1,313 @@
+//! Bit-parity and determinism tests for the overlapped streaming pipeline.
+//!
+//! The contract under test: the multi-queue slab pipeline is a pure
+//! performance transform. Whatever the overlap depth, the slab policy, the
+//! execution mode, or a mid-pipeline transient fault, the derived field is
+//! bit-identical to single-pass fusion — and the virtual clock is a pure
+//! function of the issue order, so Model and Real mode agree on every event
+//! bit regardless of `DFG_NUM_THREADS`.
+//!
+//! The CI streaming leg runs this suite across a `DFG_NUM_THREADS` x
+//! `DFG_STREAM_DEPTH` matrix; the env depth, when set, is added to the
+//! depths tested.
+
+use dfg_core::{
+    Engine, EngineOptions, FieldSet, RecoveryPolicy, SlabPolicy, Strategy, StreamOptions, Workload,
+};
+use dfg_mesh::{RectilinearMesh, RtWorkload};
+use dfg_ocl::{DeviceProfile, ExecMode, FaultKind, FaultPlan};
+
+const DIMS: [usize; 3] = [12, 10, 16];
+/// Tight enough to force several slabs for every workload on this grid.
+const BUDGET: u64 = 14 * 4 * (12 * 10 * 9) as u64;
+
+/// Depths 1 (strictly serial), 2 (double-buffered) and 3, plus whatever the
+/// CI matrix passes via `DFG_STREAM_DEPTH`.
+fn depths() -> Vec<usize> {
+    let mut d = vec![1, 2, 3];
+    if let Some(extra) = std::env::var("DFG_STREAM_DEPTH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        if !d.contains(&extra) {
+            d.push(extra);
+        }
+    }
+    d
+}
+
+fn rt_fields() -> FieldSet {
+    let mesh = RectilinearMesh::unit_cube(DIMS);
+    FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default())
+}
+
+fn model_fields() -> FieldSet {
+    let mut fields = FieldSet::virtual_rt(DIMS);
+    fields.insert_small("dims", vec![DIMS[0] as f32, DIMS[1] as f32, DIMS[2] as f32]);
+    fields
+}
+
+fn engine_with(mode: ExecMode, depth: usize) -> Engine {
+    Engine::with_options(
+        DeviceProfile::intel_x5660(),
+        EngineOptions {
+            mode,
+            stream: StreamOptions {
+                overlap_depth: depth,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+}
+
+fn assert_bits_equal(label: &str, a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: bit divergence at cell {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Real mode, one-shot: every depth, both slab policies, every workload —
+/// bit-identical to single-pass fusion (depth 1 doubles as the serial
+/// streamed reference, so this covers overlapped == serial == fusion).
+#[test]
+fn overlapped_bits_match_fusion_at_every_depth() {
+    let fields = rt_fields();
+    for workload in Workload::ALL {
+        let fused = Engine::new(DeviceProfile::intel_x5660())
+            .derive(workload.source(), &fields, Strategy::Fusion)
+            .expect("fusion")
+            .field
+            .expect("real mode");
+        for depth in depths() {
+            for policy in [SlabPolicy::MaxFit, SlabPolicy::FixedLayers(2)] {
+                let mut engine = engine_with(ExecMode::Real, depth);
+                engine.options_mut().stream.slab_policy = policy;
+                let report = engine
+                    .derive_streamed(workload.source(), &fields, Some(BUDGET))
+                    .expect("streamed");
+                assert!(
+                    report.high_water_bytes() <= BUDGET,
+                    "{workload} depth {depth}: peak {} over budget {BUDGET}",
+                    report.high_water_bytes()
+                );
+                let streamed = report.field.expect("real mode");
+                assert_bits_equal(
+                    &format!("{workload} depth {depth} {policy:?}"),
+                    &fused.data,
+                    &streamed.data,
+                );
+            }
+        }
+    }
+}
+
+/// Session path: codegen cached across cycles, ring buffers pooled — still
+/// bit-identical to fusion at every depth, on every cycle.
+#[test]
+fn session_streamed_bits_match_fusion_at_every_depth() {
+    let fields = rt_fields();
+    let fused = Engine::new(DeviceProfile::intel_x5660())
+        .derive(Workload::QCriterion.source(), &fields, Strategy::Fusion)
+        .expect("fusion")
+        .field
+        .expect("real mode");
+    for depth in depths() {
+        let mut engine = engine_with(ExecMode::Real, depth);
+        let mut session = engine.session();
+        for cycle in 0..3 {
+            let report = session
+                .derive_streamed(Workload::QCriterion.source(), &fields, Some(BUDGET))
+                .expect("streamed session cycle");
+            let streamed = report.field.expect("real mode");
+            assert_bits_equal(
+                &format!("session depth {depth} cycle {cycle}"),
+                &fused.data,
+                &streamed.data,
+            );
+        }
+    }
+}
+
+/// Model mode and Real mode must produce bitwise-identical virtual clocks,
+/// event kinds, queues and byte counts for the multi-queue pipeline — the
+/// paper-scale model runs are trustworthy because they are the same
+/// schedule arithmetic as a real execution.
+#[test]
+fn model_and_real_clocks_agree_bitwise() {
+    for depth in depths() {
+        let real = engine_with(ExecMode::Real, depth)
+            .derive_streamed(Workload::QCriterion.source(), &rt_fields(), Some(BUDGET))
+            .expect("real streamed");
+        let model = engine_with(ExecMode::Model, depth)
+            .derive_streamed(Workload::QCriterion.source(), &model_fields(), Some(BUDGET))
+            .expect("model streamed");
+        let (re, me) = (&real.profile.events, &model.profile.events);
+        assert_eq!(re.len(), me.len(), "depth {depth}: event count");
+        for (i, (r, m)) in re.iter().zip(me).enumerate() {
+            assert_eq!(r.kind, m.kind, "depth {depth} event {i}: kind");
+            assert_eq!(r.queue, m.queue, "depth {depth} event {i}: queue");
+            assert_eq!(r.bytes, m.bytes, "depth {depth} event {i}: bytes");
+            assert_eq!(
+                r.t_start.to_bits(),
+                m.t_start.to_bits(),
+                "depth {depth} event {i}: t_start {} vs {}",
+                r.t_start,
+                m.t_start
+            );
+            assert_eq!(
+                r.t_end.to_bits(),
+                m.t_end.to_bits(),
+                "depth {depth} event {i}: t_end {} vs {}",
+                r.t_end,
+                m.t_end
+            );
+        }
+        assert_eq!(
+            real.profile.makespan_seconds().to_bits(),
+            model.profile.makespan_seconds().to_bits(),
+            "depth {depth}: makespan"
+        );
+    }
+}
+
+/// The multi-queue clock is computed serially at enqueue time, so repeated
+/// runs are bitwise reproducible — under any `DFG_NUM_THREADS` the CI
+/// matrix sets for this process.
+#[test]
+fn clocks_are_reproducible_run_to_run() {
+    for depth in depths() {
+        let run = |_: usize| {
+            engine_with(ExecMode::Model, depth)
+                .derive_streamed(Workload::QCriterion.source(), &model_fields(), Some(BUDGET))
+                .expect("model streamed")
+        };
+        let (a, b) = (run(0), run(1));
+        assert_eq!(a.profile.events.len(), b.profile.events.len());
+        for (x, y) in a.profile.events.iter().zip(&b.profile.events) {
+            assert_eq!(x.t_start.to_bits(), y.t_start.to_bits());
+            assert_eq!(x.t_end.to_bits(), y.t_end.to_bits());
+            assert_eq!(x.queue, y.queue);
+        }
+    }
+}
+
+/// Overlap actually overlaps: at depth >= 2 the pipeline makespan drops
+/// below the strictly serial depth-1 makespan, and depth 1's makespan
+/// equals the summed device seconds (nothing hidden).
+#[test]
+fn depth_one_is_serial_and_deeper_overlaps() {
+    // FixedLayers(1) maximizes the slab count so the pipeline reaches
+    // steady state even on the test grid.
+    let run = |depth: usize| {
+        let mut engine = engine_with(ExecMode::Model, depth);
+        engine.options_mut().stream.slab_policy = SlabPolicy::FixedLayers(1);
+        engine
+            .derive_streamed(Workload::QCriterion.source(), &model_fields(), Some(BUDGET))
+            .expect("model streamed")
+            .profile
+    };
+    let serial = run(1);
+    assert!(
+        (serial.makespan_seconds() - serial.device_seconds()).abs()
+            <= 1e-12 * serial.device_seconds(),
+        "depth 1 must hide nothing: makespan {} vs summed {}",
+        serial.makespan_seconds(),
+        serial.device_seconds()
+    );
+    for depth in [2, 3] {
+        let overlapped = run(depth);
+        assert!(
+            overlapped.makespan_seconds() < serial.makespan_seconds(),
+            "depth {depth}: makespan {} not below serial {}",
+            overlapped.makespan_seconds(),
+            serial.makespan_seconds()
+        );
+        assert!(overlapped.overlap_hidden_seconds() > 0.0);
+    }
+}
+
+/// A transient transfer fault in the middle of the pipeline is absorbed by
+/// the in-pipeline retry (no drain, no re-run) and the output stays
+/// bit-identical to the fault-free run.
+#[test]
+fn transient_fault_mid_pipeline_recovers_bit_exact() {
+    let fields = rt_fields();
+    let clean = engine_with(ExecMode::Real, 2)
+        .derive_streamed(Workload::QCriterion.source(), &fields, Some(BUDGET))
+        .expect("clean streamed")
+        .field
+        .expect("real mode");
+    for depth in depths() {
+        // Fault the 6th upcoming transfer: deep enough that the ring is in
+        // steady state, early enough that every depth reaches it.
+        let mut engine = Engine::with_options(
+            DeviceProfile::intel_x5660(),
+            EngineOptions {
+                recovery: RecoveryPolicy::resilient(),
+                stream: StreamOptions {
+                    overlap_depth: depth,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let plan = FaultPlan::with_seed(1);
+        plan.fail_nth_from_now(FaultKind::Transfer, 5, 1);
+        engine.set_fault_plan(plan.clone());
+        let report = engine
+            .derive_streamed(Workload::QCriterion.source(), &fields, Some(BUDGET))
+            .expect("fault is absorbed");
+        assert_eq!(
+            plan.faults_fired(FaultKind::Transfer),
+            1,
+            "depth {depth}: the fault must fire"
+        );
+        let recovery = report
+            .recovery
+            .as_ref()
+            .expect("an absorbed fault still produces a recovery record");
+        assert!(
+            recovery.retries >= 1,
+            "depth {depth}: in-pipeline retry must be reported"
+        );
+        assert_eq!(recovery.fallbacks, 0, "depth {depth}: no fallback needed");
+        assert_bits_equal(
+            &format!("faulted depth {depth}"),
+            &clean.data,
+            &report.field.expect("real mode").data,
+        );
+    }
+}
+
+/// A depth larger than the slab count shrinks to fit instead of wasting
+/// ring slots (or failing): a grid that fits in one slab degenerates to
+/// the serial single-slab case.
+#[test]
+fn depth_shrinks_to_slab_count() {
+    let fields = rt_fields();
+    let fused = Engine::new(DeviceProfile::intel_x5660())
+        .derive(
+            Workload::VorticityMagnitude.source(),
+            &fields,
+            Strategy::Fusion,
+        )
+        .expect("fusion")
+        .field
+        .expect("real mode");
+    // Unbounded budget: the whole grid fits in one slab even at depth 8.
+    let report = engine_with(ExecMode::Real, 8)
+        .derive_streamed(Workload::VorticityMagnitude.source(), &fields, None)
+        .expect("streamed");
+    assert_bits_equal(
+        "depth 8, one slab",
+        &fused.data,
+        &report.field.expect("real").data,
+    );
+}

@@ -11,6 +11,50 @@ use dfg_trace::Tracer;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(usize);
 
+/// Handle to an in-order command queue on a [`Context`].
+///
+/// Queue 0 is the default queue every legacy (un-suffixed) operation
+/// targets; [`Context::acquire_queues`] hands out auxiliary queues for
+/// overlapped execution. Operations on *different* queues may overlap on
+/// the virtual clock; operations on the *same* queue are strictly ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueId(usize);
+
+impl QueueId {
+    /// The default in-order queue used by all legacy operations.
+    pub const DEFAULT: QueueId = QueueId(0);
+
+    /// The queue's index, as it appears in [`Event::queue`](crate::Event).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Completion event of one queued operation, usable as a cross-queue
+/// dependency: a later operation passing this token in its `deps` cannot
+/// start (on the virtual clock) before this one's end time.
+///
+/// This is the simulated analogue of a `cl_event` / CUDA event: all timing
+/// is resolved serially on the host at enqueue time, so waiting costs
+/// nothing and determinism is independent of host thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventToken {
+    t_start: f64,
+    t_end: f64,
+}
+
+impl EventToken {
+    /// Virtual-clock start of the operation, seconds.
+    pub fn virt_start(self) -> f64 {
+        self.t_start
+    }
+
+    /// Virtual-clock completion of the operation, seconds.
+    pub fn virt_end(self) -> f64 {
+        self.t_end
+    }
+}
+
 /// Snapshot of a context's live buffers, taken by [`Context::alloc_mark`]
 /// before an execution attempt and restored by [`Context::rollback`] if the
 /// attempt fails — the leak-free-recovery contract.
@@ -112,7 +156,13 @@ pub struct Context {
     free_ids: Vec<usize>,
     in_use: u64,
     high_water: u64,
+    /// Global virtual-clock frontier: `max` over all queue clocks; also the
+    /// completion time of the last legacy (queue-0, barrier) operation.
     clock: f64,
+    /// Per-queue ready times. Index 0 is the default queue; legacy
+    /// operations act as barriers that bring every queue up to `clock`, so
+    /// single-queue programs are bit-identical to the pre-multi-queue model.
+    queue_clocks: Vec<f64>,
     events: Vec<Event>,
     /// Failure injection: a deterministic, seeded schedule of device faults
     /// consulted at every allocation, transfer, launch, and compile.
@@ -146,6 +196,7 @@ impl Context {
             in_use: 0,
             high_water: 0,
             clock: 0.0,
+            queue_clocks: vec![0.0],
             events: Vec::new(),
             faults: None,
             tracer: None,
@@ -271,18 +322,65 @@ impl Context {
         self.mode
     }
 
-    /// Current virtual-clock time in seconds.
+    /// Current virtual-clock time in seconds (the global frontier: the max
+    /// over every queue's ready time).
     pub fn clock_seconds(&self) -> f64 {
         self.clock
     }
 
+    /// One queue's ready time in seconds: when its last enqueued operation
+    /// completes on the virtual clock.
+    pub fn queue_clock_seconds(&self, queue: QueueId) -> f64 {
+        self.queue_clocks
+            .get(queue.0)
+            .copied()
+            .unwrap_or(self.clock)
+    }
+
     /// Advance the virtual clock by `seconds` without recording an event —
     /// modeled idle time, e.g. retry backoff after a transient fault.
-    /// Negative or non-finite durations are ignored.
+    /// Negative or non-finite durations are ignored. Acts as a barrier:
+    /// every queue's ready time is brought up to the new clock.
     pub fn advance_clock(&mut self, seconds: f64) {
         if seconds.is_finite() && seconds > 0.0 {
             self.clock += seconds;
+            for q in &mut self.queue_clocks {
+                *q = self.clock;
+            }
         }
+    }
+
+    /// Advance one queue's ready time by `seconds` without recording an
+    /// event — modeled per-queue idle time, e.g. the backoff before
+    /// re-issuing a faulted transfer on that queue while the other pipeline
+    /// queues keep draining. Negative or non-finite durations are ignored.
+    pub fn advance_queue(&mut self, queue: QueueId, seconds: f64) {
+        if seconds.is_finite() && seconds > 0.0 {
+            if let Some(q) = self.queue_clocks.get_mut(queue.0) {
+                *q += seconds;
+                self.clock = self.clock.max(*q);
+            }
+        }
+    }
+
+    /// Ensure `n` auxiliary in-order queues exist and return their ids
+    /// (indices `1..=n`; the default queue 0 is never handed out here).
+    ///
+    /// Each acquired queue's ready time is (re)set to the current global
+    /// clock, so a fresh pipeline never starts before previously enqueued
+    /// work completes — acquiring is itself a barrier for those queues.
+    /// Queues persist across [`Context::reset_profile`], so a session
+    /// re-acquiring the same depth each cycle reuses them deterministically.
+    pub fn acquire_queues(&mut self, n: usize) -> Vec<QueueId> {
+        if self.queue_clocks.len() < n + 1 {
+            self.queue_clocks.resize(n + 1, self.clock);
+        }
+        (1..=n)
+            .map(|i| {
+                self.queue_clocks[i] = self.clock;
+                QueueId(i)
+            })
+            .collect()
     }
 
     /// Bytes currently allocated to buffers.
@@ -303,11 +401,15 @@ impl Context {
         }
     }
 
-    /// Clear recorded events and reset the clock and high-water mark.
-    /// Live allocations are kept (and re-seed the high-water mark).
+    /// Clear recorded events and reset the clock (all queues) and
+    /// high-water mark. Live allocations are kept (and re-seed the
+    /// high-water mark).
     pub fn reset_profile(&mut self) {
         self.events.clear();
         self.clock = 0.0;
+        for q in &mut self.queue_clocks {
+            *q = 0.0;
+        }
         self.high_water = self.in_use;
     }
 
@@ -448,9 +550,16 @@ impl Context {
         before - self.in_use
     }
 
+    /// Record a legacy (default-queue) event. Legacy operations are
+    /// barriers: they start at the global frontier and bring every queue's
+    /// ready time up to their completion, so programs that never touch an
+    /// auxiliary queue see exactly the single-queue virtual clock.
     fn record(&mut self, kind: EventKind, label: &str, bytes: u64, seconds: f64) {
         let t_start = self.clock;
         self.clock += seconds;
+        for q in &mut self.queue_clocks {
+            *q = self.clock;
+        }
         if let Some(tracer) = &self.tracer {
             tracer.device_event(
                 &format!("ocl.{}", kind.tag()),
@@ -466,7 +575,50 @@ impl Context {
             bytes,
             t_start,
             t_end: self.clock,
+            queue: 0,
         });
+    }
+
+    /// Record an event on one queue, ordered after that queue's prior work
+    /// and after every dependency in `deps`. Returns the completion token.
+    ///
+    /// All timing is computed here, serially, at enqueue time — overlapped
+    /// execution is a property of the *model*, so Model and Real mode (and
+    /// any `DFG_NUM_THREADS`) produce bit-identical clocks.
+    fn record_on(
+        &mut self,
+        queue: QueueId,
+        kind: EventKind,
+        label: &str,
+        bytes: u64,
+        seconds: f64,
+        deps: &[EventToken],
+    ) -> EventToken {
+        let mut t_start = self
+            .queue_clocks
+            .get(queue.0)
+            .copied()
+            .unwrap_or(self.clock);
+        for dep in deps {
+            t_start = t_start.max(dep.t_end);
+        }
+        let t_end = t_start + seconds;
+        if let Some(q) = self.queue_clocks.get_mut(queue.0) {
+            *q = t_end;
+        }
+        self.clock = self.clock.max(t_end);
+        if let Some(tracer) = &self.tracer {
+            tracer.device_event(&format!("ocl.{}", kind.tag()), label, bytes, t_start, t_end);
+        }
+        self.events.push(Event {
+            kind,
+            label: label.to_string(),
+            bytes,
+            t_start,
+            t_end,
+            queue: queue.0,
+        });
+        EventToken { t_start, t_end }
     }
 
     /// Enqueue a host→device write of real data.
@@ -564,6 +716,178 @@ impl Context {
         Ok(())
     }
 
+    /// Enqueue a host→device write of real data on `queue`, ordered after
+    /// `deps`. Unlike [`Context::enqueue_write`] this allows a *prefix*
+    /// write — `data.len() ≤ lanes` — so an over-sized pooled ring buffer
+    /// can receive a smaller final slab; bytes and modeled time follow the
+    /// data actually moved. On a prefix write into a never-written buffer
+    /// the remaining lanes read as zeros.
+    pub fn enqueue_write_q(
+        &mut self,
+        queue: QueueId,
+        id: BufferId,
+        data: &[f32],
+        deps: &[EventToken],
+    ) -> Result<EventToken, OclError> {
+        let lanes = self.slot(id)?.lanes;
+        if data.len() > lanes {
+            return Err(OclError::SizeMismatch {
+                expected: lanes,
+                found: data.len(),
+            });
+        }
+        let bytes = data.len() as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::HostToDevice,
+                bytes,
+                transient,
+            });
+        }
+        let seconds = self.profile.h2d_seconds(bytes);
+        if self.mode == ExecMode::Real {
+            let slot = self.slots[id.0].as_mut().expect("validated above");
+            match &mut slot.data {
+                Some(buf) => {
+                    if !slot.written {
+                        buf[data.len()..].fill(0.0);
+                    }
+                    buf[..data.len()].copy_from_slice(data);
+                }
+                None => {
+                    let mut buf = vec![0.0f32; lanes];
+                    buf[..data.len()].copy_from_slice(data);
+                    slot.data = Some(buf);
+                }
+            }
+            slot.written = true;
+        }
+        Ok(self.record_on(
+            queue,
+            EventKind::HostToDevice,
+            "write",
+            bytes,
+            seconds,
+            deps,
+        ))
+    }
+
+    /// Model-mode counterpart of [`Context::enqueue_write_q`]: records the
+    /// event for a prefix write of `lanes` lanes without host data.
+    pub fn enqueue_write_virtual_q(
+        &mut self,
+        queue: QueueId,
+        id: BufferId,
+        lanes: usize,
+        deps: &[EventToken],
+    ) -> Result<EventToken, OclError> {
+        if self.mode == ExecMode::Real {
+            return Err(OclError::InvalidOperation(
+                "virtual write on a real-mode context".into(),
+            ));
+        }
+        let cap = self.slot(id)?.lanes;
+        if lanes > cap {
+            return Err(OclError::SizeMismatch {
+                expected: cap,
+                found: lanes,
+            });
+        }
+        let bytes = lanes as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::HostToDevice,
+                bytes,
+                transient,
+            });
+        }
+        let seconds = self.profile.h2d_seconds(bytes);
+        Ok(self.record_on(
+            queue,
+            EventKind::HostToDevice,
+            "write",
+            bytes,
+            seconds,
+            deps,
+        ))
+    }
+
+    /// Enqueue a device→host read of `dst.len()` lanes starting at lane
+    /// `offset`, on `queue`, ordered after `deps`, copying directly into
+    /// `dst` — the zero-copy download path: the caller hands the final
+    /// destination slice (e.g. a window of the assembled output field) and
+    /// no intermediate `Vec` is allocated. A never-written range reads as
+    /// zeros.
+    pub fn enqueue_read_range_q(
+        &mut self,
+        queue: QueueId,
+        id: BufferId,
+        offset: usize,
+        dst: &mut [f32],
+        deps: &[EventToken],
+    ) -> Result<EventToken, OclError> {
+        if self.mode == ExecMode::Model {
+            self.slot(id)?;
+            return Err(OclError::InvalidOperation(
+                "cannot read contents in model mode; use enqueue_read_range_virtual_q".into(),
+            ));
+        }
+        let lanes = self.slot(id)?.lanes;
+        if offset + dst.len() > lanes {
+            return Err(OclError::SizeMismatch {
+                expected: lanes,
+                found: offset + dst.len(),
+            });
+        }
+        let bytes = dst.len() as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::DeviceToHost,
+                bytes,
+                transient,
+            });
+        }
+        let slot = self.slot(id)?;
+        if slot.written {
+            let src = slot.data.as_deref().expect("written implies materialized");
+            dst.copy_from_slice(&src[offset..offset + dst.len()]);
+        } else {
+            dst.fill(0.0);
+        }
+        let seconds = self.profile.d2h_seconds(bytes);
+        Ok(self.record_on(queue, EventKind::DeviceToHost, "read", bytes, seconds, deps))
+    }
+
+    /// Model-mode counterpart of [`Context::enqueue_read_range_q`]: records
+    /// the event for a `lanes`-lane read at `offset` without materializing
+    /// data.
+    pub fn enqueue_read_range_virtual_q(
+        &mut self,
+        queue: QueueId,
+        id: BufferId,
+        offset: usize,
+        lanes: usize,
+        deps: &[EventToken],
+    ) -> Result<EventToken, OclError> {
+        let cap = self.slot(id)?.lanes;
+        if offset + lanes > cap {
+            return Err(OclError::SizeMismatch {
+                expected: cap,
+                found: offset + lanes,
+            });
+        }
+        let bytes = lanes as u64 * 4;
+        if let Some(transient) = self.fault(FaultKind::Transfer) {
+            return Err(OclError::TransferFailed {
+                direction: TransferDir::DeviceToHost,
+                bytes,
+                transient,
+            });
+        }
+        let seconds = self.profile.d2h_seconds(bytes);
+        Ok(self.record_on(queue, EventKind::DeviceToHost, "read", bytes, seconds, deps))
+    }
+
     /// Record a kernel compilation event (fusion's dynamic kernel
     /// generation). Excluded from device runtime totals by category.
     /// Fails if the fault plan injects a compiler fault.
@@ -585,6 +909,62 @@ impl Context {
     /// mode only the cost model runs. The output buffer must not alias any
     /// input.
     pub fn launch(
+        &mut self,
+        kernel: &dyn DeviceKernel,
+        inputs: &[BufferId],
+        output: BufferId,
+        n: usize,
+    ) -> Result<(), OclError> {
+        self.validate_and_run(kernel, inputs, output, n)?;
+        let cost = kernel.cost(n);
+        let seconds = self
+            .profile
+            .kernel_seconds(cost.bytes_read + cost.bytes_written, cost.flops);
+        self.record(
+            EventKind::KernelExec,
+            &kernel.name(),
+            cost.bytes_read + cost.bytes_written,
+            seconds,
+        );
+        Ok(())
+    }
+
+    /// Launch a kernel over `n` elements on `queue`, ordered after `deps`.
+    ///
+    /// Identical to [`Context::launch`] except for queue placement: the
+    /// body (real mode) executes at enqueue time on the host, while the
+    /// modeled execution interval is placed after the queue's prior work
+    /// and every dependency. The caller is responsible for passing the
+    /// tokens of the uploads/downloads the launch actually depends on —
+    /// exactly the discipline real out-of-order queues require.
+    pub fn launch_q(
+        &mut self,
+        queue: QueueId,
+        kernel: &dyn DeviceKernel,
+        inputs: &[BufferId],
+        output: BufferId,
+        n: usize,
+        deps: &[EventToken],
+    ) -> Result<EventToken, OclError> {
+        self.validate_and_run(kernel, inputs, output, n)?;
+        let cost = kernel.cost(n);
+        let seconds = self
+            .profile
+            .kernel_seconds(cost.bytes_read + cost.bytes_written, cost.flops);
+        Ok(self.record_on(
+            queue,
+            EventKind::KernelExec,
+            &kernel.name(),
+            cost.bytes_read + cost.bytes_written,
+            seconds,
+            deps,
+        ))
+    }
+
+    /// Shared body of [`Context::launch`]/[`Context::launch_q`]: validate
+    /// ids and aliasing, consult the fault plan, and (real mode) execute
+    /// the kernel. Records no event.
+    fn validate_and_run(
         &mut self,
         kernel: &dyn DeviceKernel,
         inputs: &[BufferId],
@@ -653,17 +1033,6 @@ impl Context {
             out_slot.data = Some(out_data);
             out_slot.written = true;
         }
-
-        let cost = kernel.cost(n);
-        let seconds = self
-            .profile
-            .kernel_seconds(cost.bytes_read + cost.bytes_written, cost.flops);
-        self.record(
-            EventKind::KernelExec,
-            &kernel.name(),
-            cost.bytes_read + cost.bytes_written,
-            seconds,
-        );
         Ok(())
     }
 
@@ -1346,6 +1715,173 @@ mod tests {
         assert_eq!(r.count(EventKind::KernelCompile), 1);
         assert_eq!(r.device_seconds(), 0.0);
         assert!(r.seconds(EventKind::KernelCompile) > 0.0);
+    }
+
+    #[test]
+    fn independent_queues_overlap_on_the_virtual_clock() {
+        let mut c = ctx();
+        let qs = c.acquire_queues(2);
+        let a = c.create_buffer(1 << 16).unwrap();
+        let b = c.create_buffer(1 << 16).unwrap();
+        let data = vec![1.0f32; 1 << 16];
+        // Two independent uploads on different queues: same start time.
+        let ta = c.enqueue_write_q(qs[0], a, &data, &[]).unwrap();
+        let tb = c.enqueue_write_q(qs[1], b, &data, &[]).unwrap();
+        assert_eq!(ta.virt_start().to_bits(), tb.virt_start().to_bits());
+        assert_eq!(ta.virt_end().to_bits(), tb.virt_end().to_bits());
+        let r = c.report();
+        assert!(r.makespan_seconds() < r.device_seconds());
+        assert_eq!(r.events[0].queue, qs[0].index());
+        assert_eq!(r.events[1].queue, qs[1].index());
+        // The global clock is the max frontier, not the sum.
+        assert_eq!(c.clock_seconds().to_bits(), ta.virt_end().to_bits());
+    }
+
+    #[test]
+    fn dependency_tokens_order_across_queues() {
+        let mut c = ctx();
+        let qs = c.acquire_queues(2);
+        let a = c.create_buffer(64).unwrap();
+        let b = c.create_buffer(64).unwrap();
+        let up = c.enqueue_write_q(qs[0], a, &[3.0; 64], &[]).unwrap();
+        // Kernel on another queue must wait for the upload.
+        let k = c.launch_q(qs[1], &Double, &[a], b, 64, &[up]).unwrap();
+        assert!(k.virt_start() >= up.virt_end());
+        assert_eq!(k.virt_start().to_bits(), up.virt_end().to_bits());
+        // Download of the result waits for the kernel, reads a range
+        // directly into the destination slice.
+        let mut out = vec![0.0f32; 32];
+        let d = c
+            .enqueue_read_range_q(qs[0], b, 16, &mut out, &[k])
+            .unwrap();
+        assert_eq!(d.virt_start().to_bits(), k.virt_end().to_bits());
+        assert_eq!(out, vec![6.0; 32]);
+    }
+
+    #[test]
+    fn legacy_operations_are_queue_barriers() {
+        let mut c = ctx();
+        let qs = c.acquire_queues(1);
+        let a = c.create_buffer(64).unwrap();
+        let t = c.enqueue_write_q(qs[0], a, &[1.0; 64], &[]).unwrap();
+        // A legacy (default-queue) op starts at the global frontier …
+        let b = c.create_buffer(64).unwrap();
+        c.enqueue_write(b, &[2.0; 64]).unwrap();
+        let legacy_end = c.clock_seconds();
+        assert!(legacy_end > t.virt_end());
+        // … and the auxiliary queue cannot start before it finished.
+        let t2 = c.enqueue_write_q(qs[0], a, &[3.0; 64], &[]).unwrap();
+        assert_eq!(t2.virt_start().to_bits(), legacy_end.to_bits());
+    }
+
+    #[test]
+    fn prefix_write_zero_fills_tail_and_models_moved_bytes() {
+        let mut c = ctx();
+        let qs = c.acquire_queues(1);
+        let a = c.create_buffer(8).unwrap();
+        c.enqueue_write_q(qs[0], a, &[5.0; 3], &[]).unwrap();
+        assert_eq!(
+            c.peek(a).unwrap(),
+            vec![5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        );
+        let r = c.report();
+        assert_eq!(r.bytes(EventKind::HostToDevice), 12, "3 lanes moved");
+        // Over-long writes are rejected.
+        assert!(matches!(
+            c.enqueue_write_q(qs[0], a, &[0.0; 9], &[]),
+            Err(OclError::SizeMismatch { .. })
+        ));
+        // Out-of-bounds range reads are rejected.
+        let mut dst = vec![0.0f32; 4];
+        assert!(matches!(
+            c.enqueue_read_range_q(qs[0], a, 6, &mut dst, &[]),
+            Err(OclError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn queued_model_mode_matches_real_bitwise() {
+        let run = |mode: ExecMode| -> (f64, Vec<(u64, u64, usize)>) {
+            let mut c = Context::new(DeviceProfile::nvidia_m2050(), mode);
+            let qs = c.acquire_queues(3);
+            let a = c.create_buffer(4096).unwrap();
+            let b = c.create_buffer(4096).unwrap();
+            let mut host = vec![0.0f32; 2048];
+            let mut deps: Vec<EventToken> = Vec::new();
+            for slab in 0..4 {
+                let up = match mode {
+                    ExecMode::Real => c
+                        .enqueue_write_q(qs[0], a, &vec![1.0; 2048], &deps)
+                        .unwrap(),
+                    ExecMode::Model => c.enqueue_write_virtual_q(qs[0], a, 2048, &deps).unwrap(),
+                };
+                let k = c.launch_q(qs[1], &Double, &[a], b, 2048, &[up]).unwrap();
+                let down = match mode {
+                    ExecMode::Real => c
+                        .enqueue_read_range_q(qs[2], b, slab % 2, &mut host, &[k])
+                        .unwrap(),
+                    ExecMode::Model => c
+                        .enqueue_read_range_virtual_q(qs[2], b, slab % 2, 2048, &[k])
+                        .unwrap(),
+                };
+                deps = vec![down];
+            }
+            let stamps = c
+                .report()
+                .events
+                .iter()
+                .map(|e| (e.t_start.to_bits(), e.t_end.to_bits(), e.queue))
+                .collect();
+            (c.clock_seconds(), stamps)
+        };
+        let (t_real, ev_real) = run(ExecMode::Real);
+        let (t_model, ev_model) = run(ExecMode::Model);
+        assert_eq!(t_real.to_bits(), t_model.to_bits());
+        assert_eq!(ev_real, ev_model);
+    }
+
+    #[test]
+    fn acquire_queues_rebases_to_the_frontier_and_survives_reset() {
+        let mut c = ctx();
+        let qs = c.acquire_queues(2);
+        let a = c.create_buffer(64).unwrap();
+        c.enqueue_write_q(qs[1], a, &[1.0; 64], &[]).unwrap();
+        // Re-acquiring rebases the (now trailing) first queue to the
+        // frontier set by the second queue's upload.
+        let frontier = c.clock_seconds();
+        let qs2 = c.acquire_queues(2);
+        assert_eq!(qs, qs2, "same ids are reused");
+        let t = c.enqueue_write_q(qs2[0], a, &[2.0; 64], &[]).unwrap();
+        assert_eq!(t.virt_start().to_bits(), frontier.to_bits());
+        assert!(t.virt_start() > 0.0);
+        // reset_profile zeroes every queue clock.
+        c.reset_profile();
+        let t0 = c.enqueue_write_q(qs2[1], a, &[3.0; 64], &[]).unwrap();
+        assert_eq!(t0.virt_start().to_bits(), 0f64.to_bits());
+        // advance_queue moves one queue and the global frontier.
+        c.advance_queue(qs2[1], 1.0);
+        assert!(c.clock_seconds() >= 1.0);
+    }
+
+    #[test]
+    fn faulted_queued_op_records_nothing_and_leaves_clocks_untouched() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut c = ctx();
+        let plan = FaultPlan::with_seed(7);
+        plan.fail_nth_from_now(FaultKind::Transfer, 1, 1);
+        c.set_fault_plan(plan);
+        let qs = c.acquire_queues(1);
+        let a = c.create_buffer(64).unwrap();
+        let before = c.clock_seconds();
+        match c.enqueue_write_q(qs[0], a, &[1.0; 64], &[]) {
+            Err(OclError::TransferFailed { transient, .. }) => assert!(transient),
+            other => panic!("expected transfer fault, got {other:?}"),
+        }
+        assert_eq!(c.report().events.len(), 0);
+        assert_eq!(c.clock_seconds().to_bits(), before.to_bits());
+        // The retried op succeeds and starts where the queue left off.
+        let t = c.enqueue_write_q(qs[0], a, &[1.0; 64], &[]).unwrap();
+        assert_eq!(t.virt_start().to_bits(), before.to_bits());
     }
 }
 

@@ -33,6 +33,11 @@ pub struct Event {
     pub t_start: f64,
     /// Virtual-clock end time, seconds.
     pub t_end: f64,
+    /// Command queue the event executed on. Queue 0 is the default in-order
+    /// queue every legacy operation uses; auxiliary queues (overlapped
+    /// streaming) get indices ≥ 1 from
+    /// [`Context::acquire_queues`](crate::Context::acquire_queues).
+    pub queue: usize,
 }
 
 impl Event {
@@ -54,13 +59,13 @@ impl Event {
 /// let report = ProfileReport {
 ///     events: vec![
 ///         Event { kind: EventKind::KernelCompile, label: "fused_mag".into(),
-///                 bytes: 0, t_start: 0.0, t_end: 0.09 },
+///                 bytes: 0, t_start: 0.0, t_end: 0.09, queue: 0 },
 ///         Event { kind: EventKind::HostToDevice, label: "u".into(),
-///                 bytes: 4096, t_start: 0.09, t_end: 0.10 },
+///                 bytes: 4096, t_start: 0.09, t_end: 0.10, queue: 0 },
 ///         Event { kind: EventKind::KernelExec, label: "fused_mag".into(),
-///                 bytes: 8192, t_start: 0.10, t_end: 0.13 },
+///                 bytes: 8192, t_start: 0.10, t_end: 0.13, queue: 0 },
 ///         Event { kind: EventKind::DeviceToHost, label: "mag".into(),
-///                 bytes: 4096, t_start: 0.13, t_end: 0.14 },
+///                 bytes: 4096, t_start: 0.13, t_end: 0.14, queue: 0 },
 ///     ],
 ///     high_water_bytes: 8192,
 /// };
@@ -120,6 +125,79 @@ impl ProfileReport {
             self.count(EventKind::KernelExec),
         )
     }
+
+    fn runtime_events(&self) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(|e| e.kind != EventKind::KernelCompile)
+    }
+
+    /// Modeled wall time on the device: the span from the first runtime
+    /// event's start to the last runtime event's end (compilation excluded,
+    /// as in [`ProfileReport::device_seconds`]). With a single in-order
+    /// queue this equals `device_seconds()`; with overlapped queues it is
+    /// smaller — the difference is transfer/compute time hidden by overlap.
+    pub fn makespan_seconds(&self) -> f64 {
+        let (mut t0, mut t1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in self.runtime_events() {
+            t0 = t0.min(e.t_start);
+            t1 = t1.max(e.t_end);
+        }
+        if t1 > t0 {
+            t1 - t0
+        } else {
+            0.0
+        }
+    }
+
+    /// Seconds of device work hidden by multi-queue overlap:
+    /// `device_seconds() - makespan_seconds()`, clamped at zero. Zero for
+    /// any strictly serial (single-queue) execution.
+    pub fn overlap_hidden_seconds(&self) -> f64 {
+        (self.device_seconds() - self.makespan_seconds()).max(0.0)
+    }
+
+    /// Fraction of transfer time (H2D + D2H) hidden behind other queues'
+    /// work — the "% of transfer time hidden" figure of merit for the
+    /// streaming pipeline. Returns 0 when no transfers were recorded.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let transfers =
+            self.seconds(EventKind::HostToDevice) + self.seconds(EventKind::DeviceToHost);
+        if transfers > 0.0 {
+            (self.overlap_hidden_seconds() / transfers).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Queue indices that did runtime work (compilation excluded),
+    /// ascending.
+    pub fn queues_used(&self) -> Vec<usize> {
+        let mut qs: Vec<usize> = self.runtime_events().map(|e| e.queue).collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    }
+
+    /// Total modeled busy seconds on one queue (compilation excluded).
+    pub fn queue_busy_seconds(&self, queue: usize) -> f64 {
+        self.runtime_events()
+            .filter(|e| e.queue == queue)
+            .map(Event::seconds)
+            .sum()
+    }
+
+    /// Queue occupancy: busy seconds on `queue` divided by the makespan —
+    /// how saturated each pipeline stage kept its queue. Zero when nothing
+    /// ran.
+    pub fn queue_occupancy(&self, queue: usize) -> f64 {
+        let makespan = self.makespan_seconds();
+        if makespan > 0.0 {
+            self.queue_busy_seconds(queue) / makespan
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +211,14 @@ mod tests {
             bytes,
             t_start: t0,
             t_end: t1,
+            queue: 0,
+        }
+    }
+
+    fn ev_q(kind: EventKind, queue: usize, t0: f64, t1: f64) -> Event {
+        Event {
+            queue,
+            ..ev(kind, 100, t0, t1)
         }
     }
 
@@ -154,5 +240,46 @@ mod tests {
         assert_eq!(report.table2_row(), (2, 1, 1));
         // Compile time excluded from device totals.
         assert!((report.device_seconds() - 2.25).abs() < 1e-12);
+        // Serial events: makespan equals the summed device seconds, nothing
+        // is hidden, and everything ran on queue 0.
+        assert!((report.makespan_seconds() - 2.25).abs() < 1e-12);
+        assert_eq!(report.overlap_hidden_seconds(), 0.0);
+        assert_eq!(report.queues_used(), vec![0]);
+    }
+
+    #[test]
+    fn makespan_sees_overlap_that_summed_seconds_hides() {
+        // Upload of slab n+1 (queue 1) overlaps the kernel of slab n
+        // (queue 2) overlaps the download of slab n-1 (queue 3).
+        let report = ProfileReport {
+            events: vec![
+                ev_q(EventKind::KernelCompile, 0, 0.0, 0.5),
+                ev_q(EventKind::HostToDevice, 1, 0.0, 1.0),
+                ev_q(EventKind::HostToDevice, 1, 1.0, 2.0),
+                ev_q(EventKind::KernelExec, 2, 1.0, 2.0),
+                ev_q(EventKind::KernelExec, 2, 2.0, 3.0),
+                ev_q(EventKind::DeviceToHost, 3, 2.0, 2.5),
+                ev_q(EventKind::DeviceToHost, 3, 3.0, 3.5),
+            ],
+            high_water_bytes: 0,
+        };
+        // Summed: 2 + 2 + 1 = 5 s of work … in a 3.5 s window (compile
+        // excluded from both).
+        assert!((report.device_seconds() - 5.0).abs() < 1e-12);
+        assert!((report.makespan_seconds() - 3.5).abs() < 1e-12);
+        assert!((report.overlap_hidden_seconds() - 1.5).abs() < 1e-12);
+        // 1.5 s hidden of 3.0 s of transfers.
+        assert!((report.overlap_efficiency() - 0.5).abs() < 1e-12);
+        // Queue 0 held only the compile, which is not runtime work.
+        assert_eq!(report.queues_used(), vec![1, 2, 3]);
+        assert!((report.queue_busy_seconds(2) - 2.0).abs() < 1e-12);
+        assert!((report.queue_occupancy(2) - 2.0 / 3.5).abs() < 1e-12);
+        // Compile events alone contribute no makespan.
+        let only_compile = ProfileReport {
+            events: vec![ev_q(EventKind::KernelCompile, 0, 0.0, 0.5)],
+            high_water_bytes: 0,
+        };
+        assert_eq!(only_compile.makespan_seconds(), 0.0);
+        assert_eq!(only_compile.overlap_efficiency(), 0.0);
     }
 }

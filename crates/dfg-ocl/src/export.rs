@@ -78,6 +78,7 @@ mod tests {
                     bytes: 1024,
                     t_start: 0.0,
                     t_end: 0.001,
+                    queue: 0,
                 },
                 Event {
                     kind: EventKind::KernelExec,
@@ -85,6 +86,7 @@ mod tests {
                     bytes: 4096,
                     t_start: 0.001,
                     t_end: 0.003,
+                    queue: 0,
                 },
             ],
             high_water_bytes: 8192,

@@ -48,14 +48,17 @@ mod event;
 mod export;
 mod fault;
 mod profile;
+mod staging;
 
 pub use context::{
-    AllocMark, BatchLaunch, BufferId, Context, DeviceKernel, KernelArgs, KernelCost,
+    AllocMark, BatchLaunch, BufferId, Context, DeviceKernel, EventToken, KernelArgs, KernelCost,
+    QueueId,
 };
 pub use error::{OclError, TransferDir};
 pub use event::{Event, EventKind, ProfileReport};
 pub use fault::{Fault, FaultKind, FaultPlan, RankFate};
 pub use profile::{DeviceKind, DeviceProfile};
+pub use staging::StagingRing;
 
 /// Execution mode for a [`Context`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
