@@ -125,6 +125,7 @@ fn serve_arm(cross_fusion: bool) -> (u64, u64, Vec<Vec<u32>>) {
                     grid: SERVE_GRID,
                     strategy: ExecStrategy::Fusion,
                     data: true,
+                    deadline_ms: None,
                 }))
                 .expect("send"),
         );

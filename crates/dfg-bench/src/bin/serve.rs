@@ -96,6 +96,7 @@ fn ablation_arm(coalesce: bool) -> (u64, f64, Vec<Vec<u32>>) {
                     grid: GRID,
                     strategy: ExecStrategy::Fusion,
                     data: true,
+                    deadline_ms: None,
                 }))
                 .expect("send"),
         );

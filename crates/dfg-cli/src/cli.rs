@@ -49,6 +49,8 @@ usage:
   dfgc serve [--addr HOST:PORT] [--addr-file <path>] [--device cpu|gpu]
              [--queue <n>] [--batch-window-ms <n>] [--coalesce on|off]
              [--quota-mb <n>] [--recovery on|off] [--stream-depth <n>]
+             [--deadline-ms <n>] [--idle-ttl-s <n>] [--max-line-kb <n>]
+             [--pressure-mb <n>] [--conn-faults <plan>]
   dfgc bench-clients --addr HOST:PORT [--tenants <n>] [--requests <n>]
              [--expr <program>] [--grid NXxNYxNZ] [--data on|off]
   dfgc kernels
@@ -1023,6 +1025,41 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                     .map_err(|_| format!("--quota-mb must be an integer, got `{s}`"))
             })
             .transpose()?,
+        default_deadline: args
+            .get("deadline-ms")
+            .map(|s| {
+                s.parse::<u64>()
+                    .map(std::time::Duration::from_millis)
+                    .map_err(|_| format!("--deadline-ms must be an integer, got `{s}`"))
+            })
+            .transpose()?,
+        idle_ttl: args
+            .get("idle-ttl-s")
+            .map(|s| {
+                s.parse::<u64>()
+                    .map(std::time::Duration::from_secs)
+                    .map_err(|_| format!("--idle-ttl-s must be an integer, got `{s}`"))
+            })
+            .transpose()?,
+        max_line_bytes: match args.get("max-line-kb") {
+            Some(s) => s
+                .parse::<usize>()
+                .map(|kb| kb * 1024)
+                .map_err(|_| format!("--max-line-kb must be an integer, got `{s}`"))?,
+            None => dfg_serve::ServeConfig::default().max_line_bytes,
+        },
+        memory_pressure_bytes: args
+            .get("pressure-mb")
+            .map(|s| {
+                s.parse::<u64>()
+                    .map(|mb| mb * 1024 * 1024)
+                    .map_err(|_| format!("--pressure-mb must be an integer, got `{s}`"))
+            })
+            .transpose()?,
+        conn_faults: args
+            .get("conn-faults")
+            .map(|s| dfg_ocl::FaultPlan::parse(s).map_err(|e| format!("--conn-faults: {e}")))
+            .transpose()?,
         ..dfg_serve::ServeConfig::default()
     };
     let server = dfg_serve::Server::start(addr, config).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -1036,7 +1073,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .map_err(|_| "server thread panicked".to_string())?;
     println!(
         "served {} requests: {} ok ({} coalesced, {} degraded), \
-         {} overloaded, {} over quota, {} errors",
+         {} overloaded, {} over quota, {} errors, {} malformed, \
+         {} too large, {} past deadline, {} cancelled, \
+         {} sessions evicted ({} idle, {} pressure)",
         counters.requests,
         counters.ok,
         counters.coalesced,
@@ -1044,6 +1083,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         counters.rejected_overload,
         counters.rejected_quota,
         counters.errors,
+        counters.malformed,
+        counters.rejected_too_large,
+        counters.rejected_deadline,
+        counters.cancelled,
+        counters.evicted_idle + counters.evicted_pressure,
+        counters.evicted_idle,
+        counters.evicted_pressure,
     );
     Ok(())
 }
@@ -1514,5 +1560,10 @@ mod tests {
         assert!(dispatch(&strs(&["serve", "--queue", "lots"])).is_err());
         assert!(dispatch(&strs(&["serve", "--coalesce", "maybe"])).is_err());
         assert!(dispatch(&strs(&["serve", "--quota-mb", "much"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--deadline-ms", "soon"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--idle-ttl-s", "-5"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--max-line-kb", "big"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--pressure-mb", "lots"])).is_err());
+        assert!(dispatch(&strs(&["serve", "--conn-faults", "explode@1"])).is_err());
     }
 }

@@ -1,0 +1,148 @@
+//! Cooperative cancellation for long-running derivations.
+//!
+//! A [`CancelToken`] carries a shared abort flag plus an optional wall-clock
+//! deadline. The serving layer hands one to a session before launching a
+//! derivation (via [`SessionRegistry::set_cancel`](crate::SessionRegistry));
+//! the recovery driver polls it at every *cancellation point* — the top of
+//! each ladder rung and each retry — and aborts with
+//! [`EngineError::Cancelled`](crate::EngineError) when it has fired. Because
+//! every recovery attempt is already bracketed by an allocation mark and
+//! rollback, a cancelled attempt leaves the session exactly as leak-free as
+//! any other failed attempt.
+//!
+//! The flag side is cooperative and cheap (one relaxed atomic load per
+//! check); the deadline side uses the wall clock, since deadlines come from
+//! real clients on real sockets — unlike retry backoff, which stays on the
+//! device's deterministic virtual clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::error::EngineError;
+
+/// A cloneable cancellation handle: an abort flag shared by all clones plus
+/// an optional wall-clock deadline.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A fresh token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The token's deadline, if it has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// A token that shares this token's abort flag but carries its own
+    /// deadline. The serving layer keeps one flag per connection (flipped
+    /// on disconnect) and derives one child per request (carrying that
+    /// request's deadline).
+    pub fn child_with_deadline(&self, deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline,
+        }
+    }
+
+    /// Flip the shared abort flag. All clones of this token observe the
+    /// cancellation at their next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether the token has fired — explicitly cancelled or past its
+    /// deadline.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline_exceeded()
+    }
+
+    /// Cancellation point: `Err(EngineError::Cancelled)` once the token has
+    /// fired, `Ok(())` otherwise. The deadline is consulted first so a
+    /// request that is both disconnected and expired reports the deadline.
+    pub fn check(&self) -> Result<(), EngineError> {
+        if self.deadline_exceeded() {
+            Err(EngineError::Cancelled {
+                deadline_exceeded: true,
+            })
+        } else if self.flag.load(Ordering::Relaxed) {
+            Err(EngineError::Cancelled {
+                deadline_exceeded: false,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_passes() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert_eq!(
+            c.check(),
+            Err(EngineError::Cancelled {
+                deadline_exceeded: false
+            })
+        );
+    }
+
+    #[test]
+    fn past_deadline_fires_as_deadline_exceeded() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.deadline_exceeded());
+        assert_eq!(
+            t.check(),
+            Err(EngineError::Cancelled {
+                deadline_exceeded: true
+            })
+        );
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        t.cancel();
+        // Explicit cancel on an unexpired token reports a non-deadline abort.
+        assert_eq!(
+            t.check(),
+            Err(EngineError::Cancelled {
+                deadline_exceeded: false
+            })
+        );
+    }
+}

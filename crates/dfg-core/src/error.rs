@@ -53,6 +53,16 @@ pub enum EngineError {
         /// The error that ended the last attempt.
         last: Box<EngineError>,
     },
+    /// The request's [`CancelToken`](crate::CancelToken) fired — the caller
+    /// disconnected or the request's deadline passed — and execution stopped
+    /// at the next cancellation point (between recovery-ladder rungs and
+    /// retries). The session is rolled back leak-free, exactly as for any
+    /// other failed request.
+    Cancelled {
+        /// Whether the token fired because its deadline passed (as opposed
+        /// to an explicit cancellation, e.g. a client disconnect).
+        deadline_exceeded: bool,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -84,6 +94,13 @@ impl std::fmt::Display for EngineError {
                 recovery.retries,
                 recovery.fallbacks,
             ),
+            EngineError::Cancelled { deadline_exceeded } => {
+                if *deadline_exceeded {
+                    write!(f, "cancelled: request deadline exceeded")
+                } else {
+                    write!(f, "cancelled by caller")
+                }
+            }
         }
     }
 }
@@ -142,6 +159,25 @@ impl EngineError {
         match self {
             EngineError::Exhausted { recovery, .. } => Some(recovery),
             _ => None,
+        }
+    }
+
+    /// Whether execution stopped because the request's
+    /// [`CancelToken`](crate::CancelToken) fired (disconnect or deadline).
+    pub fn is_cancelled(&self) -> bool {
+        match self {
+            EngineError::Cancelled { .. } => true,
+            EngineError::Exhausted { last, .. } => last.is_cancelled(),
+            _ => false,
+        }
+    }
+
+    /// Whether the cancellation (if any) was caused by a deadline expiry.
+    pub fn deadline_exceeded(&self) -> bool {
+        match self {
+            EngineError::Cancelled { deadline_exceeded } => *deadline_exceeded,
+            EngineError::Exhausted { last, .. } => last.deadline_exceeded(),
+            _ => false,
         }
     }
 }

@@ -17,6 +17,7 @@
 //! Table II and their allocation high-water marks agree with the analytical
 //! model in `dfg_dataflow::memreq` (asserted in this crate's tests).
 
+mod cancel;
 mod engine;
 mod error;
 mod fields;
@@ -30,6 +31,7 @@ pub mod workloads;
 #[cfg(test)]
 mod tests;
 
+pub use cancel::CancelToken;
 pub use dfg_dataflow::{OptLevel, OptStats, Strategy};
 pub use engine::{Engine, EngineOptions, ExecReport, SlabPolicy, StreamOptions};
 pub use error::EngineError;

@@ -368,6 +368,17 @@ fn resident_snapshot(
         .map(|s| s.resident.iter().map(|(k, r)| (k.clone(), r.buf)).collect())
 }
 
+/// Cancellation point: surface [`EngineError::Cancelled`] when the
+/// session's token (if any) has fired. Checked between ladder rungs and
+/// between retries, so an orphaned or expired request stops at the next
+/// attempt boundary instead of walking the whole ladder.
+fn check_cancel(session: &Option<&mut SessionState>) -> Result<(), EngineError> {
+    if let Some(tok) = session.as_ref().and_then(|s| s.cancel.as_ref()) {
+        tok.check()?;
+    }
+    Ok(())
+}
+
 /// Roll the context back to `mark` and drop session-resident entries whose
 /// buffers no longer exist (created — or replaced — during the failed
 /// attempt).
@@ -477,6 +488,10 @@ pub(crate) fn run_with_recovery(
         let mut backoff = policy.backoff_us as f64 * 1e-6;
         let mut retries_left = policy.max_retries;
         loop {
+            // Cancellation point: a fired token aborts before the next
+            // attempt. Raw (unwrapped) so callers see `Cancelled`, not
+            // `Exhausted` — nothing about the workload failed.
+            check_cancel(&session)?;
             let mark = exec_ctx.alloc_mark();
             let snap = if level == ExecLevel::CpuFusion {
                 None

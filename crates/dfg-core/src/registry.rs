@@ -45,10 +45,12 @@
 //! ```
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use dfg_ocl::DeviceProfile;
 use dfg_trace::Tracer;
 
+use crate::cancel::CancelToken;
 use crate::engine::{Engine, EngineOptions, ExecReport};
 use crate::error::EngineError;
 use crate::fields::FieldSet;
@@ -59,6 +61,9 @@ use crate::Strategy;
 struct Tenant {
     session: Session,
     quota_bytes: u64,
+    /// When the tenant last started a request (or was created) — the clock
+    /// idle-TTL eviction and LRU pressure eviction run against.
+    last_used: Instant,
 }
 
 /// A point-in-time snapshot of one tenant's counters, suitable for a
@@ -81,6 +86,9 @@ pub struct TenantStats {
     pub in_use_bytes: u64,
     /// The tenant's device-memory quota in bytes.
     pub quota_bytes: u64,
+    /// Milliseconds since the tenant last started a request — the value
+    /// idle-TTL eviction compares against its threshold.
+    pub idle_ms: u64,
 }
 
 /// Owns per-tenant [`Session`]s keyed by tenant id; see the module-level
@@ -157,10 +165,13 @@ impl SessionRegistry {
                 Tenant {
                     session: engine.into_session(),
                     quota_bytes,
+                    last_used: Instant::now(),
                 },
             );
         }
-        self.tenants.get_mut(tenant).expect("just inserted")
+        let entry = self.tenants.get_mut(tenant).expect("just inserted");
+        entry.last_used = Instant::now();
+        entry
     }
 
     /// Run `f` against `tenant`'s session inside an allocation guard: on
@@ -256,6 +267,13 @@ impl SessionRegistry {
         })
     }
 
+    /// Install (or clear, with `None`) the cancellation token polled during
+    /// `tenant`'s derivations; see [`Session::set_cancel`]. Creates the
+    /// tenant's session if needed (a request about to run is a use).
+    pub fn set_cancel(&mut self, tenant: &str, token: Option<CancelToken>) {
+        self.entry(tenant).session.set_cancel(token);
+    }
+
     /// Counters for `tenant`, or `None` if it has never made a request.
     pub fn stats(&self, tenant: &str) -> Option<TenantStats> {
         self.tenants.get(tenant).map(|t| TenantStats {
@@ -266,6 +284,7 @@ impl SessionRegistry {
             resident_bytes: t.session.resident_bytes(),
             in_use_bytes: t.session.context().in_use_bytes(),
             quota_bytes: t.quota_bytes,
+            idle_ms: t.last_used.elapsed().as_millis() as u64,
         })
     }
 
@@ -289,6 +308,75 @@ impl SessionRegistry {
     /// return its final counters (`None` if the tenant never existed).
     pub fn end_tenant(&mut self, tenant: &str) -> Option<SessionStats> {
         self.tenants.remove(tenant).map(|t| t.session.end())
+    }
+
+    /// How long `tenant` has been idle (time since its last request), or
+    /// `None` if it has no live session.
+    pub fn idle_for(&self, tenant: &str) -> Option<Duration> {
+        self.tenants.get(tenant).map(|t| t.last_used.elapsed())
+    }
+
+    /// Evict every tenant idle for at least `ttl`: close their sessions
+    /// (releasing all device memory) and return the evicted ids, sorted.
+    /// The serving layer's maintenance tick calls this so weeks-long uptime
+    /// does not accumulate sessions for tenants that left.
+    pub fn evict_idle(&mut self, ttl: Duration) -> Vec<String> {
+        let mut expired: Vec<String> = self
+            .tenants
+            .iter()
+            .filter(|(_, t)| t.last_used.elapsed() >= ttl)
+            .map(|(id, _)| id.clone())
+            .collect();
+        expired.sort();
+        for id in &expired {
+            if let Some(t) = self.tenants.remove(id) {
+                t.session.end();
+            }
+        }
+        expired
+    }
+
+    /// Evict the least-recently-used tenant (ties broken by smaller tenant
+    /// id, so eviction order is deterministic) and return its id, or `None`
+    /// if the registry is empty. The memory-pressure watchdog calls this
+    /// after pool trimming when device bytes are still over the threshold.
+    pub fn evict_lru(&mut self) -> Option<String> {
+        let victim = self
+            .tenants
+            .iter()
+            .min_by(|(ida, a), (idb, b)| a.last_used.cmp(&b.last_used).then(ida.cmp(idb)))
+            .map(|(id, _)| id.clone())?;
+        if let Some(t) = self.tenants.remove(&victim) {
+            t.session.end();
+        }
+        Some(victim)
+    }
+
+    /// Return every tenant's pool-parked bytes to the allocator (see
+    /// [`dfg_ocl::Context::trim_pool`]); returns the total bytes freed.
+    /// The cheap first rung of the memory-pressure watchdog — resident
+    /// fields and kernel caches survive, so amortization is untouched.
+    pub fn trim_pools(&mut self) -> u64 {
+        self.tenants
+            .values_mut()
+            .map(|t| t.session.ctx.trim_pool())
+            .sum()
+    }
+
+    /// Live device bytes across all tenants (resident + transient).
+    pub fn total_in_use_bytes(&self) -> u64 {
+        self.tenants
+            .values()
+            .map(|t| t.session.context().in_use_bytes())
+            .sum()
+    }
+
+    /// Pool-parked bytes across all tenants (allocated but reusable).
+    pub fn total_pooled_bytes(&self) -> u64 {
+        self.tenants
+            .values()
+            .map(|t| t.session.pooled_bytes())
+            .sum()
     }
 
     /// Number of live tenants.
@@ -392,5 +480,95 @@ mod tests {
             .unwrap();
         let rec = report.recovery.as_ref().expect("recovery record");
         assert!(rec.degraded, "expected a degraded completion under quota");
+    }
+
+    #[test]
+    fn idle_eviction_releases_sessions_and_bytes() {
+        let fields = fields(64);
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+        reg.derive("a", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap();
+        reg.derive("b", "m = u+v", &fields, Strategy::Fusion)
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+        // Nothing is idle long enough for a 1-hour TTL.
+        assert!(reg.evict_idle(Duration::from_secs(3600)).is_empty());
+        assert_eq!(reg.len(), 2);
+        // A zero TTL evicts everyone, deterministically sorted.
+        assert_eq!(reg.evict_idle(Duration::ZERO), vec!["a", "b"]);
+        assert!(reg.is_empty());
+        assert_eq!(reg.total_in_use_bytes(), 0);
+        assert_eq!(reg.total_pooled_bytes(), 0);
+        // Evicted tenants come back lazily on their next request.
+        reg.derive("a", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap();
+        assert_eq!(reg.stats("a").unwrap().session.cycles, 1);
+    }
+
+    #[test]
+    fn lru_eviction_picks_the_stalest_tenant() {
+        let fields = fields(64);
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+        reg.derive("old", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        reg.derive("new", "m = u+v", &fields, Strategy::Fusion)
+            .unwrap();
+        assert_eq!(reg.evict_lru().as_deref(), Some("old"));
+        assert_eq!(reg.tenant_ids(), vec!["new".to_string()]);
+        assert_eq!(reg.evict_lru().as_deref(), Some("new"));
+        assert_eq!(reg.evict_lru(), None);
+    }
+
+    #[test]
+    fn trim_pools_frees_parked_bytes_across_tenants() {
+        let fields = fields(64);
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+        // Transient output buffers are parked in the pool after each cycle.
+        reg.derive("a", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap();
+        reg.derive("b", "m = u+v", &fields, Strategy::Fusion)
+            .unwrap();
+        assert!(reg.total_pooled_bytes() > 0, "expected parked pool bytes");
+        let freed = reg.trim_pools();
+        assert!(freed > 0);
+        assert_eq!(reg.total_pooled_bytes(), 0);
+        // Sessions survive trimming; the next request still amortizes.
+        reg.derive("a", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap();
+        assert_eq!(reg.stats("a").unwrap().session.codegen_cached, 1);
+    }
+
+    #[test]
+    fn fired_cancel_token_aborts_and_leaks_nothing() {
+        let fields = fields(64);
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+        let tok = CancelToken::new();
+        tok.cancel();
+        reg.set_cancel("t", Some(tok));
+        let err = reg
+            .derive("t", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap_err();
+        assert!(err.is_cancelled(), "expected Cancelled, got {err}");
+        assert!(!err.deadline_exceeded());
+        let st = reg.stats("t").unwrap();
+        assert_eq!(st.in_use_bytes, 0, "cancelled request leaked bytes");
+        // Clearing the token lets the tenant run again.
+        reg.set_cancel("t", None);
+        reg.derive("t", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_aborts_as_deadline_exceeded() {
+        let fields = fields(64);
+        let mut reg = SessionRegistry::new(DeviceProfile::intel_x5660(), EngineOptions::default());
+        let tok = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        reg.set_cancel("t", Some(tok));
+        let err = reg
+            .derive("t", "m = u*v", &fields, Strategy::Fusion)
+            .unwrap_err();
+        assert!(err.is_cancelled());
+        assert!(err.deadline_exceeded());
     }
 }

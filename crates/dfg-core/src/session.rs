@@ -89,6 +89,10 @@ pub(crate) struct SessionState {
     pub resident: HashMap<String, Resident>,
     pub programs: HashMap<u64, CachedProgram>,
     pub stats: SessionStats,
+    /// Cancellation handle for the in-flight request, polled by the
+    /// recovery driver between ladder rungs and retries. Installed (and
+    /// cleared) per request by the serving layer.
+    pub cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl SessionState {
@@ -435,6 +439,9 @@ impl<E: BorrowMut<Engine>> Session<E> {
         fusion_label: &str,
     ) -> Result<RunOut, EngineError> {
         let tracer = self.engine.borrow().tracer().cloned();
+        if let Some(tok) = &self.state.cancel {
+            tok.check()?;
+        }
         if self.engine.borrow().options().recovery.enabled() {
             let outcome = run_with_recovery(
                 RecoveryCtx {
@@ -533,6 +540,9 @@ impl<E: BorrowMut<Engine>> Session<E> {
             session = true,
             cycle = self.state.stats.cycles,
         );
+        if let Some(tok) = &self.state.cancel {
+            tok.check()?;
+        }
         let prog = self.engine.borrow_mut().compile_cached(source)?;
         let spec = prog.spec;
         self.state.stats.opt_saved_kernels += prog.opt.filters_eliminated() as u64;
@@ -626,6 +636,14 @@ impl<E: BorrowMut<Engine>> Session<E> {
             trace: self.engine.borrow().snapshot_since(mark),
             recovery: None,
         })
+    }
+
+    /// Install (or clear, with `None`) the cancellation token polled during
+    /// this session's derivations: at entry to each derive and between
+    /// recovery-ladder rungs and retries. A fired token aborts the run with
+    /// [`EngineError::Cancelled`]; rollback leaves the session leak-free.
+    pub fn set_cancel(&mut self, token: Option<crate::CancelToken>) {
+        self.state.cancel = token;
     }
 
     /// Counters accumulated so far (uploads skipped, cache hits, …).

@@ -52,6 +52,26 @@
 //! the sequential rng, for the same reason. `exchange_drop` is an ordinary
 //! operation-counter kind, checked once per halo-face transmit attempt on
 //! the sending rank; it is transient — a retransmit draws again.
+//!
+//! # Connection-level faults
+//!
+//! The serving layer (`dfg-serve`) adds three kinds that target the TCP
+//! edge rather than the device or the cluster. They are ordinary
+//! operation-counter kinds, checked once per socket read/write attempt by
+//! the server's `FaultyStream` wrapper:
+//!
+//! ```text
+//! conn_drop:<rate>      each socket op severs the connection with probability rate
+//! conn_drop@<n>         the n-th socket op on the plan severs its connection
+//! conn_stall:<rate>     each socket op first stalls for the configured pause
+//! byte_garble:<rate>    each successful read has one bit flipped
+//! ```
+//!
+//! `conn_drop` is persistent (the connection is gone; the client must
+//! reconnect); `conn_stall` and `byte_garble` are transient — the next
+//! operation proceeds normally. Like every other kind, the draws come from
+//! the plan's seeded generator, so a chaos run over a fixed request
+//! schedule injects the same connection faults every time.
 
 use std::sync::{Arc, Mutex};
 
@@ -75,10 +95,19 @@ pub enum FaultKind {
     /// A halo-face message lost in transit, checked per transmit attempt on
     /// the sending rank.
     ExchangeDrop,
+    /// A TCP connection severed mid-stream, checked per socket read/write
+    /// attempt by the serving layer's fault-injecting stream wrapper.
+    ConnDrop,
+    /// A socket operation stalling (slow client / congested link) before
+    /// completing, checked per socket read/write attempt.
+    ConnStall,
+    /// One bit of a successful socket read flipped in transit, checked per
+    /// read; models line noise that the protocol layer must survive.
+    ByteGarble,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 7] = [
+    const ALL: [FaultKind; 10] = [
         FaultKind::Alloc,
         FaultKind::Transfer,
         FaultKind::Launch,
@@ -86,7 +115,13 @@ impl FaultKind {
         FaultKind::RankDie,
         FaultKind::RankHang,
         FaultKind::ExchangeDrop,
+        FaultKind::ConnDrop,
+        FaultKind::ConnStall,
+        FaultKind::ByteGarble,
     ];
+
+    /// Number of distinct kinds (the size of the per-kind counter arrays).
+    pub(crate) const COUNT: usize = 10;
 
     fn index(self) -> usize {
         match self {
@@ -97,6 +132,9 @@ impl FaultKind {
             FaultKind::RankDie => 4,
             FaultKind::RankHang => 5,
             FaultKind::ExchangeDrop => 6,
+            FaultKind::ConnDrop => 7,
+            FaultKind::ConnStall => 8,
+            FaultKind::ByteGarble => 9,
         }
     }
 
@@ -110,17 +148,35 @@ impl FaultKind {
             FaultKind::RankDie => "rank_die",
             FaultKind::RankHang => "rank_hang",
             FaultKind::ExchangeDrop => "exchange_drop",
+            FaultKind::ConnDrop => "conn_drop",
+            FaultKind::ConnStall => "conn_stall",
+            FaultKind::ByteGarble => "byte_garble",
         }
     }
 
     /// Whether an injected fault of this kind is transient by default:
-    /// transfer and launch faults succeed when re-issued, and a dropped
-    /// halo face may survive a retransmit; alloc and compile faults persist
-    /// until the execution plan changes, and a dead or hung rank stays lost.
+    /// transfer and launch faults succeed when re-issued, a dropped halo
+    /// face may survive a retransmit, and a stalled or garbled socket op is
+    /// over once it happened; alloc and compile faults persist until the
+    /// execution plan changes, a dead or hung rank stays lost, and a
+    /// severed connection stays severed.
     pub fn default_transient(self) -> bool {
         matches!(
             self,
-            FaultKind::Transfer | FaultKind::Launch | FaultKind::ExchangeDrop
+            FaultKind::Transfer
+                | FaultKind::Launch
+                | FaultKind::ExchangeDrop
+                | FaultKind::ConnStall
+                | FaultKind::ByteGarble
+        )
+    }
+
+    /// Whether this kind targets the serving layer's TCP edge (checked by
+    /// `dfg-serve`'s stream wrapper) rather than a device operation.
+    pub fn is_conn_kind(self) -> bool {
+        matches!(
+            self,
+            FaultKind::ConnDrop | FaultKind::ConnStall | FaultKind::ByteGarble
         )
     }
 
@@ -205,9 +261,9 @@ struct Rule {
 struct PlanState {
     rules: Vec<Rule>,
     /// Operations seen so far, per kind.
-    seen: [u64; 7],
+    seen: [u64; FaultKind::COUNT],
     /// Faults fired so far, per kind.
-    fired: [u64; 7],
+    fired: [u64; FaultKind::COUNT],
     /// xorshift64 state for rate-based draws; never zero.
     rng: u64,
     seed: u64,
@@ -242,8 +298,8 @@ impl FaultPlan {
         FaultPlan {
             inner: Arc::new(Mutex::new(PlanState {
                 rules: Vec::new(),
-                seen: [0; 7],
-                fired: [0; 7],
+                seen: [0; FaultKind::COUNT],
+                fired: [0; FaultKind::COUNT],
                 rng: if seed == 0 { DEFAULT_SEED } else { seed },
                 seed,
             })),
@@ -554,6 +610,47 @@ mod tests {
         assert!(FaultPlan::parse("transfer:1.5").is_err(), "rate > 1");
         assert!(FaultPlan::parse("seed=banana").is_err(), "bad seed");
         assert!(FaultPlan::parse("gibberish").is_err());
+    }
+
+    #[test]
+    fn conn_kinds_parse_and_have_expected_transience() {
+        let plan =
+            FaultPlan::parse("conn_drop@2, conn_stall:0.5, byte_garble:0.25, seed=9").unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert!(plan.check(FaultKind::ConnDrop).is_none());
+        let drop = plan.check(FaultKind::ConnDrop).expect("second op drops");
+        assert!(!drop.transient, "conn_drop kills the connection for good");
+        assert!(FaultKind::ConnStall.default_transient());
+        assert!(FaultKind::ByteGarble.default_transient());
+        for kind in [
+            FaultKind::ConnDrop,
+            FaultKind::ConnStall,
+            FaultKind::ByteGarble,
+        ] {
+            assert!(kind.is_conn_kind());
+        }
+        assert!(!FaultKind::Transfer.is_conn_kind());
+    }
+
+    #[test]
+    fn conn_kinds_count_independently_of_device_kinds() {
+        let plan = FaultPlan::parse("conn_stall@1, transfer@1").unwrap();
+        assert!(plan.check(FaultKind::ConnDrop).is_none());
+        assert!(plan.check(FaultKind::ConnStall).is_some());
+        assert!(plan.check(FaultKind::Transfer).is_some());
+        assert_eq!(plan.ops_seen(FaultKind::ConnStall), 1);
+    }
+
+    #[test]
+    fn conn_rate_draws_are_seed_stable() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::parse(&format!("conn_drop:0.2, seed={seed}")).unwrap();
+            (0..64)
+                .map(|_| plan.check(FaultKind::ConnDrop).is_some())
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same drop schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
     }
 
     #[test]

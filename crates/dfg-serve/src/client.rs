@@ -6,6 +6,14 @@
 //! [`Client::recv_for`], which lets a load generator keep many requests
 //! in flight on one connection and match replies by id.
 //!
+//! Failures are **typed**: a refused request surfaces as
+//! [`ClientError::Rejected`] carrying the server's [`RejectKind`], so
+//! callers can branch on `overloaded` vs `deadline_exceeded` vs
+//! `quota_exceeded` instead of string-matching. Transient failures
+//! ([`ClientError::is_transient`]) compose with [`RetryPolicy`] — a
+//! seeded exponential-backoff loop whose jitter is reproducible, in the
+//! same spirit as the engine's deterministic recovery ladder.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,8 +35,9 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use crate::protocol::{DeriveReply, DeriveRequest, ExecStrategy, Request, Response};
+use crate::protocol::{DeriveReply, DeriveRequest, ExecStrategy, RejectKind, Request, Response};
 
 /// A blocking connection to a serve instance.
 pub struct Client {
@@ -39,19 +48,45 @@ pub struct Client {
     pending: HashMap<u64, Response>,
 }
 
-/// Client-side failure: transport error or a protocol-level parse error.
+/// Client-side failure: transport error, typed server rejection, or a
+/// protocol-level parse error.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
-    /// The server's reply did not parse, or the request was refused.
+    /// The server refused the request with a typed rejection.
+    Rejected {
+        /// Why the server refused (`overloaded`, `deadline_exceeded`,
+        /// `too_large`, `quota_exceeded`, ...).
+        kind: RejectKind,
+        /// The server's human-readable explanation.
+        message: String,
+    },
+    /// The server's reply did not parse, or was of an unexpected shape.
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether retrying the same request may succeed: connection faults
+    /// and `overloaded` rejections are transient; deadline, size, quota,
+    /// and malformed-request failures are not (the request itself is the
+    /// problem).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Rejected { kind, .. } => matches!(kind, RejectKind::Overloaded),
+            ClientError::Protocol(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Rejected { kind, message } => {
+                write!(f, "{}: {message}", kind.as_str())
+            }
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -62,6 +97,83 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Seeded exponential backoff for transient failures.
+///
+/// The jitter stream is a xorshift PRNG keyed by `seed`, so a retry
+/// schedule — like everything else in this codebase's failure tooling —
+/// is reproducible: the same seed and failure sequence sleep for the
+/// same durations.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first (0 = no retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub max_delay: Duration,
+    state: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(10), Duration::from_millis(500), 1)
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with explicit bounds and jitter seed.
+    pub fn new(max_retries: u32, base_delay: Duration, max_delay: Duration, seed: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_delay,
+            max_delay,
+            // xorshift must not start at 0; fold the seed to non-zero.
+            state: seed | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// The backoff before retry number `attempt` (0-based): exponential
+    /// `base * 2^attempt` capped at `max_delay`, scaled by a jitter factor
+    /// drawn uniformly from `[0.5, 1.0]`.
+    pub fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let jitter = 0.5 + (self.next_u64() % 1000) as f64 / 2000.0;
+        exp.mul_f64(jitter)
+    }
+
+    /// Run `op` until it succeeds, exhausts the retry budget, or fails
+    /// non-transiently. Each retry reconnects from scratch via `op` (the
+    /// closure owns connection setup), sleeping the seeded backoff first.
+    pub fn retry<T>(
+        &mut self,
+        mut op: impl FnMut() -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < self.max_retries => {
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
@@ -76,6 +188,13 @@ impl Client {
             next_id: 1,
             pending: HashMap::new(),
         })
+    }
+
+    /// Bound how long [`Client::recv`] blocks on the socket. A timed-out
+    /// read surfaces as [`ClientError::Io`] (`WouldBlock`/`TimedOut`),
+    /// which [`ClientError::is_transient`] classifies as retryable.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(dur)
     }
 
     fn fresh_id(&mut self) -> u64 {
@@ -132,8 +251,9 @@ impl Client {
         self.recv_for(id)
     }
 
-    /// Derive a field and wait; non-`ok` statuses become
-    /// [`ClientError::Protocol`] carrying the status + message.
+    /// Derive a field and wait. Rejections become the typed
+    /// [`ClientError::Rejected`]; execution errors become
+    /// [`ClientError::Protocol`].
     pub fn derive(
         &mut self,
         tenant: &str,
@@ -142,6 +262,21 @@ impl Client {
         strategy: ExecStrategy,
         data: bool,
     ) -> Result<DeriveReply, ClientError> {
+        self.derive_with_deadline(tenant, expr, grid, strategy, data, None)
+    }
+
+    /// [`Client::derive`] with a per-request deadline: the server rejects
+    /// the request with `deadline_exceeded` once `deadline` elapses,
+    /// whether it is still queued or mid-execution.
+    pub fn derive_with_deadline(
+        &mut self,
+        tenant: &str,
+        expr: &str,
+        grid: [usize; 3],
+        strategy: ExecStrategy,
+        data: bool,
+        deadline: Option<Duration>,
+    ) -> Result<DeriveReply, ClientError> {
         let resp = self.request(Request::Derive(DeriveRequest {
             id: 0,
             tenant: tenant.to_string(),
@@ -149,13 +284,13 @@ impl Client {
             grid,
             strategy,
             data,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
         }))?;
         match resp {
             Response::Ok(reply) => Ok(reply),
-            Response::Rejected { kind, message, .. } => Err(ClientError::Protocol(format!(
-                "{}: {message}",
-                kind.as_str()
-            ))),
+            Response::Rejected { kind, message, .. } => {
+                Err(ClientError::Rejected { kind, message })
+            }
             Response::Error { message, .. } => Err(ClientError::Protocol(message)),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
@@ -195,5 +330,100 @@ fn response_id(resp: &Response) -> u64 {
         | Response::ShuttingDown { id }
         | Response::Rejected { id, .. }
         | Response::Error { id, .. } => *id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification_matches_reject_kinds() {
+        let io = ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "boom",
+        ));
+        assert!(io.is_transient());
+        let overloaded = ClientError::Rejected {
+            kind: RejectKind::Overloaded,
+            message: "queue full".into(),
+        };
+        assert!(overloaded.is_transient());
+        for kind in [
+            RejectKind::DeadlineExceeded,
+            RejectKind::TooLarge,
+            RejectKind::QuotaExceeded,
+            RejectKind::ShuttingDown,
+        ] {
+            let e = ClientError::Rejected {
+                kind,
+                message: "no".into(),
+            };
+            assert!(!e.is_transient(), "{e} must not be transient");
+        }
+        assert!(!ClientError::Protocol("garbled".into()).is_transient());
+    }
+
+    #[test]
+    fn rejected_display_keeps_the_wire_status_prefix() {
+        let e = ClientError::Rejected {
+            kind: RejectKind::QuotaExceeded,
+            message: "tenant over budget".into(),
+        };
+        assert_eq!(e.to_string(), "quota_exceeded: tenant over budget");
+    }
+
+    #[test]
+    fn backoff_is_seed_stable_and_bounded() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut p = RetryPolicy::new(
+                5,
+                Duration::from_millis(10),
+                Duration::from_millis(100),
+                seed,
+            );
+            (0..5).map(|a| p.backoff(a)).collect()
+        };
+        assert_eq!(schedule(7), schedule(7), "same seed, same jitter");
+        assert_ne!(schedule(7), schedule(8), "different seeds differ");
+        let mut p = RetryPolicy::new(5, Duration::from_millis(10), Duration::from_millis(100), 7);
+        for a in 0..8 {
+            let b = p.backoff(a);
+            assert!(
+                b <= Duration::from_millis(100),
+                "capped at max_delay: {b:?}"
+            );
+            assert!(b >= Duration::from_millis(5), "at least half the base");
+        }
+    }
+
+    #[test]
+    fn retry_stops_on_non_transient_and_counts_attempts() {
+        let mut p = RetryPolicy::new(3, Duration::from_micros(1), Duration::from_micros(2), 1);
+        let mut calls = 0u32;
+        let out: Result<(), _> = p.retry(|| {
+            calls += 1;
+            Err(ClientError::Rejected {
+                kind: RejectKind::TooLarge,
+                message: "frame".into(),
+            })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "non-transient fails immediately");
+
+        let mut p = RetryPolicy::new(3, Duration::from_micros(1), Duration::from_micros(2), 1);
+        let mut calls = 0u32;
+        let out = p.retry(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(ClientError::Rejected {
+                    kind: RejectKind::Overloaded,
+                    message: "busy".into(),
+                })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out.unwrap(), 3, "transient retried until success");
     }
 }

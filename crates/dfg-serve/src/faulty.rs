@@ -1,0 +1,220 @@
+//! Deterministic connection-fault injection: a [`FaultyStream`] wrapper
+//! that consumes the `conn_drop` / `conn_stall` / `byte_garble` kinds of a
+//! [`dfg_ocl::FaultPlan`].
+//!
+//! The serving layer wraps every accepted socket in a `FaultyStream`. With
+//! no plan installed the wrapper is a transparent passthrough; with one, each
+//! read and write first consults the plan — exactly like the device layer
+//! consults it before each transfer or launch — so chaos runs are **seeded
+//! and reproducible**: the same spec and seed produce the same drop/stall/
+//! garble schedule, counted per kind across all connections sharing the
+//! plan.
+//!
+//! Semantics per fired fault:
+//!
+//! * `conn_drop` — the socket is shut down both ways and the operation
+//!   fails with `ConnectionReset`; the server tears the connection down
+//!   through its normal disconnect path (flipping the in-flight request's
+//!   cancel flag).
+//! * `conn_stall` — the operation sleeps for the configured stall before
+//!   proceeding, modeling a hung peer or congested link; with a read
+//!   deadline armed, a stall longer than the deadline surfaces as a
+//!   timeout.
+//! * `byte_garble` — one bit of a successful read is flipped, at a
+//!   position derived from the fault's op index (deterministic given the
+//!   seed). A garbled frame typically fails JSON parsing and is answered
+//!   with a malformed-frame error — never a panic.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use dfg_ocl::{FaultKind, FaultPlan};
+
+/// A TCP stream that injects connection-level faults from a shared
+/// [`FaultPlan`] before (and during) each I/O operation. See the module
+/// docs for the per-kind semantics.
+pub struct FaultyStream {
+    inner: TcpStream,
+    plan: Option<FaultPlan>,
+    stall: Duration,
+}
+
+impl FaultyStream {
+    /// Wrap `inner`, injecting faults from `plan` (`None` = passthrough).
+    /// `stall` is how long a fired `conn_stall` sleeps.
+    pub fn new(inner: TcpStream, plan: Option<FaultPlan>, stall: Duration) -> Self {
+        FaultyStream { inner, plan, stall }
+    }
+
+    /// Clone the underlying socket handle; the clone shares the fault plan
+    /// (and therefore its per-kind operation counters) with `self`.
+    pub fn try_clone(&self) -> io::Result<FaultyStream> {
+        Ok(FaultyStream {
+            inner: self.inner.try_clone()?,
+            plan: self.plan.clone(),
+            stall: self.stall,
+        })
+    }
+
+    /// Shut down the underlying socket (both directions by default at the
+    /// call sites; pass the half explicitly).
+    pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        self.inner.shutdown(how)
+    }
+
+    /// Arm (or clear) the socket's read timeout.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    /// Arm (or clear) the socket's write timeout.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// Consult the plan before an I/O operation: maybe stall, maybe kill
+    /// the connection.
+    fn gate(&self) -> io::Result<()> {
+        let Some(plan) = &self.plan else {
+            return Ok(());
+        };
+        if plan.check(FaultKind::ConnStall).is_some() {
+            std::thread::sleep(self.stall);
+        }
+        if plan.check(FaultKind::ConnDrop).is_some() {
+            let _ = self.inner.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected conn_drop",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Read for FaultyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.gate()?;
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            if let Some(plan) = &self.plan {
+                if let Some(f) = plan.check(FaultKind::ByteGarble) {
+                    // Flip one deterministic bit of the bytes just read.
+                    let i = (f.op_index as usize) % n;
+                    buf[i] ^= 1 << (f.op_index % 8);
+                }
+            }
+        }
+        Ok(n)
+    }
+}
+
+impl Write for FaultyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.gate()?;
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    /// A connected localhost socket pair.
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn passthrough_without_a_plan() {
+        let (client, server) = pair();
+        let mut faulty = FaultyStream::new(server, None, Duration::ZERO);
+        let mut client = client;
+        client.write_all(b"hello\n").unwrap();
+        let mut reader = BufReader::new(&mut faulty);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "hello\n");
+    }
+
+    #[test]
+    fn conn_drop_resets_the_connection() {
+        let (mut client, server) = pair();
+        let plan = FaultPlan::parse("conn_drop@1").unwrap();
+        let mut faulty = FaultyStream::new(server, Some(plan), Duration::ZERO);
+        client.write_all(b"hi\n").unwrap();
+        let mut buf = [0u8; 8];
+        let err = faulty.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The peer observes the shutdown: its next read returns EOF (or a
+        // reset, platform-dependent); either way the connection is dead.
+        let _ = client.read(&mut buf);
+    }
+
+    #[test]
+    fn byte_garble_flips_exactly_one_deterministic_bit() {
+        let read_back = |seed: u64| -> Vec<u8> {
+            let (mut client, server) = pair();
+            let plan = FaultPlan::parse(&format!("byte_garble@1, seed={seed}")).unwrap();
+            let mut faulty = FaultyStream::new(server, Some(plan), Duration::ZERO);
+            client.write_all(b"abcdef\n").unwrap();
+            let mut buf = [0u8; 7];
+            faulty.read_exact(&mut buf).unwrap();
+            buf.to_vec()
+        };
+        let got = read_back(1);
+        let clean = b"abcdef\n";
+        let flipped_bits: u32 = got
+            .iter()
+            .zip(clean)
+            .map(|(g, c)| (g ^ c).count_ones())
+            .sum();
+        assert_eq!(flipped_bits, 1, "exactly one bit flipped: {got:?}");
+        assert_eq!(read_back(1), got, "same seed, same garble");
+    }
+
+    #[test]
+    fn conn_stall_delays_but_preserves_bytes() {
+        let (mut client, server) = pair();
+        let plan = FaultPlan::parse("conn_stall@1").unwrap();
+        let mut faulty = FaultyStream::new(server, Some(plan), Duration::from_millis(20));
+        client.write_all(b"slow\n").unwrap();
+        let t0 = std::time::Instant::now();
+        let mut buf = [0u8; 5];
+        faulty.read_exact(&mut buf).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20), "stall applied");
+        assert_eq!(&buf, b"slow\n");
+    }
+
+    #[test]
+    fn clones_share_the_plan_counters() {
+        let (mut client, server) = pair();
+        let plan = FaultPlan::parse("conn_drop@2").unwrap();
+        let faulty = FaultyStream::new(server, Some(plan.clone()), Duration::ZERO);
+        let mut clone = faulty.try_clone().unwrap();
+        client.write_all(b"xy\n").unwrap();
+        let mut buf = [0u8; 3];
+        // First op (on the clone) passes; second op (back on the clone)
+        // consumes the shared counter and drops.
+        clone.read_exact(&mut buf).unwrap();
+        assert_eq!(plan.ops_seen(FaultKind::ConnDrop), 1);
+        let err = clone.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+}

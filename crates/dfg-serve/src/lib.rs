@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faulty;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use faulty::FaultyStream;
 pub use protocol::{
     DeriveReply, DeriveRequest, ExecStrategy, RejectKind, Request, Response, ServerCounters,
 };

@@ -25,6 +25,7 @@
 //!     grid: [8, 8, 8],
 //!     strategy: ExecStrategy::Fusion,
 //!     data: false,
+//!     deadline_ms: Some(250),
 //! });
 //! let line = req.to_json_line();
 //! assert!(line.ends_with('\n'));
@@ -100,6 +101,12 @@ pub struct DeriveRequest {
     pub strategy: ExecStrategy,
     /// Whether to return the full field as `data_bits` (bit-exact f32).
     pub data: bool,
+    /// Optional deadline, in milliseconds from the moment the server
+    /// admits the request. An expired request is dropped — at dequeue or
+    /// between recovery-ladder rungs — with a `deadline_exceeded` reply
+    /// instead of being executed. `None` falls back to the server's
+    /// default deadline (which may itself be "none").
+    pub deadline_ms: Option<u64>,
 }
 
 /// A client→server message.
@@ -128,18 +135,25 @@ impl Request {
     /// Encode as one newline-terminated JSON line.
     pub fn to_json_line(&self) -> String {
         match self {
-            Request::Derive(d) => format!(
-                "{{\"op\":\"derive\",\"id\":{},\"tenant\":\"{}\",\"expr\":\"{}\",\
-                 \"grid\":[{},{},{}],\"strategy\":\"{}\",\"data\":{}}}\n",
-                d.id,
-                json::escape(&d.tenant),
-                json::escape(&d.expr),
-                d.grid[0],
-                d.grid[1],
-                d.grid[2],
-                d.strategy.as_str(),
-                d.data,
-            ),
+            Request::Derive(d) => {
+                let deadline = match d.deadline_ms {
+                    Some(ms) => format!(",\"deadline_ms\":{ms}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"op\":\"derive\",\"id\":{},\"tenant\":\"{}\",\"expr\":\"{}\",\
+                     \"grid\":[{},{},{}],\"strategy\":\"{}\",\"data\":{}{}}}\n",
+                    d.id,
+                    json::escape(&d.tenant),
+                    json::escape(&d.expr),
+                    d.grid[0],
+                    d.grid[1],
+                    d.grid[2],
+                    d.strategy.as_str(),
+                    d.data,
+                    deadline,
+                )
+            }
             Request::Stats { id } => format!("{{\"op\":\"stats\",\"id\":{id}}}\n"),
             Request::Ping { id } => format!("{{\"op\":\"ping\",\"id\":{id}}}\n"),
             Request::Shutdown { id } => format!("{{\"op\":\"shutdown\",\"id\":{id}}}\n"),
@@ -192,6 +206,18 @@ impl Request {
                     None => ExecStrategy::Fusion,
                 };
                 let data = matches!(v.get("data"), Some(Value::Bool(true)));
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(val) => {
+                        let n = val.as_f64().ok_or("derive: non-numeric \"deadline_ms\"")?;
+                        if !n.is_finite() || n < 0.0 || n != n.trunc() {
+                            return Err(
+                                "derive: \"deadline_ms\" must be a non-negative integer".into()
+                            );
+                        }
+                        Some(n as u64)
+                    }
+                };
                 Ok(Request::Derive(DeriveRequest {
                     id,
                     tenant,
@@ -199,10 +225,21 @@ impl Request {
                     grid,
                     strategy,
                     data,
+                    deadline_ms,
                 }))
             }
             other => Err(format!("unknown op `{other}`")),
         }
+    }
+
+    /// Best-effort extraction of the client-chosen `id` from a frame that
+    /// failed [`Request::parse`], so a malformed-frame error reply can
+    /// still echo it and the client can match the failure to its request.
+    /// Returns `None` when the line is not JSON or carries no numeric id.
+    pub fn frame_id(line: &str) -> Option<u64> {
+        let v = json::parse(line).ok()?;
+        let id = v.get("id")?.as_f64()?;
+        (id.is_finite() && id >= 0.0).then_some(id as u64)
     }
 }
 
@@ -215,6 +252,10 @@ pub enum RejectKind {
     QuotaExceeded,
     /// The server is draining; no new work is accepted.
     ShuttingDown,
+    /// The request frame exceeded the server's line-byte cap.
+    TooLarge,
+    /// The request's deadline passed before (or while) it executed.
+    DeadlineExceeded,
 }
 
 impl RejectKind {
@@ -224,6 +265,8 @@ impl RejectKind {
             RejectKind::Overloaded => "overloaded",
             RejectKind::QuotaExceeded => "quota_exceeded",
             RejectKind::ShuttingDown => "shutting_down",
+            RejectKind::TooLarge => "too_large",
+            RejectKind::DeadlineExceeded => "deadline_exceeded",
         }
     }
 }
@@ -235,6 +278,11 @@ pub struct DeriveReply {
     pub id: u64,
     /// Echo of the tenant id.
     pub tenant: String,
+    /// Echo of the expression the server actually executed. Clients
+    /// compare this against what they sent: a transport-level mutation
+    /// that still parses as a valid request (one bit flipped inside the
+    /// expression text, say) is otherwise undetectable server-side.
+    pub expr: String,
     /// Cells in the derived field.
     pub ncells: u64,
     /// Sum of the derived field's values (always present; cheap parity
@@ -279,6 +327,18 @@ pub struct ServerCounters {
     pub merged: u64,
     /// Requests that completed degraded via the recovery ladder.
     pub degraded: u64,
+    /// Frames rejected for exceeding the request-line byte cap.
+    pub rejected_too_large: u64,
+    /// Requests rejected because their deadline expired before completion.
+    pub rejected_deadline: u64,
+    /// Executions aborted mid-flight because the client disconnected.
+    pub cancelled: u64,
+    /// Tenant sessions evicted by the idle TTL.
+    pub evicted_idle: u64,
+    /// Tenant sessions evicted by the memory-pressure watchdog (LRU).
+    pub evicted_pressure: u64,
+    /// Frames that failed to parse (answered with an error, not executed).
+    pub malformed: u64,
 }
 
 /// A server→client message.
@@ -329,7 +389,7 @@ fn tenant_stats_json(t: &TenantStats) -> String {
          \"codegen_compiles\":{},\"codegen_cached\":{},\"merged\":{},\
          \"opt_saved_kernels\":{},\"pool_hits\":{},\
          \"pooled_bytes\":{},\"resident_bytes\":{},\"in_use_bytes\":{},\
-         \"quota_bytes\":{}}}",
+         \"quota_bytes\":{},\"idle_ms\":{}}}",
         json::escape(&t.tenant),
         t.session.cycles,
         t.session.uploads,
@@ -343,6 +403,7 @@ fn tenant_stats_json(t: &TenantStats) -> String {
         t.resident_bytes,
         t.in_use_bytes,
         t.quota_bytes,
+        t.idle_ms,
     )
 }
 
@@ -373,6 +434,7 @@ fn tenant_stats_parse(v: &Value) -> Result<TenantStats, String> {
         resident_bytes: num("resident_bytes")?,
         in_use_bytes: num("in_use_bytes")?,
         quota_bytes: num("quota_bytes")?,
+        idle_ms: num("idle_ms")?,
     })
 }
 
@@ -382,11 +444,13 @@ impl Response {
         match self {
             Response::Ok(r) => {
                 let mut line = format!(
-                    "{{\"status\":\"ok\",\"id\":{},\"tenant\":\"{}\",\"ncells\":{},\
+                    "{{\"status\":\"ok\",\"id\":{},\"tenant\":\"{}\",\"expr\":\"{}\",\
+                     \"ncells\":{},\
                      \"checksum\":{},\"device_ms\":{},\"wall_ms\":{},\"compiles\":{},\
                      \"coalesced\":{},\"batch\":{},\"degraded\":{}",
                     r.id,
                     json::escape(&r.tenant),
+                    json::escape(&r.expr),
                     r.ncells,
                     json::number(r.checksum),
                     json::number(r.device_ms),
@@ -420,7 +484,9 @@ impl Response {
                     "{{\"status\":\"stats\",\"id\":{},\"server\":{{\"requests\":{},\
                      \"ok\":{},\"rejected_overload\":{},\"rejected_quota\":{},\
                      \"errors\":{},\"batches\":{},\"coalesced\":{},\"merged\":{},\
-                     \"degraded\":{}}},\"tenants\":[{}]}}\n",
+                     \"degraded\":{},\"rejected_too_large\":{},\"rejected_deadline\":{},\
+                     \"cancelled\":{},\"evicted_idle\":{},\"evicted_pressure\":{},\
+                     \"malformed\":{}}},\"tenants\":[{}]}}\n",
                     id,
                     server.requests,
                     server.ok,
@@ -431,6 +497,12 @@ impl Response {
                     server.coalesced,
                     server.merged,
                     server.degraded,
+                    server.rejected_too_large,
+                    server.rejected_deadline,
+                    server.cancelled,
+                    server.evicted_idle,
+                    server.evicted_pressure,
+                    server.malformed,
                     tenants_json.join(","),
                 )
             }
@@ -491,6 +563,16 @@ impl Response {
                 kind: RejectKind::QuotaExceeded,
                 message: message(),
             }),
+            "too_large" => Ok(Response::Rejected {
+                id,
+                kind: RejectKind::TooLarge,
+                message: message(),
+            }),
+            "deadline_exceeded" => Ok(Response::Rejected {
+                id,
+                kind: RejectKind::DeadlineExceeded,
+                message: message(),
+            }),
             "error" => Ok(Response::Error {
                 id,
                 message: message(),
@@ -513,6 +595,12 @@ impl Response {
                     coalesced: num("coalesced")?,
                     merged: num("merged")?,
                     degraded: num("degraded")?,
+                    rejected_too_large: num("rejected_too_large")?,
+                    rejected_deadline: num("rejected_deadline")?,
+                    cancelled: num("cancelled")?,
+                    evicted_idle: num("evicted_idle")?,
+                    evicted_pressure: num("evicted_pressure")?,
+                    malformed: num("malformed")?,
                 };
                 let tenants = v
                     .get("tenants")
@@ -553,6 +641,11 @@ impl Response {
                         .and_then(Value::as_str)
                         .unwrap_or("")
                         .to_string(),
+                    expr: v
+                        .get("expr")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
                     ncells: num("ncells")? as u64,
                     checksum: num("checksum")?,
                     device_ms: num("device_ms")?,
@@ -575,16 +668,45 @@ mod tests {
 
     #[test]
     fn derive_request_round_trips() {
-        let req = Request::Derive(DeriveRequest {
-            id: 42,
-            tenant: "te\"nant".into(),
-            expr: "m = u*v".into(),
-            grid: [16, 8, 4],
-            strategy: ExecStrategy::Staged,
-            data: true,
-        });
-        let line = req.to_json_line();
-        assert_eq!(Request::parse(line.trim()).unwrap(), req);
+        for deadline_ms in [None, Some(0), Some(250)] {
+            let req = Request::Derive(DeriveRequest {
+                id: 42,
+                tenant: "te\"nant".into(),
+                expr: "m = u*v".into(),
+                grid: [16, 8, 4],
+                strategy: ExecStrategy::Staged,
+                data: true,
+                deadline_ms,
+            });
+            let line = req.to_json_line();
+            assert_eq!(Request::parse(line.trim()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn deadline_must_be_a_nonnegative_integer() {
+        let frame = |d: &str| {
+            format!(
+                r#"{{"op":"derive","id":1,"tenant":"t","expr":"m = u","grid":[4,4,4],"deadline_ms":{d}}}"#
+            )
+        };
+        assert!(Request::parse(&frame("-1")).is_err());
+        assert!(Request::parse(&frame("1.5")).is_err());
+        assert!(Request::parse(&frame("\"soon\"")).is_err());
+        // `null` is treated as absent.
+        match Request::parse(&frame("null")).unwrap() {
+            Request::Derive(d) => assert_eq!(d.deadline_ms, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_id_recovers_ids_from_malformed_frames() {
+        assert_eq!(Request::frame_id(r#"{"op":"nope","id":9}"#), Some(9));
+        assert_eq!(Request::frame_id(r#"{"op":"derive","id":3}"#), Some(3));
+        assert_eq!(Request::frame_id(r#"{"op":"derive"}"#), None);
+        assert_eq!(Request::frame_id("not json at all"), None);
+        assert_eq!(Request::frame_id(r#"{"id":-5}"#), None);
     }
 
     #[test]
@@ -633,6 +755,7 @@ mod tests {
         let resp = Response::Ok(DeriveReply {
             id: 9,
             tenant: "a".into(),
+            expr: "m = u*v".into(),
             ncells: 4,
             checksum: 2.5,
             device_ms: 0.125,
@@ -645,7 +768,10 @@ mod tests {
         });
         let line = resp.to_json_line();
         match Response::parse(line.trim()).unwrap() {
-            Response::Ok(r) => assert_eq!(r.data_bits.as_deref(), Some(&bits[..])),
+            Response::Ok(r) => {
+                assert_eq!(r.data_bits.as_deref(), Some(&bits[..]));
+                assert_eq!(r.expr, "m = u*v", "expr echo must round-trip");
+            }
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -664,6 +790,12 @@ mod tests {
                 coalesced: 3,
                 merged: 2,
                 degraded: 1,
+                rejected_too_large: 1,
+                rejected_deadline: 2,
+                cancelled: 1,
+                evicted_idle: 1,
+                evicted_pressure: 1,
+                malformed: 4,
             },
             tenants: vec![TenantStats {
                 tenant: "a".into(),
@@ -681,6 +813,7 @@ mod tests {
                 resident_bytes: 2048,
                 in_use_bytes: 2048,
                 quota_bytes: 1 << 20,
+                idle_ms: 1500,
             }],
         };
         let line = resp.to_json_line();
@@ -705,6 +838,22 @@ mod tests {
                     message: "quota".into(),
                 },
                 "quota_exceeded",
+            ),
+            (
+                Response::Rejected {
+                    id: 3,
+                    kind: RejectKind::TooLarge,
+                    message: "frame over 64 KiB".into(),
+                },
+                "too_large",
+            ),
+            (
+                Response::Rejected {
+                    id: 4,
+                    kind: RejectKind::DeadlineExceeded,
+                    message: "deadline passed in queue".into(),
+                },
+                "deadline_exceeded",
             ),
         ] {
             let line = resp.to_json_line();

@@ -12,6 +12,35 @@
 //! by `(expression structure, grid, strategy)`, executes one *leader* per
 //! group, and fans the leader's payload out to the coalesced followers.
 //!
+//! # Hostile clients and long uptime
+//!
+//! The edge assumes nothing about the peer (see `docs/ROBUSTNESS.md`,
+//! "Serving resilience"):
+//!
+//! * request frames are read through a **byte-capped** line reader — an
+//!   oversized frame is answered with a typed `too_large` reject and
+//!   discarded, never buffered unboundedly;
+//! * a per-frame **read deadline** starts at a frame's first byte, so a
+//!   slow-loris client trickling bytes is disconnected while an *idle*
+//!   keep-alive connection lives forever;
+//! * the per-connection reply channel is **bounded** and the writer's
+//!   socket carries a write timeout, so a client that stops reading tears
+//!   its connection down instead of leaking a writer thread and unbounded
+//!   reply memory;
+//! * every derive job carries a [`dfg_core::CancelToken`] — deadline from
+//!   the request's `deadline_ms` (or the server default), abort flag
+//!   flipped when the connection dies — checked at dequeue and between
+//!   recovery-ladder rungs, so expired work answers `deadline_exceeded`
+//!   in bounded time and orphaned work stops instead of computing into a
+//!   closed socket;
+//! * a **maintenance tick** on the executor evicts tenants idle past the
+//!   TTL and, under memory pressure, trims buffer pools then evicts LRU
+//!   tenants (`serve.evict` spans, `evicted_idle`/`evicted_pressure`
+//!   counters) — long-running processes do not accumulate dead sessions;
+//! * with [`ServeConfig::conn_faults`] installed, every accepted socket is
+//!   wrapped in a [`crate::FaultyStream`], so connection-level chaos
+//!   (drops, stalls, garbled bytes) is seeded and reproducible.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,18 +62,19 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use dfg_core::{EngineOptions, FieldSet, RecoveryPolicy, SessionRegistry};
+use dfg_core::{CancelToken, EngineOptions, FieldSet, RecoveryPolicy, SessionRegistry};
 use dfg_mesh::{RectilinearMesh, RtWorkload};
-use dfg_ocl::DeviceProfile;
+use dfg_ocl::{DeviceProfile, FaultPlan};
 use dfg_trace::{span, Tracer};
 
+use crate::faulty::FaultyStream;
 use crate::protocol::{
     DeriveReply, DeriveRequest, ExecStrategy, RejectKind, Request, Response, ServerCounters,
 };
@@ -83,6 +113,41 @@ pub struct ServeConfig {
     pub quotas: Vec<(String, u64)>,
     /// Tracer receiving `serve.*` spans (and the engines' session spans).
     pub tracer: Option<Tracer>,
+    /// Hard cap on one request frame's bytes (newline included). An
+    /// oversized frame is rejected with `too_large` and discarded through
+    /// its terminating newline — the reader never buffers more than this.
+    pub max_line_bytes: usize,
+    /// Per-frame read deadline, armed at a frame's **first byte**: a
+    /// slow-loris client trickling a request is disconnected once the
+    /// frame takes this long, while an idle connection (no frame started)
+    /// is never timed out. `None` disables the guard.
+    pub read_deadline: Option<Duration>,
+    /// Socket write timeout for the per-connection writer thread; a write
+    /// stalled past this tears the connection down (and flips the
+    /// connection's cancel flag) instead of leaking the thread.
+    pub write_deadline: Option<Duration>,
+    /// Bound on the per-connection reply channel; when a client stops
+    /// reading and the channel fills, the connection is cancelled rather
+    /// than buffering replies without limit.
+    pub reply_queue_depth: usize,
+    /// Deadline applied to derive requests that carry no `deadline_ms` of
+    /// their own. `None` (the default) leaves such requests unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Evict a tenant's session (resident fields, kernel cache, pool)
+    /// after this much time without a request. `None` disables idle
+    /// eviction.
+    pub idle_ttl: Option<Duration>,
+    /// Memory-pressure threshold over all tenants' device bytes (in-use +
+    /// pooled). When crossed, the watchdog first trims every pool, then
+    /// evicts least-recently-used tenants until back under. `None`
+    /// disables the watchdog.
+    pub memory_pressure_bytes: Option<u64>,
+    /// Seeded connection-fault plan (`conn_drop` / `conn_stall` /
+    /// `byte_garble` kinds); every accepted socket shares it, so a chaos
+    /// run's fault schedule is reproducible. `None`: no injection.
+    pub conn_faults: Option<FaultPlan>,
+    /// How long an injected `conn_stall` blocks one I/O operation.
+    pub conn_stall: Duration,
 }
 
 impl Default for ServeConfig {
@@ -100,14 +165,66 @@ impl Default for ServeConfig {
             default_quota: None,
             quotas: Vec::new(),
             tracer: None,
+            max_line_bytes: 256 * 1024,
+            read_deadline: Some(Duration::from_secs(10)),
+            write_deadline: Some(Duration::from_secs(10)),
+            reply_queue_depth: 256,
+            default_deadline: None,
+            idle_ttl: None,
+            memory_pressure_bytes: None,
+            conn_faults: None,
+            conn_stall: Duration::from_millis(20),
         }
     }
 }
 
-/// One parsed request plus the channel its reply must go down.
+/// The connection-edge knobs every reader/writer thread needs, split out
+/// of [`ServeConfig`] so the accept loop can hand one `Arc` to each
+/// connection.
+struct ConnLimits {
+    max_line_bytes: usize,
+    read_deadline: Option<Duration>,
+    write_deadline: Option<Duration>,
+    reply_depth: usize,
+    default_deadline: Option<Duration>,
+    conn_faults: Option<FaultPlan>,
+    conn_stall: Duration,
+}
+
+/// The reply side of one connection: a bounded channel to the writer
+/// thread plus the connection's cancel flag. `send` never blocks — a full
+/// channel means the client stopped reading, so the connection is
+/// cancelled instead.
+#[derive(Clone)]
+struct ReplyTx {
+    tx: mpsc::SyncSender<String>,
+    conn: CancelToken,
+}
+
+impl ReplyTx {
+    /// Queue one reply line; `false` means the connection is dead (or was
+    /// just declared dead because the bounded channel overflowed).
+    fn send(&self, line: String) -> bool {
+        if self.conn.is_cancelled() {
+            return false;
+        }
+        match self.tx.try_send(line) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.conn.cancel();
+                false
+            }
+        }
+    }
+}
+
+/// One parsed request plus the channel its reply must go down and the
+/// cancellation token governing its execution (connection flag + request
+/// deadline).
 struct Job {
     req: Request,
-    reply: mpsc::Sender<String>,
+    reply: ReplyTx,
+    cancel: CancelToken,
 }
 
 struct QueueState {
@@ -122,6 +239,7 @@ struct Shared {
     counters: Mutex<ServerCounters>,
     capacity: usize,
     tracer: Option<Tracer>,
+    limits: ConnLimits,
 }
 
 impl Shared {
@@ -129,20 +247,17 @@ impl Shared {
         f(&mut self.counters.lock().expect("counters lock"));
     }
 
-    /// Enqueue under the admission bound; `Err` means the queue was full
-    /// or closed and the caller must reject the request.
-    fn try_push(&self, job: Job) -> Result<(), Job> {
+    /// Enqueue under the admission bound; `Some(job)` hands the job back
+    /// when the queue was full or closed and the caller must reject it.
+    fn try_push(&self, job: Job) -> Option<Job> {
         let mut q = self.queue.lock().expect("queue lock");
-        if q.closed {
-            return Err(job);
-        }
-        if q.jobs.len() >= self.capacity {
-            return Err(job);
+        if q.closed || q.jobs.len() >= self.capacity {
+            return Some(job);
         }
         q.jobs.push_back(job);
         drop(q);
         self.cond.notify_one();
-        Ok(())
+        None
     }
 
     fn close_queue(&self) {
@@ -176,6 +291,15 @@ impl Server {
             counters: Mutex::new(ServerCounters::default()),
             capacity: config.queue_capacity.max(1),
             tracer: config.tracer.clone(),
+            limits: ConnLimits {
+                max_line_bytes: config.max_line_bytes.max(64),
+                read_deadline: config.read_deadline,
+                write_deadline: config.write_deadline,
+                reply_depth: config.reply_queue_depth.max(1),
+                default_deadline: config.default_deadline,
+                conn_faults: config.conn_faults.clone(),
+                conn_stall: config.conn_stall,
+            },
         });
 
         let accept = {
@@ -244,30 +368,159 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// What the capped, deadline-armed frame reader produced.
+enum Frame {
+    /// One complete line within the byte cap (newline stripped, lossily
+    /// decoded — garbled bytes must parse-fail, never panic).
+    Line(String),
+    /// The frame exceeded the byte cap; it was discarded through its
+    /// terminating newline and the connection can continue.
+    TooLarge,
+    /// Clean end of stream.
+    Eof,
+    /// The frame's read deadline passed mid-frame (slow loris) or the
+    /// socket failed; the connection is torn down.
+    Dead,
+}
+
+/// Read one newline-terminated frame, buffering at most `max_line_bytes`.
+/// The read deadline is armed when the frame's *first* bytes arrive, so an
+/// idle connection blocks here indefinitely without being killed.
+fn read_frame(reader: &mut BufReader<FaultyStream>, limits: &ConnLimits) -> Frame {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut frame_deadline: Option<Instant> = None;
+    if reader.get_ref().set_read_timeout(None).is_err() {
+        return Frame::Dead;
+    }
+    loop {
+        if let Some(at) = frame_deadline {
+            let remaining = at.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Frame::Dead;
+            }
+            if reader
+                .get_ref()
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .is_err()
+            {
+                return Frame::Dead;
+            }
+        }
+        let (consumed, done) = match reader.fill_buf() {
+            Ok([]) => return Frame::Eof,
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    if !discarding {
+                        line.extend_from_slice(&chunk[..nl]);
+                    }
+                    (nl + 1, true)
+                }
+                None => {
+                    if !discarding {
+                        line.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Frame::Dead;
+            }
+            Err(_) => return Frame::Dead,
+        };
+        reader.consume(consumed);
+        if frame_deadline.is_none() {
+            frame_deadline = limits.read_deadline.map(|d| Instant::now() + d);
+        }
+        if !discarding && line.len() >= limits.max_line_bytes {
+            line.clear();
+            line.shrink_to_fit();
+            discarding = true;
+        }
+        if done {
+            return if discarding {
+                Frame::TooLarge
+            } else {
+                Frame::Line(String::from_utf8_lossy(&line).into_owned())
+            };
+        }
+    }
+}
+
 fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
-    let (tx, rx) = mpsc::channel::<String>();
+    let limits = &shared.limits;
+    let stream = FaultyStream::new(stream, limits.conn_faults.clone(), limits.conn_stall);
+    // One abort flag per connection: flipped when the writer stalls out,
+    // the reply channel overflows, or the socket dies — every in-flight
+    // job derived from it stops at its next cancellation point.
+    let conn = CancelToken::new();
+    let (tx, rx) = mpsc::sync_channel::<String>(limits.reply_depth);
+    let reply = ReplyTx {
+        tx,
+        conn: conn.clone(),
+    };
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let writer = thread::spawn(move || {
-        let mut out = BufWriter::new(writer_stream);
-        while let Ok(line) = rx.recv() {
-            if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
-                break;
+    if writer_stream
+        .set_write_timeout(limits.write_deadline)
+        .is_err()
+    {
+        return;
+    }
+    let writer = {
+        let conn = conn.clone();
+        thread::spawn(move || {
+            let mut out = BufWriter::new(writer_stream);
+            while let Ok(line) = rx.recv() {
+                if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+                    // Stalled or dead client: cancel the connection's
+                    // in-flight work and unblock the reader.
+                    conn.cancel();
+                    let _ = out.get_ref().shutdown(Shutdown::Both);
+                    break;
+                }
             }
-        }
-    });
+        })
+    };
 
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
+        if conn.is_cancelled() {
+            break;
         }
-        let trimmed = line.trim();
+        let frame = match read_frame(&mut reader, limits) {
+            Frame::Eof => break,
+            Frame::Dead => {
+                // Slow loris, reset, or injected drop: orphaned work must
+                // not keep computing into this connection.
+                conn.cancel();
+                break;
+            }
+            Frame::TooLarge => {
+                shared.count(|c| {
+                    c.requests += 1;
+                    c.rejected_too_large += 1;
+                });
+                drop(span!(shared.tracer, "serve.reject", reason = "too_large"));
+                reply.send(
+                    Response::Rejected {
+                        id: 0,
+                        kind: RejectKind::TooLarge,
+                        message: format!("request frame exceeds {} bytes", limits.max_line_bytes),
+                    }
+                    .to_json_line(),
+                );
+                continue;
+            }
+            Frame::Line(l) => l,
+        };
+        let trimmed = frame.trim();
         if trimmed.is_empty() {
             continue;
         }
@@ -275,9 +528,14 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         let req = match Request::parse(trimmed) {
             Ok(req) => req,
             Err(e) => {
-                let _ = tx.send(
+                // Malformed frame: echo the request id when the frame was
+                // coherent enough to carry one, so pipelining clients can
+                // match the failure to a request.
+                let id = Request::frame_id(trimmed).unwrap_or(0);
+                shared.count(|c| c.malformed += 1);
+                reply.send(
                     Response::Error {
-                        id: 0,
+                        id,
                         message: format!("bad request: {e}"),
                     }
                     .to_json_line(),
@@ -287,18 +545,27 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
         };
         match req {
             Request::Ping { id } => {
-                let _ = tx.send(Response::Pong { id }.to_json_line());
+                reply.send(Response::Pong { id }.to_json_line());
             }
             req => {
-                let id = match &req {
-                    Request::Derive(d) => d.id,
-                    Request::Stats { id } | Request::Shutdown { id } | Request::Ping { id } => *id,
+                let (id, deadline) = match &req {
+                    Request::Derive(d) => (
+                        d.id,
+                        d.deadline_ms
+                            .map(Duration::from_millis)
+                            .or(limits.default_deadline),
+                    ),
+                    Request::Stats { id } | Request::Shutdown { id } | Request::Ping { id } => {
+                        (*id, None)
+                    }
                 };
+                let cancel = conn.child_with_deadline(deadline.map(|d| Instant::now() + d));
                 let job = Job {
                     req,
-                    reply: tx.clone(),
+                    reply: reply.clone(),
+                    cancel,
                 };
-                if let Err(job) = shared.try_push(job) {
+                if let Some(job) = shared.try_push(job) {
                     let shutting_down = shared.shutdown.load(Ordering::SeqCst);
                     let kind = if shutting_down {
                         RejectKind::ShuttingDown
@@ -309,7 +576,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
                         shared.count(|c| c.rejected_overload += 1);
                         drop(span!(shared.tracer, "serve.reject", reason = "overloaded"));
                     }
-                    let _ = job.reply.send(
+                    job.reply.send(
                         Response::Rejected {
                             id,
                             kind,
@@ -328,7 +595,7 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
             }
         }
     }
-    drop(tx);
+    drop(reply);
     let _ = writer.join();
 }
 
@@ -340,8 +607,12 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
 /// of the grid).
 type CoalesceKey = (u64, [usize; 3], ExecStrategy);
 
-/// A derive request together with the channel its reply line goes to.
-type PendingDerive = (DeriveRequest, mpsc::Sender<String>);
+/// A derive request together with its reply channel and cancel token.
+struct PendingDerive {
+    d: DeriveRequest,
+    reply: ReplyTx,
+    cancel: CancelToken,
+}
 
 /// Batched derive groups: a shared key (or `None` when coalescing is off
 /// or the expression failed to hash) and the member requests.
@@ -412,12 +683,33 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
             .effective_opt_level()
             .max(dfg_dataflow::OptLevel::Cse),
     };
+    // How long the executor sleeps on an empty queue before running a
+    // maintenance pass (idle eviction, memory-pressure watchdog). Only
+    // armed when a lifecycle feature is configured.
+    let tick = (config.idle_ttl.is_some() || config.memory_pressure_bytes.is_some()).then(|| {
+        config
+            .idle_ttl
+            .map(|ttl| (ttl / 4).max(Duration::from_millis(10)))
+            .unwrap_or(Duration::from_millis(250))
+            .min(Duration::from_millis(500))
+    });
 
     loop {
         let mut batch = {
             let mut q = shared.queue.lock().expect("queue lock");
             while q.jobs.is_empty() && !q.closed {
-                q = shared.cond.wait(q).expect("queue wait");
+                match tick {
+                    Some(t) => {
+                        let (guard, timeout) = shared.cond.wait_timeout(q, t).expect("queue wait");
+                        q = guard;
+                        if timeout.timed_out() && q.jobs.is_empty() && !q.closed {
+                            drop(q);
+                            maintenance(&shared, &mut state, &config);
+                            q = shared.queue.lock().expect("queue lock");
+                        }
+                    }
+                    None => q = shared.cond.wait(q).expect("queue wait"),
+                }
             }
             if q.jobs.is_empty() && q.closed {
                 return;
@@ -438,25 +730,36 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
 
         // Control jobs run in arrival order relative to nothing in
         // particular — they read state the derive jobs in this batch have
-        // already (or not yet) produced; pull them out first.
-        let mut derives: Vec<(DeriveRequest, mpsc::Sender<String>)> = Vec::new();
+        // already (or not yet) produced; pull them out first. Expired or
+        // orphaned derive jobs are dropped here — the queue's typed
+        // `deadline_exceeded` reply — before any grouping or execution.
+        let mut derives: Vec<PendingDerive> = Vec::new();
         for job in batch.drain(..) {
             match job.req {
-                Request::Derive(d) => derives.push((d, job.reply)),
+                Request::Derive(d) => {
+                    if reject_if_cancelled(&shared, &job.cancel, d.id, &job.reply, &d.tenant) {
+                        continue;
+                    }
+                    derives.push(PendingDerive {
+                        d,
+                        reply: job.reply,
+                        cancel: job.cancel,
+                    });
+                }
                 Request::Stats { id } => {
                     let resp = Response::Stats {
                         id,
                         server: *shared.counters.lock().expect("counters lock"),
                         tenants: state.registry.all_stats(),
                     };
-                    let _ = job.reply.send(resp.to_json_line());
+                    job.reply.send(resp.to_json_line());
                 }
                 Request::Shutdown { id } => {
-                    let _ = job.reply.send(Response::ShuttingDown { id }.to_json_line());
+                    job.reply.send(Response::ShuttingDown { id }.to_json_line());
                     begin_shutdown(&shared, local_addr);
                 }
                 Request::Ping { id } => {
-                    let _ = job.reply.send(Response::Pong { id }.to_json_line());
+                    job.reply.send(Response::Pong { id }.to_json_line());
                 }
             }
         }
@@ -465,11 +768,11 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
         // lower get their own singleton group (keyed by error) so the
         // frontend error is reported per request.
         let mut groups: DeriveGroups = Vec::new();
-        for (d, reply) in derives {
+        for p in derives {
             let key = if config.coalesce {
                 state
-                    .canonical_hash(&d.expr)
-                    .map(|h| (h, d.grid, d.strategy))
+                    .canonical_hash(&p.d.expr)
+                    .map(|h| (h, p.d.grid, p.d.strategy))
             } else {
                 None
             };
@@ -478,12 +781,12 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
                     if let Some((_, members)) =
                         groups.iter_mut().find(|(g, _)| g.as_ref() == Some(&k))
                     {
-                        members.push((d, reply));
+                        members.push(p);
                     } else {
-                        groups.push((Some(k), vec![(d, reply)]));
+                        groups.push((Some(k), vec![p]));
                     }
                 }
-                None => groups.push((None, vec![(d, reply)])),
+                None => groups.push((None, vec![p])),
             }
         }
 
@@ -492,6 +795,93 @@ fn executor_loop(shared: Arc<Shared>, config: ServeConfig, local_addr: SocketAdd
         } else {
             for (_, members) in groups {
                 run_group(&shared, &mut state, members);
+            }
+        }
+        if tick.is_some() {
+            maintenance(&shared, &mut state, &config);
+        }
+    }
+}
+
+/// If `cancel` has fired, answer (or silently drop) the request and return
+/// `true`: an expired deadline gets a typed `deadline_exceeded` reply and
+/// a `serve.deadline` span; a dead connection gets no reply (nobody is
+/// listening), a `cancelled` counter bump, and a `serve.cancel` span.
+fn reject_if_cancelled(
+    shared: &Shared,
+    cancel: &CancelToken,
+    id: u64,
+    reply: &ReplyTx,
+    tenant: &str,
+) -> bool {
+    if cancel.deadline_exceeded() {
+        shared.count(|c| c.rejected_deadline += 1);
+        drop(span!(
+            shared.tracer,
+            "serve.deadline",
+            tenant = tenant,
+            id = id,
+        ));
+        reply.send(
+            Response::Rejected {
+                id,
+                kind: RejectKind::DeadlineExceeded,
+                message: "deadline expired before execution".into(),
+            }
+            .to_json_line(),
+        );
+        true
+    } else if cancel.is_cancelled() {
+        shared.count(|c| c.cancelled += 1);
+        drop(span!(
+            shared.tracer,
+            "serve.cancel",
+            tenant = tenant,
+            id = id,
+        ));
+        true
+    } else {
+        false
+    }
+}
+
+/// The executor's lifecycle pass: idle-TTL eviction, then the
+/// memory-pressure watchdog (trim pools first — cheap, amortization
+/// untouched — then evict LRU tenants until under the threshold). Runs
+/// between batches and on empty-queue ticks.
+fn maintenance(shared: &Shared, state: &mut ExecutorState, config: &ServeConfig) {
+    if let Some(ttl) = config.idle_ttl {
+        for tenant in state.registry.evict_idle(ttl) {
+            shared.count(|c| c.evicted_idle += 1);
+            drop(span!(
+                shared.tracer,
+                "serve.evict",
+                reason = "idle",
+                tenant = tenant.as_str(),
+            ));
+        }
+    }
+    if let Some(limit) = config.memory_pressure_bytes {
+        let total = state.registry.total_in_use_bytes() + state.registry.total_pooled_bytes();
+        if total > limit {
+            let freed = state.registry.trim_pools();
+            drop(span!(
+                shared.tracer,
+                "serve.trim",
+                freed_bytes = freed,
+                over_bytes = total.saturating_sub(limit),
+            ));
+            while state.registry.total_in_use_bytes() > limit {
+                let Some(tenant) = state.registry.evict_lru() else {
+                    break;
+                };
+                shared.count(|c| c.evicted_pressure += 1);
+                drop(span!(
+                    shared.tracer,
+                    "serve.evict",
+                    reason = "pressure",
+                    tenant = tenant.as_str(),
+                ));
             }
         }
     }
@@ -507,8 +897,8 @@ fn dispatch_cross_fusion(shared: &Shared, state: &mut ExecutorState, groups: Der
     let mut rest: Vec<Vec<PendingDerive>> = Vec::new();
     for (key, members) in groups {
         let mergeable = key.is_some()
-            && members[0].0.strategy.core().is_some()
-            && state.compiled(&members[0].0.expr).is_some();
+            && members[0].d.strategy.core().is_some()
+            && state.compiled(&members[0].d.expr).is_some();
         match (mergeable, key) {
             (true, Some((_, grid, strategy))) => {
                 if let Some((_, part)) = parts.iter_mut().find(|(k, _)| *k == (grid, strategy)) {
@@ -558,7 +948,7 @@ fn run_merged(
         .iter()
         .map(|g| {
             state
-                .compiled(&g[0].0.expr)
+                .compiled(&g[0].d.expr)
                 .expect("pre-checked by dispatch")
                 .spec
                 .clone()
@@ -580,7 +970,7 @@ fn run_merged(
         }
     };
     shared.count(|c| c.batches += 1);
-    let leader = part[0][0].0.tenant.clone();
+    let leader = part[0][0].d.tenant.clone();
     let compiles_before = state
         .registry
         .stats(&leader)
@@ -611,8 +1001,15 @@ fn run_merged(
             let mut first = true;
             for (group, field) in part.into_iter().zip(fields_out) {
                 let checksum: f64 = field.data.iter().map(|&v| v as f64).sum();
-                for (d, reply) in group {
-                    state.registry.note_merged(&d.tenant);
+                for p in group {
+                    // The merged execution already ran; a member whose
+                    // deadline passed meanwhile (or whose connection died)
+                    // still must not get a stale `ok`.
+                    if reject_if_cancelled(shared, &p.cancel, p.d.id, &p.reply, &p.d.tenant) {
+                        first = false;
+                        continue;
+                    }
+                    state.registry.note_merged(&p.d.tenant);
                     shared.count(|c| {
                         c.ok += 1;
                         c.merged += 1;
@@ -624,8 +1021,9 @@ fn run_merged(
                         }
                     });
                     let resp = Response::Ok(DeriveReply {
-                        id: d.id,
-                        tenant: d.tenant.clone(),
+                        id: p.d.id,
+                        tenant: p.d.tenant.clone(),
+                        expr: p.d.expr.clone(),
                         ncells: field.ncells as u64,
                         checksum,
                         device_ms: report.device_seconds() * 1e3,
@@ -634,13 +1032,13 @@ fn run_merged(
                         coalesced: !first,
                         batch: total,
                         degraded,
-                        data_bits: if d.data {
+                        data_bits: if p.d.data {
                             Some(field.data.iter().map(|f| f.to_bits()).collect())
                         } else {
                             None
                         },
                     });
-                    let _ = reply.send(resp.to_json_line());
+                    p.reply.send(resp.to_json_line());
                     first = false;
                 }
             }
@@ -656,18 +1054,14 @@ fn run_merged(
     }
 }
 
-fn run_group(
-    shared: &Shared,
-    state: &mut ExecutorState,
-    members: Vec<(DeriveRequest, mpsc::Sender<String>)>,
-) {
+fn run_group(shared: &Shared, state: &mut ExecutorState, members: Vec<PendingDerive>) {
     let batch_size = members.len() as u64;
     let _batch_span = if batch_size > 1 {
         Some(span!(
             shared.tracer,
             "serve.batch",
             size = batch_size,
-            expr = members[0].0.expr.as_str(),
+            expr = members[0].d.expr.as_str(),
         ))
     } else {
         None
@@ -678,51 +1072,61 @@ fn run_group(
 
     // If any member wants the payload, the leader computes it once and
     // every follower that asked shares the same bits.
-    let want_data = members.iter().any(|(d, _)| d.data);
+    let want_data = members.iter().any(|p| p.d.data);
     let mut leader_payload: Option<DeriveReply> = None;
-    for (d, reply) in members {
-        if let Some(p) = &leader_payload {
+    for p in members {
+        // Expired or orphaned members never execute and never get a stale
+        // reply — even as followers of a leader that already ran.
+        if reject_if_cancelled(shared, &p.cancel, p.d.id, &p.reply, &p.d.tenant) {
+            continue;
+        }
+        if let Some(lp) = &leader_payload {
             shared.count(|c| {
                 c.ok += 1;
                 c.coalesced += 1;
             });
             let resp = Response::Ok(DeriveReply {
-                id: d.id,
-                tenant: d.tenant.clone(),
+                id: p.d.id,
+                tenant: p.d.tenant.clone(),
+                expr: p.d.expr.clone(),
                 compiles: 0,
                 coalesced: true,
                 batch: batch_size,
-                data_bits: if d.data { p.data_bits.clone() } else { None },
-                ..p.clone()
+                data_bits: if p.d.data { lp.data_bits.clone() } else { None },
+                ..lp.clone()
             });
-            let _ = reply.send(resp.to_json_line());
+            p.reply.send(resp.to_json_line());
             continue;
         }
         // Leader (or retry after a failed leader): execute on this
         // member's own tenant so errors stay attributed per request.
-        let resp = run_one(shared, state, &d, batch_size, want_data);
-        let resp = match resp {
-            Response::Ok(r) => {
+        match run_one(shared, state, &p, batch_size, want_data) {
+            Some(Response::Ok(r)) => {
                 leader_payload = Some(r.clone());
                 let mut own = r;
-                if !d.data {
+                if !p.d.data {
                     own.data_bits = None;
                 }
-                Response::Ok(own)
+                p.reply.send(Response::Ok(own).to_json_line());
             }
-            other => other,
-        };
-        let _ = reply.send(resp.to_json_line());
+            Some(other) => {
+                p.reply.send(other.to_json_line());
+            }
+            // Cancelled mid-execution with a dead connection: no reply,
+            // the next member (if any) becomes the leader.
+            None => {}
+        }
     }
 }
 
 fn run_one(
     shared: &Shared,
     state: &mut ExecutorState,
-    d: &DeriveRequest,
+    p: &PendingDerive,
     batch_size: u64,
     want_data: bool,
-) -> Response {
+) -> Option<Response> {
+    let d = &p.d;
     let _span = span!(
         shared.tracer,
         "serve.request",
@@ -740,12 +1144,17 @@ fn run_one(
         let mesh = RectilinearMesh::unit_cube(d.grid);
         FieldSet::for_rt_mesh(&mesh, &RtWorkload::paper_default())
     });
+    // Install the job's token so the engine observes disconnects and
+    // deadline expiry between recovery-ladder rungs; always cleared after,
+    // fired or not.
+    state.registry.set_cancel(&d.tenant, Some(p.cancel.clone()));
     let result = match d.strategy.core() {
         Some(s) => state.registry.derive(&d.tenant, &d.expr, fields, s),
         None => state
             .registry
             .derive_streamed(&d.tenant, &d.expr, fields, None),
     };
+    state.registry.set_cancel(&d.tenant, None);
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     match result {
         Ok(report) => {
@@ -763,9 +1172,10 @@ fn run_one(
                     c.degraded += 1;
                 }
             });
-            Response::Ok(DeriveReply {
+            Some(Response::Ok(DeriveReply {
                 id: d.id,
                 tenant: d.tenant.clone(),
+                expr: d.expr.clone(),
                 ncells: field.ncells as u64,
                 checksum,
                 device_ms: report.device_seconds() * 1e3,
@@ -779,7 +1189,35 @@ fn run_one(
                 } else {
                     None
                 },
-            })
+            }))
+        }
+        Err(e) if e.is_cancelled() => {
+            // The token fired mid-execution; rollback already ran inside
+            // the registry's leak guard. A deadline gets its typed reply;
+            // a dead connection gets silence (nobody is listening).
+            if e.deadline_exceeded() {
+                shared.count(|c| c.rejected_deadline += 1);
+                drop(span!(
+                    shared.tracer,
+                    "serve.deadline",
+                    tenant = d.tenant.as_str(),
+                    id = d.id,
+                ));
+                Some(Response::Rejected {
+                    id: d.id,
+                    kind: RejectKind::DeadlineExceeded,
+                    message: "deadline expired during execution".into(),
+                })
+            } else {
+                shared.count(|c| c.cancelled += 1);
+                drop(span!(
+                    shared.tracer,
+                    "serve.cancel",
+                    tenant = d.tenant.as_str(),
+                    id = d.id,
+                ));
+                None
+            }
         }
         Err(e) if e.is_out_of_memory() => {
             shared.count(|c| c.rejected_quota += 1);
@@ -789,18 +1227,18 @@ fn run_one(
                 reason = "quota_exceeded",
                 tenant = d.tenant.as_str(),
             ));
-            Response::Rejected {
+            Some(Response::Rejected {
                 id: d.id,
                 kind: RejectKind::QuotaExceeded,
                 message: format!("tenant `{}` exceeded its device-memory quota", d.tenant),
-            }
+            })
         }
         Err(e) => {
             shared.count(|c| c.errors += 1);
-            Response::Error {
+            Some(Response::Error {
                 id: d.id,
                 message: e.to_string(),
-            }
+            })
         }
     }
 }

@@ -1,0 +1,260 @@
+//! Deterministic protocol fuzzing: the server must never panic on
+//! arbitrary bytes — every frame is answered with a typed reply or the
+//! connection is closed cleanly, and the server keeps serving well-formed
+//! requests afterwards.
+//!
+//! The corpus is generated from a seeded xorshift PRNG, so a failure
+//! reproduces exactly: re-run with the same seed and the same frames
+//! arrive in the same order.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use dfg_serve::{Client, ExecStrategy, ServeConfig, Server};
+
+/// Seeded xorshift64 — the same generator the fault plan uses, so fuzz
+/// runs are reproducible without any external RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A valid derive frame to mutate from.
+fn valid_frame(id: u64) -> String {
+    format!(
+        "{{\"op\":\"derive\",\"id\":{id},\"tenant\":\"fuzz\",\"expr\":\"m = u*v\",\
+         \"grid\":[4,4,4],\"strategy\":\"fusion\",\"data\":false}}\n"
+    )
+}
+
+/// The seeded corpus: raw garbage, invalid UTF-8, truncated JSON,
+/// bit-flipped valid frames, huge/negative/non-finite numeric fields.
+fn corpus(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = XorShift::new(seed);
+    let mut frames: Vec<Vec<u8>> = Vec::new();
+
+    // Raw byte garbage (often invalid UTF-8), newline-terminated.
+    for _ in 0..8 {
+        let len = (rng.next() % 200 + 1) as usize;
+        let mut f: Vec<u8> = (0..len).map(|_| (rng.next() % 256) as u8).collect();
+        f.retain(|&b| b != b'\n');
+        f.push(b'\n');
+        frames.push(f);
+    }
+
+    // Truncated valid JSON at a random cut, newline-terminated.
+    for i in 0..8 {
+        let full = valid_frame(i);
+        let cut = (rng.next() as usize % (full.len() - 2)).max(1);
+        let mut f = full.as_bytes()[..cut].to_vec();
+        f.push(b'\n');
+        frames.push(f);
+    }
+
+    // One random bit flipped somewhere in a valid frame.
+    for i in 0..8 {
+        let mut f = valid_frame(i).into_bytes();
+        let pos = rng.next() as usize % (f.len() - 1);
+        f[pos] ^= 1 << (rng.next() % 8);
+        frames.push(f);
+    }
+
+    // Hostile numeric fields: ids and deadlines that are huge, negative,
+    // fractional, or non-finite after parsing.
+    for id_text in ["1e999", "-7", "0.5", "18446744073709551616", "1e308"] {
+        frames.push(format!("{{\"op\":\"ping\",\"id\":{id_text}}}\n").into_bytes());
+    }
+    for deadline in ["1e999", "-3", "0.25", "null", "\"soon\""] {
+        frames.push(
+            format!(
+                "{{\"op\":\"derive\",\"id\":9,\"tenant\":\"fuzz\",\"expr\":\"m = u*v\",\
+                 \"grid\":[4,4,4],\"strategy\":\"fusion\",\"data\":false,\
+                 \"deadline_ms\":{deadline}}}\n"
+            )
+            .into_bytes(),
+        );
+    }
+
+    // Structurally valid JSON, protocol-invalid shapes.
+    for line in [
+        "{}",
+        "[]",
+        "null",
+        "42",
+        "\"derive\"",
+        "{\"op\":\"derive\"}",
+        "{\"op\":\"nope\",\"id\":1}",
+        "{\"op\":\"derive\",\"id\":1,\"tenant\":\"t\",\"expr\":\"m = u*v\",\"grid\":[4,4],\"strategy\":\"fusion\",\"data\":false}",
+        "{\"op\":\"derive\",\"id\":1,\"tenant\":\"t\",\"expr\":\"m = u*v\",\"grid\":[0,0,0],\"strategy\":\"warp\",\"data\":false}",
+    ] {
+        frames.push(format!("{line}\n").into_bytes());
+    }
+
+    frames
+}
+
+#[test]
+fn garbage_frames_never_panic_the_server() {
+    let config = ServeConfig {
+        max_line_bytes: 4096,
+        read_deadline: Some(Duration::from_millis(200)),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    for frame in corpus(0x5eed) {
+        let mut sock = TcpStream::connect(&addr).unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        if sock.write_all(&frame).is_err() {
+            continue; // server closed first: acceptable, must not panic
+        }
+        let mut reader = BufReader::new(sock);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            // A typed reply: must be one JSON object mentioning a status.
+            Ok(n) if n > 0 => assert!(
+                line.contains("\"status\""),
+                "reply to garbage is not a typed status line: {line:?}"
+            ),
+            // Clean close or reset: also acceptable.
+            Ok(_) | Err(_) => {}
+        }
+    }
+
+    // The server survived the whole corpus and still serves real work.
+    let mut c = Client::connect(&addr).unwrap();
+    c.ping().unwrap();
+    let reply = c
+        .derive(
+            "post-fuzz",
+            "m = u*v",
+            [4, 4, 4],
+            ExecStrategy::Fusion,
+            true,
+        )
+        .unwrap();
+    assert_eq!(reply.ncells, 64);
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn malformed_frames_echo_ids_and_do_not_poison_the_connection() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut sock = TcpStream::connect(&addr).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // Coherent enough to carry an id, but not a valid request.
+    sock.write_all(b"{\"op\":\"derive\",\"id\":77,\"tenant\":42}\n")
+        .unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"status\":\"error\"") && line.contains("\"id\":77"),
+        "malformed frame should get a typed error echoing id 77: {line:?}"
+    );
+
+    // The same connection still serves a valid request afterwards.
+    sock.write_all(valid_frame(78).as_bytes()).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"status\":\"ok\"") && line.contains("\"id\":78"),
+        "connection poisoned after malformed frame: {line:?}"
+    );
+
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn oversized_frames_are_rejected_without_buffering() {
+    let config = ServeConfig {
+        max_line_bytes: 1024,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let mut sock = TcpStream::connect(&addr).unwrap();
+    sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    // A 64 KiB frame against a 1 KiB cap.
+    let mut big = vec![b'x'; 64 * 1024];
+    big.push(b'\n');
+    sock.write_all(&big).unwrap();
+    let mut reader = BufReader::new(sock.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"status\":\"too_large\""),
+        "expected typed too_large reject: {line:?}"
+    );
+
+    // The oversized frame was discarded through its newline: the next
+    // frame parses normally.
+    sock.write_all(valid_frame(5).as_bytes()).unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"status\":\"ok\"") && line.contains("\"id\":5"),
+        "stream desynchronized after oversized frame: {line:?}"
+    );
+
+    assert_eq!(server.counters().rejected_too_large, 1);
+    let mut c = Client::connect(&addr).unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn slow_loris_is_disconnected_but_idle_connections_live() {
+    let config = ServeConfig {
+        read_deadline: Some(Duration::from_millis(150)),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // An idle connection (no frame started) outlives the read deadline.
+    let mut idle = Client::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    idle.ping().expect("idle keep-alive connection was killed");
+
+    // A trickling connection (frame started, never finished) is cut off.
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    loris.write_all(b"{\"op\":\"pi").unwrap();
+    let t0 = Instant::now();
+    let mut buf = [0u8; 16];
+    // The server gives up on the half-frame and closes: read returns EOF
+    // (or a reset) well before our own 5 s guard.
+    let dead = matches!(loris.read(&mut buf), Ok(0) | Err(_));
+    assert!(dead, "slow-loris connection was not torn down");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "teardown took too long: {:?}",
+        t0.elapsed()
+    );
+
+    idle.shutdown().unwrap();
+    server.join().unwrap();
+}

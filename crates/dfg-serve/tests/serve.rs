@@ -89,6 +89,7 @@ fn coalescing_reduces_compiles_and_preserves_bits() {
                     grid: GRID,
                     strategy: ExecStrategy::Fusion,
                     data: true,
+                    deadline_ms: None,
                 }))
                 .unwrap();
             ids.push(id);
@@ -157,6 +158,7 @@ fn commutative_variants_coalesce_via_canonical_hash() {
                 grid: GRID,
                 strategy: ExecStrategy::Fusion,
                 data: true,
+                deadline_ms: None,
             }))
             .unwrap();
         ids.push(id);
@@ -220,6 +222,7 @@ fn cross_fusion_merges_overlapping_expressions() {
                 grid: GRID,
                 strategy: ExecStrategy::Fusion,
                 data: true,
+                deadline_ms: None,
             }))
             .unwrap();
         ids.push(id);
@@ -362,6 +365,7 @@ fn full_queue_rejects_with_overloaded() {
                     grid: GRID,
                     strategy: ExecStrategy::Fusion,
                     data: false,
+                    deadline_ms: None,
                 }))
                 .unwrap(),
         );
