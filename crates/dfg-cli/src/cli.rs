@@ -33,15 +33,17 @@ usage:
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
              [--output <out.vtk>] [--render <slice.ppm>] [--trace <trace.json>]
              [--faults <spec>] [--max-retries <n>] [--fallback on|off]
+             [--verify off|residents|full]
   dfgc run   --ranks <n> --grid NXxNYxNZ [--blocks NXxNYxNZ]
              [--workload q|vorticity|vmag] [--mode real|model]
              [--strategy fusion|staged|roundtrip] [--device cpu|gpu]
              [--faults <spec>] [--deadline-ms <n>] [--max-retries <n>]
-             [--fallback on|off] [--output <out.vtk>] [--trace <trace.json>]
+             [--fallback on|off] [--verify off|residents|full]
+             [--output <out.vtk>] [--trace <trace.json>]
   dfgc plan  --expr <program> --grid NXxNYxNZ
   dfgc profile <program> [--grid NXxNYxNZ | --input <in.vtk>]
              [--device cpu|gpu] [--out-dir <dir>] [--branch-parallel on|off]
-             [--opt off|cse|default|fast]
+             [--opt off|cse|default|fast] [--verify off|residents|full]
              [--stream <overlap-depth>] [--budget-mb <n>]
   dfgc insitu [--cycles <n>] [--grid NXxNYxNZ] [--expr <program>]
              [--strategy fusion|staged|roundtrip|streamed] [--device cpu|gpu]
@@ -226,6 +228,36 @@ fn recovery_of(
     Ok((policy, plan))
 }
 
+/// `--verify off|residents|full` selects the silent-corruption
+/// verification level (default off: the paper's unverified behavior).
+fn verify_of(args: &Args) -> Result<dfg_ocl::VerifyPolicy, String> {
+    match args.get("verify") {
+        Some(s) => s
+            .parse::<dfg_ocl::VerifyPolicy>()
+            .map_err(|_| format!("--verify takes off|residents|full, got `{s}`")),
+        None => Ok(dfg_ocl::VerifyPolicy::Off),
+    }
+}
+
+/// One summary line for the integrity counters of a finished run.
+fn print_integrity(policy: dfg_ocl::VerifyPolicy, report: &dfg_core::ExecReport) {
+    if !policy.enabled() {
+        return;
+    }
+    let healed = report
+        .recovery
+        .as_ref()
+        .map(|r| r.integrity_healed)
+        .unwrap_or(0);
+    println!(
+        "integrity ({}): {} check(s), {} violation(s), {} buffer(s) healed",
+        policy.name(),
+        report.integrity.checks,
+        report.integrity.violations,
+        healed,
+    );
+}
+
 /// Render a [`dfg_core::RecoveryReport`] as one summary line plus one line
 /// per attempt.
 fn print_recovery(r: &dfg_core::RecoveryReport) {
@@ -330,6 +362,7 @@ fn cmd_run_distributed(args: &Args) -> Result<(), String> {
         recovery,
         fault_spec: args.get("faults").map(str::to_string),
         exchange_deadline: deadline.or(DistOptions::default().exchange_deadline),
+        verify: verify_of(args)?,
         ..Default::default()
     };
     let traced = args.get("trace").is_some();
@@ -407,6 +440,12 @@ fn cmd_run_distributed(args: &Args) -> Result<(), String> {
                 result.ghost_filled_faces, result.exchange_timeouts, result.exchange_drops,
             );
         }
+        if result.garbled_faces > 0 {
+            println!(
+                "  {} halo face(s) failed checksum verification and were re-sampled",
+                result.garbled_faces,
+            );
+        }
     } else {
         println!("all ranks completed on the requested strategy");
     }
@@ -441,11 +480,13 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let profile = device_of(args.get("device"))?;
     let strategy = strategy_of(args.get("strategy"))?;
     let (recovery, fault_plan) = recovery_of(args)?;
+    let verify = verify_of(args)?;
 
     let mut engine = Engine::with_options(
         profile,
         EngineOptions {
             recovery,
+            verify,
             ..EngineOptions::default()
         },
     );
@@ -480,6 +521,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let Some(r) = &report.recovery {
         print_recovery(r);
     }
+    print_integrity(verify, &report);
 
     if let Some(path) = args.get("trace") {
         std::fs::write(path, report.profile.to_chrome_trace())
@@ -563,6 +605,7 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("--opt takes off|cse|default|fast, got `{s}`"))?,
         None => dfg_dataflow::OptLevel::Off,
     };
+    let verify = verify_of(&args)?;
     let out_dir = std::path::PathBuf::from(args.get("out-dir").unwrap_or("."));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
@@ -584,6 +627,9 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
         flame: String,
         path: std::path::PathBuf,
         levels: Vec<(u64, u64)>,
+        checks: u64,
+        violations: u64,
+        unverified_wall_ms: Option<f64>,
     }
     let mut rows = Vec::new();
     let mut opt_stats = None;
@@ -593,6 +639,7 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             EngineOptions {
                 branch_parallel,
                 optimize: opt_level,
+                verify,
                 ..EngineOptions::default()
             },
         );
@@ -601,6 +648,24 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             .derive(&expression, &fields, strategy)
             .map_err(|e| pretty_engine_err(&e, &expression))?;
         opt_stats = engine.opt_stats(&expression);
+        // With verification on, run the same strategy unverified too, so
+        // the table can state the wall-clock cost of the checksum pass.
+        let unverified_wall_ms = if verify.enabled() {
+            let mut base = Engine::with_options(
+                profile.clone(),
+                EngineOptions {
+                    branch_parallel,
+                    optimize: opt_level,
+                    ..EngineOptions::default()
+                },
+            );
+            let r = base
+                .derive(&expression, &fields, strategy)
+                .map_err(|e| pretty_engine_err(&e, &expression))?;
+            Some(r.wall.as_secs_f64() * 1e3)
+        } else {
+            None
+        };
         let trace = report.trace.as_ref().expect("tracer attached");
         let path = out_dir.join(format!("trace-{}.json", strategy.name()));
         std::fs::write(&path, trace.to_chrome_trace())
@@ -626,6 +691,9 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             flame: trace.to_flame_text(),
             path,
             levels,
+            checks: report.integrity.checks,
+            violations: report.integrity.violations,
+            unverified_wall_ms,
         });
     }
 
@@ -639,6 +707,23 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             "{:<10} {w:>6} {r:>6} {k:>6} {:>12.6} {:>10.3} {:>9.1}",
             row.name, row.device_s, row.wall_ms, row.peak_mb
         );
+    }
+    if verify.enabled() {
+        println!();
+        println!("integrity verification ({}):", verify.name());
+        for row in &rows {
+            let base = row.unverified_wall_ms.unwrap_or(row.wall_ms);
+            let overhead = if base > 0.0 {
+                (row.wall_ms / base - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            println!(
+                "  {:<10} {} check(s), {} violation(s), wall {:.3} ms vs {:.3} ms \
+                 unverified ({overhead:+.1}%)",
+                row.name, row.checks, row.violations, row.wall_ms, base,
+            );
+        }
     }
     if let Some(opt) = opt_stats {
         println!();
@@ -699,6 +784,7 @@ fn cmd_profile(raw: &[String]) -> Result<(), String> {
             EngineOptions {
                 branch_parallel,
                 optimize: opt_level,
+                verify,
                 stream: dfg_core::StreamOptions {
                     overlap_depth: depth,
                     ..Default::default()
@@ -1402,6 +1488,71 @@ mod tests {
             argv.extend(bad);
             assert!(dispatch(&strs(&argv)).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn verified_run_heals_injected_corruption_bit_exact() {
+        // A mem_flip on the first launch under --verify full is detected,
+        // healed by recovery, and the written dataset is bit-identical to
+        // an unverified fault-free run.
+        let dir = std::env::temp_dir().join("dfgc_test_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.vtk");
+        let healed = dir.join("healed.vtk");
+        let base = ["run", "--expr", "q = u*v + w", "--grid", "8x8x8"];
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--output", clean.to_str().unwrap()]);
+        dispatch(&strs(&argv)).unwrap();
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend([
+            "--verify",
+            "full",
+            "--faults",
+            "mem_flip@1",
+            "--max-retries",
+            "3",
+            "--output",
+            healed.to_str().unwrap(),
+        ]);
+        dispatch(&strs(&argv)).unwrap();
+        let a = read_vtk(&clean).unwrap();
+        let b = read_vtk(&healed).unwrap();
+        let (a, b) = (a.array("q").unwrap(), b.array("q").unwrap());
+        assert_eq!(a.data.len(), b.data.len());
+        for i in 0..a.data.len() {
+            assert_eq!(a.data[i].to_bits(), b.data[i].to_bits(), "cell {i}");
+        }
+    }
+
+    #[test]
+    fn verify_flag_is_validated() {
+        for cmd in [
+            vec!["run", "--expr", "r = u", "--grid", "4x4x4"],
+            vec!["profile", "r = u", "--grid", "4x4x4"],
+            vec!["run", "--ranks", "2", "--grid", "6x6x6"],
+        ] {
+            let mut argv = cmd.clone();
+            argv.extend(["--verify", "paranoid"]);
+            let err = dispatch(&strs(&argv)).unwrap_err();
+            assert!(err.contains("--verify"), "{cmd:?}: got {err}");
+        }
+    }
+
+    #[test]
+    fn profile_with_verification_smoke() {
+        let dir = std::env::temp_dir().join("dfgc_test_profile_verify");
+        std::fs::create_dir_all(&dir).unwrap();
+        dispatch(&strs(&[
+            "profile",
+            "mag = sqrt(u*u + v*v + w*w)",
+            "--grid",
+            "6x6x6",
+            "--verify",
+            "full",
+            "--out-dir",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! only reads the six face neighbours.
 
 use dfg_mesh::SubGrid;
+use dfg_ocl::integrity::{checksum_f32s, HALO_SUM_SEED};
 use std::time::Duration;
 
 /// A malformed or undeliverable halo exchange. Structural variants
@@ -119,6 +120,39 @@ pub struct FaceMsg {
     /// Face data, x-major over the two non-`axis` axes, covering exactly
     /// the sender's owned extent in those axes.
     pub data: Vec<f32>,
+    /// Seeded checksum over `data` (see
+    /// [`dfg_ocl::integrity::checksum_f32s`] with
+    /// [`dfg_ocl::integrity::HALO_SUM_SEED`]), computed sender-side before
+    /// the face leaves the rank. A receiver whose recomputation disagrees
+    /// drops the face and falls back to its analytic ghost fill instead of
+    /// stenciling over garbled bits.
+    pub sum: u64,
+}
+
+impl FaceMsg {
+    /// Build a face message, sealing `data` under its sender-side checksum.
+    pub fn seal(
+        to_block: usize,
+        axis: usize,
+        low_side: bool,
+        field: usize,
+        data: Vec<f32>,
+    ) -> Self {
+        let sum = checksum_f32s(HALO_SUM_SEED, &data);
+        FaceMsg {
+            to_block,
+            axis,
+            low_side,
+            field,
+            data,
+            sum,
+        }
+    }
+
+    /// Whether `data` still matches the checksum it was sealed under.
+    pub fn verify(&self) -> bool {
+        checksum_f32s(HALO_SUM_SEED, &self.data) == self.sum
+    }
 }
 
 /// Extract the owned boundary face of `owned` (x-major over `dims`) at

@@ -112,6 +112,12 @@ pub struct DistOptions {
     /// injected `exchange_drop` fault (each attempt draws the fault plan
     /// again).
     pub exchange_retries: u32,
+    /// Buffer-verification policy installed on every rank's engine (and on
+    /// engines spun up to adopt orphaned blocks). Halo faces are
+    /// checksummed sender-side and verified on receipt regardless of this
+    /// setting — face sums ride the message, cost one host-side pass over
+    /// a 2-D plane, and never touch the modeled clocks.
+    pub verify: dfg_ocl::VerifyPolicy,
 }
 
 impl Default for DistOptions {
@@ -124,6 +130,7 @@ impl Default for DistOptions {
             fault_spec: None,
             exchange_deadline: Some(Duration::from_secs(10)),
             exchange_retries: 2,
+            verify: dfg_ocl::VerifyPolicy::Off,
         }
     }
 }
@@ -224,6 +231,11 @@ pub struct DistResult {
     /// Halo-face transmits lost to injected `exchange_drop` faults
     /// (including failed retries).
     pub exchange_drops: u64,
+    /// Halo faces that arrived with a checksum mismatch (injected
+    /// `halo_garble`, or genuine in-flight corruption), dropped on receipt
+    /// and healed by the analytic fill (each is also counted in
+    /// [`DistResult::ghost_filled_faces`]).
+    pub garbled_faces: u64,
 }
 
 /// Distributed-run failures.
@@ -300,6 +312,7 @@ struct RankOutput {
     exchange_timeouts: usize,
     exchange_wait_seconds: f64,
     exchange_drops: u64,
+    garbled_faces: u64,
 }
 
 impl RankOutput {
@@ -316,6 +329,7 @@ impl RankOutput {
             exchange_timeouts: 0,
             exchange_wait_seconds: 0.0,
             exchange_drops: 0,
+            garbled_faces: 0,
         }
     }
 }
@@ -660,6 +674,7 @@ fn run_distributed_inner(
     let mut exchange_timeouts = 0usize;
     let mut exchange_wait_seconds = 0.0f64;
     let mut exchange_drops = 0u64;
+    let mut garbled_faces = 0u64;
     let mut outputs = coord.outputs;
     for rank in 0..ranks {
         let Some(out) = outputs[rank].take() else {
@@ -675,6 +690,7 @@ fn run_distributed_inner(
         exchange_timeouts += out.exchange_timeouts;
         exchange_wait_seconds += out.exchange_wait_seconds;
         exchange_drops += out.exchange_drops;
+        garbled_faces += out.garbled_faces;
         rank_recovery[rank] = out.recovery;
         if let Some(trace) = out.trace {
             rank_traces.push((rank as u64, trace));
@@ -715,6 +731,7 @@ fn run_distributed_inner(
                 EngineOptions {
                     mode: opts.mode,
                     recovery: opts.recovery,
+                    verify: opts.verify,
                     ..Default::default()
                 },
             );
@@ -825,6 +842,7 @@ fn run_distributed_inner(
         exchange_timeouts,
         exchange_wait_seconds,
         exchange_drops,
+        garbled_faces,
     })
 }
 
@@ -871,6 +889,7 @@ fn run_rank(
         EngineOptions {
             mode: opts.mode,
             recovery: opts.recovery,
+            verify: opts.verify,
             ..Default::default()
         },
     );
@@ -887,6 +906,7 @@ fn run_rank(
     let mut exchange_wait_seconds = 0.0f64;
     let mut exchange_drops = 0u64;
     let mut ghost_filled_faces = 0usize;
+    let mut garbled_faces = 0u64;
 
     /// Per-block ghosted state: extent arithmetic plus the three ghosted
     /// velocity component arrays.
@@ -951,13 +971,19 @@ fn run_rank(
                         }
                         let data = extract_face(owned, b.dims, axis, high);
                         // Our high face fills the neighbour's low ghost.
-                        let msg = FaceMsg {
-                            to_block,
-                            axis,
-                            low_side: high,
-                            field,
-                            data,
-                        };
+                        // The face is sealed under its checksum *before*
+                        // any injected garble, so the sum describes the
+                        // clean bits — exactly what in-flight corruption
+                        // looks like to the receiver.
+                        let mut msg = FaceMsg::seal(to_block, axis, high, field, data);
+                        if let Some(p) = &plan {
+                            if p.check(FaultKind::HaloGarble).is_some() && !msg.data.is_empty() {
+                                let h = (msg.sum ^ p.seed()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                                let bit = h as usize % (msg.data.len() * 32);
+                                let lane = &mut msg.data[bit / 32];
+                                *lane = f32::from_bits(lane.to_bits() ^ (1 << (bit % 32)));
+                            }
+                        }
                         let target = &senders[to_block % ranks];
                         // A full mailbox means a stalled receiver; give it
                         // one deadline of backpressure, then count the face
@@ -997,6 +1023,9 @@ fn run_rank(
         // disconnect with faces outstanding (a dead sender), ends the wait;
         // whatever is missing is re-sampled analytically below.
         let mut pending: BTreeSet<(usize, usize, bool, usize)> = BTreeSet::new();
+        // Faces that arrived but failed their checksum: healed by the same
+        // analytic fill as lost faces, counted separately.
+        let mut garbled: BTreeSet<(usize, usize, bool, usize)> = BTreeSet::new();
         for (slot, &bi) in my_blocks.iter().enumerate() {
             let b = &blocks[bi];
             for (axis, &nb_axis) in nblocks.iter().enumerate() {
@@ -1043,6 +1072,22 @@ fn run_rank(
                 .iter()
                 .position(|&bi| bi == msg.to_block)
                 .expect("message routed to owning rank");
+            // A face whose bits no longer match its sender-side checksum
+            // is dropped, never stenciled over: the slot moves straight to
+            // the analytic fill below, which re-samples the identical
+            // plane the sender extracted from.
+            if !msg.verify() {
+                garbled_faces += 1;
+                pending.remove(&(slot, msg.axis, msg.low_side, msg.field));
+                garbled.insert((slot, msg.axis, msg.low_side, msg.field));
+                drop(span!(
+                    tracer,
+                    "exchange.garbled",
+                    axis = msg.axis,
+                    field = msg.field,
+                ));
+                continue;
+            }
             let gb = &mut ghosted[slot];
             insert_face(
                 &mut gb.arrays[msg.field],
@@ -1057,9 +1102,11 @@ fn run_rank(
             pending.remove(&(slot, msg.axis, msg.low_side, msg.field));
         }
         exchange_wait_seconds = wait_start.elapsed().as_secs_f64();
-        // Analytic fill for faces the lost senders never delivered. The
-        // sampled plane is bit-identical to the face an alive neighbour
-        // would have extracted from its owned cells.
+        // Analytic fill for faces the lost senders never delivered — and
+        // for received faces that failed their checksum. The sampled plane
+        // is bit-identical to the face an alive neighbour would have
+        // extracted from its owned cells, so both heal exactly.
+        pending.extend(garbled.iter().copied());
         ghost_filled_faces = pending.len();
         if ghost_filled_faces > 0 {
             let _fill = span!(tracer, "exchange.fill", faces = ghost_filled_faces);
@@ -1160,6 +1207,7 @@ fn run_rank(
         exchange_timeouts,
         exchange_wait_seconds,
         exchange_drops,
+        garbled_faces,
     })
 }
 

@@ -96,6 +96,46 @@ fn rank_die_completes_degraded_and_bit_exact() {
     assert_bit_identical(&clean, &faulty);
 }
 
+/// Silent halo corruption: a seeded `halo_garble` flips one bit in a face
+/// after it was sealed under its checksum — exactly what in-flight
+/// corruption looks like. The receiver's verification drops the garbled
+/// face instead of stenciling over it, the analytic fill re-samples the
+/// identical plane, and the assembled 4-rank field stays bit-identical to
+/// the fault-free run.
+#[test]
+fn halo_garble_is_detected_healed_and_bit_exact() {
+    let global = RectilinearMesh::unit_cube([12, 10, 8]);
+    let clean = run(&global, 4, &base_opts(ExecMode::Real));
+    assert_eq!(clean.garbled_faces, 0);
+    for seed in [7u64, 1234] {
+        let faulty = run(
+            &global,
+            4,
+            &DistOptions {
+                fault_spec: Some(format!("halo_garble:0.2, seed={seed}")),
+                ..base_opts(ExecMode::Real)
+            },
+        );
+        assert!(
+            faulty.garbled_faces > 0,
+            "seed {seed}: the fault plan must have fired"
+        );
+        assert!(
+            faulty.ghost_filled_faces >= faulty.garbled_faces as usize,
+            "every garbled face is healed by the analytic fill"
+        );
+        assert!(faulty.degraded, "healed corruption reports degraded");
+        assert!(faulty.lost_ranks.is_empty(), "no rank is written off");
+        assert_bit_identical(&clean, &faulty);
+    }
+    // Without a fault plan the checksums all verify: nothing is dropped
+    // even though every face is checked.
+    let quiet = run(&global, 4, &base_opts(ExecMode::Real));
+    assert_eq!(quiet.garbled_faces, 0);
+    assert_eq!(quiet.ghost_filled_faces, 0);
+    assert_bit_identical(&clean, &quiet);
+}
+
 /// A hung rank goes silent mid-run. Survivors wait out one exchange
 /// deadline, fill the missing ghosts analytically, and the coordinator
 /// writes the rank off and redistributes its blocks — within a bounded

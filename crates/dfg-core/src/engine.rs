@@ -58,6 +58,16 @@ pub struct EngineOptions {
     /// streaming"). Affects the streamed strategy only; outputs are
     /// bit-identical at every setting.
     pub stream: StreamOptions,
+    /// Silent-corruption verification level (see `docs/ROBUSTNESS.md`,
+    /// "Silent data corruption"): `Off` (the default) is the pre-integrity
+    /// behavior bit-for-bit; `Residents` checksums host uploads and
+    /// revalidates session residents before their re-upload is skipped;
+    /// `Full` additionally revalidates every kernel input at launch and
+    /// every download. Detected violations are transient — with recovery
+    /// enabled they are healed by invalidating the tainted buffer and
+    /// re-running. Verification is host-side only: virtual clocks are
+    /// bit-identical at every level.
+    pub verify: dfg_ocl::VerifyPolicy,
 }
 
 /// Configuration for the overlapped streamed executor (the z-slab
@@ -109,6 +119,7 @@ impl Default for EngineOptions {
             branch_parallel: false,
             recovery: RecoveryPolicy::disabled(),
             stream: StreamOptions::default(),
+            verify: dfg_ocl::VerifyPolicy::Off,
         }
     }
 }
@@ -148,6 +159,10 @@ pub struct ExecReport {
     /// candidates). `None` for clean first-attempt runs and when the
     /// recovery policy is disabled.
     pub recovery: Option<RecoveryReport>,
+    /// Integrity verifications performed and violations detected on the
+    /// primary device context during this run (cumulative counters
+    /// snapshot; both zero when `EngineOptions::verify` is `Off`).
+    pub integrity: dfg_ocl::IntegrityStats,
 }
 
 impl ExecReport {
@@ -268,6 +283,7 @@ impl Engine {
         if let Some(plan) = &self.fault_plan {
             ctx.set_fault_plan(plan.clone());
         }
+        ctx.set_verify(self.options.verify);
         ctx
     }
 
@@ -437,6 +453,7 @@ impl Engine {
                 generated_source: outcome.generated_source,
                 trace: self.snapshot_since(mark),
                 recovery: outcome.recovery,
+                integrity: ctx.integrity_stats(),
             });
         }
         let t0 = Instant::now();
@@ -493,6 +510,7 @@ impl Engine {
             generated_source,
             trace: self.snapshot_since(mark),
             recovery: None,
+            integrity: ctx.integrity_stats(),
         })
     }
 
@@ -575,6 +593,7 @@ impl Engine {
                 generated_source: outcome.generated_source,
                 trace: None,
                 recovery: outcome.recovery,
+                integrity: ctx.integrity_stats(),
             };
             drop(root);
             report.trace = self.snapshot_since(mark);
@@ -630,6 +649,7 @@ impl Engine {
             generated_source,
             trace: None,
             recovery: None,
+            integrity: ctx.integrity_stats(),
         };
         drop(root);
         report.trace = self.snapshot_since(mark);
@@ -693,6 +713,7 @@ impl Engine {
                 generated_source: outcome.generated_source,
                 trace: None,
                 recovery: outcome.recovery,
+                integrity: ctx.integrity_stats(),
             };
             drop(root);
             report.trace = self.snapshot_since(mark);
@@ -734,6 +755,7 @@ impl Engine {
             generated_source: Some(src),
             trace: None,
             recovery: None,
+            integrity: ctx.integrity_stats(),
         };
         drop(root);
         report.trace = self.snapshot_since(mark);
@@ -794,6 +816,7 @@ impl Engine {
             generated_source: None,
             trace: self.snapshot_since(mark),
             recovery: None,
+            integrity: ctx.integrity_stats(),
         })
     }
 }

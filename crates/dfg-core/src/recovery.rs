@@ -180,6 +180,9 @@ pub struct RecoveryReport {
     pub fallbacks: u32,
     /// Total virtual seconds spent backing off.
     pub backoff_seconds: f64,
+    /// Tainted buffers (detected integrity violations) invalidated so a
+    /// retry re-uploads or re-derives clean data.
+    pub integrity_healed: u64,
     /// The level that finally produced the output (`None` on failure).
     pub completed: Option<ExecLevel>,
     /// Whether the run completed on a *different* level than requested —
@@ -193,7 +196,10 @@ impl RecoveryReport {
     /// skipped a candidate) — a clean first-attempt success reports `None`
     /// rather than an empty record.
     fn engaged(&self) -> bool {
-        self.retries > 0 || self.fallbacks > 0 || self.attempts.len() > 1
+        self.retries > 0
+            || self.fallbacks > 0
+            || self.integrity_healed > 0
+            || self.attempts.len() > 1
     }
 
     /// Fold another report into this one — used by callers that aggregate
@@ -206,6 +212,7 @@ impl RecoveryReport {
         self.retries += other.retries;
         self.fallbacks += other.fallbacks;
         self.backoff_seconds += other.backoff_seconds;
+        self.integrity_healed += other.integrity_healed;
         if other.completed.is_some() {
             self.completed = other.completed;
         }
@@ -479,6 +486,7 @@ pub(crate) fn run_with_recovery(
                 if let Some(plan) = ctx.fault_plan() {
                     c.set_fault_plan(plan.clone());
                 }
+                c.set_verify(ctx.verify_policy());
                 c
             })
         } else {
@@ -572,6 +580,36 @@ pub(crate) fn run_with_recovery(
                         exec_ctx.rollback(&mark);
                     } else {
                         restore(exec_ctx, &mark, &mut session, &snap);
+                    }
+                    // A detected integrity violation names one tainted
+                    // buffer. If that buffer is a session resident it
+                    // predates the mark, so rollback left it (and its
+                    // corrupt bits) alive — a plain retry would fail the
+                    // same verification forever. Invalidate it so the
+                    // retry re-uploads clean data.
+                    if let EngineError::Ocl(OclError::IntegrityViolation { kind, buffer, .. }) = &e
+                    {
+                        if let Some(state) = session.as_deref_mut() {
+                            let tainted: Vec<String> = state
+                                .resident
+                                .iter()
+                                .filter(|(_, r)| r.buf.index() == *buffer)
+                                .map(|(name, _)| name.clone())
+                                .collect();
+                            for name in tainted {
+                                if let Some(r) = state.resident.remove(&name) {
+                                    let _ = exec_ctx.release(r.buf);
+                                    report.integrity_healed += 1;
+                                    drop(span!(
+                                        rc.tracer,
+                                        "recover.integrity",
+                                        field = name,
+                                        kind = kind.name(),
+                                        healed = "invalidate",
+                                    ));
+                                }
+                            }
+                        }
                     }
                     let transient = matches!(&e, EngineError::Ocl(o) if o.is_transient());
                     let environmental = matches!(&e, EngineError::Ocl(o) if o.is_environmental());

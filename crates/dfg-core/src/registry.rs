@@ -86,6 +86,12 @@ pub struct TenantStats {
     pub in_use_bytes: u64,
     /// The tenant's device-memory quota in bytes.
     pub quota_bytes: u64,
+    /// Integrity verifications this tenant's context has performed (zero
+    /// unless the engine runs with a [`dfg_ocl::VerifyPolicy`] above `Off`).
+    pub integrity_checks: u64,
+    /// Integrity violations detected in this tenant's buffers (each one
+    /// surfaced as a typed error and healed by re-upload or retry).
+    pub integrity_violations: u64,
     /// Milliseconds since the tenant last started a request — the value
     /// idle-TTL eviction compares against its threshold.
     pub idle_ms: u64,
@@ -276,15 +282,20 @@ impl SessionRegistry {
 
     /// Counters for `tenant`, or `None` if it has never made a request.
     pub fn stats(&self, tenant: &str) -> Option<TenantStats> {
-        self.tenants.get(tenant).map(|t| TenantStats {
-            tenant: tenant.to_string(),
-            session: t.session.stats().clone(),
-            pool_hits: t.session.pool_hits(),
-            pooled_bytes: t.session.pooled_bytes(),
-            resident_bytes: t.session.resident_bytes(),
-            in_use_bytes: t.session.context().in_use_bytes(),
-            quota_bytes: t.quota_bytes,
-            idle_ms: t.last_used.elapsed().as_millis() as u64,
+        self.tenants.get(tenant).map(|t| {
+            let integrity = t.session.context().integrity_stats();
+            TenantStats {
+                tenant: tenant.to_string(),
+                session: t.session.stats().clone(),
+                pool_hits: t.session.pool_hits(),
+                pooled_bytes: t.session.pooled_bytes(),
+                resident_bytes: t.session.resident_bytes(),
+                in_use_bytes: t.session.context().in_use_bytes(),
+                quota_bytes: t.quota_bytes,
+                integrity_checks: integrity.checks,
+                integrity_violations: integrity.violations,
+                idle_ms: t.last_used.elapsed().as_millis() as u64,
+            }
         })
     }
 

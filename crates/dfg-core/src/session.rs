@@ -81,6 +81,10 @@ pub struct SessionStats {
     /// cycles: each cycle saves `OptStats::filters_eliminated` launches
     /// relative to running the unoptimized network.
     pub opt_saved_kernels: u64,
+    /// Residents found corrupted by pre-skip verification and healed in
+    /// place by re-uploading from the host copy (see
+    /// `EngineOptions::verify`; always 0 with verification off).
+    pub integrity_healed: u64,
 }
 
 /// Cross-cycle state threaded through the strategy executors.
@@ -125,9 +129,33 @@ impl SessionState {
             if r.lanes == lanes {
                 let buf = r.buf;
                 if r.generation == fv.generation() {
-                    self.stats.uploads_skipped += 1;
-                    drop(span!(tracer, "upload.skipped", field = name));
-                    return Ok(buf);
+                    // Before trusting the resident enough to skip its
+                    // re-upload, revalidate it (a no-op under
+                    // `VerifyPolicy::Off`). A corrupted resident is healed
+                    // in place: fall through to the re-upload path, which
+                    // overwrites the bad bits and relearns the checksum.
+                    match ctx.verify_buffer(buf) {
+                        Ok(()) => {
+                            self.stats.uploads_skipped += 1;
+                            drop(span!(tracer, "upload.skipped", field = name));
+                            return Ok(buf);
+                        }
+                        Err(e) if e.is_integrity() => {
+                            self.stats.integrity_healed += 1;
+                            let kind = match &e {
+                                dfg_ocl::OclError::IntegrityViolation { kind, .. } => kind.name(),
+                                _ => "unknown",
+                            };
+                            drop(span!(
+                                tracer,
+                                "recover.integrity",
+                                field = name,
+                                kind = kind,
+                                healed = "reupload",
+                            ));
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 }
                 if real {
                     ctx.enqueue_write(buf, fv.data.as_ref().expect("real mode"))?;
@@ -352,6 +380,7 @@ impl<E: BorrowMut<Engine>> Session<E> {
         );
         drop(root);
         let trace = self.engine.borrow().snapshot_since(mark);
+        let integrity = self.ctx.integrity_stats();
         let report = |field, trace| ExecReport {
             field,
             profile: out.profile,
@@ -359,6 +388,7 @@ impl<E: BorrowMut<Engine>> Session<E> {
             generated_source: out.generated_source,
             trace,
             recovery: out.recovery,
+            integrity,
         };
         Ok(match (outputs, out.fields_out) {
             (Some(names), Some(v)) => {
@@ -422,6 +452,7 @@ impl<E: BorrowMut<Engine>> Session<E> {
                 generated_source: out.generated_source,
                 trace: self.engine.borrow().snapshot_since(mark),
                 recovery: out.recovery,
+                integrity: self.ctx.integrity_stats(),
             },
         ))
     }
@@ -594,6 +625,7 @@ impl<E: BorrowMut<Engine>> Session<E> {
                 generated_source: outcome.generated_source,
                 trace: self.engine.borrow().snapshot_since(mark),
                 recovery: outcome.recovery,
+                integrity: self.ctx.integrity_stats(),
             });
         }
         let exec_span = span!(
@@ -635,6 +667,7 @@ impl<E: BorrowMut<Engine>> Session<E> {
             generated_source: Some(src),
             trace: self.engine.borrow().snapshot_since(mark),
             recovery: None,
+            integrity: self.ctx.integrity_stats(),
         })
     }
 
@@ -669,6 +702,13 @@ impl<E: BorrowMut<Engine>> Session<E> {
     /// The session's device context (profiling/diagnostic access).
     pub fn context(&self) -> &Context {
         &self.ctx
+    }
+
+    /// Mutable access to the session's device context — a hook for
+    /// integrity tests that corrupt or reconfigure storage directly.
+    #[doc(hidden)]
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.ctx
     }
 
     /// Close the session: release every resident buffer and return the

@@ -348,13 +348,16 @@ pub(crate) fn run_streamed_fusion_session(
     // Issue one queued operation with in-pipeline retry: a transient fault
     // backs off on the *faulted queue only* (the other stages keep their
     // schedules) and re-issues; persistent faults or an exhausted budget
-    // propagate to the caller (the recovery ladder).
+    // propagate to the caller (the recovery ladder). Integrity violations
+    // are transient but NOT retryable in-pipeline: re-issuing the same
+    // operation re-reads the same corrupt bits, so they propagate to the
+    // ladder, which invalidates the tainted buffer before its retry.
     macro_rules! issue {
         ($queue:expr, $op:expr) => {
             loop {
                 match $op {
                     Ok(tok) => break Ok(tok),
-                    Err(e) if e.is_transient() && retries_left > 0 => {
+                    Err(e) if e.is_transient() && !e.is_integrity() && retries_left > 0 => {
                         retries_left -= 1;
                         report.in_pipeline_retries += 1;
                         report.backoff_seconds += backoff;

@@ -3,6 +3,7 @@
 use crate::error::{OclError, TransferDir};
 use crate::event::{Event, EventKind, ProfileReport};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::integrity::{checksum_f32s, IntegrityKind, IntegrityStats, VerifyPolicy};
 use crate::profile::DeviceProfile;
 use crate::ExecMode;
 use dfg_trace::Tracer;
@@ -10,6 +11,16 @@ use dfg_trace::Tracer;
 /// Handle to a device global-memory buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(usize);
+
+impl BufferId {
+    /// The handle's raw slot index, as reported by
+    /// [`OclError::IntegrityViolation`]'s `buffer` field — lets owners of
+    /// cross-buffer state (e.g. a session's resident table) find which of
+    /// their buffers a violation names.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Handle to an in-order command queue on a [`Context`].
 ///
@@ -134,18 +145,80 @@ pub struct BatchLaunch<'a> {
     pub n: usize,
 }
 
+/// Guard lanes placed on each side of a slot's payload. The guards carry a
+/// sentinel bit pattern; an out-of-bounds write into the allocation breaks
+/// the sentinel and is reported as an [`IntegrityKind::Guard`] violation
+/// when the slot is next verified or handed back out of the pool. Guard
+/// lanes are a property of the *backing storage* only — `Slot::bytes` (and
+/// therefore every byte counter, the high-water mark, and the pool
+/// accounting) covers the payload alone, so the paper's memory numbers are
+/// unchanged.
+const GUARD_LANES: usize = 4;
+
+/// Sentinel bit pattern filling the guard lanes.
+const GUARD_WORD: u32 = 0xF0E1_D2C3;
+
+/// Poison bit pattern written over a released slot's payload when
+/// `DFG_POOL_POISON=1` — any code path relying on recycled-slot contents
+/// reads a loud, recognizable garbage value instead of stale data.
+const POISON_WORD: u32 = 0xDEAD_BEEF;
+
 struct Slot {
     /// Backing storage; `None` in model mode — and, in real mode, until the
     /// first write or launch materializes it (the zero-fill is deferred so a
-    /// create-then-write sequence touches the memory exactly once).
+    /// create-then-write sequence touches the memory exactly once). When
+    /// present, the vector holds `GUARD_LANES` sentinel lanes, then the
+    /// `lanes`-lane payload, then `GUARD_LANES` more sentinel lanes.
     data: Option<Vec<f32>>,
     /// Real mode: whether the buffer holds defined contents (a host write or
     /// a kernel launch). Unwritten buffers read as zeros; in particular,
     /// recycled pool storage must never leak a previous buffer's values.
     written: bool,
-    /// Total f32 lanes (elements × width).
+    /// Content checksum of the payload's bit patterns, learned at the last
+    /// host write (and, under [`VerifyPolicy::Full`], at every kernel
+    /// write); `None` when verification is off or contents are undefined.
+    sum: Option<u64>,
+    /// Total f32 lanes (elements × width) of the payload.
     lanes: usize,
     bytes: u64,
+}
+
+impl Slot {
+    /// Fresh guarded storage: a zeroed payload framed by sentinel lanes.
+    fn alloc_storage(lanes: usize) -> Vec<f32> {
+        let guard = f32::from_bits(GUARD_WORD);
+        let mut buf = vec![0.0f32; lanes + 2 * GUARD_LANES];
+        buf[..GUARD_LANES].fill(guard);
+        buf[lanes + GUARD_LANES..].fill(guard);
+        buf
+    }
+
+    /// The payload view of materialized storage.
+    fn payload(&self) -> Option<&[f32]> {
+        self.data
+            .as_ref()
+            .map(|d| &d[GUARD_LANES..GUARD_LANES + self.lanes])
+    }
+
+    /// Mutable payload view of materialized storage.
+    fn payload_mut(&mut self) -> Option<&mut [f32]> {
+        let lanes = self.lanes;
+        self.data
+            .as_mut()
+            .map(|d| &mut d[GUARD_LANES..GUARD_LANES + lanes])
+    }
+
+    /// Whether every guard lane still carries the sentinel (vacuously true
+    /// for unmaterialized storage).
+    fn guards_intact(&self) -> bool {
+        match &self.data {
+            None => true,
+            Some(d) => d[..GUARD_LANES]
+                .iter()
+                .chain(&d[self.lanes + GUARD_LANES..])
+                .all(|v| v.to_bits() == GUARD_WORD),
+        }
+    }
 }
 
 /// A simulated OpenCL context + in-order command queue with profiling.
@@ -183,6 +256,16 @@ pub struct Context {
     pool_hits: u64,
     pooled_bytes: u64,
     pool_evictions: u64,
+    /// How much integrity verification this context performs (see
+    /// [`VerifyPolicy`]). Off by default: no checksums are learned or
+    /// checked, preserving pre-integrity behavior bit-for-bit.
+    verify: VerifyPolicy,
+    /// Verifications performed / violations detected so far (cumulative;
+    /// not reset by [`Context::reset_profile`]).
+    integrity: IntegrityStats,
+    /// Poison released payloads with a recognizable bit pattern
+    /// (`DFG_POOL_POISON=1`, read once at construction).
+    poison: bool,
 }
 
 impl Context {
@@ -205,7 +288,30 @@ impl Context {
             pool_hits: 0,
             pooled_bytes: 0,
             pool_evictions: 0,
+            verify: VerifyPolicy::Off,
+            integrity: IntegrityStats::default(),
+            poison: std::env::var("DFG_POOL_POISON")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
+    }
+
+    /// Set the verification policy (see [`VerifyPolicy`]). Takes effect on
+    /// subsequent operations; checksums are learned from the next write on,
+    /// so enable verification before uploading data that should be covered.
+    pub fn set_verify(&mut self, policy: VerifyPolicy) {
+        self.verify = policy;
+    }
+
+    /// The active verification policy.
+    pub fn verify_policy(&self) -> VerifyPolicy {
+        self.verify
+    }
+
+    /// Integrity counters accumulated since creation (cumulative across
+    /// [`Context::reset_profile`] calls).
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity
     }
 
     /// Enable or disable buffer pooling. While enabled, [`Context::release`]
@@ -441,11 +547,44 @@ impl Context {
             None
         };
         let slot = match pooled {
-            Some(slot) => {
+            Some(mut slot) => {
                 // Reuse moves bytes from the pool back to `in_use`; the
                 // device footprint is unchanged, so no capacity check.
                 self.pool_hits += 1;
                 self.pooled_bytes -= slot.bytes;
+                // Silent-corruption injection: a stale hand-out skips the
+                // contents clear, leaking the previous owner's data. The
+                // draw happens in both modes (counter parity); the effect
+                // needs real storage.
+                if self.fault(FaultKind::StaleSlot).is_some()
+                    && self.mode == ExecMode::Real
+                    && slot.data.is_some()
+                {
+                    slot.written = true;
+                }
+                // Allocator self-check: the pool must only hand out slots
+                // with cleared contents and intact guards. A violation
+                // quarantines the slot (its storage is dropped, never
+                // reused) and surfaces as a transient error — the retried
+                // allocation gets a fresh, clean slot.
+                if self.verify.enabled() {
+                    self.integrity.checks += 1;
+                    let stale = slot.written;
+                    let guards = !slot.guards_intact();
+                    if stale || guards {
+                        self.integrity.violations += 1;
+                        let would_be = self.free_ids.last().copied().unwrap_or(self.slots.len());
+                        return Err(OclError::IntegrityViolation {
+                            kind: if stale {
+                                IntegrityKind::StaleSlot
+                            } else {
+                                IntegrityKind::Guard
+                            },
+                            buffer: would_be,
+                            offset: 0,
+                        });
+                    }
+                }
                 slot
             }
             None => {
@@ -467,6 +606,7 @@ impl Context {
                 Slot {
                     data: None,
                     written: false,
+                    sum: None,
                     lanes,
                     bytes,
                 }
@@ -499,6 +639,15 @@ impl Context {
             // Keep the storage but forget its contents: the next owner must
             // observe zeros until it writes, never this buffer's data.
             slot.written = false;
+            slot.sum = None;
+            // Optional hygiene tripwire: overwrite the released payload with
+            // a loud bit pattern so any path that (incorrectly) relies on
+            // recycled contents fails recognizably instead of silently.
+            if self.poison {
+                if let Some(payload) = slot.payload_mut() {
+                    payload.fill(f32::from_bits(POISON_WORD));
+                }
+            }
             self.pooled_bytes += slot.bytes;
             self.pool.entry(slot.lanes).or_default().push(slot);
         }
@@ -640,12 +789,21 @@ impl Context {
         }
         let seconds = self.profile.h2d_seconds(bytes);
         if self.mode == ExecMode::Real {
+            let verify = self.verify.enabled();
             let slot = self.slots[id.0].as_mut().expect("validated above");
             match &mut slot.data {
-                Some(buf) => buf.copy_from_slice(data),
-                None => slot.data = Some(data.to_vec()),
+                Some(buf) => buf[GUARD_LANES..GUARD_LANES + lanes].copy_from_slice(data),
+                None => {
+                    let mut buf = Slot::alloc_storage(lanes);
+                    buf[GUARD_LANES..GUARD_LANES + lanes].copy_from_slice(data);
+                    slot.data = Some(buf);
+                }
             }
             slot.written = true;
+            // Learn the content checksum at upload time: this is the value
+            // later verifications compare against. Host-side only — no
+            // event, no clock cost.
+            slot.sum = verify.then(|| checksum_f32s(crate::integrity::BUFFER_SUM_SEED, data));
         }
         self.record(EventKind::HostToDevice, "write", bytes, seconds);
         Ok(())
@@ -690,9 +848,16 @@ impl Context {
                 transient,
             });
         }
+        // Full verification: revalidate before handing the bits to the
+        // host, so a silent flip never escapes into downstream results.
+        if self.verify == VerifyPolicy::Full {
+            self.verify_buffer(id)?;
+        }
         let slot = self.slot(id)?;
         let data = if slot.written {
-            slot.data.clone().expect("written implies materialized")
+            slot.payload()
+                .expect("written implies materialized")
+                .to_vec()
         } else {
             vec![0.0f32; slot.lanes]
         };
@@ -746,21 +911,32 @@ impl Context {
         }
         let seconds = self.profile.h2d_seconds(bytes);
         if self.mode == ExecMode::Real {
+            let verify = self.verify.enabled();
             let slot = self.slots[id.0].as_mut().expect("validated above");
             match &mut slot.data {
                 Some(buf) => {
                     if !slot.written {
-                        buf[data.len()..].fill(0.0);
+                        buf[GUARD_LANES + data.len()..GUARD_LANES + lanes].fill(0.0);
                     }
-                    buf[..data.len()].copy_from_slice(data);
+                    buf[GUARD_LANES..GUARD_LANES + data.len()].copy_from_slice(data);
                 }
                 None => {
-                    let mut buf = vec![0.0f32; lanes];
-                    buf[..data.len()].copy_from_slice(data);
+                    let mut buf = Slot::alloc_storage(lanes);
+                    buf[GUARD_LANES..GUARD_LANES + data.len()].copy_from_slice(data);
                     slot.data = Some(buf);
                 }
             }
             slot.written = true;
+            // The sum covers the whole payload (prefix plus whatever tail
+            // the write left behind), so verification stays whole-buffer.
+            slot.sum = if verify {
+                Some(checksum_f32s(
+                    crate::integrity::BUFFER_SUM_SEED,
+                    slot.payload().expect("just materialized"),
+                ))
+            } else {
+                None
+            };
         }
         Ok(self.record_on(
             queue,
@@ -847,9 +1023,13 @@ impl Context {
                 transient,
             });
         }
+        // Full verification: revalidate before the range is copied out.
+        if self.verify == VerifyPolicy::Full {
+            self.verify_buffer(id)?;
+        }
         let slot = self.slot(id)?;
         if slot.written {
-            let src = slot.data.as_deref().expect("written implies materialized");
+            let src = slot.payload().expect("written implies materialized");
             dst.copy_from_slice(&src[offset..offset + dst.len()]);
         } else {
             dst.fill(0.0);
@@ -987,18 +1167,43 @@ impl Context {
                 transient,
             });
         }
+        // Silent-corruption injection: a mem_flip fault flips one seeded bit
+        // in one written input buffer just before the launch consumes it.
+        // The draw happens in both modes (counter parity); the flip needs
+        // real storage, so in model mode the fault is inert. The victim's
+        // learned checksum is deliberately NOT updated — that is the
+        // corruption the next verification catches.
+        if self.fault(FaultKind::MemFlip).is_some() {
+            self.flip_one_bit(inputs);
+        }
+        // Full verification: revalidate every sum-bearing input before the
+        // kernel consumes its bits.
+        if self.verify == VerifyPolicy::Full {
+            for &id in inputs {
+                self.verify_buffer(id)?;
+            }
+        }
 
         if self.mode == ExecMode::Real {
             // Never-written inputs must read as zeros inside the kernel too,
             // so materialize them first (pooled storage may be stale).
+            let full = self.verify == VerifyPolicy::Full;
             for &id in inputs {
                 let slot = self.slots[id.0].as_mut().expect("validated");
                 if !slot.written {
-                    match &mut slot.data {
+                    match slot.payload_mut() {
                         Some(buf) => buf.fill(0.0),
-                        None => slot.data = Some(vec![0.0f32; slot.lanes]),
+                        None => slot.data = Some(Slot::alloc_storage(slot.lanes)),
                     }
                     slot.written = true;
+                    slot.sum = if full {
+                        Some(checksum_f32s(
+                            crate::integrity::BUFFER_SUM_SEED,
+                            slot.payload().expect("just materialized"),
+                        ))
+                    } else {
+                        None
+                    };
                 }
             }
             // Temporarily take the output storage to satisfy the borrow
@@ -1007,10 +1212,11 @@ impl Context {
             // not write keep whatever the storage held, so pooled reuse
             // never pays a zero-fill here.
             let out_slot = self.slots[output.0].as_mut().expect("validated");
+            let out_lanes = out_slot.lanes;
             let mut out_data = out_slot
                 .data
                 .take()
-                .unwrap_or_else(|| vec![0.0f32; out_slot.lanes]);
+                .unwrap_or_else(|| Slot::alloc_storage(out_lanes));
             {
                 let input_views: Vec<&[f32]> = inputs
                     .iter()
@@ -1018,22 +1224,65 @@ impl Context {
                         self.slots[id.0]
                             .as_ref()
                             .expect("validated")
-                            .data
-                            .as_deref()
+                            .payload()
                             .expect("materialized above")
                     })
                     .collect();
                 kernel.run(KernelArgs {
                     inputs: &input_views,
-                    output: &mut out_data,
+                    output: &mut out_data[GUARD_LANES..GUARD_LANES + out_lanes],
                     n,
                 });
             }
+            // Learn the output's checksum under Full (so downstream uses of
+            // this kernel's result are verifiable); cheaper levels leave it
+            // unlearned rather than pay a pass per launch.
+            let sum = if self.verify == VerifyPolicy::Full {
+                Some(checksum_f32s(
+                    crate::integrity::BUFFER_SUM_SEED,
+                    &out_data[GUARD_LANES..GUARD_LANES + out_lanes],
+                ))
+            } else {
+                None
+            };
             let out_slot = self.slots[output.0].as_mut().expect("validated");
             out_slot.data = Some(out_data);
             out_slot.written = true;
+            out_slot.sum = sum;
         }
         Ok(())
+    }
+
+    /// Flip one seeded bit in one of `candidates` that has materialized,
+    /// written, non-empty storage — the payload of an injected `mem_flip`
+    /// fault. No-op when no candidate qualifies (model mode, or nothing
+    /// written yet). Victim and bit are derived from the fault-plan seed and
+    /// the event count, so repeated flips in one run hit distinct,
+    /// reproducible targets.
+    fn flip_one_bit(&mut self, candidates: &[BufferId]) {
+        use crate::integrity::splitmix64;
+        let victims: Vec<usize> = candidates
+            .iter()
+            .map(|id| id.0)
+            .filter(|&i| {
+                self.slots[i]
+                    .as_ref()
+                    .is_some_and(|s| s.written && s.data.is_some() && s.lanes > 0)
+            })
+            .collect();
+        if victims.is_empty() {
+            return;
+        }
+        let seed = self.faults.as_ref().map(|p| p.seed()).unwrap_or(0);
+        let h = splitmix64(seed ^ splitmix64(self.events.len() as u64 ^ 0x5EED_F11F));
+        let victim = victims[(h % victims.len() as u64) as usize];
+        let slot = self.slots[victim].as_mut().expect("filtered live");
+        let bit_count = (slot.lanes * 32) as u64;
+        let b = splitmix64(h) % bit_count;
+        let lane = (b / 32) as usize;
+        let bit = (b % 32) as u32;
+        let payload = slot.payload_mut().expect("filtered materialized");
+        payload[lane] = f32::from_bits(payload[lane].to_bits() ^ (1u32 << bit));
     }
 
     /// Launch a batch of mutually independent kernels.
@@ -1098,30 +1347,64 @@ impl Context {
                 });
             }
         }
+        // Silent-corruption injection, one mem_flip draw per member in batch
+        // order (the per-kind draw sequence matches a serial issue of the
+        // same launches; see `validate_and_run` for flip semantics).
+        for l in launches {
+            if self.fault(FaultKind::MemFlip).is_some() {
+                self.flip_one_bit(&l.inputs);
+            }
+        }
+        // Full verification: revalidate every sum-bearing input before any
+        // body consumes it.
+        if self.verify == VerifyPolicy::Full {
+            for l in launches {
+                for &id in &l.inputs {
+                    self.verify_buffer(id)?;
+                }
+            }
+        }
 
         let mut wall_ns = vec![0u64; launches.len()];
         if self.mode == ExecMode::Real {
+            let full = self.verify == VerifyPolicy::Full;
             // Materialize never-written inputs as zeros first (pooled
             // storage may be stale), exactly as `launch` does.
             for l in launches {
                 for &id in &l.inputs {
                     let slot = self.slots[id.0].as_mut().expect("validated");
                     if !slot.written {
-                        match &mut slot.data {
+                        match slot.payload_mut() {
                             Some(buf) => buf.fill(0.0),
-                            None => slot.data = Some(vec![0.0f32; slot.lanes]),
+                            None => slot.data = Some(Slot::alloc_storage(slot.lanes)),
                         }
                         slot.written = true;
+                        slot.sum = if full {
+                            Some(checksum_f32s(
+                                crate::integrity::BUFFER_SUM_SEED,
+                                slot.payload().expect("just materialized"),
+                            ))
+                        } else {
+                            None
+                        };
                     }
                 }
             }
             // Take every output's storage (outputs are distinct), then
-            // gather shared immutable input views.
+            // gather shared immutable input views. Kernels see payload
+            // slices; the guard lanes stay outside every view.
+            let out_lanes: Vec<usize> = launches
+                .iter()
+                .map(|l| self.slots[l.output.0].as_ref().expect("validated").lanes)
+                .collect();
             let mut outs: Vec<Vec<f32>> = launches
                 .iter()
                 .map(|l| {
                     let slot = self.slots[l.output.0].as_mut().expect("validated");
-                    slot.data.take().unwrap_or_else(|| vec![0.0f32; slot.lanes])
+                    let lanes = slot.lanes;
+                    slot.data
+                        .take()
+                        .unwrap_or_else(|| Slot::alloc_storage(lanes))
                 })
                 .collect();
             {
@@ -1134,8 +1417,7 @@ impl Context {
                                 self.slots[id.0]
                                     .as_ref()
                                     .expect("validated")
-                                    .data
-                                    .as_deref()
+                                    .payload()
                                     .expect("materialized above")
                             })
                             .collect()
@@ -1172,7 +1454,7 @@ impl Context {
                     let started = std::time::Instant::now();
                     let args = KernelArgs {
                         inputs: &views[i],
-                        output: out,
+                        output: &mut out[GUARD_LANES..GUARD_LANES + out_lanes[i]],
                         n: launches[i].n,
                     };
                     if saturated {
@@ -1183,10 +1465,19 @@ impl Context {
                     *ns = started.elapsed().as_nanos() as u64;
                 });
             }
-            for (l, out) in launches.iter().zip(outs) {
+            for (i, (l, out)) in launches.iter().zip(outs).enumerate() {
+                let sum = if full {
+                    Some(checksum_f32s(
+                        crate::integrity::BUFFER_SUM_SEED,
+                        &out[GUARD_LANES..GUARD_LANES + out_lanes[i]],
+                    ))
+                } else {
+                    None
+                };
                 let slot = self.slots[l.output.0].as_mut().expect("validated");
                 slot.data = Some(out);
                 slot.written = true;
+                slot.sum = sum;
             }
         }
 
@@ -1217,10 +1508,91 @@ impl Context {
         }
         let slot = self.slot(id)?;
         Ok(if slot.written {
-            slot.data.clone().expect("written implies materialized")
+            slot.payload()
+                .expect("written implies materialized")
+                .to_vec()
         } else {
             vec![0.0f32; slot.lanes]
         })
+    }
+
+    /// Revalidate a buffer's integrity: guard zones intact and, when a
+    /// content checksum was learned, payload bits still matching it.
+    ///
+    /// Host-side bookkeeping only — records no device event and never
+    /// advances the virtual clock. Vacuously `Ok` in model mode (no backing
+    /// data), under [`VerifyPolicy::Off`], or when the buffer carries no
+    /// learned checksum (never written, or written while verification was
+    /// off). On a mismatch the violation is counted and returned as a
+    /// transient [`OclError::IntegrityViolation`]; the buffer itself is
+    /// left untouched — the caller decides whether to re-upload, re-derive,
+    /// or abort. The session calls this before trusting a resident enough
+    /// to skip its re-upload; [`VerifyPolicy::Full`] additionally routes
+    /// every launch input and download through it.
+    pub fn verify_buffer(&mut self, id: BufferId) -> Result<(), OclError> {
+        let violation = {
+            let slot = self.slot(id)?;
+            if self.mode == ExecMode::Model || !self.verify.enabled() {
+                return Ok(());
+            }
+            if !slot.guards_intact() {
+                Some(IntegrityKind::Guard)
+            } else {
+                match (slot.sum, slot.payload()) {
+                    (Some(expected), Some(payload))
+                        if checksum_f32s(crate::integrity::BUFFER_SUM_SEED, payload)
+                            != expected =>
+                    {
+                        Some(IntegrityKind::Checksum)
+                    }
+                    _ => None,
+                }
+            }
+        };
+        self.integrity.checks += 1;
+        if let Some(kind) = violation {
+            self.integrity.violations += 1;
+            return Err(OclError::IntegrityViolation {
+                kind,
+                buffer: id.0,
+                offset: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Corrupt one bit of a buffer's payload without updating its learned
+    /// checksum — a test hook for the integrity layer (real mode, written
+    /// buffers only; silently a no-op otherwise).
+    #[doc(hidden)]
+    pub fn debug_flip_bit(&mut self, id: BufferId, lane: usize, bit: u32) {
+        if let Some(slot) = self.slots.get_mut(id.0).and_then(Option::as_mut) {
+            if let Some(payload) = slot.payload_mut() {
+                if let Some(v) = payload.get_mut(lane) {
+                    *v = f32::from_bits(v.to_bits() ^ (1u32 << (bit % 32)));
+                }
+            }
+        }
+    }
+
+    /// Overwrite the first guard lane ahead of a buffer's payload — a test
+    /// hook simulating an out-of-bounds write into the allocation (real
+    /// mode, materialized buffers only; silently a no-op otherwise).
+    #[doc(hidden)]
+    pub fn debug_poke_guard(&mut self, id: BufferId) {
+        if let Some(slot) = self.slots.get_mut(id.0).and_then(Option::as_mut) {
+            if let Some(d) = slot.data.as_mut() {
+                d[0] = f32::from_bits(!GUARD_WORD);
+            }
+        }
+    }
+
+    /// Force pool-poisoning on or off, overriding the `DFG_POOL_POISON`
+    /// environment variable read at construction — a test hook so the
+    /// poison bit-parity regression does not depend on process environment.
+    #[doc(hidden)]
+    pub fn debug_set_poison(&mut self, on: bool) {
+        self.poison = on;
     }
 }
 
@@ -2063,5 +2435,251 @@ mod fault_injection_tests {
         let again = c.create_buffer(128).unwrap();
         assert_eq!(c.pool_hits(), 1);
         c.release(again).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod integrity_tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
+    use crate::integrity::{IntegrityKind, VerifyPolicy};
+    use crate::DeviceProfile;
+
+    /// Doubling kernel local to this module.
+    struct Double;
+
+    impl DeviceKernel for Double {
+        fn name(&self) -> String {
+            "double".into()
+        }
+        fn cost(&self, n: usize) -> KernelCost {
+            KernelCost {
+                bytes_read: 4 * n as u64,
+                bytes_written: 4 * n as u64,
+                flops: n as u64,
+            }
+        }
+        fn run(&self, args: KernelArgs<'_>) {
+            for i in 0..args.n {
+                args.output[i] = args.inputs[0][i] * 2.0;
+            }
+        }
+    }
+
+    fn ctx() -> Context {
+        Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Real)
+    }
+
+    #[test]
+    fn verify_buffer_learns_on_write_and_detects_a_flipped_bit() {
+        let mut c = ctx();
+        c.set_verify(VerifyPolicy::Residents);
+        let a = c.create_buffer(16).unwrap();
+        c.enqueue_write(a, &[1.5; 16]).unwrap();
+        c.verify_buffer(a).unwrap();
+        c.debug_flip_bit(a, 7, 3);
+        match c.verify_buffer(a) {
+            Err(OclError::IntegrityViolation {
+                kind: IntegrityKind::Checksum,
+                buffer,
+                ..
+            }) => assert_eq!(buffer, a.index()),
+            other => panic!("expected checksum violation, got {other:?}"),
+        }
+        let stats = c.integrity_stats();
+        assert_eq!(stats.checks, 2);
+        assert_eq!(stats.violations, 1);
+        // Healing is a re-upload: the sum is relearned and the buffer
+        // verifies clean again.
+        c.enqueue_write(a, &[1.5; 16]).unwrap();
+        c.verify_buffer(a).unwrap();
+        assert_eq!(c.enqueue_read(a).unwrap(), vec![1.5; 16]);
+    }
+
+    #[test]
+    fn broken_guard_zone_is_a_guard_violation() {
+        let mut c = ctx();
+        c.set_verify(VerifyPolicy::Residents);
+        let a = c.create_buffer(8).unwrap();
+        c.enqueue_write(a, &[2.0; 8]).unwrap();
+        c.debug_poke_guard(a);
+        match c.verify_buffer(a) {
+            Err(OclError::IntegrityViolation {
+                kind: IntegrityKind::Guard,
+                ..
+            }) => {}
+            other => panic!("expected guard violation, got {other:?}"),
+        }
+        // The payload itself is untouched by the guard overwrite.
+        assert_eq!(c.peek(a).unwrap(), vec![2.0; 8]);
+    }
+
+    #[test]
+    fn verification_off_or_model_mode_is_vacuous() {
+        let mut c = ctx();
+        let a = c.create_buffer(4).unwrap();
+        c.enqueue_write(a, &[1.0; 4]).unwrap();
+        c.debug_flip_bit(a, 0, 0);
+        c.verify_buffer(a).unwrap(); // Off: no sum learned, nothing checked
+        assert_eq!(c.integrity_stats().checks, 0);
+
+        let mut m = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Model);
+        m.set_verify(VerifyPolicy::Full);
+        let b = m.create_buffer(4).unwrap();
+        m.verify_buffer(b).unwrap();
+        assert_eq!(m.integrity_stats().checks, 0);
+    }
+
+    #[test]
+    fn stale_slot_fault_is_caught_at_pool_handout_and_quarantined() {
+        let mut c = ctx();
+        c.set_pooling(true);
+        c.set_verify(VerifyPolicy::Residents);
+        let plan = FaultPlan::with_seed(11);
+        plan.fail_nth_from_now(FaultKind::StaleSlot, 1, 1);
+        c.set_fault_plan(plan);
+        let a = c.create_buffer(16).unwrap();
+        c.enqueue_write(a, &[9.0; 16]).unwrap();
+        c.release(a).unwrap();
+        match c.create_buffer(16) {
+            Err(
+                e @ OclError::IntegrityViolation {
+                    kind: IntegrityKind::StaleSlot,
+                    ..
+                },
+            ) => assert!(e.is_transient() && e.is_integrity()),
+            other => panic!("expected stale-slot violation, got {other:?}"),
+        }
+        assert_eq!(c.integrity_stats().violations, 1);
+        // The tainted slot was quarantined: the retried allocation gets a
+        // fresh slot that reads as zeros.
+        let again = c.create_buffer(16).unwrap();
+        assert_eq!(c.enqueue_read(again).unwrap(), vec![0.0; 16]);
+    }
+
+    #[test]
+    fn stale_slot_without_verification_leaks_previous_contents() {
+        // The injection is real: with verification off, the stale hand-out
+        // goes undetected and the old owner's data is visible — exactly the
+        // silent corruption the checksum layer exists to catch.
+        let mut c = ctx();
+        c.set_pooling(true);
+        let plan = FaultPlan::with_seed(11);
+        plan.fail_nth_from_now(FaultKind::StaleSlot, 1, 1);
+        c.set_fault_plan(plan);
+        let a = c.create_buffer(16).unwrap();
+        c.enqueue_write(a, &[9.0; 16]).unwrap();
+        c.release(a).unwrap();
+        let b = c.create_buffer(16).unwrap();
+        assert_eq!(c.enqueue_read(b).unwrap(), vec![9.0; 16]);
+    }
+
+    #[test]
+    fn mem_flip_fault_is_detected_at_launch_under_full_and_heals_on_rewrite() {
+        let mut c = ctx();
+        c.set_verify(VerifyPolicy::Full);
+        let plan = FaultPlan::with_seed(3);
+        plan.fail_nth_from_now(FaultKind::MemFlip, 1, 1);
+        c.set_fault_plan(plan);
+        let input: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let a = c.create_buffer(32).unwrap();
+        let b = c.create_buffer(32).unwrap();
+        c.enqueue_write(a, &input).unwrap();
+        match c.launch(&Double, &[a], b, 32) {
+            Err(OclError::IntegrityViolation {
+                kind: IntegrityKind::Checksum,
+                buffer,
+                ..
+            }) => assert_eq!(buffer, a.index()),
+            other => panic!("expected checksum violation, got {other:?}"),
+        }
+        // Heal: re-upload the tainted input; the retried launch succeeds
+        // and the result is bit-identical to a fault-free run.
+        c.enqueue_write(a, &input).unwrap();
+        c.launch(&Double, &[a], b, 32).unwrap();
+        let out = c.enqueue_read(b).unwrap();
+        let expect: Vec<f32> = input.iter().map(|v| v * 2.0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn mem_flip_without_verification_silently_corrupts_results() {
+        let run = |flip: bool| -> Vec<u32> {
+            let mut c = ctx();
+            if flip {
+                let plan = FaultPlan::with_seed(3);
+                plan.fail_nth_from_now(FaultKind::MemFlip, 1, 1);
+                c.set_fault_plan(plan);
+            }
+            let input: Vec<f32> = (0..32).map(|i| i as f32 + 0.5).collect();
+            let a = c.create_buffer(32).unwrap();
+            let b = c.create_buffer(32).unwrap();
+            c.enqueue_write(a, &input).unwrap();
+            c.launch(&Double, &[a], b, 32).unwrap();
+            c.enqueue_read(b)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_ne!(run(true), run(false), "undetected flip changes the bits");
+    }
+
+    #[test]
+    fn silent_faults_draw_in_model_mode_but_are_inert() {
+        let mut m = Context::new(DeviceProfile::nvidia_m2050(), ExecMode::Model);
+        let plan = FaultPlan::with_seed(5);
+        plan.fail_nth_from_now(FaultKind::MemFlip, 1, 1);
+        m.set_fault_plan(plan.clone());
+        let a = m.create_buffer(8).unwrap();
+        let b = m.create_buffer(8).unwrap();
+        m.enqueue_write_virtual(a).unwrap();
+        m.launch(&Double, &[a], b, 8).unwrap();
+        assert_eq!(plan.ops_seen(FaultKind::MemFlip), 1, "counter parity");
+    }
+
+    #[test]
+    fn full_verification_leaves_results_events_and_clock_bit_identical() {
+        let run = |policy: VerifyPolicy| {
+            let mut c = ctx();
+            c.set_verify(policy);
+            let input: Vec<f32> = (0..64).map(|i| (i as f32).sin()).collect();
+            let a = c.create_buffer(64).unwrap();
+            let b = c.create_buffer(64).unwrap();
+            c.enqueue_write(a, &input).unwrap();
+            c.launch(&Double, &[a], b, 64).unwrap();
+            let out: Vec<u32> = c
+                .enqueue_read(b)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            (out, c.report().events.len(), c.clock_seconds().to_bits())
+        };
+        assert_eq!(run(VerifyPolicy::Off), run(VerifyPolicy::Full));
+    }
+
+    #[test]
+    fn poisoned_pool_reuse_still_reads_zeros_and_computes_identically() {
+        let run = |poison: bool| -> Vec<u32> {
+            let mut c = ctx();
+            c.set_pooling(true);
+            c.debug_set_poison(poison);
+            let a = c.create_buffer(16).unwrap();
+            c.enqueue_write(a, &[4.0; 16]).unwrap();
+            c.release(a).unwrap();
+            // Reused slot: unwritten lanes must read as zeros whether the
+            // release poisoned the storage or not.
+            let b = c.create_buffer(16).unwrap();
+            assert_eq!(c.enqueue_read(b).unwrap(), vec![0.0; 16]);
+            let out = c.create_buffer(16).unwrap();
+            c.launch(&Double, &[b], out, 16).unwrap();
+            c.enqueue_read(out)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -92,6 +92,22 @@ pub enum OclError {
     /// Reading buffer contents in [`crate::ExecMode::Model`] mode, or a
     /// virtual transfer on a real-mode context.
     InvalidOperation(String),
+    /// Verification caught silently corrupted data: a buffer whose contents
+    /// no longer match the checksum learned at its last write, a pool slot
+    /// handed out with stale contents, or an overwritten guard word. Always
+    /// transient — the tainted buffer is invalidated and the recovery
+    /// ladder re-uploads or re-derives it, after which the re-issued
+    /// operation succeeds.
+    IntegrityViolation {
+        /// What category of corruption was detected.
+        kind: crate::IntegrityKind,
+        /// Raw index of the affected buffer (the slot the pool hand-out
+        /// would have received, for stale-slot violations).
+        buffer: usize,
+        /// First corrupted f32 lane within the payload, when known (0 when
+        /// the mismatch was detected at whole-buffer granularity).
+        offset: usize,
+    },
 }
 
 impl OclError {
@@ -103,8 +119,16 @@ impl OclError {
             OclError::TransferFailed { transient, .. }
             | OclError::LaunchFailed { transient, .. }
             | OclError::CompileFailed { transient, .. } => *transient,
+            // Detected corruption heals: the driver invalidates the tainted
+            // buffer and the retried attempt re-uploads or re-derives it.
+            OclError::IntegrityViolation { .. } => true,
             _ => false,
         }
+    }
+
+    /// Whether this failure is a detected data-integrity violation.
+    pub fn is_integrity(&self) -> bool {
+        matches!(self, OclError::IntegrityViolation { .. })
     }
 
     /// Whether this failure is environmental — a property of the device or
@@ -119,6 +143,7 @@ impl OclError {
                 | OclError::TransferFailed { .. }
                 | OclError::LaunchFailed { .. }
                 | OclError::CompileFailed { .. }
+                | OclError::IntegrityViolation { .. }
         )
     }
 }
@@ -186,6 +211,14 @@ impl std::fmt::Display for OclError {
                  dependent launches cannot share a batch"
             ),
             OclError::InvalidOperation(msg) => write!(f, "invalid operation: {msg}"),
+            OclError::IntegrityViolation {
+                kind,
+                buffer,
+                offset,
+            } => write!(
+                f,
+                "integrity violation ({kind}) in buffer {buffer} at lane {offset}"
+            ),
         }
     }
 }

@@ -72,6 +72,35 @@
 //! operation proceeds normally. Like every other kind, the draws come from
 //! the plan's seeded generator, so a chaos run over a fixed request
 //! schedule injects the same connection faults every time.
+//!
+//! # Silent-corruption faults
+//!
+//! Three kinds corrupt *data* instead of failing an operation — the fault
+//! fires, bits change, and nothing errors at the injection site. They model
+//! the silent-data-corruption regime of long-running device-resident state
+//! (see `docs/ROBUSTNESS.md`); the integrity layer's checksums are what
+//! turn them into typed [`crate::OclError::IntegrityViolation`]s:
+//!
+//! ```text
+//! mem_flip@<n>          the n-th kernel launch first flips one bit in one
+//!                       of its written input buffers
+//! mem_flip:<rate>       ...stochastically, per launch
+//! stale_slot@<n>        the n-th pool hand-out skips the contents clear,
+//!                       leaking the previous owner's data
+//! stale_slot:<rate>     ...stochastically, per pool hit
+//! halo_garble@<n>       the n-th transmitted halo face has one bit flipped
+//! halo_garble:<rate>    ...stochastically, per face transmit
+//! ```
+//!
+//! All three are counter kinds on the shared plan, so an `@n` rule consumed
+//! by a failed-and-retried attempt does not re-fire on the retry — the
+//! healed re-execution runs clean, which is what makes detect→heal→
+//! bit-parity testable. The draws happen in both execution modes (counter
+//! parity), but actual corruption only occurs in [`crate::ExecMode::Real`]:
+//! model-mode buffers hold no data to corrupt, so silent faults are inert
+//! there (unlike every fail-stop kind, which behaves identically in both
+//! modes). The kinds are marked transient: once *detected*, re-running the
+//! operation after re-uploading the tainted buffer succeeds.
 
 use std::sync::{Arc, Mutex};
 
@@ -104,10 +133,22 @@ pub enum FaultKind {
     /// One bit of a successful socket read flipped in transit, checked per
     /// read; models line noise that the protocol layer must survive.
     ByteGarble,
+    /// Silent corruption: one bit of a written kernel-input buffer flipped
+    /// before the launch consumes it, checked once per launch (and per
+    /// batch member). No error at the injection site — detection is the
+    /// integrity layer's job.
+    MemFlip,
+    /// Silent corruption: a pool hand-out skips the contents clear, so the
+    /// new owner observes the previous owner's data where zeros were due.
+    /// Checked once per pool hit.
+    StaleSlot,
+    /// Silent corruption: one bit of a transmitted halo face flipped in
+    /// flight, checked once per face transmit on the sending rank.
+    HaloGarble,
 }
 
 impl FaultKind {
-    const ALL: [FaultKind; 10] = [
+    const ALL: [FaultKind; 13] = [
         FaultKind::Alloc,
         FaultKind::Transfer,
         FaultKind::Launch,
@@ -118,10 +159,13 @@ impl FaultKind {
         FaultKind::ConnDrop,
         FaultKind::ConnStall,
         FaultKind::ByteGarble,
+        FaultKind::MemFlip,
+        FaultKind::StaleSlot,
+        FaultKind::HaloGarble,
     ];
 
     /// Number of distinct kinds (the size of the per-kind counter arrays).
-    pub(crate) const COUNT: usize = 10;
+    pub(crate) const COUNT: usize = 13;
 
     fn index(self) -> usize {
         match self {
@@ -135,6 +179,9 @@ impl FaultKind {
             FaultKind::ConnDrop => 7,
             FaultKind::ConnStall => 8,
             FaultKind::ByteGarble => 9,
+            FaultKind::MemFlip => 10,
+            FaultKind::StaleSlot => 11,
+            FaultKind::HaloGarble => 12,
         }
     }
 
@@ -151,15 +198,19 @@ impl FaultKind {
             FaultKind::ConnDrop => "conn_drop",
             FaultKind::ConnStall => "conn_stall",
             FaultKind::ByteGarble => "byte_garble",
+            FaultKind::MemFlip => "mem_flip",
+            FaultKind::StaleSlot => "stale_slot",
+            FaultKind::HaloGarble => "halo_garble",
         }
     }
 
     /// Whether an injected fault of this kind is transient by default:
     /// transfer and launch faults succeed when re-issued, a dropped halo
-    /// face may survive a retransmit, and a stalled or garbled socket op is
-    /// over once it happened; alloc and compile faults persist until the
-    /// execution plan changes, a dead or hung rank stays lost, and a
-    /// severed connection stays severed.
+    /// face may survive a retransmit, a stalled or garbled socket op is
+    /// over once it happened, and detected silent corruption heals once the
+    /// tainted data is re-uploaded or re-derived; alloc and compile faults
+    /// persist until the execution plan changes, a dead or hung rank stays
+    /// lost, and a severed connection stays severed.
     pub fn default_transient(self) -> bool {
         matches!(
             self,
@@ -168,6 +219,18 @@ impl FaultKind {
                 | FaultKind::ExchangeDrop
                 | FaultKind::ConnStall
                 | FaultKind::ByteGarble
+                | FaultKind::MemFlip
+                | FaultKind::StaleSlot
+                | FaultKind::HaloGarble
+        )
+    }
+
+    /// Whether this kind corrupts data silently (no error at the injection
+    /// site) rather than failing the operation it targets.
+    pub fn is_silent_kind(self) -> bool {
+        matches!(
+            self,
+            FaultKind::MemFlip | FaultKind::StaleSlot | FaultKind::HaloGarble
         )
     }
 
@@ -711,6 +774,49 @@ mod tests {
             .expect("second transmit");
         assert!(f.transient, "a retransmit may survive");
         assert!(FaultPlan::parse("exchange_drop@0").is_err(), "1-based");
+    }
+
+    #[test]
+    fn silent_kinds_parse_count_and_are_transient() {
+        let plan =
+            FaultPlan::parse("mem_flip@2, stale_slot:0.5, halo_garble@1x2, seed=11").unwrap();
+        assert!(plan.check(FaultKind::MemFlip).is_none());
+        let f = plan.check(FaultKind::MemFlip).expect("second launch flips");
+        assert!(f.transient, "detected corruption heals on re-derive");
+        assert_eq!(f.op_index, 2);
+        assert!(plan.check(FaultKind::HaloGarble).is_some());
+        assert!(plan.check(FaultKind::HaloGarble).is_some(), "burst of 2");
+        assert!(plan.check(FaultKind::HaloGarble).is_none());
+        for kind in [
+            FaultKind::MemFlip,
+            FaultKind::StaleSlot,
+            FaultKind::HaloGarble,
+        ] {
+            assert!(kind.is_silent_kind());
+            assert!(kind.default_transient());
+            assert!(!kind.is_conn_kind());
+            assert!(!kind.is_rank_kind());
+        }
+        assert!(!FaultKind::Transfer.is_silent_kind());
+        assert!(FaultPlan::parse("mem_flip@0").is_err(), "1-based");
+    }
+
+    #[test]
+    fn silent_rate_draws_are_seed_stable_and_independent() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::parse(&format!("stale_slot:0.3, seed={seed}")).unwrap();
+            (0..64)
+                .map(|_| plan.check(FaultKind::StaleSlot).is_some())
+                .collect()
+        };
+        assert_eq!(run(5), run(5), "same seed, same corruption schedule");
+        assert_ne!(run(5), run(6));
+        // Silent kinds keep their own counters.
+        let plan = FaultPlan::parse("mem_flip@1, launch@1").unwrap();
+        assert!(plan.check(FaultKind::Launch).is_some());
+        assert!(plan.check(FaultKind::MemFlip).is_some());
+        assert_eq!(plan.ops_seen(FaultKind::MemFlip), 1);
+        assert_eq!(plan.ops_seen(FaultKind::Launch), 1);
     }
 
     #[test]

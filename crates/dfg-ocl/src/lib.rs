@@ -47,6 +47,7 @@ mod error;
 mod event;
 mod export;
 mod fault;
+pub mod integrity;
 mod profile;
 mod staging;
 
@@ -57,6 +58,7 @@ pub use context::{
 pub use error::{OclError, TransferDir};
 pub use event::{Event, EventKind, ProfileReport};
 pub use fault::{Fault, FaultKind, FaultPlan, RankFate};
+pub use integrity::{IntegrityKind, IntegrityStats, VerifyPolicy};
 pub use profile::{DeviceKind, DeviceProfile};
 pub use staging::StagingRing;
 

@@ -1,0 +1,127 @@
+//! Property tests for the integrity checksum: the sum must be sensitive to
+//! word order, exact bit patterns (NaN payloads, signed zero), block
+//! length, and — the property detection correctness rests on — every
+//! single-bit flip of the payload.
+
+use proptest::prelude::*;
+
+use dfg_ocl::integrity::{checksum_bits, checksum_f32s, BUFFER_SUM_SEED};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Swapping two unequal words changes the sum (order sensitivity).
+    #[test]
+    fn swapping_two_unequal_words_changes_the_sum(
+        mut words in prop::collection::vec(0u32..=u32::MAX, 2..64),
+        i in 0usize..4096,
+        j in 0usize..4096,
+    ) {
+        let a = i % words.len();
+        let b = j % words.len();
+        if a == b {
+            return;
+        }
+        // Force the swap to be observable rather than discarding the case.
+        if words[a] == words[b] {
+            words[a] ^= 1;
+        }
+        let before = checksum_bits(BUFFER_SUM_SEED, &words);
+        words.swap(a, b);
+        prop_assert_ne!(before, checksum_bits(BUFFER_SUM_SEED, &words));
+    }
+
+    /// Every single-bit flip anywhere in the block changes the sum — the
+    /// property `mem_flip` detection rests on.
+    #[test]
+    fn any_single_bit_flip_changes_the_sum(
+        mut words in prop::collection::vec(0u32..=u32::MAX, 1..64),
+        lane in 0usize..4096,
+        bit in 0u32..32,
+    ) {
+        let l = lane % words.len();
+        let before = checksum_bits(BUFFER_SUM_SEED, &words);
+        words[l] ^= 1 << bit;
+        prop_assert_ne!(before, checksum_bits(BUFFER_SUM_SEED, &words));
+    }
+
+    /// Truncating a block never collides with the original (length is
+    /// folded into the initial state, not just the word stream).
+    #[test]
+    fn a_truncated_block_never_collides_with_its_prefix(
+        words in prop::collection::vec(0u32..=u32::MAX, 1..64),
+        cut in 0usize..4096,
+    ) {
+        let n = cut % words.len();
+        prop_assert_ne!(
+            checksum_bits(BUFFER_SUM_SEED, &words),
+            checksum_bits(BUFFER_SUM_SEED, &words[..n]),
+        );
+    }
+
+    /// The f32 checksum is exactly the bits checksum of the lanes'
+    /// `to_bits` patterns — NaN payload bits and `-0.0` included.
+    #[test]
+    fn f32_checksum_is_the_bit_pattern_checksum(
+        bits in prop::collection::vec(0u32..=u32::MAX, 0..64),
+        seed in 0u64..u64::MAX,
+    ) {
+        let lanes: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let relanes: Vec<u32> = lanes.iter().map(|v| v.to_bits()).collect();
+        // NaN bit patterns survive the f32 round-trip on this path; the
+        // checksum must agree with the raw words whenever they do.
+        if relanes != bits {
+            return;
+        }
+        prop_assert_eq!(checksum_f32s(seed, &lanes), checksum_bits(seed, &bits));
+    }
+
+    /// Zero-length blocks hash to seed-specific values.
+    #[test]
+    fn empty_blocks_are_seed_specific(a in 0u64..u64::MAX, delta in 0u64..u64::MAX) {
+        let b = a ^ (delta | 1);
+        prop_assert_ne!(checksum_bits(a, &[]), checksum_bits(b, &[]));
+    }
+}
+
+/// Exhaustive single-bit sweep over a small block: all `lanes * 32`
+/// corruptions are detected, and each lands on a distinct sum.
+#[test]
+fn exhaustive_bit_flips_on_a_small_block_all_detected() {
+    let base: Vec<u32> = [1.5f32, -0.0, f32::NAN, 0.0, 3.0e30, -2.25]
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let clean = checksum_bits(BUFFER_SUM_SEED, &base);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(clean);
+    for lane in 0..base.len() {
+        for bit in 0..32 {
+            let mut corrupt = base.clone();
+            corrupt[lane] ^= 1u32 << bit;
+            let sum = checksum_bits(BUFFER_SUM_SEED, &corrupt);
+            assert_ne!(sum, clean, "flip of lane {lane} bit {bit} undetected");
+            assert!(
+                seen.insert(sum),
+                "two distinct corruptions collided (lane {lane} bit {bit})"
+            );
+        }
+    }
+}
+
+/// Signed zero and NaN payloads are part of the sum.
+#[test]
+fn signed_zero_and_nan_payloads_are_distinguished() {
+    assert_ne!(
+        checksum_f32s(1, &[0.0, 1.0]),
+        checksum_f32s(1, &[-0.0, 1.0])
+    );
+    let quiet = f32::from_bits(0x7FC0_0001);
+    let other = f32::from_bits(0x7FC0_0002);
+    assert!(quiet.is_nan() && other.is_nan());
+    assert_ne!(
+        checksum_f32s(1, &[quiet]),
+        checksum_f32s(1, &[other]),
+        "distinct NaN payloads hash differently"
+    );
+}

@@ -64,18 +64,31 @@ pub enum ClientError {
     },
     /// The server's reply did not parse, or was of an unexpected shape.
     Protocol(String),
+    /// The reply parsed but its payload failed the checksum the server
+    /// attached (`payload_sum`): the bits were garbled in flight. The
+    /// request itself is fine, so this is transient — a [`RetryPolicy`]
+    /// re-fetch gets a clean copy.
+    Corrupt {
+        /// Request id of the corrupted reply.
+        id: u64,
+        /// Checksum the server computed over the payload it sent.
+        expected: u64,
+        /// Checksum of the payload as received.
+        actual: u64,
+    },
 }
 
 impl ClientError {
-    /// Whether retrying the same request may succeed: connection faults
-    /// and `overloaded` rejections are transient; deadline, size, quota,
-    /// and malformed-request failures are not (the request itself is the
-    /// problem).
+    /// Whether retrying the same request may succeed: connection faults,
+    /// `overloaded` rejections, and corrupted payloads are transient;
+    /// deadline, size, quota, and malformed-request failures are not (the
+    /// request itself is the problem).
     pub fn is_transient(&self) -> bool {
         match self {
             ClientError::Io(_) => true,
             ClientError::Rejected { kind, .. } => matches!(kind, RejectKind::Overloaded),
             ClientError::Protocol(_) => false,
+            ClientError::Corrupt { .. } => true,
         }
     }
 }
@@ -88,8 +101,38 @@ impl std::fmt::Display for ClientError {
                 write!(f, "{}: {message}", kind.as_str())
             }
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Corrupt {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "corrupt payload in reply {id}: checksum {actual:#018x} != expected {expected:#018x}"
+            ),
         }
     }
+}
+
+/// Verify a reply's payload against the checksum the server attached.
+///
+/// Returns [`ClientError::Corrupt`] when `data_bits` and `payload_sum` are
+/// both present and disagree. A reply without a payload — or from a server
+/// that attached no checksum — has nothing to verify and passes. Called
+/// automatically by [`Client::derive`] / [`Client::derive_with_deadline`];
+/// exposed for callers that drive the pipelined [`Client::send`] /
+/// [`Client::recv_for`] path themselves.
+pub fn verify_payload(reply: &DeriveReply) -> Result<(), ClientError> {
+    if let (Some(bits), Some(expected)) = (&reply.data_bits, reply.payload_sum) {
+        let actual = dfg_ocl::integrity::checksum_bits(dfg_ocl::integrity::PAYLOAD_SUM_SEED, bits);
+        if actual != expected {
+            return Err(ClientError::Corrupt {
+                id: reply.id,
+                expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
 }
 
 impl std::error::Error for ClientError {}
@@ -287,7 +330,10 @@ impl Client {
             deadline_ms: deadline.map(|d| d.as_millis() as u64),
         }))?;
         match resp {
-            Response::Ok(reply) => Ok(reply),
+            Response::Ok(reply) => {
+                verify_payload(&reply)?;
+                Ok(reply)
+            }
             Response::Rejected { kind, message, .. } => {
                 Err(ClientError::Rejected { kind, message })
             }
@@ -362,6 +408,47 @@ mod tests {
             assert!(!e.is_transient(), "{e} must not be transient");
         }
         assert!(!ClientError::Protocol("garbled".into()).is_transient());
+        let corrupt = ClientError::Corrupt {
+            id: 1,
+            expected: 2,
+            actual: 3,
+        };
+        assert!(
+            corrupt.is_transient(),
+            "a garbled payload is transient: a re-fetch gets clean bits"
+        );
+    }
+
+    #[test]
+    fn verify_payload_catches_a_single_garbled_bit() {
+        let bits: Vec<u32> = [1.0f32, 2.0, 3.0].iter().map(|f| f.to_bits()).collect();
+        let sum = dfg_ocl::integrity::checksum_bits(dfg_ocl::integrity::PAYLOAD_SUM_SEED, &bits);
+        let mut reply = DeriveReply {
+            id: 7,
+            tenant: "a".into(),
+            expr: "m = u".into(),
+            ncells: 3,
+            checksum: 6.0,
+            device_ms: 0.0,
+            wall_ms: 0.0,
+            compiles: 0,
+            coalesced: false,
+            batch: 1,
+            degraded: false,
+            data_bits: Some(bits),
+            payload_sum: Some(sum),
+        };
+        assert!(verify_payload(&reply).is_ok());
+        reply.data_bits.as_mut().unwrap()[1] ^= 1 << 19;
+        match verify_payload(&reply) {
+            Err(ClientError::Corrupt { id: 7, .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // No payload, or no server-side sum: nothing to verify.
+        reply.payload_sum = None;
+        assert!(verify_payload(&reply).is_ok());
+        reply.data_bits = None;
+        assert!(verify_payload(&reply).is_ok());
     }
 
     #[test]

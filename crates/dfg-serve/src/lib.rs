@@ -41,7 +41,7 @@ pub mod faulty;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{verify_payload, Client, ClientError, RetryPolicy};
 pub use faulty::FaultyStream;
 pub use protocol::{
     DeriveReply, DeriveRequest, ExecStrategy, RejectKind, Request, Response, ServerCounters,

@@ -303,6 +303,13 @@ pub struct DeriveReply {
     pub degraded: bool,
     /// Bit patterns of the derived f32 field, if `data: true` was asked.
     pub data_bits: Option<Vec<u32>>,
+    /// Seeded checksum over `data_bits` (see
+    /// [`dfg_ocl::integrity::checksum_bits`] with
+    /// [`dfg_ocl::integrity::PAYLOAD_SUM_SEED`]), present whenever
+    /// `data_bits` is. Carried on the wire as a decimal string — a u64
+    /// does not survive the JSON f64 number grammar — so a client can
+    /// detect a payload garbled in flight and re-fetch.
+    pub payload_sum: Option<u64>,
 }
 
 /// Aggregate server counters reported by `stats`.
@@ -383,13 +390,26 @@ pub enum Response {
     },
 }
 
+/// JSON has no lexeme for non-finite numbers. A `checksum` computed over a
+/// payload that contains Inf or NaN (a garbled request can decode Inf f32
+/// inputs and still execute) is encoded as `null` rather than panicking the
+/// encoder; [`Response::parse`] decodes that `null` back to NaN.
+fn wire_f64(x: f64) -> String {
+    if x.is_finite() {
+        json::number(x)
+    } else {
+        "null".to_string()
+    }
+}
+
 fn tenant_stats_json(t: &TenantStats) -> String {
     format!(
         "{{\"tenant\":\"{}\",\"cycles\":{},\"uploads\":{},\"uploads_skipped\":{},\
          \"codegen_compiles\":{},\"codegen_cached\":{},\"merged\":{},\
-         \"opt_saved_kernels\":{},\"pool_hits\":{},\
+         \"opt_saved_kernels\":{},\"integrity_healed\":{},\"pool_hits\":{},\
          \"pooled_bytes\":{},\"resident_bytes\":{},\"in_use_bytes\":{},\
-         \"quota_bytes\":{},\"idle_ms\":{}}}",
+         \"quota_bytes\":{},\"integrity_checks\":{},\"integrity_violations\":{},\
+         \"idle_ms\":{}}}",
         json::escape(&t.tenant),
         t.session.cycles,
         t.session.uploads,
@@ -398,11 +418,14 @@ fn tenant_stats_json(t: &TenantStats) -> String {
         t.session.codegen_cached,
         t.session.merged,
         t.session.opt_saved_kernels,
+        t.session.integrity_healed,
         t.pool_hits,
         t.pooled_bytes,
         t.resident_bytes,
         t.in_use_bytes,
         t.quota_bytes,
+        t.integrity_checks,
+        t.integrity_violations,
         t.idle_ms,
     )
 }
@@ -428,12 +451,15 @@ fn tenant_stats_parse(v: &Value) -> Result<TenantStats, String> {
             codegen_cached: num("codegen_cached")?,
             merged: num("merged")?,
             opt_saved_kernels: num("opt_saved_kernels")?,
+            integrity_healed: num("integrity_healed")?,
         },
         pool_hits: num("pool_hits")?,
         pooled_bytes: num("pooled_bytes")?,
         resident_bytes: num("resident_bytes")?,
         in_use_bytes: num("in_use_bytes")?,
         quota_bytes: num("quota_bytes")?,
+        integrity_checks: num("integrity_checks")?,
+        integrity_violations: num("integrity_violations")?,
         idle_ms: num("idle_ms")?,
     })
 }
@@ -452,14 +478,17 @@ impl Response {
                     json::escape(&r.tenant),
                     json::escape(&r.expr),
                     r.ncells,
-                    json::number(r.checksum),
-                    json::number(r.device_ms),
-                    json::number(r.wall_ms),
+                    wire_f64(r.checksum),
+                    wire_f64(r.device_ms),
+                    wire_f64(r.wall_ms),
                     r.compiles,
                     r.coalesced,
                     r.batch,
                     r.degraded,
                 );
+                if let Some(sum) = r.payload_sum {
+                    line.push_str(&format!(",\"payload_sum\":\"{sum}\""));
+                }
                 if let Some(bits) = &r.data_bits {
                     line.push_str(",\"data_bits\":[");
                     for (i, b) in bits.iter().enumerate() {
@@ -621,6 +650,22 @@ impl Response {
                         .and_then(Value::as_f64)
                         .ok_or_else(|| format!("ok: missing numeric \"{key}\""))
                 };
+                // Non-finite values are encoded as `null` (see `wire_f64`);
+                // decode them back to NaN rather than failing the frame.
+                let lenient = |key: &str| -> Result<f64, String> {
+                    match v.get(key) {
+                        Some(Value::Null) => Ok(f64::NAN),
+                        _ => num(key),
+                    }
+                };
+                let payload_sum = match v.get("payload_sum") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::String(s)) => Some(
+                        s.parse::<u64>()
+                            .map_err(|_| "ok: \"payload_sum\" is not a u64".to_string())?,
+                    ),
+                    Some(_) => return Err("ok: \"payload_sum\" must be a string".into()),
+                };
                 let data_bits = match v.get("data_bits").and_then(Value::as_array) {
                     Some(items) => Some(
                         items
@@ -647,14 +692,15 @@ impl Response {
                         .unwrap_or("")
                         .to_string(),
                     ncells: num("ncells")? as u64,
-                    checksum: num("checksum")?,
-                    device_ms: num("device_ms")?,
-                    wall_ms: num("wall_ms")?,
+                    checksum: lenient("checksum")?,
+                    device_ms: lenient("device_ms")?,
+                    wall_ms: lenient("wall_ms")?,
                     compiles: num("compiles")? as u64,
                     coalesced: matches!(v.get("coalesced"), Some(Value::Bool(true))),
                     batch: num("batch")? as u64,
                     degraded: matches!(v.get("degraded"), Some(Value::Bool(true))),
                     data_bits,
+                    payload_sum,
                 }))
             }
             other => Err(format!("unknown status `{other}`")),
@@ -765,13 +811,77 @@ mod tests {
             batch: 3,
             degraded: false,
             data_bits: Some(bits.clone()),
+            payload_sum: Some(dfg_ocl::integrity::checksum_bits(
+                dfg_ocl::integrity::PAYLOAD_SUM_SEED,
+                &bits,
+            )),
         });
         let line = resp.to_json_line();
         match Response::parse(line.trim()).unwrap() {
             Response::Ok(r) => {
                 assert_eq!(r.data_bits.as_deref(), Some(&bits[..]));
                 assert_eq!(r.expr, "m = u*v", "expr echo must round-trip");
+                assert_eq!(
+                    r.payload_sum,
+                    Some(dfg_ocl::integrity::checksum_bits(
+                        dfg_ocl::integrity::PAYLOAD_SUM_SEED,
+                        &bits,
+                    )),
+                    "payload_sum must round-trip exactly (u64, not f64)",
+                );
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_sum_survives_full_u64_range() {
+        // A sum above 2^53 would be silently rounded if carried as a JSON
+        // number; the string encoding must round-trip it bit-exactly.
+        let resp = Response::Ok(DeriveReply {
+            id: 1,
+            tenant: "a".into(),
+            expr: "m = u".into(),
+            ncells: 1,
+            checksum: 0.0,
+            device_ms: 0.0,
+            wall_ms: 0.0,
+            compiles: 0,
+            coalesced: false,
+            batch: 1,
+            degraded: false,
+            data_bits: None,
+            payload_sum: Some(u64::MAX - 12345),
+        });
+        let line = resp.to_json_line();
+        assert_eq!(Response::parse(line.trim()).unwrap(), resp);
+    }
+
+    #[test]
+    fn non_finite_checksum_encodes_without_panicking() {
+        // Garbled requests can decode Inf f32 inputs; summing the derived
+        // field then yields a non-finite checksum, which JSON cannot carry
+        // as a number. The encoder must not panic and the decoder must
+        // surface NaN rather than reject the frame.
+        let resp = Response::Ok(DeriveReply {
+            id: 2,
+            tenant: "a".into(),
+            expr: "m = u".into(),
+            ncells: 8,
+            checksum: f64::INFINITY,
+            device_ms: 0.5,
+            wall_ms: 0.5,
+            compiles: 0,
+            coalesced: false,
+            batch: 1,
+            degraded: false,
+            data_bits: None,
+            payload_sum: None,
+        });
+        let line = resp.to_json_line();
+        assert!(line.contains("\"checksum\":null"));
+        match Response::parse(line.trim()).unwrap() {
+            Response::Ok(r) => assert!(r.checksum.is_nan()),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -807,12 +917,15 @@ mod tests {
                     codegen_cached: 7,
                     merged: 2,
                     opt_saved_kernels: 5,
+                    integrity_healed: 1,
                 },
                 pool_hits: 6,
                 pooled_bytes: 1024,
                 resident_bytes: 2048,
                 in_use_bytes: 2048,
                 quota_bytes: 1 << 20,
+                integrity_checks: 12,
+                integrity_violations: 1,
                 idle_ms: 1500,
             }],
         };

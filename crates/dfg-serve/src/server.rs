@@ -1037,6 +1037,12 @@ fn run_merged(
                         } else {
                             None
                         },
+                        payload_sum: p.d.data.then(|| {
+                            dfg_ocl::integrity::checksum_f32s(
+                                dfg_ocl::integrity::PAYLOAD_SUM_SEED,
+                                &field.data,
+                            )
+                        }),
                     });
                     p.reply.send(resp.to_json_line());
                     first = false;
@@ -1093,6 +1099,7 @@ fn run_group(shared: &Shared, state: &mut ExecutorState, members: Vec<PendingDer
                 coalesced: true,
                 batch: batch_size,
                 data_bits: if p.d.data { lp.data_bits.clone() } else { None },
+                payload_sum: if p.d.data { lp.payload_sum } else { None },
                 ..lp.clone()
             });
             p.reply.send(resp.to_json_line());
@@ -1106,6 +1113,7 @@ fn run_group(shared: &Shared, state: &mut ExecutorState, members: Vec<PendingDer
                 let mut own = r;
                 if !p.d.data {
                     own.data_bits = None;
+                    own.payload_sum = None;
                 }
                 p.reply.send(Response::Ok(own).to_json_line());
             }
@@ -1189,6 +1197,12 @@ fn run_one(
                 } else {
                     None
                 },
+                payload_sum: want_data.then(|| {
+                    dfg_ocl::integrity::checksum_f32s(
+                        dfg_ocl::integrity::PAYLOAD_SUM_SEED,
+                        &field.data,
+                    )
+                }),
             }))
         }
         Err(e) if e.is_cancelled() => {
